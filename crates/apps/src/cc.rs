@@ -1,0 +1,138 @@
+//! Connected components by semiring label propagation.
+//!
+//! Every vertex starts with its own index as label; each round replaces a
+//! vertex's label with the minimum over its neighborhood. One round is an
+//! SpMSpV over the (min, +) semiring with zero edge weights (min over
+//! neighbor labels), driven by the *changed* vertices only — the sparse
+//! work-set formulation that makes SpMSpV the right primitive.
+
+use tsv_core::semiring::{spmspv_semiring, MinPlus};
+use tsv_sparse::{CooMatrix, CscMatrix, CsrMatrix, SparseError, SparseVector};
+
+/// Labels each vertex of an undirected graph with the smallest vertex id
+/// of its component. Returns the label array.
+///
+/// ```
+/// use tsv_apps::connected_components;
+/// use tsv_sparse::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(4, 4);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0);
+/// let labels = connected_components(&coo.to_csr()).unwrap();
+/// assert_eq!(labels, vec![0, 0, 2, 3]);
+/// ```
+pub fn connected_components(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    // Zero-weighted pattern: (min, +) then takes plain minima of labels.
+    let mut coo = CooMatrix::with_capacity(n, n, a.nnz());
+    for (r, c, _) in a.iter() {
+        coo.push(r, c, 0.0);
+    }
+    let pattern: CscMatrix<f64> = coo.to_csc();
+
+    let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
+    // Initially every vertex is "changed".
+    let mut frontier = SparseVector::from_parts(
+        n,
+        (0..n as u32).collect(),
+        labels.clone(),
+    )
+    .expect("indices are sorted");
+
+    while frontier.nnz() > 0 {
+        // Candidate labels: min over changed neighbors.
+        let candidates = spmspv_semiring::<MinPlus>(&pattern, &frontier)?;
+        let mut changed = Vec::new();
+        for (v, cand) in candidates.iter() {
+            if cand < labels[v] {
+                labels[v] = cand;
+                changed.push((v as u32, cand));
+            }
+        }
+        frontier = SparseVector::from_entries(n, changed)?;
+    }
+    Ok(labels.into_iter().map(|l| l as u32).collect())
+}
+
+/// Number of connected components given a label array.
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut distinct: Vec<u32> = labels.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::{geometric_graph, grid2d};
+    use tsv_sparse::reference::bfs_levels;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn two_islands() {
+        let a = undirected(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let labels = connected_components(&a).unwrap();
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+        assert_eq!(component_count(&labels), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let a = undirected(5, &[(1, 3)]);
+        let labels = connected_components(&a).unwrap();
+        assert_eq!(labels, vec![0, 1, 2, 1, 4]);
+        assert_eq!(component_count(&labels), 4);
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let a = grid2d(12, 9).to_csr().without_diagonal();
+        let labels = connected_components(&a).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(component_count(&labels), 1);
+    }
+
+    #[test]
+    fn labels_agree_with_bfs_reachability() {
+        let a = geometric_graph(400, 3.5, 5).to_csr();
+        let labels = connected_components(&a).unwrap();
+        // Two vertices share a label iff BFS reaches one from the other.
+        let levels = bfs_levels(&a, 0).unwrap();
+        for v in 0..400 {
+            assert_eq!(
+                labels[v] == labels[0],
+                levels[v] >= 0,
+                "vertex {v}: label {} vs level {}",
+                labels[v],
+                levels[v]
+            );
+        }
+        // Every label is the minimum id of its component.
+        for v in 0..400 {
+            assert!(labels[v] as usize <= v);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 1.0);
+        assert!(connected_components(&coo.to_csr()).is_err());
+    }
+}

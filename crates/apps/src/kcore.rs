@@ -1,0 +1,148 @@
+//! k-core decomposition by peeling.
+//!
+//! The core number of a vertex is the largest `k` such that it belongs to
+//! a subgraph where every vertex has degree ≥ `k`. The peeling algorithm
+//! is the degree-ordered dual of BFS frontiers: each round removes the
+//! minimum-degree bucket and updates neighbors — the same sparse work-set
+//! pattern SpMSpV serves.
+
+use tsv_sparse::{CsrMatrix, SparseError};
+
+/// Computes the core number of every vertex of an undirected graph
+/// (self-loops ignored).
+pub fn k_core(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    let mut degree: Vec<u32> = (0..n)
+        .map(|v| {
+            let (cols, _) = a.row(v);
+            cols.iter().filter(|&&c| c as usize != v).count() as u32
+        })
+        .collect();
+
+    // Bucket the vertices by degree (the O(n + m) Matula–Beck ordering).
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d as usize].push(v as u32);
+    }
+
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current_k = 0u32;
+    let mut processed = 0usize;
+    let mut cursor = 0usize;
+    while processed < n {
+        // Find the lowest non-empty bucket at or below the scan cursor.
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let Some(v) = buckets.get_mut(cursor).and_then(|b| b.pop()) else {
+            break;
+        };
+        let v = v as usize;
+        if removed[v] || degree[v] as usize != cursor {
+            continue; // stale bucket entry
+        }
+        current_k = current_k.max(degree[v]);
+        core[v] = current_k;
+        removed[v] = true;
+        processed += 1;
+
+        let (cols, _) = a.row(v);
+        for &u in cols {
+            let u = u as usize;
+            if u == v || removed[u] {
+                continue;
+            }
+            if degree[u] > degree[v] {
+                degree[u] -= 1;
+                buckets[degree[u] as usize].push(u as u32);
+                cursor = cursor.min(degree[u] as usize);
+            }
+        }
+    }
+    Ok(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::CooMatrix;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn path_graph_is_one_core() {
+        let a = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(k_core(&a).unwrap(), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3 hanging off 0.
+        let a = undirected(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(k_core(&a).unwrap(), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn complete_graph_core_is_n_minus_one() {
+        let n = 6;
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let a = undirected(n, &edges);
+        assert!(k_core(&a).unwrap().iter().all(|&c| c as usize == n - 1));
+    }
+
+    #[test]
+    fn nested_cores() {
+        // A 4-clique (core 3) with a path attached (core 1).
+        let mut edges: Vec<(usize, usize)> = (0..4)
+            .flat_map(|u| ((u + 1)..4).map(move |v| (u, v)))
+            .collect();
+        edges.push((3, 4));
+        edges.push((4, 5));
+        let a = undirected(6, &edges);
+        let core = k_core(&a).unwrap();
+        assert_eq!(&core[..4], &[3, 3, 3, 3]);
+        assert_eq!(&core[4..], &[1, 1]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let a = undirected(4, &[(0, 1)]);
+        let core = k_core(&a).unwrap();
+        assert_eq!(core[2], 0);
+        assert_eq!(core[3], 0);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let core = k_core(&coo.to_csr()).unwrap();
+        assert_eq!(core, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 1.0);
+        assert!(k_core(&coo.to_csr()).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Graph algorithms on the tiled SpMSpV/BFS primitives.
+//!
+//! The paper motivates TileSpMSpV with the graph algorithms that reduce to
+//! it (§1): BFS, betweenness centrality, reverse Cuthill-McKee ordering,
+//! and the wider GraphBLAS family. This crate provides those algorithms as
+//! a library, each built on the structures and kernels of `tsv-core`:
+//!
+//! * [`rcm`] — reverse Cuthill-McKee bandwidth reduction (TileBFS level
+//!   sets drive the pseudo-peripheral search),
+//! * [`bc`] — Brandes betweenness centrality over TileBFS level structure,
+//! * [`cc`] — connected components by (min, +) semiring label propagation,
+//! * [`pagerank`] — PageRank by tiled SpMV power iteration,
+//! * [`sssp`] — single-source shortest paths by (min, +) semiring SpMSpV
+//!   (sparse-frontier Bellman-Ford),
+//! * [`msbfs`] — multi-source BFS, 64 concurrent sources sharing one
+//!   traversal through bit-parallel frontiers (Then et al., VLDB '14) —
+//!   the natural batched extension of the paper's bitmask vectors,
+//! * [`kcore`] — k-core decomposition by degree peeling,
+//! * [`triangles`] — triangle counting by masked row intersection (the
+//!   GraphBLAS `L ⊕.⊗ L .* L` formulation).
+
+pub mod bc;
+pub mod cc;
+pub mod kcore;
+pub mod msbfs;
+pub mod pagerank;
+pub mod rcm;
+pub mod sssp;
+pub mod triangles;
+
+pub use bc::{betweenness, betweenness_msbfs};
+pub use cc::connected_components;
+pub use msbfs::multi_source_bfs;
+pub use pagerank::{pagerank, PageRankOptions};
+pub use rcm::{permute_symmetric, rcm_order};
+pub use kcore::k_core;
+pub use sssp::sssp;
+pub use triangles::count_triangles;

@@ -1,0 +1,165 @@
+//! Multi-source BFS: up to 64 sources sharing one traversal.
+//!
+//! The paper stores frontiers as machine words of vertex bits; MS-BFS
+//! (Then et al., VLDB '14) transposes that idea — one word *per vertex*,
+//! bit `i` meaning "reached from source `i`". All 64 traversals then share
+//! every adjacency read, which is exactly the batched regime (per-source
+//! BFS from many roots) that betweenness centrality and all-pairs
+//! estimators run. A natural extension of the paper's bitmask machinery.
+
+use rayon::prelude::*;
+use tsv_sparse::{CsrMatrix, SparseError};
+
+/// Runs up to 64 concurrent BFS traversals. Returns `levels[s][v]`: the
+/// level of vertex `v` from `sources[s]` (`-1` when unreachable).
+pub fn multi_source_bfs(
+    a: &CsrMatrix<f64>,
+    sources: &[usize],
+) -> Result<Vec<Vec<i32>>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    assert!(sources.len() <= 64, "at most 64 concurrent sources");
+    let n = a.nrows();
+    for &s in sources {
+        if s >= n {
+            return Err(SparseError::IndexOutOfBounds {
+                row: s,
+                col: 0,
+                nrows: n,
+                ncols: 1,
+            });
+        }
+    }
+
+    let k = sources.len();
+    let mut levels = vec![vec![-1i32; n]; k];
+    if k == 0 {
+        return Ok(levels);
+    }
+
+    // seen[v] bit i: v reached from source i. front[v]: reached last round.
+    let mut seen = vec![0u64; n];
+    let mut front = vec![0u64; n];
+    for (i, &s) in sources.iter().enumerate() {
+        seen[s] |= 1 << i;
+        front[s] |= 1 << i;
+        levels[i][s] = 0;
+    }
+
+    let mut level = 0i32;
+    let mut active: Vec<u32> = sources.iter().map(|&s| s as u32).collect();
+    active.sort_unstable();
+    active.dedup();
+
+    while !active.is_empty() {
+        level += 1;
+        // Expand: next[v] = OR of front[u] over in-neighbors u, minus seen.
+        // Sharing is the point: each adjacency row is read once for all 64
+        // traversals.
+        let chunk = active.len().div_ceil(rayon::current_num_threads().max(1)).max(32);
+        let contributions: Vec<Vec<(u32, u64)>> = active
+            .par_chunks(chunk)
+            .map(|part| {
+                let mut local = Vec::new();
+                for &u in part {
+                    let fu = front[u as usize];
+                    let (nbrs, _) = a.row(u as usize);
+                    for &v in nbrs {
+                        let fresh = fu & !seen[v as usize];
+                        if fresh != 0 {
+                            local.push((v, fu));
+                        }
+                    }
+                }
+                local
+            })
+            .collect();
+
+        let mut next = vec![0u64; n];
+        for local in contributions {
+            for (v, bits) in local {
+                next[v as usize] |= bits;
+            }
+        }
+
+        // Filter to freshly-discovered (vertex, source) pairs; those form
+        // the next frontier and get this level.
+        let mut new_active = Vec::new();
+        front = vec![0u64; n];
+        for v in 0..n {
+            let fresh = next[v] & !seen[v];
+            if fresh != 0 {
+                seen[v] |= fresh;
+                front[v] = fresh;
+                for i in 0..k {
+                    if fresh >> i & 1 == 1 {
+                        levels[i][v] = level;
+                    }
+                }
+                new_active.push(v as u32);
+            }
+        }
+        active = new_active;
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::{geometric_graph, grid2d, rmat, RmatConfig};
+    use tsv_sparse::reference::bfs_levels;
+
+    #[test]
+    fn matches_single_source_bfs_for_every_source() {
+        let a = grid2d(14, 11).to_csr().without_diagonal();
+        let sources: Vec<usize> = (0..10).map(|i| i * 15).collect();
+        let all = multi_source_bfs(&a, &sources).unwrap();
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(all[i], bfs_levels(&a, s).unwrap(), "source {s}");
+        }
+    }
+
+    #[test]
+    fn sixty_four_sources_on_a_road_graph() {
+        let a = geometric_graph(800, 4.0, 4).to_csr();
+        let sources: Vec<usize> = (0..64).map(|i| (i * 12) % 800).collect();
+        let all = multi_source_bfs(&a, &sources).unwrap();
+        for (i, &s) in sources.iter().enumerate().step_by(13) {
+            assert_eq!(all[i], bfs_levels(&a, s).unwrap(), "source {s}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_yield_identical_rows() {
+        let a = rmat(RmatConfig::new(7, 6), 2).to_csr();
+        let s = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap();
+        let all = multi_source_bfs(&a, &[s, s, s]).unwrap();
+        assert_eq!(all[0], all[1]);
+        assert_eq!(all[1], all[2]);
+    }
+
+    #[test]
+    fn empty_source_list() {
+        let a = grid2d(4, 4).to_csr();
+        assert!(multi_source_bfs(&a, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let a = grid2d(4, 4).to_csr();
+        assert!(multi_source_bfs(&a, &[99]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "64")]
+    fn too_many_sources_panics() {
+        let a = grid2d(4, 4).to_csr();
+        let sources: Vec<usize> = (0..65).map(|i| i % 16).collect();
+        let _ = multi_source_bfs(&a, &sources);
+    }
+}

@@ -1,0 +1,192 @@
+//! Reverse Cuthill-McKee ordering.
+//!
+//! RCM permutes a symmetric matrix so its entries hug the diagonal, which
+//! directly benefits the tiled format (fewer, denser tiles — see the
+//! `rcm_ordering` example for measurements). The expensive part, repeated
+//! whole-graph BFS during the pseudo-peripheral search, runs on TileBFS;
+//! the final ordering is the classic serial queue walk.
+
+use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_sparse::{CooMatrix, CsrMatrix, SparseError};
+
+/// Computes the RCM permutation of a square matrix with a symmetric
+/// pattern: `perm[new_index] = old_index`. Disconnected components are
+/// ordered one after another, each from a low-degree root.
+pub fn rcm_order(a: &CsrMatrix<f64>) -> Result<Vec<usize>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let g = TileBfsGraph::from_csr(a)?;
+    let start = (0..n).min_by_key(|&v| a.row_nnz(v).max(1)).unwrap_or(0);
+    let root = pseudo_peripheral(a, &g, start)?;
+
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[root] = true;
+    queue.push_back(root);
+
+    let mut nbrs = Vec::new();
+    loop {
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let (cols, _) = a.row(u);
+            nbrs.clear();
+            nbrs.extend(cols.iter().map(|&c| c as usize).filter(|&v| !seen[v]));
+            nbrs.sort_by_key(|&v| a.row_nnz(v));
+            for &v in &nbrs {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+        match (0..n).filter(|&v| !seen[v]).min_by_key(|&v| a.row_nnz(v)) {
+            Some(next_root) => {
+                seen[next_root] = true;
+                queue.push_back(next_root);
+            }
+            None => break,
+        }
+    }
+    order.reverse();
+    Ok(order)
+}
+
+/// Finds a pseudo-peripheral vertex by the George-Liu iteration: jump to
+/// the farthest lowest-degree vertex until eccentricity stops growing.
+fn pseudo_peripheral(
+    a: &CsrMatrix<f64>,
+    g: &TileBfsGraph,
+    start: usize,
+) -> Result<usize, SparseError> {
+    let mut v = start;
+    let mut ecc = -1i32;
+    loop {
+        let levels = tile_bfs(g, v, BfsOptions::default())?.levels;
+        let new_ecc = *levels.iter().max().expect("non-empty graph");
+        if new_ecc <= ecc {
+            return Ok(v);
+        }
+        ecc = new_ecc;
+        v = levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == new_ecc)
+            .map(|(u, _)| u)
+            .min_by_key(|&u| a.row_nnz(u))
+            .expect("max level is attained");
+    }
+}
+
+/// Applies a symmetric permutation (`perm[new] = old`) to a matrix.
+pub fn permute_symmetric(a: &CsrMatrix<f64>, perm: &[usize]) -> CsrMatrix<f64> {
+    assert_eq!(perm.len(), a.nrows(), "permutation length mismatch");
+    let mut inv = vec![0usize; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+    for (r, c, v) in a.iter() {
+        coo.push(inv[r], inv[c], v);
+    }
+    coo.to_csr()
+}
+
+/// Bandwidth: `max |i - j|` over stored entries.
+pub fn bandwidth(a: &CsrMatrix<f64>) -> usize {
+    a.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::{geometric_graph, grid2d};
+
+    fn scramble(a: &CsrMatrix<f64>, seed: u64) -> CsrMatrix<f64> {
+        let n = a.nrows();
+        let mut relabel: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            relabel.swap(i, j);
+        }
+        let mut coo = CooMatrix::with_capacity(n, n, a.nnz());
+        for (r, c, v) in a.iter() {
+            coo.push(relabel[r], relabel[c], v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        let a = geometric_graph(500, 4.0, 1).to_csr();
+        let perm = rcm_order(&a).unwrap();
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_scrambled_mesh() {
+        let mesh = grid2d(25, 25).to_csr().without_diagonal();
+        let scrambled = scramble(&mesh, 7);
+        let before = bandwidth(&scrambled);
+        let perm = rcm_order(&scrambled).unwrap();
+        let after = bandwidth(&permute_symmetric(&scrambled, &perm));
+        assert!(
+            after * 3 < before,
+            "expected a large reduction: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn permutation_preserves_the_spectrum_proxy() {
+        // Row sums (a similarity invariant under symmetric permutation).
+        let a = geometric_graph(300, 5.0, 2).to_csr();
+        let perm = rcm_order(&a).unwrap();
+        let p = permute_symmetric(&a, &perm);
+        assert_eq!(p.nnz(), a.nnz());
+        let mut sums_a: Vec<usize> = (0..300).map(|v| a.row_nnz(v)).collect();
+        let mut sums_p: Vec<usize> = (0..300).map(|v| p.row_nnz(v)).collect();
+        sums_a.sort_unstable();
+        sums_p.sort_unstable();
+        assert_eq!(sums_a, sums_p);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_fully_ordered() {
+        let mut coo = CooMatrix::new(60, 60);
+        for base in [0usize, 30] {
+            for i in 0..20 {
+                coo.push(base + i, base + i + 1, 1.0);
+                coo.push(base + i + 1, base + i, 1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let perm = rcm_order(&a).unwrap();
+        assert_eq!(perm.len(), 60);
+        let mut sorted = perm;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 3, 1.0);
+        assert!(rcm_order(&coo.to_csr()).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::<f64>::zeros(0, 0);
+        assert!(rcm_order(&a).unwrap().is_empty());
+    }
+}

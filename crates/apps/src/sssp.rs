@@ -1,0 +1,134 @@
+//! Single-source shortest paths by (min, +) SpMSpV.
+//!
+//! Sparse-frontier Bellman-Ford: each round relaxes only the vertices
+//! whose distance improved last round, via one SpMSpV over the tropical
+//! semiring. Terminates after at most `n` rounds on graphs with
+//! non-negative weights.
+
+use tsv_core::semiring::{spmspv_semiring, MinPlus};
+use tsv_sparse::{CscMatrix, CsrMatrix, SparseError, SparseVector};
+
+/// Shortest distances from `source` over a non-negatively weighted
+/// digraph (edge `u → v` of weight `w` is entry `(u, v) = w`). Unreachable
+/// vertices get `f64::INFINITY`.
+///
+/// ```
+/// use tsv_apps::sssp;
+/// use tsv_sparse::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(3, 3);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 2, 2.0);
+/// coo.push(0, 2, 10.0);
+/// let d = sssp(&coo.to_csr(), 0).unwrap();
+/// assert_eq!(d, vec![0.0, 1.0, 3.0]);
+/// ```
+pub fn sssp(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    if source >= a.nrows() {
+        return Err(SparseError::IndexOutOfBounds {
+            row: source,
+            col: 0,
+            nrows: a.nrows(),
+            ncols: 1,
+        });
+    }
+    debug_assert!(
+        a.values().iter().all(|&w| w >= 0.0),
+        "sssp requires non-negative weights"
+    );
+    let n = a.nrows();
+    // SpMSpV pushes along columns; transpose so frontier vertices push
+    // along their out-edges.
+    let at: CscMatrix<f64> = a.transpose().to_csc();
+
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut frontier = SparseVector::from_entries(n, vec![(source as u32, 0.0)])?;
+
+    for _ in 0..n {
+        if frontier.nnz() == 0 {
+            break;
+        }
+        let candidates = spmspv_semiring::<MinPlus>(&at, &frontier)?;
+        let mut improved = Vec::new();
+        for (v, d) in candidates.iter() {
+            if d < dist[v] {
+                dist[v] = d;
+                improved.push((v as u32, d));
+            }
+        }
+        frontier = SparseVector::from_entries(n, improved)?;
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::CooMatrix;
+
+    fn weighted(n: usize, edges: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v, w) in edges {
+            coo.push(u, v, w);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn picks_the_cheaper_route() {
+        // 0 -> 2 direct costs 10; 0 -> 1 -> 2 costs 3.
+        let a = weighted(3, &[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)]);
+        let d = sssp(&a, 0).unwrap();
+        assert_eq!(d, vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn respects_edge_direction() {
+        let a = weighted(3, &[(0, 1, 1.0), (2, 1, 1.0)]);
+        let d = sssp(&a, 0).unwrap();
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite(), "2 is not reachable from 0");
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs_levels() {
+        let pattern = tsv_sparse::gen::geometric_graph(300, 4.0, 3).to_csr();
+        let d = sssp(&pattern, 0).unwrap();
+        let levels = tsv_sparse::reference::bfs_levels(&pattern, 0).unwrap();
+        for v in 0..300 {
+            if levels[v] >= 0 {
+                assert_eq!(d[v], levels[v] as f64, "vertex {v}");
+            } else {
+                assert!(d[v].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn later_rounds_can_improve_earlier_distances() {
+        // The hop-count-shorter path is more expensive; Bellman-Ford must
+        // settle on the cheaper long route.
+        let a = weighted(
+            4,
+            &[(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        );
+        let d = sssp(&a, 0).unwrap();
+        assert_eq!(d[3], 3.0);
+    }
+
+    #[test]
+    fn source_validation() {
+        let a = weighted(2, &[(0, 1, 1.0)]);
+        assert!(sssp(&a, 5).is_err());
+        let mut rect = CooMatrix::new(2, 3);
+        rect.push(0, 2, 1.0);
+        assert!(sssp(&rect.to_csr(), 0).is_err());
+    }
+}

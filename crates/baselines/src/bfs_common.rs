@@ -1,0 +1,204 @@
+//! Shared plumbing for the BFS baselines.
+
+use std::time::Duration;
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::stats::KernelStats;
+use tsv_sparse::{CsrMatrix, SparseError};
+
+/// Per-iteration record of a baseline BFS run.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineIteration {
+    /// Frontier size entering the iteration.
+    pub frontier: usize,
+    /// Strategy label (algorithm-specific; e.g. "push"/"pull").
+    pub strategy: &'static str,
+    /// Counted work of the iteration.
+    pub stats: KernelStats,
+    /// Wall time of the iteration.
+    pub wall: Duration,
+}
+
+/// Result of a baseline BFS run, shape-compatible with the TileBFS result
+/// so the harness can compare like for like.
+#[derive(Debug, Clone)]
+pub struct BaselineBfsResult {
+    /// Level of each vertex (`-1` when unreachable).
+    pub levels: Vec<i32>,
+    /// Per-iteration trace.
+    pub iterations: Vec<BaselineIteration>,
+    /// Summed work counters.
+    pub total_stats: KernelStats,
+}
+
+impl BaselineBfsResult {
+    /// Number of reached vertices.
+    pub fn reached(&self) -> usize {
+        self.levels.iter().filter(|&&l| l >= 0).count()
+    }
+
+    /// Total wall time across iterations.
+    pub fn wall(&self) -> Duration {
+        self.iterations.iter().map(|r| r.wall).sum()
+    }
+}
+
+/// Validates a square matrix and in-range source, the common precondition
+/// of every baseline.
+pub fn validate_bfs_input<T: Copy>(a: &CsrMatrix<T>, source: usize) -> Result<(), SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    if source >= a.nrows() {
+        return Err(SparseError::IndexOutOfBounds {
+            row: source,
+            col: 0,
+            nrows: a.nrows(),
+            ncols: 1,
+        });
+    }
+    Ok(())
+}
+
+/// A concurrent visited set over `n` vertices: 64 vertices per word.
+/// `try_visit` atomically claims a vertex, returning true for the winner —
+/// the idempotent-filter primitive all frontier-queue baselines rely on.
+#[derive(Debug)]
+pub struct VisitedSet {
+    words: AtomicWords,
+    n: usize,
+}
+
+impl VisitedSet {
+    /// An empty visited set.
+    pub fn new(n: usize) -> Self {
+        VisitedSet {
+            words: AtomicWords::zeroed(n.div_ceil(64)),
+            n,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when covering zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Atomically marks `v` visited; true when this call was the first.
+    #[inline]
+    pub fn try_visit(&self, v: usize) -> bool {
+        debug_assert!(v < self.n);
+        let old = self.words.fetch_or(v / 64, 1u64 << (v % 64));
+        old >> (v % 64) & 1 == 0
+    }
+
+    /// Non-atomic test.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        debug_assert!(v < self.n);
+        self.words.load(v / 64) >> (v % 64) & 1 == 1
+    }
+}
+
+/// A plain (non-atomic) bitmap over `n` vertices, used for dense frontier
+/// representations in the direction-switching baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new(n: usize) -> Self {
+        Bitmap {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// Builds from a vertex list.
+    pub fn from_list(n: usize, list: &[u32]) -> Self {
+        let mut b = Bitmap::new(n);
+        for &v in list {
+            b.set(v as usize);
+        }
+        b
+    }
+
+    /// Sets vertex `v`.
+    #[inline]
+    pub fn set(&mut self, v: usize) {
+        self.words[v / 64] |= 1u64 << (v % 64);
+    }
+
+    /// Tests vertex `v`.
+    #[inline]
+    pub fn get(&self, v: usize) -> bool {
+        self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+    use tsv_sparse::CooMatrix;
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut b = Bitmap::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 3);
+        let from = Bitmap::from_list(130, &[0, 64, 129]);
+        assert_eq!(from, b);
+    }
+
+    #[test]
+    fn try_visit_claims_once() {
+        let vs = VisitedSet::new(100);
+        assert!(vs.try_visit(42));
+        assert!(!vs.try_visit(42));
+        assert!(vs.contains(42));
+        assert!(!vs.contains(41));
+    }
+
+    #[test]
+    fn concurrent_claims_have_single_winner() {
+        let vs = VisitedSet::new(64);
+        let winners: usize = (0..1000)
+            .into_par_iter()
+            .map(|_| usize::from(vs.try_visit(7)))
+            .sum();
+        assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 3, 1.0);
+        let rect = coo.to_csr();
+        assert!(validate_bfs_input(&rect, 0).is_err());
+
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        let sq = coo.to_csr();
+        assert!(validate_bfs_input(&sq, 0).is_ok());
+        assert!(validate_bfs_input(&sq, 3).is_err());
+    }
+}

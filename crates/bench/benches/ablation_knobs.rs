@@ -1,0 +1,135 @@
+//! Ablation benches for the design knobs DESIGN.md calls out:
+//! tile size (16/32/64), the very-sparse extraction threshold, and the
+//! SpMSpV kernel choice (row vs. column form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_core::spmspv::{tile_spmspv_with, KernelChoice, SpMSpVOptions};
+use tsv_core::tile::{TileConfig, TileMatrix, TileSize};
+use tsv_sparse::gen::random_sparse_vector;
+use tsv_sparse::suite::{by_name, SuiteScale};
+
+fn bench_tile_size(c: &mut Criterion) {
+    let a = by_name("cant", SuiteScale::Tiny).unwrap().matrix;
+    let x = random_sparse_vector(a.ncols(), 0.01, 1);
+    let mut group = c.benchmark_group("ablation/tile-size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for ts in TileSize::all() {
+        let tiled = TileMatrix::from_csr(&a, TileConfig::with_size(ts)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(ts), &ts, |b, _| {
+            b.iter(|| black_box(tsv_core::spmspv::tile_spmspv(&tiled, &x).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction_threshold(c: &mut Criterion) {
+    // Power-law structure produces many near-empty tiles, the case the
+    // extraction path exists for (the paper's cryg10000 example).
+    let a = by_name("in-2004", SuiteScale::Tiny).unwrap().matrix;
+    let x = random_sparse_vector(a.ncols(), 0.01, 1);
+    let mut group = c.benchmark_group("ablation/extract-threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for threshold in [0usize, 1, 2, 4, 8] {
+        let cfg = TileConfig {
+            tile_size: TileSize::S16,
+            extract_threshold: threshold,
+            ..Default::default()
+        };
+        let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, _| b.iter(|| black_box(tsv_core::spmspv::tile_spmspv(&tiled, &x).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_choice(c: &mut Criterion) {
+    let a = by_name("cant", SuiteScale::Tiny).unwrap().matrix;
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    let mut group = c.benchmark_group("ablation/kernel-choice");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for sp in [0.1, 0.001] {
+        let x = random_sparse_vector(a.ncols(), sp, 1);
+        for (label, choice) in [
+            ("row", KernelChoice::RowTile),
+            ("col", KernelChoice::ColTile),
+        ] {
+            let opts = SpMSpVOptions {
+                kernel: choice,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, sp),
+                &sp,
+                |b, _| b.iter(|| black_box(tile_spmspv_with(&tiled, &x, opts).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_dense_threshold(c: &mut Criterion) {
+    // Full-band FEM structure: the case dense payloads exist for.
+    let a = by_name("ML_Geer", SuiteScale::Tiny).unwrap().matrix;
+    let x = random_sparse_vector(a.ncols(), 0.05, 1);
+    let mut group = c.benchmark_group("ablation/dense-threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for threshold in [2.0f64, 0.9, 0.75, 0.5, 0.25] {
+        let cfg = TileConfig {
+            dense_threshold: threshold,
+            ..Default::default()
+        };
+        let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, _| b.iter(|| black_box(tsv_core::spmspv::tile_spmspv(&tiled, &x).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_policy_thresholds(c: &mut Criterion) {
+    use tsv_core::bfs::{tile_bfs, BfsOptions, PolicyThresholds, TileBfsGraph};
+    let a = by_name("in-2004", SuiteScale::Tiny).unwrap().matrix;
+    let src = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0);
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    let mut group = c.benchmark_group("ablation/push-csc-threshold");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for density in [0.001f64, 0.01, 0.1] {
+        let opts = BfsOptions {
+            thresholds: PolicyThresholds {
+                push_csc_density: density,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(density), &density, |b, _| {
+            b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tile_size,
+    bench_extraction_threshold,
+    bench_kernel_choice,
+    bench_dense_threshold,
+    bench_policy_thresholds
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 10 bench: the cost of a single BFS iteration under each of the
+//! three directional kernels, on the figure's four matrices. The full
+//! per-iteration traces (the figure's series) come from `repro fig10`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_bench::workloads::bfs_source;
+use tsv_core::bfs::{pull_csc, push_csc, push_csr, tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_core::tile::BitFrontier;
+use tsv_sparse::suite::{by_name, SuiteScale};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for name in ["cant", "in-2004", "msdoor", "roadNet-TX"] {
+        let e = by_name(name, SuiteScale::Tiny).expect("known matrix");
+        let a = e.matrix;
+        let src = bfs_source(&a);
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let nt = g.bit().nt();
+        let n = g.n();
+
+        // Reconstruct a mid-traversal state: the frontier and mask at the
+        // iteration where the frontier peaks.
+        let full = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        let peak_level = full
+            .iterations
+            .iter()
+            .max_by_key(|it| it.frontier)
+            .map(|it| it.level as i32 - 1)
+            .unwrap_or(0);
+        let mut x = BitFrontier::new(n, nt);
+        let mut m = BitFrontier::new(n, nt);
+        for (v, &l) in full.levels.iter().enumerate() {
+            if l == peak_level {
+                x.set(v);
+            }
+            if (0..=peak_level).contains(&l) {
+                m.set(v);
+            }
+        }
+
+        group.bench_with_input(BenchmarkId::new("Push-CSC", name), &name, |b, _| {
+            b.iter(|| black_box(push_csc::push_csc(g.bit(), &x, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("Push-CSR", name), &name, |b, _| {
+            b.iter(|| black_box(push_csr::push_csr(g.bit(), &x, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("Pull-CSC", name), &name, |b, _| {
+            b.iter(|| black_box(pull_csc::pull_csc(g.bit(), &m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 11 bench: cost of converting a CSR matrix into the bitmask tile
+//! format (the preprocessing whose rate the figure compares to one BFS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_core::bfs::TileBfsGraph;
+use tsv_core::tile::{TileConfig, TileMatrix};
+use tsv_sparse::suite::{representative, SuiteScale};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for e in representative(SuiteScale::Tiny) {
+        let a = e.matrix;
+        group.bench_with_input(
+            BenchmarkId::new("bfs-format", e.name),
+            &e.name,
+            |b, _| b.iter(|| black_box(TileBfsGraph::from_csr(&a).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("numeric-format", e.name),
+            &e.name,
+            |b, _| b.iter(|| black_box(TileMatrix::from_csr(&a, TileConfig::default()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

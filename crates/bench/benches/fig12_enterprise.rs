@@ -1,0 +1,32 @@
+//! Figure 12 bench: TileBFS against the Enterprise-style BFS on the six
+//! matrices of the Enterprise comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_baselines::enterprise_bfs;
+use tsv_bench::workloads::bfs_source;
+use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_sparse::suite::{enterprise_set, SuiteScale};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for e in enterprise_set(SuiteScale::Tiny) {
+        let a = e.matrix;
+        let src = bfs_source(&a);
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("TileBFS", e.name), &e.name, |b, _| {
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("Enterprise", e.name), &e.name, |b, _| {
+            b.iter(|| black_box(enterprise_bfs(&a, src).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 6 bench: SpMSpV throughput of the four algorithms across the
+//! four vector sparsities of the paper (random vectors, seed 1).
+//!
+//! Run `cargo bench --bench fig6_spmspv`; the `repro fig6` binary prints
+//! the same comparison with GFlops and speedup aggregation over the full
+//! representative suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_baselines::{bucket_spmspv, tile_spmv, BsrMatrix};
+use tsv_core::spmspv::tile_spmspv;
+use tsv_core::tile::{TileConfig, TileMatrix};
+use tsv_sparse::gen::random_sparse_vector;
+use tsv_sparse::suite::{by_name, SuiteScale};
+
+fn bench_fig6(c: &mut Criterion) {
+    // Three structure classes: banded FEM, power-law web, road network.
+    for name in ["cant", "in-2004", "roadNet-TX"] {
+        let entry = by_name(name, SuiteScale::Tiny).expect("suite matrix");
+        let a = entry.matrix;
+        let n = a.ncols();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let bsr = BsrMatrix::from_csr(&a, 4).unwrap();
+        let csc = a.to_csc();
+
+        let mut group = c.benchmark_group(format!("fig6/{name}"));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+        for sp in [0.1, 0.01, 0.001, 0.0001] {
+            let x = random_sparse_vector(n, sp, 1);
+            let xd = x.to_dense();
+
+            group.bench_with_input(BenchmarkId::new("TileSpMSpV", sp), &sp, |b, _| {
+                b.iter(|| black_box(tile_spmspv(&tiled, &x).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("TileSpMV", sp), &sp, |b, _| {
+                b.iter(|| black_box(tile_spmv(&tiled, &xd)))
+            });
+            group.bench_with_input(BenchmarkId::new("cuSPARSE-BSR", sp), &sp, |b, _| {
+                b.iter(|| black_box(bsr.bsrmv(&xd)))
+            });
+            group.bench_with_input(BenchmarkId::new("CombBLAS-bucket", sp), &sp, |b, _| {
+                b.iter(|| black_box(bucket_spmspv(&csc, &x).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

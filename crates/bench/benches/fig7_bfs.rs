@@ -1,0 +1,36 @@
+//! Figure 7 bench: BFS wall time of TileBFS vs Gunrock vs GSwitch across
+//! graph sizes and families. `repro fig7` adds the two-device modeled
+//! times from the kernel statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_baselines::{gswitch_bfs, gunrock_bfs};
+use tsv_bench::workloads::{bfs_source, fig7_sweep};
+use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for p in fig7_sweep(11) {
+        let a = p.matrix;
+        let src = bfs_source(&a);
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let label = format!("{}-{}", p.family, a.nrows());
+
+        group.bench_with_input(BenchmarkId::new("TileBFS", &label), &label, |b, _| {
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("Gunrock", &label), &label, |b, _| {
+            b.iter(|| black_box(gunrock_bfs(&a, src).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("GSwitch", &label), &label, |b, _| {
+            b.iter(|| black_box(gswitch_bfs(&a, src).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8 bench: the three BFS implementations over the representative
+//! matrices of Table 2 (GTEPS is computed by `repro fig8` from the same
+//! runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_baselines::{gswitch_bfs, gunrock_bfs};
+use tsv_bench::workloads::bfs_source;
+use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_sparse::suite::{representative, SuiteScale};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for e in representative(SuiteScale::Tiny) {
+        let a = e.matrix;
+        let src = bfs_source(&a);
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("TileBFS", e.name), &e.name, |b, _| {
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("Gunrock", e.name), &e.name, |b, _| {
+            b.iter(|| black_box(gunrock_bfs(&a, src).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("GSwitch", e.name), &e.name, |b, _| {
+            b.iter(|| black_box(gswitch_bfs(&a, src).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

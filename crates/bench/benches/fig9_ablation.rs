@@ -1,0 +1,40 @@
+//! Figure 9 bench: step-wise stacking of the three directional kernels
+//! (K1, K1+K2, K1+K2+K3) on representative matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsv_bench::workloads::bfs_source;
+use tsv_core::bfs::{tile_bfs, BfsOptions, KernelSet, TileBfsGraph};
+use tsv_sparse::suite::{representative, SuiteScale};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for e in representative(SuiteScale::Tiny) {
+        let a = e.matrix;
+        let src = bfs_source(&a);
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+
+        for (label, set) in [
+            ("K1", KernelSet::PushCscOnly),
+            ("K1+K2", KernelSet::PushOnly),
+            ("K1+K2+K3", KernelSet::All),
+        ] {
+            let opts = BfsOptions {
+                kernels: set,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, e.name),
+                &e.name,
+                |b, _| b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

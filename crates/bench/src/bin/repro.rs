@@ -1,0 +1,636 @@
+//! `repro` — regenerates every table and figure of the TileSpMSpV paper.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|medium] [--out DIR]
+//!
+//! experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
+//! ```
+//!
+//! Each experiment prints the paper's rows/series to stdout and writes a
+//! CSV under `--out` (default `results/`). Absolute numbers come from the
+//! CPU SIMT substrate — the *shape* (who wins, by what factor, where the
+//! crossovers fall) is the reproduction target; `EXPERIMENTS.md` records
+//! both sides.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tsv_baselines::{bucket_spmspv, enterprise_bfs, gswitch_bfs, gunrock_bfs, tile_spmv, BsrMatrix};
+use tsv_bench::measure::{geomean, gflops, gteps, median_secs, useful_products};
+use tsv_bench::workloads::{bfs_source, fig6_sparsities, fig7_sweep};
+use tsv_core::bfs::{tile_bfs, BfsOptions, KernelSet, TileBfsGraph};
+use tsv_core::spmspv::tile_spmspv;
+use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
+use tsv_simt::model::total_time;
+use tsv_simt::{DeviceConfig, KernelStats, RTX_3060, RTX_3090};
+use tsv_sparse::gen::random_sparse_vector;
+use tsv_sparse::reference::bfs_edges_traversed;
+use tsv_sparse::suite::{enterprise_set, representative, SuiteScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let experiment = args[0].clone();
+    let mut scale = SuiteScale::Small;
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("tiny") => SuiteScale::Tiny,
+                    Some("small") => SuiteScale::Small,
+                    Some("medium") => SuiteScale::Medium,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out needs a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage_and_exit();
+            }
+        }
+        i += 1;
+    }
+    std::fs::create_dir_all(&out).expect("create output directory");
+
+    match experiment.as_str() {
+        "table1" => table1(),
+        "table2" => table2(scale, &out),
+        "fig6" => fig6(scale, &out),
+        "fig7" => fig7(scale, &out),
+        "fig8" => fig8(scale, &out),
+        "fig9" => fig9(scale, &out),
+        "fig10" => fig10(scale, &out),
+        "fig11" => fig11(scale, &out),
+        "fig12" => fig12(scale, &out),
+        "profile" => profile(scale),
+        "all" => {
+            table1();
+            table2(scale, &out);
+            fig6(scale, &out);
+            fig7(scale, &out);
+            fig8(scale, &out);
+            fig9(scale, &out);
+            fig10(scale, &out);
+            fig11(scale, &out);
+            fig12(scale, &out);
+        }
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|all> \
+         [--scale tiny|small|medium] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn write_csv(path: &Path, contents: &str) {
+    std::fs::write(path, contents).expect("write CSV");
+    println!("  -> wrote {}", path.display());
+}
+
+fn device_line(d: &DeviceConfig) -> String {
+    format!(
+        "{}: {} CUDA cores @ {:.2} GHz, {:.1} GB/s",
+        d.name, d.cuda_cores, d.clock_ghz, d.mem_bandwidth_gbps
+    )
+}
+
+// ---------------------------------------------------------------- Table 1
+
+fn table1() {
+    println!("== Table 1: machine specification and algorithms ==");
+    println!("Simulated devices (analytic roofline model):");
+    println!("  (1) {}", device_line(&RTX_3060));
+    println!("  (2) {}", device_line(&RTX_3090));
+    println!("SpMSpV algorithms: TileSpMV, cuSPARSE BSR (stand-in), CombBLAS bucket, TileSpMSpV (this work)");
+    println!("BFS algorithms:    Gunrock-style, GSwitch-style, Enterprise-style, TileBFS (this work)");
+    println!(
+        "Substrate: CPU SIMT emulation over {} threads\n",
+        rayon::current_num_threads()
+    );
+}
+
+// ---------------------------------------------------------------- Table 2
+
+fn table2(scale: SuiteScale, out: &Path) {
+    println!("== Table 2: representative matrices and tile counts ==");
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>9} {:>9}   (paper: rows / nnz)",
+        "matrix", "rows", "nnz", "#t(16)", "#t(32)", "#t(64)"
+    );
+    let mut csv = String::from("matrix,rows,nnz,tiles16,tiles32,tiles64,paper_rows,paper_nnz\n");
+    for e in representative(scale) {
+        let s = TileStats::for_matrix(&e.matrix);
+        println!(
+            "{:<18} {:>10} {:>10} {:>9} {:>9} {:>9}   ({} / {})",
+            e.name, s.nrows, s.nnz, s.tiles16, s.tiles32, s.tiles64, e.paper.rows, e.paper.nnz
+        );
+        writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{}",
+            e.name, s.nrows, s.nnz, s.tiles16, s.tiles32, s.tiles64, e.paper.rows, e.paper.nnz
+        )
+        .unwrap();
+    }
+    write_csv(&out.join("table2.csv"), &csv);
+    println!();
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+fn fig6(scale: SuiteScale, out: &Path) {
+    // The figure's y-axis is GFlops on the RTX 3090; the modeled device
+    // time of each kernel's counted work provides that. CPU wall times of
+    // the same runs go to the CSV for reference.
+    println!("== Figure 6: SpMSpV performance at four vector sparsities (modeled RTX 3090) ==");
+    let suite = representative(scale);
+    let mut csv = String::from(
+        "sparsity,matrix,n,nnz,useful_products,\
+         gflops_tilespmspv,gflops_tilespmv,gflops_bsr,gflops_combblas,\
+         wall_tilespmspv_ms,wall_tilespmv_ms,wall_bsr_ms,wall_combblas_ms\n",
+    );
+
+    for &sp in &fig6_sparsities() {
+        let mut vs_spmv = Vec::new();
+        let mut vs_bsr = Vec::new();
+        let mut vs_cb = Vec::new();
+
+        for e in &suite {
+            let a = &e.matrix;
+            let n = a.ncols();
+            let x = random_sparse_vector(n, sp, 1);
+            let csc = a.to_csc();
+            let useful = useful_products(&csc, &x);
+            if useful == 0 {
+                continue;
+            }
+
+            let tiled = TileMatrix::from_csr(a, TileConfig::default()).unwrap();
+            let xd = x.to_dense();
+            let bsr = BsrMatrix::from_csr(a, 4).unwrap();
+
+            // One run per algorithm collects the (deterministic) work
+            // counters; the median wall time comes from repeated runs.
+            let (_, tile_report) =
+                tsv_core::spmspv::tile_spmspv_with(&tiled, &x, Default::default()).unwrap();
+            let (_, spmv_stats) = tile_spmv(&tiled, &xd);
+            let (_, bsr_stats) = bsr.bsrmv(&xd);
+            let (_, cb_stats) = bucket_spmspv(&csc, &x).unwrap();
+
+            let m_tile = modeled_secs([tile_report.stats], &RTX_3090);
+            let m_spmv = modeled_secs([spmv_stats], &RTX_3090);
+            let m_bsr = modeled_secs([bsr_stats], &RTX_3090);
+            let m_cb = modeled_secs([cb_stats], &RTX_3090);
+
+            let w_tile = median_secs(
+                || {
+                    std::hint::black_box(tile_spmspv(&tiled, &x).unwrap());
+                },
+                3,
+                0.01,
+            );
+            let w_spmv = median_secs(
+                || {
+                    std::hint::black_box(tile_spmv(&tiled, &xd));
+                },
+                3,
+                0.01,
+            );
+            let w_bsr = median_secs(
+                || {
+                    std::hint::black_box(bsr.bsrmv(&xd));
+                },
+                3,
+                0.01,
+            );
+            let w_cb = median_secs(
+                || {
+                    std::hint::black_box(bucket_spmspv(&csc, &x).unwrap());
+                },
+                3,
+                0.01,
+            );
+
+            vs_spmv.push(m_spmv / m_tile);
+            vs_bsr.push(m_bsr / m_tile);
+            vs_cb.push(m_cb / m_tile);
+            writeln!(
+                csv,
+                "{sp},{},{n},{},{useful},{:.4},{:.4},{:.4},{:.4},{:.5},{:.5},{:.5},{:.5}",
+                e.name,
+                a.nnz(),
+                gflops(useful, m_tile),
+                gflops(useful, m_spmv),
+                gflops(useful, m_bsr),
+                gflops(useful, m_cb),
+                w_tile * 1e3,
+                w_spmv * 1e3,
+                w_bsr * 1e3,
+                w_cb * 1e3,
+            )
+            .unwrap();
+        }
+
+        println!(
+            "sparsity {:>7}: speedup vs TileSpMV geo {:>6.2}x (max {:>7.2}x) | vs cuSPARSE-BSR geo {:>6.2}x (max {:>7.2}x) | vs CombBLAS geo {:>6.2}x (max {:>7.2}x)",
+            sp,
+            geomean(&vs_spmv),
+            vs_spmv.iter().cloned().fold(0.0, f64::max),
+            geomean(&vs_bsr),
+            vs_bsr.iter().cloned().fold(0.0, f64::max),
+            geomean(&vs_cb),
+            vs_cb.iter().cloned().fold(0.0, f64::max),
+        );
+    }
+    write_csv(&out.join("fig6_spmspv.csv"), &csv);
+    println!();
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+fn fig7(scale: SuiteScale, out: &Path) {
+    println!("== Figure 7: BFS time and speedups vs matrix size, two devices ==");
+    let max_scale = match scale {
+        SuiteScale::Tiny => 11,
+        SuiteScale::Small => 14,
+        SuiteScale::Medium => 16,
+    };
+    let sweep = fig7_sweep(max_scale);
+    let mut csv = String::from(
+        "family,n,nnz,wall_tile_ms,wall_gunrock_ms,wall_gswitch_ms,\
+         m3060_tile_ms,m3060_gunrock_ms,m3060_gswitch_ms,\
+         m3090_tile_ms,m3090_gunrock_ms,m3090_gswitch_ms\n",
+    );
+    let mut sp_gun = Vec::new();
+    let mut sp_gsw = Vec::new();
+    let mut msp_gun = Vec::new();
+    let mut msp_gsw = Vec::new();
+
+    for p in &sweep {
+        let a = &p.matrix;
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+
+        let tile_run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        let gun_run = gunrock_bfs(a, src).unwrap();
+        let gsw_run = gswitch_bfs(a, src).unwrap();
+        assert_eq!(tile_run.levels, gun_run.levels, "level mismatch vs gunrock");
+        assert_eq!(tile_run.levels, gsw_run.levels, "level mismatch vs gswitch");
+
+        let w_tile = median_secs(
+            || {
+                std::hint::black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap());
+            },
+            3,
+            0.02,
+        );
+        let w_gun = median_secs(
+            || {
+                std::hint::black_box(gunrock_bfs(a, src).unwrap());
+            },
+            3,
+            0.02,
+        );
+        let w_gsw = median_secs(
+            || {
+                std::hint::black_box(gswitch_bfs(a, src).unwrap());
+            },
+            3,
+            0.02,
+        );
+
+        let t_stats: Vec<KernelStats> = tile_run.iterations.iter().map(|i| i.stats).collect();
+        let g_stats: Vec<KernelStats> = gun_run.iterations.iter().map(|i| i.stats).collect();
+        let s_stats: Vec<KernelStats> = gsw_run.iterations.iter().map(|i| i.stats).collect();
+        let m = |stats: &[KernelStats], d: &DeviceConfig| total_time(stats.iter(), d) * 1e3;
+
+        sp_gun.push(w_gun / w_tile);
+        sp_gsw.push(w_gsw / w_tile);
+        msp_gun.push(m(&g_stats, &RTX_3090) / m(&t_stats, &RTX_3090));
+        msp_gsw.push(m(&s_stats, &RTX_3090) / m(&t_stats, &RTX_3090));
+        writeln!(
+            csv,
+            "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            p.family,
+            a.nrows(),
+            a.nnz(),
+            w_tile * 1e3,
+            w_gun * 1e3,
+            w_gsw * 1e3,
+            m(&t_stats, &RTX_3060),
+            m(&g_stats, &RTX_3060),
+            m(&s_stats, &RTX_3060),
+            m(&t_stats, &RTX_3090),
+            m(&g_stats, &RTX_3090),
+            m(&s_stats, &RTX_3090),
+        )
+        .unwrap();
+        println!(
+            "  {:<10} n={:>7} nnz={:>9}  tile {:>8.3} ms | gunrock {:>8.3} ms | gswitch {:>8.3} ms",
+            p.family,
+            a.nrows(),
+            a.nnz(),
+            w_tile * 1e3,
+            w_gun * 1e3,
+            w_gsw * 1e3
+        );
+    }
+    println!(
+        "speedup of TileBFS (CPU wall):      vs Gunrock geo {:.2}x (max {:.2}x), vs GSwitch geo {:.2}x (max {:.2}x)",
+        geomean(&sp_gun),
+        sp_gun.iter().cloned().fold(0.0, f64::max),
+        geomean(&sp_gsw),
+        sp_gsw.iter().cloned().fold(0.0, f64::max),
+    );
+    println!(
+        "speedup of TileBFS (modeled 3090):  vs Gunrock geo {:.2}x (max {:.2}x), vs GSwitch geo {:.2}x (max {:.2}x)",
+        geomean(&msp_gun),
+        msp_gun.iter().cloned().fold(0.0, f64::max),
+        geomean(&msp_gsw),
+        msp_gsw.iter().cloned().fold(0.0, f64::max),
+    );
+    write_csv(&out.join("fig7_bfs.csv"), &csv);
+    println!();
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+fn fig8(scale: SuiteScale, out: &Path) {
+    // The paper's y-axis is GTEPS *on the RTX 3090*; the modeled device
+    // time provides that, while the CSV also records the CPU wall times.
+    println!("== Figure 8: BFS GTEPS on the representative matrices (modeled RTX 3090) ==");
+    let mut csv = String::from(
+        "matrix,gteps_gswitch,gteps_gunrock,gteps_tilebfs,wall_gswitch_ms,wall_gunrock_ms,wall_tilebfs_ms\n",
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "matrix", "GSwitch", "Gunrock", "TileBFS"
+    );
+    for e in representative(scale) {
+        let a = &e.matrix;
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let tile_run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        let gun_run = gunrock_bfs(a, src).unwrap();
+        let gsw_run = gswitch_bfs(a, src).unwrap();
+        let edges = bfs_edges_traversed(a, &tile_run.levels);
+
+        let m_tile = modeled_secs(tile_run.iterations.iter().map(|i| i.stats), &RTX_3090);
+        let m_gun = modeled_secs(gun_run.iterations.iter().map(|i| i.stats), &RTX_3090);
+        let m_gsw = modeled_secs(gsw_run.iterations.iter().map(|i| i.stats), &RTX_3090);
+
+        let (gt, gg, gs) = (gteps(edges, m_tile), gteps(edges, m_gun), gteps(edges, m_gsw));
+        println!("{:<18} {:>10.4} {:>10.4} {:>10.4}", e.name, gs, gg, gt);
+        writeln!(
+            csv,
+            "{},{gs:.5},{gg:.5},{gt:.5},{:.4},{:.4},{:.4}",
+            e.name,
+            gsw_run.wall().as_secs_f64() * 1e3,
+            gun_run.wall().as_secs_f64() * 1e3,
+            tile_run.wall().as_secs_f64() * 1e3,
+        )
+        .unwrap();
+    }
+    write_csv(&out.join("fig8_representative.csv"), &csv);
+    println!();
+}
+
+/// Modeled device time of a launch sequence.
+fn modeled_secs<I: IntoIterator<Item = KernelStats>>(stats: I, d: &DeviceConfig) -> f64 {
+    let list: Vec<KernelStats> = stats.into_iter().collect();
+    total_time(list.iter(), d)
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+fn fig9(scale: SuiteScale, out: &Path) {
+    println!("== Figure 9: directional-optimization ablation (K1, K1+K2, K1+K2+K3; modeled RTX 3090) ==");
+    let mut csv = String::from("matrix,gteps_k1,gteps_k1k2,gteps_all\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "matrix", "K1", "K1+K2", "K1+K2+K3"
+    );
+    for e in representative(scale) {
+        let a = &e.matrix;
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let levels = tile_bfs(&g, src, BfsOptions::default()).unwrap().levels;
+        let edges = bfs_edges_traversed(a, &levels);
+
+        // Modeled RTX 3090 time, like the figure's y-axis; the traversal is
+        // deterministic so one run yields the exact work counters.
+        let run = |set: KernelSet| {
+            let opts = BfsOptions {
+                kernels: set,
+                ..Default::default()
+            };
+            let r = tile_bfs(&g, src, opts).unwrap();
+            modeled_secs(r.iterations.iter().map(|i| i.stats), &RTX_3090)
+        };
+        let g1 = gteps(edges, run(KernelSet::PushCscOnly));
+        let g2 = gteps(edges, run(KernelSet::PushOnly));
+        let g3 = gteps(edges, run(KernelSet::All));
+        println!("{:<18} {:>10.4} {:>10.4} {:>10.4}", e.name, g1, g2, g3);
+        writeln!(csv, "{},{g1:.5},{g2:.5},{g3:.5}", e.name).unwrap();
+    }
+    write_csv(&out.join("fig9_ablation.csv"), &csv);
+    println!();
+}
+
+// --------------------------------------------------------------- Figure 10
+
+fn fig10(scale: SuiteScale, out: &Path) {
+    println!("== Figure 10: per-iteration time traces (modeled RTX 3090 ms; wall ms in CSV) ==");
+    let mut csv = String::from("matrix,algorithm,iteration,model_ms,wall_ms,strategy\n");
+    for name in ["cant", "in-2004", "msdoor", "roadNet-TX"] {
+        let e = tsv_sparse::suite::by_name(name, scale).expect("known matrix");
+        let a = &e.matrix;
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+
+        let tile_run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        for (k, it) in tile_run.iterations.iter().enumerate() {
+            writeln!(
+                csv,
+                "{name},TileBFS,{k},{:.5},{:.5},{}",
+                modeled_secs([it.stats], &RTX_3090) * 1e3,
+                it.wall.as_secs_f64() * 1e3,
+                it.kernel
+            )
+            .unwrap();
+        }
+        let gun = gunrock_bfs(a, src).unwrap();
+        for (k, it) in gun.iterations.iter().enumerate() {
+            writeln!(
+                csv,
+                "{name},Gunrock,{k},{:.5},{:.5},{}",
+                modeled_secs([it.stats], &RTX_3090) * 1e3,
+                it.wall.as_secs_f64() * 1e3,
+                it.strategy
+            )
+            .unwrap();
+        }
+        let gsw = gswitch_bfs(a, src).unwrap();
+        for (k, it) in gsw.iterations.iter().enumerate() {
+            writeln!(
+                csv,
+                "{name},GSwitch,{k},{:.5},{:.5},{}",
+                modeled_secs([it.stats], &RTX_3090) * 1e3,
+                it.wall.as_secs_f64() * 1e3,
+                it.strategy
+            )
+            .unwrap();
+        }
+        println!(
+            "  {name}: {} TileBFS iterations (kernels: {}), gunrock {}, gswitch {}",
+            tile_run.iterations.len(),
+            summarize_kernels(&tile_run),
+            gun.iterations.len(),
+            gsw.iterations.len()
+        );
+    }
+    write_csv(&out.join("fig10_iterations.csv"), &csv);
+    println!();
+}
+
+fn summarize_kernels(r: &tsv_core::bfs::BfsResult) -> String {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for it in &r.iterations {
+        *counts.entry(it.kernel.to_string()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, c)| format!("{k}x{c}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+// --------------------------------------------------------------- Figure 11
+
+fn fig11(scale: SuiteScale, out: &Path) {
+    println!("== Figure 11: format conversion time vs one BFS run ==");
+    let mut csv = String::from("matrix,convert_ms,bfs_ms,ratio\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "matrix", "convert(ms)", "bfs(ms)", "ratio"
+    );
+    for e in representative(scale) {
+        let a = &e.matrix;
+        let src = bfs_source(a);
+        let t0 = Instant::now();
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let conv = t0.elapsed().as_secs_f64();
+        let bfs = median_secs(
+            || {
+                std::hint::black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap());
+            },
+            3,
+            0.02,
+        );
+        let ratio = conv / bfs;
+        println!(
+            "{:<18} {:>12.3} {:>12.3} {:>8.2}",
+            e.name,
+            conv * 1e3,
+            bfs * 1e3,
+            ratio
+        );
+        writeln!(csv, "{},{:.5},{:.5},{:.3}", e.name, conv * 1e3, bfs * 1e3, ratio).unwrap();
+    }
+    write_csv(&out.join("fig11_conversion.csv"), &csv);
+    println!();
+}
+
+// --------------------------------------------------------------- Figure 12
+
+fn fig12(scale: SuiteScale, out: &Path) {
+    println!("== Figure 12: TileBFS vs Enterprise (modeled RTX 3090) ==");
+    let mut csv =
+        String::from("matrix,gteps_enterprise,gteps_tilebfs,wall_enterprise_ms,wall_tilebfs_ms\n");
+    println!("{:<14} {:>12} {:>12}", "matrix", "Enterprise", "TileBFS");
+    let mut speedups = Vec::new();
+    for e in enterprise_set(scale) {
+        let a = &e.matrix;
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let tile_run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        let ent_run = enterprise_bfs(a, src).unwrap();
+        assert_eq!(tile_run.levels, ent_run.levels, "level mismatch vs enterprise");
+        let edges = bfs_edges_traversed(a, &tile_run.levels);
+
+        let m_tile = modeled_secs(tile_run.iterations.iter().map(|i| i.stats), &RTX_3090);
+        let m_ent = modeled_secs(ent_run.iterations.iter().map(|i| i.stats), &RTX_3090);
+        let (gt, ge) = (gteps(edges, m_tile), gteps(edges, m_ent));
+        speedups.push(m_ent / m_tile);
+        println!("{:<14} {:>12.4} {:>12.4}", e.name, ge, gt);
+        writeln!(
+            csv,
+            "{},{ge:.5},{gt:.5},{:.4},{:.4}",
+            e.name,
+            ent_run.wall().as_secs_f64() * 1e3,
+            tile_run.wall().as_secs_f64() * 1e3,
+        )
+        .unwrap();
+    }
+    println!(
+        "speedup of TileBFS vs Enterprise: geo {:.2}x (max {:.2}x)",
+        geomean(&speedups),
+        speedups.iter().cloned().fold(0.0, f64::max)
+    );
+    write_csv(&out.join("fig12_enterprise.csv"), &csv);
+    println!();
+}
+
+// ----------------------------------------------------------------- profile
+
+/// Per-kernel breakdown of one SpMSpV sweep and one BFS per suite matrix —
+/// the diagnostic view behind the paper's iteration analysis (§4.5).
+fn profile(scale: SuiteScale) {
+    use tsv_simt::Profiler;
+    println!("== per-kernel profile over the representative suite ==");
+    let profiler = Profiler::new();
+    for e in representative(scale) {
+        let a = &e.matrix;
+        let tiled = TileMatrix::from_csr(a, TileConfig::default()).unwrap();
+
+        for sp in fig6_sparsities() {
+            let x = random_sparse_vector(a.ncols(), sp, 1);
+            let t = Instant::now();
+            let (_, report) =
+                tsv_core::spmspv::tile_spmspv_with(&tiled, &x, Default::default()).unwrap();
+            let label = format!("spmspv/{}", report.kernel);
+            profiler.record(&label, report.stats, t.elapsed());
+        }
+
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        for it in &run.iterations {
+            profiler.record(&format!("bfs/{}", it.kernel), it.stats, it.wall);
+        }
+    }
+    print!("{}", profiler.report(&RTX_3090));
+    println!();
+}

@@ -1,0 +1,11 @@
+//! Shared harness code for the benchmark suite.
+//!
+//! The Criterion benches (`benches/`) and the `repro` binary both build
+//! their workloads and metrics through this crate so that the numbers they
+//! report are directly comparable.
+
+pub mod measure;
+pub mod workloads;
+
+pub use measure::{gflops, gteps, median_secs, useful_products};
+pub use workloads::{bfs_source, fig6_sparsities, fig7_sweep, Fig7Point};

@@ -1,0 +1,100 @@
+//! Timing and metric helpers used by every experiment.
+
+use std::time::Instant;
+use tsv_sparse::{CscMatrix, SparseVector};
+
+/// Runs `f` repeatedly and returns the median wall time in seconds.
+///
+/// At least `min_iters` runs are taken, continuing until `min_total_secs`
+/// of accumulated measurement time — the usual protection against timer
+/// granularity for sub-millisecond kernels.
+pub fn median_secs<F: FnMut()>(mut f: F, min_iters: usize, min_total_secs: f64) -> f64 {
+    let mut samples = Vec::new();
+    let mut total = 0.0f64;
+    while samples.len() < min_iters || total < min_total_secs {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        samples.push(dt);
+        total += dt;
+        if samples.len() > 10_000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The useful multiply-add count of an SpMSpV: the entries in the matrix
+/// columns selected by x's nonzeros (Fig. 6's x-axis quantity).
+pub fn useful_products(a: &CscMatrix<f64>, x: &SparseVector<f64>) -> usize {
+    x.iter().map(|(j, _)| a.col_nnz(j)).sum()
+}
+
+/// GFlops given useful products (2 flops each) and seconds.
+pub fn gflops(products: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    2.0 * products as f64 / secs / 1e9
+}
+
+/// Giga-traversed-edges-per-second, the BFS metric of Figures 8, 9, 12.
+pub fn gteps(edges_traversed: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    edges_traversed as f64 / secs / 1e9
+}
+
+/// Geometric mean of a slice (the paper's average-speedup aggregation).
+pub fn geomean(vals: &[f64]) -> f64 {
+    let positive: Vec<f64> = vals.iter().copied().filter(|&v| v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::uniform_random;
+
+    #[test]
+    fn median_of_repeated_runs_is_positive() {
+        let mut n = 0u64;
+        let t = median_secs(
+            || {
+                n = n.wrapping_add(1);
+                std::hint::black_box(n);
+            },
+            5,
+            0.0,
+        );
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn useful_products_counts_selected_columns() {
+        let a = uniform_random(100, 100, 500, 1).to_csr().to_csc();
+        let x = SparseVector::from_entries(100, vec![(3, 1.0), (50, 2.0)]).unwrap();
+        let expect = a.col_nnz(3) + a.col_nnz(50);
+        assert_eq!(useful_products(&a, &x), expect);
+    }
+
+    #[test]
+    fn metric_formulas() {
+        assert!((gflops(500_000_000, 1.0) - 1.0).abs() < 1e-12);
+        assert!((gteps(2_000_000_000, 2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(gflops(10, 0.0), 0.0);
+        assert_eq!(gteps(10, 0.0), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

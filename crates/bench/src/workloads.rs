@@ -1,0 +1,75 @@
+//! Workload definitions shared by the benches and the `repro` binary.
+
+use tsv_sparse::gen::{banded, geometric_graph, rmat, RmatConfig};
+use tsv_sparse::CsrMatrix;
+
+/// The four vector sparsities of Figure 6.
+pub fn fig6_sparsities() -> [f64; 4] {
+    [0.1, 0.01, 0.001, 0.0001]
+}
+
+/// One point of the Figure 7 size sweep.
+pub struct Fig7Point {
+    /// Graph family label.
+    pub family: &'static str,
+    /// The generated matrix.
+    pub matrix: CsrMatrix<f64>,
+}
+
+/// The Figure 7 sweep: three graph families at geometrically increasing
+/// sizes, covering the x-axis (matrix size) of the figure. `max_scale`
+/// bounds the largest graph (`n ≈ 2^max_scale`).
+pub fn fig7_sweep(max_scale: u32) -> Vec<Fig7Point> {
+    let mut points = Vec::new();
+    let mut scale = 9u32;
+    while scale <= max_scale {
+        let n = 1usize << scale;
+        points.push(Fig7Point {
+            family: "banded",
+            matrix: banded(n, 16, 0.8, scale as u64).to_csr(),
+        });
+        points.push(Fig7Point {
+            family: "geometric",
+            matrix: geometric_graph(n, 4.0, scale as u64).to_csr(),
+        });
+        points.push(Fig7Point {
+            family: "rmat",
+            matrix: rmat(RmatConfig::new(scale, 8), scale as u64).to_csr(),
+        });
+        scale += 2;
+    }
+    points
+}
+
+/// Deterministic BFS source: the first vertex with outgoing edges
+/// (the paper traverses from fixed sources; isolated vertices would make
+/// the run trivial).
+pub fn bfs_source(a: &CsrMatrix<f64>) -> usize {
+    (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsities_match_figure_6() {
+        assert_eq!(fig6_sparsities(), [0.1, 0.01, 0.001, 0.0001]);
+    }
+
+    #[test]
+    fn sweep_produces_increasing_sizes() {
+        let sweep = fig7_sweep(11);
+        assert_eq!(sweep.len(), 6); // scales 9, 11 × 3 families
+        assert!(sweep.iter().all(|p| p.matrix.nnz() > 0));
+    }
+
+    #[test]
+    fn source_has_outgoing_edges() {
+        let sweep = fig7_sweep(9);
+        for p in &sweep {
+            let s = bfs_source(&p.matrix);
+            assert!(p.matrix.row_nnz(s) > 0, "{}", p.family);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Library half of the `tsv` command-line tool: matrix-source parsing and
+//! the subcommand implementations, kept out of `main.rs` so they are unit
+//! testable.
+
+pub mod source;
+
+pub use source::{load_matrix, MatrixSource};
+
+use std::time::Instant;
+use tsv_baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
+use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_core::spmspv::{tile_spmspv_with, KernelChoice, SpMSpVOptions};
+use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
+use tsv_sparse::gen::random_sparse_vector;
+use tsv_sparse::reference::bfs_edges_traversed;
+use tsv_sparse::CsrMatrix;
+
+/// Error type of the CLI: either a sparse-layer error or a usage problem.
+#[derive(Debug)]
+pub enum CliError {
+    /// Underlying matrix error.
+    Sparse(tsv_sparse::SparseError),
+    /// Bad arguments or spec.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Sparse(e) => write!(f, "{e}"),
+            CliError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<tsv_sparse::SparseError> for CliError {
+    fn from(e: tsv_sparse::SparseError) -> Self {
+        CliError::Sparse(e)
+    }
+}
+
+/// `tsv info <matrix>`: shape, nnz, symmetry, tile statistics.
+pub fn cmd_info(a: &CsrMatrix<f64>) -> String {
+    let stats = TileStats::for_matrix(a);
+    let sym = if a.nrows() == a.ncols() {
+        let t = a.transpose();
+        if t.row_ptr() == a.row_ptr() && t.col_idx() == a.col_idx() {
+            "symmetric pattern"
+        } else {
+            "asymmetric pattern"
+        }
+    } else {
+        "rectangular"
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "shape       {} x {} ({sym})\nnnz         {}  ({:.3} per row)\n",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        a.nnz() as f64 / a.nrows().max(1) as f64
+    ));
+    out.push_str(&format!(
+        "tiles 16    {} ({:.4}% of grid)\ntiles 32    {} ({:.4}% of grid)\ntiles 64    {} ({:.4}% of grid)\n",
+        stats.tiles16,
+        100.0 * stats.occupancy(tsv_core::tile::TileSize::S16),
+        stats.tiles32,
+        100.0 * stats.occupancy(tsv_core::tile::TileSize::S32),
+        stats.tiles64,
+        100.0 * stats.occupancy(tsv_core::tile::TileSize::S64),
+    ));
+    out
+}
+
+/// `tsv spmspv <matrix> --sparsity S`: one product with timing and report.
+pub fn cmd_spmspv(
+    a: &CsrMatrix<f64>,
+    sparsity: f64,
+    seed: u64,
+    kernel: KernelChoice,
+) -> Result<String, CliError> {
+    let tiled = TileMatrix::from_csr(a, TileConfig::default())?;
+    let x = random_sparse_vector(a.ncols(), sparsity, seed);
+    let opts = SpMSpVOptions {
+        kernel,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let (y, report) = tile_spmspv_with(&tiled, &x, opts)?;
+    let dt = t.elapsed();
+    Ok(format!(
+        "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
+        x.nnz(),
+        100.0 * x.sparsity(),
+        y.nnz(),
+        report.kernel,
+        dt.as_secs_f64() * 1e3,
+        report.stats.flops,
+        report.stats.gmem_bytes(),
+    ))
+}
+
+/// `tsv bfs <matrix> --source V --algo A`: one traversal with summary.
+pub fn cmd_bfs(a: &CsrMatrix<f64>, source: usize, algo: &str) -> Result<String, CliError> {
+    let t = Instant::now();
+    let levels = match algo {
+        "tile" => {
+            let g = TileBfsGraph::from_csr(a)?;
+            tile_bfs(&g, source, BfsOptions::default())?.levels
+        }
+        "gunrock" => gunrock_bfs(a, source)?.levels,
+        "gswitch" => gswitch_bfs(a, source)?.levels,
+        "enterprise" => enterprise_bfs(a, source)?.levels,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm {other:?} (tile|gunrock|gswitch|enterprise)"
+            )))
+        }
+    };
+    let dt = t.elapsed();
+    let reached = levels.iter().filter(|&&l| l >= 0).count();
+    let depth = *levels.iter().max().unwrap_or(&0);
+    let edges = bfs_edges_traversed(a, &levels);
+    Ok(format!(
+        "algorithm: {algo}\nreached: {reached}/{} vertices, depth {depth}\nedges traversed: {edges}\ntime (incl. format build): {:.3} ms\n",
+        a.nrows(),
+        dt.as_secs_f64() * 1e3,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::banded;
+
+    #[test]
+    fn info_reports_shape_and_tiles() {
+        let a = banded(100, 4, 0.8, 1).to_csr();
+        let s = cmd_info(&a);
+        assert!(s.contains("100 x 100"));
+        assert!(s.contains("symmetric pattern"));
+        assert!(s.contains("tiles 16"));
+    }
+
+    #[test]
+    fn spmspv_runs_and_reports() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto).unwrap();
+        assert!(s.contains("kernel:"));
+        assert!(s.contains("nonzeros"));
+    }
+
+    #[test]
+    fn bfs_all_algorithms_run() {
+        let a = banded(150, 4, 0.9, 2).to_csr();
+        for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
+            let s = cmd_bfs(&a, 0, algo).unwrap();
+            assert!(s.contains("reached: 150/150"), "{algo}: {s}");
+        }
+        assert!(cmd_bfs(&a, 0, "nope").is_err());
+    }
+}

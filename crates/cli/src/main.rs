@@ -1,0 +1,106 @@
+//! `tsv` — inspect, convert, multiply and traverse sparse matrices with
+//! the tiled algorithms.
+//!
+//! ```text
+//! tsv info    <matrix>
+//! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
+//! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+//! tsv convert <in> <out.mtx>
+//!
+//! <matrix>: a .mtx file, `suite:<name>[:scale]`, or `gen:<family>:<n>[...]`
+//! (see `tsv_cli::source`).
+//! ```
+
+use tsv_cli::{cmd_bfs, cmd_info, cmd_spmspv, load_matrix, CliError};
+use tsv_core::spmspv::KernelChoice;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    match cmd.as_str() {
+        "info" => {
+            let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let a = load_matrix(spec)?;
+            print!("{}", cmd_info(&a));
+        }
+        "spmspv" => {
+            let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let a = load_matrix(spec)?;
+            let sparsity = flag_f64(&args, "--sparsity")?.unwrap_or(0.01);
+            let seed = flag_f64(&args, "--seed")?.unwrap_or(1.0) as u64;
+            let kernel = match flag_str(&args, "--kernel").as_deref() {
+                None | Some("auto") => KernelChoice::Auto,
+                Some("row") => KernelChoice::RowTile,
+                Some("col") => KernelChoice::ColTile,
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown kernel {other:?} (auto|row|col)"
+                    )))
+                }
+            };
+            print!("{}", cmd_spmspv(&a, sparsity, seed, kernel)?);
+        }
+        "bfs" => {
+            let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let a = load_matrix(spec)?;
+            let source = flag_f64(&args, "--source")?.unwrap_or(0.0) as usize;
+            let algo = flag_str(&args, "--algo").unwrap_or_else(|| "tile".into());
+            print!("{}", cmd_bfs(&a, source, &algo)?);
+        }
+        "convert" => {
+            let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let out = args.get(2).ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let a = load_matrix(spec)?;
+            tsv_sparse::io::write_matrix_market(std::path::Path::new(out), &a.to_coo())?;
+            println!(
+                "wrote {} ({} x {}, {} nnz)",
+                out,
+                a.nrows(),
+                a.ncols(),
+                a.nnz()
+            );
+        }
+        "--help" | "-h" | "help" => println!("{USAGE}"),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown command {other:?}\n{USAGE}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage:
+  tsv info    <matrix>
+  tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
+  tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+  tsv convert <matrix> <out.mtx>
+
+<matrix>: a .mtx file, suite:<name>[:tiny|small|medium], or
+          gen:<family>:<n>[:<param>[:<seed>]]
+          families: banded grid geometric rmat web uniform";
+
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_f64(args: &[String], name: &str) -> Result<Option<f64>, CliError> {
+    match flag_str(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("{name} needs a number, got {v:?}"))),
+    }
+}

@@ -1,0 +1,239 @@
+//! Matrix-source parsing: MatrixMarket files, named suite analogs, or
+//! inline generator specs.
+//!
+//! Accepted forms:
+//!
+//! * `path/to/file.mtx` — MatrixMarket coordinate file;
+//! * `edges:path[:sym]` — SNAP-style edge list (`u v` per line, `#`
+//!   comments); `:sym` mirrors every edge;
+//! * `suite:<name>[:tiny|small|medium]` — a named analog from
+//!   [`tsv_sparse::suite`] (e.g. `suite:cant:small`);
+//! * `gen:<family>:<n>[:<param>[:<seed>]]` — a generator:
+//!   `gen:banded:5000:8`, `gen:geometric:10000:4.0`, `gen:rmat:12:8`,
+//!   `gen:web:20000:14`, `gen:grid:100` (100×100), `gen:uniform:1000:8000`.
+
+use crate::CliError;
+use std::path::Path;
+use tsv_sparse::gen;
+use tsv_sparse::suite::{by_name, SuiteScale};
+use tsv_sparse::CsrMatrix;
+
+/// A parsed matrix source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// MatrixMarket file path.
+    File(String),
+    /// SNAP-style edge list path; the flag mirrors edges.
+    EdgeList(String, bool),
+    /// Suite analog by SuiteSparse name and scale.
+    Suite(String, SuiteScale),
+    /// Generator family with numeric arguments.
+    Gen {
+        /// Family name (`banded`, `grid`, `geometric`, `rmat`, `web`,
+        /// `uniform`).
+        family: String,
+        /// Primary size argument.
+        n: usize,
+        /// Family-specific parameter.
+        param: f64,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+impl MatrixSource {
+    /// Parses a source spec string.
+    pub fn parse(spec: &str) -> Result<MatrixSource, CliError> {
+        if let Some(rest) = spec.strip_prefix("suite:") {
+            let mut parts = rest.split(':');
+            let name = parts
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| CliError::Usage("suite: needs a matrix name".into()))?;
+            let scale = match parts.next() {
+                None | Some("small") => SuiteScale::Small,
+                Some("tiny") => SuiteScale::Tiny,
+                Some("medium") => SuiteScale::Medium,
+                Some(other) => {
+                    return Err(CliError::Usage(format!("unknown scale {other:?}")));
+                }
+            };
+            return Ok(MatrixSource::Suite(name.to_string(), scale));
+        }
+        if let Some(rest) = spec.strip_prefix("edges:") {
+            let (path, sym) = match rest.strip_suffix(":sym") {
+                Some(p) => (p, true),
+                None => (rest, false),
+            };
+            if path.is_empty() {
+                return Err(CliError::Usage("edges: needs a file path".into()));
+            }
+            return Ok(MatrixSource::EdgeList(path.to_string(), sym));
+        }
+        if let Some(rest) = spec.strip_prefix("gen:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() < 2 {
+                return Err(CliError::Usage(
+                    "gen: needs at least family and size, e.g. gen:banded:5000".into(),
+                ));
+            }
+            let family = parts[0].to_string();
+            let n: usize = parts[1]
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad size {:?}", parts[1])))?;
+            let param: f64 = match parts.get(2) {
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad parameter {p:?}")))?,
+                None => default_param(&family),
+            };
+            let seed: u64 = match parts.get(3) {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad seed {s:?}")))?,
+                None => 1,
+            };
+            return Ok(MatrixSource::Gen {
+                family,
+                n,
+                param,
+                seed,
+            });
+        }
+        Ok(MatrixSource::File(spec.to_string()))
+    }
+}
+
+fn default_param(family: &str) -> f64 {
+    match family {
+        "banded" => 8.0,
+        "geometric" => 4.0,
+        "rmat" => 8.0,
+        "web" => 14.0,
+        "uniform" => 10.0,
+        _ => 0.0,
+    }
+}
+
+/// Loads the matrix a spec describes.
+pub fn load_matrix(spec: &str) -> Result<CsrMatrix<f64>, CliError> {
+    match MatrixSource::parse(spec)? {
+        MatrixSource::File(path) => {
+            let coo = tsv_sparse::io::read_matrix_market(Path::new(&path))?;
+            Ok(coo.to_csr())
+        }
+        MatrixSource::EdgeList(path, sym) => {
+            let file = std::fs::File::open(Path::new(&path)).map_err(tsv_sparse::SparseError::Io)?;
+            let coo = tsv_sparse::io::read_edge_list(file, None, sym)?;
+            Ok(coo.to_csr())
+        }
+        MatrixSource::Suite(name, scale) => by_name(&name, scale)
+            .map(|e| e.matrix)
+            .ok_or_else(|| CliError::Usage(format!("unknown suite matrix {name:?}"))),
+        MatrixSource::Gen {
+            family,
+            n,
+            param,
+            seed,
+        } => match family.as_str() {
+            "banded" => Ok(gen::banded(n, param as usize, 0.8, seed).to_csr()),
+            "grid" => Ok(gen::grid2d(n, n).to_csr().without_diagonal()),
+            "geometric" => Ok(gen::geometric_graph(n, param, seed).to_csr()),
+            "rmat" => Ok(gen::rmat(gen::RmatConfig::new(n as u32, param as usize), seed).to_csr()),
+            "web" => Ok(gen::webgraph(n, param, 0.8, 50, seed).to_csr()),
+            "uniform" => Ok(gen::uniform_random(n, n, param as usize * n, seed).to_csr()),
+            other => Err(CliError::Usage(format!(
+                "unknown generator family {other:?} (banded|grid|geometric|rmat|web|uniform)"
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_forms() {
+        assert_eq!(
+            MatrixSource::parse("foo.mtx").unwrap(),
+            MatrixSource::File("foo.mtx".into())
+        );
+        assert_eq!(
+            MatrixSource::parse("suite:cant:tiny").unwrap(),
+            MatrixSource::Suite("cant".into(), SuiteScale::Tiny)
+        );
+        assert_eq!(
+            MatrixSource::parse("gen:banded:500:6:9").unwrap(),
+            MatrixSource::Gen {
+                family: "banded".into(),
+                n: 500,
+                param: 6.0,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let s = MatrixSource::parse("gen:geometric:1000").unwrap();
+        assert_eq!(
+            s,
+            MatrixSource::Gen {
+                family: "geometric".into(),
+                n: 1000,
+                param: 4.0,
+                seed: 1
+            }
+        );
+        assert!(matches!(
+            MatrixSource::parse("suite:cant").unwrap(),
+            MatrixSource::Suite(_, SuiteScale::Small)
+        ));
+    }
+
+    #[test]
+    fn parses_edge_list_specs() {
+        assert_eq!(
+            MatrixSource::parse("edges:graph.txt").unwrap(),
+            MatrixSource::EdgeList("graph.txt".into(), false)
+        );
+        assert_eq!(
+            MatrixSource::parse("edges:graph.txt:sym").unwrap(),
+            MatrixSource::EdgeList("graph.txt".into(), true)
+        );
+        assert!(MatrixSource::parse("edges:").is_err());
+    }
+
+    #[test]
+    fn loads_edge_list_file() {
+        let dir = std::env::temp_dir().join("tsv_src_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.txt");
+        std::fs::write(&p, "# demo\n0 1\n1 2\n").unwrap();
+        let spec = format!("edges:{}:sym", p.to_str().unwrap());
+        let a = load_matrix(&spec).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert!(a.is_symmetric());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(MatrixSource::parse("gen:banded").is_err());
+        assert!(MatrixSource::parse("gen:banded:abc").is_err());
+        assert!(MatrixSource::parse("suite:").is_err());
+        assert!(MatrixSource::parse("suite:cant:huge").is_err());
+    }
+
+    #[test]
+    fn loads_generated_matrices() {
+        let a = load_matrix("gen:banded:200:4").unwrap();
+        assert_eq!(a.nrows(), 200);
+        let g = load_matrix("gen:grid:12").unwrap();
+        assert_eq!(g.nrows(), 144);
+        assert!(load_matrix("gen:nope:10").is_err());
+        assert!(load_matrix("suite:doesnotexist").is_err());
+        assert!(load_matrix("/no/such/file.mtx").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `tsv` binary.
+
+use std::process::Command;
+
+fn tsv(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tsv"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn info_on_generated_matrix() {
+    let (stdout, _, ok) = tsv(&["info", "gen:banded:300:5"]);
+    assert!(ok);
+    assert!(stdout.contains("300 x 300"));
+    assert!(stdout.contains("tiles 16"));
+}
+
+#[test]
+fn spmspv_on_suite_matrix() {
+    let (stdout, _, ok) = tsv(&["spmspv", "suite:cavity23:tiny", "--sparsity", "0.05"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("kernel:"));
+}
+
+#[test]
+fn bfs_all_algorithms() {
+    for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
+        let (stdout, stderr, ok) = tsv(&["bfs", "gen:geometric:500:4", "--algo", algo]);
+        assert!(ok, "{algo}: {stderr}");
+        assert!(stdout.contains("reached:"), "{algo}: {stdout}");
+    }
+}
+
+#[test]
+fn convert_roundtrips_through_mtx() {
+    let dir = std::env::temp_dir().join("tsv_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.mtx");
+    let path_str = path.to_str().unwrap();
+
+    let (stdout, _, ok) = tsv(&["convert", "gen:banded:64:3", path_str]);
+    assert!(ok, "{stdout}");
+
+    let (stdout, _, ok) = tsv(&["info", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("64 x 64"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let (_, stderr, ok) = tsv(&["info", "/no/such/file.mtx"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+
+    let (_, stderr, ok) = tsv(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = tsv(&["bfs", "gen:banded:100:3", "--algo", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = tsv(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+}

@@ -1,0 +1,438 @@
+//! TileBFS (§3.4): direction-optimized BFS over bitmask tiles.
+//!
+//! [`TileBfsGraph::from_csr`] converts an adjacency matrix into the bitmask
+//! tile structure (choosing `nt` by the paper's order rule) and
+//! [`tile_bfs`] runs the traversal, switching per iteration among
+//! [`push_csc`](push_csc::push_csc) (K1), [`push_csr`](push_csr::push_csr)
+//! (K2) and [`pull_csc`](pull_csc::pull_csc) (K3) according to frontier
+//! density and the unvisited count. Extracted very-sparse edges are applied
+//! by a separate per-iteration pass (the paper's GSwitch hybrid).
+
+pub mod policy;
+pub mod pull_csc;
+pub mod push_csc;
+pub mod push_csr;
+
+pub use policy::{KernelKind, KernelSet, PolicyThresholds};
+
+use crate::tile::{BitFrontier, BitTileMatrix, TileSize};
+use std::time::{Duration, Instant};
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::grid::launch;
+use tsv_simt::stats::KernelStats;
+use tsv_simt::warp::WARP_SIZE;
+use tsv_sparse::{CsrMatrix, SparseError};
+
+/// An adjacency matrix prepared for TileBFS.
+#[derive(Debug, Clone)]
+pub struct TileBfsGraph {
+    bit: BitTileMatrix,
+    n: usize,
+    symmetric: bool,
+}
+
+impl TileBfsGraph {
+    /// Builds the BFS structure with the paper's defaults: `nt` from the
+    /// matrix order (>10 000 → 64, else 32) and extraction threshold 2.
+    pub fn from_csr<T: Copy + Sync>(a: &CsrMatrix<T>) -> Result<Self, SparseError> {
+        Self::with_params(a, TileSize::for_bfs(a.nrows()).nt().max(32), 2)
+    }
+
+    /// Builds with explicit tile size (32 or 64) and extraction threshold.
+    ///
+    /// The graph convention is *row adjacency*: entry `(u, v)` is the edge
+    /// `u → v`, matching [`tsv_sparse::reference::bfs_levels`]. The SpMSpV
+    /// formulation `y = Ax` pushes along columns, so for an asymmetric
+    /// pattern the bitmask structure is built from `Aᵀ`; symmetric patterns
+    /// (the paper's undirected setting) skip the transpose.
+    pub fn with_params<T: Copy + Sync>(
+        a: &CsrMatrix<T>,
+        nt: usize,
+        extract_threshold: usize,
+    ) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let symmetric = pattern_symmetric(a);
+        let bit = if symmetric {
+            BitTileMatrix::from_csr(a, nt, extract_threshold)?
+        } else {
+            BitTileMatrix::from_csr(&a.transpose(), nt, extract_threshold)?
+        };
+        Ok(TileBfsGraph {
+            n: a.nrows(),
+            bit,
+            symmetric,
+        })
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying bitmask tile structure.
+    pub fn bit(&self) -> &BitTileMatrix {
+        &self.bit
+    }
+
+    /// Whether the adjacency pattern is symmetric (undirected graph); the
+    /// pull kernel is only eligible when it is.
+    pub fn symmetric(&self) -> bool {
+        self.symmetric
+    }
+}
+
+fn pattern_symmetric<T: Copy>(a: &CsrMatrix<T>) -> bool {
+    if a.nrows() != a.ncols() {
+        return false;
+    }
+    let t = a.transpose();
+    t.row_ptr() == a.row_ptr() && t.col_idx() == a.col_idx()
+}
+
+/// Options for [`tile_bfs`].
+#[derive(Debug, Clone, Copy)]
+pub struct BfsOptions {
+    /// Which kernels the policy may use (Figure 9's ablation knob).
+    pub kernels: KernelSet,
+    /// Selection thresholds.
+    pub thresholds: PolicyThresholds,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        BfsOptions {
+            kernels: KernelSet::All,
+            thresholds: PolicyThresholds::default(),
+        }
+    }
+}
+
+/// One BFS iteration's record (feeds Figures 9 and 10).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationRecord {
+    /// The level this iteration discovered (source is level 0; the first
+    /// iteration discovers level 1).
+    pub level: u32,
+    /// Kernel selected by the policy.
+    pub kernel: KernelKind,
+    /// Frontier size entering the iteration.
+    pub frontier: usize,
+    /// Vertices discovered by the iteration.
+    pub discovered: usize,
+    /// Work counters (tile kernel + extra-edge pass).
+    pub stats: KernelStats,
+    /// Wall-clock time of the iteration on the CPU substrate.
+    pub wall: Duration,
+}
+
+/// Result of a TileBFS run.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Level of each vertex (`-1` when unreachable).
+    pub levels: Vec<i32>,
+    /// Per-iteration trace.
+    pub iterations: Vec<IterationRecord>,
+    /// Summed work counters.
+    pub total_stats: KernelStats,
+}
+
+impl BfsResult {
+    /// Number of vertices reached (including the source).
+    pub fn reached(&self) -> usize {
+        self.levels.iter().filter(|&&l| l >= 0).count()
+    }
+
+    /// Total wall time across iterations.
+    pub fn wall(&self) -> Duration {
+        self.iterations.iter().map(|r| r.wall).sum()
+    }
+}
+
+/// Runs TileBFS from `source`.
+///
+/// ```
+/// use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+///
+/// let a = tsv_sparse::gen::grid2d(12, 12).to_csr().without_diagonal();
+/// let g = TileBfsGraph::from_csr(&a).unwrap();
+/// let result = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+///
+/// assert_eq!(result.levels, tsv_sparse::reference::bfs_levels(&a, 0).unwrap());
+/// assert_eq!(result.reached(), 144);
+/// ```
+pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<BfsResult, SparseError> {
+    if source >= g.n {
+        return Err(SparseError::IndexOutOfBounds {
+            row: source,
+            col: 0,
+            nrows: g.n,
+            ncols: 1,
+        });
+    }
+    let nt = g.bit.nt();
+    let n = g.n;
+    let mut levels = vec![-1i32; n];
+    levels[source] = 0;
+
+    let mut x = BitFrontier::new(n, nt);
+    x.set(source);
+    let mut m = x.clone();
+    let mut visited = 1usize;
+
+    let mut iterations = Vec::new();
+    let mut total_stats = KernelStats::default();
+    let mut level = 0u32;
+
+    loop {
+        let frontier = x.count_ones();
+        if frontier == 0 {
+            break;
+        }
+        let density = frontier as f64 / n as f64;
+        let unvisited_frac = (n - visited) as f64 / n as f64;
+        let kernel = policy::choose(
+            density,
+            unvisited_frac,
+            opts.kernels,
+            g.symmetric(),
+            opts.thresholds,
+        );
+
+        let start = Instant::now();
+        let (mut y, mut stats) = match kernel {
+            KernelKind::PushCsc => push_csc::push_csc(&g.bit, &x, &m),
+            KernelKind::PushCsr => push_csr::push_csr(&g.bit, &x, &m),
+            KernelKind::PullCsc => pull_csc::pull_csc(&g.bit, &m),
+        };
+        if g.bit.extra_nnz() > 0 {
+            let (y2, extra_stats) = extra_pass(&g.bit, &x, &m, y);
+            y = y2;
+            stats += extra_stats;
+        }
+        let wall = start.elapsed();
+
+        let discovered = y.count_ones();
+        iterations.push(IterationRecord {
+            level: level + 1,
+            kernel,
+            frontier,
+            discovered,
+            stats,
+            wall,
+        });
+        total_stats += stats;
+
+        if discovered == 0 {
+            break;
+        }
+        level += 1;
+        for v in y.iter_vertices() {
+            levels[v] = level as i32;
+        }
+        visited += discovered;
+        m.or_assign(&y);
+        x = y;
+    }
+
+    Ok(BfsResult {
+        levels,
+        iterations,
+        total_stats,
+    })
+}
+
+/// Applies the extracted very-sparse edges for one iteration. The pass is
+/// frontier-driven (like the GSwitch traversal the paper delegates this
+/// part to): only the out-lists of frontier vertices are walked, each
+/// unvisited target joining `y`.
+fn extra_pass(
+    bit: &BitTileMatrix,
+    x: &BitFrontier,
+    m: &BitFrontier,
+    y: BitFrontier,
+) -> (BitFrontier, KernelStats) {
+    let nt = y.nt();
+    let n = y.len();
+    let words = AtomicWords::from_vec(y.words().to_vec());
+    let frontier: Vec<u32> = x.iter_vertices().map(|v| v as u32).collect();
+    let chunk = WARP_SIZE;
+    let n_warps = frontier.len().div_ceil(chunk);
+
+    let stats = launch(n_warps, |warp| {
+        let start = warp.warp_id * chunk;
+        let end = (start + chunk).min(frontier.len());
+        for &c in &frontier[start..end] {
+            warp.stats.read(4); // the frontier vertex (streamed)
+            warp.stats.read_scattered(8); // extra_src_ptr probe
+            let out = bit.extra_out(c as usize);
+            warp.stats.read(out.len() * 4);
+            for &r in out {
+                let r = r as usize;
+                warp.stats.read_scattered(8); // mask probe
+                if !m.get(r) {
+                    words.fetch_or(r / nt, 1u64 << (r % nt));
+                    warp.stats.atomic(1);
+                }
+            }
+            warp.stats.lane_steps += out.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
+        }
+    });
+
+    let mut out = BitFrontier::new(n, nt);
+    out.set_words(words.into_vec());
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::{geometric_graph, grid2d, rmat, RmatConfig};
+    use tsv_sparse::reference::bfs_levels;
+    use tsv_sparse::CooMatrix;
+
+    fn assert_levels_match(a: &CsrMatrix<f64>, source: usize, opts: BfsOptions) {
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let result = tile_bfs(&g, source, opts).unwrap();
+        let expect = bfs_levels(a, source).unwrap();
+        assert_eq!(result.levels, expect, "kernels {:?}", opts.kernels);
+    }
+
+    #[test]
+    fn matches_serial_bfs_on_grid() {
+        let a = grid2d(20, 15).to_csr().without_diagonal();
+        for set in [KernelSet::PushCscOnly, KernelSet::PushOnly, KernelSet::All] {
+            assert_levels_match(
+                &a,
+                0,
+                BfsOptions {
+                    kernels: set,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_bfs_on_powerlaw() {
+        let a = rmat(RmatConfig::new(9, 8), 3).to_csr();
+        // Pick a source with outgoing edges.
+        let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap();
+        for set in [KernelSet::PushCscOnly, KernelSet::PushOnly, KernelSet::All] {
+            assert_levels_match(
+                &a,
+                source,
+                BfsOptions {
+                    kernels: set,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_bfs_on_road_like_graph() {
+        let a = geometric_graph(600, 4.0, 9).to_csr();
+        let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap();
+        assert_levels_match(&a, source, BfsOptions::default());
+    }
+
+    #[test]
+    fn matches_serial_bfs_with_extraction() {
+        let a = rmat(RmatConfig::new(8, 3), 7).to_csr();
+        let g = TileBfsGraph::with_params(&a, 32, 3).unwrap();
+        assert!(g.bit().extra_nnz() > 0);
+        let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap();
+        let result = tile_bfs(&g, source, BfsOptions::default()).unwrap();
+        assert_eq!(result.levels, bfs_levels(&a, source).unwrap());
+    }
+
+    #[test]
+    fn directed_graph_disables_pull_and_stays_correct() {
+        // Directed cycle: asymmetric pattern.
+        let n = 50;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push((i + 1) % n, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        assert!(!g.symmetric());
+        let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+        assert_eq!(r.levels, bfs_levels(&a, 0).unwrap());
+        assert!(r
+            .iterations
+            .iter()
+            .all(|it| it.kernel != KernelKind::PullCsc));
+    }
+
+    #[test]
+    fn pull_kernel_engages_near_the_end() {
+        // Dense frontier + nearly-complete coverage triggers K3 on a small
+        // symmetric graph when thresholds are loose.
+        let a = grid2d(30, 30).to_csr().without_diagonal();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let opts = BfsOptions {
+            kernels: KernelSet::All,
+            thresholds: PolicyThresholds {
+                push_csc_density: 0.01,
+                pull_unvisited_frac: 0.5,
+            },
+        };
+        let r = tile_bfs(&g, 0, opts).unwrap();
+        assert_eq!(r.levels, bfs_levels(&a, 0).unwrap());
+        assert!(
+            r.iterations.iter().any(|it| it.kernel == KernelKind::PullCsc),
+            "expected at least one pull iteration"
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_keep_minus_one() {
+        let mut coo = CooMatrix::new(70, 70);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(5, 6, 1.0);
+        coo.push(6, 5, 1.0);
+        let a = coo.to_csr();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+        assert_eq!(r.reached(), 2);
+        assert_eq!(r.levels[5], -1);
+    }
+
+    #[test]
+    fn trace_records_iterations() {
+        let a = grid2d(10, 10).to_csr().without_diagonal();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+        // 10x10 grid from a corner: 18 levels.
+        let max_level = *r.levels.iter().max().unwrap() as usize;
+        assert_eq!(max_level, 18);
+        assert!(r.iterations.len() >= max_level);
+        assert_eq!(
+            r.iterations.iter().map(|i| i.discovered).sum::<usize>(),
+            r.reached() - 1
+        );
+        assert!(r.wall() > Duration::ZERO);
+        assert!(r.total_stats.warps > 0);
+    }
+
+    #[test]
+    fn invalid_source_rejected() {
+        let a = grid2d(4, 4).to_csr();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        assert!(tile_bfs(&g, 99, BfsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn bfs_rule_picks_tile_size_by_order() {
+        let small = grid2d(10, 10).to_csr();
+        let g = TileBfsGraph::from_csr(&small).unwrap();
+        assert_eq!(g.bit().nt(), 32);
+    }
+}

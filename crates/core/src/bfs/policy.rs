@@ -1,0 +1,152 @@
+//! Per-iteration kernel selection (§3.4's three rules).
+
+/// The three direction-optimized kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// K1 — vector-driven push over column bitmask tiles.
+    PushCsc,
+    /// K2 — matrix-driven push over row bitmask tiles.
+    PushCsr,
+    /// K3 — pull from unvisited vertices.
+    PullCsc,
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelKind::PushCsc => write!(f, "Push-CSC"),
+            KernelKind::PushCsr => write!(f, "Push-CSR"),
+            KernelKind::PullCsc => write!(f, "Pull-CSC"),
+        }
+    }
+}
+
+/// Which kernels the policy may choose — the step-wise stacking of the
+/// Figure 9 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelSet {
+    /// K1 only.
+    PushCscOnly,
+    /// K1 + K2.
+    PushOnly,
+    /// K1 + K2 + K3 (the full TileBFS).
+    All,
+}
+
+/// Tunable thresholds of the selection rules.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyThresholds {
+    /// Frontier density below which Push-CSC is chosen (paper: 0.01).
+    pub push_csc_density: f64,
+    /// Unvisited fraction below which Pull-CSC is chosen ("the number of
+    /// unvisited vertices is small").
+    pub pull_unvisited_frac: f64,
+}
+
+impl Default for PolicyThresholds {
+    fn default() -> Self {
+        PolicyThresholds {
+            push_csc_density: 0.01,
+            pull_unvisited_frac: 0.05,
+        }
+    }
+}
+
+/// Selects the kernel for one iteration.
+///
+/// `frontier_density` is `nnz(x)/n`; `unvisited_frac` is
+/// `(n - |visited|)/n`; `symmetric` gates the pull kernel (its
+/// column-check is only an in-neighbor check on symmetric patterns).
+pub fn choose(
+    frontier_density: f64,
+    unvisited_frac: f64,
+    set: KernelSet,
+    symmetric: bool,
+    th: PolicyThresholds,
+) -> KernelKind {
+    match set {
+        KernelSet::PushCscOnly => KernelKind::PushCsc,
+        KernelSet::PushOnly => push_rule(frontier_density, th),
+        KernelSet::All => {
+            if symmetric && unvisited_frac < th.pull_unvisited_frac {
+                KernelKind::PullCsc
+            } else {
+                push_rule(frontier_density, th)
+            }
+        }
+    }
+}
+
+fn push_rule(frontier_density: f64, th: PolicyThresholds) -> KernelKind {
+    if frontier_density < th.push_csc_density {
+        KernelKind::PushCsc
+    } else {
+        KernelKind::PushCsr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TH: PolicyThresholds = PolicyThresholds {
+        push_csc_density: 0.01,
+        pull_unvisited_frac: 0.05,
+    };
+
+    #[test]
+    fn sparse_frontier_pushes_csc() {
+        assert_eq!(
+            choose(0.001, 0.9, KernelSet::All, true, TH),
+            KernelKind::PushCsc
+        );
+    }
+
+    #[test]
+    fn dense_frontier_pushes_csr() {
+        assert_eq!(
+            choose(0.2, 0.5, KernelSet::All, true, TH),
+            KernelKind::PushCsr
+        );
+        // Boundary: exactly 0.01 is "greater than or equal" → Push-CSR.
+        assert_eq!(
+            choose(0.01, 0.5, KernelSet::All, true, TH),
+            KernelKind::PushCsr
+        );
+    }
+
+    #[test]
+    fn few_unvisited_pulls() {
+        assert_eq!(
+            choose(0.2, 0.01, KernelSet::All, true, TH),
+            KernelKind::PullCsc
+        );
+    }
+
+    #[test]
+    fn pull_disabled_for_directed_graphs() {
+        assert_eq!(
+            choose(0.2, 0.01, KernelSet::All, false, TH),
+            KernelKind::PushCsr
+        );
+    }
+
+    #[test]
+    fn restricted_sets_honored() {
+        assert_eq!(
+            choose(0.5, 0.01, KernelSet::PushCscOnly, true, TH),
+            KernelKind::PushCsc
+        );
+        assert_eq!(
+            choose(0.5, 0.01, KernelSet::PushOnly, true, TH),
+            KernelKind::PushCsr
+        );
+    }
+
+    #[test]
+    fn kernel_names_display() {
+        assert_eq!(KernelKind::PushCsc.to_string(), "Push-CSC");
+        assert_eq!(KernelKind::PushCsr.to_string(), "Push-CSR");
+        assert_eq!(KernelKind::PullCsc.to_string(), "Pull-CSC");
+    }
+}

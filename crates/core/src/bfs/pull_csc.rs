@@ -1,0 +1,162 @@
+//! Pull-CSC (K3): the pull kernel of Algorithm 7.
+//!
+//! The input vector is the *complement of the mask* (the unvisited
+//! vertices, Fig. 5's `x₃ = ¬m₃`). Each unvisited vertex checks its own
+//! matrix column against the visited mask; on the first non-empty
+//! intersection the vertex joins the next frontier and the warp stops
+//! scanning its remaining tiles (line 10's early exit).
+//!
+//! The column-of-own-index check finds *out*-neighbors under `y = Ax`; it
+//! equals the in-neighbor check exactly when the adjacency pattern is
+//! symmetric, which is why the policy only selects this kernel for
+//! undirected graphs (the paper's BFS setting). Because completed BFS
+//! layers guarantee every visited neighbor of an unvisited vertex sits in
+//! the *current* frontier, testing against `m` (as the paper does) yields
+//! the same level assignment as testing against `x`.
+
+use crate::tile::bitvec::iter_bits;
+use crate::tile::{BitFrontier, BitTileMatrix};
+use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::stats::KernelStats;
+
+/// Discovers the next frontier by pulling from unvisited vertices; returns
+/// the newly discovered vertices and the kernel's work counters.
+pub fn pull_csc(a: &BitTileMatrix, m: &BitFrontier) -> (BitFrontier, KernelStats) {
+    let nt = a.nt();
+    let word_bytes = nt / 8;
+    let unvisited = m.complement();
+    let mut y_words = vec![0u64; a.n_tiles()];
+
+    let stats = launch_over_chunks(&mut y_words, 1, |warp, out| {
+        let ct = warp.warp_id; // vertex tile = column tile of its own column
+        let uw = unvisited.word(ct);
+        warp.stats.read(word_bytes);
+        if uw == 0 {
+            return;
+        }
+        let mut found = 0u64;
+        for lc in iter_bits(uw) {
+            // Scan the stored tiles of this column until a visited parent
+            // shows up.
+            for t in a.col_tile_range(ct) {
+                let rt = a.csc_row_tile(t);
+                let col_word = a.csc_tile_words(t)[lc];
+                warp.stats.read(4);
+                warp.stats.read_scattered(2 * word_bytes); // column + mask words
+                warp.stats.bitop(1);
+                if col_word & m.word(rt) != 0 {
+                    found |= 1u64 << lc;
+                    break; // early exit, Algorithm 7 line 10
+                }
+            }
+            warp.stats.lane_steps += 1;
+        }
+        if found != 0 {
+            warp.stats.write(word_bytes);
+        }
+        out[0] = found;
+    });
+
+    let mut out = BitFrontier::new(m.len(), nt);
+    out.set_words(y_words);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::push_csc::push_csc;
+    use tsv_sparse::gen::banded;
+    use tsv_sparse::CooMatrix;
+
+    fn chain(n: usize) -> BitTileMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        BitTileMatrix::from_csr(&coo.to_csr(), 32, 0).unwrap()
+    }
+
+    #[test]
+    fn pull_matches_push_when_frontier_is_last_layer() {
+        let a = chain(64);
+        // Visited = {0..=10}; last layer = {10}; next layer must be {11}.
+        let mut m = BitFrontier::new(64, 32);
+        for v in 0..=10 {
+            m.set(v);
+        }
+        let mut x = BitFrontier::new(64, 32);
+        x.set(10);
+        let (y_pull, _) = pull_csc(&a, &m);
+        let (y_push, _) = push_csc(&a, &x, &m);
+        assert_eq!(y_pull, y_push);
+        assert_eq!(y_pull.iter_vertices().collect::<Vec<_>>(), vec![11]);
+    }
+
+    #[test]
+    fn nearly_complete_traversal_is_cheap() {
+        let a = chain(96);
+        let mut m = BitFrontier::new(96, 32);
+        for v in 0..95 {
+            m.set(v);
+        }
+        let (y, stats) = pull_csc(&a, &m);
+        assert_eq!(y.iter_vertices().collect::<Vec<_>>(), vec![95]);
+        // Only tiles of unvisited vertices pay more than a word read.
+        assert!(stats.gmem_bytes() < 96 * 16);
+    }
+
+    #[test]
+    fn early_exit_stops_at_first_parent() {
+        // Star: vertex 1 connects to everything; all visited except 0.
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        for v in 0..n {
+            if v != 1 {
+                coo.push(1, v, 1.0);
+                coo.push(v, 1, 1.0);
+            }
+        }
+        let a = BitTileMatrix::from_csr(&coo.to_csr(), 32, 0).unwrap();
+        let mut m = BitFrontier::new(n, 32);
+        for v in 1..n {
+            m.set(v);
+        }
+        let (y, _) = pull_csc(&a, &m);
+        assert_eq!(y.iter_vertices().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn all_visited_discovers_nothing() {
+        let a = chain(32);
+        let mut m = BitFrontier::new(32, 32);
+        for v in 0..32 {
+            m.set(v);
+        }
+        let (y, _) = pull_csc(&a, &m);
+        assert!(y.none());
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_undiscovered() {
+        let a = banded(64, 2, 1.0, 1);
+        let mut csr = a.to_csr();
+        // Remove row/col 63 connections by rebuilding without them.
+        let mut coo = CooMatrix::new(64, 64);
+        for (r, c, v) in csr.iter() {
+            if r < 60 && c < 60 {
+                coo.push(r, c, v);
+            }
+        }
+        csr = coo.to_csr();
+        let bit = BitTileMatrix::from_csr(&csr, 32, 0).unwrap();
+        let mut m = BitFrontier::new(64, 32);
+        for v in 0..60 {
+            m.set(v);
+        }
+        let (y, _) = pull_csc(&bit, &m);
+        // 60..64 have no visited parents (no edges at all).
+        assert!(y.none());
+    }
+}

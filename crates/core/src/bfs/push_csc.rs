@@ -1,0 +1,126 @@
+//! Push-CSC (K1): the vector-driven push kernel of Algorithm 5.
+//!
+//! One warp per frontier *nonzero* (vertex), exactly as the paper assigns
+//! work: the warp's lanes take the stored tiles of the vertex's column
+//! tile, each reading the one column word of its tile, masking visited
+//! vertices (`sum = (NOT (mask AND col)) AND col`, line 4), and merging
+//! into the output frontier with `atomicOr`.
+//!
+//! Work scales with `frontier nonzeros × tiles per column` — vanishing for
+//! very sparse frontiers (the policy's `< 0.01` rule) but re-reading each
+//! tile once per frontier bit in its column tile when the frontier is
+//! dense, which is the regime Push-CSR (K2) takes over.
+
+use crate::tile::{BitFrontier, BitTileMatrix};
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::grid::launch;
+use tsv_simt::stats::KernelStats;
+
+/// Expands the frontier `x` one level; returns the newly discovered
+/// vertices (`y & !m`) and the kernel's work counters.
+pub fn push_csc(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
+    let nt = a.nt();
+    let word_bytes = nt / 8;
+    let y = AtomicWords::zeroed(a.n_tiles());
+
+    // The frontier nonzeros, each one warp's work unit (Algorithm 5's
+    // "32 threads process the nonzeros of a vector").
+    let frontier: Vec<u32> = x.iter_vertices().map(|v| v as u32).collect();
+
+    let stats = launch(frontier.len(), |warp| {
+        let v = frontier[warp.warp_id] as usize;
+        let ct = v / nt;
+        let lc = v % nt;
+        warp.stats.read(4); // the frontier entry
+
+        // Lanes stripe over the stored tiles of this column tile; each
+        // reads column word `lc` of its tile. The tile-id list is
+        // contiguous, but the single column word per tile and the mask
+        // word are random accesses.
+        for t in a.col_tile_range(ct) {
+            let rt = a.csc_row_tile(t);
+            let col_word = a.csc_tile_words(t)[lc];
+            warp.stats.read(4);
+            warp.stats.read_scattered(word_bytes);
+            // sum = (NOT (mask AND col)) AND col  ==  col & !mask
+            let sum = col_word & !m.word(rt);
+            warp.stats.read_scattered(word_bytes);
+            warp.stats.bitop(2);
+            if sum != 0 {
+                y.fetch_or(rt, sum);
+                warp.stats.atomic(1);
+            }
+        }
+        let tiles = a.col_tile_range(ct).len();
+        warp.stats.lane_steps += tiles.div_ceil(32) as u64 * 32;
+    });
+
+    let mut out = BitFrontier::new(x.len(), nt);
+    out.set_words(y.into_vec());
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::CooMatrix;
+
+    fn chain_graph(n: usize) -> BitTileMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        BitTileMatrix::from_csr(&coo.to_csr(), 32, 0).unwrap()
+    }
+
+    #[test]
+    fn expands_one_level() {
+        let a = chain_graph(100);
+        let mut x = BitFrontier::new(100, 32);
+        x.set(50);
+        let mut m = x.clone();
+        let (y, stats) = push_csc(&a, &x, &m);
+        assert_eq!(y.iter_vertices().collect::<Vec<_>>(), vec![49, 51]);
+        assert!(stats.atomics > 0);
+        assert_eq!(stats.warps, 1);
+
+        // Second level from {49, 51}.
+        m.or_assign(&y);
+        let (y2, _) = push_csc(&a, &y, &m);
+        assert_eq!(y2.iter_vertices().collect::<Vec<_>>(), vec![48, 52]);
+    }
+
+    #[test]
+    fn visited_vertices_are_masked_out() {
+        let a = chain_graph(64);
+        let mut x = BitFrontier::new(64, 32);
+        x.set(10);
+        let mut m = x.clone();
+        m.set(9); // pretend 9 already visited
+        let (y, _) = push_csc(&a, &x, &m);
+        assert_eq!(y.iter_vertices().collect::<Vec<_>>(), vec![11]);
+    }
+
+    #[test]
+    fn cross_tile_edges_propagate() {
+        // Edge spanning tiles 0 and 1 (vertices 31, 32 with nt=32).
+        let a = chain_graph(64);
+        let mut x = BitFrontier::new(64, 32);
+        x.set(31);
+        let m = x.clone();
+        let (y, _) = push_csc(&a, &x, &m);
+        assert_eq!(y.iter_vertices().collect::<Vec<_>>(), vec![30, 32]);
+    }
+
+    #[test]
+    fn empty_frontier_is_free() {
+        let a = chain_graph(64);
+        let x = BitFrontier::new(64, 32);
+        let m = BitFrontier::new(64, 32);
+        let (y, stats) = push_csc(&a, &x, &m);
+        assert!(y.none());
+        assert_eq!(stats.warps, 0);
+        assert_eq!(stats.gmem_bytes(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Push-CSR (K2): the matrix-driven push kernel of Algorithm 6.
+//!
+//! One warp per *row tile*, mirroring the numeric row kernel: the warp
+//! scans its stored tiles, skips those whose frontier word is zero, and for
+//! the rest tests each row word against the frontier (`A_row AND x != 0`
+//! sets the row's output bit). Work scans all stored tiles but each costs
+//! O(1) when its frontier word is empty — the right trade once the
+//! frontier is dense (the `>= 0.01` rule).
+//!
+//! **Long row tiles** (§3.4: "for row tiles which is very long, the load
+//! will be unbalanced... we introduce the method of splitting long row
+//! tiles and use multiple warps to process them"): a row tile with more
+//! than [`SPLIT_LEN`] stored tiles is divided into segments, one warp per
+//! segment, whose partial words merge into `y` with `atomicOr`. Short row
+//! tiles keep the atomic-free single-warp path.
+
+use crate::tile::{BitFrontier, BitTileMatrix};
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::grid::launch;
+use tsv_simt::stats::KernelStats;
+
+/// Stored tiles per warp segment when a row tile is split.
+pub const SPLIT_LEN: usize = 64;
+
+/// Expands the frontier `x` one level; returns the newly discovered
+/// vertices (`y & !m`) and the kernel's work counters.
+pub fn push_csr(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
+    let nt = a.nt();
+    let word_bytes = nt / 8;
+
+    // Work list: (row tile, segment) pairs; short row tiles are a single
+    // segment, long ones split every SPLIT_LEN stored tiles.
+    let mut segments: Vec<(u32, u32)> = Vec::with_capacity(a.n_tiles());
+    for rt in 0..a.n_tiles() {
+        let len = a.row_tile_range(rt).len();
+        let n_seg = len.div_ceil(SPLIT_LEN).max(1);
+        for s in 0..n_seg {
+            segments.push((rt as u32, s as u32));
+        }
+    }
+
+    let y = AtomicWords::zeroed(a.n_tiles());
+    let stats = launch(segments.len(), |warp| {
+        let (rt, seg) = segments[warp.warp_id];
+        let rt = rt as usize;
+        let range = a.row_tile_range(rt);
+        let split = range.len() > SPLIT_LEN;
+        let start = range.start + seg as usize * SPLIT_LEN;
+        let end = (start + SPLIT_LEN).min(range.end);
+
+        let mut acc = 0u64;
+        for t in start..end {
+            let ct = a.csr_col_tile(t);
+            let xw = x.word(ct);
+            warp.stats.read(4); // col-tile id (streamed)
+            warp.stats.read_scattered(word_bytes); // frontier word lookup
+            if xw == 0 {
+                continue; // line 3 of Algorithm 6
+            }
+            let words = a.csr_tile_words(t);
+            warp.stats.read(nt * word_bytes);
+            for (r, &w) in words.iter().enumerate() {
+                if w & xw != 0 {
+                    acc |= 1u64 << r;
+                }
+            }
+            warp.stats.bitop(nt);
+            warp.stats.lane_steps += nt as u64;
+        }
+        // sum = (NOT (mask AND acc)) AND acc, then one merge per segment.
+        let fresh = acc & !m.word(rt);
+        warp.stats.read(word_bytes);
+        warp.stats.bitop(2);
+        if fresh != 0 {
+            if split {
+                // Multiple warps share this output word.
+                y.fetch_or(rt, fresh);
+                warp.stats.atomic(1);
+            } else {
+                y.fetch_or(rt, fresh); // uncontended: plain store on GPU
+                warp.stats.write(word_bytes);
+            }
+        }
+    });
+
+    let mut out = BitFrontier::new(x.len(), nt);
+    out.set_words(y.into_vec());
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::push_csc::push_csc;
+    use tsv_sparse::gen::{banded, rmat, RmatConfig};
+    use tsv_sparse::CooMatrix;
+
+    #[test]
+    fn matches_push_csc_on_random_frontiers() {
+        let a = rmat(RmatConfig::new(8, 4), 6).to_csr();
+        let bit = BitTileMatrix::from_csr(&a, 32, 0).unwrap();
+        let n = a.nrows();
+        let mut x = BitFrontier::new(n, 32);
+        for v in [0usize, 7, 100, 200] {
+            x.set(v % n);
+        }
+        let mut m = x.clone();
+        m.set(3);
+        let (y_csr, _) = push_csr(&bit, &x, &m);
+        let (y_csc, _) = push_csc(&bit, &x, &m);
+        assert_eq!(y_csr, y_csc);
+    }
+
+    #[test]
+    fn empty_frontier_words_skip_tiles() {
+        let a = banded(128, 3, 1.0, 1).to_csr();
+        let bit = BitTileMatrix::from_csr(&a, 32, 0).unwrap();
+        let x = BitFrontier::new(128, 32);
+        let m = BitFrontier::new(128, 32);
+        let (y, stats) = push_csr(&bit, &x, &m);
+        assert!(y.none());
+        // Only the per-tile header reads, never tile bodies.
+        assert_eq!(stats.bitops, 2 * bit.n_tiles() as u64);
+    }
+
+    #[test]
+    fn dense_frontier_discovers_everything_reachable() {
+        let mut coo = CooMatrix::new(40, 40);
+        for i in 0..39 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        let bit = BitTileMatrix::from_csr(&coo.to_csr(), 32, 0).unwrap();
+        let mut x = BitFrontier::new(40, 32);
+        for v in 0..40 {
+            x.set(v);
+        }
+        let m = BitFrontier::new(40, 32);
+        let (y, _) = push_csr(&bit, &x, &m);
+        // Every vertex has a frontier neighbor.
+        assert_eq!(y.count_ones(), 40);
+    }
+
+    #[test]
+    fn long_row_tiles_split_across_warps() {
+        // One row tile connected to > SPLIT_LEN column tiles: vertex 0
+        // linked to one vertex in each of 100 tiles (nt = 32).
+        let n = 32 * (SPLIT_LEN + 40);
+        let mut coo = CooMatrix::new(n, n);
+        for ct in 1..(SPLIT_LEN + 40) {
+            let v = ct * 32 + 5;
+            coo.push(0, v, 1.0);
+            coo.push(v, 0, 1.0);
+        }
+        let bit = BitTileMatrix::from_csr(&coo.to_csr(), 32, 0).unwrap();
+        assert!(bit.row_tile_range(0).len() > SPLIT_LEN);
+
+        // Frontier = all the remote vertices; they all push into row tile 0.
+        let mut x = BitFrontier::new(n, 32);
+        for ct in 1..(SPLIT_LEN + 40) {
+            x.set(ct * 32 + 5);
+        }
+        let m = BitFrontier::new(n, 32);
+        let (y, stats) = push_csr(&bit, &x, &m);
+        assert!(y.get(0), "vertex 0 must be discovered");
+        // The split produced more warps than row tiles with stored tiles.
+        let populated: usize = (0..bit.n_tiles())
+            .filter(|&rt| !bit.row_tile_range(rt).is_empty())
+            .count();
+        assert!(
+            stats.warps as usize > populated,
+            "expected split segments: {} warps for {} populated row tiles",
+            stats.warps,
+            populated
+        );
+        assert!(stats.atomics > 0, "split segments merge atomically");
+
+        // And the result matches the unsplit direction.
+        let (y_csc, _) = push_csc(&bit, &x, &m);
+        assert_eq!(y, y_csc);
+    }
+
+    #[test]
+    fn short_row_tiles_use_no_atomics() {
+        let a = banded(96, 4, 0.9, 5).to_csr();
+        let bit = BitTileMatrix::from_csr(&a, 32, 0).unwrap();
+        let mut x = BitFrontier::new(96, 32);
+        x.set(50);
+        let m = x.clone();
+        let (_, stats) = push_csr(&bit, &x, &m);
+        assert_eq!(stats.atomics, 0);
+    }
+}

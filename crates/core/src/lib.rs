@@ -1,0 +1,26 @@
+//! The TileSpMSpV paper's contribution, as a library.
+//!
+//! Three layers, mirroring §3 of the paper:
+//!
+//! 1. [`tile`] — the tiled storage structures (§3.2): sparse matrices split
+//!    into `nt × nt` sparse tiles held in a tile-level CSR/CSC with
+//!    compressed intra-tile indices; very sparse tiles extracted into a side
+//!    COO matrix; sparse vectors in the `x_ptr`/`x_tile` form of Fig. 3;
+//!    bitmask tiles and bit frontier vectors for BFS.
+//! 2. [`spmspv`] — the TileSpMSpV algorithm (§3.3): the warp-per-row-tile
+//!    CSR-form kernel of Algorithm 4, a vector-driven CSC-form kernel, the
+//!    side-COO pass, and automatic kernel selection by vector sparsity.
+//! 3. [`bfs`] — the TileBFS algorithm (§3.4): Push-CSC, Push-CSR and
+//!    Pull-CSC bitmask kernels with the paper's direction-switching policy.
+//!
+//! [`semiring`] supplies the GraphBLAS-style algebra the paper frames its
+//! kernels in (AND/OR for BFS, +/× for numeric SpMSpV).
+
+pub mod bfs;
+pub mod semiring;
+pub mod spmspv;
+pub mod tile;
+
+pub use bfs::{tile_bfs, BfsOptions, BfsResult, TileBfsGraph};
+pub use spmspv::{tile_spmspv, tile_spmspv_with, SpMSpVOptions};
+pub use tile::{TileConfig, TileMatrix, TileSize, TiledVector};

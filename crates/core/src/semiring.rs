@@ -1,0 +1,268 @@
+//! GraphBLAS-style semirings.
+//!
+//! The paper frames SpMSpV in the GraphBLAS setting: BFS is SpMSpV over the
+//! boolean (OR, AND) semiring, numeric products use (+, ×), shortest paths
+//! use (min, +). The tiled numeric kernels in [`crate::spmspv`] are
+//! specialized to (+, ×) `f64` for speed; this module provides the generic
+//! algebra plus a reference column-driven SpMSpV over any semiring, used
+//! both as an oracle and as the general-purpose API.
+
+use tsv_sparse::{CscMatrix, SparseError, SparseVector};
+
+/// A semiring `(add, mul, zero)` over element type `T`.
+///
+/// `zero` must be the identity of `add` and annihilate `mul`
+/// (`mul(zero, x) = zero`); implementations rely on both to skip implicit
+/// zeros.
+pub trait Semiring: Copy + Send + Sync {
+    /// Element type.
+    type T: Copy + PartialEq + Send + Sync;
+
+    /// The additive identity / multiplicative annihilator.
+    fn zero() -> Self::T;
+
+    /// Semiring addition (the merge operator).
+    fn add(a: Self::T, b: Self::T) -> Self::T;
+
+    /// Semiring multiplication (the scale operator).
+    fn mul(a: Self::T, b: Self::T) -> Self::T;
+}
+
+/// The arithmetic semiring `(+, ×)` over `f64` — numeric SpMSpV.
+#[derive(Debug, Clone, Copy)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type T = f64;
+
+    fn zero() -> f64 {
+        0.0
+    }
+
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The boolean semiring `(OR, AND)` — reachability / BFS frontier
+/// expansion, the algebra of the paper's bitmask kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct OrAnd;
+
+impl Semiring for OrAnd {
+    type T = bool;
+
+    fn zero() -> bool {
+        false
+    }
+
+    fn add(a: bool, b: bool) -> bool {
+        a | b
+    }
+
+    fn mul(a: bool, b: bool) -> bool {
+        a & b
+    }
+}
+
+/// The tropical semiring `(min, +)` over `f64` — single-source shortest
+/// path relaxation. `zero` is `+∞`.
+#[derive(Debug, Clone, Copy)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type T = f64;
+
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// `(max, ×)` over non-negative `f64` — maximum-reliability paths.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxTimes;
+
+impl Semiring for MaxTimes {
+    type T = f64;
+
+    fn zero() -> f64 {
+        0.0
+    }
+
+    fn add(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// Column-driven SpMSpV `y = A ⊕.⊗ x` over an arbitrary semiring
+/// (Algorithm 2 generalized). Entries equal to `S::zero()` are dropped
+/// from the output.
+///
+/// ```
+/// use tsv_core::semiring::{spmspv_semiring, MinPlus};
+/// use tsv_sparse::{CooMatrix, SparseVector};
+///
+/// // One (min, +) step relaxes the source's out-edges.
+/// let mut coo = CooMatrix::new(3, 3);
+/// coo.push(1, 0, 2.0); // edge 0 -> 1 of weight 2
+/// coo.push(2, 1, 1.0); // edge 1 -> 2 of weight 1
+/// let a = coo.to_csc();
+/// let x = SparseVector::from_entries(3, vec![(0, 0.0)]).unwrap();
+/// let y = spmspv_semiring::<MinPlus>(&a, &x).unwrap();
+/// assert_eq!(y.get(1), Some(2.0));
+/// ```
+pub fn spmspv_semiring<S: Semiring>(
+    a: &CscMatrix<S::T>,
+    x: &SparseVector<S::T>,
+) -> Result<SparseVector<S::T>, SparseError> {
+    if a.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmspv_semiring",
+            expected: a.ncols(),
+            found: x.len(),
+        });
+    }
+    let mut acc = vec![S::zero(); a.nrows()];
+    let mut touched = vec![false; a.nrows()];
+    for (j, xj) in x.iter() {
+        if xj == S::zero() {
+            continue;
+        }
+        let (rows, vals) = a.col(j);
+        for (&i, &aij) in rows.iter().zip(vals) {
+            let i = i as usize;
+            acc[i] = S::add(acc[i], S::mul(aij, xj));
+            touched[i] = true;
+        }
+    }
+    let mut indices = Vec::new();
+    let mut out_vals = Vec::new();
+    for i in 0..a.nrows() {
+        if touched[i] && acc[i] != S::zero() {
+            indices.push(i as u32);
+            out_vals.push(acc[i]);
+        }
+    }
+    SparseVector::from_parts(a.nrows(), indices, out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::CooMatrix;
+
+    fn graph() -> CooMatrix<f64> {
+        // 0 -> 1 (w 2), 0 -> 2 (w 5), 1 -> 2 (w 1): stored as A[dst][src].
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(1, 0, 2.0);
+        coo.push(2, 0, 5.0);
+        coo.push(2, 1, 1.0);
+        coo
+    }
+
+    #[test]
+    fn plus_times_matches_reference() {
+        let a = graph().to_csc();
+        let x = SparseVector::from_entries(3, vec![(0, 3.0)]).unwrap();
+        let y = spmspv_semiring::<PlusTimes>(&a, &x).unwrap();
+        assert_eq!(y.get(1), Some(6.0));
+        assert_eq!(y.get(2), Some(15.0));
+        let oracle = tsv_sparse::reference::spmspv_col(&a, &x).unwrap();
+        assert_eq!(y, oracle);
+    }
+
+    #[test]
+    fn or_and_expands_frontier() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(1, 0, true);
+        coo.push(2, 1, true);
+        let a = coo.to_csc_bool();
+        let x = SparseVector::from_entries(3, vec![(0, true)]).unwrap();
+        let y = spmspv_semiring::<OrAnd>(&a, &x).unwrap();
+        assert_eq!(y.indices(), &[1]);
+    }
+
+    #[test]
+    fn min_plus_relaxes_distances() {
+        let a = graph().to_csc();
+        // Distance 0 at the source; min-plus multiply gives edge-relaxed
+        // distances of the out-neighbors.
+        let x = SparseVector::from_entries(3, vec![(0, 0.0)]).unwrap();
+        let y = spmspv_semiring::<MinPlus>(&a, &x).unwrap();
+        assert_eq!(y.get(1), Some(2.0));
+        assert_eq!(y.get(2), Some(5.0));
+
+        // Two frontier entries: vertex 2 takes the min over paths.
+        let x2 = SparseVector::from_entries(3, vec![(0, 0.0), (1, 2.0)]).unwrap();
+        let y2 = spmspv_semiring::<MinPlus>(&a, &x2).unwrap();
+        assert_eq!(y2.get(2), Some(3.0), "min(0+5, 2+1)");
+    }
+
+    #[test]
+    fn max_times_takes_best_product() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 0, 0.5);
+        let a = coo.to_csc();
+        let x = SparseVector::from_entries(2, vec![(0, 0.8)]).unwrap();
+        let y = spmspv_semiring::<MaxTimes>(&a, &x).unwrap();
+        assert!((y.get(1).unwrap() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_inputs_are_skipped() {
+        let a = graph().to_csc();
+        let x = SparseVector::<f64>::zeros(3);
+        let y = spmspv_semiring::<PlusTimes>(&a, &x).unwrap();
+        assert_eq!(y.nnz(), 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = graph().to_csc();
+        let x = SparseVector::<f64>::zeros(5);
+        assert!(spmspv_semiring::<PlusTimes>(&a, &x).is_err());
+    }
+
+    /// Helper: convert an f64 COO into a bool CSC.
+    trait ToBool {
+        fn to_csc_bool(&self) -> CscMatrix<bool>;
+    }
+
+    impl ToBool for CooMatrix<bool> {
+        fn to_csc_bool(&self) -> CscMatrix<bool> {
+            // bool lacks Add; route through u8.
+            let mut coo = CooMatrix::new(self.nrows(), self.ncols());
+            for (r, c, v) in self.iter() {
+                if v {
+                    coo.push(r, c, 1u8);
+                }
+            }
+            let csr = coo.to_csr();
+            let csc = csr.to_csc();
+            CscMatrix::from_parts(
+                csc.nrows(),
+                csc.ncols(),
+                csc.col_ptr().to_vec(),
+                csc.row_idx().to_vec(),
+                csc.values().iter().map(|&v| v != 0).collect(),
+            )
+            .unwrap()
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The hybrid pass over extracted very-sparse entries (§3.2.1).
+//!
+//! Entries that were pulled out of the tiled structure live in a
+//! column-indexed COO side matrix. The pass is *vector-driven*, like the
+//! GSwitch traversal the paper delegates this part to: only the columns
+//! matching `x`'s nonzeros are touched, each entry contributing one
+//! multiply merged into `y` with an atomic add. Warps process contiguous
+//! chunks of the frontier's nonzero list.
+
+use crate::tile::TileMatrix;
+use tsv_simt::atomic::AtomicF64s;
+use tsv_simt::grid::launch;
+use tsv_simt::stats::KernelStats;
+use tsv_simt::warp::WARP_SIZE;
+use tsv_sparse::SparseVector;
+
+/// Vector nonzeros per warp.
+const CHUNK: usize = WARP_SIZE;
+
+/// Accumulates `extra * x` into the padded `y` buffer; returns the updated
+/// buffer and the pass's work counters.
+pub fn coo_kernel(
+    a: &TileMatrix,
+    x: &SparseVector<f64>,
+    y_padded: Vec<f64>,
+) -> (Vec<f64>, KernelStats) {
+    if a.extra().nnz() == 0 || x.nnz() == 0 {
+        return (y_padded, KernelStats::default());
+    }
+    let y = AtomicF64s::from_vec(y_padded);
+    let idx = x.indices();
+    let vals = x.values();
+    let n_warps = x.nnz().div_ceil(CHUNK);
+
+    let stats = launch(n_warps, |warp| {
+        let start = warp.warp_id * CHUNK;
+        let end = (start + CHUNK).min(x.nnz());
+        for k in start..end {
+            let j = idx[k] as usize;
+            let xj = vals[k];
+            warp.stats.read(4 + 8); // the x entry (streamed)
+            warp.stats.read_scattered(8); // extra_col_ptr[j]
+            let (rows, evals) = a.extra_col(j);
+            warp.stats.read(rows.len() * 12);
+            for (&r, &v) in rows.iter().zip(evals) {
+                y.add(r as usize, v * xj);
+                warp.stats.flop(2);
+                warp.stats.atomic(1);
+                warp.stats.write_scattered(8);
+            }
+            warp.stats.lane_steps += rows.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
+        }
+    });
+
+    (y.into_vec(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{TileConfig, TileSize};
+    use tsv_sparse::CooMatrix;
+
+    /// A matrix whose tiles all hold a single entry, so everything is
+    /// extracted at threshold 2.
+    fn all_extracted() -> TileMatrix {
+        let mut coo = CooMatrix::new(64, 64);
+        coo.push(1, 2, 3.0);
+        coo.push(1, 20, 10.0);
+        coo.push(40, 2, -1.0);
+        let cfg = TileConfig {
+            tile_size: TileSize::S16,
+            extract_threshold: 2,
+            ..Default::default()
+        };
+        TileMatrix::from_csr(&coo.to_csr(), cfg).unwrap()
+    }
+
+    #[test]
+    fn accumulates_products_into_existing_y() {
+        let a = all_extracted();
+        assert_eq!(a.extra().nnz(), 3);
+        let x = SparseVector::from_entries(64, vec![(2, 2.0)]).unwrap();
+        let y0 = vec![0.5; 64];
+        let (y, stats) = coo_kernel(&a, &x, y0);
+        assert!((y[1] - (0.5 + 6.0)).abs() < 1e-12);
+        assert!((y[40] - (0.5 - 2.0)).abs() < 1e-12);
+        assert_eq!(y[0], 0.5);
+        // Column 20 is never touched: only the two column-2 entries count.
+        assert_eq!(stats.flops, 4);
+        assert_eq!(stats.atomics, 2);
+    }
+
+    #[test]
+    fn untouched_columns_cost_nothing() {
+        let a = all_extracted();
+        let x = SparseVector::from_entries(64, vec![(50, 1.0)]).unwrap();
+        let (y, stats) = coo_kernel(&a, &x, vec![0.0; 64]);
+        assert!(y.iter().all(|&v| v == 0.0));
+        assert_eq!(stats.flops, 0);
+        // Only the per-nonzero probes, no entry traffic.
+        assert_eq!(stats.gmem_read_bytes, 4 + 8 + 8);
+    }
+
+    #[test]
+    fn empty_inputs_are_free() {
+        let a = all_extracted();
+        let (y, stats) = coo_kernel(&a, &SparseVector::zeros(64), vec![1.0; 64]);
+        assert_eq!(y, vec![1.0; 64]);
+        assert_eq!(stats, KernelStats::default());
+    }
+
+    #[test]
+    fn large_frontiers_split_across_warps() {
+        let mut coo = CooMatrix::new(1000, 1000);
+        for i in 0..1000 {
+            coo.push(i, i, 1.0);
+        }
+        // A diagonal tile holds 16 entries; threshold 16 extracts them all.
+        let cfg = TileConfig {
+            tile_size: TileSize::S16,
+            extract_threshold: 16,
+            ..Default::default()
+        };
+        let a = TileMatrix::from_csr(&coo.to_csr(), cfg).unwrap();
+        assert_eq!(a.extra().nnz(), 1000);
+        let x = SparseVector::from_parts(1000, (0..1000).collect(), vec![2.0; 1000]).unwrap();
+        let (y, stats) = coo_kernel(&a, &x, vec![0.0; 1008]);
+        assert!(y[..1000].iter().all(|&v| v == 2.0));
+        assert!(stats.warps > 1);
+    }
+}

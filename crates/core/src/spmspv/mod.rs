@@ -1,0 +1,297 @@
+//! The TileSpMSpV algorithm (§3.3).
+//!
+//! Entry points:
+//!
+//! * [`tile_spmspv`] — compute `y = A x` with default options.
+//! * [`tile_spmspv_with`] — same, returning an [`ExecReport`] with the
+//!   kernel that ran and its work counters.
+//!
+//! Two numeric kernels implement the two traversal directions of §2.1:
+//!
+//! * [`row_kernel`] (CSR form, Algorithm 4) — one warp per *row tile*; each
+//!   stored tile looks up its vector tile in O(1) through `x_ptr` and is
+//!   skipped outright when the vector tile is empty.
+//! * [`col_kernel`] (CSC form) — vector-driven: only the column tiles
+//!   matching non-empty vector tiles are touched, merging into `y` with
+//!   atomic adds.
+//!
+//! The extracted very-sparse entries are applied by [`coo_kernel`] in a
+//! separate pass (§3.2.1's hybrid scheme). [`KernelChoice::Auto`] picks the
+//! column kernel for very sparse vectors (the paper's 0.01 rule) and the
+//! row kernel otherwise.
+
+pub mod col_kernel;
+pub mod coo_kernel;
+pub mod row_kernel;
+
+pub use col_kernel::col_kernel;
+pub use coo_kernel::coo_kernel;
+pub use row_kernel::row_kernel;
+
+use crate::tile::{TileMatrix, TiledVector};
+use tsv_simt::stats::KernelStats;
+use tsv_sparse::{SparseError, SparseVector};
+
+/// Which numeric kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Select by input-vector sparsity (the default).
+    Auto,
+    /// Force the matrix-driven CSR-form kernel (Algorithm 4).
+    RowTile,
+    /// Force the vector-driven CSC-form kernel.
+    ColTile,
+}
+
+/// Options for [`tile_spmspv_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpMSpVOptions {
+    /// Kernel selection policy.
+    pub kernel: KernelChoice,
+    /// `Auto` picks the column kernel when `nnz(x)/n` falls below this
+    /// (the paper's Push-CSC threshold of 0.01).
+    pub csc_threshold: f64,
+}
+
+impl Default for SpMSpVOptions {
+    fn default() -> Self {
+        SpMSpVOptions {
+            kernel: KernelChoice::Auto,
+            csc_threshold: 0.01,
+        }
+    }
+}
+
+/// Which kernel actually executed, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelUsed {
+    /// CSR-form row-tile kernel.
+    RowTile,
+    /// CSC-form column-push kernel.
+    ColTile,
+}
+
+impl std::fmt::Display for KernelUsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelUsed::RowTile => write!(f, "row-tile (CSR form)"),
+            KernelUsed::ColTile => write!(f, "col-tile (CSC form)"),
+        }
+    }
+}
+
+/// Execution record of one SpMSpV call.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecReport {
+    /// The kernel that ran.
+    pub kernel: KernelUsed,
+    /// Work counters of the tile kernel plus the COO pass.
+    pub stats: KernelStats,
+    /// Floating point operations that define the GFlops metric of Fig. 6:
+    /// `2 × (useful multiply-adds performed)`.
+    pub useful_flops: u64,
+}
+
+/// `y = A x` with default options.
+///
+/// ```
+/// use tsv_core::spmspv::tile_spmspv;
+/// use tsv_core::tile::{TileConfig, TileMatrix};
+///
+/// let a = tsv_sparse::gen::banded(200, 4, 0.9, 7).to_csr();
+/// let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+/// let x = tsv_sparse::gen::random_sparse_vector(200, 0.05, 1);
+/// let y = tile_spmspv(&tiled, &x).unwrap();
+///
+/// let expect = tsv_sparse::reference::spmspv_row(&a, &x).unwrap();
+/// assert!(y.max_abs_diff(&expect) < 1e-9);
+/// ```
+pub fn tile_spmspv(
+    a: &TileMatrix,
+    x: &SparseVector<f64>,
+) -> Result<SparseVector<f64>, SparseError> {
+    tile_spmspv_with(a, x, SpMSpVOptions::default()).map(|(y, _)| y)
+}
+
+/// `y = A x`, reporting the kernel used and its counted work.
+pub fn tile_spmspv_with(
+    a: &TileMatrix,
+    x: &SparseVector<f64>,
+    opts: SpMSpVOptions,
+) -> Result<(SparseVector<f64>, ExecReport), SparseError> {
+    if a.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "tile_spmspv",
+            expected: a.ncols(),
+            found: x.len(),
+        });
+    }
+    let xt = TiledVector::from_sparse(x, a.nt());
+
+    let kernel = match opts.kernel {
+        KernelChoice::RowTile => KernelUsed::RowTile,
+        KernelChoice::ColTile => KernelUsed::ColTile,
+        KernelChoice::Auto => {
+            if x.sparsity() < opts.csc_threshold {
+                KernelUsed::ColTile
+            } else {
+                KernelUsed::RowTile
+            }
+        }
+    };
+
+    let (y_padded, mut stats) = match kernel {
+        KernelUsed::RowTile => row_kernel(a, &xt),
+        KernelUsed::ColTile => col_kernel(a, &xt),
+    };
+
+    // Hybrid pass over the extracted very-sparse entries, driven by x's
+    // nonzeros so untouched columns cost nothing.
+    let (y_padded, coo_stats) = coo_kernel(a, x, y_padded);
+    stats += coo_stats;
+
+    let useful_flops = stats.flops;
+    let y = compact(&y_padded, a.nrows());
+    Ok((
+        y,
+        ExecReport {
+            kernel,
+            stats,
+            useful_flops,
+        },
+    ))
+}
+
+/// Compacts a padded dense result (length `m_tiles * nt`) into a logical
+/// sparse vector of length `n`.
+fn compact(y_padded: &[f64], n: usize) -> SparseVector<f64> {
+    SparseVector::from_dense(&y_padded[..n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{TileConfig, TileSize};
+    use tsv_sparse::gen::{banded, random_sparse_vector, rmat, uniform_random, RmatConfig};
+    use tsv_sparse::reference::spmspv_row;
+    use tsv_sparse::CsrMatrix;
+
+    fn check_against_reference(a: &CsrMatrix<f64>, x: &SparseVector<f64>, cfg: TileConfig) {
+        let tiled = TileMatrix::from_csr(a, cfg).unwrap();
+        let expect = spmspv_row(a, x).unwrap();
+        for choice in [KernelChoice::RowTile, KernelChoice::ColTile, KernelChoice::Auto] {
+            let opts = SpMSpVOptions {
+                kernel: choice,
+                ..Default::default()
+            };
+            let (y, report) = tile_spmspv_with(&tiled, x, opts).unwrap();
+            assert!(
+                y.max_abs_diff(&expect) < 1e-9,
+                "kernel {choice:?} diverged: {} entries vs {}",
+                y.nnz(),
+                expect.nnz()
+            );
+            assert!(report.stats.warps > 0 || x.nnz() == 0 || tiled.num_tiles() == 0);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_banded() {
+        let a = banded(200, 8, 0.7, 3).to_csr();
+        for sparsity in [0.1, 0.01, 0.5] {
+            let x = random_sparse_vector(200, sparsity, 1);
+            for ts in TileSize::all() {
+                check_against_reference(&a, &x, TileConfig::with_size(ts));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_extraction() {
+        let a = uniform_random(300, 300, 1500, 7).to_csr();
+        let x = random_sparse_vector(300, 0.05, 1);
+        let cfg = TileConfig {
+            tile_size: TileSize::S16,
+            extract_threshold: 3,
+            ..Default::default()
+        };
+        check_against_reference(&a, &x, cfg);
+    }
+
+    #[test]
+    fn matches_reference_on_powerlaw() {
+        let a = rmat(RmatConfig::new(9, 6), 2).to_csr();
+        let x = random_sparse_vector(a.ncols(), 0.02, 1);
+        check_against_reference(&a, &x, TileConfig::default());
+    }
+
+    #[test]
+    fn rectangular_matrices_supported() {
+        let a = uniform_random(150, 400, 2000, 5).to_csr();
+        let x = random_sparse_vector(400, 0.1, 1);
+        check_against_reference(&a, &x, TileConfig::default());
+    }
+
+    #[test]
+    fn empty_vector_yields_empty_result() {
+        let a = banded(64, 4, 0.8, 1).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let x = SparseVector::<f64>::zeros(64);
+        let y = tile_spmspv(&tiled, &x).unwrap();
+        assert_eq!(y.nnz(), 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = banded(64, 4, 0.8, 1).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let x = SparseVector::<f64>::zeros(65);
+        assert!(matches!(
+            tile_spmspv(&tiled, &x),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_selects_by_sparsity() {
+        let a = banded(5000, 6, 0.8, 1).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+
+        let dense_x = random_sparse_vector(5000, 0.1, 1);
+        let (_, r) = tile_spmspv_with(&tiled, &dense_x, SpMSpVOptions::default()).unwrap();
+        assert_eq!(r.kernel, KernelUsed::RowTile);
+
+        let sparse_x = random_sparse_vector(5000, 0.001, 1);
+        let (_, r) = tile_spmspv_with(&tiled, &sparse_x, SpMSpVOptions::default()).unwrap();
+        assert_eq!(r.kernel, KernelUsed::ColTile);
+    }
+
+    #[test]
+    fn sparse_vectors_do_less_work() {
+        // The defining property of TileSpMSpV: work scales with the
+        // non-empty vector tiles, not with the matrix.
+        let a = banded(4000, 8, 0.9, 2).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+
+        let dense_x = random_sparse_vector(4000, 0.5, 1);
+        let sparse_x = random_sparse_vector(4000, 0.001, 1);
+        let opts = SpMSpVOptions {
+            kernel: KernelChoice::ColTile,
+            ..Default::default()
+        };
+        let (_, dense_r) = tile_spmspv_with(&tiled, &dense_x, opts).unwrap();
+        let (_, sparse_r) = tile_spmspv_with(&tiled, &sparse_x, opts).unwrap();
+        assert!(
+            sparse_r.stats.gmem_bytes() < dense_r.stats.gmem_bytes() / 10,
+            "sparse x should touch far less memory: {} vs {}",
+            sparse_r.stats.gmem_bytes(),
+            dense_r.stats.gmem_bytes()
+        );
+    }
+
+    #[test]
+    fn kernel_used_displays() {
+        assert!(KernelUsed::RowTile.to_string().contains("CSR"));
+        assert!(KernelUsed::ColTile.to_string().contains("CSC"));
+    }
+}

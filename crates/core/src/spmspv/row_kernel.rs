@@ -1,0 +1,127 @@
+//! The CSR-form TileSpMSpV kernel (Algorithm 4).
+//!
+//! One warp per row tile. For each stored tile of the row tile the warp
+//! reads the tile's column-tile id, resolves the matching vector tile in
+//! O(1) via `x_ptr`, and — only when that vector tile is non-empty — loads
+//! it (the paper stages it in shared memory) and accumulates the tile-local
+//! products into the row tile's private slice of `y`. Because a row tile
+//! owns its `nt` output rows, no atomics are needed.
+
+use crate::tile::{TileMatrix, TiledVector};
+use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::stats::KernelStats;
+
+/// Runs the row-tile kernel; returns `y` padded to `m_tiles * nt` and the
+/// work counters.
+pub fn row_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
+    let nt = a.nt();
+    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
+    let mut y = vec![0.0f64; a.m_tiles() * nt];
+    if a.m_tiles() == 0 {
+        return (y, KernelStats::default());
+    }
+
+    let stats = launch_over_chunks(&mut y, nt, |warp, y_tile| {
+        let rt = warp.warp_id;
+        // Tile-level CSR walk of this row tile.
+        for t in a.row_tile_range(rt) {
+            let view = a.tile(t);
+            warp.stats.read(4); // A_tile_colid[tile_id] (streamed)
+            warp.stats.read_scattered(4); // x_ptr[tile_colid]
+            let Some(x_tile) = x.tile(view.col_tile) else {
+                continue; // x_offset == -1: skip the whole tile
+            };
+            // Load the vector tile and the tile body ("into shared memory").
+            warp.stats.read(nt * 8);
+            match view.dense {
+                Some(d) => {
+                    // Dense payload: full nt×nt FMA sweep, no index decode.
+                    warp.stats.read(nt * nt * 8);
+                    for lr in 0..nt {
+                        let row = &d[lr * nt..(lr + 1) * nt];
+                        let mut sum = 0.0;
+                        for (v, xv) in row.iter().zip(x_tile) {
+                            sum += v * xv;
+                        }
+                        y_tile[lr] += sum;
+                    }
+                    warp.stats.flop(2 * nt * nt);
+                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+                }
+                None => {
+                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + 8));
+                    // Lanes are striped over the tile rows (two lanes per
+                    // row at nt = 16); on the CPU the warp walks its rows
+                    // in order, each row reducing its partial sums exactly
+                    // as the __shfl_down_sync pair of Algorithm 4 would.
+                    for lr in 0..nt {
+                        let (cols, vals) = view.row(lr);
+                        if cols.is_empty() {
+                            continue;
+                        }
+                        let mut sum = 0.0;
+                        for (&lc, &v) in cols.iter().zip(vals) {
+                            sum += v * x_tile[lc as usize];
+                        }
+                        warp.stats.flop(2 * cols.len());
+                        y_tile[lr] += sum;
+                    }
+                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                }
+            }
+        }
+        // Row tile writes its outputs once.
+        warp.stats.write(nt * 8);
+    });
+
+    (y, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{TileConfig, TileSize};
+    use tsv_sparse::gen::{banded, random_sparse_vector};
+    use tsv_sparse::reference::spmspv_row;
+    use tsv_sparse::SparseVector;
+
+    #[test]
+    fn kernel_matches_reference_padded() {
+        let a = banded(100, 5, 0.8, 1).to_csr();
+        let tm = TileMatrix::from_csr(&a, TileConfig::with_size(TileSize::S16)).unwrap();
+        let x = random_sparse_vector(100, 0.2, 1);
+        let xt = TiledVector::from_sparse(&x, 16);
+        let (y, stats) = row_kernel(&tm, &xt);
+        assert_eq!(y.len(), tm.m_tiles() * 16);
+        let expect = spmspv_row(&a, &x).unwrap().to_dense();
+        for i in 0..100 {
+            assert!((y[i] - expect[i]).abs() < 1e-9, "row {i}");
+        }
+        // Padding stays zero.
+        assert!(y[100..].iter().all(|&v| v == 0.0));
+        assert_eq!(stats.warps as usize, tm.m_tiles());
+    }
+
+    #[test]
+    fn empty_x_tiles_are_skipped() {
+        // x empty → every tile skipped → only header reads counted.
+        let a = banded(160, 5, 0.8, 2).to_csr();
+        let tm = TileMatrix::from_csr(&a, TileConfig::with_size(TileSize::S16)).unwrap();
+        let empty = TiledVector::from_sparse(&SparseVector::zeros(160), 16);
+        let (y, stats) = row_kernel(&tm, &empty);
+        assert!(y.iter().all(|&v| v == 0.0));
+        assert_eq!(stats.flops, 0);
+        // 8 bytes of header per stored tile.
+        assert_eq!(stats.gmem_read_bytes, 8 * tm.num_tiles() as u64);
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let a = tsv_sparse::CsrMatrix::<f64>::zeros(0, 0);
+        let tm = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let xt = TiledVector::zeros(0, 16);
+        let (y, stats) = row_kernel(&tm, &xt);
+        assert!(y.is_empty());
+        assert_eq!(stats.warps, 0);
+    }
+}

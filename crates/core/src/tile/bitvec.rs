@@ -1,0 +1,339 @@
+//! Bit frontier vectors for TileBFS.
+//!
+//! The BFS input vector `x` (current frontier) and mask vector `m` (visited
+//! set) are stored as "dense tiled bit vectors": one machine word per vector
+//! tile, bit `k` of word `t` standing for vertex `t * nt + k` (§3.2.3). The
+//! sparse form — the list of non-empty tile indices — is derived on demand,
+//! the conversion the paper reports as negligible.
+
+/// A length-`n` bit vector with one word per `nt`-element tile.
+///
+/// Words are held in `u64`; for `nt = 32` only the low 32 bits are used
+/// (the physical format the paper stores is `u32` in that case, which the
+/// storage accounting reflects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFrontier {
+    n: usize,
+    nt: usize,
+    words: Vec<u64>,
+}
+
+impl BitFrontier {
+    /// An empty frontier over `n` vertices with tile length `nt`
+    /// (`nt` must be 32 or 64 so a tile fits one word).
+    ///
+    /// ```
+    /// use tsv_core::tile::BitFrontier;
+    ///
+    /// let mut f = BitFrontier::new(100, 32);
+    /// f.set(42);
+    /// assert!(f.get(42));
+    /// assert_eq!(f.count_ones(), 1);
+    /// assert_eq!(f.nonempty_tiles(), vec![1]);
+    /// ```
+    pub fn new(n: usize, nt: usize) -> Self {
+        assert!(nt == 32 || nt == 64, "bit tiles require nt of 32 or 64");
+        BitFrontier {
+            n,
+            nt,
+            words: vec![0; n.div_ceil(nt)],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the vector covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Tile length.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Number of tiles (= words).
+    pub fn n_tiles(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words (kernels write these).
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Replaces the backing words (e.g. with the result of an atomic
+    /// kernel). The caller must pass exactly `n_tiles` words.
+    pub fn set_words(&mut self, words: Vec<u64>) {
+        assert_eq!(words.len(), self.words.len());
+        debug_assert!(self.check_tail_clear(&words), "bits beyond n must stay clear");
+        self.words = words;
+    }
+
+    fn check_tail_clear(&self, words: &[u64]) -> bool {
+        match words.last() {
+            Some(&w) => w & !self.tile_valid_mask(self.n_tiles() - 1) == 0,
+            None => true,
+        }
+    }
+
+    /// Sets vertex `v`.
+    #[inline]
+    pub fn set(&mut self, v: usize) {
+        assert!(v < self.n);
+        self.words[v / self.nt] |= 1u64 << (v % self.nt);
+    }
+
+    /// Tests vertex `v`.
+    #[inline]
+    pub fn get(&self, v: usize) -> bool {
+        assert!(v < self.n);
+        self.words[v / self.nt] >> (v % self.nt) & 1 == 1
+    }
+
+    /// The word of tile `t`.
+    #[inline]
+    pub fn word(&self, t: usize) -> u64 {
+        self.words[t]
+    }
+
+    /// The mask of *valid* bits of tile `t` (all `nt` bits except in the
+    /// ragged final tile).
+    #[inline]
+    pub fn tile_valid_mask(&self, t: usize) -> u64 {
+        let base = t * self.nt;
+        let remaining = self.n - base;
+        if remaining >= self.nt {
+            if self.nt == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.nt) - 1
+            }
+        } else {
+            (1u64 << remaining) - 1
+        }
+    }
+
+    /// Population count over the whole vector.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self |= other` (the frontier/mask union step of each iteration).
+    pub fn or_assign(&mut self, other: &BitFrontier) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self & !other`, the "newly discovered" filter (`y AND NOT m`).
+    pub fn and_not(&self, other: &BitFrontier) -> BitFrontier {
+        assert_eq!(self.n, other.n);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| a & !b)
+            .collect();
+        BitFrontier {
+            n: self.n,
+            nt: self.nt,
+            words,
+        }
+    }
+
+    /// The complement restricted to valid bits — the "unvisited" vector x₃
+    /// the Pull-CSC iteration derives from m (Fig. 5).
+    pub fn complement(&self) -> BitFrontier {
+        let words = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(t, &w)| !w & self.tile_valid_mask(t))
+            .collect();
+        BitFrontier {
+            n: self.n,
+            nt: self.nt,
+            words,
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Indices of non-empty tiles — the sparse form used by the
+    /// vector-driven kernels.
+    pub fn nonempty_tiles(&self) -> Vec<u32> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(t, _)| t as u32)
+            .collect()
+    }
+
+    /// Set-vertex indices in increasing order.
+    pub fn iter_vertices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(t, &w)| {
+            let base = t * self.nt;
+            BitIter(w).map(move |b| base + b)
+        })
+    }
+
+    /// Density `count_ones / n`, driving the paper's kernel selection.
+    pub fn density(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.n as f64
+        }
+    }
+}
+
+/// Iterator over set bit positions of one word.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let b = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(b)
+        }
+    }
+}
+
+/// Iterates the set bits of an arbitrary word (used by the BFS kernels).
+pub fn iter_bits(word: u64) -> impl Iterator<Item = usize> {
+    BitIter(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut f = BitFrontier::new(100, 32);
+        f.set(0);
+        f.set(31);
+        f.set(32);
+        f.set(99);
+        assert!(f.get(0) && f.get(31) && f.get(32) && f.get(99));
+        assert!(!f.get(1) && !f.get(98));
+        assert_eq!(f.count_ones(), 4);
+    }
+
+    #[test]
+    fn tile_math() {
+        let f = BitFrontier::new(100, 32);
+        assert_eq!(f.n_tiles(), 4);
+        // Last tile covers vertices 96..100 → 4 valid bits.
+        assert_eq!(f.tile_valid_mask(3), 0b1111);
+        assert_eq!(f.tile_valid_mask(0), u32::MAX as u64);
+    }
+
+    #[test]
+    fn valid_mask_full_64() {
+        let f = BitFrontier::new(128, 64);
+        assert_eq!(f.tile_valid_mask(0), u64::MAX);
+        assert_eq!(f.tile_valid_mask(1), u64::MAX);
+    }
+
+    #[test]
+    fn complement_respects_tail() {
+        let mut f = BitFrontier::new(70, 64);
+        f.set(0);
+        f.set(69);
+        let c = f.complement();
+        assert!(!c.get(0));
+        assert!(!c.get(69));
+        assert!(c.get(1));
+        assert_eq!(c.count_ones(), 68);
+        // No phantom bits beyond vertex 69.
+        assert_eq!(c.word(1) >> 6, 0);
+    }
+
+    #[test]
+    fn and_not_filters_visited() {
+        let mut y = BitFrontier::new(64, 32);
+        y.set(3);
+        y.set(40);
+        let mut m = BitFrontier::new(64, 32);
+        m.set(3);
+        let fresh = y.and_not(&m);
+        assert!(!fresh.get(3));
+        assert!(fresh.get(40));
+    }
+
+    #[test]
+    fn or_assign_unions() {
+        let mut a = BitFrontier::new(64, 32);
+        a.set(1);
+        let mut b = BitFrontier::new(64, 32);
+        b.set(2);
+        a.or_assign(&b);
+        assert!(a.get(1) && a.get(2));
+    }
+
+    #[test]
+    fn nonempty_tiles_and_vertex_iter() {
+        let mut f = BitFrontier::new(200, 64);
+        f.set(5);
+        f.set(130);
+        f.set(131);
+        assert_eq!(f.nonempty_tiles(), vec![0, 2]);
+        assert_eq!(f.iter_vertices().collect::<Vec<_>>(), vec![5, 130, 131]);
+    }
+
+    #[test]
+    fn density_and_none() {
+        let mut f = BitFrontier::new(100, 32);
+        assert!(f.none());
+        f.set(10);
+        assert!((f.density() - 0.01).abs() < 1e-12);
+        f.clear();
+        assert!(f.none());
+    }
+
+    #[test]
+    fn iter_bits_walks_set_positions() {
+        let bits: Vec<_> = iter_bits(0b1000_0101).collect();
+        assert_eq!(bits, vec![0, 2, 7]);
+        assert_eq!(iter_bits(0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_nt_rejected() {
+        BitFrontier::new(10, 16);
+    }
+
+    #[test]
+    fn set_words_validates_length() {
+        let mut f = BitFrontier::new(64, 32);
+        f.set_words(vec![1, 2]);
+        assert_eq!(f.word(0), 1);
+    }
+}

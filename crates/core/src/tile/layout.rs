@@ -1,0 +1,165 @@
+//! Tile geometry: sizes, index math, and the packed 16×16 index encoding.
+
+/// Supported tile edge lengths (§3.2.1: "nt is usually 16, 32 or 64").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileSize {
+    /// 16×16 tiles; intra-tile coordinates pack into one byte.
+    S16,
+    /// 32×32 tiles; one `u32` bitmask word per tile row/column.
+    S32,
+    /// 64×64 tiles; one `u64` bitmask word per tile row/column.
+    S64,
+}
+
+impl TileSize {
+    /// Edge length `nt`.
+    #[inline]
+    pub fn nt(self) -> usize {
+        match self {
+            TileSize::S16 => 16,
+            TileSize::S32 => 32,
+            TileSize::S64 => 64,
+        }
+    }
+
+    /// The paper's TileBFS rule (§3.4): matrices of order greater than
+    /// 10 000 use 64×64 tiles, smaller ones 32×32.
+    pub fn for_bfs(order: usize) -> TileSize {
+        if order > 10_000 {
+            TileSize::S64
+        } else {
+            TileSize::S32
+        }
+    }
+
+    /// All supported sizes, in increasing order (Table 2 reports tile
+    /// counts for each).
+    pub fn all() -> [TileSize; 3] {
+        [TileSize::S16, TileSize::S32, TileSize::S64]
+    }
+}
+
+impl std::fmt::Display for TileSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.nt(), self.nt())
+    }
+}
+
+/// Construction parameters for the tiled formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileConfig {
+    /// Tile edge length.
+    pub tile_size: TileSize,
+    /// Tiles with at most this many nonzeros are *extracted*: their entries
+    /// move to a side COO matrix instead of paying per-tile metadata
+    /// (§3.2.1). `0` disables extraction.
+    pub extract_threshold: usize,
+    /// Tiles whose fill fraction reaches this store their payload *dense*
+    /// (`nt²` values, no intra-tile indices) — the adaptive per-tile format
+    /// of the TileSpMV substrate the paper extends. Values above 1.0
+    /// disable dense tiles. The default 0.75 sits near the byte-cost
+    /// break-even between indexed and dense payloads.
+    pub dense_threshold: f64,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            tile_size: TileSize::S16,
+            extract_threshold: 2,
+            dense_threshold: 0.75,
+        }
+    }
+}
+
+impl TileConfig {
+    /// Config with a given tile size and the default thresholds.
+    pub fn with_size(tile_size: TileSize) -> Self {
+        TileConfig {
+            tile_size,
+            ..Default::default()
+        }
+    }
+}
+
+/// Physical layout of one stored tile's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileFormat {
+    /// Intra-tile CSR: `u16` row pointers, `u8` column indices, packed
+    /// values.
+    Csr,
+    /// Dense `nt × nt` payload in row-major order, zeros included; no
+    /// index decode on the read path.
+    Dense,
+}
+
+/// Number of tiles needed to cover `len` elements with tiles of `nt`.
+#[inline]
+pub fn tiles_for(len: usize, nt: usize) -> usize {
+    len.div_ceil(nt)
+}
+
+/// Packs an intra-tile coordinate of a 16×16 tile into one byte: the high
+/// nibble is the row, the low nibble the column (§3.2.1: "a single unsigned
+/// char can store indices").
+#[inline]
+pub fn pack16(row: usize, col: usize) -> u8 {
+    debug_assert!(row < 16 && col < 16);
+    ((row as u8) << 4) | col as u8
+}
+
+/// Unpacks a [`pack16`] byte into `(row, col)`.
+#[inline]
+pub fn unpack16(packed: u8) -> (usize, usize) {
+    ((packed >> 4) as usize, (packed & 0xF) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nt_values() {
+        assert_eq!(TileSize::S16.nt(), 16);
+        assert_eq!(TileSize::S32.nt(), 32);
+        assert_eq!(TileSize::S64.nt(), 64);
+    }
+
+    #[test]
+    fn bfs_size_rule_matches_paper() {
+        assert_eq!(TileSize::for_bfs(10_000), TileSize::S32);
+        assert_eq!(TileSize::for_bfs(10_001), TileSize::S64);
+        assert_eq!(TileSize::for_bfs(100), TileSize::S32);
+    }
+
+    #[test]
+    fn tiles_for_rounds_up() {
+        assert_eq!(tiles_for(0, 16), 0);
+        assert_eq!(tiles_for(1, 16), 1);
+        assert_eq!(tiles_for(16, 16), 1);
+        assert_eq!(tiles_for(17, 16), 2);
+    }
+
+    #[test]
+    fn pack16_roundtrips_every_coordinate() {
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(unpack16(pack16(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn display_prints_dimensions() {
+        assert_eq!(TileSize::S32.to_string(), "32x32");
+    }
+
+    #[test]
+    fn default_config() {
+        let c = TileConfig::default();
+        assert_eq!(c.tile_size, TileSize::S16);
+        assert_eq!(c.extract_threshold, 2);
+        let c = TileConfig::with_size(TileSize::S64);
+        assert_eq!(c.tile_size, TileSize::S64);
+    }
+}

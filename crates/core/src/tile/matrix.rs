@@ -1,0 +1,826 @@
+//! The tiled sparse matrix (§3.2.1).
+//!
+//! The matrix is cut into `nt × nt` sparse tiles. Non-empty tiles are
+//! treated as the "nonzeros" of a tile-level CSR: `tile_row_ptr` delimits
+//! the non-empty tiles of each *row tile* (a band of `nt` consecutive
+//! rows), `tile_col` gives each tile's column-tile index, and `tile_ptr`
+//! locates its entries. Inside a tile, entries are stored in a compact
+//! local CSR whose row pointers fit in `u16` and column indices in `u8`
+//! (for `nt = 16` the paper's packed byte encoding is also materialized).
+//!
+//! Tiles holding no more than [`TileConfig::extract_threshold`] entries are
+//! not worth their metadata: their entries are *extracted* into a side COO
+//! matrix processed by a separate kernel pass, exactly the hybrid scheme of
+//! §3.2.1/§3.4.
+
+use super::layout::{pack16, tiles_for, TileConfig, TileFormat, TileSize};
+use rayon::prelude::*;
+use tsv_sparse::{CooMatrix, CsrMatrix, SparseError};
+
+/// A sparse matrix in the paper's tiled format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileMatrix {
+    nrows: usize,
+    ncols: usize,
+    config: TileConfig,
+    m_tiles: usize,
+    n_tiles: usize,
+    /// Tile-level CSR pointer: non-empty tiles of row tile `rt` are
+    /// `tile_row_ptr[rt]..tile_row_ptr[rt + 1]`.
+    tile_row_ptr: Vec<usize>,
+    /// Column-tile index of each non-empty tile.
+    tile_col: Vec<u32>,
+    /// Entry offsets: tile `t` owns entries `tile_ptr[t]..tile_ptr[t + 1]`.
+    tile_ptr: Vec<usize>,
+    /// Intra-tile CSR row pointers, `nt + 1` per tile, relative to the
+    /// tile's first entry.
+    local_row_ptr: Vec<u16>,
+    /// Intra-tile column index of each entry.
+    local_col: Vec<u8>,
+    /// Packed `(row << 4) | col` byte per entry, materialized when
+    /// `nt == 16` (the paper's unsigned-char index compression).
+    packed16: Option<Vec<u8>>,
+    /// Entry values of CSR-format tiles, tile by tile in intra-tile CSR
+    /// order (dense tiles keep their payload in `dense_vals`).
+    vals: Vec<f64>,
+    /// Physical payload format of each stored tile.
+    formats: Vec<TileFormat>,
+    /// True nonzero count of each stored tile (dense tiles have no
+    /// entries in `vals`).
+    tile_nnz: Vec<u32>,
+    /// Row-major `nt²` payloads of dense tiles, in tile order.
+    dense_vals: Vec<f64>,
+    /// Slot of each dense tile in `dense_vals` (unused for CSR tiles).
+    dense_slot: Vec<u32>,
+    /// Row-tile index of each stored tile (inverse of `tile_row_ptr`).
+    tile_row: Vec<u32>,
+    /// Tile-level CSC *index*: `col_index_ptr[ct]..col_index_ptr[ct+1]`
+    /// slices `col_index_tiles`, which lists the stored-tile ids of column
+    /// tile `ct`. The vector-driven kernel walks tiles through this index
+    /// without duplicating their contents.
+    col_index_ptr: Vec<usize>,
+    col_index_tiles: Vec<u32>,
+    /// Entries of extracted very-sparse tiles, in global coordinates,
+    /// sorted column-major so the vector-driven pass can skip columns with
+    /// no `x` entry.
+    extra: CooMatrix<f64>,
+    /// Column pointer over the (column-sorted) extracted entries:
+    /// `extra_col_ptr[c]..extra_col_ptr[c+1]` are the entries of column `c`.
+    extra_col_ptr: Vec<usize>,
+}
+
+/// Read-only view of one stored tile.
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a> {
+    /// Column-tile index of this tile.
+    pub col_tile: usize,
+    /// True nonzero count of the tile.
+    pub nnz: usize,
+    /// Local CSR row pointers (`nt + 1` entries, relative); all zero for
+    /// dense tiles.
+    pub local_row_ptr: &'a [u16],
+    /// Local column index per entry (empty for dense tiles).
+    pub local_col: &'a [u8],
+    /// Entry values (empty for dense tiles).
+    pub vals: &'a [f64],
+    /// Row-major `nt × nt` payload when the tile is stored dense.
+    pub dense: Option<&'a [f64]>,
+}
+
+impl<'a> TileView<'a> {
+    /// Number of nonzero entries in the tile.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The tile's payload format.
+    pub fn format(&self) -> TileFormat {
+        if self.dense.is_some() {
+            TileFormat::Dense
+        } else {
+            TileFormat::Csr
+        }
+    }
+
+    /// Local column indices and values of intra-tile row `lr` (CSR tiles
+    /// only; dense tiles return empty slices — read `dense` instead).
+    #[inline]
+    pub fn row(&self, lr: usize) -> (&'a [u8], &'a [f64]) {
+        let s = self.local_row_ptr[lr] as usize;
+        let e = self.local_row_ptr[lr + 1] as usize;
+        (&self.local_col[s..e], &self.vals[s..e])
+    }
+}
+
+/// Per-row-tile partial build, merged sequentially afterwards.
+struct RowTileBuild {
+    tile_col: Vec<u32>,
+    tile_nnz: Vec<u32>,
+    formats: Vec<TileFormat>,
+    local_row_ptr: Vec<u16>,
+    local_col: Vec<u8>,
+    vals: Vec<f64>,
+    dense_vals: Vec<f64>,
+    extra: Vec<(u32, u32, f64)>,
+}
+
+impl TileMatrix {
+    /// Builds the tiled format from a CSR matrix.
+    ///
+    /// This is the *format conversion* step whose cost Figure 11 reports;
+    /// it parallelizes over row tiles.
+    ///
+    /// ```
+    /// use tsv_core::tile::{TileConfig, TileMatrix};
+    ///
+    /// let a = tsv_sparse::gen::banded(128, 6, 0.8, 1).to_csr();
+    /// let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    /// assert_eq!(tiled.nnz(), a.nnz());
+    /// assert_eq!(tiled.to_csr(), a); // lossless
+    /// ```
+    pub fn from_csr(a: &CsrMatrix<f64>, config: TileConfig) -> Result<Self, SparseError> {
+        let nt = config.tile_size.nt();
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let m_tiles = tiles_for(nrows, nt);
+        let n_tiles = tiles_for(ncols, nt);
+
+        let parts: Vec<RowTileBuild> = (0..m_tiles)
+            .into_par_iter()
+            .map(|rt| build_row_tile(a, rt, nt, config))
+            .collect();
+
+        // Stitch the partial builds together.
+        let total_tiles: usize = parts.iter().map(|p| p.tile_col.len()).sum();
+        let total_nnz: usize = parts.iter().map(|p| p.vals.len()).sum();
+        let total_extra: usize = parts.iter().map(|p| p.extra.len()).sum();
+
+        let mut tile_row_ptr = Vec::with_capacity(m_tiles + 1);
+        let mut tile_col = Vec::with_capacity(total_tiles);
+        let mut tile_ptr = Vec::with_capacity(total_tiles + 1);
+        let mut formats = Vec::with_capacity(total_tiles);
+        let mut tile_nnz = Vec::with_capacity(total_tiles);
+        let mut dense_slot = Vec::with_capacity(total_tiles);
+        let mut local_row_ptr = Vec::with_capacity(total_tiles * (nt + 1));
+        let mut local_col = Vec::with_capacity(total_nnz);
+        let mut vals = Vec::with_capacity(total_nnz);
+        let mut dense_vals = Vec::new();
+        let mut extra = CooMatrix::with_capacity(nrows, ncols, total_extra);
+
+        tile_row_ptr.push(0);
+        tile_ptr.push(0);
+        let mut entry_off = 0usize;
+        for p in parts {
+            for (i, &ct) in p.tile_col.iter().enumerate() {
+                tile_col.push(ct);
+                formats.push(p.formats[i]);
+                tile_nnz.push(p.tile_nnz[i]);
+                // CSR tiles advance the entry cursor; dense tiles own a
+                // dense slot instead.
+                if p.formats[i] == TileFormat::Csr {
+                    entry_off += p.tile_nnz[i] as usize;
+                }
+                // Dense slots are assigned in the second pass below.
+                dense_slot.push(u32::MAX);
+                tile_ptr.push(entry_off);
+            }
+            tile_row_ptr.push(tile_col.len());
+            local_row_ptr.extend_from_slice(&p.local_row_ptr);
+            local_col.extend_from_slice(&p.local_col);
+            vals.extend_from_slice(&p.vals);
+            dense_vals.extend_from_slice(&p.dense_vals);
+            for (r, c, v) in p.extra {
+                extra.push(r as usize, c as usize, v);
+            }
+        }
+        // Second pass: assign dense slots in tile order (per-part dense
+        // payloads were concatenated in the same order).
+        {
+            let mut slot = 0u32;
+            for (t, f) in formats.iter().enumerate() {
+                if *f == TileFormat::Dense {
+                    dense_slot[t] = slot;
+                    slot += 1;
+                }
+            }
+            debug_assert_eq!(slot as usize * nt * nt, dense_vals.len());
+        }
+
+        // Column-sort the extracted entries and index them so the hybrid
+        // pass is driven by the vector's nonzeros, like the tiled kernels.
+        {
+            let mut order: Vec<u32> = (0..extra.nnz() as u32).collect();
+            let (rows_ref, cols_ref) = (extra.row_indices(), extra.col_indices());
+            order.sort_by_key(|&i| (cols_ref[i as usize], rows_ref[i as usize]));
+            let rows: Vec<u32> = order.iter().map(|&i| extra.row_indices()[i as usize]).collect();
+            let cols: Vec<u32> = order.iter().map(|&i| extra.col_indices()[i as usize]).collect();
+            let evals: Vec<f64> = order.iter().map(|&i| extra.values()[i as usize]).collect();
+            extra = CooMatrix::from_triplets(nrows, ncols, rows, cols, evals)
+                .expect("permutation of valid entries stays valid");
+        }
+        let mut extra_col_ptr = vec![0usize; ncols + 1];
+        for &c in extra.col_indices() {
+            extra_col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..ncols {
+            extra_col_ptr[i + 1] += extra_col_ptr[i];
+        }
+
+        let packed16 = if config.tile_size == TileSize::S16 {
+            Some(pack_entries(&tile_ptr, &local_row_ptr, &local_col, nt))
+        } else {
+            None
+        };
+
+        // Inverse row map and column-tile index for the vector-driven
+        // kernel: tiles listed per column tile, ordered by row tile.
+        let mut tile_row = vec![0u32; tile_col.len()];
+        for rt in 0..m_tiles {
+            for t in tile_row_ptr[rt]..tile_row_ptr[rt + 1] {
+                tile_row[t] = rt as u32;
+            }
+        }
+        let mut col_index_ptr = vec![0usize; n_tiles + 1];
+        for &ct in &tile_col {
+            col_index_ptr[ct as usize + 1] += 1;
+        }
+        for i in 0..n_tiles {
+            col_index_ptr[i + 1] += col_index_ptr[i];
+        }
+        let mut next = col_index_ptr.clone();
+        let mut col_index_tiles = vec![0u32; tile_col.len()];
+        for (t, &ct) in tile_col.iter().enumerate() {
+            col_index_tiles[next[ct as usize]] = t as u32;
+            next[ct as usize] += 1;
+        }
+
+        Ok(TileMatrix {
+            nrows,
+            ncols,
+            config,
+            m_tiles,
+            n_tiles,
+            tile_row_ptr,
+            tile_col,
+            tile_ptr,
+            local_row_ptr,
+            local_col,
+            packed16,
+            vals,
+            formats,
+            tile_nnz,
+            dense_vals,
+            dense_slot,
+            tile_row,
+            col_index_ptr,
+            col_index_tiles,
+            extra,
+            extra_col_ptr,
+        })
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Construction parameters.
+    pub fn config(&self) -> TileConfig {
+        self.config
+    }
+
+    /// Tile edge length.
+    pub fn nt(&self) -> usize {
+        self.config.tile_size.nt()
+    }
+
+    /// Number of row tiles.
+    pub fn m_tiles(&self) -> usize {
+        self.m_tiles
+    }
+
+    /// Number of column tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Number of stored (non-extracted, non-empty) tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tile_col.len()
+    }
+
+    /// Entries held in tiles (excludes the extracted COO part).
+    pub fn tiled_nnz(&self) -> usize {
+        self.tile_nnz.iter().map(|&n| n as usize).sum()
+    }
+
+    /// Total nonzeros including the extracted part.
+    pub fn nnz(&self) -> usize {
+        self.tiled_nnz() + self.extra.nnz()
+    }
+
+    /// Payload format of stored tile `t`.
+    pub fn tile_format(&self, t: usize) -> TileFormat {
+        self.formats[t]
+    }
+
+    /// Number of stored tiles using the dense payload format.
+    pub fn dense_tiles(&self) -> usize {
+        self.dense_slot.iter().filter(|&&s| s != u32::MAX).count()
+    }
+
+    /// The extracted very-sparse entries (column-sorted).
+    pub fn extra(&self) -> &CooMatrix<f64> {
+        &self.extra
+    }
+
+    /// The extracted entries of column `c`, as `(rows, values)` — the
+    /// vector-driven access path of the hybrid pass.
+    #[inline]
+    pub fn extra_col(&self, c: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.extra_col_ptr[c], self.extra_col_ptr[c + 1]);
+        (
+            &self.extra.row_indices()[s..e],
+            &self.extra.values()[s..e],
+        )
+    }
+
+    /// Tile-level CSR pointer (length `m_tiles + 1`).
+    pub fn tile_row_ptr(&self) -> &[usize] {
+        &self.tile_row_ptr
+    }
+
+    /// Column-tile index array, parallel to stored tiles.
+    pub fn tile_col(&self) -> &[u32] {
+        &self.tile_col
+    }
+
+    /// The packed one-byte indices (only for 16×16 tiles).
+    pub fn packed16(&self) -> Option<&[u8]> {
+        self.packed16.as_deref()
+    }
+
+    /// View of stored tile `t`.
+    #[inline]
+    pub fn tile(&self, t: usize) -> TileView<'_> {
+        let nt = self.nt();
+        let (s, e) = (self.tile_ptr[t], self.tile_ptr[t + 1]);
+        let dense = match self.dense_slot[t] {
+            u32::MAX => None,
+            slot => {
+                let base = slot as usize * nt * nt;
+                Some(&self.dense_vals[base..base + nt * nt])
+            }
+        };
+        TileView {
+            col_tile: self.tile_col[t] as usize,
+            nnz: self.tile_nnz[t] as usize,
+            local_row_ptr: &self.local_row_ptr[t * (nt + 1)..(t + 1) * (nt + 1)],
+            local_col: &self.local_col[s..e],
+            vals: &self.vals[s..e],
+            dense,
+        }
+    }
+
+    /// Indices of the stored tiles of row tile `rt`.
+    #[inline]
+    pub fn row_tile_range(&self, rt: usize) -> std::ops::Range<usize> {
+        self.tile_row_ptr[rt]..self.tile_row_ptr[rt + 1]
+    }
+
+    /// Row-tile index of stored tile `t`.
+    #[inline]
+    pub fn tile_row_of(&self, t: usize) -> usize {
+        self.tile_row[t] as usize
+    }
+
+    /// Stored-tile ids of column tile `ct`, in row-tile order — the lookup
+    /// path of the vector-driven (CSC-form) kernel.
+    #[inline]
+    pub fn col_tiles(&self, ct: usize) -> &[u32] {
+        &self.col_index_tiles[self.col_index_ptr[ct]..self.col_index_ptr[ct + 1]]
+    }
+
+    /// Reconstructs the logical CSR matrix (tiles plus extracted part);
+    /// used by tests to prove the conversion lossless.
+    pub fn to_csr(&self) -> CsrMatrix<f64> {
+        let nt = self.nt();
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for rt in 0..self.m_tiles {
+            for t in self.row_tile_range(rt) {
+                let view = self.tile(t);
+                let base_r = rt * nt;
+                let base_c = view.col_tile * nt;
+                match view.dense {
+                    Some(d) => {
+                        // Dense payloads reconstruct their nonzeros (any
+                        // explicitly stored zeros are dropped by design).
+                        for lr in 0..nt {
+                            for lc in 0..nt {
+                                let v = d[lr * nt + lc];
+                                if v != 0.0 {
+                                    coo.push(base_r + lr, base_c + lc, v);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for lr in 0..nt {
+                            let (cols, vals) = view.row(lr);
+                            for (&lc, &v) in cols.iter().zip(vals) {
+                                coo.push(base_r + lr, base_c + lc as usize, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (r, c, v) in self.extra.iter() {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    }
+
+    /// Bytes of storage used by the tiled structure (the space numbers the
+    /// paper's storage discussion relies on).
+    pub fn storage_bytes(&self) -> usize {
+        self.tile_row_ptr.len() * 8
+            + self.tile_col.len() * 4
+            + self.tile_ptr.len() * 8
+            + self.local_row_ptr.len() * 2
+            + self.local_col.len()
+            + self.packed16.as_ref().map_or(0, |p| p.len())
+            + self.vals.len() * 8
+            + self.dense_vals.len() * 8
+            + self.formats.len()
+            + self.tile_nnz.len() * 4
+            + self.dense_slot.len() * 4
+            + self.tile_row.len() * 4
+            + self.col_index_ptr.len() * 8
+            + self.col_index_tiles.len() * 4
+            + self.extra_col_ptr.len() * 8
+            + self.extra.nnz() * (4 + 4 + 8)
+    }
+}
+
+/// Gathers, buckets and locally compresses the tiles of one row tile,
+/// choosing each tile's payload format (extracted / CSR / dense).
+fn build_row_tile(a: &CsrMatrix<f64>, rt: usize, nt: usize, config: TileConfig) -> RowTileBuild {
+    let extract_threshold = config.extract_threshold;
+    // Fill level at which the dense payload takes over.
+    let dense_nnz = (config.dense_threshold * (nt * nt) as f64).ceil() as usize;
+    let row_start = rt * nt;
+    let row_end = (row_start + nt).min(a.nrows());
+
+    // (col_tile, local_row, local_col, val) for every entry in the band.
+    let mut entries: Vec<(u32, u8, u8, f64)> = Vec::new();
+    for r in row_start..row_end {
+        let (cols, vals) = a.row(r);
+        let lr = (r - row_start) as u8;
+        for (&c, &v) in cols.iter().zip(vals) {
+            entries.push(((c as usize / nt) as u32, lr, (c as usize % nt) as u8, v));
+        }
+    }
+    // Within each row entries are already column-sorted; a stable sort by
+    // column tile leaves (lr, lc) order intact per tile... but rows are
+    // interleaved, so sort by the full key.
+    entries.sort_unstable_by_key(|&(ct, lr, lc, _)| (ct, lr, lc));
+
+    let mut out = RowTileBuild {
+        tile_col: Vec::new(),
+        tile_nnz: Vec::new(),
+        formats: Vec::new(),
+        local_row_ptr: Vec::new(),
+        local_col: Vec::new(),
+        vals: Vec::new(),
+        dense_vals: Vec::new(),
+        extra: Vec::new(),
+    };
+
+    let mut i = 0usize;
+    while i < entries.len() {
+        let ct = entries[i].0;
+        let mut j = i;
+        while j < entries.len() && entries[j].0 == ct {
+            j += 1;
+        }
+        let tile_entries = &entries[i..j];
+        if tile_entries.len() <= extract_threshold {
+            for &(_, lr, lc, v) in tile_entries {
+                out.extra.push((
+                    (row_start + lr as usize) as u32,
+                    (ct as usize * nt + lc as usize) as u32,
+                    v,
+                ));
+            }
+        } else if tile_entries.len() >= dense_nnz.max(1) {
+            // Dense payload: nt² values, zero-filled, no indices.
+            out.tile_col.push(ct);
+            out.tile_nnz.push(tile_entries.len() as u32);
+            out.formats.push(TileFormat::Dense);
+            out.local_row_ptr.extend(std::iter::repeat(0u16).take(nt + 1));
+            let base = out.dense_vals.len();
+            out.dense_vals.extend(std::iter::repeat(0.0).take(nt * nt));
+            for &(_, lr, lc, v) in tile_entries {
+                out.dense_vals[base + lr as usize * nt + lc as usize] = v;
+            }
+        } else {
+            out.tile_col.push(ct);
+            out.tile_nnz.push(tile_entries.len() as u32);
+            out.formats.push(TileFormat::Csr);
+            // Local CSR: count per local row, prefix-sum, then append
+            // entries (already in (lr, lc) order).
+            let mut ptr = vec![0u16; nt + 1];
+            for &(_, lr, _, _) in tile_entries {
+                ptr[lr as usize + 1] += 1;
+            }
+            for k in 0..nt {
+                ptr[k + 1] += ptr[k];
+            }
+            out.local_row_ptr.extend_from_slice(&ptr);
+            for &(_, _, lc, v) in tile_entries {
+                out.local_col.push(lc);
+                out.vals.push(v);
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Materializes the packed byte index of every entry for 16×16 tiles.
+fn pack_entries(tile_ptr: &[usize], local_row_ptr: &[u16], local_col: &[u8], nt: usize) -> Vec<u8> {
+    debug_assert_eq!(nt, 16);
+    let nnz = *tile_ptr.last().unwrap_or(&0);
+    let mut packed = vec![0u8; nnz];
+    let num_tiles = tile_ptr.len().saturating_sub(1);
+    for t in 0..num_tiles {
+        let base = tile_ptr[t];
+        let ptr = &local_row_ptr[t * (nt + 1)..(t + 1) * (nt + 1)];
+        for lr in 0..nt {
+            for k in ptr[lr] as usize..ptr[lr + 1] as usize {
+                packed[base + k] = pack16(lr, local_col[base + k] as usize);
+            }
+        }
+    }
+    packed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::layout::unpack16;
+    // TileFormat is re-exported through super::*; TileConfig::default()
+    // carries the 0.75 dense threshold used below.
+    use tsv_sparse::gen::{banded, uniform_random};
+
+    fn cfg(ts: TileSize, extract: usize) -> TileConfig {
+        TileConfig {
+            tile_size: ts,
+            extract_threshold: extract,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_banded_all_tile_sizes() {
+        let a = banded(100, 6, 0.7, 3).to_csr();
+        for ts in TileSize::all() {
+            let tm = TileMatrix::from_csr(&a, cfg(ts, 0)).unwrap();
+            assert_eq!(tm.to_csr(), a, "tile size {ts}");
+            assert_eq!(tm.nnz(), a.nnz());
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_extraction() {
+        let a = uniform_random(200, 200, 900, 5).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 2)).unwrap();
+        assert!(tm.extra().nnz() > 0, "uniform random should have sparse tiles");
+        assert_eq!(tm.to_csr(), a);
+        assert_eq!(tm.tiled_nnz() + tm.extra().nnz(), a.nnz());
+    }
+
+    #[test]
+    fn extraction_threshold_moves_small_tiles() {
+        // A matrix whose tiles each hold exactly one entry.
+        let mut coo = CooMatrix::new(64, 64);
+        for t in 0..4 {
+            coo.push(t * 16, t * 16, 1.0);
+        }
+        let a = coo.to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 2)).unwrap();
+        assert_eq!(tm.num_tiles(), 0);
+        assert_eq!(tm.extra().nnz(), 4);
+
+        let keep = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        assert_eq!(keep.num_tiles(), 4);
+        assert_eq!(keep.extra().nnz(), 0);
+    }
+
+    #[test]
+    fn tile_views_expose_local_csr() {
+        // 2x2 tiles over a 4x4 matrix with nt = 2.
+        // [1 2 | 0 0]
+        // [0 3 | 0 0]
+        // [0 0 | 0 4]
+        // [5 0 | 6 0]
+        let mut coo = CooMatrix::new(4, 4);
+        for &(r, c, v) in &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (2, 3, 4.0), (3, 0, 5.0), (3, 2, 6.0)] {
+            coo.push(r, c, v);
+        }
+        let a = coo.to_csr();
+        // nt=16 would make one tile; use S16 but a 4x4 matrix is one tile.
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        assert_eq!(tm.m_tiles(), 1);
+        assert_eq!(tm.num_tiles(), 1);
+        let view = tm.tile(0);
+        assert_eq!(view.nnz(), 6);
+        let (cols, vals) = view.row(0);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        let (cols, _) = view.row(3);
+        assert_eq!(cols, &[0, 2]);
+    }
+
+    #[test]
+    fn packed16_matches_local_indices() {
+        let a = banded(80, 5, 0.6, 7).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        let packed = tm.packed16().expect("S16 materializes packed indices");
+        // Packed bytes cover the CSR-format entries (dense tiles carry no
+        // per-entry indices at all).
+        assert_eq!(packed.len(), tm.vals.len());
+        // Cross-check a few tiles entry by entry.
+        for t in 0..tm.num_tiles().min(5) {
+            let view = tm.tile(t);
+            let base = tm.tile_ptr[t];
+            for lr in 0..16 {
+                let s = view.local_row_ptr[lr] as usize;
+                let e = view.local_row_ptr[lr + 1] as usize;
+                for k in s..e {
+                    let (pr, pc) = unpack16(packed[base + k]);
+                    assert_eq!(pr, lr);
+                    assert_eq!(pc, view.local_col[k] as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_packed_for_larger_tiles() {
+        let a = banded(80, 5, 0.6, 7).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S32, 0)).unwrap();
+        assert!(tm.packed16().is_none());
+    }
+
+    #[test]
+    fn ragged_edges_handled() {
+        // 33x33 with nt = 16 → 3x3 tile grid with ragged last row/col.
+        let a = banded(33, 3, 1.0, 1).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        assert_eq!(tm.m_tiles(), 3);
+        assert_eq!(tm.n_tiles(), 3);
+        assert_eq!(tm.to_csr(), a);
+    }
+
+    #[test]
+    fn empty_matrix_has_no_tiles() {
+        let a = CsrMatrix::<f64>::zeros(50, 50);
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 2)).unwrap();
+        assert_eq!(tm.num_tiles(), 0);
+        assert_eq!(tm.nnz(), 0);
+        assert_eq!(tm.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn banded_matrix_tiles_hug_the_diagonal() {
+        let a = banded(128, 4, 1.0, 1).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        for rt in 0..tm.m_tiles() {
+            for t in tm.row_tile_range(rt) {
+                let ct = tm.tile(t).col_tile;
+                assert!(ct.abs_diff(rt) <= 1, "tile ({rt},{ct}) off the band");
+            }
+        }
+    }
+
+    #[test]
+    fn column_index_lists_every_tile_once() {
+        let a = uniform_random(150, 150, 3000, 8).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        let mut seen = vec![false; tm.num_tiles()];
+        for ct in 0..tm.n_tiles() {
+            let mut prev_rt = None;
+            for &t in tm.col_tiles(ct) {
+                let t = t as usize;
+                assert!(!seen[t], "tile {t} listed twice");
+                seen[t] = true;
+                assert_eq!(tm.tile(t).col_tile, ct);
+                // Within a column, tiles appear in increasing row-tile order.
+                let rt = tm.tile_row_of(t);
+                if let Some(p) = prev_rt {
+                    assert!(rt > p);
+                }
+                prev_rt = Some(rt);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "column index missed a tile");
+    }
+
+    #[test]
+    fn tile_row_of_matches_row_ranges() {
+        let a = banded(120, 5, 0.8, 2).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S32, 0)).unwrap();
+        for rt in 0..tm.m_tiles() {
+            for t in tm.row_tile_range(rt) {
+                assert_eq!(tm.tile_row_of(t), rt);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_tiles_appear_on_full_bands() {
+        // fill = 1.0 makes diagonal tiles completely full.
+        let a = banded(96, 16, 1.0, 1).to_csr();
+        let tm = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        assert!(tm.dense_tiles() > 0, "full band should produce dense tiles");
+        assert_eq!(tm.to_csr(), a, "dense roundtrip");
+        // Every tile's reported format matches its view.
+        for t in 0..tm.num_tiles() {
+            assert_eq!(tm.tile(t).format(), tm.tile_format(t));
+            if tm.tile_format(t) == TileFormat::Dense {
+                let view = tm.tile(t);
+                assert!(view.vals.is_empty());
+                let d = view.dense.unwrap();
+                assert_eq!(d.len(), 16 * 16);
+                assert_eq!(
+                    d.iter().filter(|&&v| v != 0.0).count(),
+                    view.nnz(),
+                    "dense payload nnz mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_threshold_above_one_disables_dense_tiles() {
+        let a = banded(96, 16, 1.0, 1).to_csr();
+        let cfg = TileConfig {
+            dense_threshold: 1.5,
+            ..Default::default()
+        };
+        let tm = TileMatrix::from_csr(&a, cfg).unwrap();
+        assert_eq!(tm.dense_tiles(), 0);
+        assert_eq!(tm.to_csr(), a);
+    }
+
+    #[test]
+    fn aggressive_dense_threshold_roundtrips() {
+        // Threshold 0.1 turns most banded tiles dense.
+        let a = banded(120, 8, 0.7, 9).to_csr();
+        let cfg = TileConfig {
+            dense_threshold: 0.1,
+            ..Default::default()
+        };
+        let tm = TileMatrix::from_csr(&a, cfg).unwrap();
+        assert!(tm.dense_tiles() * 2 > tm.num_tiles());
+        assert_eq!(tm.to_csr(), a);
+        assert_eq!(tm.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn mixed_formats_within_one_row_tile() {
+        // A full tile next to a sparse one in the same row tile.
+        let mut coo = CooMatrix::new(16, 48);
+        for r in 0..16 {
+            for c in 0..16 {
+                coo.push(r, c, (r * 16 + c + 1) as f64);
+            }
+        }
+        coo.push(3, 40, 7.0);
+        coo.push(5, 41, 8.0);
+        coo.push(9, 42, 9.0);
+        coo.push(11, 43, 10.0);
+        let a = coo.to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 0)).unwrap();
+        assert_eq!(tm.num_tiles(), 2);
+        assert_eq!(tm.tile_format(0), TileFormat::Dense);
+        assert_eq!(tm.tile_format(1), TileFormat::Csr);
+        assert_eq!(tm.to_csr(), a);
+    }
+
+    #[test]
+    fn storage_bytes_nonzero_and_sane() {
+        let a = banded(100, 6, 0.7, 3).to_csr();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 2)).unwrap();
+        let bytes = tm.storage_bytes();
+        assert!(bytes >= tm.tiled_nnz() * 9);
+        assert!(bytes < a.nnz() * 64, "storage estimate implausibly large");
+    }
+}

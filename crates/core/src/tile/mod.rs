@@ -1,0 +1,15 @@
+//! Tiled storage structures (§3.2 of the paper).
+
+pub mod bitmask;
+pub mod bitvec;
+pub mod layout;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use bitmask::{BitTileMatrix, Orientation};
+pub use bitvec::BitFrontier;
+pub use layout::{TileConfig, TileSize};
+pub use matrix::TileMatrix;
+pub use stats::{tile_count, TileStats};
+pub use vector::TiledVector;

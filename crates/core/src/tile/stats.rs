@@ -1,0 +1,147 @@
+//! Tile occupancy statistics (the numbers reported in Table 2).
+
+use super::layout::{tiles_for, TileSize};
+use rayon::prelude::*;
+use tsv_sparse::CsrMatrix;
+
+/// Counts the non-empty `nt × nt` tiles of a matrix without building the
+/// tiled structure.
+pub fn tile_count<T: Copy + Sync>(a: &CsrMatrix<T>, nt: usize) -> usize {
+    assert!(nt > 0);
+    let m_tiles = tiles_for(a.nrows(), nt);
+    (0..m_tiles)
+        .into_par_iter()
+        .map(|rt| {
+            let row_start = rt * nt;
+            let row_end = (row_start + nt).min(a.nrows());
+            let mut cts: Vec<u32> = Vec::new();
+            for r in row_start..row_end {
+                let (cols, _) = a.row(r);
+                for &c in cols {
+                    cts.push(c / nt as u32);
+                }
+            }
+            cts.sort_unstable();
+            cts.dedup();
+            cts.len()
+        })
+        .sum()
+}
+
+/// The per-matrix statistics of Table 2: size, nonzeros, and tile counts at
+/// the three supported tile sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// Non-empty 16×16 tiles.
+    pub tiles16: usize,
+    /// Non-empty 32×32 tiles.
+    pub tiles32: usize,
+    /// Non-empty 64×64 tiles.
+    pub tiles64: usize,
+}
+
+impl TileStats {
+    /// Computes all three tile counts for a matrix.
+    pub fn for_matrix<T: Copy + Sync>(a: &CsrMatrix<T>) -> TileStats {
+        TileStats {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            tiles16: tile_count(a, 16),
+            tiles32: tile_count(a, 32),
+            tiles64: tile_count(a, 64),
+        }
+    }
+
+    /// Tile count at a given size.
+    pub fn at(&self, size: TileSize) -> usize {
+        match size {
+            TileSize::S16 => self.tiles16,
+            TileSize::S32 => self.tiles32,
+            TileSize::S64 => self.tiles64,
+        }
+    }
+
+    /// Fraction of the tile grid that is non-empty at `size` — the quantity
+    /// the paper's per-matrix analysis cites (e.g. trans5's 0.00018%).
+    pub fn occupancy(&self, size: TileSize) -> f64 {
+        let nt = size.nt();
+        let grid = tiles_for(self.nrows, nt) * tiles_for(self.ncols, nt);
+        if grid == 0 {
+            0.0
+        } else {
+            self.at(size) as f64 / grid as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::{banded, identity, uniform_random};
+
+    #[test]
+    fn identity_tile_counts() {
+        let a = identity(64).to_csr();
+        // The diagonal crosses each diagonal tile exactly once.
+        assert_eq!(tile_count(&a, 16), 4);
+        assert_eq!(tile_count(&a, 32), 2);
+        assert_eq!(tile_count(&a, 64), 1);
+    }
+
+    #[test]
+    fn larger_tiles_never_increase_count() {
+        let a = uniform_random(300, 300, 2000, 4).to_csr();
+        let s = TileStats::for_matrix(&a);
+        assert!(s.tiles16 >= s.tiles32);
+        assert!(s.tiles32 >= s.tiles64);
+        assert!(s.tiles64 >= 1);
+    }
+
+    #[test]
+    fn dense_band_fills_diagonal_tiles() {
+        let a = banded(64, 16, 1.0, 1).to_csr();
+        let c = tile_count(&a, 16);
+        // Band of half-width 16 touches the diagonal and both adjacent
+        // tile diagonals: between 4 and 12 tiles on a 4x4 grid.
+        assert!((4..=12).contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn occupancy_is_a_fraction() {
+        let a = uniform_random(200, 200, 500, 1).to_csr();
+        let s = TileStats::for_matrix(&a);
+        for ts in TileSize::all() {
+            let o = s.occupancy(ts);
+            assert!((0.0..=1.0).contains(&o));
+        }
+    }
+
+    #[test]
+    fn stats_record_shape() {
+        let a = uniform_random(100, 150, 300, 2).to_csr();
+        let s = TileStats::for_matrix(&a);
+        assert_eq!(s.nrows, 100);
+        assert_eq!(s.ncols, 150);
+        assert_eq!(s.nnz, a.nnz());
+        assert_eq!(s.at(TileSize::S16), s.tiles16);
+    }
+
+    #[test]
+    fn tile_count_matches_brute_force() {
+        let a = uniform_random(128, 128, 700, 9).to_csr();
+        for nt in [16usize, 32, 64] {
+            let mut set = std::collections::HashSet::new();
+            for (r, c, _) in a.iter() {
+                set.insert((r / nt, c / nt));
+            }
+            assert_eq!(tile_count(&a, nt), set.len(), "nt={nt}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The tiled sparse vector of Fig. 3: `x_ptr` + `x_tile`.
+//!
+//! The vector of length `n` is cut into `⌈n/nt⌉` tiles; empty tiles are
+//! dropped and the surviving ones stored densely and contiguously.
+//! `x_ptr[t]` is `-1` for an empty tile, otherwise the slot of tile `t` in
+//! `x_tile`, so element `i` is found in O(1) as
+//! `x_tile[x_ptr[i / nt] * nt + i % nt]`.
+
+use tsv_sparse::SparseVector;
+
+/// A sparse vector in the paper's tiled physical layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledVector {
+    n: usize,
+    nt: usize,
+    x_ptr: Vec<i32>,
+    x_tile: Vec<f64>,
+}
+
+impl TiledVector {
+    /// Builds the tiled layout from a logical sparse vector.
+    pub fn from_sparse(x: &SparseVector<f64>, nt: usize) -> Self {
+        assert!(nt > 0, "tile length must be positive");
+        let n = x.len();
+        let n_tiles = n.div_ceil(nt);
+        let mut x_ptr = vec![-1i32; n_tiles];
+
+        // First pass: mark and enumerate non-empty tiles in order (Fig. 3:
+        // "the rest tiles are marked as 0, 1, 2, ...").
+        let mut slots = 0i32;
+        for &i in x.indices() {
+            let t = i as usize / nt;
+            if x_ptr[t] < 0 {
+                x_ptr[t] = slots;
+                slots += 1;
+            }
+        }
+
+        // Second pass: scatter values into their dense tile payloads.
+        let mut x_tile = vec![0.0f64; slots as usize * nt];
+        for (i, v) in x.iter() {
+            let slot = x_ptr[i / nt];
+            debug_assert!(slot >= 0);
+            x_tile[slot as usize * nt + i % nt] = v;
+        }
+        TiledVector {
+            n,
+            nt,
+            x_ptr,
+            x_tile,
+        }
+    }
+
+    /// An empty tiled vector of logical length `n`.
+    pub fn zeros(n: usize, nt: usize) -> Self {
+        assert!(nt > 0);
+        TiledVector {
+            n,
+            nt,
+            x_ptr: vec![-1; n.div_ceil(nt)],
+            x_tile: Vec::new(),
+        }
+    }
+
+    /// Logical vector length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Tile edge length `nt`.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Number of vector tiles (`⌈n/nt⌉`).
+    pub fn n_tiles(&self) -> usize {
+        self.x_ptr.len()
+    }
+
+    /// Number of non-empty tiles actually stored.
+    pub fn stored_tiles(&self) -> usize {
+        self.x_tile.len() / self.nt
+    }
+
+    /// The tile index array (`-1` marks an empty tile).
+    pub fn x_ptr(&self) -> &[i32] {
+        &self.x_ptr
+    }
+
+    /// The dense payloads of the non-empty tiles, `nt` values each.
+    pub fn x_tile(&self) -> &[f64] {
+        &self.x_tile
+    }
+
+    /// The payload of vector tile `t`, or `None` when the tile is empty —
+    /// the O(1) lookup the TileSpMSpV kernel performs per matrix tile.
+    #[inline]
+    pub fn tile(&self, t: usize) -> Option<&[f64]> {
+        let slot = self.x_ptr[t];
+        if slot < 0 {
+            None
+        } else {
+            let s = slot as usize * self.nt;
+            Some(&self.x_tile[s..s + self.nt])
+        }
+    }
+
+    /// O(1) element access (implicit zeros included).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.n, "index {i} out of bounds for length {}", self.n);
+        match self.x_ptr[i / self.nt] {
+            s if s < 0 => 0.0,
+            s => self.x_tile[s as usize * self.nt + i % self.nt],
+        }
+    }
+
+    /// Converts back to the logical compressed form, dropping zeros.
+    pub fn to_sparse(&self) -> SparseVector<f64> {
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for (t, &slot) in self.x_ptr.iter().enumerate() {
+            if slot < 0 {
+                continue;
+            }
+            let base = t * self.nt;
+            let payload = &self.x_tile[slot as usize * self.nt..(slot as usize + 1) * self.nt];
+            for (k, &v) in payload.iter().enumerate() {
+                if v != 0.0 && base + k < self.n {
+                    indices.push((base + k) as u32);
+                    vals.push(v);
+                }
+            }
+        }
+        SparseVector::from_parts(self.n, indices, vals)
+            .expect("tile order yields sorted unique indices")
+    }
+
+    /// Fraction of vector tiles that are non-empty — the quantity that
+    /// bounds TileSpMSpV's work.
+    pub fn tile_occupancy(&self) -> f64 {
+        if self.x_ptr.is_empty() {
+            0.0
+        } else {
+            self.stored_tiles() as f64 / self.n_tiles() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example of Fig. 3: length 16, nt = 4, five nonzeros placed so
+    /// tiles 1 and 3 are empty.
+    fn figure3_vector() -> SparseVector<f64> {
+        SparseVector::from_entries(
+            16,
+            vec![(0, 1.0), (2, 2.0), (3, 3.0), (8, 4.0), (10, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_layout() {
+        let t = TiledVector::from_sparse(&figure3_vector(), 4);
+        assert_eq!(t.x_ptr(), &[0, -1, 1, -1]);
+        assert_eq!(t.stored_tiles(), 2);
+        assert_eq!(t.x_tile(), &[1.0, 0.0, 2.0, 3.0, 4.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn o1_lookup_formula() {
+        let t = TiledVector::from_sparse(&figure3_vector(), 4);
+        for i in 0..16 {
+            let expect = figure3_vector().get(i).unwrap_or(0.0);
+            assert_eq!(t.get(i), expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn tile_access() {
+        let t = TiledVector::from_sparse(&figure3_vector(), 4);
+        assert_eq!(t.tile(0), Some(&[1.0, 0.0, 2.0, 3.0][..]));
+        assert_eq!(t.tile(1), None);
+        assert_eq!(t.tile(2), Some(&[4.0, 0.0, 5.0, 0.0][..]));
+    }
+
+    #[test]
+    fn roundtrip_to_sparse() {
+        let x = figure3_vector();
+        let t = TiledVector::from_sparse(&x, 4);
+        assert_eq!(t.to_sparse(), x);
+    }
+
+    #[test]
+    fn ragged_tail_tile() {
+        // Length 10 with nt = 4: three tiles, last covers only 2 elements.
+        let x = SparseVector::from_entries(10, vec![(9, 7.0)]).unwrap();
+        let t = TiledVector::from_sparse(&x, 4);
+        assert_eq!(t.n_tiles(), 3);
+        assert_eq!(t.x_ptr(), &[-1, -1, 0]);
+        assert_eq!(t.get(9), 7.0);
+        assert_eq!(t.to_sparse(), x);
+    }
+
+    #[test]
+    fn zeros_vector() {
+        let t = TiledVector::zeros(20, 8);
+        assert_eq!(t.n_tiles(), 3);
+        assert_eq!(t.stored_tiles(), 0);
+        assert_eq!(t.get(13), 0.0);
+        assert_eq!(t.to_sparse().nnz(), 0);
+        assert_eq!(t.tile_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let t = TiledVector::from_sparse(&figure3_vector(), 4);
+        assert!((t.tile_occupancy() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let t = TiledVector::zeros(10, 4);
+        t.get(10);
+    }
+}

@@ -1,0 +1,194 @@
+//! Atomic global-memory operations.
+//!
+//! The BFS kernels of Algorithms 5-7 update the output frontier with
+//! `atomicOr`, and the column-push numeric kernel merges partial products
+//! with atomic float adds. These wrappers provide the same operations over
+//! plain vectors, with safe conversion back to `Vec<u64>`/`Vec<f64>` once
+//! the launch has completed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A bit-word vector supporting concurrent `fetch_or`, the `atomicOr` target
+/// of the paper's BFS kernels (one word per vector tile).
+#[derive(Debug)]
+pub struct AtomicWords {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicWords {
+    /// Creates `n` zero words.
+    pub fn zeroed(n: usize) -> Self {
+        AtomicWords {
+            words: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Wraps an existing word vector.
+    pub fn from_vec(v: Vec<u64>) -> Self {
+        AtomicWords {
+            words: v.into_iter().map(AtomicU64::new).collect(),
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when there are no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// `atomicOr(&words[i], bits)`; returns the previous value.
+    #[inline]
+    pub fn fetch_or(&self, i: usize, bits: u64) -> u64 {
+        self.words[i].fetch_or(bits, Ordering::Relaxed)
+    }
+
+    /// Plain load (kernels read the mask vector without synchronization,
+    /// exactly like the CUDA code reads global memory).
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Consumes the atomic view back into a plain vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.words.into_iter().map(|w| w.into_inner()).collect()
+    }
+
+    /// Copies the current contents into a plain vector.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// An `f64` vector supporting concurrent add via compare-and-swap on the
+/// bit pattern — the standard emulation of `atomicAdd(double*)`.
+#[derive(Debug)]
+pub struct AtomicF64s {
+    bits: Vec<AtomicU64>,
+}
+
+impl AtomicF64s {
+    /// Creates `n` zeros.
+    pub fn zeroed(n: usize) -> Self {
+        AtomicF64s {
+            bits: (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
+        }
+    }
+
+    /// Wraps an existing vector (e.g. the output of a non-atomic kernel
+    /// that a later atomic pass accumulates into).
+    pub fn from_vec(v: Vec<f64>) -> Self {
+        AtomicF64s {
+            bits: v.into_iter().map(|x| AtomicU64::new(x.to_bits())).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// `atomicAdd(&vals[i], v)` via a CAS loop; returns nothing (the paper's
+    /// kernels discard the old value).
+    #[inline]
+    pub fn add(&self, i: usize, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        let cell = &self.bits[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Plain load.
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i].load(Ordering::Relaxed))
+    }
+
+    /// Consumes into a plain `Vec<f64>`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.bits
+            .into_iter()
+            .map(|b| f64::from_bits(b.into_inner()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn words_or_and_roundtrip() {
+        let w = AtomicWords::zeroed(4);
+        let old = w.fetch_or(1, 0b1010);
+        assert_eq!(old, 0);
+        let old = w.fetch_or(1, 0b0110);
+        assert_eq!(old, 0b1010);
+        assert_eq!(w.load(1), 0b1110);
+        assert_eq!(w.into_vec(), vec![0, 0b1110, 0, 0]);
+    }
+
+    #[test]
+    fn words_from_vec_preserves_contents() {
+        let w = AtomicWords::from_vec(vec![7, 9]);
+        assert_eq!(w.to_vec(), vec![7, 9]);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn concurrent_or_sets_every_bit() {
+        let w = AtomicWords::zeroed(1);
+        (0..64u64).into_par_iter().for_each(|b| {
+            w.fetch_or(0, 1 << b);
+        });
+        assert_eq!(w.load(0), u64::MAX);
+    }
+
+    #[test]
+    fn f64_add_accumulates() {
+        let v = AtomicF64s::zeroed(2);
+        v.add(0, 1.5);
+        v.add(0, 2.5);
+        v.add(1, -1.0);
+        assert_eq!(v.load(0), 4.0);
+        assert_eq!(v.into_vec(), vec![4.0, -1.0]);
+    }
+
+    #[test]
+    fn concurrent_f64_adds_do_not_lose_updates() {
+        let v = AtomicF64s::zeroed(1);
+        (0..10_000).into_par_iter().for_each(|_| v.add(0, 1.0));
+        assert_eq!(v.load(0), 10_000.0);
+    }
+
+    #[test]
+    fn zero_add_is_a_noop() {
+        let v = AtomicF64s::zeroed(1);
+        v.add(0, 0.0);
+        assert_eq!(v.load(0), 0.0);
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+}

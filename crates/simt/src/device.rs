@@ -1,0 +1,88 @@
+//! Device configurations for the analytic time model.
+//!
+//! Table 1 of the paper lists the two test GPUs; the presets below carry the
+//! same published specifications. The model only needs aggregate throughput
+//! numbers, not microarchitectural detail.
+
+/// A GPU described by its aggregate throughput characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, used in harness output.
+    pub name: &'static str,
+    /// Number of CUDA cores.
+    pub cuda_cores: u32,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak global memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Streaming multiprocessor count (limits resident warps).
+    pub sm_count: u32,
+    /// Fixed cost per kernel launch in microseconds.
+    pub launch_overhead_us: f64,
+    /// Sustained atomic operations per second on global memory.
+    pub atomics_per_sec: f64,
+}
+
+impl DeviceConfig {
+    /// Peak FP64-equivalent arithmetic throughput in FLOP/s. Consumer
+    /// Ampere executes FP32 at 2 FLOP/core/cycle; the integer/bitwise path
+    /// used by the BFS kernels runs at a similar rate, and the model treats
+    /// one bit-word operation as one "flop" of that pipe.
+    pub fn peak_flops(&self) -> f64 {
+        self.cuda_cores as f64 * self.clock_ghz * 1e9 * 2.0
+    }
+
+    /// Peak memory bandwidth in bytes/second.
+    pub fn peak_bytes_per_sec(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9
+    }
+
+    /// Maximum concurrently resident warps (48 per Ampere SM).
+    pub fn max_resident_warps(&self) -> u64 {
+        self.sm_count as u64 * 48
+    }
+}
+
+/// NVIDIA GeForce RTX 3060 as specified in Table 1: 3584 cores @ 1.78 GHz,
+/// 12 GB GDDR6, 360.0 GB/s.
+pub const RTX_3060: DeviceConfig = DeviceConfig {
+    name: "NVIDIA GeForce RTX 3060",
+    cuda_cores: 3584,
+    clock_ghz: 1.78,
+    mem_bandwidth_gbps: 360.0,
+    sm_count: 28,
+    launch_overhead_us: 3.0,
+    atomics_per_sec: 2.0e9,
+};
+
+/// NVIDIA GeForce RTX 3090 as specified in Table 1: 10496 cores @ 1.70 GHz,
+/// 24 GB GDDR6X, 936.2 GB/s.
+pub const RTX_3090: DeviceConfig = DeviceConfig {
+    name: "NVIDIA GeForce RTX 3090",
+    cuda_cores: 10496,
+    clock_ghz: 1.70,
+    mem_bandwidth_gbps: 936.2,
+    sm_count: 82,
+    launch_overhead_us: 3.0,
+    atomics_per_sec: 4.0e9,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_1() {
+        assert_eq!(RTX_3060.cuda_cores, 3584);
+        assert_eq!(RTX_3090.cuda_cores, 10496);
+        assert!((RTX_3060.mem_bandwidth_gbps - 360.0).abs() < 1e-9);
+        assert!((RTX_3090.mem_bandwidth_gbps - 936.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_gpu_has_more_throughput() {
+        assert!(RTX_3090.peak_flops() > RTX_3060.peak_flops());
+        assert!(RTX_3090.peak_bytes_per_sec() > RTX_3060.peak_bytes_per_sec());
+        assert!(RTX_3090.max_resident_warps() > RTX_3060.max_resident_warps());
+    }
+}

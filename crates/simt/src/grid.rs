@@ -1,0 +1,112 @@
+//! Kernel launches: a grid of warps over a rayon thread pool.
+
+use crate::stats::KernelStats;
+use crate::warp::WarpCtx;
+use rayon::prelude::*;
+
+/// Launches `n_warps` warps, each running `body`. Returns the summed work
+/// counters.
+///
+/// This is the CPU analog of `kernel<<<grid, block>>>`: every warp is an
+/// independent parallel task (rayon work-stealing plays the role of the GPU
+/// warp scheduler, including the load-balancing behaviour the paper's long
+/// row tiles stress). The body communicates results through the atomic
+/// views in [`crate::atomic`] or through pre-partitioned output — see
+/// [`launch_over_chunks`] for the common row-tile-owns-output pattern.
+pub fn launch<F>(n_warps: usize, body: F) -> KernelStats
+where
+    F: Fn(&mut WarpCtx) + Sync,
+{
+    (0..n_warps)
+        .into_par_iter()
+        .map(|warp_id| {
+            let mut ctx = WarpCtx::new(warp_id);
+            body(&mut ctx);
+            ctx.stats
+        })
+        .sum()
+}
+
+/// Launches one warp per output chunk: `output` is split into disjoint
+/// `chunk_len`-sized pieces and warp `i` gets exclusive mutable access to
+/// piece `i`.
+///
+/// This matches the paper's row-tile kernels, where a warp owns the `nt`
+/// output rows of its row tile and therefore needs no atomics on y.
+pub fn launch_over_chunks<T, F>(output: &mut [T], chunk_len: usize, body: F) -> KernelStats
+where
+    T: Send,
+    F: Fn(&mut WarpCtx, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    output
+        .par_chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(warp_id, chunk)| {
+            let mut ctx = WarpCtx::new(warp_id);
+            body(&mut ctx, chunk);
+            ctx.stats
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicWords;
+
+    #[test]
+    fn launch_runs_every_warp_once() {
+        let hits = AtomicWords::zeroed(2);
+        let stats = launch(128, |w| {
+            hits.fetch_or(w.warp_id / 64, 1 << (w.warp_id % 64));
+        });
+        assert_eq!(stats.warps, 128);
+        assert_eq!(hits.load(0), u64::MAX);
+        assert_eq!(hits.load(1), u64::MAX);
+    }
+
+    #[test]
+    fn launch_zero_warps_is_empty() {
+        let stats = launch(0, |_| panic!("no warp should run"));
+        assert_eq!(stats.warps, 0);
+    }
+
+    #[test]
+    fn launch_sums_stats() {
+        let stats = launch(10, |w| {
+            w.stats.read(8);
+            w.stats.flop(2);
+        });
+        assert_eq!(stats.gmem_read_bytes, 80);
+        assert_eq!(stats.flops, 20);
+    }
+
+    #[test]
+    fn chunks_partition_output_disjointly() {
+        let mut out = vec![0u32; 100];
+        let stats = launch_over_chunks(&mut out, 10, |w, chunk| {
+            for v in chunk.iter_mut() {
+                *v = w.warp_id as u32 + 1;
+            }
+        });
+        assert_eq!(stats.warps, 10);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 10);
+        assert!(out.iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    fn chunks_handle_ragged_tail() {
+        let mut out = vec![0u8; 25];
+        let stats = launch_over_chunks(&mut out, 10, |_, chunk| {
+            let len = chunk.len() as u8;
+            for v in chunk.iter_mut() {
+                *v = len;
+            }
+        });
+        // 10 + 10 + 5 elements → 3 warps.
+        assert_eq!(stats.warps, 3);
+        assert_eq!(out[24], 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! SIMT execution substrate.
+//!
+//! The paper's kernels are CUDA warp programs on NVIDIA Ampere GPUs. This
+//! crate is the substitution that lets the whole system run and be measured
+//! without a GPU:
+//!
+//! * [`grid`] — kernel launches: a grid of *warps* executed in parallel over
+//!   CPU threads (rayon). A warp is the paper's minimum scheduling unit
+//!   (one warp per row tile / per frontier chunk), so parallel structure and
+//!   load balancing behave like the CUDA code.
+//! * [`warp`] — warp-level primitives the kernels use: `__shfl_down_sync`
+//!   style reductions, ballots, and per-lane iteration, with the same
+//!   lock-step semantics.
+//! * [`atomic`] — the atomic global-memory operations of the paper's
+//!   Algorithms 5–7 (`atomicOr`, atomic f64 add) over plain vectors.
+//! * [`stats`] — per-kernel work counters (global memory traffic, flops,
+//!   atomics, warp count) aggregated across the grid.
+//! * [`device`] + [`model`] — the two GPUs of the paper (RTX 3060 / 3090) as
+//!   analytic roofline configurations, turning counted work into an
+//!   estimated device time. Figure 7's cross-device comparison uses this.
+//!
+//! Wall-clock time of the CPU execution and modeled device time are both
+//! reported by the harness; relative orderings between algorithms come from
+//! the counted work either way.
+
+pub mod atomic;
+pub mod device;
+pub mod grid;
+pub mod model;
+pub mod profile;
+pub mod stats;
+pub mod warp;
+
+pub use device::{DeviceConfig, RTX_3060, RTX_3090};
+pub use grid::{launch, launch_over_chunks};
+pub use profile::Profiler;
+pub use stats::KernelStats;
+pub use warp::{WarpCtx, WARP_SIZE};

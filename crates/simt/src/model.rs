@@ -1,0 +1,125 @@
+//! Analytic device-time model.
+//!
+//! A straightforward roofline: a kernel is limited by whichever of the
+//! memory system, the arithmetic pipes, or atomic serialization it saturates
+//! first, plus a fixed launch cost and a floor for grids too small to fill
+//! the machine. The model is deliberately simple — it exists to translate
+//! *counted work* (which the CPU execution measures exactly) into the
+//! cross-device comparisons of Figure 7, not to predict absolute GPU
+//! milliseconds.
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// Bandwidth derating for scattered (uncoalesced) accesses: single-word
+/// random transactions move 32-byte sectors and defeat coalescing, landing
+/// around a quarter of peak on Ampere.
+pub const SCATTER_PENALTY: f64 = 4.0;
+
+/// Estimated execution time of one kernel launch on `device`, in seconds.
+pub fn kernel_time(stats: &KernelStats, device: &DeviceConfig) -> f64 {
+    let streamed = stats.gmem_bytes().saturating_sub(stats.gmem_scattered_bytes) as f64;
+    let scattered = stats.gmem_scattered_bytes as f64;
+    let mem = (streamed + SCATTER_PENALTY * scattered) / device.peak_bytes_per_sec();
+    // Arithmetic work: float ops and bit-word semiring ops share the ALU
+    // pipes; lane bookkeeping contributes a small issue cost per step.
+    let alu_ops = stats.flops as f64 + stats.bitops as f64 + 0.25 * stats.lane_steps as f64;
+    let compute = alu_ops / device.peak_flops();
+    let atomics = stats.atomics as f64 / device.atomics_per_sec;
+
+    // A grid smaller than the resident-warp capacity cannot hide latency;
+    // scale the bound up by the unused fraction (empirically the dominant
+    // effect for the tiny frontiers of early BFS iterations).
+    let occupancy = (stats.warps as f64 / device.max_resident_warps() as f64).clamp(0.02, 1.0);
+    let body = mem.max(compute).max(atomics) / occupancy.sqrt();
+
+    device.launch_overhead_us * 1e-6 + body
+}
+
+/// Estimated time for a sequence of launches (e.g. the iterations of a
+/// BFS), in seconds.
+pub fn total_time<'a, I>(launches: I, device: &DeviceConfig) -> f64
+where
+    I: IntoIterator<Item = &'a KernelStats>,
+{
+    launches
+        .into_iter()
+        .map(|s| kernel_time(s, device))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{RTX_3060, RTX_3090};
+
+    fn big_kernel() -> KernelStats {
+        KernelStats {
+            gmem_read_bytes: 1 << 30,
+            gmem_write_bytes: 1 << 28,
+            flops: 1 << 30,
+            warps: 1 << 20,
+            ..KernelStats::default()
+        }
+    }
+
+    #[test]
+    fn bigger_device_is_faster_on_big_kernels() {
+        let s = big_kernel();
+        assert!(kernel_time(&s, &RTX_3090) < kernel_time(&s, &RTX_3060));
+    }
+
+    #[test]
+    fn empty_kernel_costs_the_launch_overhead() {
+        let s = KernelStats::default();
+        let t = kernel_time(&s, &RTX_3090);
+        assert!((t - RTX_3090.launch_overhead_us * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bytes() {
+        let mut s = KernelStats {
+            warps: 1 << 20,
+            ..KernelStats::default()
+        };
+        s.gmem_read_bytes = 1 << 30;
+        let t1 = kernel_time(&s, &RTX_3090);
+        s.gmem_read_bytes = 2 << 30;
+        let t2 = kernel_time(&s, &RTX_3090);
+        assert!(t2 > t1 * 1.8, "doubling bytes should near-double time");
+    }
+
+    #[test]
+    fn tiny_grids_pay_an_occupancy_penalty() {
+        let mut s = big_kernel();
+        let full = kernel_time(&s, &RTX_3090);
+        s.warps = 8; // nearly empty machine, same work
+        let starved = kernel_time(&s, &RTX_3090);
+        assert!(starved > full);
+    }
+
+    #[test]
+    fn scattered_bytes_cost_more_than_streamed() {
+        let mut a = KernelStats {
+            warps: 1 << 20,
+            ..KernelStats::default()
+        };
+        a.read(1 << 30);
+        let mut b = KernelStats {
+            warps: 1 << 20,
+            ..KernelStats::default()
+        };
+        b.read_scattered(1 << 30);
+        let ta = kernel_time(&a, &RTX_3090);
+        let tb = kernel_time(&b, &RTX_3090);
+        assert!(tb > ta * 3.0, "scatter penalty missing: {ta} vs {tb}");
+    }
+
+    #[test]
+    fn total_time_sums_launches() {
+        let s = big_kernel();
+        let both = total_time([&s, &s], &RTX_3090);
+        let one = kernel_time(&s, &RTX_3090);
+        assert!((both - 2.0 * one).abs() < 1e-12);
+    }
+}

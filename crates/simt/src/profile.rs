@@ -1,0 +1,161 @@
+//! Named-kernel profiling.
+//!
+//! Harness code records each kernel invocation under a label; the profiler
+//! aggregates counts, wall time and modeled device time and renders an
+//! aligned report — the "which kernel is the bottleneck" view the paper's
+//! iteration analysis (§4.5) is built from.
+
+use crate::device::DeviceConfig;
+use crate::model::kernel_time;
+use crate::stats::KernelStats;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Aggregated record of one kernel label.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileEntry {
+    /// Number of recorded launches.
+    pub launches: usize,
+    /// Summed work counters.
+    pub stats: KernelStats,
+    /// Summed wall time.
+    pub wall: Duration,
+}
+
+/// Thread-safe aggregation of kernel statistics by label.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    entries: Mutex<BTreeMap<String, ProfileEntry>>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Records one launch under `label`.
+    pub fn record(&self, label: &str, stats: KernelStats, wall: Duration) {
+        let mut map = self.entries.lock().expect("profiler lock");
+        let e = map.entry(label.to_string()).or_default();
+        e.launches += 1;
+        e.stats += stats;
+        e.wall += wall;
+    }
+
+    /// Snapshot of the aggregated entries, sorted by label.
+    pub fn entries(&self) -> Vec<(String, ProfileEntry)> {
+        self.entries
+            .lock()
+            .expect("profiler lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().expect("profiler lock").is_empty()
+    }
+
+    /// Renders an aligned per-kernel report. Modeled time charges each
+    /// recorded launch its own launch overhead on `device`.
+    pub fn report(&self, device: &DeviceConfig) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10} {:>12}\n",
+            "kernel", "launches", "gmem KiB", "scattered", "flops+bitops", "atomics", "model ms"
+        ));
+        let mut total_model = 0.0;
+        for (label, e) in self.entries() {
+            // Per-launch overhead: model each launch as carrying an equal
+            // share of the aggregated work.
+            let per_launch = scale_stats(&e.stats, 1.0 / e.launches.max(1) as f64);
+            let model_ms = kernel_time(&per_launch, device) * e.launches as f64 * 1e3;
+            total_model += model_ms;
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10} {:>12.4}\n",
+                label,
+                e.launches,
+                e.stats.gmem_bytes() / 1024,
+                e.stats.gmem_scattered_bytes / 1024,
+                e.stats.flops + e.stats.bitops,
+                e.stats.atomics,
+                model_ms,
+            ));
+        }
+        out.push_str(&format!("total modeled: {total_model:.4} ms on {}\n", device.name));
+        out
+    }
+}
+
+fn scale_stats(s: &KernelStats, f: f64) -> KernelStats {
+    KernelStats {
+        gmem_read_bytes: (s.gmem_read_bytes as f64 * f) as u64,
+        gmem_write_bytes: (s.gmem_write_bytes as f64 * f) as u64,
+        gmem_scattered_bytes: (s.gmem_scattered_bytes as f64 * f) as u64,
+        atomics: (s.atomics as f64 * f) as u64,
+        flops: (s.flops as f64 * f) as u64,
+        bitops: (s.bitops as f64 * f) as u64,
+        warps: (s.warps as f64 * f).max(1.0) as u64,
+        lane_steps: (s.lane_steps as f64 * f) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::RTX_3090;
+
+    fn stats(bytes: u64) -> KernelStats {
+        let mut s = KernelStats::default();
+        s.read(bytes as usize);
+        s.warps = 100;
+        s
+    }
+
+    #[test]
+    fn records_aggregate_per_label() {
+        let p = Profiler::new();
+        p.record("push-csc", stats(1000), Duration::from_micros(5));
+        p.record("push-csc", stats(500), Duration::from_micros(3));
+        p.record("pull-csc", stats(100), Duration::from_micros(1));
+        let entries = p.entries();
+        assert_eq!(entries.len(), 2);
+        let (name, e) = &entries[1];
+        assert_eq!(name, "push-csc");
+        assert_eq!(e.launches, 2);
+        assert_eq!(e.stats.gmem_read_bytes, 1500);
+        assert_eq!(e.wall, Duration::from_micros(8));
+    }
+
+    #[test]
+    fn report_renders_every_label() {
+        let p = Profiler::new();
+        assert!(p.is_empty());
+        p.record("k1", stats(1 << 20), Duration::from_millis(1));
+        p.record("k2", stats(1 << 10), Duration::from_millis(1));
+        let r = p.report(&RTX_3090);
+        assert!(r.contains("k1"));
+        assert!(r.contains("k2"));
+        assert!(r.contains("total modeled"));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let p = std::sync::Arc::new(Profiler::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = p.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        p.record("k", stats(10), Duration::from_nanos(10));
+                    }
+                });
+            }
+        });
+        assert_eq!(p.entries()[0].1.launches, 400);
+    }
+}

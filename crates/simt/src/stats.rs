@@ -1,0 +1,174 @@
+//! Work counters collected by every kernel.
+//!
+//! Each warp accumulates counts locally (no synchronization on the hot
+//! path); [`crate::grid::launch`] sums them across the grid. The counters
+//! feed the [`crate::model`] roofline and are also handy assertions in
+//! tests ("the tiled kernel must touch fewer bytes than the dense one").
+
+/// Aggregated work performed by one kernel launch (or one warp).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Bytes read from global memory.
+    pub gmem_read_bytes: u64,
+    /// Bytes written to global memory.
+    pub gmem_write_bytes: u64,
+    /// The subset of the traffic above that is *scattered* (random
+    /// single-word accesses). GPUs move such bytes at a fraction of peak
+    /// bandwidth (32-byte minimum sectors, no coalescing); the time model
+    /// charges them at `bandwidth / 4`.
+    pub gmem_scattered_bytes: u64,
+    /// Atomic read-modify-write operations on global memory.
+    pub atomics: u64,
+    /// Floating-point operations (one fused multiply-add counts as two).
+    pub flops: u64,
+    /// Bitwise semiring operations (AND/OR words in the BFS kernels).
+    pub bitops: u64,
+    /// Warps that executed.
+    pub warps: u64,
+    /// Lane-iterations executed (a measure of occupancy/divergence).
+    pub lane_steps: u64,
+}
+
+impl KernelStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total global memory traffic in bytes.
+    pub fn gmem_bytes(&self) -> u64 {
+        self.gmem_read_bytes + self.gmem_write_bytes
+    }
+
+    /// Records a global read of `n` bytes.
+    #[inline]
+    pub fn read(&mut self, n: usize) {
+        self.gmem_read_bytes += n as u64;
+    }
+
+    /// Records a global write of `n` bytes.
+    #[inline]
+    pub fn write(&mut self, n: usize) {
+        self.gmem_write_bytes += n as u64;
+    }
+
+    /// Records a scattered (uncoalesced) global read of `n` bytes.
+    #[inline]
+    pub fn read_scattered(&mut self, n: usize) {
+        self.gmem_read_bytes += n as u64;
+        self.gmem_scattered_bytes += n as u64;
+    }
+
+    /// Records a scattered (uncoalesced) global write of `n` bytes.
+    #[inline]
+    pub fn write_scattered(&mut self, n: usize) {
+        self.gmem_write_bytes += n as u64;
+        self.gmem_scattered_bytes += n as u64;
+    }
+
+    /// Records `n` atomic operations.
+    #[inline]
+    pub fn atomic(&mut self, n: usize) {
+        self.atomics += n as u64;
+    }
+
+    /// Records `n` floating point operations.
+    #[inline]
+    pub fn flop(&mut self, n: usize) {
+        self.flops += n as u64;
+    }
+
+    /// Records `n` bitwise semiring word operations.
+    #[inline]
+    pub fn bitop(&mut self, n: usize) {
+        self.bitops += n as u64;
+    }
+
+    /// Merges another counter set into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.gmem_read_bytes += other.gmem_read_bytes;
+        self.gmem_write_bytes += other.gmem_write_bytes;
+        self.gmem_scattered_bytes += other.gmem_scattered_bytes;
+        self.atomics += other.atomics;
+        self.flops += other.flops;
+        self.bitops += other.bitops;
+        self.warps += other.warps;
+        self.lane_steps += other.lane_steps;
+    }
+}
+
+impl std::ops::Add for KernelStats {
+    type Output = KernelStats;
+
+    fn add(mut self, rhs: KernelStats) -> KernelStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for KernelStats {
+    fn add_assign(&mut self, rhs: KernelStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for KernelStats {
+    fn sum<I: Iterator<Item = KernelStats>>(iter: I) -> KernelStats {
+        iter.fold(KernelStats::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = KernelStats::new();
+        s.read(100);
+        s.write(24);
+        s.atomic(3);
+        s.flop(8);
+        s.bitop(2);
+        assert_eq!(s.gmem_bytes(), 124);
+        assert_eq!(s.atomics, 3);
+        assert_eq!(s.flops, 8);
+        assert_eq!(s.bitops, 2);
+        assert_eq!(s.gmem_scattered_bytes, 0);
+    }
+
+    #[test]
+    fn scattered_traffic_counts_in_both_totals() {
+        let mut s = KernelStats::new();
+        s.read_scattered(8);
+        s.write_scattered(4);
+        s.read(100);
+        assert_eq!(s.gmem_read_bytes, 108);
+        assert_eq!(s.gmem_write_bytes, 4);
+        assert_eq!(s.gmem_scattered_bytes, 12);
+
+        let mut t = KernelStats::new();
+        t.read_scattered(10);
+        s.merge(&t);
+        assert_eq!(s.gmem_scattered_bytes, 22);
+    }
+
+    #[test]
+    fn add_and_sum_merge_fields() {
+        let mut a = KernelStats::new();
+        a.read(10);
+        a.warps = 2;
+        let mut b = KernelStats::new();
+        b.write(5);
+        b.warps = 3;
+        let c = a + b;
+        assert_eq!(c.gmem_read_bytes, 10);
+        assert_eq!(c.gmem_write_bytes, 5);
+        assert_eq!(c.warps, 5);
+
+        let total: KernelStats = vec![a, b, c].into_iter().sum();
+        assert_eq!(total.warps, 10);
+        assert_eq!(total.gmem_bytes(), 30);
+    }
+}

@@ -1,0 +1,168 @@
+//! Warp context and warp-level primitives.
+//!
+//! A CUDA warp executes 32 lanes in lock-step; the paper's kernels use this
+//! for intra-tile parallelism ("two threads work for each row" of a 16×16
+//! tile) and for register shuffles in the reduction of Algorithm 4. On the
+//! CPU a warp's lanes run sequentially inside one task, which preserves the
+//! lock-step semantics exactly; the primitives below mirror the CUDA
+//! intrinsics the kernels call and count the work they do.
+
+use crate::stats::KernelStats;
+
+/// Lanes per warp, as on all CUDA architectures.
+pub const WARP_SIZE: usize = 32;
+
+/// Execution context handed to a kernel body, one per warp.
+#[derive(Debug)]
+pub struct WarpCtx {
+    /// Linear warp index within the launch grid.
+    pub warp_id: usize,
+    /// Local work counters, summed across the grid after the launch.
+    pub stats: KernelStats,
+}
+
+impl WarpCtx {
+    /// Creates the context for warp `warp_id`.
+    pub fn new(warp_id: usize) -> Self {
+        WarpCtx {
+            warp_id,
+            stats: KernelStats {
+                warps: 1,
+                ..KernelStats::default()
+            },
+        }
+    }
+
+    /// Runs `f` once per lane, in lane order — the lock-step body of a
+    /// `for ti = 0 to 31 in parallel` loop from the paper's pseudocode.
+    #[inline]
+    pub fn for_each_lane<F: FnMut(usize)>(&mut self, mut f: F) {
+        for lane in 0..WARP_SIZE {
+            f(lane);
+        }
+        self.stats.lane_steps += WARP_SIZE as u64;
+    }
+
+    /// `__shfl_down_sync`: each lane receives the value of `lane + delta`
+    /// (unchanged for lanes whose source would fall off the warp).
+    #[inline]
+    pub fn shfl_down<T: Copy>(&mut self, vals: &mut [T; WARP_SIZE], delta: usize) {
+        for lane in 0..WARP_SIZE {
+            if lane + delta < WARP_SIZE {
+                vals[lane] = vals[lane + delta];
+            }
+        }
+        self.stats.lane_steps += WARP_SIZE as u64;
+    }
+
+    /// Butterfly sum over the warp via repeated `shfl_down`, as in lines
+    /// 12-13 of Algorithm 4. Returns the total (the value lane 0 would
+    /// hold).
+    #[inline]
+    pub fn reduce_sum(&mut self, mut vals: [f64; WARP_SIZE]) -> f64 {
+        let mut delta = WARP_SIZE / 2;
+        while delta > 0 {
+            for lane in 0..delta {
+                vals[lane] += vals[lane + delta];
+            }
+            self.stats.flops += delta as u64;
+            delta /= 2;
+        }
+        self.stats.lane_steps += WARP_SIZE as u64;
+        vals[0]
+    }
+
+    /// `__ballot_sync`: one bit per lane predicate.
+    #[inline]
+    pub fn ballot(&mut self, preds: &[bool; WARP_SIZE]) -> u32 {
+        let mut mask = 0u32;
+        for (lane, &p) in preds.iter().enumerate() {
+            if p {
+                mask |= 1 << lane;
+            }
+        }
+        self.stats.lane_steps += WARP_SIZE as u64;
+        mask
+    }
+
+    /// `__any_sync`: true when any lane predicate holds.
+    #[inline]
+    pub fn any(&mut self, preds: &[bool; WARP_SIZE]) -> bool {
+        self.ballot(preds) != 0
+    }
+
+    /// Splits a half-open range among the 32 lanes in a strided pattern
+    /// (lane `l` gets `start+l`, `start+l+32`, ...), the coalesced access
+    /// idiom of all the paper's kernels. Returns an iterator of
+    /// `(lane, index)` pairs in execution order.
+    pub fn strided(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> impl Iterator<Item = (usize, usize)> {
+        (start..end).map(move |i| ((i - start) % WARP_SIZE, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_lane_visits_all_lanes_in_order() {
+        let mut w = WarpCtx::new(0);
+        let mut seen = Vec::new();
+        w.for_each_lane(|l| seen.push(l));
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+        assert_eq!(w.stats.lane_steps, 32);
+    }
+
+    #[test]
+    fn shfl_down_shifts_values() {
+        let mut w = WarpCtx::new(0);
+        let mut v: [u32; 32] = std::array::from_fn(|i| i as u32);
+        w.shfl_down(&mut v, 1);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[30], 31);
+        // Last lane keeps its value (CUDA semantics).
+        assert_eq!(v[31], 31);
+    }
+
+    #[test]
+    fn reduce_sum_totals_the_warp() {
+        let mut w = WarpCtx::new(3);
+        let v: [f64; 32] = std::array::from_fn(|i| (i + 1) as f64);
+        let total = w.reduce_sum(v);
+        assert_eq!(total, (32 * 33 / 2) as f64);
+        assert!(w.stats.flops > 0);
+    }
+
+    #[test]
+    fn ballot_and_any() {
+        let mut w = WarpCtx::new(0);
+        let mut p = [false; 32];
+        assert!(!w.any(&p));
+        p[0] = true;
+        p[31] = true;
+        let mask = w.ballot(&p);
+        assert_eq!(mask, 1 | (1 << 31));
+        assert!(w.any(&p));
+    }
+
+    #[test]
+    fn strided_covers_range_once() {
+        let w = WarpCtx::new(0);
+        let hits: Vec<_> = w.strided(10, 80).collect();
+        assert_eq!(hits.len(), 70);
+        assert_eq!(hits[0], (0, 10));
+        assert_eq!(hits[32], (0, 42));
+        assert_eq!(hits[33], (1, 43));
+    }
+
+    #[test]
+    fn new_warp_counts_itself() {
+        let w = WarpCtx::new(7);
+        assert_eq!(w.warp_id, 7);
+        assert_eq!(w.stats.warps, 1);
+    }
+}

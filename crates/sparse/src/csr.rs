@@ -1,0 +1,412 @@
+//! Compressed Sparse Row matrix.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in CSR form: `row_ptr` of length `nrows + 1` delimits the
+/// column-index/value run of each row.
+///
+/// Invariants (checked by [`CsrMatrix::from_parts`]):
+/// * `row_ptr[0] == 0`, `row_ptr[nrows] == col_idx.len() == vals.len()`,
+/// * `row_ptr` is non-decreasing,
+/// * every column index is `< ncols`.
+///
+/// Column indices within a row are kept sorted by every constructor in this
+/// crate; [`CsrMatrix::from_parts`] verifies it so downstream binary searches
+/// are sound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Copy> CsrMatrix<T> {
+    /// Builds a CSR matrix from raw arrays, validating every invariant.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(SparseError::MalformedPointers {
+                what: format!(
+                    "row_ptr has length {}, expected nrows + 1 = {}",
+                    row_ptr.len(),
+                    nrows + 1
+                ),
+            });
+        }
+        if col_idx.len() != vals.len() {
+            return Err(SparseError::LengthMismatch {
+                what: "col_idx/vals of a CSR matrix",
+            });
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().expect("len >= 1") != col_idx.len() {
+            return Err(SparseError::MalformedPointers {
+                what: "row_ptr must start at 0 and end at nnz".to_string(),
+            });
+        }
+        for w in row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::MalformedPointers {
+                    what: "row_ptr must be non-decreasing".to_string(),
+                });
+            }
+        }
+        for r in 0..nrows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in row.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(SparseError::MalformedPointers {
+                        what: format!("row {r} has unsorted or duplicate column indices"),
+                    });
+                }
+            }
+            if let Some(&c) = row.last() {
+                if c as usize >= ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c as usize,
+                        nrows,
+                        ncols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// Converts from COO, sorting row-major and summing duplicates.
+    pub fn from_coo(coo: &CooMatrix<T>) -> Self
+    where
+        T: std::ops::Add<Output = T>,
+    {
+        let mut sorted = coo.clone();
+        sorted.sum_duplicates();
+        let nrows = sorted.nrows();
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &r in sorted.row_indices() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            nrows,
+            ncols: sorted.ncols(),
+            row_ptr,
+            col_idx: sorted.col_indices().to_vec(),
+            vals: sorted.values().to_vec(),
+        }
+    }
+
+    /// An empty (all-zero) matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The row pointer array (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array (length `nnz`).
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array (length `nnz`).
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[s..e], &self.vals[s..e])
+    }
+
+    /// Number of stored entries in row `i` (the out-degree for adjacency
+    /// matrices).
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Looks up a single entry (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&(j as u32)).ok().map(|k| vals[k])
+    }
+
+    /// Iterates `(row, col, value)` over stored entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Converts to COO triplets.
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for r in 0..self.nrows {
+            rows.extend(std::iter::repeat(r as u32).take(self.row_nnz(r)));
+        }
+        CooMatrix::from_triplets(
+            self.nrows,
+            self.ncols,
+            rows,
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+        .expect("CSR invariants imply valid COO")
+    }
+
+    /// Converts to CSC by a counting transpose pass.
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut next = col_ptr.clone();
+        let mut row_idx = vec![0u32; self.nnz()];
+        let mut vals = self.vals.clone();
+        for r in 0..self.nrows {
+            let (cols, rvals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(rvals) {
+                let slot = next[c as usize];
+                row_idx[slot] = r as u32;
+                vals[slot] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CscMatrix::from_parts_unchecked(self.nrows, self.ncols, col_ptr, row_idx, vals)
+    }
+
+    /// Returns `Aᵀ` in CSR form.
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        let csc = self.to_csc();
+        // A CSC matrix is the CSR of its transpose with roles swapped.
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: csc.col_ptr().to_vec(),
+            col_idx: csc.row_idx().to_vec(),
+            vals: csc.values().to_vec(),
+        }
+    }
+
+    /// True when the sparsity pattern and values are symmetric (requires a
+    /// square matrix).
+    pub fn is_symmetric(&self) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        t.row_ptr == self.row_ptr && t.col_idx == self.col_idx && t.vals == self.vals
+    }
+
+    /// Converts to a dense row-major buffer (tests / tiny matrices only).
+    pub fn to_dense(&self) -> Vec<T>
+    where
+        T: Default,
+    {
+        let mut dense = vec![T::default(); self.nrows * self.ncols];
+        for (r, c, v) in self.iter() {
+            dense[r * self.ncols + c] = v;
+        }
+        dense
+    }
+}
+
+impl CsrMatrix<f64> {
+    /// Makes the pattern symmetric by adding `Aᵀ`'s missing entries (values
+    /// are kept where both directions exist; new entries copy the mirrored
+    /// value). Used to turn directed generator output into undirected graphs.
+    pub fn symmetrize(&self) -> CsrMatrix<f64> {
+        let mut coo = self.to_coo();
+        for (r, c, v) in self.iter() {
+            if r != c && self.get(c, r).is_none() {
+                coo.push(c, r, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Removes diagonal entries (self-loops for adjacency matrices).
+    pub fn without_diagonal(&self) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.iter() {
+            if r != c {
+                coo.push(r, c, v);
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(2, 1, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn from_coo_builds_expected_structure() {
+        let m = sample();
+        assert_eq!(m.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.col_idx(), &[0, 2, 0, 1]);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_access_and_get() {
+        let m = sample();
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[3.0, 4.0]);
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_pointers() {
+        let e = CsrMatrix::<f64>::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedPointers { .. })));
+
+        let e = CsrMatrix::<f64>::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedPointers { .. })));
+    }
+
+    #[test]
+    fn from_parts_rejects_unsorted_rows() {
+        let e = CsrMatrix::<f64>::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedPointers { .. })));
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_bounds_column() {
+        let e = CsrMatrix::<f64>::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn coo_roundtrip_preserves_matrix() {
+        let m = sample();
+        assert_eq!(m.to_coo().to_csr(), m);
+    }
+
+    #[test]
+    fn csc_conversion_matches_dense() {
+        let m = sample();
+        let csc = m.to_csc();
+        assert_eq!(csc.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        let d = m.to_dense();
+        let td = t.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d[r * 3 + c], td[c * 3 + r]);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric_pattern() {
+        let s = sample().symmetrize();
+        // Pattern symmetry: every (i, j) has a mirrored (j, i). Values where
+        // both directions pre-existed are kept as-is, so only the pattern is
+        // guaranteed symmetric.
+        for (r, c, _) in s.iter() {
+            assert!(s.get(c, r).is_some(), "missing mirror of ({r},{c})");
+        }
+        // (2, 1) existed only one way; its mirror copies the value.
+        assert_eq!(s.get(1, 2), Some(4.0));
+        // Both (0, 2) and (2, 0) pre-existed with different values: kept.
+        assert_eq!(s.get(0, 2), Some(2.0));
+        assert_eq!(s.get(2, 0), Some(3.0));
+    }
+
+    #[test]
+    fn without_diagonal_strips_self_loops() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        let m = coo.to_csr().without_diagonal();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), None);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::<f64>::zeros(4, 7);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.nrows(), 4);
+        assert_eq!(z.ncols(), 7);
+        assert_eq!(z.iter().count(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting, or parsing sparse data.
+#[derive(Debug)]
+pub enum SparseError {
+    /// An entry coordinate lies outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        nrows: usize,
+        /// Number of columns in the matrix.
+        ncols: usize,
+    },
+    /// Parallel arrays (rows/cols/vals or ptr/idx/vals) disagree in length.
+    LengthMismatch {
+        /// Human-readable description of which arrays disagree.
+        what: &'static str,
+    },
+    /// An operation required operands of compatible shapes and got none.
+    DimensionMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Shape implied by the left operand.
+        expected: usize,
+        /// Shape found on the right operand.
+        found: usize,
+    },
+    /// A compressed pointer array is not monotonically non-decreasing or has
+    /// the wrong first/last element.
+    MalformedPointers {
+        /// Description of the violated invariant.
+        what: String,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        nrows: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// I/O failure while reading or writing a matrix file.
+    Io(std::io::Error),
+    /// A MatrixMarket file violated the format.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            SparseError::LengthMismatch { what } => {
+                write!(f, "parallel array length mismatch: {what}")
+            }
+            SparseError::DimensionMismatch { op, expected, found } => write!(
+                f,
+                "dimension mismatch in {op}: expected {expected}, found {found}"
+            ),
+            SparseError::MalformedPointers { what } => {
+                write!(f, "malformed compressed pointer array: {what}")
+            }
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::Io(e) => write!(f, "I/O error: {e}"),
+            SparseError::Parse { line, msg } => {
+                write!(f, "MatrixMarket parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 7,
+            col: 3,
+            nrows: 4,
+            ncols: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("(7, 3)"));
+        assert!(s.contains("4x4"));
+
+        let e = SparseError::DimensionMismatch {
+            op: "spmv",
+            expected: 10,
+            found: 12,
+        };
+        assert!(e.to_string().contains("spmv"));
+
+        let e = SparseError::NotSquare { nrows: 3, ncols: 5 };
+        assert!(e.to_string().contains("3x5"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

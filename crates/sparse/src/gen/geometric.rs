@@ -1,0 +1,197 @@
+//! Random geometric graphs: the road-network analog.
+//!
+//! `roadNet-TX`, `roadCA` and `europe.osm` are near-planar graphs with tiny
+//! average degree and very long BFS diameters. A random geometric graph
+//! (vertices at random points in the unit square, edges between points
+//! within a radius) has the same profile. Vertices are ordered along a
+//! space-filling sweep (row-major cell order) so that — like the real road
+//! matrices — nearby vertices get nearby indices and tiles capture locality.
+
+use crate::coo::CooMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a symmetric, *connected* random geometric graph of `n`
+/// vertices.
+///
+/// `avg_degree` controls the connection radius (`r ≈ sqrt(d / (π n))`).
+/// Edge values are 1.0. The graph is built with a cell grid so generation
+/// is `O(n · d)` rather than `O(n²)`. Below the percolation threshold a
+/// random geometric graph shatters into dust, which no road network does,
+/// so components are stitched along the spatial label order (adding a few
+/// short edges); BFS then exhibits the long-diameter behaviour the road
+/// matrices are chosen for.
+pub fn geometric_graph(n: usize, avg_degree: f64, seed: u64) -> CooMatrix<f64> {
+    assert!(n > 0, "vertex count must be positive");
+    assert!(avg_degree >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let radius = (avg_degree / (std::f64::consts::PI * n as f64)).sqrt();
+
+    // Place points.
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+
+    // Bin into cells of side >= radius for neighbor queries.
+    let cells_per_side = ((1.0 / radius.max(1e-9)) as usize).clamp(1, 4096);
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        bins[cy * cells_per_side + cx].push(i as u32);
+    }
+
+    // Relabel vertices in cell-sweep order for spatial index locality.
+    let mut relabel = vec![0u32; n];
+    let mut next = 0u32;
+    for bin in &bins {
+        for &v in bin {
+            relabel[v as usize] = next;
+            next += 1;
+        }
+    }
+
+    let r2 = radius * radius;
+    let mut m = CooMatrix::with_capacity(n, n, (n as f64 * avg_degree) as usize + 16);
+    let mut uf = UnionFind::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of((x, y));
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+                    continue;
+                }
+                for &j in &bins[ny as usize * cells_per_side + nx as usize] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let (px, py) = pts[j];
+                    let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                    if d2 <= r2 {
+                        let (a, b) = (relabel[i] as usize, relabel[j] as usize);
+                        m.push(a, b, 1.0);
+                        m.push(b, a, 1.0);
+                        uf.union(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Road networks are connected; a low-degree random geometric graph is
+    // not. Stitch label-adjacent components together — consecutive labels
+    // are spatially adjacent cells, so each added edge is a realistic
+    // short road segment.
+    for v in 1..n {
+        if uf.find(v) != uf.find(v - 1) {
+            m.push(v - 1, v, 1.0);
+            m.push(v, v - 1, 1.0);
+            uf.union(v - 1, v);
+        }
+    }
+    m
+}
+
+/// Minimal union-find with path halving.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] as usize != v {
+            let gp = self.parent[self.parent[v] as usize];
+            self.parent[v] = gp;
+            v = gp as usize;
+        }
+        v
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_degree_is_near_target() {
+        let n = 4000;
+        let m = geometric_graph(n, 4.0, 11);
+        let avg = m.nnz() as f64 / n as f64;
+        assert!(
+            (2.0..=6.5).contains(&avg),
+            "average degree {avg} too far from target 4"
+        );
+    }
+
+    #[test]
+    fn graph_is_symmetric_without_self_loops() {
+        let m = geometric_graph(500, 3.0, 5).to_csr();
+        assert!(m.is_symmetric());
+        for i in 0..m.nrows() {
+            assert_eq!(m.get(i, i), None);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(geometric_graph(300, 4.0, 2), geometric_graph(300, 4.0, 2));
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        use crate::reference::bfs_levels;
+        for (n, deg) in [(500usize, 3.0), (3000, 2.5)] {
+            let m = geometric_graph(n, deg, 13).to_csr();
+            let levels = bfs_levels(&m, 0).unwrap();
+            assert!(
+                levels.iter().all(|&l| l >= 0),
+                "graph n={n} deg={deg} is disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_diameter_is_long() {
+        use crate::reference::bfs_levels;
+        let m = geometric_graph(4000, 4.0, 11).to_csr();
+        let levels = bfs_levels(&m, 0).unwrap();
+        let max = *levels.iter().max().unwrap();
+        assert!(max > 20, "road-like graphs need long diameters, got {max}");
+    }
+
+    #[test]
+    fn locality_of_labels() {
+        // With the cell-sweep relabeling, most edges should connect nearby
+        // indices — the property that makes road matrices tile well.
+        let m = geometric_graph(2000, 4.0, 8);
+        let near = m
+            .iter()
+            .filter(|&(r, c, _)| r.abs_diff(c) < 400)
+            .count();
+        assert!(
+            near * 2 > m.nnz(),
+            "expected most edges to be index-local: {near}/{}",
+            m.nnz()
+        );
+    }
+}

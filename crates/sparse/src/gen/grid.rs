@@ -1,0 +1,137 @@
+//! Stencil meshes: 2D 5-point and 3D 7-point Laplacian graphs.
+//!
+//! These model the planar/volume meshes of the collection (`333SP`,
+//! `dielFilterV2clx`-like discretizations): bounded degree, strong locality,
+//! long BFS diameters.
+
+use crate::coo::CooMatrix;
+
+/// 5-point stencil adjacency on an `nx × ny` grid (order `nx * ny`).
+/// Off-diagonal entries are `-1`, the diagonal is the vertex degree, making
+/// the result the graph Laplacian — symmetric positive semidefinite.
+pub fn grid2d(nx: usize, ny: usize) -> CooMatrix<f64> {
+    assert!(nx > 0 && ny > 0);
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut m = CooMatrix::with_capacity(n, n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let u = idx(x, y);
+            let mut deg = 0.0;
+            let mut push_nbr = |v: usize, m: &mut CooMatrix<f64>| {
+                m.push(u, v, -1.0);
+                deg += 1.0;
+            };
+            if x > 0 {
+                push_nbr(idx(x - 1, y), &mut m);
+            }
+            if x + 1 < nx {
+                push_nbr(idx(x + 1, y), &mut m);
+            }
+            if y > 0 {
+                push_nbr(idx(x, y - 1), &mut m);
+            }
+            if y + 1 < ny {
+                push_nbr(idx(x, y + 1), &mut m);
+            }
+            m.push(u, u, deg);
+        }
+    }
+    m
+}
+
+/// 7-point stencil Laplacian on an `nx × ny × nz` grid (order
+/// `nx * ny * nz`).
+pub fn grid3d(nx: usize, ny: usize, nz: usize) -> CooMatrix<f64> {
+    assert!(nx > 0 && ny > 0 && nz > 0);
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut m = CooMatrix::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let u = idx(x, y, z);
+                let mut deg = 0.0;
+                let mut push_nbr = |v: usize, m: &mut CooMatrix<f64>| {
+                    m.push(u, v, -1.0);
+                    deg += 1.0;
+                };
+                if x > 0 {
+                    push_nbr(idx(x - 1, y, z), &mut m);
+                }
+                if x + 1 < nx {
+                    push_nbr(idx(x + 1, y, z), &mut m);
+                }
+                if y > 0 {
+                    push_nbr(idx(x, y - 1, z), &mut m);
+                }
+                if y + 1 < ny {
+                    push_nbr(idx(x, y + 1, z), &mut m);
+                }
+                if z > 0 {
+                    push_nbr(idx(x, y, z - 1), &mut m);
+                }
+                if z + 1 < nz {
+                    push_nbr(idx(x, y, z + 1), &mut m);
+                }
+                m.push(u, u, deg);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::bfs_levels;
+
+    #[test]
+    fn grid2d_shape_and_degree() {
+        let m = grid2d(4, 3).to_csr();
+        assert_eq!(m.nrows(), 12);
+        // Interior vertex (1,1) -> index 5 has degree 4 plus diagonal.
+        assert_eq!(m.row_nnz(5), 5);
+        assert_eq!(m.get(5, 5), Some(4.0));
+        // Corner vertex 0 has degree 2.
+        assert_eq!(m.get(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn grid2d_is_symmetric() {
+        assert!(grid2d(7, 5).to_csr().is_symmetric());
+    }
+
+    #[test]
+    fn grid2d_bfs_diameter_is_manhattan() {
+        let m = grid2d(6, 4).to_csr().without_diagonal();
+        let levels = bfs_levels(&m, 0).unwrap();
+        // Farthest vertex from (0,0) is (5,3): distance 8.
+        assert_eq!(*levels.iter().max().unwrap(), 8);
+        assert!(levels.iter().all(|&l| l >= 0), "grid is connected");
+    }
+
+    #[test]
+    fn grid3d_shape_and_degree() {
+        let m = grid3d(3, 3, 3).to_csr();
+        assert_eq!(m.nrows(), 27);
+        // Center vertex has all 6 neighbors.
+        let center = (1 * 3 + 1) * 3 + 1;
+        assert_eq!(m.get(center, center), Some(6.0));
+    }
+
+    #[test]
+    fn grid3d_is_symmetric() {
+        assert!(grid3d(4, 3, 2).to_csr().is_symmetric());
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let m = grid2d(5, 5).to_csr();
+        for i in 0..m.nrows() {
+            let (_, vals) = m.row(i);
+            let s: f64 = vals.iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic synthetic matrix and vector generators.
+//!
+//! The paper's evaluation spans the 2757-matrix SuiteSparse collection; the
+//! generators here cover the structure classes that drive the results:
+//!
+//! * [`banded`] — FEM/structural matrices (cant, ldoor, af_5_k101, ...):
+//!   dense diagonal bands, high tile occupancy.
+//! * [`grid`] — 2D/3D stencil meshes (333SP-like planar problems).
+//! * [`geometric`] — random geometric graphs: road networks (roadNet-TX,
+//!   roadCA, europe.osm) with strong spatial locality but tiny degrees.
+//! * [`rmat`] — Kronecker/R-MAT power-law graphs: web and social graphs
+//!   (in-2004, FB, TW, KR-21-128) with skewed degrees and scattered tiles.
+//! * [`uniform`] — Erdős–Rényi uniform random sparsity (worst case for
+//!   tiling).
+//! * [`vector`] — the random sparse vectors of the Figure 6 sweep
+//!   (generated with an explicit seed; the paper uses seed 1).
+//!
+//! Every generator takes an explicit `seed` and is reproducible across runs
+//! and platforms.
+
+pub mod banded;
+pub mod geometric;
+pub mod grid;
+pub mod rmat;
+pub mod uniform;
+pub mod vector;
+pub mod web;
+
+pub use banded::banded;
+pub use geometric::geometric_graph;
+pub use grid::{grid2d, grid3d};
+pub use rmat::{rmat, RmatConfig};
+pub use uniform::uniform_random;
+pub use vector::random_sparse_vector;
+pub use web::webgraph;
+
+use crate::coo::CooMatrix;
+
+/// Identity matrix in COO form.
+pub fn identity(n: usize) -> CooMatrix<f64> {
+    let mut m = CooMatrix::with_capacity(n, n, n);
+    for i in 0..n {
+        m.push(i, i, 1.0);
+    }
+    m
+}
+
+/// Tridiagonal matrix (`2` on the diagonal, `-1` off) in COO form — the 1D
+/// Laplacian, a maximally banded test case.
+pub fn tridiagonal(n: usize) -> CooMatrix<f64> {
+    let mut m = CooMatrix::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        m.push(i, i, 2.0);
+        if i + 1 < n {
+            m.push(i, i + 1, -1.0);
+            m.push(i + 1, i, -1.0);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_structure() {
+        let i = identity(4).to_csr();
+        assert_eq!(i.nnz(), 4);
+        for k in 0..4 {
+            assert_eq!(i.get(k, k), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn tridiagonal_is_symmetric() {
+        let t = tridiagonal(10).to_csr();
+        assert!(t.is_symmetric());
+        assert_eq!(t.nnz(), 10 + 2 * 9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Uniform (Erdős–Rényi style) random sparse matrices.
+
+use crate::coo::CooMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a matrix with approximately `nnz_target` entries placed
+/// uniformly at random with values in `(0, 1]`.
+///
+/// Duplicate coordinates are resolved by keeping a single entry, so the
+/// realized nnz can fall slightly below the target on dense shapes. The
+/// result is deterministic in `seed`.
+pub fn uniform_random(nrows: usize, ncols: usize, nnz_target: usize, seed: u64) -> CooMatrix<f64> {
+    assert!(nrows > 0 && ncols > 0, "matrix shape must be non-empty");
+    let cells = nrows.saturating_mul(ncols);
+    let nnz_target = nnz_target.min(cells);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Dense-ish request: flip a coin per cell to avoid rejection loops.
+    if nnz_target * 4 >= cells {
+        let p = nnz_target as f64 / cells as f64;
+        let mut m = CooMatrix::with_capacity(nrows, ncols, nnz_target + nnz_target / 8);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                if rng.random::<f64>() < p {
+                    m.push(r, c, nonzero_value(&mut rng));
+                }
+            }
+        }
+        return m;
+    }
+
+    // Sparse request: sample coordinates and dedup.
+    let mut seen = std::collections::HashSet::with_capacity(nnz_target * 2);
+    let mut m = CooMatrix::with_capacity(nrows, ncols, nnz_target);
+    let mut attempts = 0usize;
+    let max_attempts = nnz_target.saturating_mul(20).max(1024);
+    while m.nnz() < nnz_target && attempts < max_attempts {
+        attempts += 1;
+        let r = rng.random_range(0..nrows);
+        let c = rng.random_range(0..ncols);
+        if seen.insert((r as u64) << 32 | c as u64) {
+            m.push(r, c, nonzero_value(&mut rng));
+        }
+    }
+    m
+}
+
+/// Value in (0, 1] so generated matrices never contain explicit zeros.
+fn nonzero_value(rng: &mut StdRng) -> f64 {
+    1.0 - rng.random::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_target_nnz_when_sparse() {
+        let m = uniform_random(1000, 1000, 5000, 7);
+        assert_eq!(m.nnz(), 5000);
+        assert_eq!(m.nrows(), 1000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = uniform_random(100, 100, 500, 42);
+        let b = uniform_random(100, 100, 500, 42);
+        assert_eq!(a, b);
+        let c = uniform_random(100, 100, 500, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_duplicate_coordinates() {
+        let m = uniform_random(50, 50, 400, 3);
+        let mut csr = m.clone();
+        csr.sum_duplicates();
+        assert_eq!(csr.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn dense_request_clamps_to_cells() {
+        let m = uniform_random(10, 10, 1_000_000, 1);
+        assert!(m.nnz() <= 100);
+        assert!(m.nnz() > 50, "expected a mostly-full matrix");
+    }
+
+    #[test]
+    fn values_are_nonzero() {
+        let m = uniform_random(30, 30, 200, 9);
+        assert!(m.values().iter().all(|&v| v != 0.0));
+    }
+}

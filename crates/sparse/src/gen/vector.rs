@@ -1,0 +1,92 @@
+//! Random sparse vector generation for the Figure 6 sparsity sweep.
+
+use crate::spvec::SparseVector;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a sparse vector of length `n` with `round(n * sparsity)`
+/// nonzero entries at uniformly random positions, values in `(0, 1]`.
+///
+/// The paper generates the sweep vectors "randomly with random seed 1";
+/// `random_sparse_vector(n, s, 1)` reproduces that protocol. At least one
+/// entry is produced whenever `sparsity > 0` and `n > 0`, so the very sparse
+/// end of the sweep (0.0001 on small matrices) is never empty.
+pub fn random_sparse_vector(n: usize, sparsity: f64, seed: u64) -> SparseVector<f64> {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+    if n == 0 || sparsity == 0.0 {
+        return SparseVector::zeros(n);
+    }
+    let nnz = ((n as f64 * sparsity).round() as usize).clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut indices: Vec<u32> = if nnz * 3 >= n {
+        // Dense request: shuffle all positions and take a prefix.
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        all.shuffle(&mut rng);
+        all.truncate(nnz);
+        all
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+        let mut picked = Vec::with_capacity(nnz);
+        while picked.len() < nnz {
+            let i = rng.random_range(0..n) as u32;
+            if seen.insert(i) {
+                picked.push(i);
+            }
+        }
+        picked
+    };
+    indices.sort_unstable();
+    let vals = indices.iter().map(|_| 1.0 - rng.random::<f64>()).collect();
+    SparseVector::from_parts(n, indices, vals).expect("generated indices are sorted and bounded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnz_matches_sparsity() {
+        let v = random_sparse_vector(10_000, 0.01, 1);
+        assert_eq!(v.nnz(), 100);
+        assert_eq!(v.len(), 10_000);
+    }
+
+    #[test]
+    fn extreme_sparsity_keeps_one_entry() {
+        let v = random_sparse_vector(100, 0.0001, 1);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn zero_sparsity_gives_empty_vector() {
+        let v = random_sparse_vector(100, 0.0, 1);
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn full_sparsity_gives_dense_vector() {
+        let v = random_sparse_vector(64, 1.0, 1);
+        assert_eq!(v.nnz(), 64);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            random_sparse_vector(1000, 0.1, 1),
+            random_sparse_vector(1000, 0.1, 1)
+        );
+        assert_ne!(
+            random_sparse_vector(1000, 0.1, 1),
+            random_sparse_vector(1000, 0.1, 2)
+        );
+    }
+
+    #[test]
+    fn values_nonzero_indices_sorted() {
+        let v = random_sparse_vector(500, 0.5, 4);
+        assert!(v.values().iter().all(|&x| x > 0.0 && x <= 1.0));
+        assert!(v.indices().windows(2).all(|w| w[0] < w[1]));
+    }
+}

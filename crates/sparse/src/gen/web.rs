@@ -1,0 +1,124 @@
+//! Host-structured web/social graph generator.
+//!
+//! Crawl-ordered web matrices (`in-2004` and kin) assign consecutive ids to
+//! pages of the same host, and most links stay within a host. The result is
+//! dense diagonal blocks — the real `in-2004` averages ~74 nonzeros per
+//! 64×64 tile — plus a scattered cross-host remainder with a skewed
+//! popularity distribution. Plain R-MAT reproduces the degree skew but not
+//! the blocks (~7 per tile), which misrepresents how well such graphs tile.
+//! Social networks have the same shape via communities.
+
+use crate::coo::CooMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a symmetric host-structured graph.
+///
+/// * `n` — vertex count;
+/// * `avg_degree` — mean (undirected) degree;
+/// * `intra_frac` — fraction of edges that stay within the host
+///   (in-2004-like crawls: ~0.8);
+/// * `host_mean` — mean host size; actual sizes vary ×(0.5..1.5).
+pub fn webgraph(
+    n: usize,
+    avg_degree: f64,
+    intra_frac: f64,
+    host_mean: usize,
+    seed: u64,
+) -> CooMatrix<f64> {
+    assert!(n > 0 && host_mean > 0);
+    assert!((0.0..=1.0).contains(&intra_frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Partition [0, n) into hosts of varying size.
+    let mut host_starts = vec![0usize];
+    while *host_starts.last().unwrap() < n {
+        let size = (host_mean / 2 + rng.random_range(0..host_mean.max(1))).max(1);
+        host_starts.push((host_starts.last().unwrap() + size).min(n));
+    }
+    let n_hosts = host_starts.len() - 1;
+    let host_of = |v: usize, starts: &[usize]| -> usize {
+        match starts.binary_search(&v) {
+            Ok(i) => i.min(n_hosts - 1),
+            Err(i) => i - 1,
+        }
+    };
+
+    // Zipf-ish host popularity for cross-host targets: pick a host by
+    // squaring a uniform (heavier mass on low-index "popular" hosts).
+    let edges = (n as f64 * avg_degree / 2.0) as usize;
+    let mut m = CooMatrix::with_capacity(n, n, edges * 2);
+    for _ in 0..edges {
+        let u = rng.random_range(0..n);
+        let h = host_of(u, &host_starts);
+        let v = if rng.random::<f64>() < intra_frac {
+            // Within-host link.
+            let (s, e) = (host_starts[h], host_starts[h + 1]);
+            rng.random_range(s..e)
+        } else {
+            // Cross-host link to a popular host.
+            let t = (rng.random::<f64>() * rng.random::<f64>() * n_hosts as f64) as usize;
+            let t = t.min(n_hosts - 1);
+            let (s, e) = (host_starts[t], host_starts[t + 1]);
+            rng.random_range(s..e)
+        };
+        if u == v {
+            continue;
+        }
+        m.push(u, v, 1.0);
+        m.push(v, u, 1.0);
+    }
+    m.sum_duplicates();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_degree() {
+        let m = webgraph(5000, 12.0, 0.8, 50, 3);
+        let avg = m.nnz() as f64 / 5000.0;
+        assert!((6.0..=14.0).contains(&avg), "avg degree {avg}");
+        assert_eq!(m.nrows(), 5000);
+    }
+
+    #[test]
+    fn pattern_is_symmetric_without_self_loops() {
+        let m = webgraph(1000, 8.0, 0.8, 40, 5).to_csr();
+        assert!(m.is_symmetric());
+        for v in 0..1000 {
+            assert!(m.get(v, v).is_none());
+        }
+    }
+
+    #[test]
+    fn host_blocks_create_tile_locality() {
+        // Most edges must be short-range (within a host's id span).
+        let m = webgraph(8000, 12.0, 0.8, 50, 7);
+        let near = m.iter().filter(|&(r, c, _)| r.abs_diff(c) < 100).count();
+        assert!(
+            near * 3 > m.nnz() * 2,
+            "expected >2/3 of edges host-local: {near}/{}",
+            m.nnz()
+        );
+    }
+
+    #[test]
+    fn cross_host_targets_are_skewed() {
+        let m = webgraph(8000, 12.0, 0.5, 50, 9).to_csr();
+        // Popular (low-id) hosts should collect far more links than the
+        // median vertex.
+        let max_deg = (0..8000).map(|v| m.row_nnz(v)).max().unwrap();
+        let mut degs: Vec<usize> = (0..8000).map(|v| m.row_nnz(v)).collect();
+        degs.sort_unstable();
+        assert!(max_deg > degs[4000] * 3, "degree skew missing");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(webgraph(500, 8.0, 0.8, 30, 1), webgraph(500, 8.0, 0.8, 30, 1));
+        assert_ne!(webgraph(500, 8.0, 0.8, 30, 1), webgraph(500, 8.0, 0.8, 30, 2));
+    }
+}

@@ -1,0 +1,438 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! The paper evaluates on the SuiteSparse Matrix Collection, which ships in
+//! this format. The reproduction uses synthetic analogs by default, but all
+//! harness binaries accept `.mtx` files so the real collection can be used
+//! when it is on disk.
+//!
+//! Supported: `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+//! Pattern entries get value 1.0; symmetric files are expanded to general
+//! storage on read.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::Result;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a MatrixMarket file from disk.
+pub fn read_matrix_market(path: &Path) -> Result<CooMatrix<f64>> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market_from(BufReader::new(file))
+}
+
+/// Parses MatrixMarket data from any reader.
+pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<CooMatrix<f64>> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    msg: "empty file".to_string(),
+                })
+            }
+        }
+    };
+
+    let (field, symmetry) = parse_header(&header, lineno)?;
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    msg: "missing size line".to_string(),
+                })
+            }
+        }
+    };
+
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("size line needs `rows cols nnz`, got {size_line:?}"),
+        });
+    }
+    let nrows: usize = parse_num(dims[0], lineno)?;
+    let ncols: usize = parse_num(dims[1], lineno)?;
+    let nnz: usize = parse_num(dims[2], lineno)?;
+
+    let cap = if symmetry == Symmetry::Symmetric {
+        nnz * 2
+    } else {
+        nnz
+    };
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
+    let mut seen = 0usize;
+    for line in lines {
+        lineno += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let r: usize = parse_num(
+            parts.next().ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: "missing row index".to_string(),
+            })?,
+            lineno,
+        )?;
+        let c: usize = parse_num(
+            parts.next().ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: "missing column index".to_string(),
+            })?,
+            lineno,
+        )?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: "MatrixMarket indices are 1-based; found 0".to_string(),
+            });
+        }
+        let v = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => {
+                let tok = parts.next().ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    msg: "missing value".to_string(),
+                })?;
+                tok.parse::<f64>().map_err(|e| SparseError::Parse {
+                    line: lineno,
+                    msg: format!("bad value {tok:?}: {e}"),
+                })?
+            }
+        };
+        coo.try_push(r - 1, c - 1, v)?;
+        if symmetry == Symmetry::Symmetric && r != c {
+            coo.try_push(c - 1, r - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("header declared {nnz} entries but file contains {seen}"),
+        });
+    }
+    Ok(coo)
+}
+
+fn parse_header(header: &str, lineno: usize) -> Result<(Field, Symmetry)> {
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("bad MatrixMarket banner: {header:?}"),
+        });
+    }
+    if toks[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("only coordinate format is supported, got {:?}", toks[2]),
+        });
+    }
+    let field = match toks[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported field type {other:?}"),
+            })
+        }
+    };
+    let symmetry = match toks[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+    Ok((field, symmetry))
+}
+
+fn parse_num(tok: &str, lineno: usize) -> Result<usize> {
+    // SuiteSparse files occasionally write integer fields as floats.
+    if let Ok(v) = tok.parse::<usize>() {
+        return Ok(v);
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        if f >= 0.0 && f.fract() == 0.0 {
+            return Ok(f as usize);
+        }
+    }
+    Err(SparseError::Parse {
+        line: lineno,
+        msg: format!("expected a non-negative integer, got {tok:?}"),
+    })
+}
+
+/// Reads a SNAP-style edge list: one `u v` pair of 0-based vertex ids per
+/// line, `#` comments ignored. The graph order is `max id + 1` (or the
+/// explicit `n` when given, which also validates ids). `symmetric` adds
+/// the reverse of every edge; self-loops are kept as-is; edge values are
+/// 1.0. This is the distribution format of the SNAP collection the road
+/// and social matrices of the paper originate from.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    n: Option<usize>,
+    symmetric: bool,
+) -> Result<CooMatrix<f64>> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    let mut lineno = 0usize;
+    for line in BufReader::new(reader).lines() {
+        lineno += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let u: u32 = parse_num(
+            parts.next().ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: "missing source id".to_string(),
+            })?,
+            lineno,
+        )? as u32;
+        let v: u32 = parse_num(
+            parts.next().ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: "missing target id".to_string(),
+            })?,
+            lineno,
+        )? as u32;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let order = match n {
+        Some(n) => {
+            if !edges.is_empty() && max_id as usize >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: max_id as usize,
+                    col: max_id as usize,
+                    nrows: n,
+                    ncols: n,
+                });
+            }
+            n
+        }
+        None => {
+            if edges.is_empty() {
+                0
+            } else {
+                max_id as usize + 1
+            }
+        }
+    };
+    let mut coo = CooMatrix::with_capacity(order, order, edges.len() * if symmetric { 2 } else { 1 });
+    for (u, v) in edges {
+        coo.push(u as usize, v as usize, 1.0);
+        if symmetric && u != v {
+            coo.push(v as usize, u as usize, 1.0);
+        }
+    }
+    coo.sum_duplicates();
+    Ok(coo)
+}
+
+/// Writes a matrix as `matrix coordinate real general`.
+pub fn write_matrix_market(path: &Path, m: &CooMatrix<f64>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market_to(BufWriter::new(file), m)
+}
+
+/// Serializes into any writer.
+pub fn write_matrix_market_to<W: Write>(mut w: W, m: &CooMatrix<f64>) -> Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<CooMatrix<f64>> {
+        read_matrix_market_from(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_general_real() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             % a comment\n\
+             3 3 2\n\
+             1 1 2.5\n\
+             3 2 -1\n",
+        )
+        .unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 2);
+        let t: Vec<_> = m.iter().collect();
+        assert_eq!(t, vec![(0, 0, 2.5), (2, 1, -1.0)]);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             2 2 2\n\
+             1 1 1.0\n\
+             2 1 3.0\n",
+        )
+        .unwrap();
+        // Off-diagonal mirrored, diagonal not duplicated.
+        assert_eq!(m.nnz(), 3);
+        let d = m.to_dense();
+        assert_eq!(d, vec![1.0, 3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn pattern_entries_get_unit_value() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             2 2 1\n\
+             1 2\n",
+        )
+        .unwrap();
+        assert_eq!(m.iter().next(), Some((0, 1, 1.0)));
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        assert!(matches!(
+            parse("%%NotMatrixMarket nope\n1 1 0\n"),
+            Err(SparseError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        assert!(parse("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let e = parse("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 5\n");
+        assert!(matches!(e, Err(SparseError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let e = parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 5\n");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 3, 1.25);
+        m.push(2, 0, -9.0);
+        let mut buf = Vec::new();
+        write_matrix_market_to(&mut buf, &m).unwrap();
+        let back = read_matrix_market_from(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn edge_list_basic_and_symmetric() {
+        let data = "# SNAP-ish comment\n0 1\n1 2\n2 0\n";
+        let m = read_edge_list(data.as_bytes(), None, false).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 3);
+
+        let s = read_edge_list(data.as_bytes(), None, true).unwrap();
+        assert_eq!(s.nnz(), 6);
+        assert!(s.to_csr().is_symmetric());
+    }
+
+    #[test]
+    fn edge_list_dedups_and_keeps_self_loops() {
+        let data = "0 1\n0 1\n2 2\n";
+        let m = read_edge_list(data.as_bytes(), None, true).unwrap();
+        // (0,1) duplicated collapses; self-loop (2,2) stays single.
+        let csr = m.to_csr();
+        assert!(csr.get(0, 1).is_some());
+        assert!(csr.get(2, 2).is_some());
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn edge_list_explicit_order_validates_ids() {
+        let data = "0 9\n";
+        assert!(read_edge_list(data.as_bytes(), Some(5), false).is_err());
+        let ok = read_edge_list(data.as_bytes(), Some(20), false).unwrap();
+        assert_eq!(ok.nrows(), 20);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes(), None, false).is_err());
+        assert!(read_edge_list("a b\n".as_bytes(), None, false).is_err());
+        let empty = read_edge_list("# only comments\n".as_bytes(), None, false).unwrap();
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    fn integer_field_and_float_sizes_accepted() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate integer general\n\
+             2 2 1\n\
+             2 2 7\n",
+        )
+        .unwrap();
+        assert_eq!(m.iter().next(), Some((1, 1, 7.0)));
+    }
+}

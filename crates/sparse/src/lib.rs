@@ -1,0 +1,42 @@
+//! Sparse matrix substrate for the TileSpMSpV reproduction.
+//!
+//! This crate provides everything the tiled algorithms in `tsv-core` and the
+//! comparators in `tsv-baselines` are built on:
+//!
+//! * the classic triplet/compressed formats ([`CooMatrix`], [`CsrMatrix`],
+//!   [`CscMatrix`]) with validated constructors and lossless conversions,
+//! * a compressed sparse vector type ([`SparseVector`]) with the
+//!   element-wise merge operations GraphBLAS composes around SpMSpV
+//!   ([`spvec_ops`]),
+//! * MatrixMarket I/O ([`io`]) so the real SuiteSparse collection can be used
+//!   when available,
+//! * deterministic synthetic matrix generators ([`gen`]) spanning the
+//!   structure classes of the paper's evaluation set (banded FEM matrices,
+//!   meshes, road-like geometric graphs, RMAT power-law graphs, uniform
+//!   random), and named scaled-down analogs of the paper's representative
+//!   matrices ([`suite`]),
+//! * simple serial reference kernels ([`reference`]) used as correctness
+//!   oracles by every parallel implementation in the workspace.
+//!
+//! All indices stored inside matrices are `u32` (the collection the paper
+//! evaluates fits comfortably), while matrix dimensions use `usize`.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod reference;
+pub mod spvec;
+pub mod spvec_ops;
+pub mod suite;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use spvec::SparseVector;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

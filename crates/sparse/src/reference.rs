@@ -1,0 +1,390 @@
+//! Serial reference kernels.
+//!
+//! These are direct transcriptions of the paper's Algorithms 1–3 plus a
+//! textbook SpMV and queue BFS. Every parallel implementation in the
+//! workspace is tested against these oracles.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::spvec::SparseVector;
+use crate::Result;
+
+/// Row-wise (matrix-driven) SpMSpV, Algorithm 1 of the paper: for each row,
+/// dot the sparse row with the sparse vector.
+pub fn spmspv_row(a: &CsrMatrix<f64>, x: &SparseVector<f64>) -> Result<SparseVector<f64>> {
+    if a.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmspv_row",
+            expected: a.ncols(),
+            found: x.len(),
+        });
+    }
+    let xd = x.to_dense();
+    let mut indices = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..a.nrows() {
+        let (cols, avals) = a.row(i);
+        let mut yi = 0.0;
+        let mut hit = false;
+        for (&j, &aij) in cols.iter().zip(avals) {
+            let xj = xd[j as usize];
+            if xj != 0.0 {
+                yi += aij * xj;
+                hit = true;
+            }
+        }
+        // GraphBLAS-style structural output: a row whose pattern intersects x
+        // produces an entry even if the values cancel to 0.0; we follow the
+        // numeric convention instead and drop exact zeros, matching what the
+        // tiled kernels emit after compaction.
+        if hit && yi != 0.0 {
+            indices.push(i as u32);
+            vals.push(yi);
+        }
+    }
+    SparseVector::from_parts(a.nrows(), indices, vals)
+}
+
+/// Column-wise (vector-driven) SpMSpV, Algorithm 2 of the paper: scale and
+/// merge the matrix columns selected by x's nonzeros.
+pub fn spmspv_col(a: &CscMatrix<f64>, x: &SparseVector<f64>) -> Result<SparseVector<f64>> {
+    if a.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmspv_col",
+            expected: a.ncols(),
+            found: x.len(),
+        });
+    }
+    let mut y = vec![0.0f64; a.nrows()];
+    for (j, xj) in x.iter() {
+        let (rows, vals) = a.col(j);
+        for (&i, &aij) in rows.iter().zip(vals) {
+            y[i as usize] += aij * xj;
+        }
+    }
+    Ok(SparseVector::from_dense(&y))
+}
+
+/// Dense-vector SpMV reference (`y = A x` with dense x and y).
+pub fn spmv(a: &CsrMatrix<f64>, x: &[f64]) -> Result<Vec<f64>> {
+    if a.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv",
+            expected: a.ncols(),
+            found: x.len(),
+        });
+    }
+    let mut y = vec![0.0; a.nrows()];
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut acc = 0.0;
+        for (&j, &v) in cols.iter().zip(vals) {
+            acc += v * x[j as usize];
+        }
+        y[i] = acc;
+    }
+    Ok(y)
+}
+
+/// Serial queue-based BFS over the adjacency structure of a square matrix.
+///
+/// Returns the level of each vertex (`-1` for unreachable ones). Level 0 is
+/// the source. This is the oracle for TileBFS and all BFS baselines.
+pub fn bfs_levels<T: Copy>(a: &CsrMatrix<T>, source: usize) -> Result<Vec<i32>> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    if source >= a.nrows() {
+        return Err(SparseError::IndexOutOfBounds {
+            row: source,
+            col: 0,
+            nrows: a.nrows(),
+            ncols: 1,
+        });
+    }
+    let n = a.nrows();
+    let mut levels = vec![-1i32; n];
+    let mut queue = std::collections::VecDeque::new();
+    levels[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let lvl = levels[u];
+        let (cols, _) = a.row(u);
+        for &v in cols {
+            let v = v as usize;
+            if levels[v] < 0 {
+                levels[v] = lvl + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(levels)
+}
+
+/// Number of edges traversed by a BFS from `source`: the sum of out-degrees
+/// of all reached vertices. This is the numerator of the GTEPS metric used
+/// throughout the paper's BFS figures.
+pub fn bfs_edges_traversed<T: Copy>(a: &CsrMatrix<T>, levels: &[i32]) -> usize {
+    levels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l >= 0)
+        .map(|(v, _)| a.row_nnz(v))
+        .sum()
+}
+
+/// Graph500-style validation of a BFS level assignment, independent of the
+/// algorithm that produced it:
+///
+/// 1. the source has level 0 and nothing else does,
+/// 2. every edge `u → v` out of a reached `u` reaches `v`, with
+///    `level[v] ≤ level[u] + 1` (no skipped layers),
+/// 3. every reached vertex other than the source has an in-neighbor one
+///    level up (a valid BFS parent),
+/// 4. unreached vertices have no reached in-neighbor.
+///
+/// Returns a description of the first violation, or `Ok(())`.
+pub fn validate_bfs_levels<T: Copy>(
+    a: &CsrMatrix<T>,
+    source: usize,
+    levels: &[i32],
+) -> std::result::Result<(), String> {
+    let n = a.nrows();
+    if levels.len() != n {
+        return Err(format!("levels length {} != order {n}", levels.len()));
+    }
+    if levels[source] != 0 {
+        return Err(format!("source level is {}, not 0", levels[source]));
+    }
+    if levels.iter().enumerate().any(|(v, &l)| l == 0 && v != source) {
+        return Err("a non-source vertex has level 0".to_string());
+    }
+
+    // Rule 2 over all edges.
+    for u in 0..n {
+        if levels[u] < 0 {
+            continue;
+        }
+        let (cols, _) = a.row(u);
+        for &v in cols {
+            let v = v as usize;
+            if levels[v] < 0 {
+                return Err(format!(
+                    "edge {u} -> {v}: {u} reached (level {}) but {v} unreached",
+                    levels[u]
+                ));
+            }
+            if levels[v] > levels[u] + 1 {
+                return Err(format!(
+                    "edge {u} -> {v} skips a layer: {} -> {}",
+                    levels[u], levels[v]
+                ));
+            }
+        }
+    }
+
+    // Rule 3: every reached vertex has a parent one level up. Checked via
+    // the transpose (in-neighbors).
+    let t = a.transpose();
+    for v in 0..n {
+        if levels[v] <= 0 {
+            continue;
+        }
+        let (ins, _) = t.row(v);
+        let has_parent = ins.iter().any(|&u| levels[u as usize] == levels[v] - 1);
+        if !has_parent {
+            return Err(format!(
+                "vertex {v} (level {}) has no in-neighbor at level {}",
+                levels[v],
+                levels[v] - 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Derives a parent array from validated BFS levels: `parents[v]` is an
+/// in-neighbor of `v` one level up (`-1` for unreached vertices, `source`
+/// maps to itself). This is the Graph500 output format; the bitmask
+/// kernels do not track provenance, so parents are recovered in one pass
+/// over the transpose.
+pub fn bfs_parents_from_levels<T: Copy>(
+    a: &CsrMatrix<T>,
+    source: usize,
+    levels: &[i32],
+) -> Vec<i64> {
+    let t = a.transpose();
+    let mut parents = vec![-1i64; a.nrows()];
+    for v in 0..a.nrows() {
+        if levels[v] < 0 {
+            continue;
+        }
+        if v == source {
+            parents[v] = source as i64;
+            continue;
+        }
+        let (ins, _) = t.row(v);
+        if let Some(&u) = ins.iter().find(|&&u| levels[u as usize] == levels[v] - 1) {
+            parents[v] = u as i64;
+        }
+    }
+    parents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// The 6x6 example of the paper's Figure 1/2: an undirected graph where
+    /// vertex 0 connects to 1, 2, 3 and vertex 1 connects to 4 (plus 2-5).
+    fn paper_graph() -> CsrMatrix<f64> {
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 4), (2, 5)];
+        let mut coo = CooMatrix::new(6, 6);
+        for &(u, v) in &edges {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn row_and_col_spmspv_agree() {
+        let a = paper_graph();
+        let x = SparseVector::from_parts(6, vec![0, 4], vec![2.0, 3.0]).unwrap();
+        let yr = spmspv_row(&a, &x).unwrap();
+        let yc = spmspv_col(&a.to_csc(), &x).unwrap();
+        assert_eq!(yr.to_dense(), yc.to_dense());
+    }
+
+    #[test]
+    fn spmspv_matches_dense_product() {
+        let a = paper_graph();
+        let x = SparseVector::from_parts(6, vec![1, 2], vec![1.0, -2.0]).unwrap();
+        let y = spmspv_row(&a, &x).unwrap().to_dense();
+        let expect = spmv(&a, &x.to_dense()).unwrap();
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn spmspv_dimension_check() {
+        let a = paper_graph();
+        let x = SparseVector::<f64>::zeros(7);
+        assert!(matches!(
+            spmspv_row(&a, &x),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            spmspv_col(&a.to_csc(), &x),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_x_gives_empty_y() {
+        let a = paper_graph();
+        let x = SparseVector::<f64>::zeros(6);
+        assert_eq!(spmspv_row(&a, &x).unwrap().nnz(), 0);
+        assert_eq!(spmspv_col(&a.to_csc(), &x).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn bfs_levels_match_figure_2() {
+        // Frontier {0} discovers {1, 2, 3} in the first iteration (the paper
+        // labels vertices 1-based; ours are 0-based).
+        let a = paper_graph();
+        let levels = bfs_levels(&a, 0).unwrap();
+        assert_eq!(levels, vec![0, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_vertices_get_minus_one() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = coo.to_csr();
+        let levels = bfs_levels(&a, 0).unwrap();
+        assert_eq!(levels, vec![0, 1, -1, -1]);
+    }
+
+    #[test]
+    fn bfs_rejects_non_square_and_bad_source() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 1.0);
+        let a = coo.to_csr();
+        assert!(matches!(bfs_levels(&a, 0), Err(SparseError::NotSquare { .. })));
+
+        let sq = paper_graph();
+        assert!(bfs_levels(&sq, 17).is_err());
+    }
+
+    #[test]
+    fn validator_accepts_correct_levels() {
+        let a = paper_graph();
+        let levels = bfs_levels(&a, 0).unwrap();
+        assert_eq!(validate_bfs_levels(&a, 0, &levels), Ok(()));
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_levels() {
+        let a = paper_graph();
+        let good = bfs_levels(&a, 0).unwrap();
+
+        let mut wrong_source = good.clone();
+        wrong_source[0] = 1;
+        assert!(validate_bfs_levels(&a, 0, &wrong_source).is_err());
+
+        let mut skipped = good.clone();
+        skipped[4] = 5; // level jump along an edge
+        assert!(validate_bfs_levels(&a, 0, &skipped).is_err());
+
+        let mut orphan = good.clone();
+        orphan[5] = 9; // reached but no parent at level 8
+        assert!(validate_bfs_levels(&a, 0, &orphan).is_err());
+
+        let mut unreached = good.clone();
+        unreached[3] = -1; // neighbor of a reached vertex marked unreached
+        assert!(validate_bfs_levels(&a, 0, &unreached).is_err());
+
+        assert!(validate_bfs_levels(&a, 0, &good[..3]).is_err());
+    }
+
+    #[test]
+    fn parents_are_one_level_up() {
+        let a = paper_graph();
+        let levels = bfs_levels(&a, 0).unwrap();
+        let parents = bfs_parents_from_levels(&a, 0, &levels);
+        assert_eq!(parents[0], 0);
+        for v in 1..6 {
+            let p = parents[v] as usize;
+            assert_eq!(levels[p], levels[v] - 1, "vertex {v} parent {p}");
+            // The parent is an actual in-neighbor.
+            assert!(a.get(p, v).is_some());
+        }
+    }
+
+    #[test]
+    fn parents_of_unreached_are_minus_one() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = coo.to_csr();
+        let levels = bfs_levels(&a, 0).unwrap();
+        let parents = bfs_parents_from_levels(&a, 0, &levels);
+        assert_eq!(parents[2], -1);
+        assert_eq!(parents[3], -1);
+        assert_eq!(parents[1], 0);
+    }
+
+    #[test]
+    fn edges_traversed_counts_reached_outdegrees() {
+        let a = paper_graph();
+        let levels = bfs_levels(&a, 0).unwrap();
+        // All 6 vertices reached; undirected edges stored twice: 10 entries.
+        assert_eq!(bfs_edges_traversed(&a, &levels), 10);
+    }
+}

@@ -1,0 +1,216 @@
+//! Compressed sparse vector.
+//!
+//! This is the *logical* sparse vector (sorted index/value pairs). The tiled
+//! physical layout the paper introduces (`x_ptr`/`x_tile`, Fig. 3) lives in
+//! `tsv-core`; both sides convert through this type.
+
+use crate::error::SparseError;
+use crate::Result;
+
+/// A length-`n` sparse vector holding `nnz` explicit entries with strictly
+/// increasing indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector<T> {
+    n: usize,
+    indices: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T: Copy> SparseVector<T> {
+    /// An all-zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        SparseVector {
+            n,
+            indices: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Builds from parallel arrays; indices must be strictly increasing and
+    /// in-bounds.
+    pub fn from_parts(n: usize, indices: Vec<u32>, vals: Vec<T>) -> Result<Self> {
+        if indices.len() != vals.len() {
+            return Err(SparseError::LengthMismatch {
+                what: "indices/vals of a sparse vector",
+            });
+        }
+        for w in indices.windows(2) {
+            if w[1] <= w[0] {
+                return Err(SparseError::MalformedPointers {
+                    what: "sparse vector indices must be strictly increasing".to_string(),
+                });
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last as usize >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: last as usize,
+                    col: 0,
+                    nrows: n,
+                    ncols: 1,
+                });
+            }
+        }
+        Ok(SparseVector { n, indices, vals })
+    }
+
+    /// Builds from possibly unsorted entries, sorting and rejecting
+    /// duplicates.
+    pub fn from_entries(n: usize, mut entries: Vec<(u32, T)>) -> Result<Self> {
+        entries.sort_by_key(|e| e.0);
+        let indices: Vec<u32> = entries.iter().map(|e| e.0).collect();
+        let vals: Vec<T> = entries.iter().map(|e| e.1).collect();
+        SparseVector::from_parts(n, indices, vals)
+    }
+
+    /// Logical length of the vector.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of explicit entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `nnz / n`, the quantity the paper's kernel-selection heuristics use.
+    pub fn sparsity(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n as f64
+        }
+    }
+
+    /// The sorted entry indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The entry values, parallel to [`SparseVector::indices`].
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Iterates `(index, value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
+        self.indices
+            .iter()
+            .zip(&self.vals)
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// Looks up one element (binary search), returning `None` for implicit
+    /// zeros.
+    pub fn get(&self, i: usize) -> Option<T> {
+        self.indices
+            .binary_search(&(i as u32))
+            .ok()
+            .map(|k| self.vals[k])
+    }
+
+    /// Expands into a dense buffer of length `n`.
+    pub fn to_dense(&self) -> Vec<T>
+    where
+        T: Default,
+    {
+        let mut dense = vec![T::default(); self.n];
+        for (i, v) in self.iter() {
+            dense[i] = v;
+        }
+        dense
+    }
+}
+
+impl SparseVector<f64> {
+    /// Compresses a dense buffer, keeping nonzero elements.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i as u32);
+                vals.push(v);
+            }
+        }
+        SparseVector {
+            n: dense.len(),
+            indices,
+            vals,
+        }
+    }
+
+    /// Maximum absolute difference against another vector of the same
+    /// length, treating implicit zeros as 0.0. Used by tests comparing
+    /// parallel results to the serial reference.
+    pub fn max_abs_diff(&self, other: &SparseVector<f64>) -> f64 {
+        assert_eq!(self.n, other.n, "comparing vectors of different lengths");
+        let a = self.to_dense();
+        let b = other.to_dense();
+        a.iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_validates_order_and_bounds() {
+        assert!(SparseVector::from_parts(4, vec![0, 2], vec![1.0, 2.0]).is_ok());
+        assert!(SparseVector::from_parts(4, vec![2, 0], vec![1.0, 2.0]).is_err());
+        assert!(SparseVector::from_parts(4, vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVector::from_parts(4, vec![9], vec![1.0]).is_err());
+        assert!(SparseVector::from_parts(4, vec![0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_entries_sorts() {
+        let v = SparseVector::from_entries(5, vec![(3, 1.0), (1, 2.0)]).unwrap();
+        assert_eq!(v.indices(), &[1, 3]);
+        assert_eq!(v.values(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn from_entries_rejects_duplicates() {
+        assert!(SparseVector::from_entries(5, vec![(3, 1.0), (3, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = vec![0.0, 1.5, 0.0, -2.0];
+        let v = SparseVector::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn get_distinguishes_explicit_entries() {
+        let v = SparseVector::from_parts(4, vec![1, 3], vec![5.0, 6.0]).unwrap();
+        assert_eq!(v.get(1), Some(5.0));
+        assert_eq!(v.get(0), None);
+    }
+
+    #[test]
+    fn sparsity_matches_definition() {
+        let v = SparseVector::from_parts(100, vec![3, 50], vec![1.0, 1.0]).unwrap();
+        assert!((v.sparsity() - 0.02).abs() < 1e-15);
+        let z = SparseVector::<f64>::zeros(0);
+        assert_eq!(z.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_worst_element() {
+        let a = SparseVector::from_dense(&[1.0, 0.0, 2.0]);
+        let b = SparseVector::from_dense(&[1.0, 0.5, 2.25]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,205 @@
+//! Element-wise sparse vector operations.
+//!
+//! GraphBLAS programs compose SpMSpV with vector-level eWiseAdd/eWiseMult
+//! and masking (the BFS driver itself is `y = (A ⊕.⊗ x) ⊙ ¬m`). These are
+//! the merge-based implementations over the sorted-index representation.
+
+use crate::spvec::SparseVector;
+
+/// `a + b` element-wise (union merge); exact zeros produced by
+/// cancellation are dropped.
+pub fn add(a: &SparseVector<f64>, b: &SparseVector<f64>) -> SparseVector<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals = Vec::with_capacity(a.nnz() + b.nnz());
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ai.len() || j < bi.len() {
+        let (idx, v) = match (ai.get(i), bi.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                let v = av[i] + bv[j];
+                i += 1;
+                j += 1;
+                (x, v)
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                (x, av[i - 1])
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                (y, bv[j - 1])
+            }
+            (Some(&x), None) => {
+                i += 1;
+                (x, av[i - 1])
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                (y, bv[j - 1])
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        if v != 0.0 {
+            indices.push(idx);
+            vals.push(v);
+        }
+    }
+    SparseVector::from_parts(a.len(), indices, vals).expect("merge keeps order")
+}
+
+/// `a ⊙ b` element-wise multiply (intersection merge).
+pub fn mul(a: &SparseVector<f64>, b: &SparseVector<f64>) -> SparseVector<f64> {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut indices = Vec::new();
+    let mut vals = Vec::new();
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ai.len() && j < bi.len() {
+        match ai[i].cmp(&bi[j]) {
+            std::cmp::Ordering::Equal => {
+                let v = av[i] * bv[j];
+                if v != 0.0 {
+                    indices.push(ai[i]);
+                    vals.push(v);
+                }
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    SparseVector::from_parts(a.len(), indices, vals).expect("merge keeps order")
+}
+
+/// `a · b` dot product.
+pub fn dot(a: &SparseVector<f64>, b: &SparseVector<f64>) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut acc = 0.0;
+    while i < ai.len() && j < bi.len() {
+        match ai[i].cmp(&bi[j]) {
+            std::cmp::Ordering::Equal => {
+                acc += av[i] * bv[j];
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    acc
+}
+
+/// `a` restricted to positions *not* in the mask (GraphBLAS complement
+/// mask, the `y ⊙ ¬m` of the BFS driver).
+pub fn mask_complement(a: &SparseVector<f64>, mask: &SparseVector<f64>) -> SparseVector<f64> {
+    assert_eq!(a.len(), mask.len(), "vector length mismatch");
+    let mut indices = Vec::new();
+    let mut vals = Vec::new();
+    let mi = mask.indices();
+    let mut j = 0usize;
+    for (i, v) in a.iter() {
+        while j < mi.len() && (mi[j] as usize) < i {
+            j += 1;
+        }
+        if j >= mi.len() || mi[j] as usize != i {
+            indices.push(i as u32);
+            vals.push(v);
+        }
+    }
+    SparseVector::from_parts(a.len(), indices, vals).expect("subset keeps order")
+}
+
+/// `alpha * a` (zeros dropped when `alpha == 0`).
+pub fn scale(a: &SparseVector<f64>, alpha: f64) -> SparseVector<f64> {
+    if alpha == 0.0 {
+        return SparseVector::zeros(a.len());
+    }
+    SparseVector::from_parts(
+        a.len(),
+        a.indices().to_vec(),
+        a.values().iter().map(|&v| alpha * v).collect(),
+    )
+    .expect("same indices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(n: usize, entries: &[(u32, f64)]) -> SparseVector<f64> {
+        SparseVector::from_entries(n, entries.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_unions_and_cancels() {
+        let a = sv(6, &[(0, 1.0), (2, 2.0), (4, -3.0)]);
+        let b = sv(6, &[(1, 5.0), (2, -2.0), (4, 1.0)]);
+        let c = add(&a, &b);
+        // index 2 cancels exactly and is dropped.
+        assert_eq!(c.indices(), &[0, 1, 4]);
+        assert_eq!(c.values(), &[1.0, 5.0, -2.0]);
+    }
+
+    #[test]
+    fn mul_intersects() {
+        let a = sv(6, &[(0, 2.0), (3, 4.0), (5, 1.0)]);
+        let b = sv(6, &[(3, 0.5), (4, 9.0), (5, 2.0)]);
+        let c = mul(&a, &b);
+        assert_eq!(c.indices(), &[3, 5]);
+        assert_eq!(c.values(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let a = sv(8, &[(1, 2.0), (4, 3.0), (7, -1.0)]);
+        let b = sv(8, &[(1, 0.5), (5, 9.0), (7, 2.0)]);
+        let dense: f64 = a
+            .to_dense()
+            .iter()
+            .zip(b.to_dense())
+            .map(|(x, y)| x * y)
+            .sum();
+        assert_eq!(dot(&a, &b), dense);
+    }
+
+    #[test]
+    fn complement_mask_filters() {
+        let a = sv(6, &[(0, 1.0), (2, 2.0), (4, 3.0)]);
+        let m = sv(6, &[(2, 1.0), (5, 1.0)]);
+        let c = mask_complement(&a, &m);
+        assert_eq!(c.indices(), &[0, 4]);
+    }
+
+    #[test]
+    fn scale_and_zero_scale() {
+        let a = sv(4, &[(1, 2.0), (3, -4.0)]);
+        let c = scale(&a, 0.5);
+        assert_eq!(c.values(), &[1.0, -2.0]);
+        assert_eq!(scale(&a, 0.0).nnz(), 0);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = sv(5, &[(2, 1.0)]);
+        let z = SparseVector::zeros(5);
+        assert_eq!(add(&a, &z), a);
+        assert_eq!(mul(&a, &z).nnz(), 0);
+        assert_eq!(dot(&a, &z), 0.0);
+        assert_eq!(mask_complement(&a, &z), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let a = sv(5, &[]);
+        let b = sv(6, &[]);
+        add(&a, &b);
+    }
+}

@@ -1,0 +1,72 @@
+//! TileBFS on a power-law graph, with the per-iteration kernel trace and a
+//! comparison against the Gunrock/GSwitch/Enterprise-style baselines.
+//!
+//! ```text
+//! cargo run --release --example bfs_traversal
+//! ```
+
+use tilespmspv::baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::gen::{rmat, RmatConfig};
+use tilespmspv::sparse::reference::{bfs_edges_traversed, bfs_levels};
+
+fn main() {
+    // A Graph500-style R-MAT graph: 2^14 vertices, ~16 edges per vertex.
+    let a = rmat(RmatConfig::new(14, 16), 7).to_csr();
+    let source = (0..a.nrows())
+        .find(|&v| a.row_nnz(v) > 0)
+        .expect("graph has edges");
+    println!(
+        "graph: {} vertices, {} edges; BFS from {}",
+        a.nrows(),
+        a.nnz(),
+        source
+    );
+
+    // Build the bitmask tile structure (nt chosen by the paper's rule).
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    println!(
+        "bit tiles: nt = {}, {} stored tiles, {} extracted edges",
+        g.bit().nt(),
+        g.bit().num_tiles(),
+        g.bit().extra_nnz()
+    );
+
+    // Run TileBFS and show the direction decisions the policy made.
+    let result = tile_bfs(&g, source, BfsOptions::default()).unwrap();
+    println!("\niter  kernel     frontier  discovered      time");
+    for it in &result.iterations {
+        println!(
+            "{:>4}  {:<9} {:>9} {:>11} {:>9.3?}",
+            it.level, it.kernel.to_string(), it.frontier, it.discovered, it.wall
+        );
+    }
+    println!(
+        "\nreached {} vertices in {} levels",
+        result.reached(),
+        result.iterations.len()
+    );
+
+    // Correctness against the serial oracle.
+    assert_eq!(result.levels, bfs_levels(&a, source).unwrap());
+
+    // Compare all four BFS implementations on the same traversal.
+    let edges = bfs_edges_traversed(&a, &result.levels);
+    let gteps = |secs: f64| edges as f64 / secs / 1e9;
+    let gun = gunrock_bfs(&a, source).unwrap();
+    let gsw = gswitch_bfs(&a, source).unwrap();
+    let ent = enterprise_bfs(&a, source).unwrap();
+    assert_eq!(gun.levels, result.levels);
+    assert_eq!(gsw.levels, result.levels);
+    assert_eq!(ent.levels, result.levels);
+
+    println!("\nalgorithm     wall        GTEPS (CPU substrate)");
+    for (name, secs) in [
+        ("TileBFS", result.wall().as_secs_f64()),
+        ("Gunrock", gun.wall().as_secs_f64()),
+        ("GSwitch", gsw.wall().as_secs_f64()),
+        ("Enterprise", ent.wall().as_secs_f64()),
+    ] {
+        println!("{name:<12} {:>8.3} ms  {:>8.4}", secs * 1e3, gteps(secs));
+    }
+}

@@ -1,0 +1,79 @@
+//! Conjugate gradient on the tiled format: solves a 2D Poisson problem
+//! with TileSpMV as the matrix-vector engine.
+//!
+//! Iterative solvers are the classic consumer of fast SpMV; running one on
+//! the same `TileMatrix` the SpMSpV kernels use shows the storage serving
+//! both dense-vector and sparse-vector workloads (the design point of the
+//! tile format family).
+//!
+//! ```text
+//! cargo run --release --example conjugate_gradient
+//! ```
+
+use tilespmspv::baselines::tile_spmv;
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::gen::grid2d;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn main() {
+    // The 2D Laplacian on a 120x120 grid, shifted to be positive definite.
+    let side = 120;
+    let n = side * side;
+    let mut coo = grid2d(side, side);
+    for i in 0..n {
+        coo.push(i, i, 0.01); // diagonal shift: strictly PD
+    }
+    let a = coo.to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    println!(
+        "system: {n} unknowns, {} nonzeros, {} tiles ({} dense)",
+        a.nnz(),
+        tiled.num_tiles(),
+        tiled.dense_tiles()
+    );
+
+    // Manufactured solution with structure across the grid (a constant
+    // vector is an eigenvector of the shifted Laplacian and would converge
+    // in one step).
+    let x_star: Vec<f64> = (0..n)
+        .map(|i| {
+            let (gx, gy) = (i % side, i / side);
+            1.0 + (gx as f64 * 0.13).sin() + (gy as f64 * 0.07).cos()
+        })
+        .collect();
+    let (b, _) = tile_spmv(&tiled, &x_star);
+
+    // Conjugate gradient.
+    let mut x = vec![0.0f64; n];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    let b_norm = rs.sqrt();
+    let mut iters = 0;
+    while rs.sqrt() / b_norm > 1e-10 && iters < 2 * n {
+        let (ap, _) = tile_spmv(&tiled, &p);
+        let alpha = rs / dot(&p, &ap);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs = rs_new;
+        iters += 1;
+    }
+
+    let err = x
+        .iter()
+        .zip(&x_star)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("CG converged in {iters} iterations; max |x - x*| = {err:.3e}");
+    assert!(err < 1e-6, "CG must recover the manufactured solution");
+}

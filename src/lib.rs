@@ -1,0 +1,51 @@
+//! # tilespmspv
+//!
+//! A Rust reproduction of **"TileSpMSpV: A Tiled Algorithm for Sparse
+//! Matrix-Sparse Vector Multiplication on GPUs"** (Ji et al., ICPP '22).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`sparse`] — substrate formats (COO/CSR/CSC), sparse vectors,
+//!   MatrixMarket I/O, synthetic generators, serial references.
+//! * [`simt`] — the SIMT execution substrate standing in for CUDA: warps,
+//!   shuffles, atomics, kernel statistics and the analytic device model.
+//! * [`core`] — the paper's contribution: tiled storage, semirings,
+//!   TileSpMSpV and TileBFS.
+//! * [`baselines`] — the comparators evaluated in the paper: TileSpMV,
+//!   BSR SpMV (cuSPARSE stand-in), CombBLAS-style bucket SpMSpV, and
+//!   Gunrock/GSwitch/Enterprise-style BFS.
+//! * [`apps`] — graph algorithms on the primitives: RCM ordering,
+//!   betweenness centrality, connected components, PageRank, SSSP, and
+//!   multi-source BFS.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tilespmspv::prelude::*;
+//!
+//! // A small banded matrix and a sparse input vector.
+//! let a = tilespmspv::sparse::gen::banded(256, 4, 0.8, 1).to_csr();
+//! let x = tilespmspv::sparse::gen::random_sparse_vector(256, 0.05, 1);
+//!
+//! // Build the tiled representation and run TileSpMSpV.
+//! let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+//! let y = tile_spmspv(&tiled, &x).unwrap();
+//!
+//! // Matches the serial reference.
+//! let expect = tilespmspv::sparse::reference::spmspv_row(&a, &x).unwrap();
+//! assert!(y.max_abs_diff(&expect) < 1e-9);
+//! ```
+
+pub use tsv_apps as apps;
+pub use tsv_baselines as baselines;
+pub use tsv_core as core;
+pub use tsv_simt as simt;
+pub use tsv_sparse as sparse;
+
+/// Convenient glob-import of the most used types and entry points.
+pub mod prelude {
+    pub use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+    pub use tsv_core::spmspv::{tile_spmspv, tile_spmspv_with, SpMSpVOptions};
+    pub use tsv_core::tile::{TileConfig, TileMatrix, TileSize, TiledVector};
+    pub use tsv_sparse::{CooMatrix, CscMatrix, CsrMatrix, SparseVector};
+}

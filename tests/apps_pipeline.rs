@@ -1,0 +1,117 @@
+//! Cross-crate tests of the application layer on the evaluation suite:
+//! the algorithms must agree with each other and with first principles on
+//! realistic matrices, not just toy graphs.
+
+use tilespmspv::apps::cc::component_count;
+use tilespmspv::apps::rcm::{bandwidth, permute_symmetric, rcm_order};
+use tilespmspv::apps::{
+    betweenness, betweenness_msbfs, connected_components, multi_source_bfs, pagerank, sssp,
+    PageRankOptions,
+};
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::reference::bfs_levels;
+use tilespmspv::sparse::suite::{by_name, SuiteScale};
+
+#[test]
+fn components_agree_with_repeated_bfs() {
+    let a = by_name("roadNet-TX", SuiteScale::Tiny).unwrap().matrix;
+    let labels = connected_components(&a).unwrap();
+
+    // Count components by repeated BFS.
+    let mut seen = vec![false; a.nrows()];
+    let mut count = 0;
+    for v in 0..a.nrows() {
+        if !seen[v] {
+            count += 1;
+            for (u, &l) in bfs_levels(&a, v).unwrap().iter().enumerate() {
+                if l >= 0 {
+                    seen[u] = true;
+                }
+            }
+        }
+    }
+    assert_eq!(component_count(&labels), count);
+}
+
+#[test]
+fn sssp_on_unit_weights_matches_tile_bfs() {
+    let a = by_name("cavity23", SuiteScale::Tiny).unwrap().matrix;
+    // Re-weight every entry to 1.0 (cavity values vary).
+    let mut coo = tilespmspv::sparse::CooMatrix::new(a.nrows(), a.ncols());
+    for (r, c, _) in a.iter() {
+        coo.push(r, c, 1.0);
+    }
+    let unit = coo.to_csr();
+
+    let g = TileBfsGraph::from_csr(&unit).unwrap();
+    let levels = tile_bfs(&g, 0, BfsOptions::default()).unwrap().levels;
+    let dist = sssp(&unit, 0).unwrap();
+    for v in 0..unit.nrows() {
+        if levels[v] >= 0 {
+            assert_eq!(dist[v], levels[v] as f64, "vertex {v}");
+        } else {
+            assert!(dist[v].is_infinite());
+        }
+    }
+}
+
+#[test]
+fn msbfs_matches_tile_bfs_on_suite_matrix() {
+    let a = by_name("333SP", SuiteScale::Tiny).unwrap().matrix;
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    let sources: Vec<usize> = (0..24).map(|i| (i * 97) % a.nrows()).collect();
+    let batched = multi_source_bfs(&a, &sources).unwrap();
+    for (i, &s) in sources.iter().enumerate().step_by(5) {
+        let single = tile_bfs(&g, s, BfsOptions::default()).unwrap().levels;
+        assert_eq!(batched[i], single, "source {s}");
+    }
+}
+
+#[test]
+fn rcm_improves_tiling_of_a_scrambled_suite_matrix() {
+    // Scramble the road analog's labels, then recover locality with RCM.
+    let a = by_name("roadNet-TX", SuiteScale::Tiny).unwrap().matrix;
+    let n = a.nrows();
+    let mut relabel: Vec<usize> = (0..n).collect();
+    let mut state = 12345u64;
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        relabel.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    let mut coo = tilespmspv::sparse::CooMatrix::new(n, n);
+    for (r, c, v) in a.iter() {
+        coo.push(relabel[r], relabel[c], v);
+    }
+    let scrambled = coo.to_csr();
+
+    let perm = rcm_order(&scrambled).unwrap();
+    let reordered = permute_symmetric(&scrambled, &perm);
+    assert!(bandwidth(&reordered) < bandwidth(&scrambled) / 2);
+
+    let tiles_before = tilespmspv::core::tile::tile_count(&scrambled, 16);
+    let tiles_after = tilespmspv::core::tile::tile_count(&reordered, 16);
+    assert!(
+        tiles_after < tiles_before,
+        "RCM should reduce tile count: {tiles_before} -> {tiles_after}"
+    );
+}
+
+#[test]
+fn pagerank_is_stochastic_on_a_web_graph() {
+    let a = by_name("in-2004", SuiteScale::Tiny).unwrap().matrix;
+    let (pr, iters) = pagerank(&a, PageRankOptions::default()).unwrap();
+    assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    assert!(iters > 2 && iters < 200);
+    assert!(pr.iter().all(|&r| r >= 0.0));
+}
+
+#[test]
+fn both_betweenness_variants_agree_on_a_mesh() {
+    let a = by_name("cavity23", SuiteScale::Tiny).unwrap().matrix;
+    let sources: Vec<usize> = (0..40).map(|i| (i * 9) % a.nrows()).collect();
+    let plain = betweenness(&a, &sources).unwrap();
+    let batched = betweenness_msbfs(&a, &sources).unwrap();
+    for (v, (p, b)) in plain.iter().zip(&batched).enumerate() {
+        assert!((p - b).abs() < 1e-6, "vertex {v}: {p} vs {b}");
+    }
+}

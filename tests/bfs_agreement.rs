@@ -1,0 +1,161 @@
+//! Cross-crate BFS agreement: TileBFS (all kernel sets) and the three
+//! baselines produce exactly the serial oracle's levels on every graph
+//! class, including degenerate and directed inputs.
+
+use tilespmspv::baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
+use tilespmspv::core::bfs::KernelSet;
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::gen::{
+    banded, geometric_graph, grid2d, grid3d, rmat, tridiagonal, RmatConfig,
+};
+use tilespmspv::sparse::reference::{bfs_levels, bfs_parents_from_levels, validate_bfs_levels};
+use tilespmspv::sparse::{CooMatrix, CsrMatrix};
+
+fn graph_zoo() -> Vec<(&'static str, CsrMatrix<f64>)> {
+    let mut zoo = vec![
+        ("banded", banded(500, 7, 0.8, 1).to_csr()),
+        ("grid2d", grid2d(23, 19).to_csr().without_diagonal()),
+        ("grid3d", grid3d(8, 7, 6).to_csr().without_diagonal()),
+        ("geometric", geometric_graph(900, 4.0, 2).to_csr()),
+        ("rmat", rmat(RmatConfig::new(9, 10), 3).to_csr()),
+        ("chain", tridiagonal(200).to_csr().without_diagonal()),
+    ];
+
+    // A star graph: one huge hub.
+    let mut star = CooMatrix::new(400, 400);
+    for v in 1..400 {
+        star.push(0, v, 1.0);
+        star.push(v, 0, 1.0);
+    }
+    zoo.push(("star", star.to_csr()));
+
+    // Disconnected components.
+    let mut islands = CooMatrix::new(300, 300);
+    for base in [0usize, 100, 200] {
+        for i in 0..40 {
+            islands.push(base + i, base + i + 1, 1.0);
+            islands.push(base + i + 1, base + i, 1.0);
+        }
+    }
+    zoo.push(("islands", islands.to_csr()));
+
+    // Directed cycle plus chords (asymmetric pattern).
+    let mut dir = CooMatrix::new(150, 150);
+    for i in 0..150 {
+        dir.push((i + 1) % 150, i, 1.0);
+        if i % 7 == 0 {
+            dir.push((i + 40) % 150, i, 1.0);
+        }
+    }
+    zoo.push(("directed", dir.to_csr()));
+
+    zoo
+}
+
+#[test]
+fn tile_bfs_matches_serial_for_every_kernel_set() {
+    for (name, a) in graph_zoo() {
+        let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0);
+        let expect = bfs_levels(&a, source).unwrap();
+        for nt in [32usize, 64] {
+            for threshold in [0usize, 2, 6] {
+                let g = TileBfsGraph::with_params(&a, nt, threshold).unwrap();
+                for set in [KernelSet::PushCscOnly, KernelSet::PushOnly, KernelSet::All] {
+                    let opts = BfsOptions {
+                        kernels: set,
+                        ..Default::default()
+                    };
+                    let r = tile_bfs(&g, source, opts).unwrap();
+                    assert_eq!(
+                        r.levels, expect,
+                        "{name}: nt={nt} threshold={threshold} {set:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_implementation_passes_graph500_validation() {
+    for (name, a) in graph_zoo() {
+        let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0);
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let levels = tile_bfs(&g, source, BfsOptions::default()).unwrap().levels;
+        validate_bfs_levels(&a, source, &levels).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Derived parents are valid tree edges.
+        let parents = bfs_parents_from_levels(&a, source, &levels);
+        for v in 0..a.nrows() {
+            if levels[v] > 0 {
+                let p = parents[v];
+                assert!(p >= 0, "{name}: reached vertex {v} lacks a parent");
+                assert_eq!(levels[p as usize], levels[v] - 1, "{name}: vertex {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_match_serial() {
+    for (name, a) in graph_zoo() {
+        let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0);
+        let expect = bfs_levels(&a, source).unwrap();
+        assert_eq!(gunrock_bfs(&a, source).unwrap().levels, expect, "{name}: gunrock");
+        assert_eq!(gswitch_bfs(&a, source).unwrap().levels, expect, "{name}: gswitch");
+        assert_eq!(
+            enterprise_bfs(&a, source).unwrap().levels,
+            expect,
+            "{name}: enterprise"
+        );
+    }
+}
+
+#[test]
+fn every_vertex_is_a_valid_source() {
+    // Exhaustively traverse a small graph from every source.
+    let a = geometric_graph(120, 4.0, 9).to_csr();
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    for source in 0..a.nrows() {
+        let expect = bfs_levels(&a, source).unwrap();
+        let r = tile_bfs(&g, source, BfsOptions::default()).unwrap();
+        assert_eq!(r.levels, expect, "source {source}");
+    }
+}
+
+#[test]
+fn single_vertex_and_edgeless_graphs() {
+    let single = CooMatrix::<f64>::new(1, 1).to_csr();
+    let g = TileBfsGraph::from_csr(&single).unwrap();
+    let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+    assert_eq!(r.levels, vec![0]);
+    assert_eq!(r.reached(), 1);
+
+    let edgeless = CooMatrix::<f64>::new(50, 50).to_csr();
+    let g = TileBfsGraph::from_csr(&edgeless).unwrap();
+    let r = tile_bfs(&g, 7, BfsOptions::default()).unwrap();
+    assert_eq!(r.reached(), 1);
+    assert_eq!(r.levels[7], 0);
+    assert!(r.levels.iter().filter(|&&l| l >= 0).count() == 1);
+
+    assert_eq!(gunrock_bfs(&edgeless, 7).unwrap().reached(), 1);
+}
+
+#[test]
+fn iteration_traces_are_consistent() {
+    let a = grid2d(30, 30).to_csr().without_diagonal();
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+    // Discovered counts across iterations sum to reached - 1 (the source
+    // is not "discovered").
+    let total: usize = r.iterations.iter().map(|i| i.discovered).sum();
+    assert_eq!(total, r.reached() - 1);
+    // Frontier of iteration k+1 equals discovered of iteration k.
+    for w in r.iterations.windows(2) {
+        assert_eq!(w[1].frontier, w[0].discovered);
+    }
+    // Levels are contiguous: every level from 0 to max has a vertex.
+    let max = *r.levels.iter().max().unwrap();
+    for l in 0..=max {
+        assert!(r.levels.contains(&l), "missing level {l}");
+    }
+}

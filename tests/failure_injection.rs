@@ -1,0 +1,170 @@
+//! Systematic error-path coverage: every `SparseError` variant is
+//! triggered through the public API, malformed inputs never panic, and
+//! numeric edge values flow through the kernels unharmed.
+
+use tilespmspv::baselines::{bucket_spmspv, gunrock_bfs};
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::io::{read_edge_list, read_matrix_market_from};
+use tilespmspv::sparse::reference::{bfs_levels, spmspv_col, spmspv_row};
+use tilespmspv::sparse::{CooMatrix, CscMatrix, CsrMatrix, SparseError, SparseVector};
+
+#[test]
+fn every_error_variant_is_reachable() {
+    // IndexOutOfBounds
+    let e = CooMatrix::from_triplets(2, 2, vec![5], vec![0], vec![1.0]).unwrap_err();
+    assert!(matches!(e, SparseError::IndexOutOfBounds { .. }));
+
+    // LengthMismatch
+    let e = CooMatrix::from_triplets(2, 2, vec![0], vec![0, 1], vec![1.0]).unwrap_err();
+    assert!(matches!(e, SparseError::LengthMismatch { .. }));
+
+    // MalformedPointers
+    let e = CsrMatrix::<f64>::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).unwrap_err();
+    assert!(matches!(e, SparseError::MalformedPointers { .. }));
+
+    // DimensionMismatch
+    let a = tilespmspv::sparse::gen::banded(8, 2, 1.0, 1).to_csr();
+    let x = SparseVector::<f64>::zeros(9);
+    let e = spmspv_row(&a, &x).unwrap_err();
+    assert!(matches!(e, SparseError::DimensionMismatch { .. }));
+
+    // NotSquare
+    let mut rect = CooMatrix::new(2, 3);
+    rect.push(0, 2, 1.0);
+    let e = bfs_levels(&rect.to_csr(), 0).unwrap_err();
+    assert!(matches!(e, SparseError::NotSquare { .. }));
+
+    // Io
+    let e = tilespmspv::sparse::io::read_matrix_market(std::path::Path::new("/no/such/file"))
+        .unwrap_err();
+    assert!(matches!(e, SparseError::Io(_)));
+
+    // Parse
+    let e = read_matrix_market_from("garbage".as_bytes()).unwrap_err();
+    assert!(matches!(e, SparseError::Parse { .. }));
+
+    // Every variant Displays without panicking.
+    for err in [
+        CooMatrix::from_triplets(1, 1, vec![9], vec![0], vec![1.0]).unwrap_err(),
+        read_edge_list("x y".as_bytes(), None, false).unwrap_err(),
+    ] {
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn malformed_matrix_market_never_panics() {
+    // A grab-bag of broken inputs: all must return Err, none may panic.
+    let cases = [
+        "",
+        "\n\n\n",
+        "%%MatrixMarket",
+        "%%MatrixMarket matrix coordinate real general",
+        "%%MatrixMarket matrix coordinate real general\n2 2",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc",
+        "%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1",
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 3 1.0",
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0",
+        "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1",
+        "%%MatrixMarket vector coordinate real general\n2 2 1\n1 1 1",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        assert!(
+            read_matrix_market_from(case.as_bytes()).is_err(),
+            "case {i} should fail: {case:?}"
+        );
+    }
+}
+
+#[test]
+fn malformed_edge_lists_never_panic() {
+    for case in ["0", "a b", "0 -1", "1.5 2", "0 1 extra_is_ok\n"] {
+        // The last case has trailing tokens — accepted (weights ignored);
+        // the rest must error.
+        let r = read_edge_list(case.as_bytes(), None, false);
+        if case.starts_with("0 1") {
+            assert!(r.is_ok());
+        } else {
+            assert!(r.is_err(), "case {case:?}");
+        }
+    }
+}
+
+#[test]
+fn extreme_values_flow_through_kernels() {
+    // Huge, tiny and negative magnitudes survive the tiled round trip and
+    // the kernels (relative comparison).
+    let mut coo = CooMatrix::new(40, 40);
+    coo.push(0, 0, 1e300);
+    coo.push(1, 2, 1e-300);
+    coo.push(17, 33, -1e150);
+    coo.push(33, 17, 4.9e-324); // subnormal
+    let a = coo.to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    assert_eq!(tiled.to_csr(), a);
+
+    let x = SparseVector::from_entries(40, vec![(0, 1e5), (2, -2.0), (17, 1.0), (33, 3.0)]).unwrap();
+    let y = tile_spmspv(&tiled, &x).unwrap();
+    let expect = spmspv_row(&a, &x).unwrap();
+    for (i, v) in expect.iter() {
+        let got = y.get(i).unwrap_or(0.0);
+        let rel = if v == 0.0 { got.abs() } else { ((got - v) / v).abs() };
+        assert!(rel < 1e-12, "row {i}: {got} vs {v}");
+    }
+}
+
+#[test]
+fn all_zero_rows_and_columns_everywhere() {
+    // A matrix whose only entry sits in the last tile corner.
+    let n = 100;
+    let mut coo = CooMatrix::new(n, n);
+    coo.push(n - 1, n - 1, 2.5);
+    let a = coo.to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    let x = SparseVector::from_entries(n, vec![(n as u32 - 1, 4.0)]).unwrap();
+    let y = tile_spmspv(&tiled, &x).unwrap();
+    assert_eq!(y.nnz(), 1);
+    assert_eq!(y.get(n - 1), Some(10.0));
+
+    let (yb, _) = bucket_spmspv(&a.to_csc(), &x).unwrap();
+    assert_eq!(yb.get(n - 1), Some(10.0));
+}
+
+#[test]
+fn one_by_one_matrices() {
+    let mut coo = CooMatrix::new(1, 1);
+    coo.push(0, 0, 3.0);
+    let a = coo.to_csr();
+
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    let x = SparseVector::from_entries(1, vec![(0, 2.0)]).unwrap();
+    assert_eq!(tile_spmspv(&tiled, &x).unwrap().get(0), Some(6.0));
+
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+    assert_eq!(r.levels, vec![0]);
+    assert_eq!(gunrock_bfs(&a, 0).unwrap().levels, vec![0]);
+}
+
+#[test]
+fn csc_and_csr_validation_reject_cross_contamination() {
+    // Column indices valid for one shape, invalid for another.
+    let e = CscMatrix::<f64>::from_parts(3, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]);
+    assert!(e.is_err());
+    let e = CsrMatrix::<f64>::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
+    assert!(e.is_err(), "duplicate column indices in a row");
+}
+
+#[test]
+fn reference_kernels_reject_bad_dimensions_consistently() {
+    let a = tilespmspv::sparse::gen::banded(10, 2, 1.0, 1).to_csr();
+    let csc = a.to_csc();
+    let bad = SparseVector::<f64>::zeros(11);
+    assert!(spmspv_row(&a, &bad).is_err());
+    assert!(spmspv_col(&csc, &bad).is_err());
+    assert!(bucket_spmspv(&csc, &bad).is_err());
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    assert!(tile_spmspv(&tiled, &bad).is_err());
+}

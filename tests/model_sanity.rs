@@ -1,0 +1,68 @@
+//! Sanity of the device model on *real* kernel workloads (not synthetic
+//! counters): the modeled orderings every figure relies on must hold for
+//! the stats our kernels actually emit.
+
+use tilespmspv::core::spmspv::{tile_spmspv_with, SpMSpVOptions};
+use tilespmspv::prelude::*;
+use tilespmspv::simt::model::kernel_time;
+use tilespmspv::simt::{RTX_3060, RTX_3090};
+use tilespmspv::sparse::gen::random_sparse_vector;
+use tilespmspv::sparse::suite::{representative, SuiteScale};
+
+#[test]
+fn the_3090_is_never_slower_than_the_3060_on_real_kernels() {
+    for e in representative(SuiteScale::Tiny) {
+        let a = &e.matrix;
+        let tiled = TileMatrix::from_csr(a, TileConfig::default()).unwrap();
+        for sp in [0.1, 0.001] {
+            let x = random_sparse_vector(a.ncols(), sp, 1);
+            let (_, r) = tile_spmspv_with(&tiled, &x, SpMSpVOptions::default()).unwrap();
+            let t60 = kernel_time(&r.stats, &RTX_3060);
+            let t90 = kernel_time(&r.stats, &RTX_3090);
+            assert!(
+                t90 <= t60,
+                "{}@{sp}: 3090 {t90} slower than 3060 {t60}",
+                e.name
+            );
+        }
+    }
+}
+
+#[test]
+fn modeled_time_grows_with_vector_density() {
+    // More frontier work must never model as cheaper on the same kernel.
+    let e = representative(SuiteScale::Tiny).remove(0);
+    let tiled = TileMatrix::from_csr(&e.matrix, TileConfig::default()).unwrap();
+    let mut last = 0.0;
+    for sp in [0.0001, 0.01, 0.3] {
+        let x = random_sparse_vector(e.matrix.ncols(), sp, 1);
+        let opts = SpMSpVOptions {
+            kernel: tilespmspv::core::spmspv::KernelChoice::ColTile,
+            ..Default::default()
+        };
+        let (_, r) = tile_spmspv_with(&tiled, &x, opts).unwrap();
+        let t = kernel_time(&r.stats, &RTX_3090);
+        assert!(t >= last, "density {sp}: modeled time decreased");
+        last = t;
+    }
+}
+
+#[test]
+fn bfs_iteration_models_are_finite_and_positive() {
+    for e in representative(SuiteScale::Tiny) {
+        let a = &e.matrix;
+        let src = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        for (k, it) in run.iterations.iter().enumerate() {
+            for d in [&RTX_3060, &RTX_3090] {
+                let t = kernel_time(&it.stats, d);
+                assert!(
+                    t.is_finite() && t > 0.0,
+                    "{} iteration {k}: modeled time {t}",
+                    e.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the storage formats: arbitrary sparse matrices
+//! and vectors survive every conversion in the workspace unchanged.
+
+use proptest::prelude::*;
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::io::{read_matrix_market_from, write_matrix_market_to};
+use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
+
+/// An arbitrary matrix: shape up to 70x70, up to 180 entries (duplicates
+/// allowed — conversions must sum them identically).
+fn arb_matrix() -> impl Strategy<Value = CooMatrix<f64>> {
+    (1usize..70, 1usize..70)
+        .prop_flat_map(|(m, n)| {
+            let entry = (0..m as u32, 0..n as u32, -100i32..100);
+            (Just(m), Just(n), proptest::collection::vec(entry, 0..180))
+        })
+        .prop_map(|(m, n, entries)| {
+            let mut coo = CooMatrix::new(m, n);
+            for (r, c, v) in entries {
+                // Avoid explicit zeros so nnz comparisons stay exact.
+                let v = if v == 0 { 1 } else { v };
+                coo.push(r as usize, c as usize, v as f64);
+            }
+            coo
+        })
+}
+
+/// An arbitrary sparse vector of a given length.
+fn arb_vector(n: usize) -> impl Strategy<Value = SparseVector<f64>> {
+    proptest::collection::btree_map(0..n as u32, -50i32..50, 0..n.min(64)).prop_map(move |m| {
+        let entries: Vec<(u32, f64)> = m
+            .into_iter()
+            .map(|(i, v)| (i, if v == 0 { 1.0 } else { v as f64 }))
+            .collect();
+        SparseVector::from_entries(n, entries).expect("btree keys are unique")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_csc_coo_roundtrips(coo in arb_matrix()) {
+        let mut summed = coo.clone();
+        summed.sum_duplicates();
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.to_coo().to_csr(), csr.clone());
+        prop_assert_eq!(csr.to_csc().to_csr(), csr.clone());
+        prop_assert_eq!(csr.transpose().transpose(), csr.clone());
+        // Dense agreement across all three formats.
+        prop_assert_eq!(csr.to_dense(), summed.to_dense());
+        prop_assert_eq!(coo.to_csc().to_dense(), summed.to_dense());
+    }
+
+    #[test]
+    fn tiled_roundtrip_any_config(coo in arb_matrix(), threshold in 0usize..6) {
+        let csr = coo.to_csr();
+        for ts in TileSize::all() {
+            let cfg = TileConfig { tile_size: ts, extract_threshold: threshold, ..Default::default() };
+            let tiled = TileMatrix::from_csr(&csr, cfg).unwrap();
+            prop_assert_eq!(tiled.to_csr(), csr.clone());
+            prop_assert_eq!(tiled.nnz(), csr.nnz());
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(coo in arb_matrix()) {
+        let mut summed = coo.clone();
+        summed.sum_duplicates();
+        let mut buf = Vec::new();
+        write_matrix_market_to(&mut buf, &summed).unwrap();
+        let back = read_matrix_market_from(&buf[..]).unwrap();
+        prop_assert_eq!(back.to_csr(), summed.to_csr());
+    }
+
+    #[test]
+    fn tiled_vector_roundtrip(n in 1usize..300, seed in 0u64..100) {
+        let x = tilespmspv::sparse::gen::random_sparse_vector(n, 0.2, seed);
+        for nt in [4usize, 16, 32, 64] {
+            let t = TiledVector::from_sparse(&x, nt);
+            prop_assert_eq!(t.to_sparse(), x.clone());
+            // O(1) access agrees element-wise.
+            for i in 0..n {
+                prop_assert_eq!(t.get(i), x.get(i).unwrap_or(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_entries(coo in arb_matrix()) {
+        let csr = coo.to_csr();
+        let t = csr.transpose();
+        prop_assert_eq!(t.nnz(), csr.nnz());
+        for (r, c, v) in csr.iter() {
+            prop_assert_eq!(t.get(c, r), Some(v));
+        }
+    }
+
+    #[test]
+    fn spvec_ops_match_dense_semantics(a in arb_vector(100), b in arb_vector(100)) {
+        use tilespmspv::sparse::spvec_ops::{add, dot, mask_complement, mul};
+        let (da, db) = (a.to_dense(), b.to_dense());
+
+        let sum = add(&a, &b);
+        for (i, (x, y)) in da.iter().zip(&db).enumerate() {
+            prop_assert_eq!(sum.get(i).unwrap_or(0.0), x + y, "add at {}", i);
+        }
+
+        let prod = mul(&a, &b);
+        for (i, (x, y)) in da.iter().zip(&db).enumerate() {
+            prop_assert_eq!(prod.get(i).unwrap_or(0.0), x * y, "mul at {}", i);
+        }
+
+        let dense_dot: f64 = da.iter().zip(&db).map(|(x, y)| x * y).sum();
+        prop_assert!((dot(&a, &b) - dense_dot).abs() < 1e-9);
+
+        // Masking removes exactly b's support from a.
+        let masked = mask_complement(&a, &b);
+        for (i, v) in a.iter() {
+            let expect = if b.get(i).is_some() { None } else { Some(v) };
+            prop_assert_eq!(masked.get(i), expect, "mask at {}", i);
+        }
+
+        // Commutativity.
+        prop_assert_eq!(add(&a, &b), add(&b, &a));
+        prop_assert_eq!(mul(&a, &b), mul(&b, &a));
+    }
+
+    #[test]
+    fn spmspv_matches_reference_under_proptest(
+        coo in arb_matrix(),
+        seed in 0u64..50,
+        sparsity in 0.0f64..0.6,
+    ) {
+        let a = coo.to_csr();
+        let x = tilespmspv::sparse::gen::random_sparse_vector(a.ncols(), sparsity, seed);
+        let expect = tilespmspv::sparse::reference::spmspv_row(&a, &x).unwrap();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let y = tile_spmspv(&tiled, &x).unwrap();
+        prop_assert!(y.max_abs_diff(&expect) < 1e-9);
+    }
+}
+
+#[test]
+fn zero_row_and_column_edges() {
+    // Matrices with entirely empty leading/trailing rows and columns.
+    let mut coo = CooMatrix::new(40, 40);
+    coo.push(20, 20, 5.0);
+    let csr: CsrMatrix<f64> = coo.to_csr();
+    let tiled = TileMatrix::from_csr(&csr, TileConfig::default()).unwrap();
+    assert_eq!(tiled.to_csr(), csr);
+    let x = SparseVector::from_entries(40, vec![(20, 2.0)]).unwrap();
+    let y = tile_spmspv(&tiled, &x).unwrap();
+    assert_eq!(y.get(20), Some(10.0));
+    assert_eq!(y.nnz(), 1);
+}

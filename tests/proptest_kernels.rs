@@ -1,0 +1,167 @@
+//! Property-based tests on the traversal kernels and semirings.
+
+use proptest::prelude::*;
+use tilespmspv::baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
+use tilespmspv::core::bfs::KernelSet;
+use tilespmspv::core::semiring::{spmspv_semiring, MaxTimes, MinPlus, OrAnd, PlusTimes, Semiring};
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::reference::bfs_levels;
+use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
+
+/// An arbitrary undirected graph of up to 120 vertices.
+fn arb_graph() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2usize..120)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32);
+            (Just(n), proptest::collection::vec(edge, 0..300))
+        })
+        .prop_map(|(n, edges)| {
+            let mut coo = CooMatrix::new(n, n);
+            for (u, v) in edges {
+                if u != v {
+                    coo.push(u as usize, v as usize, 1.0);
+                    coo.push(v as usize, u as usize, 1.0);
+                }
+            }
+            let mut c = coo;
+            c.sum_duplicates();
+            c.to_csr()
+        })
+}
+
+/// An arbitrary directed graph of up to 100 vertices.
+fn arb_digraph() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2usize..100)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32);
+            (Just(n), proptest::collection::vec(edge, 0..250))
+        })
+        .prop_map(|(n, edges)| {
+            let mut coo = CooMatrix::new(n, n);
+            for (u, v) in edges {
+                if u != v {
+                    coo.push(u as usize, v as usize, 1.0);
+                }
+            }
+            let mut c = coo;
+            c.sum_duplicates();
+            c.to_csr()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tile_bfs_equals_serial_on_random_graphs(a in arb_graph(), src_pick in 0usize..1000) {
+        let source = src_pick % a.nrows();
+        let expect = bfs_levels(&a, source).unwrap();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        for set in [KernelSet::PushCscOnly, KernelSet::PushOnly, KernelSet::All] {
+            let r = tile_bfs(&g, source, BfsOptions { kernels: set, ..Default::default() }).unwrap();
+            prop_assert_eq!(&r.levels, &expect, "kernel set {:?}", set);
+        }
+    }
+
+    #[test]
+    fn tile_bfs_equals_serial_on_random_digraphs(a in arb_digraph(), src_pick in 0usize..1000) {
+        let source = src_pick % a.nrows();
+        let expect = bfs_levels(&a, source).unwrap();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let r = tile_bfs(&g, source, BfsOptions::default()).unwrap();
+        prop_assert_eq!(&r.levels, &expect);
+    }
+
+    #[test]
+    fn baselines_equal_serial_on_random_graphs(a in arb_graph(), src_pick in 0usize..1000) {
+        let source = src_pick % a.nrows();
+        let expect = bfs_levels(&a, source).unwrap();
+        prop_assert_eq!(&gunrock_bfs(&a, source).unwrap().levels, &expect);
+        prop_assert_eq!(&gswitch_bfs(&a, source).unwrap().levels, &expect);
+        prop_assert_eq!(&enterprise_bfs(&a, source).unwrap().levels, &expect);
+    }
+
+    #[test]
+    fn or_and_spmspv_is_one_bfs_step(a in arb_graph(), src_pick in 0usize..1000) {
+        // One boolean SpMSpV from {source} must produce exactly the
+        // source's neighbor set.
+        let source = src_pick % a.nrows();
+        let pattern = {
+            let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+            for (r, c, _) in a.iter() {
+                coo.push(r, c, 1u8);
+            }
+            coo.to_csr().to_csc()
+        };
+        let bool_csc = tilespmspv::sparse::CscMatrix::from_parts(
+            pattern.nrows(),
+            pattern.ncols(),
+            pattern.col_ptr().to_vec(),
+            pattern.row_idx().to_vec(),
+            vec![true; pattern.nnz()],
+        ).unwrap();
+        let x = SparseVector::from_entries(a.nrows(), vec![(source as u32, true)]).unwrap();
+        let y = spmspv_semiring::<OrAnd>(&bool_csc, &x).unwrap();
+        let mut expect: Vec<u32> = a.row(source).0.to_vec();
+        expect.sort_unstable();
+        prop_assert_eq!(y.indices().to_vec(), expect);
+    }
+
+    #[test]
+    fn semiring_axioms_hold_on_samples(vals in proptest::collection::vec(-10.0f64..10.0, 3)) {
+        let (a, b, c) = (vals[0], vals[1], vals[2]);
+        fn axioms<S: Semiring<T = f64>>(a: f64, b: f64, c: f64) {
+            // Additive identity.
+            assert_eq!(S::add(S::zero(), a), a);
+            // Annihilation (up to sign of zero).
+            assert!(S::mul(S::zero(), a) == S::zero() || S::zero().is_infinite());
+            // Commutativity and associativity of add.
+            assert_eq!(S::add(a, b), S::add(b, a));
+            assert!((S::add(S::add(a, b), c) - S::add(a, S::add(b, c))).abs() < 1e-12);
+        }
+        axioms::<PlusTimes>(a, b, c);
+        axioms::<MinPlus>(a, b, c);
+        axioms::<MaxTimes>(a.abs(), b.abs(), c.abs());
+    }
+
+    #[test]
+    fn bit_frontier_ops_match_set_semantics(
+        n in 1usize..200,
+        xs in proptest::collection::btree_set(0usize..200, 0..40),
+        ms in proptest::collection::btree_set(0usize..200, 0..40),
+    ) {
+        use tilespmspv::core::tile::BitFrontier;
+        let xs: Vec<usize> = xs.into_iter().filter(|&v| v < n).collect();
+        let ms: Vec<usize> = ms.into_iter().filter(|&v| v < n).collect();
+        for nt in [32usize, 64] {
+            let mut x = BitFrontier::new(n, nt);
+            for &v in &xs { x.set(v); }
+            let mut m = BitFrontier::new(n, nt);
+            for &v in &ms { m.set(v); }
+
+            prop_assert_eq!(x.count_ones(), xs.len());
+            let fresh = x.and_not(&m);
+            let expect: Vec<usize> = xs.iter().copied().filter(|v| !ms.contains(v)).collect();
+            prop_assert_eq!(fresh.iter_vertices().collect::<Vec<_>>(), expect);
+
+            let comp = m.complement();
+            prop_assert_eq!(comp.count_ones(), n - ms.len());
+            for v in 0..n {
+                prop_assert_eq!(comp.get(v), !m.get(v));
+            }
+
+            let mut u = x.clone();
+            u.or_assign(&m);
+            prop_assert_eq!(u.count_ones(), xs.iter().chain(ms.iter()).collect::<std::collections::BTreeSet<_>>().len());
+        }
+    }
+
+    #[test]
+    fn plus_times_semiring_equals_reference(a in arb_graph(), seed in 0u64..20) {
+        let csc = a.to_csc();
+        let x = tilespmspv::sparse::gen::random_sparse_vector(a.ncols(), 0.2, seed);
+        let y = spmspv_semiring::<PlusTimes>(&csc, &x).unwrap();
+        let expect = tilespmspv::sparse::reference::spmspv_col(&csc, &x).unwrap();
+        prop_assert!(y.max_abs_diff(&expect) < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate equivalence: every SpMSpV implementation in the workspace
+//! computes the same product, across matrix classes, tile sizes,
+//! extraction thresholds and vector sparsities.
+
+use tilespmspv::baselines::{bucket_spmspv, tile_spmv, BsrMatrix};
+use tilespmspv::core::spmspv::{tile_spmspv_with, KernelChoice, SpMSpVOptions};
+use tilespmspv::prelude::*;
+use tilespmspv::sparse::gen::{
+    banded, geometric_graph, grid2d, random_sparse_vector, rmat, uniform_random, RmatConfig,
+};
+use tilespmspv::sparse::reference::{spmspv_col, spmspv_row};
+use tilespmspv::sparse::CsrMatrix;
+
+fn matrix_zoo() -> Vec<(&'static str, CsrMatrix<f64>)> {
+    vec![
+        ("banded", banded(300, 9, 0.7, 1).to_csr()),
+        ("uniform", uniform_random(257, 257, 3000, 2).to_csr()),
+        ("grid", grid2d(18, 17).to_csr()),
+        ("geometric", geometric_graph(400, 5.0, 3).to_csr()),
+        ("rmat", rmat(RmatConfig::new(8, 6), 4).to_csr()),
+        ("rect-wide", uniform_random(100, 500, 2500, 5).to_csr()),
+        ("rect-tall", uniform_random(500, 90, 2500, 6).to_csr()),
+        ("empty", CsrMatrix::zeros(64, 64)),
+    ]
+}
+
+#[test]
+fn all_implementations_agree() {
+    for (name, a) in matrix_zoo() {
+        let csc = a.to_csc();
+        for sparsity in [0.0, 0.003, 0.05, 0.4] {
+            let x = random_sparse_vector(a.ncols(), sparsity, 1);
+            let reference = spmspv_row(&a, &x).unwrap();
+
+            // The two serial directions.
+            let col = spmspv_col(&csc, &x).unwrap();
+            assert!(
+                col.max_abs_diff(&reference) < 1e-9,
+                "{name}@{sparsity}: column reference diverged"
+            );
+
+            // CombBLAS bucket.
+            let (bucket, _) = bucket_spmspv(&csc, &x).unwrap();
+            assert!(
+                bucket.max_abs_diff(&reference) < 1e-9,
+                "{name}@{sparsity}: bucket diverged"
+            );
+
+            // Dense-vector algorithms.
+            let xd = x.to_dense();
+            for block in [4usize, 16] {
+                let bsr = BsrMatrix::from_csr(&a, block).unwrap();
+                let (y, _) = bsr.bsrmv(&xd);
+                let dense_ref = reference.to_dense();
+                for i in 0..a.nrows() {
+                    assert!(
+                        (y[i] - dense_ref[i]).abs() < 1e-9,
+                        "{name}@{sparsity}: bsr-{block} row {i}"
+                    );
+                }
+            }
+
+            // Tiled kernels across sizes, thresholds and kernel choices.
+            for ts in TileSize::all() {
+                for threshold in [0usize, 3] {
+                    let cfg = TileConfig {
+                        tile_size: ts,
+                        extract_threshold: threshold,
+                        ..Default::default()
+                    };
+                    let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+
+                    let (spmv_y, _) = tile_spmv(&tiled, &xd);
+                    let dense_ref = reference.to_dense();
+                    for i in 0..a.nrows() {
+                        assert!(
+                            (spmv_y[i] - dense_ref[i]).abs() < 1e-9,
+                            "{name}@{sparsity}: tile_spmv {ts}/{threshold} row {i}"
+                        );
+                    }
+
+                    for choice in [KernelChoice::RowTile, KernelChoice::ColTile] {
+                        let opts = SpMSpVOptions {
+                            kernel: choice,
+                            ..Default::default()
+                        };
+                        let (y, _) = tile_spmspv_with(&tiled, &x, opts).unwrap();
+                        assert!(
+                            y.max_abs_diff(&reference) < 1e-9,
+                            "{name}@{sparsity}: tile {ts}/{threshold}/{choice:?} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tiled_format_is_lossless_for_the_zoo() {
+    for (name, a) in matrix_zoo() {
+        for ts in TileSize::all() {
+            for threshold in [0usize, 2, 8] {
+                let cfg = TileConfig {
+                    tile_size: ts,
+                    extract_threshold: threshold,
+                    ..Default::default()
+                };
+                let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+                assert_eq!(tiled.to_csr(), a, "{name} {ts} threshold {threshold}");
+            }
+        }
+    }
+}
+
+#[test]
+fn report_flops_track_vector_density() {
+    let a = banded(2000, 10, 0.9, 7).to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    let sparse_x = random_sparse_vector(2000, 0.001, 1);
+    let dense_x = random_sparse_vector(2000, 0.5, 1);
+    let (_, sparse_r) = tile_spmspv_with(&tiled, &sparse_x, SpMSpVOptions::default()).unwrap();
+    let (_, dense_r) = tile_spmspv_with(&tiled, &dense_x, SpMSpVOptions::default()).unwrap();
+    assert!(
+        sparse_r.useful_flops * 10 < dense_r.useful_flops,
+        "flops should grow with vector density: {} vs {}",
+        sparse_r.useful_flops,
+        dense_r.useful_flops
+    );
+}

@@ -1,0 +1,96 @@
+//! Properties of the evaluation suite itself: determinism, metadata
+//! sanity, and the structural signature each matrix class is chosen for.
+
+use tilespmspv::sparse::suite::{
+    by_name, enterprise_set, representative, representative_names, MatrixClass, SuiteScale,
+};
+
+#[test]
+fn suite_is_deterministic() {
+    let a = representative(SuiteScale::Tiny);
+    let b = representative(SuiteScale::Tiny);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.matrix, y.matrix, "{} not deterministic", x.name);
+    }
+}
+
+#[test]
+fn scales_order_sizes() {
+    for name in representative_names() {
+        let tiny = by_name(name, SuiteScale::Tiny).unwrap().matrix;
+        let small = by_name(name, SuiteScale::Small).unwrap().matrix;
+        assert!(
+            tiny.nrows() < small.nrows(),
+            "{name}: tiny {} !< small {}",
+            tiny.nrows(),
+            small.nrows()
+        );
+    }
+}
+
+#[test]
+fn metadata_matches_table_2() {
+    let suite = representative(SuiteScale::Tiny);
+    let find = |n: &str| suite.iter().find(|e| e.name == n).unwrap();
+    // Spot checks against the paper's Table 2.
+    assert_eq!(find("cant").paper.rows, 62_000);
+    assert_eq!(find("ML_Geer").paper.nnz, 110_000_000);
+    assert_eq!(find("333SP").paper.rows, 3_000_000);
+    // Paper ordering of analog sizes is preserved.
+    assert!(find("333SP").matrix.nrows() > find("cavity23").matrix.nrows());
+}
+
+#[test]
+fn classes_have_their_structural_signatures() {
+    for e in representative(SuiteScale::Tiny)
+        .into_iter()
+        .chain(enterprise_set(SuiteScale::Tiny))
+    {
+        let m = &e.matrix;
+        let n = m.nrows();
+        let avg_deg = m.nnz() as f64 / n as f64;
+        match e.class {
+            MatrixClass::Banded => {
+                // All entries inside a band.
+                let max_off = m.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap();
+                assert!(max_off * 8 < n, "{}: band too wide ({max_off})", e.name);
+            }
+            MatrixClass::Road => {
+                assert!(avg_deg < 7.0, "{}: road degree {avg_deg}", e.name);
+                let levels = tilespmspv::sparse::reference::bfs_levels(m, 0).unwrap();
+                let diam = *levels.iter().max().unwrap();
+                assert!(diam > 15, "{}: diameter {diam} too short", e.name);
+            }
+            MatrixClass::PowerLaw => {
+                let max_deg = (0..n).map(|v| m.row_nnz(v)).max().unwrap();
+                assert!(
+                    max_deg as f64 > avg_deg * 4.0,
+                    "{}: no degree skew",
+                    e.name
+                );
+            }
+            MatrixClass::Web => {
+                let near = m.iter().filter(|&(r, c, _)| r.abs_diff(c) < 128).count();
+                assert!(near * 2 > m.nnz(), "{}: no host locality", e.name);
+            }
+            MatrixClass::Mesh => {
+                let max_deg = (0..n).map(|v| m.row_nnz(v)).max().unwrap();
+                assert!(max_deg <= 4, "{}: mesh degree {max_deg}", e.name);
+            }
+        }
+        // Everything used for BFS must be square.
+        assert_eq!(m.nrows(), m.ncols(), "{}", e.name);
+    }
+}
+
+#[test]
+fn all_names_resolve_and_unknown_does_not() {
+    for name in representative_names() {
+        assert!(by_name(name, SuiteScale::Tiny).is_some(), "{name}");
+    }
+    for name in ["FB", "KR-21-128", "TW", "audikw_1", "roadCA", "europe.osm"] {
+        assert!(by_name(name, SuiteScale::Tiny).is_some(), "{name}");
+    }
+    assert!(by_name("not-a-matrix", SuiteScale::Tiny).is_none());
+}

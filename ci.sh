@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Local CI: the same gate the GitHub workflow runs.
+# Requires a reachable crates.io registry to resolve the (few) external
+# dependencies (rand, rayon, proptest, criterion).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace

@@ -7,17 +7,14 @@
 //! source list so callers can sample (the standard approximation).
 
 use rayon::prelude::*;
-use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_core::bfs::{tile_bfs_with_workspace, BfsOptions, BfsWorkspace, TileBfsGraph};
 use tsv_sparse::{CsrMatrix, SparseError};
 
 /// Computes (optionally sampled) betweenness centrality of an undirected
 /// graph. `sources` lists the Brandes roots; pass all vertices for the
 /// exact measure. Scores follow the undirected convention (each path
 /// counted once).
-pub fn betweenness(
-    a: &CsrMatrix<f64>,
-    sources: &[usize],
-) -> Result<Vec<f64>, SparseError> {
+pub fn betweenness(a: &CsrMatrix<f64>, sources: &[usize]) -> Result<Vec<f64>, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -37,12 +34,21 @@ pub fn betweenness(
         }
     }
 
-    // One Brandes pass per source, in parallel, summed at the end.
+    // One Brandes pass per source, in parallel, summed at the end. Sources
+    // are chunked so each worker amortizes one BFS workspace over its whole
+    // share instead of allocating frontiers per source.
+    let chunk = sources
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(1);
     let partials: Vec<Vec<f64>> = sources
-        .par_iter()
-        .map(|&s| {
+        .par_chunks(chunk)
+        .map(|part| {
             let mut bc = vec![0.0f64; n];
-            brandes_pass(a, &g, s, &mut bc);
+            let mut ws = BfsWorkspace::new();
+            for &s in part {
+                brandes_pass(a, &g, s, &mut ws, &mut bc);
+            }
             bc
         })
         .collect();
@@ -64,10 +70,7 @@ pub fn betweenness(
 /// of 64 with [`tsv_apps_msbfs`](crate::msbfs::multi_source_bfs), so every
 /// adjacency read during the BFS phase is shared by up to 64 traversals.
 /// Results are identical to [`betweenness`].
-pub fn betweenness_msbfs(
-    a: &CsrMatrix<f64>,
-    sources: &[usize],
-) -> Result<Vec<f64>, SparseError> {
+pub fn betweenness_msbfs(a: &CsrMatrix<f64>, sources: &[usize]) -> Result<Vec<f64>, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -99,8 +102,14 @@ pub fn betweenness_msbfs(
     Ok(bc)
 }
 
-fn brandes_pass(a: &CsrMatrix<f64>, g: &TileBfsGraph, source: usize, bc: &mut [f64]) {
-    let levels = match tile_bfs(g, source, BfsOptions::default()) {
+fn brandes_pass(
+    a: &CsrMatrix<f64>,
+    g: &TileBfsGraph,
+    source: usize,
+    ws: &mut BfsWorkspace,
+    bc: &mut [f64],
+) {
+    let levels = match tile_bfs_with_workspace(g, source, BfsOptions::default(), ws) {
         Ok(r) => r.levels,
         Err(_) => return,
     };
@@ -125,8 +134,8 @@ fn brandes_sweeps(a: &CsrMatrix<f64>, source: usize, levels: &[i32], bc: &mut [f
     // Forward: path counts.
     let mut sigma = vec![0.0f64; n];
     sigma[source] = 1.0;
-    for l in 1..=max_level as usize {
-        for &v in &by_level[l] {
+    for (l, level_set) in by_level.iter().enumerate().skip(1) {
+        for &v in level_set {
             let v = v as usize;
             let (nbrs, _) = a.row(v);
             let mut s = 0.0;

@@ -4,10 +4,14 @@
 //! vertex's label with the minimum over its neighborhood. One round is an
 //! SpMSpV over the (min, +) semiring with zero edge weights (min over
 //! neighbor labels), driven by the *changed* vertices only — the sparse
-//! work-set formulation that makes SpMSpV the right primitive.
+//! work-set formulation that makes SpMSpV the right primitive. The rounds
+//! share one [`SpMSpVEngine`], so the tiled pattern matrix and the kernel
+//! scratch are built once for the whole propagation.
 
-use tsv_core::semiring::{spmspv_semiring, MinPlus};
-use tsv_sparse::{CooMatrix, CscMatrix, CsrMatrix, SparseError, SparseVector};
+use tsv_core::exec::SpMSpVEngine;
+use tsv_core::semiring::MinPlus;
+use tsv_core::tile::TileConfig;
+use tsv_sparse::{CooMatrix, CsrMatrix, SparseError, SparseVector};
 
 /// Labels each vertex of an undirected graph with the smallest vertex id
 /// of its component. Returns the label array.
@@ -35,20 +39,16 @@ pub fn connected_components(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError>
     for (r, c, _) in a.iter() {
         coo.push(r, c, 0.0);
     }
-    let pattern: CscMatrix<f64> = coo.to_csc();
+    let mut engine = SpMSpVEngine::<MinPlus>::from_csr(&coo.to_csr(), TileConfig::default())?;
 
     let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
     // Initially every vertex is "changed".
-    let mut frontier = SparseVector::from_parts(
-        n,
-        (0..n as u32).collect(),
-        labels.clone(),
-    )
-    .expect("indices are sorted");
+    let mut frontier = SparseVector::from_parts(n, (0..n as u32).collect(), labels.clone())
+        .expect("indices are sorted");
 
     while frontier.nnz() > 0 {
         // Candidate labels: min over changed neighbors.
-        let candidates = spmspv_semiring::<MinPlus>(&pattern, &frontier)?;
+        let (candidates, _) = engine.multiply(&frontier)?;
         let mut changed = Vec::new();
         for (v, cand) in candidates.iter() {
             if cand < labels[v] {
@@ -124,8 +124,8 @@ mod tests {
             );
         }
         // Every label is the minimum id of its component.
-        for v in 0..400 {
-            assert!(labels[v] as usize <= v);
+        for (v, &label) in labels.iter().enumerate() {
+            assert!(label as usize <= v);
         }
     }
 

@@ -30,9 +30,9 @@ pub mod triangles;
 
 pub use bc::{betweenness, betweenness_msbfs};
 pub use cc::connected_components;
+pub use kcore::k_core;
 pub use msbfs::multi_source_bfs;
 pub use pagerank::{pagerank, PageRankOptions};
 pub use rcm::{permute_symmetric, rcm_order};
-pub use kcore::k_core;
 pub use sssp::sssp;
 pub use triangles::count_triangles;

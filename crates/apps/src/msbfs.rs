@@ -55,12 +55,20 @@ pub fn multi_source_bfs(
     active.sort_unstable();
     active.dedup();
 
+    // Round-to-round scratch, allocated once: the expand target and the
+    // next frontier list are reused every level instead of reallocated.
+    let mut next = vec![0u64; n];
+    let mut new_active: Vec<u32> = Vec::new();
+
     while !active.is_empty() {
         level += 1;
         // Expand: next[v] = OR of front[u] over in-neighbors u, minus seen.
         // Sharing is the point: each adjacency row is read once for all 64
         // traversals.
-        let chunk = active.len().div_ceil(rayon::current_num_threads().max(1)).max(32);
+        let chunk = active
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1))
+            .max(32);
         let contributions: Vec<Vec<(u32, u64)>> = active
             .par_chunks(chunk)
             .map(|part| {
@@ -79,31 +87,36 @@ pub fn multi_source_bfs(
             })
             .collect();
 
-        let mut next = vec![0u64; n];
+        next.fill(0);
         for local in contributions {
             for (v, bits) in local {
                 next[v as usize] |= bits;
             }
         }
 
+        // Retire the old frontier word-by-word (it is nonzero only at the
+        // active vertices) rather than rebuilding the whole vector.
+        for &u in &active {
+            front[u as usize] = 0;
+        }
+
         // Filter to freshly-discovered (vertex, source) pairs; those form
         // the next frontier and get this level.
-        let mut new_active = Vec::new();
-        front = vec![0u64; n];
+        new_active.clear();
         for v in 0..n {
             let fresh = next[v] & !seen[v];
             if fresh != 0 {
                 seen[v] |= fresh;
                 front[v] = fresh;
-                for i in 0..k {
+                for (i, lv) in levels.iter_mut().enumerate().take(k) {
                     if fresh >> i & 1 == 1 {
-                        levels[i][v] = level;
+                        lv[v] = level;
                     }
                 }
                 new_active.push(v as u32);
             }
         }
-        active = new_active;
+        std::mem::swap(&mut active, &mut new_active);
     }
     Ok(levels)
 }

@@ -1,12 +1,16 @@
 //! Single-source shortest paths by (min, +) SpMSpV.
 //!
 //! Sparse-frontier Bellman-Ford: each round relaxes only the vertices
-//! whose distance improved last round, via one SpMSpV over the tropical
-//! semiring. Terminates after at most `n` rounds on graphs with
+//! whose distance improved last round, via one tiled SpMSpV over the
+//! tropical semiring run through a [`SpMSpVEngine`], so the tiled
+//! operator and all kernel scratch are built once and reused across
+//! rounds. Terminates after at most `n` rounds on graphs with
 //! non-negative weights.
 
-use tsv_core::semiring::{spmspv_semiring, MinPlus};
-use tsv_sparse::{CscMatrix, CsrMatrix, SparseError, SparseVector};
+use tsv_core::exec::SpMSpVEngine;
+use tsv_core::semiring::MinPlus;
+use tsv_core::tile::TileConfig;
+use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
 
 /// Shortest distances from `source` over a non-negatively weighted
 /// digraph (edge `u → v` of weight `w` is entry `(u, v) = w`). Unreachable
@@ -44,8 +48,9 @@ pub fn sssp(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>, SparseError> 
     );
     let n = a.nrows();
     // SpMSpV pushes along columns; transpose so frontier vertices push
-    // along their out-edges.
-    let at: CscMatrix<f64> = a.transpose().to_csc();
+    // along their out-edges. `from_csr` disables dense tiles because the
+    // tropical zero (+inf) differs from the structural default.
+    let mut engine = SpMSpVEngine::<MinPlus>::from_csr(&a.transpose(), TileConfig::default())?;
 
     let mut dist = vec![f64::INFINITY; n];
     dist[source] = 0.0;
@@ -55,7 +60,7 @@ pub fn sssp(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>, SparseError> 
         if frontier.nnz() == 0 {
             break;
         }
-        let candidates = spmspv_semiring::<MinPlus>(&at, &frontier)?;
+        let (candidates, _) = engine.multiply(&frontier)?;
         let mut improved = Vec::new();
         for (v, d) in candidates.iter() {
             if d < dist[v] {
@@ -115,10 +120,7 @@ mod tests {
     fn later_rounds_can_improve_earlier_distances() {
         // The hop-count-shorter path is more expensive; Bellman-Ford must
         // settle on the cheaper long route.
-        let a = weighted(
-            4,
-            &[(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        );
+        let a = weighted(4, &[(0, 3, 10.0), (0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
         let d = sssp(&a, 0).unwrap();
         assert_eq!(d[3], 3.0);
     }

@@ -47,7 +47,8 @@ pub fn bucket_spmspv(
     // private bucket lists which are then concatenated per bucket.
     let chunk = x.nnz().div_ceil(rayon::current_num_threads().max(1)).max(1);
     let entries: Vec<(usize, f64)> = x.iter().collect();
-    let partials: Vec<(Vec<Vec<(u32, f64)>>, KernelStats)> = entries
+    type ScatterPartial = (Vec<Vec<(u32, f64)>>, KernelStats);
+    let partials: Vec<ScatterPartial> = entries
         .par_chunks(chunk)
         .map(|part| {
             let mut stats = KernelStats::default();

@@ -9,7 +9,9 @@
 //! bin one task per vertex, and large vertices split their adjacency lists
 //! across tasks.
 
-use crate::bfs_common::{validate_bfs_input, BaselineBfsResult, BaselineIteration, Bitmap, VisitedSet};
+use crate::bfs_common::{
+    validate_bfs_input, BaselineBfsResult, BaselineIteration, Bitmap, VisitedSet,
+};
 use rayon::prelude::*;
 use std::time::Instant;
 use tsv_simt::stats::KernelStats;
@@ -114,7 +116,10 @@ fn binned_top_down(
     let mut next = Vec::new();
 
     // Small bin: coarse chunks, one task handles many low-degree vertices.
-    let chunk = small.len().div_ceil(rayon::current_num_threads().max(1)).max(64);
+    let chunk = small
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(64);
     let (v, s) = expand_chunks(a, &small, chunk, visited);
     next.extend(v);
     stats += s;

@@ -19,7 +19,9 @@
 //! characteristic behaviour — including the rapid strategy oscillation on
 //! road networks the paper observes in Fig. 10.
 
-use crate::bfs_common::{validate_bfs_input, BaselineBfsResult, BaselineIteration, Bitmap, VisitedSet};
+use crate::bfs_common::{
+    validate_bfs_input, BaselineBfsResult, BaselineIteration, Bitmap, VisitedSet,
+};
 use rayon::prelude::*;
 use std::time::Instant;
 use tsv_simt::stats::KernelStats;
@@ -112,7 +114,10 @@ fn queue_push_step(
     frontier: &[u32],
     visited: &VisitedSet,
 ) -> (Vec<u32>, KernelStats) {
-    let chunk = frontier.len().div_ceil(rayon::current_num_threads().max(1)).max(16);
+    let chunk = frontier
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(16);
     collect_parallel(frontier.par_chunks(chunk).map(|part| {
         let mut stats = KernelStats::default();
         stats.warps += 1;
@@ -166,7 +171,11 @@ fn dense_push_step(
     }))
 }
 
-fn pull_step(a: &CsrMatrix<f64>, frontier: &Bitmap, visited: &VisitedSet) -> (Vec<u32>, KernelStats) {
+fn pull_step(
+    a: &CsrMatrix<f64>,
+    frontier: &Bitmap,
+    visited: &VisitedSet,
+) -> (Vec<u32>, KernelStats) {
     let n = a.nrows();
     let chunk = (n / (rayon::current_num_threads().max(1) * 8)).max(64);
     collect_parallel((0..n).into_par_iter().chunks(chunk).map(|part| {

@@ -11,7 +11,9 @@
 //! per vertex, atomically deduplicated) rather than bitmask tiles — more
 //! traffic and more atomics per discovered vertex on dense frontiers.
 
-use crate::bfs_common::{validate_bfs_input, BaselineBfsResult, BaselineIteration, Bitmap, VisitedSet};
+use crate::bfs_common::{
+    validate_bfs_input, BaselineBfsResult, BaselineIteration, Bitmap, VisitedSet,
+};
 use rayon::prelude::*;
 use std::time::Instant;
 use tsv_simt::stats::KernelStats;
@@ -96,7 +98,10 @@ fn top_down_step(
     frontier: &[u32],
     visited: &VisitedSet,
 ) -> (Vec<u32>, KernelStats, &'static str) {
-    let chunk = frontier.len().div_ceil(rayon::current_num_threads().max(1)).max(16);
+    let chunk = frontier
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(16);
     let parts: Vec<(Vec<u32>, KernelStats)> = frontier
         .par_chunks(chunk)
         .map(|part| {

@@ -32,4 +32,4 @@ pub use combblas::bucket_spmspv;
 pub use enterprise::enterprise_bfs;
 pub use gswitch::gswitch_bfs;
 pub use gunrock::gunrock_bfs;
-pub use tilespmv::tile_spmv;
+pub use tilespmv::{tile_spmv, tile_spmv_into};

@@ -11,20 +11,33 @@ use tsv_simt::grid::launch_over_chunks;
 use tsv_simt::stats::KernelStats;
 
 /// Computes `y = A x` with a dense `x`; returns `y` (length `nrows`) and
-/// the work counters.
+/// the work counters. One-shot wrapper over [`tile_spmv_into`].
 pub fn tile_spmv(a: &TileMatrix, x: &[f64]) -> (Vec<f64>, KernelStats) {
+    let mut y_padded = Vec::new();
+    let stats = tile_spmv_into(a, x, &mut y_padded);
+    y_padded.truncate(a.nrows());
+    (y_padded, stats)
+}
+
+/// Computes `y = A x` into a caller-owned padded buffer, reusing its
+/// allocation across calls. `y_padded` is resized to `m_tiles * nt` and
+/// zeroed; on return the first `nrows` entries hold the product. Iterative
+/// workloads (PageRank power iteration) call this in a loop so no output
+/// vector is allocated per step.
+pub fn tile_spmv_into(a: &TileMatrix, x: &[f64], y_padded: &mut Vec<f64>) -> KernelStats {
     assert_eq!(
         x.len(),
         a.ncols(),
         "dense vector length must equal the matrix column count"
     );
     let nt = a.nt();
-    let mut y_padded = vec![0.0f64; a.m_tiles() * nt];
+    y_padded.clear();
+    y_padded.resize(a.m_tiles() * nt, 0.0);
     if a.m_tiles() == 0 {
-        return (Vec::new(), KernelStats::default());
+        return KernelStats::default();
     }
 
-    let mut stats = launch_over_chunks(&mut y_padded, nt, |warp, y_tile| {
+    let mut stats = launch_over_chunks(y_padded, nt, |warp, y_tile| {
         let rt = warp.warp_id;
         for t in a.row_tile_range(rt) {
             let view = a.tile(t);
@@ -52,7 +65,7 @@ pub fn tile_spmv(a: &TileMatrix, x: &[f64]) -> (Vec<f64>, KernelStats) {
                 }
                 None => {
                     warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + 8));
-                    for lr in 0..nt {
+                    for (lr, y_slot) in y_tile.iter_mut().enumerate() {
                         let (cols, vals) = view.row(lr);
                         if cols.is_empty() {
                             continue;
@@ -63,7 +76,7 @@ pub fn tile_spmv(a: &TileMatrix, x: &[f64]) -> (Vec<f64>, KernelStats) {
                             sum += v * x[c];
                         }
                         warp.stats.flop(2 * cols.len());
-                        y_tile[lr] += sum;
+                        *y_slot += sum;
                     }
                     warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
                 }
@@ -79,8 +92,7 @@ pub fn tile_spmv(a: &TileMatrix, x: &[f64]) -> (Vec<f64>, KernelStats) {
     stats.read(a.extra().nnz() * 16);
     stats.flop(2 * a.extra().nnz());
 
-    y_padded.truncate(a.nrows());
-    (y_padded, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -132,6 +144,25 @@ mod tests {
         let (_, s1) = tile_spmv(&tm, &dense);
         let (_, s2) = tile_spmv(&tm, &sparse);
         assert_eq!(s1.gmem_read_bytes, s2.gmem_read_bytes);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches_wrapper() {
+        let a = banded(300, 5, 0.8, 4).to_csr();
+        let tm = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let x: Vec<f64> = (0..300).map(|i| (i % 7) as f64).collect();
+        let (expect, expect_stats) = tile_spmv(&tm, &x);
+
+        let mut buf = Vec::new();
+        let s1 = tile_spmv_into(&tm, &x, &mut buf);
+        assert_eq!(&buf[..tm.nrows()], &expect[..]);
+        assert_eq!(s1, expect_stats);
+        let ptr = buf.as_ptr() as usize;
+        let cap = buf.capacity();
+        let s2 = tile_spmv_into(&tm, &x, &mut buf);
+        assert_eq!(&buf[..tm.nrows()], &expect[..]);
+        assert_eq!(s2, expect_stats);
+        assert_eq!((buf.as_ptr() as usize, buf.capacity()), (ptr, cap));
     }
 
     #[test]

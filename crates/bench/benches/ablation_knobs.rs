@@ -67,11 +67,9 @@ fn bench_kernel_choice(c: &mut Criterion) {
                 kernel: choice,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, sp),
-                &sp,
-                |b, _| b.iter(|| black_box(tile_spmspv_with(&tiled, &x, opts).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(label, sp), &sp, |b, _| {
+                b.iter(|| black_box(tile_spmspv_with(&tiled, &x, opts).unwrap()))
+            });
         }
     }
     group.finish();

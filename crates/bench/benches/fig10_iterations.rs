@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tsv_bench::workloads::bfs_source;
 use tsv_core::bfs::{pull_csc, push_csc, push_csr, tile_bfs, BfsOptions, TileBfsGraph};
+use tsv_core::exec::BfsEngine;
 use tsv_core::tile::BitFrontier;
 use tsv_sparse::suite::{by_name, SuiteScale};
 
@@ -50,6 +51,16 @@ fn bench_fig10(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("Pull-CSC", name), &name, |b, _| {
             b.iter(|| black_box(pull_csc::pull_csc(g.bit(), &m)))
+        });
+
+        // Whole traversals: one-shot (scratch allocated per run) vs the
+        // engine (scratch reused across runs).
+        group.bench_with_input(BenchmarkId::new("TileBFS-one-shot", name), &name, |b, _| {
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+        });
+        let mut engine = BfsEngine::from_csr(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new("TileBFS-engine", name), &name, |b, _| {
+            b.iter(|| black_box(engine.run(src).unwrap()))
         });
     }
     group.finish();

@@ -8,6 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tsv_baselines::{bucket_spmspv, tile_spmv, BsrMatrix};
+use tsv_core::exec::SpMSpVEngine;
+use tsv_core::semiring::PlusTimes;
 use tsv_core::spmspv::tile_spmspv;
 use tsv_core::tile::{TileConfig, TileMatrix};
 use tsv_sparse::gen::random_sparse_vector;
@@ -22,17 +24,23 @@ fn bench_fig6(c: &mut Criterion) {
         let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
         let bsr = BsrMatrix::from_csr(&a, 4).unwrap();
         let csc = a.to_csc();
+        // Same operator through the execution-plan layer: scratch is built
+        // once and reused across every timed call.
+        let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
 
         let mut group = c.benchmark_group(format!("fig6/{name}"));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_millis(1500));
         for sp in [0.1, 0.01, 0.001, 0.0001] {
             let x = random_sparse_vector(n, sp, 1);
             let xd = x.to_dense();
 
             group.bench_with_input(BenchmarkId::new("TileSpMSpV", sp), &sp, |b, _| {
                 b.iter(|| black_box(tile_spmspv(&tiled, &x).unwrap()))
+            });
+            group.bench_with_input(BenchmarkId::new("TileSpMSpV-engine", sp), &sp, |b, _| {
+                b.iter(|| black_box(engine.multiply(&x).unwrap()))
             });
             group.bench_with_input(BenchmarkId::new("TileSpMV", sp), &sp, |b, _| {
                 b.iter(|| black_box(tile_spmv(&tiled, &xd)))

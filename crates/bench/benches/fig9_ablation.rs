@@ -26,11 +26,9 @@ fn bench_fig9(c: &mut Criterion) {
                 kernels: set,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, e.name),
-                &e.name,
-                |b, _| b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(label, e.name), &e.name, |b, _| {
+                b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap()))
+            });
         }
     }
     group.finish();

@@ -16,7 +16,9 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use tsv_baselines::{bucket_spmspv, enterprise_bfs, gswitch_bfs, gunrock_bfs, tile_spmv, BsrMatrix};
+use tsv_baselines::{
+    bucket_spmspv, enterprise_bfs, gswitch_bfs, gunrock_bfs, tile_spmv, BsrMatrix,
+};
 use tsv_bench::measure::{geomean, gflops, gteps, median_secs, useful_products};
 use tsv_bench::workloads::{bfs_source, fig6_sparsities, fig7_sweep};
 use tsv_core::bfs::{tile_bfs, BfsOptions, KernelSet, TileBfsGraph};
@@ -124,7 +126,9 @@ fn table1() {
     println!("  (1) {}", device_line(&RTX_3060));
     println!("  (2) {}", device_line(&RTX_3090));
     println!("SpMSpV algorithms: TileSpMV, cuSPARSE BSR (stand-in), CombBLAS bucket, TileSpMSpV (this work)");
-    println!("BFS algorithms:    Gunrock-style, GSwitch-style, Enterprise-style, TileBFS (this work)");
+    println!(
+        "BFS algorithms:    Gunrock-style, GSwitch-style, Enterprise-style, TileBFS (this work)"
+    );
     println!(
         "Substrate: CPU SIMT emulation over {} threads\n",
         rayon::current_num_threads()
@@ -400,7 +404,11 @@ fn fig8(scale: SuiteScale, out: &Path) {
         let m_gun = modeled_secs(gun_run.iterations.iter().map(|i| i.stats), &RTX_3090);
         let m_gsw = modeled_secs(gsw_run.iterations.iter().map(|i| i.stats), &RTX_3090);
 
-        let (gt, gg, gs) = (gteps(edges, m_tile), gteps(edges, m_gun), gteps(edges, m_gsw));
+        let (gt, gg, gs) = (
+            gteps(edges, m_tile),
+            gteps(edges, m_gun),
+            gteps(edges, m_gsw),
+        );
         println!("{:<18} {:>10.4} {:>10.4} {:>10.4}", e.name, gs, gg, gt);
         writeln!(
             csv,
@@ -425,7 +433,9 @@ fn modeled_secs<I: IntoIterator<Item = KernelStats>>(stats: I, d: &DeviceConfig)
 // ---------------------------------------------------------------- Figure 9
 
 fn fig9(scale: SuiteScale, out: &Path) {
-    println!("== Figure 9: directional-optimization ablation (K1, K1+K2, K1+K2+K3; modeled RTX 3090) ==");
+    println!(
+        "== Figure 9: directional-optimization ablation (K1, K1+K2, K1+K2+K3; modeled RTX 3090) =="
+    );
     let mut csv = String::from("matrix,gteps_k1,gteps_k1k2,gteps_all\n");
     println!(
         "{:<18} {:>10} {:>10} {:>10}",
@@ -557,7 +567,15 @@ fn fig11(scale: SuiteScale, out: &Path) {
             bfs * 1e3,
             ratio
         );
-        writeln!(csv, "{},{:.5},{:.5},{:.3}", e.name, conv * 1e3, bfs * 1e3, ratio).unwrap();
+        writeln!(
+            csv,
+            "{},{:.5},{:.5},{:.3}",
+            e.name,
+            conv * 1e3,
+            bfs * 1e3,
+            ratio
+        )
+        .unwrap();
     }
     write_csv(&out.join("fig11_conversion.csv"), &csv);
     println!();
@@ -577,7 +595,10 @@ fn fig12(scale: SuiteScale, out: &Path) {
         let g = TileBfsGraph::from_csr(a).unwrap();
         let tile_run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
         let ent_run = enterprise_bfs(a, src).unwrap();
-        assert_eq!(tile_run.levels, ent_run.levels, "level mismatch vs enterprise");
+        assert_eq!(
+            tile_run.levels, ent_run.levels,
+            "level mismatch vs enterprise"
+        );
         let edges = bfs_edges_traversed(a, &tile_run.levels);
 
         let m_tile = modeled_secs(tile_run.iterations.iter().map(|i| i.stats), &RTX_3090);
@@ -606,31 +627,74 @@ fn fig12(scale: SuiteScale, out: &Path) {
 // ----------------------------------------------------------------- profile
 
 /// Per-kernel breakdown of one SpMSpV sweep and one BFS per suite matrix —
-/// the diagnostic view behind the paper's iteration analysis (§4.5).
+/// the diagnostic view behind the paper's iteration analysis (§4.5). Each
+/// matrix runs through an engine, whose cumulative profiler is merged into
+/// the run-level report; the engine-vs-one-shot amortization comparison
+/// follows.
 fn profile(scale: SuiteScale) {
+    use tsv_core::exec::{spmspv_with_workspace, BfsEngine, SpMSpVEngine, SpMSpVWorkspace};
+    use tsv_core::semiring::PlusTimes;
     use tsv_simt::Profiler;
     println!("== per-kernel profile over the representative suite ==");
     let profiler = Profiler::new();
     for e in representative(scale) {
         let a = &e.matrix;
-        let tiled = TileMatrix::from_csr(a, TileConfig::default()).unwrap();
 
+        let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
         for sp in fig6_sparsities() {
             let x = random_sparse_vector(a.ncols(), sp, 1);
-            let t = Instant::now();
-            let (_, report) =
-                tsv_core::spmspv::tile_spmspv_with(&tiled, &x, Default::default()).unwrap();
-            let label = format!("spmspv/{}", report.kernel);
-            profiler.record(&label, report.stats, t.elapsed());
+            engine.multiply(&x).unwrap();
         }
+        profiler.merge(engine.profiler());
 
-        let src = bfs_source(a);
-        let g = TileBfsGraph::from_csr(a).unwrap();
-        let run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
-        for it in &run.iterations {
-            profiler.record(&format!("bfs/{}", it.kernel), it.stats, it.wall);
-        }
+        let mut bfs_engine = BfsEngine::from_csr(a).unwrap();
+        bfs_engine.run(bfs_source(a)).unwrap();
+        profiler.merge(bfs_engine.profiler());
     }
     print!("{}", profiler.report(&RTX_3090));
+    println!();
+
+    // Amortization: the same iterative workload once through a shared
+    // engine workspace and once through a fresh workspace per call. The
+    // per-kernel work (slots scanned/reset) is identical; only the scratch
+    // builds differ.
+    let suite = representative(scale);
+    let e = &suite[0];
+    let a = &e.matrix;
+    let rounds = 8;
+    let xs: Vec<_> = (0..rounds)
+        .map(|s| random_sparse_vector(a.ncols(), 0.02, s as u64))
+        .collect();
+
+    let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
+    for x in &xs {
+        engine.multiply(x).unwrap();
+    }
+    let shared = engine.metrics();
+
+    let tiled = TileMatrix::from_csr(a, TileConfig::default()).unwrap();
+    let mut fresh_reshapes = 0u64;
+    let mut fresh_scanned = 0u64;
+    let mut fresh_reset = 0u64;
+    for x in &xs {
+        let mut ws = SpMSpVWorkspace::new();
+        spmspv_with_workspace::<PlusTimes>(&tiled, x, Default::default(), &mut ws).unwrap();
+        let m = ws.metrics();
+        fresh_reshapes += m.scratch_reshapes;
+        fresh_scanned += m.slots_scanned;
+        fresh_reset += m.slots_reset;
+    }
+    println!(
+        "== engine amortization ({} rounds of SpMSpV on {}) ==",
+        rounds, e.name
+    );
+    println!(
+        "engine (shared workspace): {} scratch builds, {} slots scanned, {} slots reset",
+        shared.scratch_reshapes, shared.slots_scanned, shared.slots_reset
+    );
+    println!(
+        "one-shot (fresh per call): {} scratch builds, {} slots scanned, {} slots reset",
+        fresh_reshapes, fresh_scanned, fresh_reset
+    );
     println!();
 }

@@ -8,8 +8,9 @@ pub use source::{load_matrix, MatrixSource};
 
 use std::time::Instant;
 use tsv_baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
-use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
-use tsv_core::spmspv::{tile_spmspv_with, KernelChoice, SpMSpVOptions};
+use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+use tsv_core::semiring::PlusTimes;
+use tsv_core::spmspv::{KernelChoice, SpMSpVOptions};
 use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
 use tsv_sparse::gen::random_sparse_vector;
 use tsv_sparse::reference::bfs_edges_traversed;
@@ -87,8 +88,9 @@ pub fn cmd_spmspv(
         kernel,
         ..Default::default()
     };
+    let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
     let t = Instant::now();
-    let (y, report) = tile_spmspv_with(&tiled, &x, opts)?;
+    let (y, report) = engine.multiply(&x)?;
     let dt = t.elapsed();
     Ok(format!(
         "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
@@ -107,8 +109,8 @@ pub fn cmd_bfs(a: &CsrMatrix<f64>, source: usize, algo: &str) -> Result<String, 
     let t = Instant::now();
     let levels = match algo {
         "tile" => {
-            let g = TileBfsGraph::from_csr(a)?;
-            tile_bfs(&g, source, BfsOptions::default())?.levels
+            let mut engine = BfsEngine::from_csr(a)?;
+            engine.run(source)?.levels
         }
         "gunrock" => gunrock_bfs(a, source)?.levels,
         "gswitch" => gswitch_bfs(a, source)?.levels,

@@ -123,7 +123,8 @@ pub fn load_matrix(spec: &str) -> Result<CsrMatrix<f64>, CliError> {
             Ok(coo.to_csr())
         }
         MatrixSource::EdgeList(path, sym) => {
-            let file = std::fs::File::open(Path::new(&path)).map_err(tsv_sparse::SparseError::Io)?;
+            let file =
+                std::fs::File::open(Path::new(&path)).map_err(tsv_sparse::SparseError::Io)?;
             let coo = tsv_sparse::io::read_edge_list(file, None, sym)?;
             Ok(coo.to_csr())
         }

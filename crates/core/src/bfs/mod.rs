@@ -29,6 +29,9 @@ pub struct TileBfsGraph {
     bit: BitTileMatrix,
     n: usize,
     symmetric: bool,
+    /// Push-CSR's `(row tile, segment)` work list, precomputed once — it
+    /// depends only on the matrix structure.
+    segments: Vec<(u32, u32)>,
 }
 
 impl TileBfsGraph {
@@ -56,16 +59,21 @@ impl TileBfsGraph {
                 ncols: a.ncols(),
             });
         }
-        let symmetric = pattern_symmetric(a);
+        // One transpose serves both the symmetry test and (when asymmetric)
+        // the structure build — the seed computed it twice.
+        let t = a.transpose();
+        let symmetric = t.row_ptr() == a.row_ptr() && t.col_idx() == a.col_idx();
         let bit = if symmetric {
             BitTileMatrix::from_csr(a, nt, extract_threshold)?
         } else {
-            BitTileMatrix::from_csr(&a.transpose(), nt, extract_threshold)?
+            BitTileMatrix::from_csr(&t, nt, extract_threshold)?
         };
+        let segments = push_csr::csr_segments(&bit);
         Ok(TileBfsGraph {
             n: a.nrows(),
             bit,
             symmetric,
+            segments,
         })
     }
 
@@ -84,14 +92,11 @@ impl TileBfsGraph {
     pub fn symmetric(&self) -> bool {
         self.symmetric
     }
-}
 
-fn pattern_symmetric<T: Copy>(a: &CsrMatrix<T>) -> bool {
-    if a.nrows() != a.ncols() {
-        return false;
+    /// Push-CSR's precomputed `(row tile, segment)` work list.
+    pub fn csr_segments(&self) -> &[(u32, u32)] {
+        &self.segments
     }
-    let t = a.transpose();
-    t.row_ptr() == a.row_ptr() && t.col_idx() == a.col_idx()
 }
 
 /// Options for [`tile_bfs`].
@@ -153,7 +158,77 @@ impl BfsResult {
     }
 }
 
+/// Reusable traversal scratch for [`tile_bfs_with_workspace`] (and the
+/// engine layer built on it): the four bit frontiers, the push kernels'
+/// atomic accumulator, a word staging buffer and the frontier vertex list.
+/// Buffers are (re)sized once per graph geometry and then reused across
+/// runs and iterations, so steady-state traversals allocate only their
+/// result.
+#[derive(Debug)]
+pub struct BfsWorkspace {
+    x: BitFrontier,
+    m: BitFrontier,
+    y: BitFrontier,
+    unvisited: BitFrontier,
+    y_atomic: AtomicWords,
+    y_words: Vec<u64>,
+    frontier: Vec<u32>,
+    runs: u64,
+    reallocs: u64,
+}
+
+impl BfsWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        BfsWorkspace {
+            x: BitFrontier::new(0, 32),
+            m: BitFrontier::new(0, 32),
+            y: BitFrontier::new(0, 32),
+            unvisited: BitFrontier::new(0, 32),
+            y_atomic: AtomicWords::zeroed(0),
+            y_words: Vec::new(),
+            frontier: Vec::new(),
+            runs: 0,
+            reallocs: 0,
+        }
+    }
+
+    fn prepare(&mut self, g: &TileBfsGraph) {
+        let nt = g.bit.nt();
+        if self.x.len() != g.n || self.x.nt() != nt {
+            self.x = BitFrontier::new(g.n, nt);
+            self.m = BitFrontier::new(g.n, nt);
+            self.y = BitFrontier::new(g.n, nt);
+            self.unvisited = BitFrontier::new(g.n, nt);
+            self.y_atomic = AtomicWords::zeroed(g.bit.n_tiles());
+            self.y_words = vec![0u64; g.bit.n_tiles()];
+            self.reallocs += 1;
+        }
+    }
+
+    /// Completed traversals.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Times the buffers were (re)sized for a new graph geometry.
+    pub fn reallocs(&self) -> u64 {
+        self.reallocs
+    }
+}
+
+impl Default for BfsWorkspace {
+    fn default() -> Self {
+        BfsWorkspace::new()
+    }
+}
+
 /// Runs TileBFS from `source`.
+///
+/// This is the one-shot convenience form: it builds a fresh
+/// [`BfsWorkspace`] per call. Repeated traversals (betweenness chunks,
+/// multi-source sweeps) should hold a [`crate::exec::BfsEngine`] or call
+/// [`tile_bfs_with_workspace`] with a kept workspace.
 ///
 /// ```
 /// use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
@@ -165,7 +240,22 @@ impl BfsResult {
 /// assert_eq!(result.levels, tsv_sparse::reference::bfs_levels(&a, 0).unwrap());
 /// assert_eq!(result.reached(), 144);
 /// ```
-pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<BfsResult, SparseError> {
+pub fn tile_bfs(
+    g: &TileBfsGraph,
+    source: usize,
+    opts: BfsOptions,
+) -> Result<BfsResult, SparseError> {
+    let mut ws = BfsWorkspace::new();
+    tile_bfs_with_workspace(g, source, opts, &mut ws)
+}
+
+/// Runs TileBFS from `source`, reusing `ws` for every per-iteration buffer.
+pub fn tile_bfs_with_workspace(
+    g: &TileBfsGraph,
+    source: usize,
+    opts: BfsOptions,
+    ws: &mut BfsWorkspace,
+) -> Result<BfsResult, SparseError> {
     if source >= g.n {
         return Err(SparseError::IndexOutOfBounds {
             row: source,
@@ -174,14 +264,27 @@ pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<Bfs
             ncols: 1,
         });
     }
-    let nt = g.bit.nt();
+    ws.prepare(g);
+    let BfsWorkspace {
+        x,
+        m,
+        y,
+        unvisited,
+        y_atomic,
+        y_words,
+        frontier,
+        runs,
+        ..
+    } = ws;
+
     let n = g.n;
     let mut levels = vec![-1i32; n];
     levels[source] = 0;
 
-    let mut x = BitFrontier::new(n, nt);
+    x.clear();
     x.set(source);
-    let mut m = x.clone();
+    m.clear();
+    m.set(source);
     let mut visited = 1usize;
 
     let mut iterations = Vec::new();
@@ -189,11 +292,11 @@ pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<Bfs
     let mut level = 0u32;
 
     loop {
-        let frontier = x.count_ones();
-        if frontier == 0 {
+        let frontier_size = x.count_ones();
+        if frontier_size == 0 {
             break;
         }
-        let density = frontier as f64 / n as f64;
+        let density = frontier_size as f64 / n as f64;
         let unvisited_frac = (n - visited) as f64 / n as f64;
         let kernel = policy::choose(
             density,
@@ -204,15 +307,30 @@ pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<Bfs
         );
 
         let start = Instant::now();
-        let (mut y, mut stats) = match kernel {
-            KernelKind::PushCsc => push_csc::push_csc(&g.bit, &x, &m),
-            KernelKind::PushCsr => push_csr::push_csr(&g.bit, &x, &m),
-            KernelKind::PullCsc => pull_csc::pull_csc(&g.bit, &m),
+        let mut stats = match kernel {
+            KernelKind::PushCsc => {
+                y_atomic.clear();
+                let s = push_csc::push_csc_into(&g.bit, x, m, frontier, y_atomic);
+                y_atomic.copy_into(y_words);
+                y.load_words(y_words);
+                s
+            }
+            KernelKind::PushCsr => {
+                y_atomic.clear();
+                let s = push_csr::push_csr_into(&g.bit, x, m, &g.segments, y_atomic);
+                y_atomic.copy_into(y_words);
+                y.load_words(y_words);
+                s
+            }
+            KernelKind::PullCsc => {
+                m.complement_into(unvisited);
+                let s = pull_csc::pull_csc_into(&g.bit, m, unvisited, y_words);
+                y.load_words(y_words);
+                s
+            }
         };
         if g.bit.extra_nnz() > 0 {
-            let (y2, extra_stats) = extra_pass(&g.bit, &x, &m, y);
-            y = y2;
-            stats += extra_stats;
+            stats += extra_pass_into(&g.bit, x, m, y, frontier, y_atomic, y_words);
         }
         let wall = start.elapsed();
 
@@ -220,7 +338,7 @@ pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<Bfs
         iterations.push(IterationRecord {
             level: level + 1,
             kernel,
-            frontier,
+            frontier: frontier_size,
             discovered,
             stats,
             wall,
@@ -235,9 +353,10 @@ pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<Bfs
             levels[v] = level as i32;
         }
         visited += discovered;
-        m.or_assign(&y);
-        x = y;
+        m.or_assign(y);
+        std::mem::swap(x, y);
     }
+    *runs += 1;
 
     Ok(BfsResult {
         levels,
@@ -246,22 +365,27 @@ pub fn tile_bfs(g: &TileBfsGraph, source: usize, opts: BfsOptions) -> Result<Bfs
     })
 }
 
-/// Applies the extracted very-sparse edges for one iteration. The pass is
-/// frontier-driven (like the GSwitch traversal the paper delegates this
-/// part to): only the out-lists of frontier vertices are walked, each
-/// unvisited target joining `y`.
-fn extra_pass(
+/// Applies the extracted very-sparse edges for one iteration, in place on
+/// `y`. The pass is frontier-driven (like the GSwitch traversal the paper
+/// delegates this part to): only the out-lists of frontier vertices are
+/// walked, each unvisited target joining `y`. `scratch` and `staging` are
+/// caller-owned buffers of `n_tiles` words.
+fn extra_pass_into(
     bit: &BitTileMatrix,
     x: &BitFrontier,
     m: &BitFrontier,
-    y: BitFrontier,
-) -> (BitFrontier, KernelStats) {
+    y: &mut BitFrontier,
+    frontier: &mut Vec<u32>,
+    scratch: &mut AtomicWords,
+    staging: &mut [u64],
+) -> KernelStats {
     let nt = y.nt();
-    let n = y.len();
-    let words = AtomicWords::from_vec(y.words().to_vec());
-    let frontier: Vec<u32> = x.iter_vertices().map(|v| v as u32).collect();
+    scratch.load_from(y.words());
+    frontier.clear();
+    frontier.extend(x.iter_vertices().map(|v| v as u32));
     let chunk = WARP_SIZE;
     let n_warps = frontier.len().div_ceil(chunk);
+    let words = &*scratch;
 
     let stats = launch(n_warps, |warp| {
         let start = warp.warp_id * chunk;
@@ -283,9 +407,9 @@ fn extra_pass(
         }
     });
 
-    let mut out = BitFrontier::new(n, nt);
-    out.set_words(words.into_vec());
-    (out, stats)
+    words.copy_into(staging);
+    y.load_words(staging);
+    stats
 }
 
 #[cfg(test)]
@@ -386,7 +510,9 @@ mod tests {
         let r = tile_bfs(&g, 0, opts).unwrap();
         assert_eq!(r.levels, bfs_levels(&a, 0).unwrap());
         assert!(
-            r.iterations.iter().any(|it| it.kernel == KernelKind::PullCsc),
+            r.iterations
+                .iter()
+                .any(|it| it.kernel == KernelKind::PullCsc),
             "expected at least one pull iteration"
         );
     }
@@ -427,6 +553,24 @@ mod tests {
         let a = grid2d(4, 4).to_csr();
         let g = TileBfsGraph::from_csr(&a).unwrap();
         assert!(tile_bfs(&g, 99, BfsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot() {
+        let a = grid2d(20, 15).to_csr().without_diagonal();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        assert!(!g.csr_segments().is_empty());
+        let mut ws = BfsWorkspace::new();
+        let r1 = tile_bfs_with_workspace(&g, 0, BfsOptions::default(), &mut ws).unwrap();
+        let r2 = tile_bfs_with_workspace(&g, 5, BfsOptions::default(), &mut ws).unwrap();
+        let one1 = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+        let one2 = tile_bfs(&g, 5, BfsOptions::default()).unwrap();
+        assert_eq!(r1.levels, one1.levels);
+        assert_eq!(r2.levels, one2.levels);
+        assert_eq!(r1.total_stats, one1.total_stats);
+        assert_eq!(r2.total_stats, one2.total_stats);
+        assert_eq!(ws.runs(), 2);
+        assert_eq!(ws.reallocs(), 1, "second run must reuse the buffers");
     }
 
     #[test]

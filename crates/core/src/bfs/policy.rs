@@ -11,6 +11,17 @@ pub enum KernelKind {
     PullCsc,
 }
 
+impl KernelKind {
+    /// Short label for profiler aggregation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::PushCsc => "push-csc",
+            KernelKind::PushCsr => "push-csr",
+            KernelKind::PullCsc => "pull-csc",
+        }
+    }
+}
+
 impl std::fmt::Display for KernelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -22,16 +22,36 @@ use tsv_simt::stats::KernelStats;
 /// Discovers the next frontier by pulling from unvisited vertices; returns
 /// the newly discovered vertices and the kernel's work counters.
 pub fn pull_csc(a: &BitTileMatrix, m: &BitFrontier) -> (BitFrontier, KernelStats) {
-    let nt = a.nt();
-    let word_bytes = nt / 8;
     let unvisited = m.complement();
     let mut y_words = vec![0u64; a.n_tiles()];
+    let stats = pull_csc_into(a, m, &unvisited, &mut y_words);
+    let mut out = BitFrontier::new(m.len(), a.nt());
+    out.set_words(y_words);
+    (out, stats)
+}
 
-    let stats = launch_over_chunks(&mut y_words, 1, |warp, out| {
+/// Workspace form of [`pull_csc`]: the caller supplies the precomputed
+/// complement of the mask (see
+/// [`BitFrontier::complement_into`](crate::tile::BitFrontier::complement_into))
+/// and the output word buffer, which is fully overwritten.
+pub fn pull_csc_into(
+    a: &BitTileMatrix,
+    m: &BitFrontier,
+    unvisited: &BitFrontier,
+    y_words: &mut [u64],
+) -> KernelStats {
+    let nt = a.nt();
+    let word_bytes = nt / 8;
+    debug_assert_eq!(y_words.len(), a.n_tiles());
+
+    launch_over_chunks(y_words, 1, |warp, out| {
         let ct = warp.warp_id; // vertex tile = column tile of its own column
         let uw = unvisited.word(ct);
         warp.stats.read(word_bytes);
         if uw == 0 {
+            // Still overwrite: the caller's buffer may hold a previous
+            // iteration's word.
+            out[0] = 0;
             return;
         }
         let mut found = 0u64;
@@ -55,11 +75,7 @@ pub fn pull_csc(a: &BitTileMatrix, m: &BitFrontier) -> (BitFrontier, KernelStats
             warp.stats.write(word_bytes);
         }
         out[0] = found;
-    });
-
-    let mut out = BitFrontier::new(m.len(), nt);
-    out.set_words(y_words);
-    (out, stats)
+    })
 }
 
 #[cfg(test)]

@@ -19,15 +19,33 @@ use tsv_simt::stats::KernelStats;
 /// Expands the frontier `x` one level; returns the newly discovered
 /// vertices (`y & !m`) and the kernel's work counters.
 pub fn push_csc(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
+    let mut frontier = Vec::new();
+    let y = AtomicWords::zeroed(a.n_tiles());
+    let stats = push_csc_into(a, x, m, &mut frontier, &y);
+    let mut out = BitFrontier::new(x.len(), a.nt());
+    out.set_words(y.into_vec());
+    (out, stats)
+}
+
+/// Workspace form of [`push_csc`]: the frontier vertex list is built in the
+/// caller's buffer and the output words accumulate into a caller-owned
+/// (pre-zeroed) [`AtomicWords`], so an iterative driver allocates nothing.
+pub fn push_csc_into(
+    a: &BitTileMatrix,
+    x: &BitFrontier,
+    m: &BitFrontier,
+    frontier: &mut Vec<u32>,
+    y: &AtomicWords,
+) -> KernelStats {
     let nt = a.nt();
     let word_bytes = nt / 8;
-    let y = AtomicWords::zeroed(a.n_tiles());
 
     // The frontier nonzeros, each one warp's work unit (Algorithm 5's
     // "32 threads process the nonzeros of a vector").
-    let frontier: Vec<u32> = x.iter_vertices().map(|v| v as u32).collect();
+    frontier.clear();
+    frontier.extend(x.iter_vertices().map(|v| v as u32));
 
-    let stats = launch(frontier.len(), |warp| {
+    launch(frontier.len(), |warp| {
         let v = frontier[warp.warp_id] as usize;
         let ct = v / nt;
         let lc = v % nt;
@@ -53,11 +71,7 @@ pub fn push_csc(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFron
         }
         let tiles = a.col_tile_range(ct).len();
         warp.stats.lane_steps += tiles.div_ceil(32) as u64 * 32;
-    });
-
-    let mut out = BitFrontier::new(x.len(), nt);
-    out.set_words(y.into_vec());
-    (out, stats)
+    })
 }
 
 #[cfg(test)]

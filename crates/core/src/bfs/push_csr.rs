@@ -25,11 +25,18 @@ pub const SPLIT_LEN: usize = 64;
 /// Expands the frontier `x` one level; returns the newly discovered
 /// vertices (`y & !m`) and the kernel's work counters.
 pub fn push_csr(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
-    let nt = a.nt();
-    let word_bytes = nt / 8;
+    let segments = csr_segments(a);
+    let y = AtomicWords::zeroed(a.n_tiles());
+    let stats = push_csr_into(a, x, m, &segments, &y);
+    let mut out = BitFrontier::new(x.len(), a.nt());
+    out.set_words(y.into_vec());
+    (out, stats)
+}
 
-    // Work list: (row tile, segment) pairs; short row tiles are a single
-    // segment, long ones split every SPLIT_LEN stored tiles.
+/// The kernel's work list: `(row tile, segment)` pairs; short row tiles are
+/// a single segment, long ones split every [`SPLIT_LEN`] stored tiles. The
+/// list depends only on the matrix, so iterative drivers compute it once.
+pub fn csr_segments(a: &BitTileMatrix) -> Vec<(u32, u32)> {
     let mut segments: Vec<(u32, u32)> = Vec::with_capacity(a.n_tiles());
     for rt in 0..a.n_tiles() {
         let len = a.row_tile_range(rt).len();
@@ -38,9 +45,23 @@ pub fn push_csr(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFron
             segments.push((rt as u32, s as u32));
         }
     }
+    segments
+}
 
-    let y = AtomicWords::zeroed(a.n_tiles());
-    let stats = launch(segments.len(), |warp| {
+/// Workspace form of [`push_csr`]: runs over a precomputed
+/// [`csr_segments`] list, accumulating into a caller-owned (pre-zeroed)
+/// [`AtomicWords`].
+pub fn push_csr_into(
+    a: &BitTileMatrix,
+    x: &BitFrontier,
+    m: &BitFrontier,
+    segments: &[(u32, u32)],
+    y: &AtomicWords,
+) -> KernelStats {
+    let nt = a.nt();
+    let word_bytes = nt / 8;
+
+    launch(segments.len(), |warp| {
         let (rt, seg) = segments[warp.warp_id];
         let rt = rt as usize;
         let range = a.row_tile_range(rt);
@@ -81,11 +102,7 @@ pub fn push_csr(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFron
                 warp.stats.write(word_bytes);
             }
         }
-    });
-
-    let mut out = BitFrontier::new(x.len(), nt);
-    out.set_words(y.into_vec());
-    (out, stats)
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,517 @@
+//! The execution-plan layer: prepared operators plus amortized scratch.
+//!
+//! The free functions in [`crate::spmspv`] and [`crate::bfs`] are one-shot:
+//! every call allocates its padded output, tiled vector, frontier lists and
+//! merge buffers, and compacts the result by scanning the whole padded
+//! buffer. Iterative workloads (PageRank, SSSP relaxation, betweenness
+//! pivots) pay those allocations and the O(n) scan once per iteration.
+//!
+//! This module hoists the mutable state into reusable workspaces:
+//!
+//! * [`SpMSpVWorkspace`] + [`spmspv_with_workspace`] — the semiring-generic
+//!   numeric driver. The workspace owns the tiled input vector, the padded
+//!   output, the contribution buckets and a *touched row-tile* bitset the
+//!   kernels mark as they write, so compaction and reset visit only written
+//!   tiles (work proportional to `nnz(y)`, not `n`).
+//! * [`SpMSpVEngine`] — a prepared [`TileMatrix`] bound to a workspace and
+//!   a [`Profiler`], one entry per kernel label, for cumulative per-kernel
+//!   breakdowns across iterations.
+//! * [`BfsEngine`] — the traversal counterpart, owning a
+//!   [`TileBfsGraph`] and a [`BfsWorkspace`].
+//!
+//! The one-shot APIs ([`crate::spmspv::tile_spmspv_with`],
+//! [`crate::bfs::tile_bfs`]) are thin wrappers over these drivers with a
+//! fresh workspace, so both paths execute the same code.
+
+use crate::bfs::{tile_bfs_with_workspace, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
+use crate::semiring::{PlusTimes, Semiring};
+use crate::spmspv::generic::{
+    col_kernel_semiring, coo_kernel_semiring, drain_touched, row_kernel_semiring,
+};
+use crate::spmspv::{ExecReport, KernelChoice, KernelUsed, SpMSpVOptions};
+use crate::tile::{TileConfig, TileMatrix, TiledVector};
+use std::time::Instant;
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::profile::Profiler;
+use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
+
+/// Cumulative workspace accounting, exposed so callers (and the repro
+/// harness) can verify that iterative use is allocation- and scan-stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Driver invocations against this workspace.
+    pub calls: u64,
+    /// Times any scratch buffer was (re)built for a new operand geometry —
+    /// 1 after the first call, then stable while the matrix is unchanged.
+    pub scratch_reshapes: u64,
+    /// Padded-output slots inspected by compaction (the touched-tile scan);
+    /// the dense alternative would add `m_tiles * nt` per call.
+    pub slots_scanned: u64,
+    /// Padded-output slots reset to the semiring zero after compaction.
+    pub slots_reset: u64,
+}
+
+/// Reusable scratch for [`spmspv_with_workspace`]: the tiled input vector,
+/// the padded output, the touched row-tile bitset with its drained list,
+/// and the scatter kernels' per-warp contribution buckets.
+#[derive(Debug)]
+pub struct SpMSpVWorkspace<T = f64> {
+    xt: Option<TiledVector<T>>,
+    y: Vec<T>,
+    touched: AtomicWords,
+    touched_list: Vec<u32>,
+    contribs: Vec<Vec<(u32, T)>>,
+    metrics: EngineMetrics,
+}
+
+impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        SpMSpVWorkspace {
+            xt: None,
+            y: Vec::new(),
+            touched: AtomicWords::zeroed(0),
+            touched_list: Vec::new(),
+            contribs: Vec::new(),
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// Sizes the buffers for `a`, filling the padded output with `zero`.
+    /// Capacities are reserved for the worst case (every tile active /
+    /// touched) so no later call can regrow them; the whole prepare is a
+    /// no-op once the geometry matches.
+    fn prepare(&mut self, a: &TileMatrix<T>, zero: T) {
+        let nt = a.nt();
+        let padded = a.m_tiles() * nt;
+        let words = a.m_tiles().div_ceil(64);
+        let mut reshaped = false;
+        if self.y.len() != padded {
+            self.y.clear();
+            self.y.resize(padded, zero);
+            reshaped = true;
+        }
+        if self.touched.len() != words {
+            self.touched = AtomicWords::zeroed(words);
+            reshaped = true;
+        }
+        if self.touched_list.capacity() < a.m_tiles() {
+            let additional = a.m_tiles() - self.touched_list.len();
+            self.touched_list.reserve(additional);
+            reshaped = true;
+        }
+        let xt_fits = self
+            .xt
+            .as_ref()
+            .is_some_and(|xt| xt.len() == a.ncols() && xt.nt() == nt);
+        if !xt_fits {
+            let mut xt = TiledVector::zeros(a.ncols(), nt);
+            xt.reserve_full();
+            self.xt = Some(xt);
+            reshaped = true;
+        }
+        if reshaped {
+            self.metrics.scratch_reshapes += 1;
+        }
+    }
+
+    /// The cumulative accounting for this workspace.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// `(pointer, capacity)` pairs of the owned scratch buffers, for
+    /// asserting that steady-state reuse neither moves nor regrows them.
+    pub fn scratch_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut f = vec![(self.y.as_ptr() as usize, self.y.capacity())];
+        if let Some(xt) = &self.xt {
+            f.push(xt.payload_fingerprint());
+        }
+        f.push((
+            self.touched_list.as_ptr() as usize,
+            self.touched_list.capacity(),
+        ));
+        f
+    }
+}
+
+impl<T: Copy + PartialEq + Default + Send + Sync> Default for SpMSpVWorkspace<T> {
+    fn default() -> Self {
+        SpMSpVWorkspace::new()
+    }
+}
+
+/// `y = A ⊕.⊗ x` over an arbitrary semiring, reusing `ws` for every
+/// intermediate buffer.
+///
+/// This is the driver behind both [`crate::spmspv::tile_spmspv_with`]
+/// (which passes a fresh workspace and `PlusTimes`) and
+/// [`SpMSpVEngine::multiply`]. Kernel selection follows
+/// [`SpMSpVOptions`] unchanged; after the tile kernel and the side-COO
+/// pass, the result is compacted by scanning only the row tiles the
+/// kernels marked as written.
+///
+/// # Panics
+///
+/// When `S::zero()` differs from `S::T::default()` (e.g. MinPlus, whose
+/// zero is `+∞`) and `a` stores dense tiles: dense payloads pad missing
+/// entries with `T::default()`, which such algebras would read as real
+/// values. Build the matrix with `dense_threshold > 1.0` (see
+/// [`SpMSpVEngine::from_csr`], which does this automatically).
+pub fn spmspv_with_workspace<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    opts: SpMSpVOptions,
+    ws: &mut SpMSpVWorkspace<S::T>,
+) -> Result<(SparseVector<S::T>, ExecReport), SparseError>
+where
+    S::T: Default,
+{
+    if a.ncols() != x.len() {
+        return Err(SparseError::DimensionMismatch {
+            op: "tile_spmspv",
+            expected: a.ncols(),
+            found: x.len(),
+        });
+    }
+    assert!(
+        S::zero() == S::T::default() || a.dense_tiles() == 0,
+        "semiring zero differs from the structural default value; \
+         build the matrix with dense tiles disabled (dense_threshold > 1.0)"
+    );
+    ws.prepare(a, S::zero());
+    let SpMSpVWorkspace {
+        xt,
+        y,
+        touched,
+        touched_list,
+        contribs,
+        metrics,
+    } = ws;
+    let xt = xt.as_mut().expect("workspace prepared");
+    xt.refill(x, S::zero());
+
+    let kernel = match opts.kernel {
+        KernelChoice::RowTile => KernelUsed::RowTile,
+        KernelChoice::ColTile => KernelUsed::ColTile,
+        KernelChoice::Auto => {
+            if x.sparsity() < opts.csc_threshold {
+                KernelUsed::ColTile
+            } else {
+                KernelUsed::RowTile
+            }
+        }
+    };
+
+    let mut stats = match kernel {
+        KernelUsed::RowTile => row_kernel_semiring::<S>(a, xt, y, touched),
+        KernelUsed::ColTile => col_kernel_semiring::<S>(a, xt, y, contribs, touched),
+    };
+    // Hybrid pass over the extracted very-sparse entries, driven by x's
+    // nonzeros so untouched columns cost nothing.
+    stats += coo_kernel_semiring::<S>(a, x, y, contribs, touched);
+
+    // Compact and reset only the row tiles the kernels wrote.
+    drain_touched(touched, touched_list);
+    let nt = a.nt();
+    let n = a.nrows();
+    let zero = S::zero();
+    let mut indices = Vec::new();
+    let mut vals = Vec::new();
+    for &rt in touched_list.iter() {
+        let base = rt as usize * nt;
+        let end = (base + nt).min(n);
+        for (i, v) in y[base..end].iter().enumerate() {
+            if *v != zero {
+                indices.push((base + i) as u32);
+                vals.push(*v);
+            }
+        }
+        metrics.slots_scanned += (end - base) as u64;
+        y[base..base + nt].fill(zero);
+        metrics.slots_reset += nt as u64;
+    }
+    metrics.calls += 1;
+
+    let y = SparseVector::from_parts(n, indices, vals)
+        .expect("touched-tile order yields sorted unique indices");
+    Ok((y, ExecReport { kernel, stats }))
+}
+
+/// A prepared SpMSpV operator: a [`TileMatrix`] bound to a reusable
+/// [`SpMSpVWorkspace`] and a cumulative per-kernel [`Profiler`].
+///
+/// ```
+/// use tsv_core::exec::SpMSpVEngine;
+/// use tsv_core::semiring::PlusTimes;
+/// use tsv_core::tile::TileConfig;
+///
+/// let a = tsv_sparse::gen::banded(200, 4, 0.9, 7).to_csr();
+/// let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+/// let x = tsv_sparse::gen::random_sparse_vector(200, 0.05, 1);
+/// let (y, _) = engine.multiply(&x).unwrap();
+/// let (y2, _) = engine.multiply(&x).unwrap();
+/// assert_eq!(y, y2);
+/// assert_eq!(engine.metrics().calls, 2);
+/// ```
+pub struct SpMSpVEngine<S: Semiring = PlusTimes> {
+    a: TileMatrix<S::T>,
+    opts: SpMSpVOptions,
+    ws: SpMSpVWorkspace<S::T>,
+    profiler: Profiler,
+}
+
+impl<S: Semiring> SpMSpVEngine<S>
+where
+    S::T: Default,
+{
+    /// Wraps an already-tiled matrix with default options.
+    pub fn new(a: TileMatrix<S::T>) -> Self {
+        Self::with_options(a, SpMSpVOptions::default())
+    }
+
+    /// Wraps an already-tiled matrix; scratch is sized eagerly so the first
+    /// `multiply` is as allocation-stable as the rest.
+    pub fn with_options(a: TileMatrix<S::T>, opts: SpMSpVOptions) -> Self {
+        let mut ws = SpMSpVWorkspace::new();
+        ws.prepare(&a, S::zero());
+        SpMSpVEngine {
+            a,
+            opts,
+            ws,
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// Tiles `a` and wraps it. When the semiring's zero differs from the
+    /// structural default (MinPlus: `+∞` vs `0.0`), dense tiles are
+    /// disabled automatically — their padding would otherwise be read as
+    /// real values.
+    pub fn from_csr(a: &CsrMatrix<S::T>, mut config: TileConfig) -> Result<Self, SparseError> {
+        if S::zero() != S::T::default() {
+            config.dense_threshold = 2.0;
+        }
+        Ok(Self::new(TileMatrix::from_csr(a, config)?))
+    }
+
+    /// `y = A ⊕.⊗ x`, recording the launch under `spmspv/<kernel>` in the
+    /// engine's profiler.
+    pub fn multiply(
+        &mut self,
+        x: &SparseVector<S::T>,
+    ) -> Result<(SparseVector<S::T>, ExecReport), SparseError> {
+        let start = Instant::now();
+        let (y, report) = spmspv_with_workspace::<S>(&self.a, x, self.opts, &mut self.ws)?;
+        self.profiler.record(
+            &format!("spmspv/{}", report.kernel.label()),
+            report.stats,
+            start.elapsed(),
+        );
+        Ok((y, report))
+    }
+
+    /// The prepared matrix.
+    pub fn matrix(&self) -> &TileMatrix<S::T> {
+        &self.a
+    }
+
+    /// The kernel-selection options.
+    pub fn options(&self) -> SpMSpVOptions {
+        self.opts
+    }
+
+    /// Cumulative workspace accounting.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.ws.metrics()
+    }
+
+    /// The cumulative per-kernel breakdown.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// `(pointer, capacity)` pairs of the workspace buffers — see
+    /// [`SpMSpVWorkspace::scratch_fingerprint`].
+    pub fn scratch_fingerprint(&self) -> Vec<(usize, usize)> {
+        self.ws.scratch_fingerprint()
+    }
+}
+
+/// A prepared traversal operator: a [`TileBfsGraph`] bound to a reusable
+/// [`BfsWorkspace`] and a cumulative per-kernel [`Profiler`].
+///
+/// ```
+/// use tsv_core::exec::BfsEngine;
+///
+/// let a = tsv_sparse::gen::grid2d(12, 12).to_csr().without_diagonal();
+/// let mut engine = BfsEngine::from_csr(&a).unwrap();
+/// let r = engine.run(0).unwrap();
+/// assert_eq!(r.reached(), 144);
+/// assert!(!engine.profiler().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct BfsEngine {
+    g: TileBfsGraph,
+    opts: BfsOptions,
+    ws: BfsWorkspace,
+    profiler: Profiler,
+}
+
+impl BfsEngine {
+    /// Wraps a prepared graph with default options.
+    pub fn new(g: TileBfsGraph) -> Self {
+        Self::with_options(g, BfsOptions::default())
+    }
+
+    /// Wraps a prepared graph.
+    pub fn with_options(g: TileBfsGraph, opts: BfsOptions) -> Self {
+        BfsEngine {
+            g,
+            opts,
+            ws: BfsWorkspace::new(),
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// Builds the bitmask structure from an adjacency matrix (the paper's
+    /// default parameters) and wraps it.
+    pub fn from_csr<T: Copy + Sync>(a: &CsrMatrix<T>) -> Result<Self, SparseError> {
+        Ok(Self::new(TileBfsGraph::from_csr(a)?))
+    }
+
+    /// Runs a traversal from `source`, recording each iteration under
+    /// `bfs/<kernel>` in the engine's profiler.
+    pub fn run(&mut self, source: usize) -> Result<BfsResult, SparseError> {
+        let r = tile_bfs_with_workspace(&self.g, source, self.opts, &mut self.ws)?;
+        for it in &r.iterations {
+            self.profiler
+                .record(&format!("bfs/{}", it.kernel.label()), it.stats, it.wall);
+        }
+        Ok(r)
+    }
+
+    /// The prepared graph.
+    pub fn graph(&self) -> &TileBfsGraph {
+        &self.g
+    }
+
+    /// Traversal options.
+    pub fn options(&self) -> BfsOptions {
+        self.opts
+    }
+
+    /// The reusable workspace (for its run/realloc counters).
+    pub fn workspace(&self) -> &BfsWorkspace {
+        &self.ws
+    }
+
+    /// The cumulative per-kernel breakdown.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmspv::tile_spmspv_with;
+    use tsv_sparse::gen::{banded, random_sparse_vector, uniform_random};
+
+    #[test]
+    fn engine_matches_one_shot_bitwise_and_reuses_scratch() {
+        let a = uniform_random(500, 500, 6000, 11).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let mut engine = SpMSpVEngine::<PlusTimes>::new(tiled.clone());
+
+        let mut fingerprint = None;
+        for seed in 0..6u64 {
+            let x = random_sparse_vector(500, [0.2, 0.003][seed as usize % 2], seed);
+            let (y_engine, r_engine) = engine.multiply(&x).unwrap();
+            let (y_once, r_once) = tile_spmspv_with(&tiled, &x, SpMSpVOptions::default()).unwrap();
+            assert_eq!(y_engine, y_once, "seed {seed}");
+            assert_eq!(r_engine.kernel, r_once.kernel);
+            assert_eq!(r_engine.stats, r_once.stats);
+            // Bitwise: identical accumulation order on both paths.
+            let bits_e: Vec<u64> = y_engine.values().iter().map(|v| v.to_bits()).collect();
+            let bits_o: Vec<u64> = y_once.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_e, bits_o);
+
+            match &fingerprint {
+                None => fingerprint = Some(engine.scratch_fingerprint()),
+                Some(f) => assert_eq!(
+                    f,
+                    &engine.scratch_fingerprint(),
+                    "scratch moved or regrew on call {seed}"
+                ),
+            }
+        }
+        let m = engine.metrics();
+        assert_eq!(m.calls, 6);
+        assert_eq!(m.scratch_reshapes, 1, "sized once, at construction");
+        assert!(!engine.profiler().is_empty());
+    }
+
+    #[test]
+    fn compaction_scales_with_output_not_n() {
+        // 8192-row matrix, one input nonzero: the touched-tile scan must
+        // inspect a handful of slots, not all 8192.
+        let n = 8192;
+        let a = banded(n, 2, 1.0, 3).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let mut ws = SpMSpVWorkspace::new();
+        let x = SparseVector::from_entries(n, vec![(4000, 1.0)]).unwrap();
+        let (y, _) =
+            spmspv_with_workspace::<PlusTimes>(&tiled, &x, SpMSpVOptions::default(), &mut ws)
+                .unwrap();
+        assert!(y.nnz() >= 1);
+        let m = ws.metrics();
+        assert!(
+            m.slots_scanned <= 4 * tiled.nt() as u64,
+            "scanned {} slots for a 1-nonzero product on n = {n}",
+            m.slots_scanned
+        );
+        assert!(m.slots_reset <= 4 * tiled.nt() as u64);
+    }
+
+    #[test]
+    fn empty_product_scans_nothing() {
+        let a = banded(256, 2, 1.0, 3).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let mut ws = SpMSpVWorkspace::new();
+        let x = SparseVector::<f64>::zeros(256);
+        let (y, _) =
+            spmspv_with_workspace::<PlusTimes>(&tiled, &x, SpMSpVOptions::default(), &mut ws)
+                .unwrap();
+        assert_eq!(y.nnz(), 0);
+        assert_eq!(ws.metrics().slots_scanned, 0);
+    }
+
+    #[test]
+    fn bfs_engine_reuses_workspace_across_sources() {
+        let a = tsv_sparse::gen::grid2d(15, 15).to_csr().without_diagonal();
+        let mut engine = BfsEngine::from_csr(&a).unwrap();
+        let r1 = engine.run(0).unwrap();
+        let r2 = engine.run(7).unwrap();
+        assert_eq!(r1.reached(), 225);
+        assert_eq!(r2.reached(), 225);
+        assert_eq!(engine.workspace().runs(), 2);
+        assert_eq!(engine.workspace().reallocs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense tiles disabled")]
+    fn min_plus_rejects_dense_tiles() {
+        use crate::semiring::MinPlus;
+        // dense_threshold 0.0 forces every stored tile dense.
+        let a = banded(64, 3, 1.0, 1).to_csr();
+        let cfg = TileConfig {
+            dense_threshold: 0.0,
+            ..Default::default()
+        };
+        let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+        assert!(tiled.dense_tiles() > 0);
+        let mut ws = SpMSpVWorkspace::new();
+        let x = SparseVector::from_entries(64, vec![(0, 0.0)]).unwrap();
+        let _ = spmspv_with_workspace::<MinPlus>(&tiled, &x, SpMSpVOptions::default(), &mut ws);
+    }
+}

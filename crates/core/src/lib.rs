@@ -15,12 +15,22 @@
 //!
 //! [`semiring`] supplies the GraphBLAS-style algebra the paper frames its
 //! kernels in (AND/OR for BFS, +/× for numeric SpMSpV).
+//!
+//! [`exec`] is the execution-plan layer on top: [`exec::SpMSpVEngine`] and
+//! [`exec::BfsEngine`] bind a prepared operator to reusable scratch and a
+//! cumulative profiler, which is what iterative workloads (PageRank, SSSP,
+//! betweenness) run through. The free functions above are one-shot wrappers
+//! over the same drivers.
 
 pub mod bfs;
+pub mod exec;
 pub mod semiring;
 pub mod spmspv;
 pub mod tile;
 
-pub use bfs::{tile_bfs, BfsOptions, BfsResult, TileBfsGraph};
+pub use bfs::{
+    tile_bfs, tile_bfs_with_workspace, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph,
+};
+pub use exec::{BfsEngine, EngineMetrics, SpMSpVEngine, SpMSpVWorkspace};
 pub use spmspv::{tile_spmspv, tile_spmspv_with, SpMSpVOptions};
 pub use tile::{TileConfig, TileMatrix, TileSize, TiledVector};

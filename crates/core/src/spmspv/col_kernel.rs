@@ -9,78 +9,26 @@
 //! for very sparse `x` this touches a vanishing fraction of the matrix,
 //! which is why Auto mode routes `nnz(x)/n < 0.01` here.
 
+use super::generic::col_kernel_semiring;
+use crate::semiring::PlusTimes;
 use crate::tile::{TileMatrix, TiledVector};
-use tsv_simt::atomic::AtomicF64s;
-use tsv_simt::grid::launch;
+use tsv_simt::atomic::AtomicWords;
 use tsv_simt::stats::KernelStats;
 
 /// Runs the column-push kernel; returns `y` padded to `m_tiles * nt` and
 /// the work counters.
+///
+/// This is the one-shot `(+, ×)` form of
+/// [`col_kernel_semiring`](super::generic::col_kernel_semiring). The
+/// atomic-merge counters are charged exactly as before; the merge itself
+/// is the deterministic warp-ordered reduction of the generic kernel.
 pub fn col_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
     let nt = a.nt();
-    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
-    let y = AtomicF64s::zeroed(a.m_tiles() * nt);
-
-    // The active column tiles: one warp each.
-    let active: Vec<u32> = (0..x.n_tiles() as u32)
-        .filter(|&t| x.x_ptr()[t as usize] >= 0)
-        .collect();
-
-    let stats = launch(active.len(), |warp| {
-        let ct = active[warp.warp_id] as usize;
-        let x_tile = x.tile(ct).expect("active tiles are non-empty");
-        warp.stats.read(nt * 8); // load the vector tile once
-
-        for &t in a.col_tiles(ct) {
-            let t = t as usize;
-            let view = a.tile(t);
-            let rt = a.tile_row_of(t);
-            warp.stats.read(4 + 4); // tile id + row-tile id
-            let base = rt * nt;
-            match view.dense {
-                Some(d) => {
-                    warp.stats.read(nt * nt * 8);
-                    for lr in 0..nt {
-                        let row = &d[lr * nt..(lr + 1) * nt];
-                        let mut sum = 0.0;
-                        for (v, xv) in row.iter().zip(x_tile) {
-                            sum += v * xv;
-                        }
-                        if sum != 0.0 {
-                            y.add(base + lr, sum);
-                            warp.stats.atomic(1);
-                            warp.stats.write_scattered(8);
-                        }
-                    }
-                    warp.stats.flop(2 * nt * nt);
-                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                }
-                None => {
-                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + 8));
-                    // Scale and merge each intra-tile row into the global y.
-                    for lr in 0..nt {
-                        let (cols, vals) = view.row(lr);
-                        if cols.is_empty() {
-                            continue;
-                        }
-                        let mut sum = 0.0;
-                        for (&lc, &v) in cols.iter().zip(vals) {
-                            sum += v * x_tile[lc as usize];
-                        }
-                        warp.stats.flop(2 * cols.len());
-                        if sum != 0.0 {
-                            y.add(base + lr, sum);
-                            warp.stats.atomic(1);
-                            warp.stats.write_scattered(8);
-                        }
-                    }
-                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                }
-            }
-        }
-    });
-
-    (y.into_vec(), stats)
+    let mut y = vec![0.0f64; a.m_tiles() * nt];
+    let touched = AtomicWords::zeroed(a.m_tiles().div_ceil(64));
+    let mut contribs = Vec::new();
+    let stats = col_kernel_semiring::<PlusTimes>(a, x, &mut y, &mut contribs, &touched);
+    (y, stats)
 }
 
 #[cfg(test)]

@@ -7,52 +7,29 @@
 //! multiply merged into `y` with an atomic add. Warps process contiguous
 //! chunks of the frontier's nonzero list.
 
+use super::generic::coo_kernel_semiring;
+use crate::semiring::PlusTimes;
 use crate::tile::TileMatrix;
-use tsv_simt::atomic::AtomicF64s;
-use tsv_simt::grid::launch;
+use tsv_simt::atomic::AtomicWords;
 use tsv_simt::stats::KernelStats;
-use tsv_simt::warp::WARP_SIZE;
 use tsv_sparse::SparseVector;
-
-/// Vector nonzeros per warp.
-const CHUNK: usize = WARP_SIZE;
 
 /// Accumulates `extra * x` into the padded `y` buffer; returns the updated
 /// buffer and the pass's work counters.
+///
+/// This is the one-shot `(+, ×)` form of
+/// [`coo_kernel_semiring`](super::generic::coo_kernel_semiring); traversal
+/// and counters are identical, with the atomic merge replaced by the
+/// generic kernel's deterministic warp-ordered reduction.
 pub fn coo_kernel(
     a: &TileMatrix,
     x: &SparseVector<f64>,
-    y_padded: Vec<f64>,
+    mut y_padded: Vec<f64>,
 ) -> (Vec<f64>, KernelStats) {
-    if a.extra().nnz() == 0 || x.nnz() == 0 {
-        return (y_padded, KernelStats::default());
-    }
-    let y = AtomicF64s::from_vec(y_padded);
-    let idx = x.indices();
-    let vals = x.values();
-    let n_warps = x.nnz().div_ceil(CHUNK);
-
-    let stats = launch(n_warps, |warp| {
-        let start = warp.warp_id * CHUNK;
-        let end = (start + CHUNK).min(x.nnz());
-        for k in start..end {
-            let j = idx[k] as usize;
-            let xj = vals[k];
-            warp.stats.read(4 + 8); // the x entry (streamed)
-            warp.stats.read_scattered(8); // extra_col_ptr[j]
-            let (rows, evals) = a.extra_col(j);
-            warp.stats.read(rows.len() * 12);
-            for (&r, &v) in rows.iter().zip(evals) {
-                y.add(r as usize, v * xj);
-                warp.stats.flop(2);
-                warp.stats.atomic(1);
-                warp.stats.write_scattered(8);
-            }
-            warp.stats.lane_steps += rows.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
-        }
-    });
-
-    (y.into_vec(), stats)
+    let touched = AtomicWords::zeroed(a.m_tiles().div_ceil(64));
+    let mut contribs = Vec::new();
+    let stats = coo_kernel_semiring::<PlusTimes>(a, x, &mut y_padded, &mut contribs, &touched);
+    (y_padded, stats)
 }
 
 #[cfg(test)]

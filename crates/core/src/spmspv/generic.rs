@@ -1,0 +1,361 @@
+//! Semiring-generic forms of the three numeric kernels.
+//!
+//! These are the workspace-writing engines behind [`super::row_kernel`],
+//! [`super::col_kernel`] and [`super::coo_kernel`]: identical traversal
+//! order and identical work counting (value bytes scale with
+//! `size_of::<S::T>()`, so the `f64` counts match the paper's accounting
+//! byte for byte), but
+//!
+//! * the output is written into a caller-owned padded buffer instead of a
+//!   freshly allocated one,
+//! * every multiply-add goes through the [`Semiring`] operators, and
+//! * each kernel marks the *row tiles* it wrote in a shared bitset, so the
+//!   driver's compaction and reset can visit only written tiles (work
+//!   proportional to `nnz(y)`, not `n`).
+//!
+//! The scatter kernels (column-push and the COO pass) buffer their
+//! contributions per warp and merge them in warp order afterwards instead
+//! of using atomic adds. The atomic/scattered-write counters are charged at
+//! production time exactly as the seed kernels charged them, and the merge
+//! order is deterministic — a strict refinement of the seed's
+//! scheduling-dependent atomic ordering.
+
+use crate::semiring::Semiring;
+use crate::tile::{TileMatrix, TiledVector};
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::stats::KernelStats;
+use tsv_simt::warp::WARP_SIZE;
+use tsv_sparse::SparseVector;
+
+/// Marks row tile `rt` in the shared touched bitset.
+#[inline]
+fn mark(touched: &AtomicWords, rt: usize) {
+    touched.fetch_or(rt / 64, 1 << (rt % 64));
+}
+
+/// CSR-form row-tile kernel over an arbitrary semiring (Algorithm 4).
+///
+/// `y` must be `m_tiles * nt` long and hold `S::zero()` in every slot the
+/// caller has not already accumulated into.
+pub fn row_kernel_semiring<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &TiledVector<S::T>,
+    y: &mut [S::T],
+    touched: &AtomicWords,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    let nt = a.nt();
+    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
+    debug_assert_eq!(y.len(), a.m_tiles() * nt, "padded output sized wrong");
+    if a.m_tiles() == 0 {
+        return KernelStats::default();
+    }
+    let vb = std::mem::size_of::<S::T>();
+
+    launch_over_chunks(y, nt, |warp, y_tile| {
+        let rt = warp.warp_id;
+        let mut dirty = false;
+        // Tile-level CSR walk of this row tile.
+        for t in a.row_tile_range(rt) {
+            let view = a.tile(t);
+            warp.stats.read(4); // A_tile_colid[tile_id] (streamed)
+            warp.stats.read_scattered(4); // x_ptr[tile_colid]
+            let Some(x_tile) = x.tile(view.col_tile) else {
+                continue; // x_offset == -1: skip the whole tile
+            };
+            // Load the vector tile and the tile body ("into shared memory").
+            warp.stats.read(nt * vb);
+            dirty = true;
+            match view.dense {
+                Some(d) => {
+                    // Dense payload: full nt×nt sweep, no index decode.
+                    warp.stats.read(nt * nt * vb);
+                    for lr in 0..nt {
+                        let row = &d[lr * nt..(lr + 1) * nt];
+                        let mut sum = S::zero();
+                        for (&v, &xv) in row.iter().zip(x_tile) {
+                            sum = S::add(sum, S::mul(v, xv));
+                        }
+                        y_tile[lr] = S::add(y_tile[lr], sum);
+                    }
+                    warp.stats.flop(2 * nt * nt);
+                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+                }
+                None => {
+                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                    // Lanes are striped over the tile rows (two lanes per
+                    // row at nt = 16); on the CPU the warp walks its rows
+                    // in order, each row reducing its partial sums exactly
+                    // as the __shfl_down_sync pair of Algorithm 4 would.
+                    for (lr, y_slot) in y_tile.iter_mut().enumerate() {
+                        let (cols, vals) = view.row(lr);
+                        if cols.is_empty() {
+                            continue;
+                        }
+                        let mut sum = S::zero();
+                        for (&lc, &v) in cols.iter().zip(vals) {
+                            sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                        }
+                        warp.stats.flop(2 * cols.len());
+                        *y_slot = S::add(*y_slot, sum);
+                    }
+                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                }
+            }
+        }
+        // Row tile writes its outputs once.
+        warp.stats.write(nt * vb);
+        if dirty {
+            mark(touched, rt);
+        }
+    })
+}
+
+/// CSC-form (vector-driven) kernel over an arbitrary semiring.
+///
+/// One warp per non-empty vector tile, contributions buffered in
+/// `contribs` (one bucket per warp, capacity kept across calls) and merged
+/// into `y` in warp order after the launch.
+pub fn col_kernel_semiring<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &TiledVector<S::T>,
+    y: &mut [S::T],
+    contribs: &mut Vec<Vec<(u32, S::T)>>,
+    touched: &AtomicWords,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    let nt = a.nt();
+    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
+    debug_assert_eq!(y.len(), a.m_tiles() * nt, "padded output sized wrong");
+    let vb = std::mem::size_of::<S::T>();
+
+    // The active column tiles: one warp each.
+    let active = x.active_tiles();
+    if contribs.len() < active.len() {
+        contribs.resize_with(active.len(), Vec::new);
+    }
+
+    let stats = launch_over_chunks(&mut contribs[..active.len()], 1, |warp, chunk| {
+        let bucket = &mut chunk[0];
+        let ct = active[warp.warp_id] as usize;
+        let x_tile = x.tile(ct).expect("active tiles are non-empty");
+        warp.stats.read(nt * vb); // load the vector tile once
+
+        for &t in a.col_tiles(ct) {
+            let t = t as usize;
+            let view = a.tile(t);
+            let rt = a.tile_row_of(t);
+            warp.stats.read(4 + 4); // tile id + row-tile id
+            let base = rt * nt;
+            match view.dense {
+                Some(d) => {
+                    warp.stats.read(nt * nt * vb);
+                    for lr in 0..nt {
+                        let row = &d[lr * nt..(lr + 1) * nt];
+                        let mut sum = S::zero();
+                        for (&v, &xv) in row.iter().zip(x_tile) {
+                            sum = S::add(sum, S::mul(v, xv));
+                        }
+                        if sum != S::zero() {
+                            bucket.push(((base + lr) as u32, sum));
+                            warp.stats.atomic(1);
+                            warp.stats.write_scattered(vb);
+                        }
+                    }
+                    warp.stats.flop(2 * nt * nt);
+                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+                }
+                None => {
+                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                    // Scale and merge each intra-tile row into the global y.
+                    for lr in 0..nt {
+                        let (cols, vals) = view.row(lr);
+                        if cols.is_empty() {
+                            continue;
+                        }
+                        let mut sum = S::zero();
+                        for (&lc, &v) in cols.iter().zip(vals) {
+                            sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                        }
+                        warp.stats.flop(2 * cols.len());
+                        if sum != S::zero() {
+                            bucket.push(((base + lr) as u32, sum));
+                            warp.stats.atomic(1);
+                            warp.stats.write_scattered(vb);
+                        }
+                    }
+                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                }
+            }
+        }
+    });
+
+    merge_contribs::<S>(&mut contribs[..active.len()], y, nt, touched);
+    stats
+}
+
+/// Vector nonzeros per warp in the COO pass.
+const CHUNK: usize = WARP_SIZE;
+
+/// The hybrid pass over extracted very-sparse entries, over an arbitrary
+/// semiring. Accumulates `extra ⊗ x` into `y`.
+pub fn coo_kernel_semiring<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    y: &mut [S::T],
+    contribs: &mut Vec<Vec<(u32, S::T)>>,
+    touched: &AtomicWords,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    if a.extra().nnz() == 0 || x.nnz() == 0 {
+        return KernelStats::default();
+    }
+    let nt = a.nt();
+    let vb = std::mem::size_of::<S::T>();
+    let idx = x.indices();
+    let vals = x.values();
+    let n_warps = x.nnz().div_ceil(CHUNK);
+    if contribs.len() < n_warps {
+        contribs.resize_with(n_warps, Vec::new);
+    }
+
+    let stats = launch_over_chunks(&mut contribs[..n_warps], 1, |warp, chunk| {
+        let bucket = &mut chunk[0];
+        let start = warp.warp_id * CHUNK;
+        let end = (start + CHUNK).min(x.nnz());
+        for k in start..end {
+            let j = idx[k] as usize;
+            let xj = vals[k];
+            warp.stats.read(4 + vb); // the x entry (streamed)
+            warp.stats.read_scattered(8); // extra_col_ptr[j]
+            let (rows, evals) = a.extra_col(j);
+            warp.stats.read(rows.len() * (4 + vb));
+            for (&r, &v) in rows.iter().zip(evals) {
+                bucket.push((r, S::mul(v, xj)));
+                warp.stats.flop(2);
+                warp.stats.atomic(1);
+                warp.stats.write_scattered(vb);
+            }
+            warp.stats.lane_steps += rows.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
+        }
+    });
+
+    merge_contribs::<S>(&mut contribs[..n_warps], y, nt, touched);
+    stats
+}
+
+/// Applies the buffered contributions to `y` in warp order, marking each
+/// written row tile, and clears the buckets (keeping their capacity).
+fn merge_contribs<S: Semiring>(
+    contribs: &mut [Vec<(u32, S::T)>],
+    y: &mut [S::T],
+    nt: usize,
+    touched: &AtomicWords,
+) {
+    for bucket in contribs.iter_mut() {
+        for &(i, v) in bucket.iter() {
+            let i = i as usize;
+            y[i] = S::add(y[i], v);
+            mark(touched, i / nt);
+        }
+        bucket.clear();
+    }
+}
+
+/// Collects the marked row tiles in ascending order into `out` and clears
+/// the bitset.
+pub fn drain_touched(touched: &mut AtomicWords, out: &mut Vec<u32>) {
+    out.clear();
+    for w in 0..touched.len() {
+        let mut word = touched.load(w);
+        while word != 0 {
+            let b = word.trailing_zeros() as usize;
+            word &= word - 1;
+            out.push((w * 64 + b) as u32);
+        }
+    }
+    touched.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlus, PlusTimes};
+    use crate::tile::{TileConfig, TileSize};
+    use tsv_sparse::gen::{random_sparse_vector, uniform_random};
+    use tsv_sparse::reference::spmspv_row;
+
+    #[test]
+    fn generic_row_kernel_matches_f64_kernel_bitwise() {
+        let a = uniform_random(300, 300, 4000, 3).to_csr();
+        let tm = TileMatrix::from_csr(&a, TileConfig::with_size(TileSize::S16)).unwrap();
+        let x = random_sparse_vector(300, 0.05, 1);
+        let xt = TiledVector::from_sparse(&x, 16);
+
+        let mut y = vec![0.0f64; tm.m_tiles() * 16];
+        let touched = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
+        let stats = row_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y, &touched);
+
+        let expect = spmspv_row(&a, &x).unwrap().to_dense();
+        for i in 0..300 {
+            assert!((y[i] - expect[i]).abs() < 1e-9, "row {i}");
+        }
+        assert!(stats.flops > 0);
+        // Touched tiles cover every nonzero output row.
+        let mut list = Vec::new();
+        let mut touched = touched;
+        drain_touched(&mut touched, &mut list);
+        for (i, &v) in y.iter().enumerate() {
+            if v != 0.0 {
+                assert!(
+                    list.contains(&((i / 16) as u32)),
+                    "row tile {} missed",
+                    i / 16
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_col_kernel_relaxes() {
+        // 0 -> 1 (w 2), 1 -> 2 (w 1) as A[dst][src]; one relaxation from
+        // the source must reach vertex 1 with distance 2.
+        let mut coo = tsv_sparse::CooMatrix::new(64, 64);
+        coo.push(1, 0, 2.0);
+        coo.push(2, 1, 1.0);
+        let cfg = TileConfig {
+            tile_size: TileSize::S16,
+            extract_threshold: 0,
+            dense_threshold: 2.0,
+        };
+        let tm = TileMatrix::from_csr(&coo.to_csr(), cfg).unwrap();
+        let x = SparseVector::from_entries(64, vec![(0, 0.0)]).unwrap();
+        let xt = TiledVector::from_sparse_filled(&x, 16, f64::INFINITY);
+
+        let mut y = vec![f64::INFINITY; tm.m_tiles() * 16];
+        let touched = AtomicWords::zeroed(1);
+        let mut contribs = Vec::new();
+        col_kernel_semiring::<MinPlus>(&tm, &xt, &mut y, &mut contribs, &touched);
+        assert_eq!(y[1], 2.0);
+        assert_eq!(y[2], f64::INFINITY, "vertex 2 not reached in one hop");
+    }
+
+    #[test]
+    fn drain_touched_sorts_and_clears() {
+        let mut t = AtomicWords::zeroed(3);
+        t.fetch_or(2, 1 << 5);
+        t.fetch_or(0, 1 << 63);
+        t.fetch_or(0, 1 << 0);
+        let mut out = Vec::new();
+        drain_touched(&mut t, &mut out);
+        assert_eq!(out, vec![0, 63, 133]);
+        assert_eq!(t.to_vec(), vec![0, 0, 0]);
+    }
+}

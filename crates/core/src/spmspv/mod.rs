@@ -22,13 +22,16 @@
 
 pub mod col_kernel;
 pub mod coo_kernel;
+pub mod generic;
 pub mod row_kernel;
 
 pub use col_kernel::col_kernel;
 pub use coo_kernel::coo_kernel;
 pub use row_kernel::row_kernel;
 
-use crate::tile::{TileMatrix, TiledVector};
+use crate::exec::{spmspv_with_workspace, SpMSpVWorkspace};
+use crate::semiring::PlusTimes;
+use crate::tile::TileMatrix;
 use tsv_simt::stats::KernelStats;
 use tsv_sparse::{SparseError, SparseVector};
 
@@ -71,6 +74,16 @@ pub enum KernelUsed {
     ColTile,
 }
 
+impl KernelUsed {
+    /// Short label for profiler aggregation ("row-tile" / "col-tile").
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelUsed::RowTile => "row-tile",
+            KernelUsed::ColTile => "col-tile",
+        }
+    }
+}
+
 impl std::fmt::Display for KernelUsed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -81,15 +94,16 @@ impl std::fmt::Display for KernelUsed {
 }
 
 /// Execution record of one SpMSpV call.
+///
+/// The flop counter that defines the GFlops metric of Fig. 6 is
+/// `stats.flops` (2 × useful multiply-adds); it used to be duplicated here
+/// as a separate `useful_flops` field, which has been dropped.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecReport {
     /// The kernel that ran.
     pub kernel: KernelUsed,
     /// Work counters of the tile kernel plus the COO pass.
     pub stats: KernelStats,
-    /// Floating point operations that define the GFlops metric of Fig. 6:
-    /// `2 × (useful multiply-adds performed)`.
-    pub useful_flops: u64,
 }
 
 /// `y = A x` with default options.
@@ -114,58 +128,18 @@ pub fn tile_spmspv(
 }
 
 /// `y = A x`, reporting the kernel used and its counted work.
+///
+/// This is the one-shot convenience form: it builds a fresh
+/// [`SpMSpVWorkspace`] per call. Iterative callers should hold a
+/// [`crate::exec::SpMSpVEngine`] instead, which reuses the workspace (and
+/// its touched-tile compaction) across calls.
 pub fn tile_spmspv_with(
     a: &TileMatrix,
     x: &SparseVector<f64>,
     opts: SpMSpVOptions,
 ) -> Result<(SparseVector<f64>, ExecReport), SparseError> {
-    if a.ncols() != x.len() {
-        return Err(SparseError::DimensionMismatch {
-            op: "tile_spmspv",
-            expected: a.ncols(),
-            found: x.len(),
-        });
-    }
-    let xt = TiledVector::from_sparse(x, a.nt());
-
-    let kernel = match opts.kernel {
-        KernelChoice::RowTile => KernelUsed::RowTile,
-        KernelChoice::ColTile => KernelUsed::ColTile,
-        KernelChoice::Auto => {
-            if x.sparsity() < opts.csc_threshold {
-                KernelUsed::ColTile
-            } else {
-                KernelUsed::RowTile
-            }
-        }
-    };
-
-    let (y_padded, mut stats) = match kernel {
-        KernelUsed::RowTile => row_kernel(a, &xt),
-        KernelUsed::ColTile => col_kernel(a, &xt),
-    };
-
-    // Hybrid pass over the extracted very-sparse entries, driven by x's
-    // nonzeros so untouched columns cost nothing.
-    let (y_padded, coo_stats) = coo_kernel(a, x, y_padded);
-    stats += coo_stats;
-
-    let useful_flops = stats.flops;
-    let y = compact(&y_padded, a.nrows());
-    Ok((
-        y,
-        ExecReport {
-            kernel,
-            stats,
-            useful_flops,
-        },
-    ))
-}
-
-/// Compacts a padded dense result (length `m_tiles * nt`) into a logical
-/// sparse vector of length `n`.
-fn compact(y_padded: &[f64], n: usize) -> SparseVector<f64> {
-    SparseVector::from_dense(&y_padded[..n])
+    let mut ws = SpMSpVWorkspace::new();
+    spmspv_with_workspace::<PlusTimes>(a, x, opts, &mut ws)
 }
 
 #[cfg(test)]
@@ -179,7 +153,11 @@ mod tests {
     fn check_against_reference(a: &CsrMatrix<f64>, x: &SparseVector<f64>, cfg: TileConfig) {
         let tiled = TileMatrix::from_csr(a, cfg).unwrap();
         let expect = spmspv_row(a, x).unwrap();
-        for choice in [KernelChoice::RowTile, KernelChoice::ColTile, KernelChoice::Auto] {
+        for choice in [
+            KernelChoice::RowTile,
+            KernelChoice::ColTile,
+            KernelChoice::Auto,
+        ] {
             let opts = SpMSpVOptions {
                 kernel: choice,
                 ..Default::default()

@@ -7,73 +7,23 @@
 //! products into the row tile's private slice of `y`. Because a row tile
 //! owns its `nt` output rows, no atomics are needed.
 
+use super::generic::row_kernel_semiring;
+use crate::semiring::PlusTimes;
 use crate::tile::{TileMatrix, TiledVector};
-use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::atomic::AtomicWords;
 use tsv_simt::stats::KernelStats;
 
 /// Runs the row-tile kernel; returns `y` padded to `m_tiles * nt` and the
 /// work counters.
+///
+/// This is the one-shot `(+, ×)` form of
+/// [`row_kernel_semiring`](super::generic::row_kernel_semiring); the
+/// traversal, accumulation order and work counters are identical.
 pub fn row_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
     let nt = a.nt();
-    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
     let mut y = vec![0.0f64; a.m_tiles() * nt];
-    if a.m_tiles() == 0 {
-        return (y, KernelStats::default());
-    }
-
-    let stats = launch_over_chunks(&mut y, nt, |warp, y_tile| {
-        let rt = warp.warp_id;
-        // Tile-level CSR walk of this row tile.
-        for t in a.row_tile_range(rt) {
-            let view = a.tile(t);
-            warp.stats.read(4); // A_tile_colid[tile_id] (streamed)
-            warp.stats.read_scattered(4); // x_ptr[tile_colid]
-            let Some(x_tile) = x.tile(view.col_tile) else {
-                continue; // x_offset == -1: skip the whole tile
-            };
-            // Load the vector tile and the tile body ("into shared memory").
-            warp.stats.read(nt * 8);
-            match view.dense {
-                Some(d) => {
-                    // Dense payload: full nt×nt FMA sweep, no index decode.
-                    warp.stats.read(nt * nt * 8);
-                    for lr in 0..nt {
-                        let row = &d[lr * nt..(lr + 1) * nt];
-                        let mut sum = 0.0;
-                        for (v, xv) in row.iter().zip(x_tile) {
-                            sum += v * xv;
-                        }
-                        y_tile[lr] += sum;
-                    }
-                    warp.stats.flop(2 * nt * nt);
-                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                }
-                None => {
-                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + 8));
-                    // Lanes are striped over the tile rows (two lanes per
-                    // row at nt = 16); on the CPU the warp walks its rows
-                    // in order, each row reducing its partial sums exactly
-                    // as the __shfl_down_sync pair of Algorithm 4 would.
-                    for lr in 0..nt {
-                        let (cols, vals) = view.row(lr);
-                        if cols.is_empty() {
-                            continue;
-                        }
-                        let mut sum = 0.0;
-                        for (&lc, &v) in cols.iter().zip(vals) {
-                            sum += v * x_tile[lc as usize];
-                        }
-                        warp.stats.flop(2 * cols.len());
-                        y_tile[lr] += sum;
-                    }
-                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                }
-            }
-        }
-        // Row tile writes its outputs once.
-        warp.stats.write(nt * 8);
-    });
-
+    let touched = AtomicWords::zeroed(a.m_tiles().div_ceil(64));
+    let stats = row_kernel_semiring::<PlusTimes>(a, x, &mut y, &touched);
     (y, stats)
 }
 

@@ -80,7 +80,7 @@ impl BitTileMatrix {
 
         // Per row tile: bucket entries by column tile and build both word
         // orientations of each surviving tile.
-        let per_rt: Vec<(Vec<TileRec>, Vec<(u32, u32)>)> = (0..n_tiles)
+        let per_rt: Vec<RowTileParts> = (0..n_tiles)
             .into_par_iter()
             .map(|rt| build_row_tile(a, rt, nt, extract_threshold))
             .collect();
@@ -104,7 +104,12 @@ impl BitTileMatrix {
         let extra_dst: Vec<u32> = extra_edges.iter().map(|&(r, _)| r).collect();
         let tiled_nnz = tiles
             .iter()
-            .map(|t| t.row_words.iter().map(|w| w.count_ones() as usize).sum::<usize>())
+            .map(|t| {
+                t.row_words
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum::<usize>()
+            })
             .sum();
 
         // CSR arrays: tiles are already in (rt, ct) order.
@@ -190,9 +195,7 @@ impl BitTileMatrix {
 
     /// Iterates the extracted entries as `(row, col)` pairs.
     pub fn extra_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.n).flat_map(move |c| {
-            self.extra_out(c).iter().map(move |&r| (r, c as u32))
-        })
+        (0..self.n).flat_map(move |c| self.extra_out(c).iter().map(move |&r| (r, c as u32)))
     }
 
     /// Total entries (tiled + extracted).
@@ -250,12 +253,16 @@ impl BitTileMatrix {
     }
 }
 
+/// One row tile's build output: its surviving tile records plus the
+/// `(global row, global col)` pairs extracted to the side COO part.
+type RowTileParts = (Vec<TileRec>, Vec<(u32, u32)>);
+
 fn build_row_tile<T: Copy>(
     a: &CsrMatrix<T>,
     rt: usize,
     nt: usize,
     extract_threshold: usize,
-) -> (Vec<TileRec>, Vec<(u32, u32)>) {
+) -> RowTileParts {
     let row_start = rt * nt;
     let row_end = (row_start + nt).min(a.nrows());
 

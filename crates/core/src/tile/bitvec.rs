@@ -74,8 +74,22 @@ impl BitFrontier {
     /// kernel). The caller must pass exactly `n_tiles` words.
     pub fn set_words(&mut self, words: Vec<u64>) {
         assert_eq!(words.len(), self.words.len());
-        debug_assert!(self.check_tail_clear(&words), "bits beyond n must stay clear");
+        debug_assert!(
+            self.check_tail_clear(&words),
+            "bits beyond n must stay clear"
+        );
         self.words = words;
+    }
+
+    /// Copies `src` into the backing words without reallocating — the
+    /// buffer-reusing counterpart of [`BitFrontier::set_words`].
+    pub fn load_words(&mut self, src: &[u64]) {
+        assert_eq!(src.len(), self.words.len());
+        self.words.copy_from_slice(src);
+        debug_assert!(
+            self.check_tail_clear(&self.words),
+            "bits beyond n must stay clear"
+        );
     }
 
     fn check_tail_clear(&self, words: &[u64]) -> bool {
@@ -169,6 +183,16 @@ impl BitFrontier {
             n: self.n,
             nt: self.nt,
             words,
+        }
+    }
+
+    /// Writes the complement into `out` without allocating — the workspace
+    /// form of [`BitFrontier::complement`] used by the reusable BFS driver.
+    pub fn complement_into(&self, out: &mut BitFrontier) {
+        assert_eq!(self.n, out.n);
+        assert_eq!(self.nt, out.nt);
+        for (t, (d, &w)) in out.words.iter_mut().zip(&self.words).enumerate() {
+            *d = !w & self.tile_valid_mask(t);
         }
     }
 
@@ -335,5 +359,23 @@ mod tests {
         let mut f = BitFrontier::new(64, 32);
         f.set_words(vec![1, 2]);
         assert_eq!(f.word(0), 1);
+    }
+
+    #[test]
+    fn load_words_copies_without_moving() {
+        let mut f = BitFrontier::new(64, 32);
+        f.load_words(&[4, 8]);
+        assert_eq!(f.word(0), 4);
+        assert_eq!(f.word(1), 8);
+    }
+
+    #[test]
+    fn complement_into_matches_complement() {
+        let mut f = BitFrontier::new(70, 64);
+        f.set(0);
+        f.set(69);
+        let mut out = BitFrontier::new(70, 64);
+        f.complement_into(&mut out);
+        assert_eq!(out, f.complement());
     }
 }

@@ -12,6 +12,11 @@
 //! not worth their metadata: their entries are *extracted* into a side COO
 //! matrix processed by a separate kernel pass, exactly the hybrid scheme of
 //! §3.2.1/§3.4.
+//!
+//! The container is generic over the value type (default `f64`) so the
+//! semiring-generic driver can tile boolean or numeric matrices alike.
+//! `T::default()` plays the role of the *structural* zero: dense payloads
+//! pad with it, and `to_csr` drops it on reconstruction.
 
 use super::layout::{pack16, tiles_for, TileConfig, TileFormat, TileSize};
 use rayon::prelude::*;
@@ -19,7 +24,7 @@ use tsv_sparse::{CooMatrix, CsrMatrix, SparseError};
 
 /// A sparse matrix in the paper's tiled format.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TileMatrix {
+pub struct TileMatrix<T = f64> {
     nrows: usize,
     ncols: usize,
     config: TileConfig,
@@ -42,14 +47,14 @@ pub struct TileMatrix {
     packed16: Option<Vec<u8>>,
     /// Entry values of CSR-format tiles, tile by tile in intra-tile CSR
     /// order (dense tiles keep their payload in `dense_vals`).
-    vals: Vec<f64>,
+    vals: Vec<T>,
     /// Physical payload format of each stored tile.
     formats: Vec<TileFormat>,
     /// True nonzero count of each stored tile (dense tiles have no
     /// entries in `vals`).
     tile_nnz: Vec<u32>,
     /// Row-major `nt²` payloads of dense tiles, in tile order.
-    dense_vals: Vec<f64>,
+    dense_vals: Vec<T>,
     /// Slot of each dense tile in `dense_vals` (unused for CSR tiles).
     dense_slot: Vec<u32>,
     /// Row-tile index of each stored tile (inverse of `tile_row_ptr`).
@@ -63,7 +68,7 @@ pub struct TileMatrix {
     /// Entries of extracted very-sparse tiles, in global coordinates,
     /// sorted column-major so the vector-driven pass can skip columns with
     /// no `x` entry.
-    extra: CooMatrix<f64>,
+    extra: CooMatrix<T>,
     /// Column pointer over the (column-sorted) extracted entries:
     /// `extra_col_ptr[c]..extra_col_ptr[c+1]` are the entries of column `c`.
     extra_col_ptr: Vec<usize>,
@@ -71,7 +76,7 @@ pub struct TileMatrix {
 
 /// Read-only view of one stored tile.
 #[derive(Debug, Clone, Copy)]
-pub struct TileView<'a> {
+pub struct TileView<'a, T = f64> {
     /// Column-tile index of this tile.
     pub col_tile: usize,
     /// True nonzero count of the tile.
@@ -82,12 +87,12 @@ pub struct TileView<'a> {
     /// Local column index per entry (empty for dense tiles).
     pub local_col: &'a [u8],
     /// Entry values (empty for dense tiles).
-    pub vals: &'a [f64],
+    pub vals: &'a [T],
     /// Row-major `nt × nt` payload when the tile is stored dense.
-    pub dense: Option<&'a [f64]>,
+    pub dense: Option<&'a [T]>,
 }
 
-impl<'a> TileView<'a> {
+impl<'a, T> TileView<'a, T> {
     /// Number of nonzero entries in the tile.
     pub fn nnz(&self) -> usize {
         self.nnz
@@ -105,7 +110,7 @@ impl<'a> TileView<'a> {
     /// Local column indices and values of intra-tile row `lr` (CSR tiles
     /// only; dense tiles return empty slices — read `dense` instead).
     #[inline]
-    pub fn row(&self, lr: usize) -> (&'a [u8], &'a [f64]) {
+    pub fn row(&self, lr: usize) -> (&'a [u8], &'a [T]) {
         let s = self.local_row_ptr[lr] as usize;
         let e = self.local_row_ptr[lr + 1] as usize;
         (&self.local_col[s..e], &self.vals[s..e])
@@ -113,18 +118,18 @@ impl<'a> TileView<'a> {
 }
 
 /// Per-row-tile partial build, merged sequentially afterwards.
-struct RowTileBuild {
+struct RowTileBuild<T> {
     tile_col: Vec<u32>,
     tile_nnz: Vec<u32>,
     formats: Vec<TileFormat>,
     local_row_ptr: Vec<u16>,
     local_col: Vec<u8>,
-    vals: Vec<f64>,
-    dense_vals: Vec<f64>,
-    extra: Vec<(u32, u32, f64)>,
+    vals: Vec<T>,
+    dense_vals: Vec<T>,
+    extra: Vec<(u32, u32, T)>,
 }
 
-impl TileMatrix {
+impl<T: Copy + PartialEq + Default + Send + Sync> TileMatrix<T> {
     /// Builds the tiled format from a CSR matrix.
     ///
     /// This is the *format conversion* step whose cost Figure 11 reports;
@@ -138,14 +143,14 @@ impl TileMatrix {
     /// assert_eq!(tiled.nnz(), a.nnz());
     /// assert_eq!(tiled.to_csr(), a); // lossless
     /// ```
-    pub fn from_csr(a: &CsrMatrix<f64>, config: TileConfig) -> Result<Self, SparseError> {
+    pub fn from_csr(a: &CsrMatrix<T>, config: TileConfig) -> Result<Self, SparseError> {
         let nt = config.tile_size.nt();
         let nrows = a.nrows();
         let ncols = a.ncols();
         let m_tiles = tiles_for(nrows, nt);
         let n_tiles = tiles_for(ncols, nt);
 
-        let parts: Vec<RowTileBuild> = (0..m_tiles)
+        let parts: Vec<RowTileBuild<T>> = (0..m_tiles)
             .into_par_iter()
             .map(|rt| build_row_tile(a, rt, nt, config))
             .collect();
@@ -212,9 +217,15 @@ impl TileMatrix {
             let mut order: Vec<u32> = (0..extra.nnz() as u32).collect();
             let (rows_ref, cols_ref) = (extra.row_indices(), extra.col_indices());
             order.sort_by_key(|&i| (cols_ref[i as usize], rows_ref[i as usize]));
-            let rows: Vec<u32> = order.iter().map(|&i| extra.row_indices()[i as usize]).collect();
-            let cols: Vec<u32> = order.iter().map(|&i| extra.col_indices()[i as usize]).collect();
-            let evals: Vec<f64> = order.iter().map(|&i| extra.values()[i as usize]).collect();
+            let rows: Vec<u32> = order
+                .iter()
+                .map(|&i| extra.row_indices()[i as usize])
+                .collect();
+            let cols: Vec<u32> = order
+                .iter()
+                .map(|&i| extra.col_indices()[i as usize])
+                .collect();
+            let evals: Vec<T> = order.iter().map(|&i| extra.values()[i as usize]).collect();
             extra = CooMatrix::from_triplets(nrows, ncols, rows, cols, evals)
                 .expect("permutation of valid entries stays valid");
         }
@@ -236,9 +247,7 @@ impl TileMatrix {
         // kernel: tiles listed per column tile, ordered by row tile.
         let mut tile_row = vec![0u32; tile_col.len()];
         for rt in 0..m_tiles {
-            for t in tile_row_ptr[rt]..tile_row_ptr[rt + 1] {
-                tile_row[t] = rt as u32;
-            }
+            tile_row[tile_row_ptr[rt]..tile_row_ptr[rt + 1]].fill(rt as u32);
         }
         let mut col_index_ptr = vec![0usize; n_tiles + 1];
         for &ct in &tile_col {
@@ -335,19 +344,16 @@ impl TileMatrix {
     }
 
     /// The extracted very-sparse entries (column-sorted).
-    pub fn extra(&self) -> &CooMatrix<f64> {
+    pub fn extra(&self) -> &CooMatrix<T> {
         &self.extra
     }
 
     /// The extracted entries of column `c`, as `(rows, values)` — the
     /// vector-driven access path of the hybrid pass.
     #[inline]
-    pub fn extra_col(&self, c: usize) -> (&[u32], &[f64]) {
+    pub fn extra_col(&self, c: usize) -> (&[u32], &[T]) {
         let (s, e) = (self.extra_col_ptr[c], self.extra_col_ptr[c + 1]);
-        (
-            &self.extra.row_indices()[s..e],
-            &self.extra.values()[s..e],
-        )
+        (&self.extra.row_indices()[s..e], &self.extra.values()[s..e])
     }
 
     /// Tile-level CSR pointer (length `m_tiles + 1`).
@@ -367,7 +373,7 @@ impl TileMatrix {
 
     /// View of stored tile `t`.
     #[inline]
-    pub fn tile(&self, t: usize) -> TileView<'_> {
+    pub fn tile(&self, t: usize) -> TileView<'_, T> {
         let nt = self.nt();
         let (s, e) = (self.tile_ptr[t], self.tile_ptr[t + 1]);
         let dense = match self.dense_slot[t] {
@@ -408,7 +414,10 @@ impl TileMatrix {
 
     /// Reconstructs the logical CSR matrix (tiles plus extracted part);
     /// used by tests to prove the conversion lossless.
-    pub fn to_csr(&self) -> CsrMatrix<f64> {
+    pub fn to_csr(&self) -> CsrMatrix<T>
+    where
+        T: std::ops::Add<Output = T>,
+    {
         let nt = self.nt();
         let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         for rt in 0..self.m_tiles {
@@ -419,11 +428,12 @@ impl TileMatrix {
                 match view.dense {
                     Some(d) => {
                         // Dense payloads reconstruct their nonzeros (any
-                        // explicitly stored zeros are dropped by design).
+                        // explicitly stored structural zeros are dropped by
+                        // design).
                         for lr in 0..nt {
                             for lc in 0..nt {
                                 let v = d[lr * nt + lc];
-                                if v != 0.0 {
+                                if v != T::default() {
                                     coo.push(base_r + lr, base_c + lc, v);
                                 }
                             }
@@ -449,14 +459,15 @@ impl TileMatrix {
     /// Bytes of storage used by the tiled structure (the space numbers the
     /// paper's storage discussion relies on).
     pub fn storage_bytes(&self) -> usize {
+        let vb = std::mem::size_of::<T>();
         self.tile_row_ptr.len() * 8
             + self.tile_col.len() * 4
             + self.tile_ptr.len() * 8
             + self.local_row_ptr.len() * 2
             + self.local_col.len()
             + self.packed16.as_ref().map_or(0, |p| p.len())
-            + self.vals.len() * 8
-            + self.dense_vals.len() * 8
+            + self.vals.len() * vb
+            + self.dense_vals.len() * vb
             + self.formats.len()
             + self.tile_nnz.len() * 4
             + self.dense_slot.len() * 4
@@ -464,13 +475,18 @@ impl TileMatrix {
             + self.col_index_ptr.len() * 8
             + self.col_index_tiles.len() * 4
             + self.extra_col_ptr.len() * 8
-            + self.extra.nnz() * (4 + 4 + 8)
+            + self.extra.nnz() * (4 + 4 + vb)
     }
 }
 
 /// Gathers, buckets and locally compresses the tiles of one row tile,
 /// choosing each tile's payload format (extracted / CSR / dense).
-fn build_row_tile(a: &CsrMatrix<f64>, rt: usize, nt: usize, config: TileConfig) -> RowTileBuild {
+fn build_row_tile<T: Copy + Default>(
+    a: &CsrMatrix<T>,
+    rt: usize,
+    nt: usize,
+    config: TileConfig,
+) -> RowTileBuild<T> {
     let extract_threshold = config.extract_threshold;
     // Fill level at which the dense payload takes over.
     let dense_nnz = (config.dense_threshold * (nt * nt) as f64).ceil() as usize;
@@ -478,7 +494,7 @@ fn build_row_tile(a: &CsrMatrix<f64>, rt: usize, nt: usize, config: TileConfig) 
     let row_end = (row_start + nt).min(a.nrows());
 
     // (col_tile, local_row, local_col, val) for every entry in the band.
-    let mut entries: Vec<(u32, u8, u8, f64)> = Vec::new();
+    let mut entries: Vec<(u32, u8, u8, T)> = Vec::new();
     for r in row_start..row_end {
         let (cols, vals) = a.row(r);
         let lr = (r - row_start) as u8;
@@ -523,9 +539,10 @@ fn build_row_tile(a: &CsrMatrix<f64>, rt: usize, nt: usize, config: TileConfig) 
             out.tile_col.push(ct);
             out.tile_nnz.push(tile_entries.len() as u32);
             out.formats.push(TileFormat::Dense);
-            out.local_row_ptr.extend(std::iter::repeat(0u16).take(nt + 1));
+            out.local_row_ptr.extend(std::iter::repeat_n(0u16, nt + 1));
             let base = out.dense_vals.len();
-            out.dense_vals.extend(std::iter::repeat(0.0).take(nt * nt));
+            out.dense_vals
+                .extend(std::iter::repeat_n(T::default(), nt * nt));
             for &(_, lr, lc, v) in tile_entries {
                 out.dense_vals[base + lr as usize * nt + lc as usize] = v;
             }
@@ -601,7 +618,10 @@ mod tests {
     fn roundtrip_with_extraction() {
         let a = uniform_random(200, 200, 900, 5).to_csr();
         let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 2)).unwrap();
-        assert!(tm.extra().nnz() > 0, "uniform random should have sparse tiles");
+        assert!(
+            tm.extra().nnz() > 0,
+            "uniform random should have sparse tiles"
+        );
         assert_eq!(tm.to_csr(), a);
         assert_eq!(tm.tiled_nnz() + tm.extra().nnz(), a.nnz());
     }
@@ -631,7 +651,14 @@ mod tests {
         // [0 0 | 0 4]
         // [5 0 | 6 0]
         let mut coo = CooMatrix::new(4, 4);
-        for &(r, c, v) in &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (2, 3, 4.0), (3, 0, 5.0), (3, 2, 6.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (1, 1, 3.0),
+            (2, 3, 4.0),
+            (3, 0, 5.0),
+            (3, 2, 6.0),
+        ] {
             coo.push(r, c, v);
         }
         let a = coo.to_csr();
@@ -822,5 +849,48 @@ mod tests {
         let bytes = tm.storage_bytes();
         assert!(bytes >= tm.tiled_nnz() * 9);
         assert!(bytes < a.nnz() * 64, "storage estimate implausibly large");
+    }
+
+    #[test]
+    fn boolean_matrix_tiles_and_roundtrips() {
+        // Pattern-only matrices (OrAnd semiring) tile with the same code;
+        // `false` is the structural zero.
+        let f = banded(40, 3, 1.0, 2).to_csr();
+        let (rp, ci) = (f.row_ptr().to_vec(), f.col_idx().to_vec());
+        let vals = vec![true; ci.len()];
+        let a = CsrMatrix::from_parts(40, 40, rp, ci, vals).unwrap();
+        let tm = TileMatrix::from_csr(&a, cfg(TileSize::S16, 1)).unwrap();
+        assert_eq!(tm.nnz(), a.nnz());
+        // `to_csr` needs `T: Add`; reconstruct coordinates by hand instead.
+        let nt = tm.nt();
+        let mut got: Vec<(usize, usize)> = Vec::new();
+        for rt in 0..tm.m_tiles() {
+            for t in tm.row_tile_range(rt) {
+                let view = tm.tile(t);
+                if let Some(d) = view.dense {
+                    for lr in 0..nt {
+                        for lc in 0..nt {
+                            if d[lr * nt + lc] {
+                                got.push((rt * nt + lr, view.col_tile * nt + lc));
+                            }
+                        }
+                    }
+                } else {
+                    for lr in 0..nt {
+                        let (cols, _) = view.row(lr);
+                        for &lc in cols {
+                            got.push((rt * nt + lr, view.col_tile * nt + lc as usize));
+                        }
+                    }
+                }
+            }
+        }
+        for (r, c, v) in tm.extra().iter() {
+            assert!(v);
+            got.push((r, c));
+        }
+        got.sort_unstable();
+        let want: Vec<(usize, usize)> = a.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(got, want);
     }
 }

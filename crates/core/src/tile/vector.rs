@@ -5,50 +5,52 @@
 //! `x_ptr[t]` is `-1` for an empty tile, otherwise the slot of tile `t` in
 //! `x_tile`, so element `i` is found in O(1) as
 //! `x_tile[x_ptr[i / nt] * nt + i % nt]`.
+//!
+//! The layout is generic over the element type so the semiring-generic
+//! driver can tile `bool` (OrAnd) or `f64` (PlusTimes/MinPlus) vectors with
+//! the same code; padding slots hold the semiring's additive identity
+//! (`fill`), which is `0.0` for the numeric case the paper describes.
 
 use tsv_sparse::SparseVector;
 
 /// A sparse vector in the paper's tiled physical layout.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TiledVector {
+pub struct TiledVector<T = f64> {
     n: usize,
     nt: usize,
+    /// Value padding empty slots of stored tiles (and reported for elements
+    /// of dropped tiles) — the additive identity of the active semiring.
+    fill: T,
     x_ptr: Vec<i32>,
-    x_tile: Vec<f64>,
+    x_tile: Vec<T>,
+    /// Vector-tile indices with `x_ptr[t] >= 0`, in slot order. Kept so a
+    /// reusing caller can clear exactly the slots it dirtied.
+    active: Vec<u32>,
 }
 
-impl TiledVector {
-    /// Builds the tiled layout from a logical sparse vector.
-    pub fn from_sparse(x: &SparseVector<f64>, nt: usize) -> Self {
+impl<T: Copy + PartialEq + Default> TiledVector<T> {
+    /// Builds the tiled layout from a logical sparse vector, padding with
+    /// `T::default()` (`0.0` in the numeric case).
+    pub fn from_sparse(x: &SparseVector<T>, nt: usize) -> Self {
+        Self::from_sparse_filled(x, nt, T::default())
+    }
+
+    /// Builds the tiled layout with an explicit padding value — the
+    /// additive identity of the semiring the kernel will run under (e.g.
+    /// `+∞` for MinPlus).
+    pub fn from_sparse_filled(x: &SparseVector<T>, nt: usize, fill: T) -> Self {
         assert!(nt > 0, "tile length must be positive");
         let n = x.len();
-        let n_tiles = n.div_ceil(nt);
-        let mut x_ptr = vec![-1i32; n_tiles];
-
-        // First pass: mark and enumerate non-empty tiles in order (Fig. 3:
-        // "the rest tiles are marked as 0, 1, 2, ...").
-        let mut slots = 0i32;
-        for &i in x.indices() {
-            let t = i as usize / nt;
-            if x_ptr[t] < 0 {
-                x_ptr[t] = slots;
-                slots += 1;
-            }
-        }
-
-        // Second pass: scatter values into their dense tile payloads.
-        let mut x_tile = vec![0.0f64; slots as usize * nt];
-        for (i, v) in x.iter() {
-            let slot = x_ptr[i / nt];
-            debug_assert!(slot >= 0);
-            x_tile[slot as usize * nt + i % nt] = v;
-        }
-        TiledVector {
+        let mut out = TiledVector {
             n,
             nt,
-            x_ptr,
-            x_tile,
-        }
+            fill,
+            x_ptr: vec![-1i32; n.div_ceil(nt)],
+            x_tile: Vec::new(),
+            active: Vec::new(),
+        };
+        out.refill(x, fill);
+        out
     }
 
     /// An empty tiled vector of logical length `n`.
@@ -57,8 +59,51 @@ impl TiledVector {
         TiledVector {
             n,
             nt,
+            fill: T::default(),
             x_ptr: vec![-1; n.div_ceil(nt)],
             x_tile: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Re-tiles `x` in place, reusing the allocations of a previous call.
+    ///
+    /// Only the tiles dirtied by the previous contents are reset (work
+    /// scales with the number of active tiles, not `n/nt`), and `x_tile`
+    /// keeps its capacity, so steady-state iterative use allocates nothing
+    /// once the buffers have grown to their working size.
+    pub fn refill(&mut self, x: &SparseVector<T>, fill: T) {
+        assert_eq!(
+            x.len(),
+            self.n,
+            "refill requires a vector of the same length"
+        );
+        for &t in &self.active {
+            self.x_ptr[t as usize] = -1;
+        }
+        self.active.clear();
+        self.fill = fill;
+
+        // First pass: mark and enumerate non-empty tiles in order (Fig. 3:
+        // "the rest tiles are marked as 0, 1, 2, ...").
+        let nt = self.nt;
+        let mut slots = 0i32;
+        for &i in x.indices() {
+            let t = i as usize / nt;
+            if self.x_ptr[t] < 0 {
+                self.x_ptr[t] = slots;
+                slots += 1;
+                self.active.push(t as u32);
+            }
+        }
+
+        // Second pass: scatter values into their padded tile payloads.
+        self.x_tile.clear();
+        self.x_tile.resize(slots as usize * nt, fill);
+        for (i, v) in x.iter() {
+            let slot = self.x_ptr[i / nt];
+            debug_assert!(slot >= 0);
+            self.x_tile[slot as usize * nt + i % nt] = v;
         }
     }
 
@@ -87,20 +132,33 @@ impl TiledVector {
         self.x_tile.len() / self.nt
     }
 
+    /// The padding value of empty slots (the semiring's additive identity).
+    pub fn fill(&self) -> T {
+        self.fill
+    }
+
     /// The tile index array (`-1` marks an empty tile).
     pub fn x_ptr(&self) -> &[i32] {
         &self.x_ptr
     }
 
+    /// The non-empty vector-tile indices in slot order — ascending, since
+    /// tiles are enumerated over the sorted nonzero indices. This is the
+    /// sparse tile list the vector-driven kernel launches one warp per
+    /// entry of, available without a scan over `x_ptr`.
+    pub fn active_tiles(&self) -> &[u32] {
+        &self.active
+    }
+
     /// The dense payloads of the non-empty tiles, `nt` values each.
-    pub fn x_tile(&self) -> &[f64] {
+    pub fn x_tile(&self) -> &[T] {
         &self.x_tile
     }
 
     /// The payload of vector tile `t`, or `None` when the tile is empty —
     /// the O(1) lookup the TileSpMSpV kernel performs per matrix tile.
     #[inline]
-    pub fn tile(&self, t: usize) -> Option<&[f64]> {
+    pub fn tile(&self, t: usize) -> Option<&[T]> {
         let slot = self.x_ptr[t];
         if slot < 0 {
             None
@@ -110,18 +168,19 @@ impl TiledVector {
         }
     }
 
-    /// O(1) element access (implicit zeros included).
+    /// O(1) element access (implicit padding values included).
     #[inline]
-    pub fn get(&self, i: usize) -> f64 {
+    pub fn get(&self, i: usize) -> T {
         assert!(i < self.n, "index {i} out of bounds for length {}", self.n);
         match self.x_ptr[i / self.nt] {
-            s if s < 0 => 0.0,
+            s if s < 0 => self.fill,
             s => self.x_tile[s as usize * self.nt + i % self.nt],
         }
     }
 
-    /// Converts back to the logical compressed form, dropping zeros.
-    pub fn to_sparse(&self) -> SparseVector<f64> {
+    /// Converts back to the logical compressed form, dropping padding
+    /// values.
+    pub fn to_sparse(&self) -> SparseVector<T> {
         let mut indices = Vec::new();
         let mut vals = Vec::new();
         for (t, &slot) in self.x_ptr.iter().enumerate() {
@@ -131,7 +190,7 @@ impl TiledVector {
             let base = t * self.nt;
             let payload = &self.x_tile[slot as usize * self.nt..(slot as usize + 1) * self.nt];
             for (k, &v) in payload.iter().enumerate() {
-                if v != 0.0 && base + k < self.n {
+                if v != self.fill && base + k < self.n {
                     indices.push((base + k) as u32);
                     vals.push(v);
                 }
@@ -139,6 +198,28 @@ impl TiledVector {
         }
         SparseVector::from_parts(self.n, indices, vals)
             .expect("tile order yields sorted unique indices")
+    }
+
+    /// Reserves payload capacity for the worst case (every tile active), so
+    /// no subsequent [`refill`](Self::refill) can reallocate — engines call
+    /// this once at preparation time.
+    pub fn reserve_full(&mut self) {
+        let full = self.x_ptr.len() * self.nt;
+        if self.x_tile.capacity() < full {
+            let additional = full - self.x_tile.len();
+            self.x_tile.reserve(additional);
+        }
+        if self.active.capacity() < self.x_ptr.len() {
+            let additional = self.x_ptr.len() - self.active.len();
+            self.active.reserve(additional);
+        }
+    }
+
+    /// `(pointer, capacity)` of the payload buffer — lets reuse tests
+    /// assert that a [`refill`](Self::refill) neither moved nor regrew the
+    /// allocation.
+    pub fn payload_fingerprint(&self) -> (usize, usize) {
+        (self.x_tile.as_ptr() as usize, self.x_tile.capacity())
     }
 
     /// Fraction of vector tiles that are non-empty — the quantity that
@@ -159,11 +240,8 @@ mod tests {
     /// The example of Fig. 3: length 16, nt = 4, five nonzeros placed so
     /// tiles 1 and 3 are empty.
     fn figure3_vector() -> SparseVector<f64> {
-        SparseVector::from_entries(
-            16,
-            vec![(0, 1.0), (2, 2.0), (3, 3.0), (8, 4.0), (10, 5.0)],
-        )
-        .unwrap()
+        SparseVector::from_entries(16, vec![(0, 1.0), (2, 2.0), (3, 3.0), (8, 4.0), (10, 5.0)])
+            .unwrap()
     }
 
     #[test]
@@ -211,7 +289,7 @@ mod tests {
 
     #[test]
     fn zeros_vector() {
-        let t = TiledVector::zeros(20, 8);
+        let t = TiledVector::<f64>::zeros(20, 8);
         assert_eq!(t.n_tiles(), 3);
         assert_eq!(t.stored_tiles(), 0);
         assert_eq!(t.get(13), 0.0);
@@ -228,7 +306,57 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
-        let t = TiledVector::zeros(10, 4);
+        let t = TiledVector::<f64>::zeros(10, 4);
         t.get(10);
+    }
+
+    #[test]
+    fn custom_fill_pads_with_identity() {
+        // MinPlus tiling pads with +∞ so min-reductions ignore the padding.
+        let x = SparseVector::from_entries(8, vec![(1, 2.0), (6, 3.0)]).unwrap();
+        let t = TiledVector::from_sparse_filled(&x, 4, f64::INFINITY);
+        assert_eq!(t.get(0), f64::INFINITY);
+        assert_eq!(t.get(1), 2.0);
+        assert_eq!(
+            t.tile(0),
+            Some(&[f64::INFINITY, 2.0, f64::INFINITY, f64::INFINITY][..])
+        );
+        // to_sparse drops the padding, not real values.
+        assert_eq!(t.to_sparse(), x);
+    }
+
+    #[test]
+    fn refill_reuses_allocations_and_resets_state() {
+        let dense = SparseVector::from_entries(
+            16,
+            (0..16).map(|i| (i, i as f64 + 1.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut t = TiledVector::from_sparse(&dense, 4);
+        let cap_tile = t.x_tile.capacity();
+        let cap_active = t.active.capacity();
+
+        // Refill with a much sparser vector: previously active tiles must
+        // be cleared, and no buffer may reallocate.
+        let sparse = SparseVector::from_entries(16, vec![(9, 7.0)]).unwrap();
+        t.refill(&sparse, 0.0);
+        assert_eq!(t.x_ptr(), &[-1, -1, 0, -1]);
+        assert_eq!(t.stored_tiles(), 1);
+        assert_eq!(t.to_sparse(), sparse);
+        assert_eq!(t.x_tile.capacity(), cap_tile);
+        assert_eq!(t.active.capacity(), cap_active);
+
+        // And refilling matches a fresh build exactly.
+        t.refill(&dense, 0.0);
+        assert_eq!(t, TiledVector::from_sparse(&dense, 4));
+    }
+
+    #[test]
+    fn bool_vector_tiles() {
+        let x = SparseVector::from_entries(10, vec![(2, true), (8, true)]).unwrap();
+        let t = TiledVector::from_sparse(&x, 4);
+        assert!(t.get(2));
+        assert!(!t.get(3));
+        assert_eq!(t.to_sparse(), x);
     }
 }

@@ -53,6 +53,32 @@ impl AtomicWords {
         self.words[i].load(Ordering::Relaxed)
     }
 
+    /// Resets every word to zero (exclusive access, so no atomics needed) —
+    /// lets iterative drivers reuse one allocation across launches.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Overwrites the contents from `src` (exclusive access) — the inverse
+    /// of [`copy_into`](Self::copy_into), for staging an existing frontier
+    /// into a reused atomic accumulator.
+    pub fn load_from(&mut self, src: &[u64]) {
+        assert_eq!(src.len(), self.words.len());
+        for (w, &s) in self.words.iter_mut().zip(src) {
+            *w.get_mut() = s;
+        }
+    }
+
+    /// Copies the current contents into `dst` without allocating.
+    pub fn copy_into(&self, dst: &mut [u64]) {
+        assert_eq!(dst.len(), self.words.len());
+        for (d, w) in dst.iter_mut().zip(&self.words) {
+            *d = w.load(Ordering::Relaxed);
+        }
+    }
+
     /// Consumes the atomic view back into a plain vector.
     pub fn into_vec(self) -> Vec<u64> {
         self.words.into_iter().map(|w| w.into_inner()).collect()
@@ -164,6 +190,18 @@ mod tests {
             w.fetch_or(0, 1 << b);
         });
         assert_eq!(w.load(0), u64::MAX);
+    }
+
+    #[test]
+    fn clear_and_copy_into_reuse_allocation() {
+        let mut w = AtomicWords::from_vec(vec![3, 5]);
+        let mut out = vec![0u64; 2];
+        w.copy_into(&mut out);
+        assert_eq!(out, vec![3, 5]);
+        w.clear();
+        assert_eq!(w.to_vec(), vec![0, 0]);
+        w.load_from(&[8, 1]);
+        assert_eq!(w.to_vec(), vec![8, 1]);
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub const SCATTER_PENALTY: f64 = 4.0;
 
 /// Estimated execution time of one kernel launch on `device`, in seconds.
 pub fn kernel_time(stats: &KernelStats, device: &DeviceConfig) -> f64 {
-    let streamed = stats.gmem_bytes().saturating_sub(stats.gmem_scattered_bytes) as f64;
+    let streamed = stats
+        .gmem_bytes()
+        .saturating_sub(stats.gmem_scattered_bytes) as f64;
     let scattered = stats.gmem_scattered_bytes as f64;
     let mem = (streamed + SCATTER_PENALTY * scattered) / device.peak_bytes_per_sec();
     // Arithmetic work: float ops and bit-word semiring ops share the ALU
@@ -42,10 +44,7 @@ pub fn total_time<'a, I>(launches: I, device: &DeviceConfig) -> f64
 where
     I: IntoIterator<Item = &'a KernelStats>,
 {
-    launches
-        .into_iter()
-        .map(|s| kernel_time(s, device))
-        .sum()
+    launches.into_iter().map(|s| kernel_time(s, device)).sum()
 }
 
 #[cfg(test)]

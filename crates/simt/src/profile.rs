@@ -59,6 +59,18 @@ impl Profiler {
         self.entries.lock().expect("profiler lock").is_empty()
     }
 
+    /// Folds another profiler's aggregates into this one (label-wise sum) —
+    /// used to combine the per-engine breakdowns into one run-level report.
+    pub fn merge(&self, other: &Profiler) {
+        let mut map = self.entries.lock().expect("profiler lock");
+        for (label, e) in other.entries() {
+            let t = map.entry(label).or_default();
+            t.launches += e.launches;
+            t.stats += e.stats;
+            t.wall += e.wall;
+        }
+    }
+
     /// Renders an aligned per-kernel report. Modeled time charges each
     /// recorded launch its own launch overhead on `device`.
     pub fn report(&self, device: &DeviceConfig) -> String {
@@ -85,7 +97,10 @@ impl Profiler {
                 model_ms,
             ));
         }
-        out.push_str(&format!("total modeled: {total_model:.4} ms on {}\n", device.name));
+        out.push_str(&format!(
+            "total modeled: {total_model:.4} ms on {}\n",
+            device.name
+        ));
         out
     }
 }
@@ -141,6 +156,22 @@ mod tests {
         assert!(r.contains("k2"));
         assert!(r.contains("total modeled"));
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn merge_folds_label_wise() {
+        let a = Profiler::new();
+        let b = Profiler::new();
+        a.record("k", stats(100), Duration::from_micros(1));
+        b.record("k", stats(50), Duration::from_micros(2));
+        b.record("other", stats(10), Duration::from_micros(1));
+        a.merge(&b);
+        let entries = a.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "k");
+        assert_eq!(entries[0].1.launches, 2);
+        assert_eq!(entries[0].1.stats.gmem_read_bytes, 150);
+        assert_eq!(entries[0].1.wall, Duration::from_micros(3));
     }
 
     #[test]

@@ -95,11 +95,7 @@ impl WarpCtx {
     /// (lane `l` gets `start+l`, `start+l+32`, ...), the coalesced access
     /// idiom of all the paper's kernels. Returns an iterator of
     /// `(lane, index)` pairs in execution order.
-    pub fn strided(
-        &self,
-        start: usize,
-        end: usize,
-    ) -> impl Iterator<Item = (usize, usize)> {
+    pub fn strided(&self, start: usize, end: usize) -> impl Iterator<Item = (usize, usize)> {
         (start..end).map(move |i| ((i - start) % WARP_SIZE, i))
     }
 }

@@ -5,9 +5,9 @@
 //! consumes it. It is also the format the paper uses for the *very sparse*
 //! tiles extracted from the tiled structure (§3.2.1).
 
-use crate::error::SparseError;
-use crate::csr::CsrMatrix;
 use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
 use crate::Result;
 
 /// A sparse matrix stored as parallel `(row, col, val)` triplet arrays.
@@ -144,9 +144,7 @@ impl<T: Copy> CooMatrix<T> {
     /// respect to duplicate coordinates.
     pub fn sort_row_major(&mut self) {
         let mut order: Vec<u32> = (0..self.nnz() as u32).collect();
-        order.sort_by_key(|&i| {
-            (self.rows[i as usize], self.cols[i as usize])
-        });
+        order.sort_by_key(|&i| (self.rows[i as usize], self.cols[i as usize]));
         self.permute(&order);
     }
 

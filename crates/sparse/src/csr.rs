@@ -186,7 +186,7 @@ impl<T: Copy> CsrMatrix<T> {
     pub fn to_coo(&self) -> CooMatrix<T> {
         let mut rows = Vec::with_capacity(self.nnz());
         for r in 0..self.nrows {
-            rows.extend(std::iter::repeat(r as u32).take(self.row_nnz(r)));
+            rows.extend(std::iter::repeat_n(r as u32, self.row_nnz(r)));
         }
         CooMatrix::from_triplets(
             self.nrows,

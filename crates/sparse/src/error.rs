@@ -69,7 +69,11 @@ impl fmt::Display for SparseError {
             SparseError::LengthMismatch { what } => {
                 write!(f, "parallel array length mismatch: {what}")
             }
-            SparseError::DimensionMismatch { op, expected, found } => write!(
+            SparseError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "dimension mismatch in {op}: expected {expected}, found {found}"
             ),

@@ -184,10 +184,7 @@ mod tests {
         // With the cell-sweep relabeling, most edges should connect nearby
         // indices — the property that makes road matrices tile well.
         let m = geometric_graph(2000, 4.0, 8);
-        let near = m
-            .iter()
-            .filter(|&(r, c, _)| r.abs_diff(c) < 400)
-            .count();
+        let near = m.iter().filter(|&(r, c, _)| r.abs_diff(c) < 400).count();
         assert!(
             near * 2 > m.nnz(),
             "expected most edges to be index-local: {near}/{}",

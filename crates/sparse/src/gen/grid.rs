@@ -116,7 +116,7 @@ mod tests {
         let m = grid3d(3, 3, 3).to_csr();
         assert_eq!(m.nrows(), 27);
         // Center vertex has all 6 neighbors.
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         assert_eq!(m.get(center, center), Some(6.0));
     }
 

@@ -60,7 +60,10 @@ impl RmatConfig {
 /// merged (values sum to the multiplicity, matching how SuiteSparse stores
 /// multigraph collapses).
 pub fn rmat(config: RmatConfig, seed: u64) -> CooMatrix<f64> {
-    assert!(config.scale >= 1 && config.scale <= 30, "scale out of range");
+    assert!(
+        config.scale >= 1 && config.scale <= 30,
+        "scale out of range"
+    );
     assert!(config.a > 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0);
     let n = 1usize << config.scale;
     let edges = n * config.edge_factor;

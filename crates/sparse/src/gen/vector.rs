@@ -13,7 +13,10 @@ use rand::{Rng, SeedableRng};
 /// entry is produced whenever `sparsity > 0` and `n > 0`, so the very sparse
 /// end of the sweep (0.0001 on small matrices) is never empty.
 pub fn random_sparse_vector(n: usize, sparsity: f64, seed: u64) -> SparseVector<f64> {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity must be in [0, 1]"
+    );
     if n == 0 || sparsity == 0.0 {
         return SparseVector::zeros(n);
     }

@@ -118,7 +118,13 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(webgraph(500, 8.0, 0.8, 30, 1), webgraph(500, 8.0, 0.8, 30, 1));
-        assert_ne!(webgraph(500, 8.0, 0.8, 30, 1), webgraph(500, 8.0, 0.8, 30, 2));
+        assert_eq!(
+            webgraph(500, 8.0, 0.8, 30, 1),
+            webgraph(500, 8.0, 0.8, 30, 1)
+        );
+        assert_ne!(
+            webgraph(500, 8.0, 0.8, 30, 1),
+            webgraph(500, 8.0, 0.8, 30, 2)
+        );
     }
 }

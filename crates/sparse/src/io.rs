@@ -155,7 +155,10 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<CooMatrix<f64>> {
 }
 
 fn parse_header(header: &str, lineno: usize) -> Result<(Field, Symmetry)> {
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(SparseError::Parse {
             line: lineno,
@@ -267,7 +270,8 @@ pub fn read_edge_list<R: Read>(
             }
         }
     };
-    let mut coo = CooMatrix::with_capacity(order, order, edges.len() * if symmetric { 2 } else { 1 });
+    let mut coo =
+        CooMatrix::with_capacity(order, order, edges.len() * if symmetric { 2 } else { 1 });
     for (u, v) in edges {
         coo.push(u as usize, v as usize, 1.0);
         if symmetric && u != v {

@@ -76,13 +76,13 @@ pub fn spmv(a: &CsrMatrix<f64>, x: &[f64]) -> Result<Vec<f64>> {
         });
     }
     let mut y = vec![0.0; a.nrows()];
-    for i in 0..a.nrows() {
+    for (i, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(i);
         let mut acc = 0.0;
         for (&j, &v) in cols.iter().zip(vals) {
             acc += v * x[j as usize];
         }
-        y[i] = acc;
+        *yi = acc;
     }
     Ok(y)
 }
@@ -160,7 +160,11 @@ pub fn validate_bfs_levels<T: Copy>(
     if levels[source] != 0 {
         return Err(format!("source level is {}, not 0", levels[source]));
     }
-    if levels.iter().enumerate().any(|(v, &l)| l == 0 && v != source) {
+    if levels
+        .iter()
+        .enumerate()
+        .any(|(v, &l)| l == 0 && v != source)
+    {
         return Err("a non-source vertex has level 0".to_string());
     }
 
@@ -316,7 +320,10 @@ mod tests {
         let mut coo = CooMatrix::new(2, 3);
         coo.push(0, 2, 1.0);
         let a = coo.to_csr();
-        assert!(matches!(bfs_levels(&a, 0), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            bfs_levels(&a, 0),
+            Err(SparseError::NotSquare { .. })
+        ));
 
         let sq = paper_graph();
         assert!(bfs_levels(&sq, 17).is_err());

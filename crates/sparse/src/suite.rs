@@ -91,27 +91,171 @@ struct Spec {
 }
 
 const REPRESENTATIVE: [Spec; 12] = [
-    Spec { name: "af_5_k101",        class: MatrixClass::Banded,   paper_rows: 503_000,   paper_nnz: 17_000_000,  size_factor: 1.6, density: 25.0, fill: 0.66 },
-    Spec { name: "cant",             class: MatrixClass::Banded,   paper_rows: 62_000,    paper_nnz: 4_000_000,   size_factor: 0.6, density: 40.0, fill: 0.80 },
-    Spec { name: "cavity23",         class: MatrixClass::Banded,   paper_rows: 4_000,     paper_nnz: 144_000,     size_factor: 0.25, density: 22.0, fill: 0.80 },
-    Spec { name: "pdb1HYS",          class: MatrixClass::Banded,   paper_rows: 36_000,    paper_nnz: 4_000_000,   size_factor: 0.5, density: 75.0, fill: 0.80 },
-    Spec { name: "fullb",            class: MatrixClass::Banded,   paper_rows: 199_000,   paper_nnz: 11_000_000,  size_factor: 1.0, density: 34.0, fill: 0.80 },
-    Spec { name: "ldoor",            class: MatrixClass::Banded,   paper_rows: 952_000,   paper_nnz: 46_000_000,  size_factor: 2.0, density: 30.0, fill: 0.80 },
-    Spec { name: "in-2004",          class: MatrixClass::Web,      paper_rows: 1_000_000, paper_nnz: 27_000_000,  size_factor: 2.0, density: 26.0, fill: 0.0 },
-    Spec { name: "msdoor",           class: MatrixClass::Banded,   paper_rows: 415_000,   paper_nnz: 20_000_000,  size_factor: 1.4, density: 30.0, fill: 0.77 },
-    Spec { name: "roadNet-TX",       class: MatrixClass::Road,     paper_rows: 1_000_000, paper_nnz: 3_000_000,   size_factor: 2.0, density: 3.0,  fill: 0.0 },
-    Spec { name: "ML_Geer",          class: MatrixClass::Banded,   paper_rows: 1_000_000, paper_nnz: 110_000_000, size_factor: 2.0, density: 55.0, fill: 1.0 },
-    Spec { name: "333SP",            class: MatrixClass::Mesh,     paper_rows: 3_000_000, paper_nnz: 22_000_000,  size_factor: 3.0, density: 0.0,  fill: 0.0 },
-    Spec { name: "dielFilterV2clx",  class: MatrixClass::Banded,   paper_rows: 607_000,   paper_nnz: 25_000_000,  size_factor: 1.8, density: 26.0, fill: 0.80 },
+    Spec {
+        name: "af_5_k101",
+        class: MatrixClass::Banded,
+        paper_rows: 503_000,
+        paper_nnz: 17_000_000,
+        size_factor: 1.6,
+        density: 25.0,
+        fill: 0.66,
+    },
+    Spec {
+        name: "cant",
+        class: MatrixClass::Banded,
+        paper_rows: 62_000,
+        paper_nnz: 4_000_000,
+        size_factor: 0.6,
+        density: 40.0,
+        fill: 0.80,
+    },
+    Spec {
+        name: "cavity23",
+        class: MatrixClass::Banded,
+        paper_rows: 4_000,
+        paper_nnz: 144_000,
+        size_factor: 0.25,
+        density: 22.0,
+        fill: 0.80,
+    },
+    Spec {
+        name: "pdb1HYS",
+        class: MatrixClass::Banded,
+        paper_rows: 36_000,
+        paper_nnz: 4_000_000,
+        size_factor: 0.5,
+        density: 75.0,
+        fill: 0.80,
+    },
+    Spec {
+        name: "fullb",
+        class: MatrixClass::Banded,
+        paper_rows: 199_000,
+        paper_nnz: 11_000_000,
+        size_factor: 1.0,
+        density: 34.0,
+        fill: 0.80,
+    },
+    Spec {
+        name: "ldoor",
+        class: MatrixClass::Banded,
+        paper_rows: 952_000,
+        paper_nnz: 46_000_000,
+        size_factor: 2.0,
+        density: 30.0,
+        fill: 0.80,
+    },
+    Spec {
+        name: "in-2004",
+        class: MatrixClass::Web,
+        paper_rows: 1_000_000,
+        paper_nnz: 27_000_000,
+        size_factor: 2.0,
+        density: 26.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "msdoor",
+        class: MatrixClass::Banded,
+        paper_rows: 415_000,
+        paper_nnz: 20_000_000,
+        size_factor: 1.4,
+        density: 30.0,
+        fill: 0.77,
+    },
+    Spec {
+        name: "roadNet-TX",
+        class: MatrixClass::Road,
+        paper_rows: 1_000_000,
+        paper_nnz: 3_000_000,
+        size_factor: 2.0,
+        density: 3.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "ML_Geer",
+        class: MatrixClass::Banded,
+        paper_rows: 1_000_000,
+        paper_nnz: 110_000_000,
+        size_factor: 2.0,
+        density: 55.0,
+        fill: 1.0,
+    },
+    Spec {
+        name: "333SP",
+        class: MatrixClass::Mesh,
+        paper_rows: 3_000_000,
+        paper_nnz: 22_000_000,
+        size_factor: 3.0,
+        density: 0.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "dielFilterV2clx",
+        class: MatrixClass::Banded,
+        paper_rows: 607_000,
+        paper_nnz: 25_000_000,
+        size_factor: 1.8,
+        density: 26.0,
+        fill: 0.80,
+    },
 ];
 
 const ENTERPRISE: [Spec; 6] = [
-    Spec { name: "FB",         class: MatrixClass::Web,      paper_rows: 2_900_000, paper_nnz: 41_900_000,  size_factor: 1.5, density: 15.0, fill: 0.0 },
-    Spec { name: "KR-21-128",  class: MatrixClass::PowerLaw, paper_rows: 2_100_000, paper_nnz: 182_000_000, size_factor: 1.0, density: 64.0, fill: 0.0 },
-    Spec { name: "TW",         class: MatrixClass::Web,      paper_rows: 41_700_000, paper_nnz: 1_470_000_000, size_factor: 2.0, density: 24.0, fill: 0.0 },
-    Spec { name: "audikw_1",   class: MatrixClass::Banded,   paper_rows: 943_000,   paper_nnz: 77_600_000,  size_factor: 1.5, density: 45.0, fill: 0.90 },
-    Spec { name: "roadCA",     class: MatrixClass::Road,     paper_rows: 1_970_000, paper_nnz: 5_530_000,   size_factor: 2.0, density: 3.0,  fill: 0.0 },
-    Spec { name: "europe.osm", class: MatrixClass::Road,     paper_rows: 50_900_000, paper_nnz: 108_100_000, size_factor: 3.0, density: 2.4, fill: 0.0 },
+    Spec {
+        name: "FB",
+        class: MatrixClass::Web,
+        paper_rows: 2_900_000,
+        paper_nnz: 41_900_000,
+        size_factor: 1.5,
+        density: 15.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "KR-21-128",
+        class: MatrixClass::PowerLaw,
+        paper_rows: 2_100_000,
+        paper_nnz: 182_000_000,
+        size_factor: 1.0,
+        density: 64.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "TW",
+        class: MatrixClass::Web,
+        paper_rows: 41_700_000,
+        paper_nnz: 1_470_000_000,
+        size_factor: 2.0,
+        density: 24.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "audikw_1",
+        class: MatrixClass::Banded,
+        paper_rows: 943_000,
+        paper_nnz: 77_600_000,
+        size_factor: 1.5,
+        density: 45.0,
+        fill: 0.90,
+    },
+    Spec {
+        name: "roadCA",
+        class: MatrixClass::Road,
+        paper_rows: 1_970_000,
+        paper_nnz: 5_530_000,
+        size_factor: 2.0,
+        density: 3.0,
+        fill: 0.0,
+    },
+    Spec {
+        name: "europe.osm",
+        class: MatrixClass::Road,
+        paper_rows: 50_900_000,
+        paper_nnz: 108_100_000,
+        size_factor: 3.0,
+        density: 2.4,
+        fill: 0.0,
+    },
 ];
 
 fn build(spec: &Spec, scale: SuiteScale, seed: u64) -> SuiteEntry {

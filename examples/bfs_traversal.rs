@@ -38,7 +38,11 @@ fn main() {
     for it in &result.iterations {
         println!(
             "{:>4}  {:<9} {:>9} {:>11} {:>9.3?}",
-            it.level, it.kernel.to_string(), it.frontier, it.discovered, it.wall
+            it.level,
+            it.kernel.to_string(),
+            it.frontier,
+            it.discovered,
+            it.wall
         );
     }
     println!(

@@ -15,7 +15,12 @@ fn main() {
     for name in ["cant", "in-2004", "roadNet-TX"] {
         let entry = by_name(name, SuiteScale::Small).expect("known suite matrix");
         let a = entry.matrix;
-        println!("=== {name} analog: {}x{}, {} nnz ===", a.nrows(), a.ncols(), a.nnz());
+        println!(
+            "=== {name} analog: {}x{}, {} nnz ===",
+            a.nrows(),
+            a.ncols(),
+            a.nnz()
+        );
 
         // Table 2's tile counts at the three sizes.
         let stats = TileStats::for_matrix(&a);

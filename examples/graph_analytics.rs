@@ -52,5 +52,8 @@ fn main() {
         }
         *counts.iter().max_by_key(|(_, &c)| c).unwrap().0
     };
-    assert_eq!(labels[top[0]], giant, "top page outside the giant component");
+    assert_eq!(
+        labels[top[0]], giant,
+        "top page outside the giant component"
+    );
 }

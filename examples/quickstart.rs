@@ -12,12 +12,7 @@ use tilespmspv::sparse::reference::spmspv_row;
 fn main() {
     // A 4096x4096 FEM-like banded matrix with ~60 nonzeros per row.
     let a = banded(4096, 30, 0.8, 42).to_csr();
-    println!(
-        "matrix: {}x{}, {} nonzeros",
-        a.nrows(),
-        a.ncols(),
-        a.nnz()
-    );
+    println!("matrix: {}x{}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
 
     // Convert to the tiled format (16x16 tiles, very sparse tiles with at
     // most 2 entries extracted into the COO side matrix).

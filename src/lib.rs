@@ -45,6 +45,8 @@ pub use tsv_sparse as sparse;
 /// Convenient glob-import of the most used types and entry points.
 pub mod prelude {
     pub use tsv_core::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+    pub use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+    pub use tsv_core::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
     pub use tsv_core::spmspv::{tile_spmspv, tile_spmspv_with, SpMSpVOptions};
     pub use tsv_core::tile::{TileConfig, TileMatrix, TileSize, TiledVector};
     pub use tsv_sparse::{CooMatrix, CscMatrix, CsrMatrix, SparseVector};

@@ -100,8 +100,16 @@ fn baselines_match_serial() {
     for (name, a) in graph_zoo() {
         let source = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap_or(0);
         let expect = bfs_levels(&a, source).unwrap();
-        assert_eq!(gunrock_bfs(&a, source).unwrap().levels, expect, "{name}: gunrock");
-        assert_eq!(gswitch_bfs(&a, source).unwrap().levels, expect, "{name}: gswitch");
+        assert_eq!(
+            gunrock_bfs(&a, source).unwrap().levels,
+            expect,
+            "{name}: gunrock"
+        );
+        assert_eq!(
+            gswitch_bfs(&a, source).unwrap().levels,
+            expect,
+            "{name}: gswitch"
+        );
         assert_eq!(
             enterprise_bfs(&a, source).unwrap().levels,
             expect,

@@ -1,0 +1,161 @@
+//! Integration tests for the execution-plan layer: semiring-generic
+//! engines against the serial oracles, allocation-stable workspace reuse,
+//! and the touched-tile compaction work bound — all through the public
+//! facade API.
+
+use tilespmspv::core::exec::SpMSpVEngine;
+use tilespmspv::core::semiring::{spmspv_semiring, MinPlus, OrAnd, PlusTimes};
+use tilespmspv::core::spmspv::tile_spmspv_with;
+use tilespmspv::core::tile::{TileConfig, TileMatrix, TileSize};
+use tilespmspv::sparse::gen::{banded, grid2d, random_sparse_vector, uniform_random};
+use tilespmspv::sparse::{CsrMatrix, SparseVector};
+
+/// (min, +) through the tiled engine must agree exactly with the serial
+/// semiring oracle on every tile size and extraction setting. min is
+/// order-independent and each product is a single f64 addition, so the
+/// agreement is exact, not approximate.
+#[test]
+fn min_plus_engine_matches_serial_oracle_across_layouts() {
+    let matrices = [
+        ("banded", banded(500, 6, 0.8, 3).to_csr()),
+        ("uniform", uniform_random(400, 400, 5000, 9).to_csr()),
+    ];
+    for (name, a) in &matrices {
+        let oracle_csc = a.to_csc();
+        for ts in TileSize::all() {
+            for extract in [0usize, 4] {
+                let cfg = TileConfig {
+                    tile_size: ts,
+                    extract_threshold: extract,
+                    ..Default::default()
+                };
+                // from_csr disables dense tiles for MinPlus (its zero is
+                // +inf, not the structural default).
+                let mut engine = SpMSpVEngine::<MinPlus>::from_csr(a, cfg).unwrap();
+                for seed in 0..4u64 {
+                    let sparsity = [0.002, 0.05][seed as usize % 2];
+                    let x = random_sparse_vector(a.ncols(), sparsity, seed);
+                    let (y, _) = engine.multiply(&x).unwrap();
+                    let expect = spmspv_semiring::<MinPlus>(&oracle_csc, &x).unwrap();
+                    assert_eq!(y, expect, "{name} {ts} extract {extract} seed {seed}");
+                }
+            }
+        }
+    }
+}
+
+/// (OR, AND) through the engine, iterated to a fixed point, reproduces the
+/// BFS levels of the dedicated bitmask path.
+#[test]
+fn or_and_engine_levels_match_tile_bfs() {
+    let a = grid2d(18, 13).to_csr().without_diagonal();
+    let n = a.nrows();
+    let pattern = CsrMatrix::from_parts(
+        n,
+        n,
+        a.row_ptr().to_vec(),
+        a.col_idx().to_vec(),
+        vec![true; a.nnz()],
+    )
+    .unwrap();
+
+    let mut engine = SpMSpVEngine::<OrAnd>::from_csr(&pattern, TileConfig::default()).unwrap();
+    let source = 7usize;
+    let mut levels = vec![-1i32; n];
+    levels[source] = 0;
+    let mut frontier = SparseVector::from_entries(n, vec![(source as u32, true)]).unwrap();
+    let mut level = 0;
+    while frontier.nnz() > 0 {
+        level += 1;
+        let (reached, _) = engine.multiply(&frontier).unwrap();
+        let mut next = Vec::new();
+        for (v, _) in reached.iter() {
+            if levels[v] < 0 {
+                levels[v] = level;
+                next.push((v as u32, true));
+            }
+        }
+        frontier = SparseVector::from_entries(n, next).unwrap();
+    }
+
+    let g = tilespmspv::core::bfs::TileBfsGraph::from_csr(&a).unwrap();
+    let bfs = tilespmspv::core::bfs::tile_bfs(&g, source, Default::default()).unwrap();
+    assert_eq!(levels, bfs.levels);
+}
+
+/// Repeated engine calls reuse the same scratch allocations and return
+/// bit-for-bit the same results as the one-shot API.
+#[test]
+fn engine_reuse_is_allocation_stable_and_bitwise_equal() {
+    let a = uniform_random(600, 600, 7000, 21).to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+
+    let mut fingerprint = None;
+    for seed in 0..5u64 {
+        let sparsity = [0.3, 0.004][seed as usize % 2];
+        let x = random_sparse_vector(600, sparsity, seed);
+        let (y_engine, r_engine) = engine.multiply(&x).unwrap();
+        let (y_once, r_once) = tile_spmspv_with(&tiled, &x, Default::default()).unwrap();
+        assert_eq!(r_engine.kernel, r_once.kernel);
+        assert_eq!(r_engine.stats, r_once.stats);
+        assert_eq!(y_engine.indices(), y_once.indices());
+        let bits_e: Vec<u64> = y_engine.values().iter().map(|v| v.to_bits()).collect();
+        let bits_o: Vec<u64> = y_once.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_e, bits_o, "seed {seed}");
+
+        match &fingerprint {
+            None => fingerprint = Some(engine.scratch_fingerprint()),
+            Some(fp) => assert_eq!(
+                *fp,
+                engine.scratch_fingerprint(),
+                "scratch reallocated on call {seed}"
+            ),
+        }
+    }
+    assert_eq!(engine.metrics().calls, 5);
+    assert_eq!(engine.metrics().scratch_reshapes, 1);
+}
+
+/// The dense-tile fast path stays available to semirings whose zero is the
+/// structural default: force dense tiles and check against the oracle.
+#[test]
+fn plus_times_engine_agrees_on_dense_tiles() {
+    let a = banded(256, 12, 1.0, 5).to_csr();
+    let cfg = TileConfig {
+        dense_threshold: 0.0, // every stored tile becomes dense
+        ..Default::default()
+    };
+    let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+    assert!(tiled.dense_tiles() > 0, "config must force dense tiles");
+    let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, Default::default());
+    let x = random_sparse_vector(256, 0.1, 2);
+    let (y, _) = engine.multiply(&x).unwrap();
+    let expect = spmspv_semiring::<PlusTimes>(&a.to_csc(), &x).unwrap();
+    assert_eq!(y.indices(), expect.indices());
+    for ((_, got), (_, want)) in y.iter().zip(expect.iter()) {
+        assert!((got - want).abs() < 1e-9);
+    }
+}
+
+/// Compaction work is bounded by the touched tiles, not the matrix
+/// dimension: a single-entry input on a banded matrix scans a handful of
+/// tile slots even when n is large.
+#[test]
+fn compaction_work_tracks_output_not_dimension() {
+    let n = 8192;
+    let a = banded(n, 2, 1.0, 3).to_csr();
+    let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    let x = SparseVector::from_entries(n, vec![(4000, 1.0)]).unwrap();
+    engine.multiply(&x).unwrap();
+    let m = engine.metrics();
+    let nt = engine.matrix().nt() as u64;
+    assert!(
+        m.slots_scanned <= 4 * nt,
+        "scanned {} slots; expected a few tiles of {} each, not n = {}",
+        m.slots_scanned,
+        nt,
+        n
+    );
+    assert_eq!(m.slots_scanned, m.slots_reset);
+}

@@ -105,12 +105,17 @@ fn extreme_values_flow_through_kernels() {
     let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
     assert_eq!(tiled.to_csr(), a);
 
-    let x = SparseVector::from_entries(40, vec![(0, 1e5), (2, -2.0), (17, 1.0), (33, 3.0)]).unwrap();
+    let x =
+        SparseVector::from_entries(40, vec![(0, 1e5), (2, -2.0), (17, 1.0), (33, 3.0)]).unwrap();
     let y = tile_spmspv(&tiled, &x).unwrap();
     let expect = spmspv_row(&a, &x).unwrap();
     for (i, v) in expect.iter() {
         let got = y.get(i).unwrap_or(0.0);
-        let rel = if v == 0.0 { got.abs() } else { ((got - v) / v).abs() };
+        let rel = if v == 0.0 {
+            got.abs()
+        } else {
+            ((got - v) / v).abs()
+        };
         assert!(rel < 1e-12, "row {i}: {got} vs {v}");
     }
 }

@@ -122,9 +122,9 @@ fn report_flops_track_vector_density() {
     let (_, sparse_r) = tile_spmspv_with(&tiled, &sparse_x, SpMSpVOptions::default()).unwrap();
     let (_, dense_r) = tile_spmspv_with(&tiled, &dense_x, SpMSpVOptions::default()).unwrap();
     assert!(
-        sparse_r.useful_flops * 10 < dense_r.useful_flops,
+        sparse_r.stats.flops * 10 < dense_r.stats.flops,
         "flops should grow with vector density: {} vs {}",
-        sparse_r.useful_flops,
-        dense_r.useful_flops
+        sparse_r.stats.flops,
+        dense_r.stats.flops
     );
 }

@@ -64,11 +64,7 @@ fn classes_have_their_structural_signatures() {
             }
             MatrixClass::PowerLaw => {
                 let max_deg = (0..n).map(|v| m.row_nnz(v)).max().unwrap();
-                assert!(
-                    max_deg as f64 > avg_deg * 4.0,
-                    "{}: no degree skew",
-                    e.name
-                );
+                assert!(max_deg as f64 > avg_deg * 4.0, "{}: no degree skew", e.name);
             }
             MatrixClass::Web => {
                 let near = m.iter().filter(|&(r, c, _)| r.abs_diff(c) < 128).count();

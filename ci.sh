@@ -9,3 +9,13 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+
+# Telemetry smoke: an instrumented run must emit a Chrome trace and a run
+# summary that parse back with at least one kernel span. `repro trace`
+# validates both documents itself and exits nonzero on any failure; the
+# grep double-checks the kernel-span count from the outside.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/repro trace --scale tiny --out "$trace_dir" | tee "$trace_dir/log"
+grep -E 'validated: [0-9]+ events \([1-9][0-9]* kernel spans\)' "$trace_dir/log" >/dev/null
+test -s "$trace_dir/trace.json" && test -s "$trace_dir/trace.summary.json"

@@ -7,7 +7,9 @@
 //! source list so callers can sample (the standard approximation).
 
 use rayon::prelude::*;
-use tsv_core::bfs::{tile_bfs_with_workspace, BfsOptions, BfsWorkspace, TileBfsGraph};
+use std::sync::Arc;
+use tsv_core::bfs::{tile_bfs_traced, BfsOptions, BfsWorkspace, TileBfsGraph};
+use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError};
 
 /// Computes (optionally sampled) betweenness centrality of an undirected
@@ -15,6 +17,18 @@ use tsv_sparse::{CsrMatrix, SparseError};
 /// exact measure. Scores follow the undirected convention (each path
 /// counted once).
 pub fn betweenness(a: &CsrMatrix<f64>, sources: &[usize]) -> Result<Vec<f64>, SparseError> {
+    betweenness_traced(a, sources, None)
+}
+
+/// [`betweenness`] with run telemetry: the tiling phase and every BFS
+/// iteration of every Brandes pass land on `tracer` when one is attached
+/// and enabled. The rayon workers share the tracer — its ring is
+/// thread-safe and each worker gets its own track in the Chrome export.
+pub fn betweenness_traced(
+    a: &CsrMatrix<f64>,
+    sources: &[usize],
+    tracer: Option<Arc<Tracer>>,
+) -> Result<Vec<f64>, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -22,7 +36,10 @@ pub fn betweenness(a: &CsrMatrix<f64>, sources: &[usize]) -> Result<Vec<f64>, Sp
         });
     }
     let n = a.nrows();
+    let tr = tracer.as_deref();
+    let t0 = trace::start(tr);
     let g = TileBfsGraph::from_csr(a)?;
+    trace::phase(tr, "bc/tiling", t0);
     for &s in sources {
         if s >= n {
             return Err(SparseError::IndexOutOfBounds {
@@ -47,7 +64,7 @@ pub fn betweenness(a: &CsrMatrix<f64>, sources: &[usize]) -> Result<Vec<f64>, Sp
             let mut bc = vec![0.0f64; n];
             let mut ws = BfsWorkspace::new();
             for &s in part {
-                brandes_pass(a, &g, s, &mut ws, &mut bc);
+                brandes_pass(a, &g, s, &mut ws, &mut bc, tr);
             }
             bc
         })
@@ -108,8 +125,9 @@ fn brandes_pass(
     source: usize,
     ws: &mut BfsWorkspace,
     bc: &mut [f64],
+    tracer: Option<&Tracer>,
 ) {
-    let levels = match tile_bfs_with_workspace(g, source, BfsOptions::default(), ws) {
+    let levels = match tile_bfs_traced(g, source, BfsOptions::default(), ws, tracer) {
         Ok(r) => r.levels,
         Err(_) => return,
     };

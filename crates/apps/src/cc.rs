@@ -8,9 +8,11 @@
 //! share one [`SpMSpVEngine`], so the tiled pattern matrix and the kernel
 //! scratch are built once for the whole propagation.
 
+use std::sync::Arc;
 use tsv_core::exec::SpMSpVEngine;
 use tsv_core::semiring::MinPlus;
 use tsv_core::tile::TileConfig;
+use tsv_simt::trace::{self, IterationInfo, Tracer};
 use tsv_sparse::{CooMatrix, CsrMatrix, SparseError, SparseVector};
 
 /// Labels each vertex of an undirected graph with the smallest vertex id
@@ -27,6 +29,17 @@ use tsv_sparse::{CooMatrix, CsrMatrix, SparseError, SparseVector};
 /// assert_eq!(labels, vec![0, 0, 2, 3]);
 /// ```
 pub fn connected_components(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError> {
+    connected_components_traced(a, None)
+}
+
+/// [`connected_components`] with run telemetry: the pattern-build phase,
+/// the engine's SpMSpV launches and a per-round propagation record
+/// (changed-set size and density) land on `tracer` when one is attached
+/// and enabled.
+pub fn connected_components_traced(
+    a: &CsrMatrix<f64>,
+    tracer: Option<Arc<Tracer>>,
+) -> Result<Vec<u32>, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -34,19 +47,29 @@ pub fn connected_components(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError>
         });
     }
     let n = a.nrows();
+    let t0 = trace::start(tracer.as_deref());
     // Zero-weighted pattern: (min, +) then takes plain minima of labels.
     let mut coo = CooMatrix::with_capacity(n, n, a.nnz());
     for (r, c, _) in a.iter() {
         coo.push(r, c, 0.0);
     }
-    let mut engine = SpMSpVEngine::<MinPlus>::from_csr(&coo.to_csr(), TileConfig::default())?;
+    let pattern = coo.to_csr();
+    trace::phase(tracer.as_deref(), "cc/build-pattern", t0);
+    let mut engine =
+        SpMSpVEngine::<MinPlus>::from_csr_traced(&pattern, TileConfig::default(), tracer)?;
+    let tr = engine.tracer().cloned();
+    let tr = tr.as_deref();
 
     let mut labels: Vec<f64> = (0..n).map(|v| v as f64).collect();
     // Initially every vertex is "changed".
     let mut frontier = SparseVector::from_parts(n, (0..n as u32).collect(), labels.clone())
         .expect("indices are sorted");
 
+    let mut round = 0u32;
     while frontier.nnz() > 0 {
+        round += 1;
+        let t0 = trace::start(tr);
+        let frontier_size = frontier.nnz();
         // Candidate labels: min over changed neighbors.
         let (candidates, _) = engine.multiply(&frontier)?;
         let mut changed = Vec::new();
@@ -56,7 +79,23 @@ pub fn connected_components(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError>
                 changed.push((v as u32, cand));
             }
         }
+        let discovered = changed.len();
         frontier = SparseVector::from_entries(n, changed)?;
+        trace::iteration(
+            tr,
+            "cc/round",
+            None,
+            IterationInfo {
+                level: round,
+                frontier: frontier_size,
+                discovered,
+                // Vertices whose labels are still in flux — the work left
+                // for later rounds.
+                unvisited: discovered,
+                density: frontier_size as f64 / n.max(1) as f64,
+            },
+            t0,
+        );
     }
     Ok(labels.into_iter().map(|l| l as u32).collect())
 }

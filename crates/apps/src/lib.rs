@@ -18,6 +18,11 @@
 //! * [`kcore`] — k-core decomposition by degree peeling,
 //! * [`triangles`] — triangle counting by masked row intersection (the
 //!   GraphBLAS `L ⊕.⊗ L .* L` formulation).
+//!
+//! The iterative apps each have a `*_traced` variant taking an optional
+//! [`tsv_simt::Tracer`]; when attached and enabled, engine kernel launches,
+//! setup phases and per-round progress records land on its ring for Chrome
+//! Trace export and run summaries (`tsv_core::telemetry`).
 
 pub mod bc;
 pub mod cc;
@@ -28,11 +33,11 @@ pub mod rcm;
 pub mod sssp;
 pub mod triangles;
 
-pub use bc::{betweenness, betweenness_msbfs};
-pub use cc::connected_components;
+pub use bc::{betweenness, betweenness_msbfs, betweenness_traced};
+pub use cc::{connected_components, connected_components_traced};
 pub use kcore::k_core;
-pub use msbfs::multi_source_bfs;
-pub use pagerank::{pagerank, PageRankOptions};
+pub use msbfs::{multi_source_bfs, multi_source_bfs_traced};
+pub use pagerank::{pagerank, pagerank_traced, PageRankOptions};
 pub use rcm::{permute_symmetric, rcm_order};
-pub use sssp::sssp;
+pub use sssp::{sssp, sssp_traced};
 pub use triangles::count_triangles;

@@ -8,6 +8,8 @@
 //! estimators run. A natural extension of the paper's bitmask machinery.
 
 use rayon::prelude::*;
+use std::sync::Arc;
+use tsv_simt::trace::{self, IterationInfo, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError};
 
 /// Runs up to 64 concurrent BFS traversals. Returns `levels[s][v]`: the
@@ -15,6 +17,17 @@ use tsv_sparse::{CsrMatrix, SparseError};
 pub fn multi_source_bfs(
     a: &CsrMatrix<f64>,
     sources: &[usize],
+) -> Result<Vec<Vec<i32>>, SparseError> {
+    multi_source_bfs_traced(a, sources, None)
+}
+
+/// [`multi_source_bfs`] with run telemetry: each shared level records one
+/// iteration event whose `frontier`/`discovered`/`unvisited` count
+/// (vertex, source) *pairs* across all concurrent traversals.
+pub fn multi_source_bfs_traced(
+    a: &CsrMatrix<f64>,
+    sources: &[usize],
+    tracer: Option<Arc<Tracer>>,
 ) -> Result<Vec<Vec<i32>>, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
@@ -60,8 +73,15 @@ pub fn multi_source_bfs(
     let mut next = vec![0u64; n];
     let mut new_active: Vec<u32> = Vec::new();
 
+    // Telemetry counts (vertex, source) pairs: each of the k traversals
+    // contributes its own frontier/visited set.
+    let tr = tracer.as_deref();
+    let mut frontier_pairs = k;
+    let mut reached_pairs = k;
+
     while !active.is_empty() {
         level += 1;
+        let t0 = trace::start(tr);
         // Expand: next[v] = OR of front[u] over in-neighbors u, minus seen.
         // Sharing is the point: each adjacency row is read once for all 64
         // traversals.
@@ -103,11 +123,13 @@ pub fn multi_source_bfs(
         // Filter to freshly-discovered (vertex, source) pairs; those form
         // the next frontier and get this level.
         new_active.clear();
+        let mut discovered = 0usize;
         for v in 0..n {
             let fresh = next[v] & !seen[v];
             if fresh != 0 {
                 seen[v] |= fresh;
                 front[v] = fresh;
+                discovered += fresh.count_ones() as usize;
                 for (i, lv) in levels.iter_mut().enumerate().take(k) {
                     if fresh >> i & 1 == 1 {
                         lv[v] = level;
@@ -116,6 +138,21 @@ pub fn multi_source_bfs(
                 new_active.push(v as u32);
             }
         }
+        reached_pairs += discovered;
+        trace::iteration(
+            tr,
+            "msbfs/level",
+            None,
+            IterationInfo {
+                level: level as u32,
+                frontier: frontier_pairs,
+                discovered,
+                unvisited: n * k - reached_pairs,
+                density: frontier_pairs as f64 / (n * k) as f64,
+            },
+            t0,
+        );
+        frontier_pairs = discovered;
         std::mem::swap(&mut active, &mut new_active);
     }
     Ok(levels)

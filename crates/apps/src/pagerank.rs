@@ -6,8 +6,10 @@
 //! locality, not skipping — the same storage serves both the sparse- and
 //! dense-vector primitives, one of the design points of the tile family.
 
+use std::sync::Arc;
 use tsv_baselines::tile_spmv_into;
 use tsv_core::tile::{TileConfig, TileMatrix};
+use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CooMatrix, CsrMatrix, SparseError};
 
 /// Options for [`pagerank`].
@@ -37,6 +39,17 @@ pub fn pagerank(
     a: &CsrMatrix<f64>,
     opts: PageRankOptions,
 ) -> Result<(Vec<f64>, usize), SparseError> {
+    pagerank_traced(a, opts, None)
+}
+
+/// [`pagerank`] with run telemetry: the transition-matrix build phase and
+/// every TileSpMV launch (with its work counters) land on `tracer` when
+/// one is attached and enabled.
+pub fn pagerank_traced(
+    a: &CsrMatrix<f64>,
+    opts: PageRankOptions,
+    tracer: Option<Arc<Tracer>>,
+) -> Result<(Vec<f64>, usize), SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -47,7 +60,9 @@ pub fn pagerank(
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
+    let tr = tracer.as_deref();
 
+    let t0 = trace::start(tr);
     // Column-stochastic transition matrix Pᵀ in tiled form: entry (v, u) =
     // 1/outdeg(u) for each edge u → v.
     let mut coo = CooMatrix::with_capacity(n, n, a.nnz());
@@ -55,6 +70,7 @@ pub fn pagerank(
         coo.push(v, u, 1.0 / a.row_nnz(u) as f64);
     }
     let pt = TileMatrix::from_csr(&coo.to_csr(), TileConfig::default())?;
+    trace::phase(tr, "pagerank/build-pt", t0);
     let dangling: Vec<usize> = (0..n).filter(|&u| a.row_nnz(u) == 0).collect();
 
     let mut x = vec![1.0 / n as f64; n];
@@ -64,7 +80,9 @@ pub fn pagerank(
     let mut iters = 0;
     while iters < opts.max_iters {
         iters += 1;
-        tile_spmv_into(&pt, &x, &mut y_padded);
+        let t0 = trace::start(tr);
+        let stats = tile_spmv_into(&pt, &x, &mut y_padded);
+        trace::kernel(tr, "spmv/tile", stats, t0);
         // Dangling mass + teleport.
         let lost: f64 = dangling.iter().map(|&u| x[u]).sum();
         let base = (1.0 - opts.damping) / n as f64 + opts.damping * lost / n as f64;

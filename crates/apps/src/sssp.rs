@@ -7,9 +7,11 @@
 //! rounds. Terminates after at most `n` rounds on graphs with
 //! non-negative weights.
 
+use std::sync::Arc;
 use tsv_core::exec::SpMSpVEngine;
 use tsv_core::semiring::MinPlus;
 use tsv_core::tile::TileConfig;
+use tsv_simt::trace::{self, IterationInfo, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
 
 /// Shortest distances from `source` over a non-negatively weighted
@@ -28,6 +30,17 @@ use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
 /// assert_eq!(d, vec![0.0, 1.0, 3.0]);
 /// ```
 pub fn sssp(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>, SparseError> {
+    sssp_traced(a, source, None)
+}
+
+/// [`sssp`] with run telemetry: the engine's SpMSpV launches and a
+/// per-round relaxation record (frontier size, improved count, vertices
+/// still at `+inf`) land on `tracer` when one is attached and enabled.
+pub fn sssp_traced(
+    a: &CsrMatrix<f64>,
+    source: usize,
+    tracer: Option<Arc<Tracer>>,
+) -> Result<Vec<f64>, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             nrows: a.nrows(),
@@ -50,25 +63,48 @@ pub fn sssp(a: &CsrMatrix<f64>, source: usize) -> Result<Vec<f64>, SparseError> 
     // SpMSpV pushes along columns; transpose so frontier vertices push
     // along their out-edges. `from_csr` disables dense tiles because the
     // tropical zero (+inf) differs from the structural default.
-    let mut engine = SpMSpVEngine::<MinPlus>::from_csr(&a.transpose(), TileConfig::default())?;
+    let mut engine =
+        SpMSpVEngine::<MinPlus>::from_csr_traced(&a.transpose(), TileConfig::default(), tracer)?;
+    let tr = engine.tracer().cloned();
+    let tr = tr.as_deref();
 
     let mut dist = vec![f64::INFINITY; n];
     dist[source] = 0.0;
     let mut frontier = SparseVector::from_entries(n, vec![(source as u32, 0.0)])?;
+    let mut unvisited = n - 1;
 
-    for _ in 0..n {
+    for round in 0..n {
         if frontier.nnz() == 0 {
             break;
         }
+        let t0 = trace::start(tr);
+        let frontier_size = frontier.nnz();
         let (candidates, _) = engine.multiply(&frontier)?;
         let mut improved = Vec::new();
         for (v, d) in candidates.iter() {
             if d < dist[v] {
+                if dist[v].is_infinite() {
+                    unvisited -= 1;
+                }
                 dist[v] = d;
                 improved.push((v as u32, d));
             }
         }
+        let discovered = improved.len();
         frontier = SparseVector::from_entries(n, improved)?;
+        trace::iteration(
+            tr,
+            "sssp/round",
+            None,
+            IterationInfo {
+                level: round as u32 + 1,
+                frontier: frontier_size,
+                discovered,
+                unvisited,
+                density: frontier_size as f64 / n as f64,
+            },
+            t0,
+        );
     }
     Ok(dist)
 }

@@ -4,7 +4,13 @@
 //! repro <experiment> [--scale tiny|small|medium] [--out DIR]
 //!
 //! experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
+//!              profile trace bench
 //! ```
+//!
+//! `trace` runs one instrumented SpMSpV sweep plus one instrumented BFS,
+//! writing a Chrome Trace document and a run-summary JSON under `--out`
+//! and self-validating both. `bench` writes machine-readable benchmark
+//! tables (`BENCH_spmspv.json`, `BENCH_bfs.json`).
 //!
 //! Each experiment prints the paper's rows/series to stdout and writes a
 //! CSV under `--out` (default `results/`). Absolute numbers come from the
@@ -83,6 +89,8 @@ fn main() {
         "fig11" => fig11(scale, &out),
         "fig12" => fig12(scale, &out),
         "profile" => profile(scale),
+        "trace" => trace_cmd(scale, &out),
+        "bench" => bench_cmd(scale, &out),
         "all" => {
             table1();
             table2(scale, &out);
@@ -100,7 +108,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|all> \
+        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|all> \
          [--scale tiny|small|medium] [--out DIR]"
     );
     std::process::exit(2);
@@ -696,5 +704,167 @@ fn profile(scale: SuiteScale) {
         "one-shot (fresh per call): {} scratch builds, {} slots scanned, {} slots reset",
         fresh_reshapes, fresh_scanned, fresh_reset
     );
+    println!();
+}
+
+// ------------------------------------------------------------------- trace
+
+/// `repro trace`: one instrumented SpMSpV sweep and one instrumented BFS
+/// sharing a tracer, then Chrome Trace + run-summary export with a
+/// self-validation pass over both documents.
+fn trace_cmd(scale: SuiteScale, out: &Path) {
+    use std::sync::Arc;
+    use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+    use tsv_core::semiring::PlusTimes;
+    use tsv_core::telemetry::RunSummary;
+    use tsv_simt::trace::{chrome_trace_json, validate_chrome_trace, Tracer};
+    use tsv_simt::Profiler;
+    use tsv_sparse::gen::{grid2d, rmat, RmatConfig};
+
+    println!("== instrumented run: span trace + machine-readable summary ==");
+    let (exp, side) = match scale {
+        SuiteScale::Tiny => (9, 48),
+        SuiteScale::Small => (11, 96),
+        SuiteScale::Medium => (13, 160),
+    };
+    let tracer = Arc::new(Tracer::new());
+    let profiler = Profiler::new();
+    let mut summary = RunSummary::new("repro-trace", RTX_3090);
+
+    // SpMSpV sweep over the Fig. 6 sparsities on a power-law matrix.
+    let a = rmat(RmatConfig::new(exp, 8), 5).to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    summary.record_tile_nnz(&tiled);
+    let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, Default::default());
+    engine.set_tracer(Some(Arc::clone(&tracer)));
+    for sp in fig6_sparsities() {
+        let x = random_sparse_vector(a.ncols(), sp, 1);
+        engine.multiply(&x).unwrap();
+    }
+    profiler.merge(engine.profiler());
+
+    // One full traversal of a diameter-heavy grid: exercises the policy
+    // through its sparse and dense regimes.
+    let b = grid2d(side, side).to_csr().without_diagonal();
+    let mut bfs_engine = BfsEngine::from_csr_traced(&b, Some(Arc::clone(&tracer))).unwrap();
+    let r = bfs_engine.run(bfs_source(&b)).unwrap();
+    profiler.merge(bfs_engine.profiler());
+    summary.record_bfs(&r, b.nrows());
+    summary.record_profiler(&profiler);
+
+    let chrome = chrome_trace_json(&tracer.events(), &RTX_3090);
+    let check = validate_chrome_trace(&chrome).expect("chrome trace must validate");
+    let summary_doc = summary.to_json();
+    tsv_simt::json::parse(&summary_doc).expect("run summary must parse");
+
+    let trace_path = out.join("trace.json");
+    std::fs::write(&trace_path, &chrome).expect("write trace");
+    println!("  -> wrote {}", trace_path.display());
+    let summary_path = out.join("trace.summary.json");
+    std::fs::write(&summary_path, &summary_doc).expect("write summary");
+    println!("  -> wrote {}", summary_path.display());
+    println!(
+        "validated: {} events ({} kernel spans) across {} tracks; {} dropped",
+        check.events,
+        check.kernel_spans,
+        check.tracks,
+        tracer.dropped(),
+    );
+    println!(
+        "summary: {} kernel labels, {} bfs iterations, {} histograms",
+        summary.kernels().len(),
+        summary.bfs_iterations().len(),
+        summary.histograms().len(),
+    );
+    println!();
+}
+
+// ------------------------------------------------------------------- bench
+
+/// `repro bench`: machine-readable benchmark tables. Each row pairs the
+/// median CPU wall time with the modeled RTX 3090 device time so CI can
+/// diff runs without scraping stdout.
+fn bench_cmd(scale: SuiteScale, out: &Path) {
+    use tsv_simt::json;
+
+    println!("== machine-readable benchmark tables ==");
+    let scale_name = match scale {
+        SuiteScale::Tiny => "tiny",
+        SuiteScale::Small => "small",
+        SuiteScale::Medium => "medium",
+    };
+    let suite = representative(scale);
+
+    let mut spmspv_rows = String::new();
+    let mut bfs_rows = String::new();
+    for (i, e) in suite.iter().enumerate() {
+        let a = &e.matrix;
+        let tiled = TileMatrix::from_csr(a, TileConfig::default()).unwrap();
+        let x = random_sparse_vector(a.ncols(), 0.01, 1);
+        let (_, report) =
+            tsv_core::spmspv::tile_spmspv_with(&tiled, &x, Default::default()).unwrap();
+        let wall = median_secs(
+            || {
+                std::hint::black_box(tile_spmspv(&tiled, &x).unwrap());
+            },
+            3,
+            0.01,
+        );
+        let modeled = modeled_secs([report.stats], &RTX_3090);
+        if i > 0 {
+            spmspv_rows.push(',');
+        }
+        spmspv_rows.push_str(&format!(
+            "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"kernel\":\"{}\",\
+             \"wall_ms\":{},\"modeled_ms\":{}}}",
+            json::escape(e.name),
+            a.nrows(),
+            a.nnz(),
+            report.kernel.trace_label(),
+            json::number(wall * 1e3),
+            json::number(modeled * 1e3),
+        ));
+
+        let src = bfs_source(a);
+        let g = TileBfsGraph::from_csr(a).unwrap();
+        let run = tile_bfs(&g, src, BfsOptions::default()).unwrap();
+        let bfs_wall = median_secs(
+            || {
+                std::hint::black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap());
+            },
+            3,
+            0.01,
+        );
+        let bfs_modeled = modeled_secs(run.iterations.iter().map(|it| it.stats), &RTX_3090);
+        if i > 0 {
+            bfs_rows.push(',');
+        }
+        bfs_rows.push_str(&format!(
+            "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"iterations\":{},\"reached\":{},\
+             \"wall_ms\":{},\"modeled_ms\":{}}}",
+            json::escape(e.name),
+            a.nrows(),
+            a.nnz(),
+            run.iterations.len(),
+            run.reached(),
+            json::number(bfs_wall * 1e3),
+            json::number(bfs_modeled * 1e3),
+        ));
+        println!("  {:<18} spmspv + bfs measured", e.name);
+    }
+
+    for (file, rows) in [
+        ("BENCH_spmspv.json", spmspv_rows),
+        ("BENCH_bfs.json", bfs_rows),
+    ] {
+        let doc = format!(
+            "{{\"schema_version\":1,\"scale\":\"{scale_name}\",\"device\":\"{}\",\"rows\":[{rows}]}}",
+            json::escape(RTX_3090.name),
+        );
+        tsv_simt::json::parse(&doc).expect("bench table must parse");
+        let path = out.join(file);
+        std::fs::write(&path, doc).expect("write bench table");
+        println!("  -> wrote {}", path.display());
+    }
     println!();
 }

@@ -6,12 +6,18 @@ pub mod source;
 
 pub use source::{load_matrix, MatrixSource};
 
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 use tsv_baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
 use tsv_core::exec::{BfsEngine, SpMSpVEngine};
 use tsv_core::semiring::PlusTimes;
 use tsv_core::spmspv::{KernelChoice, SpMSpVOptions};
+use tsv_core::telemetry::RunSummary;
 use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
+use tsv_simt::device::RTX_3060;
+use tsv_simt::trace::chrome_trace_json;
+use tsv_simt::Tracer;
 use tsv_sparse::gen::random_sparse_vector;
 use tsv_sparse::reference::bfs_edges_traversed;
 use tsv_sparse::CsrMatrix;
@@ -75,24 +81,55 @@ pub fn cmd_info(a: &CsrMatrix<f64>) -> String {
     out
 }
 
-/// `tsv spmspv <matrix> --sparsity S`: one product with timing and report.
+/// Writes the Chrome-trace document and the run-summary JSON next to it
+/// (`<trace_out>` and `<trace_out stem>.summary.json`), returning the
+/// lines to append to the command's report.
+fn write_trace_outputs(
+    trace_out: &Path,
+    tracer: &Tracer,
+    summary: &RunSummary,
+) -> Result<String, CliError> {
+    let chrome = chrome_trace_json(&tracer.events(), &RTX_3060);
+    std::fs::write(trace_out, chrome)
+        .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", trace_out.display())))?;
+    let summary_path = trace_out.with_extension("summary.json");
+    std::fs::write(&summary_path, summary.to_json())
+        .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", summary_path.display())))?;
+    Ok(format!(
+        "trace: {} ({} events)\nsummary: {}\n",
+        trace_out.display(),
+        tracer.len(),
+        summary_path.display(),
+    ))
+}
+
+/// `tsv spmspv <matrix> --sparsity S [--trace-out F]`: one product with
+/// timing and report; with `--trace-out`, also a Chrome trace and a run
+/// summary of the launch.
 pub fn cmd_spmspv(
     a: &CsrMatrix<f64>,
     sparsity: f64,
     seed: u64,
     kernel: KernelChoice,
+    trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
+    let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
     let tiled = TileMatrix::from_csr(a, TileConfig::default())?;
+    let mut summary = RunSummary::new("spmspv", RTX_3060);
+    if tracer.is_some() {
+        summary.record_tile_nnz(&tiled);
+    }
     let x = random_sparse_vector(a.ncols(), sparsity, seed);
     let opts = SpMSpVOptions {
         kernel,
         ..Default::default()
     };
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
+    engine.set_tracer(tracer.clone());
     let t = Instant::now();
     let (y, report) = engine.multiply(&x)?;
     let dt = t.elapsed();
-    Ok(format!(
+    let mut out = format!(
         "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
         x.nnz(),
         100.0 * x.sparsity(),
@@ -101,16 +138,42 @@ pub fn cmd_spmspv(
         dt.as_secs_f64() * 1e3,
         report.stats.flops,
         report.stats.gmem_bytes(),
-    ))
+    );
+    if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
+        summary.record_profiler(engine.profiler());
+        out.push_str(&write_trace_outputs(path, tracer, &summary)?);
+    }
+    Ok(out)
 }
 
-/// `tsv bfs <matrix> --source V --algo A`: one traversal with summary.
-pub fn cmd_bfs(a: &CsrMatrix<f64>, source: usize, algo: &str) -> Result<String, CliError> {
+/// `tsv bfs <matrix> --source V --algo A [--trace-out F]`: one traversal
+/// with summary. Tracing instruments the tiled engine only, so
+/// `--trace-out` requires `--algo tile`.
+pub fn cmd_bfs(
+    a: &CsrMatrix<f64>,
+    source: usize,
+    algo: &str,
+    trace_out: Option<&Path>,
+) -> Result<String, CliError> {
+    if trace_out.is_some() && algo != "tile" {
+        return Err(CliError::Usage(format!(
+            "--trace-out instruments the tiled engine; not supported with --algo {algo}"
+        )));
+    }
     let t = Instant::now();
+    let mut traced: Option<(Arc<Tracer>, RunSummary)> = None;
     let levels = match algo {
         "tile" => {
-            let mut engine = BfsEngine::from_csr(a)?;
-            engine.run(source)?.levels
+            let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
+            let mut engine = BfsEngine::from_csr_traced(a, tracer.clone())?;
+            let r = engine.run(source)?;
+            if let Some(tracer) = tracer {
+                let mut summary = RunSummary::new("bfs", RTX_3060);
+                summary.record_bfs(&r, a.nrows());
+                summary.record_profiler(engine.profiler());
+                traced = Some((tracer, summary));
+            }
+            r.levels
         }
         "gunrock" => gunrock_bfs(a, source)?.levels,
         "gswitch" => gswitch_bfs(a, source)?.levels,
@@ -125,11 +188,15 @@ pub fn cmd_bfs(a: &CsrMatrix<f64>, source: usize, algo: &str) -> Result<String, 
     let reached = levels.iter().filter(|&&l| l >= 0).count();
     let depth = *levels.iter().max().unwrap_or(&0);
     let edges = bfs_edges_traversed(a, &levels);
-    Ok(format!(
+    let mut out = format!(
         "algorithm: {algo}\nreached: {reached}/{} vertices, depth {depth}\nedges traversed: {edges}\ntime (incl. format build): {:.3} ms\n",
         a.nrows(),
         dt.as_secs_f64() * 1e3,
-    ))
+    );
+    if let (Some(path), Some((tracer, summary))) = (trace_out, &traced) {
+        out.push_str(&write_trace_outputs(path, tracer, summary)?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -149,7 +216,7 @@ mod tests {
     #[test]
     fn spmspv_runs_and_reports() {
         let a = banded(200, 5, 0.8, 1).to_csr();
-        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto).unwrap();
+        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, None).unwrap();
         assert!(s.contains("kernel:"));
         assert!(s.contains("nonzeros"));
     }
@@ -158,9 +225,43 @@ mod tests {
     fn bfs_all_algorithms_run() {
         let a = banded(150, 4, 0.9, 2).to_csr();
         for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
-            let s = cmd_bfs(&a, 0, algo).unwrap();
+            let s = cmd_bfs(&a, 0, algo, None).unwrap();
             assert!(s.contains("reached: 150/150"), "{algo}: {s}");
         }
-        assert!(cmd_bfs(&a, 0, "nope").is_err());
+        assert!(cmd_bfs(&a, 0, "nope", None).is_err());
+    }
+
+    #[test]
+    fn trace_out_writes_valid_documents() {
+        let dir = std::env::temp_dir().join("tsv-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = banded(300, 5, 0.8, 1).to_csr();
+
+        let spmspv_trace = dir.join("spmspv.trace.json");
+        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, Some(&spmspv_trace)).unwrap();
+        assert!(s.contains("trace:"), "{s}");
+        let doc = std::fs::read_to_string(&spmspv_trace).unwrap();
+        let check = tsv_simt::trace::validate_chrome_trace(&doc).unwrap();
+        assert!(check.kernel_spans >= 1, "at least the multiply launch");
+        let summary = std::fs::read_to_string(dir.join("spmspv.trace.summary.json")).unwrap();
+        let v = tsv_simt::json::parse(&summary).unwrap();
+        assert!(!v.get("kernels").unwrap().as_array().unwrap().is_empty());
+
+        let bfs_trace = dir.join("bfs.trace.json");
+        cmd_bfs(&a, 0, "tile", Some(&bfs_trace)).unwrap();
+        let doc = std::fs::read_to_string(&bfs_trace).unwrap();
+        tsv_simt::trace::validate_chrome_trace(&doc).unwrap();
+        let summary = std::fs::read_to_string(dir.join("bfs.trace.summary.json")).unwrap();
+        let v = tsv_simt::json::parse(&summary).unwrap();
+        assert!(!v
+            .get("bfs_iterations")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        // Tracing is an engine feature; baseline algorithms reject it.
+        assert!(cmd_bfs(&a, 0, "gunrock", Some(&bfs_trace)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,9 +3,13 @@
 //!
 //! ```text
 //! tsv info    <matrix>
-//! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
-//! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+//! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col] [--trace-out F]
+//! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise] [--trace-out F]
 //! tsv convert <in> <out.mtx>
+//!
+//! `--trace-out F` writes a Chrome Trace Format document to `F` (open in
+//! Perfetto / chrome://tracing) and a machine-readable run summary to
+//! `F` with extension `.summary.json`.
 //!
 //! <matrix>: a .mtx file, `suite:<name>[:scale]`, or `gen:<family>:<n>[...]`
 //! (see `tsv_cli::source`).
@@ -47,14 +51,19 @@ fn run() -> Result<(), CliError> {
                     )))
                 }
             };
-            print!("{}", cmd_spmspv(&a, sparsity, seed, kernel)?);
+            let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
+            print!(
+                "{}",
+                cmd_spmspv(&a, sparsity, seed, kernel, trace_out.as_deref())?
+            );
         }
         "bfs" => {
             let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
             let a = load_matrix(spec)?;
             let source = flag_f64(&args, "--source")?.unwrap_or(0.0) as usize;
             let algo = flag_str(&args, "--algo").unwrap_or_else(|| "tile".into());
-            print!("{}", cmd_bfs(&a, source, &algo)?);
+            let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
+            print!("{}", cmd_bfs(&a, source, &algo, trace_out.as_deref())?);
         }
         "convert" => {
             let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
@@ -81,9 +90,12 @@ fn run() -> Result<(), CliError> {
 
 const USAGE: &str = "usage:
   tsv info    <matrix>
-  tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
-  tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+  tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col] [--trace-out F]
+  tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise] [--trace-out F]
   tsv convert <matrix> <out.mtx>
+
+--trace-out writes Chrome Trace JSON to F plus a run summary to
+F.summary.json (load the trace in Perfetto or chrome://tracing).
 
 <matrix>: a .mtx file, suite:<name>[:tiny|small|medium], or
           gen:<family>:<n>[:<param>[:<seed>]]

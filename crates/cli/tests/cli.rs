@@ -55,6 +55,26 @@ fn convert_roundtrips_through_mtx() {
 }
 
 #[test]
+fn trace_out_flag_emits_documents() {
+    let dir = std::env::temp_dir().join("tsv_cli_trace_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("bfs.trace.json");
+    let (stdout, stderr, ok) = tsv(&[
+        "bfs",
+        "gen:banded:300:5",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("trace:"), "{stdout}");
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(doc.contains("traceEvents"), "chrome trace envelope");
+    let summary = std::fs::read_to_string(dir.join("bfs.trace.summary.json")).unwrap();
+    assert!(summary.contains("\"schema_version\""), "{summary}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let (_, stderr, ok) = tsv(&["info", "/no/such/file.mtx"]);
     assert!(!ok);

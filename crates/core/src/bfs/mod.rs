@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::grid::launch;
 use tsv_simt::stats::KernelStats;
+use tsv_simt::trace::{self, IterationInfo, Tracer};
 use tsv_simt::warp::WARP_SIZE;
 use tsv_sparse::{CsrMatrix, SparseError};
 
@@ -129,6 +130,10 @@ pub struct IterationRecord {
     pub frontier: usize,
     /// Vertices discovered by the iteration.
     pub discovered: usize,
+    /// Vertices still unvisited entering the iteration — together with
+    /// `frontier` this is exactly what the policy saw when it picked
+    /// `kernel`.
+    pub unvisited: usize,
     /// Work counters (tile kernel + extra-edge pass).
     pub stats: KernelStats,
     /// Wall-clock time of the iteration on the CPU substrate.
@@ -215,6 +220,14 @@ impl BfsWorkspace {
     pub fn reallocs(&self) -> u64 {
         self.reallocs
     }
+
+    /// Zeroes the run/realloc counters without touching the buffers, so a
+    /// fresh measurement window starts from zero while steady-state reuse
+    /// is preserved (the next traversal still won't reallocate).
+    pub fn reset_counters(&mut self) {
+        self.runs = 0;
+        self.reallocs = 0;
+    }
 }
 
 impl Default for BfsWorkspace {
@@ -256,6 +269,21 @@ pub fn tile_bfs_with_workspace(
     opts: BfsOptions,
     ws: &mut BfsWorkspace,
 ) -> Result<BfsResult, SparseError> {
+    tile_bfs_traced(g, source, opts, ws, None)
+}
+
+/// [`tile_bfs_with_workspace`] with live telemetry: each iteration is
+/// recorded on `tracer` as it completes (category `"bfs"`, one event per
+/// iteration carrying the kernel label, frontier density, unvisited count
+/// and work counters). With `None` the traversal pays one branch per
+/// iteration.
+pub fn tile_bfs_traced(
+    g: &TileBfsGraph,
+    source: usize,
+    opts: BfsOptions,
+    ws: &mut BfsWorkspace,
+    tracer: Option<&Tracer>,
+) -> Result<BfsResult, SparseError> {
     if source >= g.n {
         return Err(SparseError::IndexOutOfBounds {
             row: source,
@@ -296,8 +324,9 @@ pub fn tile_bfs_with_workspace(
         if frontier_size == 0 {
             break;
         }
+        let unvisited_count = n - visited;
         let density = frontier_size as f64 / n as f64;
-        let unvisited_frac = (n - visited) as f64 / n as f64;
+        let unvisited_frac = unvisited_count as f64 / n as f64;
         let kernel = policy::choose(
             density,
             unvisited_frac,
@@ -306,6 +335,7 @@ pub fn tile_bfs_with_workspace(
             opts.thresholds,
         );
 
+        let t0 = trace::start(tracer);
         let start = Instant::now();
         let mut stats = match kernel {
             KernelKind::PushCsc => {
@@ -335,11 +365,25 @@ pub fn tile_bfs_with_workspace(
         let wall = start.elapsed();
 
         let discovered = y.count_ones();
+        trace::iteration(
+            tracer,
+            kernel.trace_label(),
+            Some(stats),
+            IterationInfo {
+                level: level + 1,
+                frontier: frontier_size,
+                discovered,
+                unvisited: unvisited_count,
+                density,
+            },
+            t0,
+        );
         iterations.push(IterationRecord {
             level: level + 1,
             kernel,
             frontier: frontier_size,
             discovered,
+            unvisited: unvisited_count,
             stats,
             wall,
         });

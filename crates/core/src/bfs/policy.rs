@@ -20,6 +20,17 @@ impl KernelKind {
             KernelKind::PullCsc => "pull-csc",
         }
     }
+
+    /// Namespaced `'static` label for trace events — allocation-free on
+    /// the per-iteration hot path, and identical to the profiler label the
+    /// engines record (`"bfs/" + label`), so trace and profiler views join.
+    pub fn trace_label(&self) -> &'static str {
+        match self {
+            KernelKind::PushCsc => "bfs/push-csc",
+            KernelKind::PushCsr => "bfs/push-csr",
+            KernelKind::PullCsc => "bfs/pull-csc",
+        }
+    }
 }
 
 impl std::fmt::Display for KernelKind {

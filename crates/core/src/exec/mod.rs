@@ -23,16 +23,18 @@
 //! [`crate::bfs::tile_bfs`]) are thin wrappers over these drivers with a
 //! fresh workspace, so both paths execute the same code.
 
-use crate::bfs::{tile_bfs_with_workspace, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
+use crate::bfs::{tile_bfs_traced, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
 use crate::semiring::{PlusTimes, Semiring};
 use crate::spmspv::generic::{
     col_kernel_semiring, coo_kernel_semiring, drain_touched, row_kernel_semiring,
 };
 use crate::spmspv::{ExecReport, KernelChoice, KernelUsed, SpMSpVOptions};
 use crate::tile::{TileConfig, TileMatrix, TiledVector};
+use std::sync::Arc;
 use std::time::Instant;
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::profile::Profiler;
+use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
 
 /// Cumulative workspace accounting, exposed so callers (and the repro
@@ -120,6 +122,12 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
         self.metrics
     }
 
+    /// Zeroes the accounting without touching the buffers: a fresh
+    /// measurement window over warm scratch.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = EngineMetrics::default();
+    }
+
     /// `(pointer, capacity)` pairs of the owned scratch buffers, for
     /// asserting that steady-state reuse neither moves nor regrows them.
     pub fn scratch_fingerprint(&self) -> Vec<(usize, usize)> {
@@ -167,6 +175,23 @@ pub fn spmspv_with_workspace<S: Semiring>(
 where
     S::T: Default,
 {
+    spmspv_traced::<S>(a, x, opts, ws, None)
+}
+
+/// [`spmspv_with_workspace`] with telemetry: the internal phases (input
+/// compression, the tile kernel, the hybrid COO pass, compaction) are
+/// recorded on `tracer` as `"phase"` spans. With `None`, each phase
+/// boundary costs one branch.
+pub fn spmspv_traced<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    opts: SpMSpVOptions,
+    ws: &mut SpMSpVWorkspace<S::T>,
+    tracer: Option<&Tracer>,
+) -> Result<(SparseVector<S::T>, ExecReport), SparseError>
+where
+    S::T: Default,
+{
     if a.ncols() != x.len() {
         return Err(SparseError::DimensionMismatch {
             op: "tile_spmspv",
@@ -189,7 +214,9 @@ where
         metrics,
     } = ws;
     let xt = xt.as_mut().expect("workspace prepared");
+    let t_compress = trace::start(tracer);
     xt.refill(x, S::zero());
+    trace::phase(tracer, "spmspv/compress-x", t_compress);
 
     let kernel = match opts.kernel {
         KernelChoice::RowTile => KernelUsed::RowTile,
@@ -203,15 +230,30 @@ where
         }
     };
 
+    let t_kernel = trace::start(tracer);
     let mut stats = match kernel {
         KernelUsed::RowTile => row_kernel_semiring::<S>(a, xt, y, touched),
         KernelUsed::ColTile => col_kernel_semiring::<S>(a, xt, y, contribs, touched),
     };
+    trace::phase(
+        tracer,
+        match kernel {
+            KernelUsed::RowTile => "spmspv/row-tile-kernel",
+            KernelUsed::ColTile => "spmspv/col-tile-kernel",
+        },
+        t_kernel,
+    );
     // Hybrid pass over the extracted very-sparse entries, driven by x's
     // nonzeros so untouched columns cost nothing.
+    let coo_active = a.extra().nnz() > 0 && x.nnz() > 0;
+    let t_coo = trace::start(tracer);
     stats += coo_kernel_semiring::<S>(a, x, y, contribs, touched);
+    if coo_active {
+        trace::phase(tracer, "spmspv/coo-pass", t_coo);
+    }
 
     // Compact and reset only the row tiles the kernels wrote.
+    let t_compact = trace::start(tracer);
     drain_touched(touched, touched_list);
     let nt = a.nt();
     let n = a.nrows();
@@ -232,6 +274,7 @@ where
         metrics.slots_reset += nt as u64;
     }
     metrics.calls += 1;
+    trace::phase(tracer, "spmspv/compact", t_compact);
 
     let y = SparseVector::from_parts(n, indices, vals)
         .expect("touched-tile order yields sorted unique indices");
@@ -259,6 +302,7 @@ pub struct SpMSpVEngine<S: Semiring = PlusTimes> {
     opts: SpMSpVOptions,
     ws: SpMSpVWorkspace<S::T>,
     profiler: Profiler,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<S: Semiring> SpMSpVEngine<S>
@@ -280,6 +324,7 @@ where
             opts,
             ws,
             profiler: Profiler::new(),
+            tracer: None,
         }
     }
 
@@ -294,19 +339,55 @@ where
         Ok(Self::new(TileMatrix::from_csr(a, config)?))
     }
 
+    /// [`Self::from_csr`] with telemetry: the tiling pass is recorded as a
+    /// `"spmspv/tiling"` phase span and the tracer is attached to the
+    /// engine, so every later `multiply` records a kernel event.
+    pub fn from_csr_traced(
+        a: &CsrMatrix<S::T>,
+        config: TileConfig,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Result<Self, SparseError> {
+        let t0 = trace::start(tracer.as_deref());
+        let mut engine = Self::from_csr(a, config)?;
+        trace::phase(tracer.as_deref(), "spmspv/tiling", t0);
+        engine.tracer = tracer;
+        Ok(engine)
+    }
+
+    /// Attaches (or detaches) a shared tracer. Every `multiply` then
+    /// records one `"kernel"` event plus its internal phase spans.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Starts a fresh measurement window: clears the profiler and zeroes
+    /// the workspace accounting. The prepared matrix, the warm scratch and
+    /// any attached tracer are kept, so measurement restarts without
+    /// rebuild or reallocation.
+    pub fn reset(&mut self) {
+        self.profiler.clear();
+        self.ws.reset_metrics();
+    }
+
     /// `y = A ⊕.⊗ x`, recording the launch under `spmspv/<kernel>` in the
-    /// engine's profiler.
+    /// engine's profiler (and on the attached tracer, when present).
     pub fn multiply(
         &mut self,
         x: &SparseVector<S::T>,
     ) -> Result<(SparseVector<S::T>, ExecReport), SparseError> {
+        let tracer = self.tracer.as_deref();
+        let t0 = trace::start(tracer);
         let start = Instant::now();
-        let (y, report) = spmspv_with_workspace::<S>(&self.a, x, self.opts, &mut self.ws)?;
-        self.profiler.record(
-            &format!("spmspv/{}", report.kernel.label()),
-            report.stats,
-            start.elapsed(),
-        );
+        let (y, report) = spmspv_traced::<S>(&self.a, x, self.opts, &mut self.ws, tracer)?;
+        let wall = start.elapsed();
+        trace::kernel(tracer, report.kernel.trace_label(), report.stats, t0);
+        self.profiler
+            .record(report.kernel.trace_label(), report.stats, wall);
         Ok((y, report))
     }
 
@@ -355,6 +436,7 @@ pub struct BfsEngine {
     opts: BfsOptions,
     ws: BfsWorkspace,
     profiler: Profiler,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl BfsEngine {
@@ -370,6 +452,7 @@ impl BfsEngine {
             opts,
             ws: BfsWorkspace::new(),
             profiler: Profiler::new(),
+            tracer: None,
         }
     }
 
@@ -379,13 +462,54 @@ impl BfsEngine {
         Ok(Self::new(TileBfsGraph::from_csr(a)?))
     }
 
+    /// [`Self::from_csr`] with telemetry: the bitmask-structure build is
+    /// recorded as a `"bfs/tiling"` phase span and the tracer is attached,
+    /// so every later `run` records its per-iteration events live.
+    pub fn from_csr_traced<T: Copy + Sync>(
+        a: &CsrMatrix<T>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Result<Self, SparseError> {
+        let t0 = trace::start(tracer.as_deref());
+        let mut engine = Self::from_csr(a)?;
+        trace::phase(tracer.as_deref(), "bfs/tiling", t0);
+        engine.tracer = tracer;
+        Ok(engine)
+    }
+
+    /// Attaches (or detaches) a shared tracer. Every `run` then records
+    /// one `"bfs"` event per iteration, carrying the frontier density,
+    /// unvisited count and the kernel the policy selected.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Starts a fresh measurement window: clears the profiler and zeroes
+    /// the workspace run/realloc counters. The prepared graph, the warm
+    /// frontier buffers and any attached tracer are kept.
+    pub fn reset(&mut self) {
+        self.profiler.clear();
+        self.ws.reset_counters();
+    }
+
     /// Runs a traversal from `source`, recording each iteration under
-    /// `bfs/<kernel>` in the engine's profiler.
+    /// `bfs/<kernel>` in the engine's profiler (and on the attached
+    /// tracer, when present).
     pub fn run(&mut self, source: usize) -> Result<BfsResult, SparseError> {
-        let r = tile_bfs_with_workspace(&self.g, source, self.opts, &mut self.ws)?;
+        let r = tile_bfs_traced(
+            &self.g,
+            source,
+            self.opts,
+            &mut self.ws,
+            self.tracer.as_deref(),
+        )?;
         for it in &r.iterations {
             self.profiler
-                .record(&format!("bfs/{}", it.kernel.label()), it.stats, it.wall);
+                .record(it.kernel.trace_label(), it.stats, it.wall);
         }
         Ok(r)
     }

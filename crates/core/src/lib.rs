@@ -22,10 +22,16 @@
 //! betweenness) run through. The free functions above are one-shot wrappers
 //! over the same drivers.
 
+//! [`telemetry`] turns a run's profiler aggregates, BFS iteration records
+//! and tiling statistics into a machine-readable JSON summary; span-level
+//! tracing (Chrome Trace export) lives in [`tsv_simt::trace`] and is
+//! attached to the engines via their `*_traced` constructors.
+
 pub mod bfs;
 pub mod exec;
 pub mod semiring;
 pub mod spmspv;
+pub mod telemetry;
 pub mod tile;
 
 pub use bfs::{
@@ -33,4 +39,5 @@ pub use bfs::{
 };
 pub use exec::{BfsEngine, EngineMetrics, SpMSpVEngine, SpMSpVWorkspace};
 pub use spmspv::{tile_spmspv, tile_spmspv_with, SpMSpVOptions};
+pub use telemetry::RunSummary;
 pub use tile::{TileConfig, TileMatrix, TileSize, TiledVector};

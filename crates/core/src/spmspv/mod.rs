@@ -82,6 +82,16 @@ impl KernelUsed {
             KernelUsed::ColTile => "col-tile",
         }
     }
+
+    /// Namespaced `'static` label used for both trace events and profiler
+    /// entries (`"spmspv/" + label`) — allocation-free, and identical in
+    /// both views so they can be joined.
+    pub fn trace_label(&self) -> &'static str {
+        match self {
+            KernelUsed::RowTile => "spmspv/row-tile",
+            KernelUsed::ColTile => "spmspv/col-tile",
+        }
+    }
 }
 
 impl std::fmt::Display for KernelUsed {

@@ -1,0 +1,408 @@
+//! Machine-readable run summaries.
+//!
+//! [`RunSummary`] collects the three views the paper's §4.5 analysis is
+//! built from — the per-kernel table (from a [`Profiler`]), the
+//! per-iteration BFS timeline (from a [`BfsResult`]) and distribution
+//! histograms (per-tile nnz, frontier densities) — and renders them as one
+//! JSON document. The schema is hand-rolled (the workspace carries no
+//! serde) and versioned via `schema_version`; the emitted document is
+//! parseable by [`tsv_simt::json::parse`], which the `repro trace` smoke
+//! check uses to validate its own output.
+//!
+//! Per-kernel `modeled_ms` comes from
+//! [`ProfileEntry::modeled_secs`](tsv_simt::profile::ProfileEntry::modeled_secs),
+//! so the summary's totals equal the profiler's `report` figures exactly.
+
+use crate::bfs::BfsResult;
+use crate::tile::TileMatrix;
+use std::fmt::Write as _;
+use tsv_simt::device::DeviceConfig;
+use tsv_simt::json;
+use tsv_simt::model::kernel_time;
+use tsv_simt::profile::Profiler;
+
+/// Schema version of [`RunSummary::to_json`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One row of the per-kernel table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel label, e.g. `"spmspv/row-tile"` or `"bfs/push-csc"`.
+    pub label: String,
+    /// Recorded launches.
+    pub launches: usize,
+    /// Summed wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Modeled device time, milliseconds (equals the profiler report).
+    pub modeled_ms: f64,
+    /// Streamed global-memory traffic, bytes.
+    pub gmem_bytes: u64,
+    /// Scattered global-memory traffic, bytes.
+    pub gmem_scattered_bytes: u64,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bitmask operations.
+    pub bitops: u64,
+    /// Atomic operations.
+    pub atomics: u64,
+    /// Warps launched.
+    pub warps: u64,
+}
+
+/// One row of the per-iteration BFS timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationSummary {
+    /// BFS level the iteration discovered.
+    pub level: u32,
+    /// The kernel the policy selected.
+    pub kernel: &'static str,
+    /// Frontier size entering the iteration.
+    pub frontier: usize,
+    /// Vertices discovered.
+    pub discovered: usize,
+    /// Vertices still unvisited entering the iteration.
+    pub unvisited: usize,
+    /// `frontier / n` — what the policy's density rule saw.
+    pub density: f64,
+    /// Iteration wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Modeled device time of the iteration's launch, milliseconds.
+    pub modeled_ms: f64,
+}
+
+/// A named bucketed distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Distribution name, e.g. `"tile_nnz"`.
+    pub name: String,
+    /// `(bucket label, count)` pairs in ascending bucket order.
+    pub buckets: Vec<(String, u64)>,
+}
+
+/// A structured, exportable account of one run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    workload: String,
+    device: DeviceConfig,
+    kernels: Vec<KernelSummary>,
+    bfs_iterations: Vec<IterationSummary>,
+    histograms: Vec<Histogram>,
+}
+
+impl RunSummary {
+    /// An empty summary for `workload`, modeled on `device`.
+    pub fn new(workload: impl Into<String>, device: DeviceConfig) -> Self {
+        RunSummary {
+            workload: workload.into(),
+            device,
+            kernels: Vec::new(),
+            bfs_iterations: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Appends one per-kernel row per profiler entry. `modeled_ms` uses the
+    /// same per-launch share as `Profiler::report`, so the two views agree
+    /// figure for figure.
+    pub fn record_profiler(&mut self, p: &Profiler) {
+        for (label, e) in p.entries() {
+            self.kernels.push(KernelSummary {
+                label,
+                launches: e.launches,
+                wall_ms: e.wall.as_secs_f64() * 1e3,
+                modeled_ms: e.modeled_secs(&self.device) * 1e3,
+                gmem_bytes: e.stats.gmem_bytes(),
+                gmem_scattered_bytes: e.stats.gmem_scattered_bytes,
+                flops: e.stats.flops,
+                bitops: e.stats.bitops,
+                atomics: e.stats.atomics,
+                warps: e.stats.warps,
+            });
+        }
+    }
+
+    /// Appends the per-iteration timeline of a traversal over `n` vertices
+    /// and a histogram of its frontier densities.
+    pub fn record_bfs(&mut self, r: &BfsResult, n: usize) {
+        let mut counts = [0u64; DENSITY_BUCKETS.len()];
+        for it in &r.iterations {
+            let density = it.frontier as f64 / n.max(1) as f64;
+            counts[density_bucket(density)] += 1;
+            self.bfs_iterations.push(IterationSummary {
+                level: it.level,
+                kernel: it.kernel.trace_label(),
+                frontier: it.frontier,
+                discovered: it.discovered,
+                unvisited: it.unvisited,
+                density,
+                wall_ms: it.wall.as_secs_f64() * 1e3,
+                modeled_ms: kernel_time(&it.stats, &self.device) * 1e3,
+            });
+        }
+        self.histograms.push(Histogram {
+            name: "frontier_density".to_string(),
+            buckets: DENSITY_BUCKETS
+                .iter()
+                .zip(counts)
+                .map(|(label, c)| (label.to_string(), c))
+                .collect(),
+        });
+    }
+
+    /// Appends a power-of-two histogram of per-tile nonzero counts — the
+    /// distribution the paper's tiling analysis (per-tile load balance)
+    /// turns on.
+    pub fn record_tile_nnz<T: Copy + PartialEq + Default + Send + Sync>(
+        &mut self,
+        a: &TileMatrix<T>,
+    ) {
+        let mut counts: Vec<u64> = Vec::new();
+        for t in 0..a.num_tiles() {
+            let nnz = a.tile(t).nnz();
+            // Bucket k holds tiles with nnz in [2^k, 2^(k+1)).
+            let k = (usize::BITS - nnz.max(1).leading_zeros() - 1) as usize;
+            if counts.len() <= k {
+                counts.resize(k + 1, 0);
+            }
+            counts[k] += 1;
+        }
+        self.histograms.push(Histogram {
+            name: "tile_nnz".to_string(),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| {
+                    let lo = 1u64 << k;
+                    let hi = (1u64 << (k + 1)) - 1;
+                    (format!("{lo}..{hi}"), c)
+                })
+                .collect(),
+        });
+    }
+
+    /// The per-kernel table recorded so far.
+    pub fn kernels(&self) -> &[KernelSummary] {
+        &self.kernels
+    }
+
+    /// The per-iteration BFS timeline recorded so far.
+    pub fn bfs_iterations(&self) -> &[IterationSummary] {
+        &self.bfs_iterations
+    }
+
+    /// The histograms recorded so far.
+    pub fn histograms(&self) -> &[Histogram] {
+        &self.histograms
+    }
+
+    /// Renders the summary as a JSON document (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{SCHEMA_VERSION},\"workload\":\"{}\",\"device\":\"{}\"",
+            json::escape(&self.workload),
+            json::escape(self.device.name),
+        );
+
+        out.push_str(",\"kernels\":[");
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"launches\":{},\"wall_ms\":{},\"modeled_ms\":{},\
+                 \"gmem_bytes\":{},\"gmem_scattered_bytes\":{},\"flops\":{},\"bitops\":{},\
+                 \"atomics\":{},\"warps\":{}}}",
+                json::escape(&k.label),
+                k.launches,
+                json::number(k.wall_ms),
+                json::number(k.modeled_ms),
+                k.gmem_bytes,
+                k.gmem_scattered_bytes,
+                k.flops,
+                k.bitops,
+                k.atomics,
+                k.warps,
+            );
+        }
+        out.push(']');
+
+        out.push_str(",\"bfs_iterations\":[");
+        for (i, it) in self.bfs_iterations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"level\":{},\"kernel\":\"{}\",\"frontier\":{},\"discovered\":{},\
+                 \"unvisited\":{},\"density\":{},\"wall_ms\":{},\"modeled_ms\":{}}}",
+                it.level,
+                json::escape(it.kernel),
+                it.frontier,
+                it.discovered,
+                it.unvisited,
+                json::number(it.density),
+                json::number(it.wall_ms),
+                json::number(it.modeled_ms),
+            );
+        }
+        out.push(']');
+
+        out.push_str(",\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"buckets\":[",
+                json::escape(&h.name)
+            );
+            for (j, (label, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"bucket\":\"{}\",\"count\":{count}}}",
+                    json::escape(label)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+const DENSITY_BUCKETS: [&str; 5] = ["<1e-4", "1e-4..1e-3", "1e-3..1e-2", "1e-2..1e-1", ">=1e-1"];
+
+fn density_bucket(density: f64) -> usize {
+    if density < 1e-4 {
+        0
+    } else if density < 1e-3 {
+        1
+    } else if density < 1e-2 {
+        2
+    } else if density < 1e-1 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{tile_bfs, BfsOptions, TileBfsGraph};
+    use crate::tile::TileConfig;
+    use tsv_simt::device::RTX_3060;
+    use tsv_simt::json::JsonValue;
+    use tsv_simt::stats::KernelStats;
+    use tsv_simt::Profiler;
+
+    #[test]
+    fn summary_kernel_totals_equal_profiler_aggregates() {
+        let p = Profiler::new();
+        let mut s = KernelStats::default();
+        s.read(4096);
+        s.flop(100);
+        s.warps = 8;
+        p.record("spmspv/row-tile", s, std::time::Duration::from_micros(250));
+        p.record("spmspv/row-tile", s, std::time::Duration::from_micros(250));
+        p.record("bfs/push-csc", s, std::time::Duration::from_micros(100));
+
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        summary.record_profiler(&p);
+
+        let entries = p.entries();
+        assert_eq!(summary.kernels().len(), entries.len());
+        for ((label, e), k) in entries.iter().zip(summary.kernels()) {
+            assert_eq!(&k.label, label);
+            assert_eq!(k.launches, e.launches);
+            assert_eq!(k.gmem_bytes, e.stats.gmem_bytes());
+            assert_eq!(k.flops, e.stats.flops);
+            let report_ms = e.modeled_secs(&RTX_3060) * 1e3;
+            assert_eq!(k.modeled_ms, report_ms, "{label}: summary vs report");
+            assert_eq!(k.wall_ms, e.wall.as_secs_f64() * 1e3);
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_and_matches_recorded_rows() {
+        let a = tsv_sparse::gen::grid2d(12, 12).to_csr().without_diagonal();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        let r = tile_bfs(&g, 0, BfsOptions::default()).unwrap();
+
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let mut summary = RunSummary::new("grid12", RTX_3060);
+        summary.record_bfs(&r, g.n());
+        summary.record_tile_nnz(&tiled);
+
+        let doc = summary.to_json();
+        let v = tsv_simt::json::parse(&doc).expect("summary must parse");
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("grid12"));
+
+        let iters = v.get("bfs_iterations").unwrap().as_array().unwrap();
+        assert_eq!(iters.len(), r.iterations.len());
+        for (row, it) in iters.iter().zip(&r.iterations) {
+            assert_eq!(
+                row.get("kernel").and_then(JsonValue::as_str),
+                Some(it.kernel.trace_label())
+            );
+            assert_eq!(
+                row.get("frontier").and_then(JsonValue::as_u64),
+                Some(it.frontier as u64)
+            );
+            assert_eq!(
+                row.get("unvisited").and_then(JsonValue::as_u64),
+                Some(it.unvisited as u64)
+            );
+            let density = row.get("density").and_then(JsonValue::as_f64).unwrap();
+            assert!((density - it.frontier as f64 / g.n() as f64).abs() < 1e-12);
+        }
+
+        // Histograms: every stored tile lands in exactly one nnz bucket,
+        // every iteration in one density bucket.
+        let hists = v.get("histograms").unwrap().as_array().unwrap();
+        assert_eq!(hists.len(), 2);
+        let total = |h: &JsonValue| -> u64 {
+            h.get("buckets")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|b| b.get("count").unwrap().as_u64().unwrap())
+                .sum()
+        };
+        assert_eq!(
+            hists
+                .iter()
+                .find(|h| h.get("name").and_then(JsonValue::as_str) == Some("frontier_density"))
+                .map(total),
+            Some(r.iterations.len() as u64)
+        );
+        assert_eq!(
+            hists
+                .iter()
+                .find(|h| h.get("name").and_then(JsonValue::as_str) == Some("tile_nnz"))
+                .map(total),
+            Some(tiled.num_tiles() as u64)
+        );
+    }
+
+    #[test]
+    fn density_buckets_partition_the_unit_interval() {
+        assert_eq!(density_bucket(0.0), 0);
+        assert_eq!(density_bucket(9.9e-5), 0);
+        assert_eq!(density_bucket(1e-4), 1);
+        assert_eq!(density_bucket(5e-3), 2);
+        assert_eq!(density_bucket(0.05), 3);
+        assert_eq!(density_bucket(0.1), 4);
+        assert_eq!(density_bucket(1.0), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cross-layer telemetry tests: recorded BFS policy decisions, Chrome
+//! trace export from real engine runs, and the cost of disabled tracing.
+
+use std::sync::Arc;
+use tsv_core::bfs::{policy, KernelKind, KernelSet, PolicyThresholds};
+use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+use tsv_core::semiring::PlusTimes;
+use tsv_core::telemetry::RunSummary;
+use tsv_core::tile::TileConfig;
+use tsv_simt::device::RTX_3060;
+use tsv_simt::json::JsonValue;
+use tsv_simt::trace::{chrome_trace_json, validate_chrome_trace, Tracer, CAT_KERNEL};
+use tsv_sparse::gen::random_sparse_vector;
+use tsv_sparse::{CooMatrix, CsrMatrix};
+
+/// A symmetric 4-layer graph sized so the default policy must sweep all
+/// three kernels: levels of 1, 4, 100 and 895 vertices (n = 1000).
+///
+/// * iteration 1: frontier 1/1000 = 0.001 < 0.01          → K1 Push-CSC
+/// * iteration 2: frontier 4/1000 = 0.004 < 0.01          → K1 Push-CSC
+/// * iteration 3: frontier 100/1000 = 0.1 ≥ 0.01,
+///   unvisited 895/1000 ≥ 0.05                            → K2 Push-CSR
+/// * iteration 4: unvisited 0/1000 < 0.05 (symmetric)     → K3 Pull-CSC
+fn layered_graph() -> CsrMatrix<f64> {
+    let n = 1000;
+    let mut coo = CooMatrix::new(n, n);
+    let edge = |coo: &mut CooMatrix<f64>, u: usize, v: usize| {
+        coo.push(u, v, 1.0);
+        coo.push(v, u, 1.0);
+    };
+    for v in 1..5 {
+        edge(&mut coo, 0, v);
+    }
+    for (i, v) in (5..105).enumerate() {
+        edge(&mut coo, 1 + i % 4, v);
+    }
+    for (i, v) in (105..1000).enumerate() {
+        edge(&mut coo, 5 + i % 100, v);
+    }
+    coo.to_csr()
+}
+
+#[test]
+fn recorded_policy_decisions_sweep_k1_k2_k3() {
+    let a = layered_graph();
+    let n = a.nrows();
+    let mut engine = BfsEngine::from_csr(&a).unwrap();
+    let r = engine.run(0).unwrap();
+
+    let kernels: Vec<KernelKind> = r.iterations.iter().map(|it| it.kernel).collect();
+    assert_eq!(
+        kernels,
+        vec![
+            KernelKind::PushCsc,
+            KernelKind::PushCsc,
+            KernelKind::PushCsr,
+            KernelKind::PullCsc,
+        ],
+        "layer sizes 1/4/100/895 must force the K1→K1→K2→K3 sweep"
+    );
+
+    // Every recorded iteration must agree with re-running the policy on
+    // the frontier/unvisited pair it recorded — the telemetry is an exact
+    // account of what the selector saw.
+    for it in &r.iterations {
+        let expect = policy::choose(
+            it.frontier as f64 / n as f64,
+            it.unvisited as f64 / n as f64,
+            KernelSet::All,
+            true,
+            PolicyThresholds::default(),
+        );
+        assert_eq!(
+            it.kernel, expect,
+            "iteration {}: frontier {} unvisited {}",
+            it.level, it.frontier, it.unvisited
+        );
+    }
+
+    // The unvisited counts telescope: each iteration's count drops by the
+    // previous iteration's discoveries.
+    for w in r.iterations.windows(2) {
+        assert_eq!(w[1].unvisited, w[0].unvisited - w[0].discovered);
+    }
+    assert_eq!(r.iterations[0].unvisited, n - 1);
+}
+
+#[test]
+fn engine_chrome_trace_validates_and_matches_profiler() {
+    let a = layered_graph();
+    let tracer = Arc::new(Tracer::new());
+    let mut bfs = BfsEngine::from_csr_traced(&a, Some(Arc::clone(&tracer))).unwrap();
+    bfs.run(0).unwrap();
+
+    let mut spmspv = SpMSpVEngine::<PlusTimes>::from_csr_traced(
+        &a,
+        TileConfig::default(),
+        Some(Arc::clone(&tracer)),
+    )
+    .unwrap();
+    for seed in 0..3 {
+        let x = random_sparse_vector(a.ncols(), 0.02, seed);
+        spmspv.multiply(&x).unwrap();
+    }
+
+    let doc = chrome_trace_json(&tracer.events(), &RTX_3060);
+    let check = validate_chrome_trace(&doc).expect("structurally valid");
+    assert!(check.events > 0);
+    assert!(check.tracks >= 2, "worker track plus modeled-device track");
+
+    // One kernel-category begin event per profiler launch, label for label:
+    // the trace and the profiler are two views of the same run.
+    let v = tsv_simt::json::parse(&doc).unwrap();
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    let count_spans = |label: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("B")
+                    && e.get("cat").and_then(JsonValue::as_str) == Some(CAT_KERNEL)
+                    && e.get("name").and_then(JsonValue::as_str) == Some(label)
+            })
+            .count()
+    };
+    for (label, entry) in spmspv.profiler().entries() {
+        assert_eq!(
+            count_spans(&label),
+            entry.launches,
+            "kernel spans for {label}"
+        );
+    }
+
+    // The run summary built from the same profilers reproduces the
+    // aggregate totals exactly.
+    let mut summary = RunSummary::new("test", RTX_3060);
+    summary.record_profiler(bfs.profiler());
+    summary.record_profiler(spmspv.profiler());
+    let total_launches: usize = summary.kernels().iter().map(|k| k.launches).sum();
+    let profiler_launches: usize = bfs
+        .profiler()
+        .entries()
+        .iter()
+        .chain(spmspv.profiler().entries().iter())
+        .map(|(_, e)| e.launches)
+        .sum();
+    assert_eq!(total_launches, profiler_launches);
+    for k in summary.kernels() {
+        let entry = bfs
+            .profiler()
+            .entries()
+            .into_iter()
+            .chain(spmspv.profiler().entries())
+            .find(|(l, _)| *l == k.label)
+            .map(|(_, e)| e)
+            .unwrap();
+        assert_eq!(
+            k.modeled_ms,
+            entry.modeled_secs(&RTX_3060) * 1e3,
+            "{}",
+            k.label
+        );
+        assert_eq!(k.gmem_bytes, entry.stats.gmem_bytes(), "{}", k.label);
+    }
+}
+
+#[test]
+fn disabled_tracing_is_free_on_the_reuse_path() {
+    let a = layered_graph();
+    let xs: Vec<_> = (0..20)
+        .map(|s| random_sparse_vector(a.ncols(), 0.05, s))
+        .collect();
+
+    // Reference: engine with no tracer attached at all.
+    let mut bare = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    let mut bare_results = Vec::new();
+    for x in &xs {
+        bare_results.push(bare.multiply(x).unwrap().0);
+    }
+
+    // Same engine shape with a tracer attached but switched off: the only
+    // cost allowed is the enabled-flag branch per launch, and nothing may
+    // reach the ring.
+    let tracer = Arc::new(Tracer::new());
+    tracer.set_enabled(false);
+    let mut traced = SpMSpVEngine::<PlusTimes>::from_csr_traced(
+        &a,
+        TileConfig::default(),
+        Some(Arc::clone(&tracer)),
+    )
+    .unwrap();
+    for (x, expect) in xs.iter().zip(&bare_results) {
+        let (y, _) = traced.multiply(x).unwrap();
+        assert_eq!(y.nnz(), expect.nnz());
+        assert!(y.max_abs_diff(expect) == 0.0, "results must be identical");
+    }
+
+    assert!(tracer.is_empty(), "disabled tracer must record nothing");
+    assert_eq!(tracer.dropped(), 0);
+    // Re-enabling later works without rebuilding the engine.
+    tracer.set_enabled(true);
+    traced.multiply(&xs[0]).unwrap();
+    assert!(!tracer.is_empty());
+}

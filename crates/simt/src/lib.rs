@@ -26,13 +26,16 @@
 pub mod atomic;
 pub mod device;
 pub mod grid;
+pub mod json;
 pub mod model;
 pub mod profile;
 pub mod stats;
+pub mod trace;
 pub mod warp;
 
 pub use device::{DeviceConfig, RTX_3060, RTX_3090};
 pub use grid::{launch, launch_over_chunks};
 pub use profile::Profiler;
 pub use stats::KernelStats;
+pub use trace::Tracer;
 pub use warp::{WarpCtx, WARP_SIZE};

@@ -23,6 +23,17 @@ pub struct ProfileEntry {
     pub wall: Duration,
 }
 
+impl ProfileEntry {
+    /// Modeled device time (seconds) for all recorded launches: each launch
+    /// carries an equal share of the aggregated work plus its own launch
+    /// overhead on `device`. This is the figure `report` prints and the
+    /// telemetry run summary exports.
+    pub fn modeled_secs(&self, device: &DeviceConfig) -> f64 {
+        let per_launch = scale_stats(&self.stats, 1.0 / self.launches.max(1) as f64);
+        kernel_time(&per_launch, device) * self.launches as f64
+    }
+}
+
 /// Thread-safe aggregation of kernel statistics by label.
 #[derive(Debug, Default)]
 pub struct Profiler {
@@ -59,6 +70,13 @@ impl Profiler {
         self.entries.lock().expect("profiler lock").is_empty()
     }
 
+    /// Discards all recorded entries, starting a fresh measurement window.
+    /// Long-lived engines expose this through their `reset` so they can be
+    /// re-measured without being rebuilt.
+    pub fn clear(&self) {
+        self.entries.lock().expect("profiler lock").clear();
+    }
+
     /// Folds another profiler's aggregates into this one (label-wise sum) —
     /// used to combine the per-engine breakdowns into one run-level report.
     pub fn merge(&self, other: &Profiler) {
@@ -81,10 +99,7 @@ impl Profiler {
         ));
         let mut total_model = 0.0;
         for (label, e) in self.entries() {
-            // Per-launch overhead: model each launch as carrying an equal
-            // share of the aggregated work.
-            let per_launch = scale_stats(&e.stats, 1.0 / e.launches.max(1) as f64);
-            let model_ms = kernel_time(&per_launch, device) * e.launches as f64 * 1e3;
+            let model_ms = e.modeled_secs(device) * 1e3;
             total_model += model_ms;
             out.push_str(&format!(
                 "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10} {:>12.4}\n",
@@ -105,16 +120,19 @@ impl Profiler {
     }
 }
 
+// Rounds to nearest rather than truncating: with many launches the
+// per-launch share of each counter is fractional, and flooring every field
+// systematically undercounts the modeled per-launch work.
 fn scale_stats(s: &KernelStats, f: f64) -> KernelStats {
     KernelStats {
-        gmem_read_bytes: (s.gmem_read_bytes as f64 * f) as u64,
-        gmem_write_bytes: (s.gmem_write_bytes as f64 * f) as u64,
-        gmem_scattered_bytes: (s.gmem_scattered_bytes as f64 * f) as u64,
-        atomics: (s.atomics as f64 * f) as u64,
-        flops: (s.flops as f64 * f) as u64,
-        bitops: (s.bitops as f64 * f) as u64,
-        warps: (s.warps as f64 * f).max(1.0) as u64,
-        lane_steps: (s.lane_steps as f64 * f) as u64,
+        gmem_read_bytes: (s.gmem_read_bytes as f64 * f).round() as u64,
+        gmem_write_bytes: (s.gmem_write_bytes as f64 * f).round() as u64,
+        gmem_scattered_bytes: (s.gmem_scattered_bytes as f64 * f).round() as u64,
+        atomics: (s.atomics as f64 * f).round() as u64,
+        flops: (s.flops as f64 * f).round() as u64,
+        bitops: (s.bitops as f64 * f).round() as u64,
+        warps: (s.warps as f64 * f).round().max(1.0) as u64,
+        lane_steps: (s.lane_steps as f64 * f).round() as u64,
     }
 }
 
@@ -172,6 +190,52 @@ mod tests {
         assert_eq!(entries[0].1.launches, 2);
         assert_eq!(entries[0].1.stats.gmem_read_bytes, 150);
         assert_eq!(entries[0].1.wall, Duration::from_micros(3));
+    }
+
+    #[test]
+    fn per_launch_share_rounds_instead_of_truncating() {
+        // 2 launches sharing 1999 bytes: the per-launch share is 999.5,
+        // which truncation floored to 999. Rounding keeps every field
+        // within 0.5 of the exact fractional share.
+        let shared = scale_stats(&stats(1999), 1.0 / 2.0);
+        assert_eq!(shared.gmem_read_bytes, 1000, "999.5 must round up");
+
+        // The systematic effect the fix targets: modeled time of a
+        // many-launch label must not undercount relative to the exact
+        // fractional share. With truncation, 101 bytes over 100 launches
+        // modeled 1 byte/launch (1% low across every field).
+        let e = ProfileEntry {
+            launches: 100,
+            stats: stats(149),
+            wall: Duration::ZERO,
+        };
+        let per_launch = scale_stats(&e.stats, 1.0 / 100.0);
+        assert_eq!(per_launch.gmem_read_bytes, 1, "1.49 rounds to 1");
+        let e2 = ProfileEntry {
+            launches: 100,
+            stats: stats(151),
+            wall: Duration::ZERO,
+        };
+        let p2 = scale_stats(&e2.stats, 1.0 / 100.0);
+        assert_eq!(p2.gmem_read_bytes, 2, "1.51 rounds to 2, truncation gave 1");
+        assert!(
+            e2.modeled_secs(&RTX_3090) >= e.modeled_secs(&RTX_3090),
+            "more bytes must never model faster"
+        );
+    }
+
+    #[test]
+    fn clear_starts_a_fresh_window() {
+        let p = Profiler::new();
+        p.record("k", stats(100), Duration::from_micros(5));
+        assert!(!p.is_empty());
+        p.clear();
+        assert!(p.is_empty());
+        assert!(p.entries().is_empty());
+        // The profiler stays usable after clearing.
+        p.record("k2", stats(10), Duration::from_micros(1));
+        assert_eq!(p.entries().len(), 1);
+        assert_eq!(p.entries()[0].0, "k2");
     }
 
     #[test]

@@ -19,3 +19,11 @@ trap 'rm -rf "$trace_dir"' EXIT
 ./target/release/repro trace --scale tiny --out "$trace_dir" | tee "$trace_dir/log"
 grep -E 'validated: [0-9]+ events \([1-9][0-9]* kernel spans\)' "$trace_dir/log" >/dev/null
 test -s "$trace_dir/trace.json" && test -s "$trace_dir/trace.summary.json"
+
+# Bench regression gate: regenerate the machine-readable tables at tiny
+# scale and diff every row's modeled device time against the committed
+# baselines. The modeled times are deterministic functions of the kernels'
+# work counters, so a >25% drift is a real change in counted work, not
+# measurement noise (wall_ms is recorded but never compared). Exits
+# nonzero on any regressed row.
+./target/release/repro bench --scale tiny --out "$trace_dir" --check results/baselines

@@ -66,12 +66,15 @@ pub fn connected_components_traced(
         .expect("indices are sorted");
 
     let mut round = 0u32;
+    // Recycled round output: `multiply_into` ping-pongs its buffers with
+    // the engine's staging area instead of allocating per round.
+    let mut candidates = SparseVector::zeros(n);
     while frontier.nnz() > 0 {
         round += 1;
         let t0 = trace::start(tr);
         let frontier_size = frontier.nnz();
         // Candidate labels: min over changed neighbors.
-        let (candidates, _) = engine.multiply(&frontier)?;
+        engine.multiply_into(&frontier, &mut candidates)?;
         let mut changed = Vec::new();
         for (v, cand) in candidates.iter() {
             if cand < labels[v] {

@@ -72,6 +72,11 @@ pub fn sssp_traced(
     dist[source] = 0.0;
     let mut frontier = SparseVector::from_entries(n, vec![(source as u32, 0.0)])?;
     let mut unvisited = n - 1;
+    // Round output, recycled through the engine: `multiply_into` swaps the
+    // result into `candidates` and keeps the displaced buffers as its next
+    // staging area, so the loop ping-pongs between two allocations instead
+    // of growing a fresh vector every relaxation.
+    let mut candidates = SparseVector::zeros(n);
 
     for round in 0..n {
         if frontier.nnz() == 0 {
@@ -79,7 +84,7 @@ pub fn sssp_traced(
         }
         let t0 = trace::start(tr);
         let frontier_size = frontier.nnz();
-        let (candidates, _) = engine.multiply(&frontier)?;
+        engine.multiply_into(&frontier, &mut candidates)?;
         let mut improved = Vec::new();
         for (v, d) in candidates.iter() {
             if d < dist[v] {

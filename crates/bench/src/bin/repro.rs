@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the TileSpMSpV paper.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|medium] [--out DIR]
+//! repro <experiment> [--scale tiny|small|medium] [--out DIR] [--check DIR]
 //!
 //! experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
 //!              profile trace bench
@@ -10,7 +10,11 @@
 //! `trace` runs one instrumented SpMSpV sweep plus one instrumented BFS,
 //! writing a Chrome Trace document and a run-summary JSON under `--out`
 //! and self-validating both. `bench` writes machine-readable benchmark
-//! tables (`BENCH_spmspv.json`, `BENCH_bfs.json`).
+//! tables (`BENCH_spmspv.json`, `BENCH_bfs.json`) including a skewed
+//! R-MAT row pair comparing direct vs nnz-binned dispatch; with
+//! `--check DIR` it then diffs every row's modeled device time against
+//! the committed baselines in `DIR` and exits non-zero when a row
+//! regresses by more than 25%.
 //!
 //! Each experiment prints the paper's rows/series to stdout and writes a
 //! CSV under `--out` (default `results/`). Absolute numbers come from the
@@ -44,6 +48,7 @@ fn main() {
     let experiment = args[0].clone();
     let mut scale = SuiteScale::Small;
     let mut out = PathBuf::from("results");
+    let mut check: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +74,16 @@ fn main() {
                     }
                 }
             }
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => check = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--check needs a baseline directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 usage_and_exit();
@@ -90,7 +105,7 @@ fn main() {
         "fig12" => fig12(scale, &out),
         "profile" => profile(scale),
         "trace" => trace_cmd(scale, &out),
-        "bench" => bench_cmd(scale, &out),
+        "bench" => bench_cmd(scale, &out, check.as_deref()),
         "all" => {
             table1();
             table2(scale, &out);
@@ -109,7 +124,7 @@ fn main() {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|all> \
-         [--scale tiny|small|medium] [--out DIR]"
+         [--scale tiny|small|medium] [--out DIR] [--check BASELINE_DIR]"
     );
     std::process::exit(2);
 }
@@ -783,8 +798,11 @@ fn trace_cmd(scale: SuiteScale, out: &Path) {
 
 /// `repro bench`: machine-readable benchmark tables. Each row pairs the
 /// median CPU wall time with the modeled RTX 3090 device time so CI can
-/// diff runs without scraping stdout.
-fn bench_cmd(scale: SuiteScale, out: &Path) {
+/// diff runs without scraping stdout. A skewed R-MAT row pair compares
+/// one-warp-per-row-tile dispatch with nnz-binned dispatch on the same
+/// product; with a baseline directory, every row's modeled time is
+/// gated against the committed tables.
+fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
     use tsv_simt::json;
 
     println!("== machine-readable benchmark tables ==");
@@ -853,6 +871,10 @@ fn bench_cmd(scale: SuiteScale, out: &Path) {
         println!("  {:<18} spmspv + bfs measured", e.name);
     }
 
+    spmspv_rows.push(',');
+    spmspv_rows.push_str(&balance_rows(scale));
+
+    let mut failures = 0usize;
     for (file, rows) in [
         ("BENCH_spmspv.json", spmspv_rows),
         ("BENCH_bfs.json", bfs_rows),
@@ -863,8 +885,167 @@ fn bench_cmd(scale: SuiteScale, out: &Path) {
         );
         tsv_simt::json::parse(&doc).expect("bench table must parse");
         let path = out.join(file);
-        std::fs::write(&path, doc).expect("write bench table");
+        std::fs::write(&path, &doc).expect("write bench table");
         println!("  -> wrote {}", path.display());
+        if let Some(dir) = check {
+            failures += check_against_baseline(file, &doc, dir);
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench check: {failures} row(s) regressed by more than 25% vs baseline");
+        std::process::exit(1);
     }
     println!();
+}
+
+/// The work-balance showcase: one SpMSpV on a skewed R-MAT with a dense
+/// frontier, dispatched once with one warp per active row tile and once
+/// with nnz-binned scheduling. Outputs must be bit-identical; the binned
+/// plan wins on modeled device time by spreading the power-law tiles over
+/// many short warps. Returns the two JSON rows (comma-joined).
+fn balance_rows(scale: SuiteScale) -> String {
+    use tsv_core::spmspv::{tile_spmspv_with, Balance, KernelChoice, SpMSpVOptions};
+    use tsv_simt::json;
+    use tsv_sparse::gen::{rmat, RmatConfig};
+
+    let (exp, ef) = match scale {
+        SuiteScale::Tiny => (10, 16),
+        SuiteScale::Small => (12, 16),
+        SuiteScale::Medium => (14, 32),
+    };
+    let a = rmat(RmatConfig::new(exp, ef), 11).to_csr();
+    let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+    let x = random_sparse_vector(a.ncols(), 0.3, 5);
+    let name = format!("rmat-skew-s{exp}");
+
+    let mut rows = Vec::new();
+    let mut outputs = Vec::new();
+    let mut modeled_ms = Vec::new();
+    let mut wall_ms = Vec::new();
+    for (label, balance) in [
+        ("direct", Balance::OneWarpPerRowTile),
+        ("binned", Balance::binned()),
+    ] {
+        let opts = SpMSpVOptions {
+            kernel: KernelChoice::RowTile,
+            balance,
+            ..Default::default()
+        };
+        let (y, report) = tile_spmspv_with(&tiled, &x, opts).unwrap();
+        let wall = median_secs(
+            || {
+                std::hint::black_box(tile_spmspv_with(&tiled, &x, opts).unwrap());
+            },
+            3,
+            0.01,
+        );
+        let modeled = modeled_secs([report.stats], &RTX_3090);
+        let mut row = format!(
+            "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"kernel\":\"{}\",\
+             \"balance\":\"{label}\",\"wall_ms\":{},\"modeled_ms\":{}",
+            json::escape(&format!("{name}/{label}")),
+            a.nrows(),
+            a.nnz(),
+            report.kernel.trace_label(),
+            json::number(wall * 1e3),
+            json::number(modeled * 1e3),
+        );
+        if let Some(d) = &report.dispatch {
+            let _ = write!(
+                row,
+                ",\"units\":{},\"warps\":{},\"max_warp_work\":{},\"imbalance\":{}",
+                d.units,
+                d.warps,
+                d.max_warp_work,
+                json::number(d.imbalance()),
+            );
+        }
+        row.push('}');
+        rows.push(row);
+        outputs.push(y);
+        modeled_ms.push(modeled * 1e3);
+        wall_ms.push(wall * 1e3);
+    }
+
+    let bits = |y: &tsv_sparse::SparseVector<f64>| -> Vec<u64> {
+        y.values().iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(outputs[0].indices(), outputs[1].indices());
+    assert_eq!(
+        bits(&outputs[0]),
+        bits(&outputs[1]),
+        "binned dispatch must be bit-identical to direct"
+    );
+    println!(
+        "  {:<18} direct {:.3} ms vs binned {:.3} ms modeled ({:.2}x); wall {:.3} vs {:.3} ms ({:.2}x)",
+        name,
+        modeled_ms[0],
+        modeled_ms[1],
+        modeled_ms[0] / modeled_ms[1],
+        wall_ms[0],
+        wall_ms[1],
+        wall_ms[0] / wall_ms[1],
+    );
+    rows.join(",")
+}
+
+/// Compares a freshly generated bench table against the committed
+/// baseline of the same name: any row whose modeled device time grew by
+/// more than 25%, or that vanished from the new table, counts as a
+/// regression. Rows new in this run (no baseline yet) pass. Returns the
+/// number of regressed rows; a missing or unreadable baseline file is a
+/// hard error so CI cannot silently skip the gate.
+fn check_against_baseline(file: &str, new_doc: &str, baseline_dir: &Path) -> usize {
+    let path = baseline_dir.join(file);
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench check: cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let rows_of = |doc: &str, which: &str| -> Vec<(String, f64)> {
+        let v = tsv_simt::json::parse(doc).unwrap_or_else(|e| {
+            eprintln!("bench check: {which} {file} does not parse: {e}");
+            std::process::exit(1);
+        });
+        v.get("rows")
+            .and_then(|r| r.as_array().map(|a| a.to_vec()))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|row| {
+                let name = row.get("matrix")?.as_str()?.to_string();
+                let modeled = row.get("modeled_ms")?.as_f64()?;
+                Some((name, modeled))
+            })
+            .collect()
+    };
+    let base_rows = rows_of(&baseline, "baseline");
+    let new_rows = rows_of(new_doc, "new");
+
+    let mut failures = 0;
+    for (name, base_ms) in &base_rows {
+        match new_rows.iter().find(|(n, _)| n == name) {
+            None => {
+                eprintln!("  REGRESSION {file}: row {name:?} disappeared");
+                failures += 1;
+            }
+            Some((_, new_ms)) if *new_ms > 1.25 * base_ms => {
+                eprintln!(
+                    "  REGRESSION {file}: {name} modeled {:.4} ms -> {:.4} ms (+{:.0}%)",
+                    base_ms,
+                    new_ms,
+                    100.0 * (new_ms / base_ms - 1.0)
+                );
+                failures += 1;
+            }
+            Some((_, new_ms)) => {
+                println!(
+                    "  ok {file}: {name} modeled {:.4} ms vs baseline {:.4} ms",
+                    new_ms, base_ms
+                );
+            }
+        }
+    }
+    failures
 }

@@ -12,7 +12,7 @@ use std::time::Instant;
 use tsv_baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
 use tsv_core::exec::{BfsEngine, SpMSpVEngine};
 use tsv_core::semiring::PlusTimes;
-use tsv_core::spmspv::{KernelChoice, SpMSpVOptions};
+use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
 use tsv_core::telemetry::RunSummary;
 use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
 use tsv_simt::device::RTX_3060;
@@ -103,6 +103,49 @@ fn write_trace_outputs(
     ))
 }
 
+/// Parses the `--balance` flag: `direct` (one warp per row tile, the
+/// default), `binned` (default thresholds), or `binned:<target>[:<split>]`
+/// with explicit target nnz per warp and maximum split width.
+pub fn parse_balance(spec: &str) -> Result<Balance, CliError> {
+    if spec == "direct" {
+        return Ok(Balance::OneWarpPerRowTile);
+    }
+    let mut parts = spec.split(':');
+    if parts.next() != Some("binned") {
+        return Err(CliError::Usage(format!(
+            "unknown balance {spec:?} (direct|binned[:target[:split]])"
+        )));
+    }
+    let Balance::Binned {
+        target_nnz: default_target,
+        max_split: default_split,
+    } = Balance::binned()
+    else {
+        unreachable!("Balance::binned is the binned variant");
+    };
+    let parse = |v: Option<&str>, name: &str, default: u32| -> Result<u32, CliError> {
+        match v {
+            None => Ok(default),
+            Some(v) => v.parse::<u32>().ok().filter(|&v| v > 0).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "balance {name} needs a positive integer, got {v:?}"
+                ))
+            }),
+        }
+    };
+    let target_nnz = parse(parts.next(), "target", default_target)?;
+    let max_split = parse(parts.next(), "split", default_split)?;
+    if parts.next().is_some() {
+        return Err(CliError::Usage(format!(
+            "unknown balance {spec:?} (direct|binned[:target[:split]])"
+        )));
+    }
+    Ok(Balance::Binned {
+        target_nnz,
+        max_split,
+    })
+}
+
 /// `tsv spmspv <matrix> --sparsity S [--trace-out F]`: one product with
 /// timing and report; with `--trace-out`, also a Chrome trace and a run
 /// summary of the launch.
@@ -111,6 +154,7 @@ pub fn cmd_spmspv(
     sparsity: f64,
     seed: u64,
     kernel: KernelChoice,
+    balance: Balance,
     trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
@@ -122,6 +166,7 @@ pub fn cmd_spmspv(
     let x = random_sparse_vector(a.ncols(), sparsity, seed);
     let opts = SpMSpVOptions {
         kernel,
+        balance,
         ..Default::default()
     };
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
@@ -139,6 +184,17 @@ pub fn cmd_spmspv(
         report.stats.flops,
         report.stats.gmem_bytes(),
     );
+    if let Some(d) = &report.dispatch {
+        out.push_str(&format!(
+            "dispatch: {} units -> {} warps   max/mean work {:.0}/{:.1} (imbalance {:.2})\n",
+            d.units,
+            d.warps,
+            d.max_warp_work as f64,
+            d.mean_warp_work(),
+            d.imbalance(),
+        ));
+        summary.record_dispatch(report.kernel.trace_label(), d);
+    }
     if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
         summary.record_profiler(engine.profiler());
         out.push_str(&write_trace_outputs(path, tracer, &summary)?);
@@ -216,9 +272,44 @@ mod tests {
     #[test]
     fn spmspv_runs_and_reports() {
         let a = banded(200, 5, 0.8, 1).to_csr();
-        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, None).unwrap();
+        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, Balance::default(), None).unwrap();
         assert!(s.contains("kernel:"));
         assert!(s.contains("nonzeros"));
+    }
+
+    #[test]
+    fn spmspv_binned_reports_dispatch_shape() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::RowTile, Balance::binned(), None).unwrap();
+        assert!(s.contains("dispatch:"), "{s}");
+        assert!(s.contains("imbalance"), "{s}");
+    }
+
+    #[test]
+    fn balance_specs_parse() {
+        assert_eq!(parse_balance("direct").unwrap(), Balance::OneWarpPerRowTile);
+        assert_eq!(parse_balance("binned").unwrap(), Balance::binned());
+        assert_eq!(
+            parse_balance("binned:128").unwrap(),
+            Balance::Binned {
+                target_nnz: 128,
+                max_split: match Balance::binned() {
+                    Balance::Binned { max_split, .. } => max_split,
+                    _ => unreachable!(),
+                }
+            }
+        );
+        assert_eq!(
+            parse_balance("binned:96:8").unwrap(),
+            Balance::Binned {
+                target_nnz: 96,
+                max_split: 8
+            }
+        );
+        assert!(parse_balance("tilted").is_err());
+        assert!(parse_balance("binned:0").is_err());
+        assert!(parse_balance("binned:64:4:9").is_err());
+        assert!(parse_balance("binned:many").is_err());
     }
 
     #[test]
@@ -238,7 +329,15 @@ mod tests {
         let a = banded(300, 5, 0.8, 1).to_csr();
 
         let spmspv_trace = dir.join("spmspv.trace.json");
-        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, Some(&spmspv_trace)).unwrap();
+        let s = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::binned(),
+            Some(&spmspv_trace),
+        )
+        .unwrap();
         assert!(s.contains("trace:"), "{s}");
         let doc = std::fs::read_to_string(&spmspv_trace).unwrap();
         let check = tsv_simt::trace::validate_chrome_trace(&doc).unwrap();

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! tsv info    <matrix>
-//! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col] [--trace-out F]
+//! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
+//!             [--balance direct|binned[:target[:split]]] [--trace-out F]
 //! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise] [--trace-out F]
 //! tsv convert <in> <out.mtx>
 //!
@@ -15,8 +16,8 @@
 //! (see `tsv_cli::source`).
 //! ```
 
-use tsv_cli::{cmd_bfs, cmd_info, cmd_spmspv, load_matrix, CliError};
-use tsv_core::spmspv::KernelChoice;
+use tsv_cli::{cmd_bfs, cmd_info, cmd_spmspv, load_matrix, parse_balance, CliError};
+use tsv_core::spmspv::{Balance, KernelChoice};
 
 fn main() {
     if let Err(e) = run() {
@@ -51,10 +52,14 @@ fn run() -> Result<(), CliError> {
                     )))
                 }
             };
+            let balance = match flag_str(&args, "--balance") {
+                None => Balance::default(),
+                Some(spec) => parse_balance(&spec)?,
+            };
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
             print!(
                 "{}",
-                cmd_spmspv(&a, sparsity, seed, kernel, trace_out.as_deref())?
+                cmd_spmspv(&a, sparsity, seed, kernel, balance, trace_out.as_deref())?
             );
         }
         "bfs" => {
@@ -90,7 +95,8 @@ fn run() -> Result<(), CliError> {
 
 const USAGE: &str = "usage:
   tsv info    <matrix>
-  tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col] [--trace-out F]
+  tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
+              [--balance direct|binned[:target[:split]]] [--trace-out F]
   tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise] [--trace-out F]
   tsv convert <matrix> <out.mtx>
 

@@ -26,14 +26,17 @@
 use crate::bfs::{tile_bfs_traced, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
 use crate::semiring::{PlusTimes, Semiring};
 use crate::spmspv::generic::{
-    col_kernel_semiring, coo_kernel_semiring, drain_touched, row_kernel_semiring,
+    build_col_worklist, build_row_worklist, col_kernel_binned_semiring, col_kernel_semiring,
+    coo_kernel_semiring, drain_touched, row_kernel_binned_semiring, row_kernel_semiring,
 };
-use crate::spmspv::{ExecReport, KernelChoice, KernelUsed, SpMSpVOptions};
+use crate::spmspv::{Balance, DispatchStats, ExecReport, KernelChoice, KernelUsed, SpMSpVOptions};
 use crate::tile::{TileConfig, TileMatrix, TiledVector};
 use std::sync::Arc;
 use std::time::Instant;
 use tsv_simt::atomic::AtomicWords;
+use tsv_simt::grid::BinPlan;
 use tsv_simt::profile::Profiler;
+use tsv_simt::stats::KernelStats;
 use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
 
@@ -63,6 +66,20 @@ pub struct SpMSpVWorkspace<T = f64> {
     touched: AtomicWords,
     touched_list: Vec<u32>,
     contribs: Vec<Vec<(u32, T)>>,
+    /// Frontier-compacted unit list of the binned dispatch (row tiles or
+    /// vector tiles, ascending).
+    worklist: Vec<u32>,
+    /// Per-unit binning weights, sized `max(m_tiles, n_tiles)`; all-zero
+    /// between calls (reset by iterating `worklist`).
+    unit_weights: Vec<u64>,
+    /// The warp schedule built over `worklist` (buffers reused call to
+    /// call).
+    plan: BinPlan,
+    /// Compacted-output staging: the driver writes the result's index /
+    /// value arrays here, so iterative callers can recycle them instead of
+    /// reallocating every multiply.
+    out_indices: Vec<u32>,
+    out_vals: Vec<T>,
     metrics: EngineMetrics,
 }
 
@@ -75,6 +92,11 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
             touched: AtomicWords::zeroed(0),
             touched_list: Vec::new(),
             contribs: Vec::new(),
+            worklist: Vec::new(),
+            unit_weights: Vec::new(),
+            plan: BinPlan::new(),
+            out_indices: Vec::new(),
+            out_vals: Vec::new(),
             metrics: EngineMetrics::default(),
         }
     }
@@ -100,6 +122,17 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
         if self.touched_list.capacity() < a.m_tiles() {
             let additional = a.m_tiles() - self.touched_list.len();
             self.touched_list.reserve(additional);
+            reshaped = true;
+        }
+        let units = a.m_tiles().max(a.n_tiles());
+        if self.unit_weights.len() != units {
+            self.unit_weights.clear();
+            self.unit_weights.resize(units, 0);
+            reshaped = true;
+        }
+        if self.worklist.capacity() < units {
+            let additional = units - self.worklist.len();
+            self.worklist.reserve(additional);
             reshaped = true;
         }
         let xt_fits = self
@@ -139,7 +172,26 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
             self.touched_list.as_ptr() as usize,
             self.touched_list.capacity(),
         ));
+        f.push((self.worklist.as_ptr() as usize, self.worklist.capacity()));
+        f.push((
+            self.unit_weights.as_ptr() as usize,
+            self.unit_weights.capacity(),
+        ));
         f
+    }
+
+    /// `(pointer, capacity)` pairs of the compacted-output staging buffers.
+    /// Under [`SpMSpVEngine::multiply_into`] these ping-pong with the
+    /// caller's vector: across calls the pointers alternate between (at
+    /// most) two stable allocations instead of being reallocated each time.
+    pub fn output_fingerprint(&self) -> [(usize, usize); 2] {
+        [
+            (
+                self.out_indices.as_ptr() as usize,
+                self.out_indices.capacity(),
+            ),
+            (self.out_vals.as_ptr() as usize, self.out_vals.capacity()),
+        ]
     }
 }
 
@@ -179,9 +231,9 @@ where
 }
 
 /// [`spmspv_with_workspace`] with telemetry: the internal phases (input
-/// compression, the tile kernel, the hybrid COO pass, compaction) are
-/// recorded on `tracer` as `"phase"` spans. With `None`, each phase
-/// boundary costs one branch.
+/// compression, dispatch planning, the tile kernel, the hybrid COO pass,
+/// compaction) are recorded on `tracer` as `"phase"` spans. With `None`,
+/// each phase boundary costs one branch.
 pub fn spmspv_traced<S: Semiring>(
     a: &TileMatrix<S::T>,
     x: &SparseVector<S::T>,
@@ -189,6 +241,30 @@ pub fn spmspv_traced<S: Semiring>(
     ws: &mut SpMSpVWorkspace<S::T>,
     tracer: Option<&Tracer>,
 ) -> Result<(SparseVector<S::T>, ExecReport), SparseError>
+where
+    S::T: Default,
+{
+    let report = spmspv_into_ws::<S>(a, x, opts, ws, tracer)?;
+    let y = SparseVector::from_parts(
+        a.nrows(),
+        std::mem::take(&mut ws.out_indices),
+        std::mem::take(&mut ws.out_vals),
+    )
+    .expect("touched-tile order yields sorted unique indices");
+    Ok((y, report))
+}
+
+/// The workspace-resident driver: runs the full pipeline and leaves the
+/// compacted result in `ws.out_indices` / `ws.out_vals`. Callers either
+/// take the buffers ([`spmspv_traced`]) or swap them with a recycled
+/// vector's ([`SpMSpVEngine::multiply_into`]).
+fn spmspv_into_ws<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    opts: SpMSpVOptions,
+    ws: &mut SpMSpVWorkspace<S::T>,
+    tracer: Option<&Tracer>,
+) -> Result<ExecReport, SparseError>
 where
     S::T: Default,
 {
@@ -211,6 +287,11 @@ where
         touched,
         touched_list,
         contribs,
+        worklist,
+        unit_weights,
+        plan,
+        out_indices,
+        out_vals,
         metrics,
     } = ws;
     let xt = xt.as_mut().expect("workspace prepared");
@@ -222,7 +303,14 @@ where
         KernelChoice::RowTile => KernelUsed::RowTile,
         KernelChoice::ColTile => KernelUsed::ColTile,
         KernelChoice::Auto => {
-            if x.sparsity() < opts.csc_threshold {
+            // The compacted row kernel's work scales with *active tiles*,
+            // so under Binned the CSC rule compares tile occupancy, not
+            // element sparsity, against the threshold.
+            let very_sparse = match opts.balance {
+                Balance::OneWarpPerRowTile => x.sparsity() < opts.csc_threshold,
+                Balance::Binned { .. } => xt.tile_occupancy() < opts.csc_threshold,
+            };
+            if very_sparse {
                 KernelUsed::ColTile
             } else {
                 KernelUsed::RowTile
@@ -231,9 +319,61 @@ where
     };
 
     let t_kernel = trace::start(tracer);
-    let mut stats = match kernel {
-        KernelUsed::RowTile => row_kernel_semiring::<S>(a, xt, y, touched),
-        KernelUsed::ColTile => col_kernel_semiring::<S>(a, xt, y, contribs, touched),
+    let mut dispatch = None;
+    let mut stats = match (kernel, opts.balance) {
+        (KernelUsed::RowTile, Balance::OneWarpPerRowTile) => {
+            row_kernel_semiring::<S>(a, xt, y, touched)
+        }
+        (KernelUsed::ColTile, Balance::OneWarpPerRowTile) => {
+            col_kernel_semiring::<S>(a, xt, y, contribs, touched)
+        }
+        (
+            kernel,
+            Balance::Binned {
+                target_nnz,
+                max_split,
+            },
+        ) => {
+            // Dispatch planning: compact the frontier into a unit work
+            // list, then bin it into warps. Its traffic is device work and
+            // is charged into the kernel's stats.
+            let t_plan = trace::start(tracer);
+            let mut plan_stats = KernelStats::default();
+            match kernel {
+                KernelUsed::RowTile => {
+                    build_row_worklist(a, xt, worklist, unit_weights, &mut plan_stats)
+                }
+                KernelUsed::ColTile => {
+                    build_col_worklist(a, xt, worklist, unit_weights, &mut plan_stats)
+                }
+            }
+            plan.rebuild(
+                worklist,
+                |u| unit_weights[u as usize],
+                (target_nnz as u64).max(1),
+                max_split.max(1),
+            );
+            for &u in worklist.iter() {
+                unit_weights[u as usize] = 0;
+            }
+            let stats = DispatchStats::from_plan(plan, worklist.len());
+            dispatch = Some(stats);
+            trace::dispatch(
+                tracer,
+                "spmspv/dispatch-plan",
+                stats.to_trace_info(),
+                t_plan,
+            );
+            plan_stats
+                + match kernel {
+                    KernelUsed::RowTile => {
+                        row_kernel_binned_semiring::<S>(a, xt, y, worklist, plan, contribs, touched)
+                    }
+                    KernelUsed::ColTile => {
+                        col_kernel_binned_semiring::<S>(a, xt, y, plan, contribs, touched)
+                    }
+                }
+        }
     };
     trace::phase(
         tracer,
@@ -252,21 +392,22 @@ where
         trace::phase(tracer, "spmspv/coo-pass", t_coo);
     }
 
-    // Compact and reset only the row tiles the kernels wrote.
+    // Compact and reset only the row tiles the kernels wrote, staging the
+    // result in the workspace's recyclable output buffers.
     let t_compact = trace::start(tracer);
     drain_touched(touched, touched_list);
     let nt = a.nt();
     let n = a.nrows();
     let zero = S::zero();
-    let mut indices = Vec::new();
-    let mut vals = Vec::new();
+    out_indices.clear();
+    out_vals.clear();
     for &rt in touched_list.iter() {
         let base = rt as usize * nt;
         let end = (base + nt).min(n);
         for (i, v) in y[base..end].iter().enumerate() {
             if *v != zero {
-                indices.push((base + i) as u32);
-                vals.push(*v);
+                out_indices.push((base + i) as u32);
+                out_vals.push(*v);
             }
         }
         metrics.slots_scanned += (end - base) as u64;
@@ -276,9 +417,11 @@ where
     metrics.calls += 1;
     trace::phase(tracer, "spmspv/compact", t_compact);
 
-    let y = SparseVector::from_parts(n, indices, vals)
-        .expect("touched-tile order yields sorted unique indices");
-    Ok((y, ExecReport { kernel, stats }))
+    Ok(ExecReport {
+        kernel,
+        stats,
+        dispatch,
+    })
 }
 
 /// A prepared SpMSpV operator: a [`TileMatrix`] bound to a reusable
@@ -339,6 +482,19 @@ where
         Ok(Self::new(TileMatrix::from_csr(a, config)?))
     }
 
+    /// [`Self::from_csr`] with explicit kernel-selection options (the same
+    /// dense-tile safety rule applies).
+    pub fn from_csr_with(
+        a: &CsrMatrix<S::T>,
+        mut config: TileConfig,
+        opts: SpMSpVOptions,
+    ) -> Result<Self, SparseError> {
+        if S::zero() != S::T::default() {
+            config.dense_threshold = 2.0;
+        }
+        Ok(Self::with_options(TileMatrix::from_csr(a, config)?, opts))
+    }
+
     /// [`Self::from_csr`] with telemetry: the tiling pass is recorded as a
     /// `"spmspv/tiling"` phase span and the tracer is attached to the
     /// engine, so every later `multiply` records a kernel event.
@@ -389,6 +545,45 @@ where
         self.profiler
             .record(report.kernel.trace_label(), report.stats, wall);
         Ok((y, report))
+    }
+
+    /// [`Self::multiply`] into a caller-owned vector, recycling its
+    /// buffers: the result replaces `y`'s contents and `y`'s previous
+    /// index/value allocations become the workspace's next compaction
+    /// staging. An iterative caller that feeds each round's output back in
+    /// (directly or after rebuilding a frontier from it) ping-pongs between
+    /// two stable allocations instead of reallocating every call.
+    pub fn multiply_into(
+        &mut self,
+        x: &SparseVector<S::T>,
+        y: &mut SparseVector<S::T>,
+    ) -> Result<ExecReport, SparseError> {
+        let tracer = self.tracer.as_deref();
+        let t0 = trace::start(tracer);
+        let start = Instant::now();
+        let report = spmspv_into_ws::<S>(&self.a, x, self.opts, &mut self.ws, tracer)?;
+        let wall = start.elapsed();
+        trace::kernel(tracer, report.kernel.trace_label(), report.stats, t0);
+        self.profiler
+            .record(report.kernel.trace_label(), report.stats, wall);
+        let (old_i, old_v) = y
+            .replace_parts(
+                self.a.nrows(),
+                std::mem::take(&mut self.ws.out_indices),
+                std::mem::take(&mut self.ws.out_vals),
+            )
+            .expect("touched-tile order yields sorted unique indices");
+        self.ws.out_indices = old_i;
+        self.ws.out_indices.clear();
+        self.ws.out_vals = old_v;
+        self.ws.out_vals.clear();
+        Ok(report)
+    }
+
+    /// `(pointer, capacity)` pairs of the compacted-output staging buffers
+    /// — see [`SpMSpVWorkspace::output_fingerprint`].
+    pub fn output_fingerprint(&self) -> [(usize, usize); 2] {
+        self.ws.output_fingerprint()
     }
 
     /// The prepared matrix.

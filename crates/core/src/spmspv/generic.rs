@@ -23,7 +23,7 @@
 use crate::semiring::Semiring;
 use crate::tile::{TileMatrix, TiledVector};
 use tsv_simt::atomic::AtomicWords;
-use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::grid::{launch_binned, launch_over_chunks, launch_over_worklist, BinPlan};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::warp::WARP_SIZE;
 use tsv_sparse::SparseVector;
@@ -112,6 +112,314 @@ where
             mark(touched, rt);
         }
     })
+}
+
+/// Builds the frontier-compacted row-tile work list: one pass over the
+/// active vector tiles and their stored column tiles, so the cost is
+/// proportional to active (row-tile, tile) pairs rather than `m_tiles`.
+///
+/// `worklist` receives the row tiles with at least one active tile, in
+/// ascending order; `weights[rt]` receives the total stored nnz of `rt`'s
+/// active tiles (the binning weight) and is left *set* — the caller resets
+/// it by iterating `worklist` after planning. `weights` must be `m_tiles`
+/// long and all-zero on entry. The traffic of the pass is charged to
+/// `stats` (it is device work: the GPU form is a scan over the CSC tile
+/// lists plus a compaction).
+pub fn build_row_worklist<T: Copy + PartialEq + Default + Send + Sync>(
+    a: &TileMatrix<T>,
+    x: &TiledVector<T>,
+    worklist: &mut Vec<u32>,
+    weights: &mut [u64],
+    stats: &mut KernelStats,
+) {
+    debug_assert!(weights.len() >= a.m_tiles(), "weights sized to m_tiles");
+    worklist.clear();
+    for &ct in x.active_tiles() {
+        stats.read(4); // the active-tile id (streamed)
+        for &t in a.col_tiles(ct as usize) {
+            let t = t as usize;
+            let rt = a.tile_row_of(t);
+            // Tile id + its row-tile id + nnz, streamed from the CSC-side
+            // tile lists.
+            stats.read(4 + 4 + 4);
+            if weights[rt] == 0 {
+                worklist.push(rt as u32);
+            }
+            weights[rt] += (a.tile(t).nnz() as u64).max(1);
+        }
+    }
+    worklist.sort_unstable();
+    stats.write(worklist.len() * 4);
+}
+
+/// Builds the work list for the vector-driven kernel: the active vector
+/// tiles themselves (already sorted), weighted by the stored nnz of each
+/// one's column of tiles. `weights` must be `n_tiles` long and all-zero on
+/// entry; the caller resets it by iterating `worklist` after planning.
+pub fn build_col_worklist<T: Copy + PartialEq + Default + Send + Sync>(
+    a: &TileMatrix<T>,
+    x: &TiledVector<T>,
+    worklist: &mut Vec<u32>,
+    weights: &mut [u64],
+    stats: &mut KernelStats,
+) {
+    debug_assert!(weights.len() >= a.n_tiles(), "weights sized to n_tiles");
+    worklist.clear();
+    for &ct in x.active_tiles() {
+        stats.read(4);
+        let mut w = 0u64;
+        for &t in a.col_tiles(ct as usize) {
+            stats.read(4 + 4);
+            w += a.tile(t as usize).nnz() as u64;
+        }
+        // Empty columns still get a (light) unit: the direct kernel also
+        // launches a warp for every active vector tile.
+        weights[ct as usize] = w.max(1);
+        worklist.push(ct);
+    }
+    stats.write(worklist.len() * 4);
+}
+
+/// CSR-form row-tile kernel over the frontier-compacted, nnz-binned
+/// dispatch plan.
+///
+/// `plan` must have been built over the `worklist` of
+/// [`build_row_worklist`]. Two dispatch shapes:
+///
+/// * When the plan degenerated to one whole unit per warp, the kernel runs
+///   [`launch_over_worklist`] and writes `y` directly — each warp owns its
+///   row tile exactly as in [`row_kernel_semiring`].
+/// * Otherwise (packed or split warps share unit ranges) every warp buffers
+///   `(row, partial)` contributions and they are merged in warp order.
+///
+/// Either way the per-row accumulation order is *identical* to
+/// [`row_kernel_semiring`]: each listed row tile's stored tiles are visited
+/// in tile order (split parts take contiguous sub-ranges, merged in part
+/// order), and every tile-row partial is folded into `y` left-to-right. For
+/// `PlusTimes` over `f64` this makes the result bit-for-bit equal to the
+/// unbinned kernel; see DESIGN.md for the determinism argument.
+pub fn row_kernel_binned_semiring<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &TiledVector<S::T>,
+    y: &mut [S::T],
+    worklist: &[u32],
+    plan: &BinPlan,
+    contribs: &mut Vec<Vec<(u32, S::T)>>,
+    touched: &AtomicWords,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    let nt = a.nt();
+    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
+    debug_assert_eq!(y.len(), a.m_tiles() * nt, "padded output sized wrong");
+    let vb = std::mem::size_of::<S::T>();
+
+    // Fast path: nothing was packed or split, so each warp exclusively owns
+    // one listed row tile and can write y in place.
+    if plan.n_warps() == worklist.len() && plan.n_assignments() == worklist.len() {
+        return launch_over_worklist(y, nt, worklist, |warp, rt, y_tile| {
+            let rt = rt as usize;
+            let mut dirty = false;
+            for t in a.row_tile_range(rt) {
+                let view = a.tile(t);
+                warp.stats.read(4);
+                warp.stats.read_scattered(4);
+                let Some(x_tile) = x.tile(view.col_tile) else {
+                    continue;
+                };
+                warp.stats.read(nt * vb);
+                dirty = true;
+                match view.dense {
+                    Some(d) => {
+                        warp.stats.read(nt * nt * vb);
+                        for lr in 0..nt {
+                            let row = &d[lr * nt..(lr + 1) * nt];
+                            let mut sum = S::zero();
+                            for (&v, &xv) in row.iter().zip(x_tile) {
+                                sum = S::add(sum, S::mul(v, xv));
+                            }
+                            y_tile[lr] = S::add(y_tile[lr], sum);
+                        }
+                        warp.stats.flop(2 * nt * nt);
+                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+                    }
+                    None => {
+                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                        for (lr, y_slot) in y_tile.iter_mut().enumerate() {
+                            let (cols, vals) = view.row(lr);
+                            if cols.is_empty() {
+                                continue;
+                            }
+                            let mut sum = S::zero();
+                            for (&lc, &v) in cols.iter().zip(vals) {
+                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                            }
+                            warp.stats.flop(2 * cols.len());
+                            *y_slot = S::add(*y_slot, sum);
+                        }
+                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                    }
+                }
+            }
+            warp.stats.write(nt * vb);
+            if dirty {
+                mark(touched, rt);
+            }
+        });
+    }
+
+    if contribs.len() < plan.n_warps() {
+        contribs.resize_with(plan.n_warps(), Vec::new);
+    }
+    let stats = launch_binned(plan, contribs, |warp, assignments, bucket| {
+        for asg in assignments {
+            let rt = asg.unit as usize;
+            let tiles = a.row_tile_range(rt);
+            let idx = if asg.parts == 1 {
+                0..tiles.len()
+            } else {
+                asg.part_range(tiles.len())
+            };
+            let base = rt * nt;
+            let mut dirty = false;
+            for ti in idx {
+                let view = a.tile(tiles.start + ti);
+                warp.stats.read(4);
+                warp.stats.read_scattered(4);
+                let Some(x_tile) = x.tile(view.col_tile) else {
+                    continue;
+                };
+                warp.stats.read(nt * vb);
+                dirty = true;
+                match view.dense {
+                    Some(d) => {
+                        warp.stats.read(nt * nt * vb);
+                        for lr in 0..nt {
+                            let row = &d[lr * nt..(lr + 1) * nt];
+                            let mut sum = S::zero();
+                            for (&v, &xv) in row.iter().zip(x_tile) {
+                                sum = S::add(sum, S::mul(v, xv));
+                            }
+                            bucket.push(((base + lr) as u32, sum));
+                        }
+                        warp.stats.flop(2 * nt * nt);
+                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+                    }
+                    None => {
+                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                        for lr in 0..nt {
+                            let (cols, vals) = view.row(lr);
+                            if cols.is_empty() {
+                                continue;
+                            }
+                            let mut sum = S::zero();
+                            for (&lc, &v) in cols.iter().zip(vals) {
+                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                            }
+                            warp.stats.flop(2 * cols.len());
+                            bucket.push(((base + lr) as u32, sum));
+                        }
+                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                    }
+                }
+            }
+            // One (partial) output-tile write per assignment; empty split
+            // parts touched nothing and write nothing.
+            if dirty {
+                warp.stats.write(nt * vb);
+            }
+        }
+    });
+    merge_contribs::<S>(&mut contribs[..plan.n_warps()], y, nt, touched);
+    stats
+}
+
+/// Vector-driven kernel over the nnz-binned dispatch plan: active vector
+/// tiles packed/split per `plan`, contributions buffered per warp and
+/// merged in warp order. The push order (and therefore the accumulation
+/// order into `y`) is identical to [`col_kernel_semiring`]'s warp-ordered
+/// merge, so results match it bitwise.
+pub fn col_kernel_binned_semiring<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &TiledVector<S::T>,
+    y: &mut [S::T],
+    plan: &BinPlan,
+    contribs: &mut Vec<Vec<(u32, S::T)>>,
+    touched: &AtomicWords,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    let nt = a.nt();
+    debug_assert_eq!(x.nt(), nt, "vector tiled with a different nt");
+    debug_assert_eq!(y.len(), a.m_tiles() * nt, "padded output sized wrong");
+    let vb = std::mem::size_of::<S::T>();
+
+    if contribs.len() < plan.n_warps() {
+        contribs.resize_with(plan.n_warps(), Vec::new);
+    }
+    let stats = launch_binned(plan, contribs, |warp, assignments, bucket| {
+        for asg in assignments {
+            let ct = asg.unit as usize;
+            let x_tile = x.tile(ct).expect("work-list tiles are non-empty");
+            warp.stats.read(nt * vb);
+            let tiles = a.col_tiles(ct);
+            let idx = if asg.parts == 1 {
+                0..tiles.len()
+            } else {
+                asg.part_range(tiles.len())
+            };
+            for &t in &tiles[idx] {
+                let t = t as usize;
+                let view = a.tile(t);
+                let rt = a.tile_row_of(t);
+                warp.stats.read(4 + 4);
+                let base = rt * nt;
+                match view.dense {
+                    Some(d) => {
+                        warp.stats.read(nt * nt * vb);
+                        for lr in 0..nt {
+                            let row = &d[lr * nt..(lr + 1) * nt];
+                            let mut sum = S::zero();
+                            for (&v, &xv) in row.iter().zip(x_tile) {
+                                sum = S::add(sum, S::mul(v, xv));
+                            }
+                            if sum != S::zero() {
+                                bucket.push(((base + lr) as u32, sum));
+                                warp.stats.atomic(1);
+                                warp.stats.write_scattered(vb);
+                            }
+                        }
+                        warp.stats.flop(2 * nt * nt);
+                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+                    }
+                    None => {
+                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                        for lr in 0..nt {
+                            let (cols, vals) = view.row(lr);
+                            if cols.is_empty() {
+                                continue;
+                            }
+                            let mut sum = S::zero();
+                            for (&lc, &v) in cols.iter().zip(vals) {
+                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                            }
+                            warp.stats.flop(2 * cols.len());
+                            if sum != S::zero() {
+                                bucket.push(((base + lr) as u32, sum));
+                                warp.stats.atomic(1);
+                                warp.stats.write_scattered(vb);
+                            }
+                        }
+                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                    }
+                }
+            }
+        }
+    });
+    merge_contribs::<S>(&mut contribs[..plan.n_warps()], y, nt, touched);
+    stats
 }
 
 /// CSC-form (vector-driven) kernel over an arbitrary semiring.

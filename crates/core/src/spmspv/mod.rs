@@ -46,14 +46,136 @@ pub enum KernelChoice {
     ColTile,
 }
 
+/// Warp-scheduling policy for the tile kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Balance {
+    /// One warp per row tile over the full grid — the paper's Algorithm 4
+    /// launch, and the default. Bit-for-bit identical to the pre-dispatch
+    /// behavior.
+    #[default]
+    OneWarpPerRowTile,
+    /// Frontier-compacted work list with nnz-binned warp scheduling: only
+    /// row tiles intersecting the active vector tiles are launched, light
+    /// ones packed together and heavy ones split across warps (CMRS-style),
+    /// with per-warp partial buffers merged in warp order.
+    Binned {
+        /// Target scheduled nnz per warp: light units pack until a warp
+        /// holds roughly this much work, units of ≥ 2× this split.
+        target_nnz: u32,
+        /// Cap on how many warps one unit may split into.
+        max_split: u32,
+    },
+}
+
+impl Balance {
+    /// The binned policy with default thresholds: one warp targets 64 nnz
+    /// (two multiply-adds per lane), splits capped at 32 warps. Small
+    /// targets deliberately over-decompose — many light warps hide latency
+    /// far better than few heavy ones, and the per-warp scheduling cost
+    /// they add is two orders of magnitude below the occupancy win.
+    pub fn binned() -> Self {
+        Balance::Binned {
+            target_nnz: 64,
+            max_split: 32,
+        }
+    }
+}
+
+/// Dispatch-plan telemetry of one binned launch: how the frontier-compacted
+/// work list was packed into warps. `None` in [`ExecReport`] when the launch
+/// used the one-warp-per-row-tile grid.
+///
+/// Histogram buckets are powers of two: bucket `i` counts warps whose value
+/// `v` satisfies `2^i <= v < 2^(i+1)` (bucket 0 additionally holds `v = 0`),
+/// with the last bucket open-ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Work-list length: units (row tiles / vector tiles) with active work.
+    pub units: u32,
+    /// Warps the plan launched (packing and splitting applied).
+    pub warps: u32,
+    /// Bin occupancy: warps by assignment count (power-of-two buckets).
+    pub occupancy_hist: [u32; 8],
+    /// Per-warp scheduled work in nnz (power-of-two buckets).
+    pub work_hist: [u32; 16],
+    /// Heaviest warp's scheduled nnz.
+    pub max_warp_work: u64,
+    /// Total scheduled nnz across all warps.
+    pub total_work: u64,
+}
+
+impl DispatchStats {
+    /// Summarizes a built [`BinPlan`] over a `units`-long work list.
+    pub fn from_plan(plan: &tsv_simt::grid::BinPlan, units: usize) -> Self {
+        fn bucket(v: u64, len: usize) -> usize {
+            if v == 0 {
+                0
+            } else {
+                (v.ilog2() as usize).min(len - 1)
+            }
+        }
+        let mut s = DispatchStats {
+            units: units as u32,
+            warps: plan.n_warps() as u32,
+            ..Default::default()
+        };
+        for w in 0..plan.n_warps() {
+            s.occupancy_hist[bucket(plan.warp(w).len() as u64, s.occupancy_hist.len())] += 1;
+        }
+        for &wt in plan.warp_weights() {
+            s.work_hist[bucket(wt, s.work_hist.len())] += 1;
+            s.max_warp_work = s.max_warp_work.max(wt);
+            s.total_work += wt;
+        }
+        s
+    }
+
+    /// Mean scheduled nnz per warp.
+    pub fn mean_warp_work(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.total_work as f64 / self.warps as f64
+        }
+    }
+
+    /// `max / mean` per-warp work — 1.0 is a perfectly balanced launch.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_warp_work();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_warp_work as f64 / mean
+        }
+    }
+
+    /// The tracer-side view of the same numbers, attached to
+    /// `spmspv/dispatch-plan` spans.
+    pub fn to_trace_info(self) -> tsv_simt::trace::DispatchInfo {
+        tsv_simt::trace::DispatchInfo {
+            units: self.units,
+            warps: self.warps,
+            max_warp_work: self.max_warp_work,
+            total_work: self.total_work,
+            occupancy_hist: self.occupancy_hist,
+            work_hist: self.work_hist,
+        }
+    }
+}
+
 /// Options for [`tile_spmspv_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct SpMSpVOptions {
     /// Kernel selection policy.
     pub kernel: KernelChoice,
     /// `Auto` picks the column kernel when `nnz(x)/n` falls below this
-    /// (the paper's Push-CSC threshold of 0.01).
+    /// (the paper's Push-CSC threshold of 0.01). Under [`Balance::Binned`]
+    /// the same threshold is applied to the *tile occupancy* of the
+    /// compressed vector instead — the compacted row kernel's work scales
+    /// with active tiles, so element sparsity no longer predicts its cost.
     pub csc_threshold: f64,
+    /// Warp-scheduling policy for the tile kernels.
+    pub balance: Balance,
 }
 
 impl Default for SpMSpVOptions {
@@ -61,6 +183,7 @@ impl Default for SpMSpVOptions {
         SpMSpVOptions {
             kernel: KernelChoice::Auto,
             csc_threshold: 0.01,
+            balance: Balance::OneWarpPerRowTile,
         }
     }
 }
@@ -114,6 +237,9 @@ pub struct ExecReport {
     pub kernel: KernelUsed,
     /// Work counters of the tile kernel plus the COO pass.
     pub stats: KernelStats,
+    /// Dispatch-plan telemetry when the launch was binned
+    /// ([`Balance::Binned`]); `None` on the one-warp-per-row-tile grid.
+    pub dispatch: Option<DispatchStats>,
 }
 
 /// `y = A x` with default options.

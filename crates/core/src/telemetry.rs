@@ -14,6 +14,7 @@
 //! so the summary's totals equal the profiler's `report` figures exactly.
 
 use crate::bfs::BfsResult;
+use crate::spmspv::DispatchStats;
 use crate::tile::TileMatrix;
 use std::fmt::Write as _;
 use tsv_simt::device::DeviceConfig;
@@ -21,8 +22,10 @@ use tsv_simt::json;
 use tsv_simt::model::kernel_time;
 use tsv_simt::profile::Profiler;
 
-/// Schema version of [`RunSummary::to_json`].
-pub const SCHEMA_VERSION: u32 = 1;
+/// Schema version of [`RunSummary::to_json`]. Version 2 added the
+/// `dispatch` array (per-plan warp-occupancy and work-imbalance views of
+/// the binned scheduler).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One row of the per-kernel table.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +82,50 @@ pub struct Histogram {
     pub buckets: Vec<(String, u64)>,
 }
 
+/// One dispatch-plan row: how the binned scheduler distributed work
+/// units across warps for a labeled sequence of launches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchSummary {
+    /// Plan label, e.g. `"spmspv/row-tile-binned"`.
+    pub label: String,
+    /// Plans aggregated into this row.
+    pub plans: usize,
+    /// Summed work units (active row/column tiles) across the plans.
+    pub units: u64,
+    /// Summed warps launched across the plans.
+    pub warps: u64,
+    /// Heaviest per-warp work seen in any plan.
+    pub max_warp_work: u64,
+    /// Summed per-warp work across all warps of all plans.
+    pub total_work: u64,
+    /// Warp counts bucketed by units-per-warp (power-of-two buckets).
+    pub occupancy: Histogram,
+    /// Warp counts bucketed by per-warp work (power-of-two buckets).
+    pub work: Histogram,
+}
+
+impl DispatchSummary {
+    /// Mean per-warp work across all warps of all plans (0 when empty).
+    pub fn mean_warp_work(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.total_work as f64 / self.warps as f64
+        }
+    }
+
+    /// `max_warp_work / mean_warp_work` — 1.0 is perfectly balanced, and
+    /// the value reported for an empty row.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_warp_work();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_warp_work as f64 / mean
+        }
+    }
+}
+
 /// A structured, exportable account of one run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
@@ -87,6 +134,7 @@ pub struct RunSummary {
     kernels: Vec<KernelSummary>,
     bfs_iterations: Vec<IterationSummary>,
     histograms: Vec<Histogram>,
+    dispatch: Vec<DispatchSummary>,
 }
 
 impl RunSummary {
@@ -98,6 +146,7 @@ impl RunSummary {
             kernels: Vec::new(),
             bfs_iterations: Vec::new(),
             histograms: Vec::new(),
+            dispatch: Vec::new(),
         }
     }
 
@@ -180,6 +229,46 @@ impl RunSummary {
         });
     }
 
+    /// Folds one dispatch plan's statistics into the row labeled `label`,
+    /// creating the row on first sight. Iterative workloads (BFS, SSSP)
+    /// call this once per `multiply`, so a row aggregates every plan the
+    /// label produced; histogram buckets add elementwise.
+    pub fn record_dispatch(&mut self, label: impl Into<String>, d: &DispatchStats) {
+        let label = label.into();
+        let row = match self.dispatch.iter_mut().find(|r| r.label == label) {
+            Some(row) => row,
+            None => {
+                self.dispatch.push(DispatchSummary {
+                    label: label.clone(),
+                    plans: 0,
+                    units: 0,
+                    warps: 0,
+                    max_warp_work: 0,
+                    total_work: 0,
+                    occupancy: pow2_histogram(format!("{label}/occupancy"), d.occupancy_hist.len()),
+                    work: pow2_histogram(format!("{label}/warp_work"), d.work_hist.len()),
+                });
+                self.dispatch.last_mut().expect("just pushed")
+            }
+        };
+        row.plans += 1;
+        row.units += d.units as u64;
+        row.warps += d.warps as u64;
+        row.max_warp_work = row.max_warp_work.max(d.max_warp_work);
+        row.total_work += d.total_work;
+        for (b, &c) in row.occupancy.buckets.iter_mut().zip(&d.occupancy_hist) {
+            b.1 += c as u64;
+        }
+        for (b, &c) in row.work.buckets.iter_mut().zip(&d.work_hist) {
+            b.1 += c as u64;
+        }
+    }
+
+    /// The dispatch-plan rows recorded so far.
+    pub fn dispatch(&self) -> &[DispatchSummary] {
+        &self.dispatch
+    }
+
     /// The per-kernel table recorded so far.
     pub fn kernels(&self) -> &[KernelSummary] {
         &self.kernels
@@ -251,6 +340,43 @@ impl RunSummary {
         }
         out.push(']');
 
+        out.push_str(",\"dispatch\":[");
+        for (i, d) in self.dispatch.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"plans\":{},\"units\":{},\"warps\":{},\
+                 \"max_warp_work\":{},\"total_work\":{},\"mean_warp_work\":{},\
+                 \"imbalance\":{}",
+                json::escape(&d.label),
+                d.plans,
+                d.units,
+                d.warps,
+                d.max_warp_work,
+                d.total_work,
+                json::number(d.mean_warp_work()),
+                json::number(d.imbalance()),
+            );
+            for (key, h) in [("occupancy", &d.occupancy), ("warp_work", &d.work)] {
+                let _ = write!(out, ",\"{key}\":[");
+                for (j, (label, count)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"bucket\":\"{}\",\"count\":{count}}}",
+                        json::escape(label)
+                    );
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push(']');
+
         out.push_str(",\"histograms\":[");
         for (i, h) in self.histograms.iter().enumerate() {
             if i > 0 {
@@ -276,6 +402,25 @@ impl RunSummary {
         out.push_str("]}");
         out
     }
+}
+
+/// A zeroed histogram with the power-of-two bucket labels matching
+/// [`DispatchStats`]: bucket 0 holds values `0..1`, bucket `k` holds
+/// `2^k..2^(k+1)-1`, and the last bucket is open-ended.
+fn pow2_histogram(name: String, len: usize) -> Histogram {
+    let buckets = (0..len)
+        .map(|k| {
+            let label = if k == 0 {
+                "0..1".to_string()
+            } else if k + 1 == len {
+                format!(">={}", 1u64 << k)
+            } else {
+                format!("{}..{}", 1u64 << k, (1u64 << (k + 1)) - 1)
+            };
+            (label, 0u64)
+        })
+        .collect();
+    Histogram { name, buckets }
 }
 
 const DENSITY_BUCKETS: [&str; 5] = ["<1e-4", "1e-4..1e-3", "1e-3..1e-2", "1e-2..1e-1", ">=1e-1"];
@@ -344,7 +489,10 @@ mod tests {
 
         let doc = summary.to_json();
         let v = tsv_simt::json::parse(&doc).expect("summary must parse");
-        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
         assert_eq!(v.get("workload").unwrap().as_str(), Some("grid12"));
 
         let iters = v.get("bfs_iterations").unwrap().as_array().unwrap();
@@ -393,6 +541,61 @@ mod tests {
                 .map(total),
             Some(tiled.num_tiles() as u64)
         );
+    }
+
+    #[test]
+    fn dispatch_rows_aggregate_and_roundtrip() {
+        let mut d = crate::spmspv::DispatchStats {
+            units: 10,
+            warps: 4,
+            max_warp_work: 40,
+            total_work: 100,
+            ..Default::default()
+        };
+        d.occupancy_hist[1] = 4;
+        d.work_hist[4] = 3;
+        d.work_hist[5] = 1;
+
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        summary.record_dispatch("spmspv/row-tile-binned", &d);
+        summary.record_dispatch("spmspv/row-tile-binned", &d);
+
+        let rows = summary.dispatch();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.plans, 2);
+        assert_eq!(row.units, 20);
+        assert_eq!(row.warps, 8);
+        assert_eq!(row.max_warp_work, 40);
+        assert_eq!(row.total_work, 200);
+        assert!((row.mean_warp_work() - 25.0).abs() < 1e-12);
+        assert!((row.imbalance() - 1.6).abs() < 1e-12);
+        assert_eq!(row.occupancy.buckets[1], ("2..3".to_string(), 8));
+        assert_eq!(row.work.buckets[4], ("16..31".to_string(), 6));
+        assert_eq!(row.occupancy.buckets.last().unwrap().0, ">=128");
+        assert_eq!(row.work.buckets.last().unwrap().0, ">=32768");
+
+        let doc = summary.to_json();
+        let v = tsv_simt::json::parse(&doc).expect("summary must parse");
+        let dispatch = v.get("dispatch").unwrap().as_array().unwrap();
+        assert_eq!(dispatch.len(), 1);
+        let row = &dispatch[0];
+        assert_eq!(
+            row.get("label").and_then(JsonValue::as_str),
+            Some("spmspv/row-tile-binned")
+        );
+        assert_eq!(row.get("warps").and_then(JsonValue::as_u64), Some(8));
+        assert_eq!(
+            row.get("max_warp_work").and_then(JsonValue::as_u64),
+            Some(40)
+        );
+        let imbalance = row.get("imbalance").and_then(JsonValue::as_f64).unwrap();
+        assert!((imbalance - 1.6).abs() < 1e-9);
+        let occ = row.get("occupancy").unwrap().as_array().unwrap();
+        assert_eq!(occ.len(), 8);
+        assert_eq!(occ[1].get("count").and_then(JsonValue::as_u64), Some(8));
+        let work = row.get("warp_work").unwrap().as_array().unwrap();
+        assert_eq!(work.len(), 16);
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct DeviceConfig {
     pub launch_overhead_us: f64,
     /// Sustained atomic operations per second on global memory.
     pub atomics_per_sec: f64,
+    /// Per-warp scheduling overhead in nanoseconds: the cost of issuing one
+    /// warp through a hardware scheduler (block dispatch, warp slot
+    /// allocation). Charged per launched warp and amortized across the SM
+    /// schedulers by the model, it makes grids with many near-empty warps
+    /// measurably worse than compacted ones.
+    pub warp_sched_ns: f64,
 }
 
 impl DeviceConfig {
@@ -53,6 +59,7 @@ pub const RTX_3060: DeviceConfig = DeviceConfig {
     sm_count: 28,
     launch_overhead_us: 3.0,
     atomics_per_sec: 2.0e9,
+    warp_sched_ns: 4.0,
 };
 
 /// NVIDIA GeForce RTX 3090 as specified in Table 1: 10496 cores @ 1.70 GHz,
@@ -65,6 +72,7 @@ pub const RTX_3090: DeviceConfig = DeviceConfig {
     sm_count: 82,
     launch_overhead_us: 3.0,
     atomics_per_sec: 4.0e9,
+    warp_sched_ns: 2.0,
 };
 
 #[cfg(test)]

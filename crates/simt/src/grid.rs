@@ -33,18 +33,287 @@ where
 ///
 /// This matches the paper's row-tile kernels, where a warp owns the `nt`
 /// output rows of its row tile and therefore needs no atomics on y.
+///
+/// `output.len()` must be a multiple of `chunk_len`: every caller owns a
+/// padded buffer (`m_tiles * nt` for the tile kernels), and a short tail
+/// chunk would mean a mis-sized buffer silently corrupting the last tile.
 pub fn launch_over_chunks<T, F>(output: &mut [T], chunk_len: usize, body: F) -> KernelStats
 where
     T: Send,
     F: Fn(&mut WarpCtx, &mut [T]) + Sync,
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(
+        output.len() % chunk_len,
+        0,
+        "output length {} is not a multiple of chunk_len {}; pad the buffer",
+        output.len(),
+        chunk_len
+    );
     output
         .par_chunks_mut(chunk_len)
         .enumerate()
         .map(|(warp_id, chunk)| {
             let mut ctx = WarpCtx::new(warp_id);
             body(&mut ctx, chunk);
+            ctx.stats
+        })
+        .sum()
+}
+
+/// Launches one warp per *listed* unit: `output` is conceptually split into
+/// `chunk_len`-sized chunks as in [`launch_over_chunks`], but only the units
+/// named in `worklist` get a warp. Warp `i` runs `body(ctx, worklist[i],
+/// chunk_of(worklist[i]))` with exclusive mutable access to its chunk.
+///
+/// This is the frontier-compacted form of the row-tile launch: the grid size
+/// is the work-list length, not the number of chunks, so launched work is
+/// proportional to active units. Skipped chunks are left untouched.
+///
+/// `worklist` must be strictly increasing and in range — the compaction
+/// passes that build it produce sorted unit ids, and enforcing the order
+/// here keeps warp ids (and therefore any warp-ordered merge downstream)
+/// a pure function of the list.
+pub fn launch_over_worklist<T, F>(
+    output: &mut [T],
+    chunk_len: usize,
+    worklist: &[u32],
+    body: F,
+) -> KernelStats
+where
+    T: Send,
+    F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(
+        output.len() % chunk_len,
+        0,
+        "output length {} is not a multiple of chunk_len {}; pad the buffer",
+        output.len(),
+        chunk_len
+    );
+    let n_units = output.len() / chunk_len;
+    // Carve the listed chunks out of `output` as disjoint mutable slices;
+    // the strictly-increasing check makes the split walk sound.
+    let mut chunks: Vec<(u32, &mut [T])> = Vec::with_capacity(worklist.len());
+    let mut rest = output;
+    let mut consumed = 0usize;
+    let mut prev: Option<u32> = None;
+    for &u in worklist {
+        assert!(
+            prev.is_none_or(|p| u > p),
+            "worklist must be strictly increasing (saw {u} after {prev:?})"
+        );
+        prev = Some(u);
+        let u = u as usize;
+        assert!(
+            u < n_units,
+            "worklist unit {u} out of range ({n_units} units)"
+        );
+        let (_, tail) = rest.split_at_mut((u - consumed) * chunk_len);
+        let (chunk, tail) = tail.split_at_mut(chunk_len);
+        chunks.push((u as u32, chunk));
+        rest = tail;
+        consumed = u + 1;
+    }
+    chunks
+        .into_par_iter()
+        .enumerate()
+        .map(|(warp_id, (unit, chunk))| {
+            let mut ctx = WarpCtx::new(warp_id);
+            body(&mut ctx, unit, chunk);
+            ctx.stats
+        })
+        .sum()
+}
+
+/// One entry of a warp's work in a binned launch: a unit, or a slice of one.
+///
+/// `parts == 1` means the warp handles the whole unit; otherwise the unit's
+/// work was split into `parts` contiguous pieces and this warp owns piece
+/// `part` (0-based). How a "piece" maps onto the unit's work items is the
+/// kernel's business — [`Assignment::part_range`] gives the canonical even
+/// split of an item count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Unit id, in the caller's numbering (e.g. row-tile index).
+    pub unit: u32,
+    /// Which piece of the unit this warp owns (0-based, `< parts`).
+    pub part: u32,
+    /// How many pieces the unit was split into (1 = whole unit).
+    pub parts: u32,
+}
+
+impl Assignment {
+    /// Splits `n_items` work items of the unit evenly across its parts and
+    /// returns the half-open item range this assignment owns. Earlier parts
+    /// get the remainder items, so ranges are contiguous, cover `0..n_items`
+    /// exactly, and depend only on `(part, parts, n_items)`.
+    pub fn part_range(&self, n_items: usize) -> std::ops::Range<usize> {
+        let parts = self.parts as usize;
+        let part = self.part as usize;
+        let base = n_items / parts;
+        let extra = n_items % parts;
+        let start = part * base + part.min(extra);
+        let len = base + usize::from(part < extra);
+        start..start + len
+    }
+}
+
+/// A deterministic warp schedule over weighted units: light units are packed
+/// together until a warp holds roughly `target_weight` of work, heavy units
+/// (≥ 2× target) are split across several warps.
+///
+/// The plan is a pure function of `(units, weights, target_weight,
+/// max_parts)` — no timing, no thread ids — so two runs over the same
+/// frontier produce the same warp numbering, and a merge of per-warp partial
+/// results in warp order is reproducible. This is the CMRS-style schedule:
+/// the packing bounds scheduling overhead on power-law-light tiles and the
+/// splitting bounds the critical path on power-law-heavy ones.
+#[derive(Debug, Clone, Default)]
+pub struct BinPlan {
+    /// CSR offsets: warp `w` executes `assignments[warp_ptr[w]..warp_ptr[w+1]]`.
+    warp_ptr: Vec<u32>,
+    assignments: Vec<Assignment>,
+    /// Scheduled weight per warp (split units contribute `weight/parts`,
+    /// remainder to earlier parts), kept for imbalance telemetry.
+    warp_weight: Vec<u64>,
+    /// The packing threshold the plan was built with.
+    target_weight: u64,
+}
+
+impl BinPlan {
+    /// Creates an empty plan; [`BinPlan::rebuild`] fills it in place so the
+    /// buffers can live in a reusable workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the plan over `units` (strictly increasing ids) with
+    /// per-unit work `weight`, packing light units until a warp reaches
+    /// `target_weight` and splitting any unit of at least twice the target
+    /// into `ceil(weight / target)` parts, capped at `max_parts`.
+    ///
+    /// Deterministic: one pass over `units` in order, no data-dependent
+    /// tie-breaks.
+    pub fn rebuild<W>(&mut self, units: &[u32], weight: W, target_weight: u64, max_parts: u32)
+    where
+        W: Fn(u32) -> u64,
+    {
+        assert!(target_weight > 0, "target_weight must be positive");
+        assert!(max_parts > 0, "max_parts must be positive");
+        self.warp_ptr.clear();
+        self.assignments.clear();
+        self.warp_weight.clear();
+        self.warp_ptr.push(0);
+        self.target_weight = target_weight;
+        let mut acc = 0u64;
+        let mut open = false; // current warp has at least one assignment
+        let mut prev: Option<u32> = None;
+        for &u in units {
+            assert!(
+                prev.is_none_or(|p| u > p),
+                "units must be strictly increasing (saw {u} after {prev:?})"
+            );
+            prev = Some(u);
+            let w = weight(u);
+            if w >= 2 * target_weight {
+                // Heavy unit: close the open packing warp, then one warp
+                // per part.
+                if open {
+                    self.close_warp(&mut acc, &mut open);
+                }
+                let parts = w.div_ceil(target_weight).min(max_parts as u64).max(1) as u32;
+                for part in 0..parts {
+                    self.assignments.push(Assignment {
+                        unit: u,
+                        part,
+                        parts,
+                    });
+                    let base = w / parts as u64;
+                    let extra = w % parts as u64;
+                    acc = base + u64::from((part as u64) < extra);
+                    open = true;
+                    self.close_warp(&mut acc, &mut open);
+                }
+            } else {
+                // Light unit: pack into the current warp.
+                self.assignments.push(Assignment {
+                    unit: u,
+                    part: 0,
+                    parts: 1,
+                });
+                acc += w;
+                open = true;
+                if acc >= target_weight {
+                    self.close_warp(&mut acc, &mut open);
+                }
+            }
+        }
+        if open {
+            self.close_warp(&mut acc, &mut open);
+        }
+    }
+
+    fn close_warp(&mut self, acc: &mut u64, open: &mut bool) {
+        self.warp_ptr.push(self.assignments.len() as u32);
+        self.warp_weight.push(*acc);
+        *acc = 0;
+        *open = false;
+    }
+
+    /// Number of warps the plan launches.
+    pub fn n_warps(&self) -> usize {
+        self.warp_ptr.len() - 1
+    }
+
+    /// Total number of assignments across all warps.
+    pub fn n_assignments(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The assignments of warp `w`, in execution order.
+    pub fn warp(&self, w: usize) -> &[Assignment] {
+        &self.assignments[self.warp_ptr[w] as usize..self.warp_ptr[w + 1] as usize]
+    }
+
+    /// Scheduled weight per warp — the imbalance-histogram input.
+    pub fn warp_weights(&self) -> &[u64] {
+        &self.warp_weight
+    }
+
+    /// The packing threshold the plan was last built with.
+    pub fn target_weight(&self) -> u64 {
+        self.target_weight
+    }
+}
+
+/// Launches one warp per [`BinPlan`] bin; warp `w` receives its assignment
+/// slice and exclusive mutable access to `scratch[w]` — its partial-result
+/// buffer. Split units make exclusive output slicing impossible (two warps
+/// share one unit's output range), so results must go through the per-warp
+/// buffers and be merged in warp order afterwards, the same determinism
+/// contract as the scatter kernels.
+///
+/// `scratch` must hold at least [`BinPlan::n_warps`] slots.
+pub fn launch_binned<T, F>(plan: &BinPlan, scratch: &mut [T], body: F) -> KernelStats
+where
+    T: Send,
+    F: Fn(&mut WarpCtx, &[Assignment], &mut T) + Sync,
+{
+    let n = plan.n_warps();
+    assert!(
+        scratch.len() >= n,
+        "scratch holds {} slots for {} warps",
+        scratch.len(),
+        n
+    );
+    scratch[..n]
+        .par_iter_mut()
+        .enumerate()
+        .map(|(warp_id, slot)| {
+            let mut ctx = WarpCtx::new(warp_id);
+            body(&mut ctx, plan.warp(warp_id), slot);
             ctx.stats
         })
         .sum()
@@ -97,16 +366,163 @@ mod tests {
     }
 
     #[test]
-    fn chunks_handle_ragged_tail() {
+    #[should_panic(expected = "not a multiple of chunk_len")]
+    fn chunks_reject_ragged_tail() {
+        // A short tail chunk means the caller mis-sized its padded buffer;
+        // fail loudly instead of corrupting the last tile.
         let mut out = vec![0u8; 25];
-        let stats = launch_over_chunks(&mut out, 10, |_, chunk| {
-            let len = chunk.len() as u8;
+        launch_over_chunks(&mut out, 10, |_, _| {});
+    }
+
+    #[test]
+    fn worklist_launches_only_listed_units() {
+        let mut out = vec![0u32; 80];
+        let worklist = [1u32, 3, 6];
+        let stats = launch_over_worklist(&mut out, 10, &worklist, |w, unit, chunk| {
+            assert_eq!(worklist[w.warp_id], unit);
             for v in chunk.iter_mut() {
-                *v = len;
+                *v = unit + 1;
             }
         });
-        // 10 + 10 + 5 elements → 3 warps.
-        assert_eq!(stats.warps, 3);
-        assert_eq!(out[24], 5);
+        assert_eq!(stats.warps, 3, "grid size is the work-list length");
+        for (i, &v) in out.iter().enumerate() {
+            let unit = (i / 10) as u32;
+            let expect = if worklist.contains(&unit) {
+                unit + 1
+            } else {
+                0
+            };
+            assert_eq!(v, expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn worklist_empty_launches_nothing() {
+        let mut out = vec![7u8; 30];
+        let stats = launch_over_worklist(&mut out, 10, &[], |_, _, _| panic!("no warp"));
+        assert_eq!(stats.warps, 0);
+        assert!(out.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn worklist_rejects_unsorted_units() {
+        let mut out = vec![0u8; 30];
+        launch_over_worklist(&mut out, 10, &[2, 1], |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worklist_rejects_out_of_range_units() {
+        let mut out = vec![0u8; 30];
+        launch_over_worklist(&mut out, 10, &[3], |_, _, _| {});
+    }
+
+    #[test]
+    fn bin_plan_packs_light_units() {
+        let mut plan = BinPlan::new();
+        // Four units of weight 3 against a target of 10: the first three
+        // pack into one warp (3+3+3 < 10 closes only at ≥ target... 9 < 10,
+        // so the fourth joins and closes it at 12).
+        plan.rebuild(&[0, 1, 2, 3], |_| 3, 10, 8);
+        assert_eq!(plan.n_warps(), 1);
+        assert_eq!(plan.warp(0).len(), 4);
+        assert!(plan.warp(0).iter().all(|a| a.parts == 1));
+        assert_eq!(plan.warp_weights(), &[12]);
+    }
+
+    #[test]
+    fn bin_plan_splits_heavy_units() {
+        let mut plan = BinPlan::new();
+        // Weight 35 at target 10 → ceil(35/10) = 4 part-warps.
+        plan.rebuild(&[5], |_| 35, 10, 8);
+        assert_eq!(plan.n_warps(), 4);
+        for (p, w) in (0..4).zip([9u64, 9, 9, 8]) {
+            let a = plan.warp(p);
+            assert_eq!(
+                a,
+                &[Assignment {
+                    unit: 5,
+                    part: p as u32,
+                    parts: 4
+                }]
+            );
+            assert_eq!(plan.warp_weights()[p], w);
+        }
+        // The part ranges tile the unit's items exactly.
+        let mut covered = Vec::new();
+        for p in 0..4 {
+            covered.extend(plan.warp(p)[0].part_range(35));
+        }
+        assert_eq!(covered, (0..35).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bin_plan_caps_split_width() {
+        let mut plan = BinPlan::new();
+        plan.rebuild(&[0], |_| 1000, 10, 4);
+        assert_eq!(plan.n_warps(), 4, "max_parts caps the split");
+    }
+
+    #[test]
+    fn bin_plan_mixes_pack_and_split_deterministically() {
+        let weights = [2u64, 2, 50, 1, 1, 1, 30];
+        let units: Vec<u32> = (0..weights.len() as u32).collect();
+        let mut a = BinPlan::new();
+        a.rebuild(&units, |u| weights[u as usize], 10, 8);
+        let mut b = BinPlan::new();
+        b.rebuild(&units, |u| weights[u as usize], 10, 8);
+        assert_eq!(a.n_warps(), b.n_warps());
+        for w in 0..a.n_warps() {
+            assert_eq!(a.warp(w), b.warp(w), "plan must be reproducible");
+        }
+        // Unit 2 (weight 50) splits; its parts appear after the packed warp
+        // holding units 0-1 and before the warp packing units 3-5.
+        assert!(a.warp(0).iter().all(|x| x.parts == 1 && x.unit <= 1));
+        assert!(a.warp(1).iter().all(|x| x.unit == 2 && x.parts == 5));
+    }
+
+    #[test]
+    fn launch_binned_runs_every_assignment_once() {
+        let weights = [2u64, 2, 50, 1, 1, 1, 30];
+        let units: Vec<u32> = (0..weights.len() as u32).collect();
+        let mut plan = BinPlan::new();
+        plan.rebuild(&units, |u| weights[u as usize], 10, 8);
+        let seen = AtomicWords::zeroed(1);
+        let mut scratch = vec![0u32; plan.n_warps()];
+        let stats = launch_binned(&plan, &mut scratch, |w, assignments, slot| {
+            assert_eq!(assignments, plan.warp(w.warp_id));
+            for a in assignments {
+                *slot += 1;
+                if a.parts == 1 {
+                    seen.fetch_or(0, 1 << a.unit);
+                }
+            }
+        });
+        assert_eq!(stats.warps as usize, plan.n_warps());
+        // Every whole (unsplit) unit was visited.
+        assert_eq!(seen.load(0), 0b0111011);
+        // Each warp wrote its own scratch slot: totals match assignments.
+        assert_eq!(scratch.iter().sum::<u32>() as usize, plan.n_assignments());
+    }
+
+    #[test]
+    fn part_range_is_an_exact_even_partition() {
+        for parts in 1..7u32 {
+            for n in [0usize, 1, 5, 31, 64] {
+                let mut covered = Vec::new();
+                for part in 0..parts {
+                    let a = Assignment {
+                        unit: 0,
+                        part,
+                        parts,
+                    };
+                    let r = a.part_range(n);
+                    assert!(r.len() <= n / parts as usize + 1);
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "parts={parts} n={n}");
+            }
+        }
     }
 }

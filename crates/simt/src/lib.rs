@@ -34,7 +34,9 @@ pub mod trace;
 pub mod warp;
 
 pub use device::{DeviceConfig, RTX_3060, RTX_3090};
-pub use grid::{launch, launch_over_chunks};
+pub use grid::{
+    launch, launch_binned, launch_over_chunks, launch_over_worklist, Assignment, BinPlan,
+};
 pub use profile::Profiler;
 pub use stats::KernelStats;
 pub use trace::Tracer;

@@ -35,7 +35,14 @@ pub fn kernel_time(stats: &KernelStats, device: &DeviceConfig) -> f64 {
     let occupancy = (stats.warps as f64 / device.max_resident_warps() as f64).clamp(0.02, 1.0);
     let body = mem.max(compute).max(atomics) / occupancy.sqrt();
 
-    device.launch_overhead_us * 1e-6 + body
+    // Every launched warp passes through a hardware scheduler once; the
+    // SMs dispatch independently, so the aggregate cost is per-warp time
+    // divided by the SM count. A grid of mostly-empty warps (one warp per
+    // row tile against an inactive frontier) pays this even when its
+    // memory traffic rounds to nothing.
+    let sched = stats.warps as f64 * device.warp_sched_ns * 1e-9 / device.sm_count as f64;
+
+    device.launch_overhead_us * 1e-6 + sched + body
 }
 
 /// Estimated time for a sequence of launches (e.g. the iterations of a
@@ -95,6 +102,18 @@ mod tests {
         s.warps = 8; // nearly empty machine, same work
         let starved = kernel_time(&s, &RTX_3090);
         assert!(starved > full);
+    }
+
+    #[test]
+    fn extra_warps_cost_scheduler_time() {
+        // Same work in 16× the warps: occupancy is saturated either way,
+        // so the difference is pure scheduling overhead — the term the
+        // compacted dispatch saves.
+        let mut s = big_kernel();
+        let lean = kernel_time(&s, &RTX_3090);
+        s.warps <<= 4;
+        let bloated = kernel_time(&s, &RTX_3090);
+        assert!(bloated > lean, "warp count must carry a scheduling cost");
     }
 
     #[test]

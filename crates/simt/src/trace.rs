@@ -44,6 +44,8 @@ pub const CAT_KERNEL: &str = "kernel";
 pub const CAT_PHASE: &str = "phase";
 /// Event category for per-iteration BFS records (carries [`IterationInfo`]).
 pub const CAT_BFS: &str = "bfs";
+/// Event category for dispatch-plan records (carries [`DispatchInfo`]).
+pub const CAT_DISPATCH: &str = "dispatch";
 
 // Worker tids start at 1; 0 is the modeled-device track. Each thread takes
 // a dense id the first time it records, so traces show "worker-1..k"
@@ -73,6 +75,50 @@ pub struct IterationInfo {
     pub density: f64,
 }
 
+/// Work-distribution context attached to dispatch-plan events: how a
+/// binned scheduler packed work units into warps. The histograms use
+/// power-of-two buckets — `occupancy_hist[k]` counts warps holding
+/// `[2^k, 2^(k+1))` units (bucket 0 also holds empty warps, the last
+/// bucket is open-ended), `work_hist[k]` counts warps the same way by
+/// weighted work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchInfo {
+    /// Work units (e.g. active row tiles) in the plan.
+    pub units: u32,
+    /// Warps the plan launches.
+    pub warps: u32,
+    /// Heaviest per-warp work (weighted units).
+    pub max_warp_work: u64,
+    /// Summed per-warp work.
+    pub total_work: u64,
+    /// Warp counts bucketed by units-per-warp.
+    pub occupancy_hist: [u32; 8],
+    /// Warp counts bucketed by per-warp work.
+    pub work_hist: [u32; 16],
+}
+
+impl DispatchInfo {
+    /// Mean per-warp work (0 for an empty plan).
+    pub fn mean_warp_work(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.total_work as f64 / self.warps as f64
+        }
+    }
+
+    /// `max / mean` per-warp work — 1.0 is perfectly balanced. Defined as
+    /// 1.0 when the plan is empty.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_warp_work();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_warp_work as f64 / mean
+        }
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
@@ -90,6 +136,8 @@ pub struct TraceEvent {
     pub stats: Option<KernelStats>,
     /// Traversal context for BFS iterations.
     pub iteration: Option<IterationInfo>,
+    /// Work-distribution context for dispatch plans.
+    pub dispatch: Option<DispatchInfo>,
 }
 
 struct Ring {
@@ -173,6 +221,21 @@ impl Tracer {
         stats: Option<KernelStats>,
         iteration: Option<IterationInfo>,
     ) {
+        self.record_full(name, cat, ts_ns, dur_ns, stats, iteration, None)
+    }
+
+    /// Records one completed span with every optional payload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_full(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        ts_ns: u64,
+        dur_ns: u64,
+        stats: Option<KernelStats>,
+        iteration: Option<IterationInfo>,
+        dispatch: Option<DispatchInfo>,
+    ) {
         if !self.is_enabled() {
             return;
         }
@@ -184,6 +247,7 @@ impl Tracer {
             dur_ns,
             stats,
             iteration,
+            dispatch,
         };
         let mut ring = self.ring.lock().expect("tracer ring poisoned");
         if ring.buf.len() < self.capacity {
@@ -307,6 +371,31 @@ pub fn iteration(
     }
 }
 
+/// Closes a dispatch-plan span opened by [`start`], attaching the
+/// work-distribution context.
+#[inline]
+pub fn dispatch(
+    tracer: Option<&Tracer>,
+    name: impl Into<Cow<'static, str>>,
+    info: DispatchInfo,
+    start_ns: u64,
+) {
+    if let Some(t) = tracer {
+        if t.is_enabled() {
+            let now = t.now_ns();
+            t.record_full(
+                name,
+                CAT_DISPATCH,
+                start_ns,
+                now.saturating_sub(start_ns),
+                None,
+                None,
+                Some(info),
+            );
+        }
+    }
+}
+
 // ------------------------------------------------------------------
 // Chrome Trace Format export
 // ------------------------------------------------------------------
@@ -339,6 +428,34 @@ fn stats_args(out: &mut String, stats: &KernelStats, device: &DeviceConfig) {
     );
 }
 
+fn dispatch_args(out: &mut String, info: &DispatchInfo) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        ",\"units\":{},\"warps\":{},\"max_warp_work\":{},\"mean_warp_work\":{},\
+         \"imbalance\":{},\"occupancy_hist\":[",
+        info.units,
+        info.warps,
+        info.max_warp_work,
+        json::number(info.mean_warp_work()),
+        json::number(info.imbalance()),
+    );
+    for (i, c) in info.occupancy_hist.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{c}");
+    }
+    out.push_str("],\"work_hist\":[");
+    for (i, c) in info.work_hist.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{c}");
+    }
+    out.push(']');
+}
+
 fn iteration_args(out: &mut String, info: &IterationInfo) {
     use std::fmt::Write as _;
     let _ = write!(
@@ -369,6 +486,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], device: &DeviceConfig) -> String
         }
         if let Some(i) = &ev.iteration {
             iteration_args(&mut args, i);
+        }
+        if let Some(d) = &ev.dispatch {
+            dispatch_args(&mut args, d);
         }
         spans.push(Span {
             tid: ev.tid,
@@ -675,6 +795,54 @@ mod tests {
         assert_eq!(evs[0].stats, Some(some_stats()));
         assert_eq!(evs[1].iteration, Some(info));
         assert!(evs[1].ts_ns >= evs[0].ts_ns);
+    }
+
+    fn some_dispatch() -> DispatchInfo {
+        let mut occupancy_hist = [0u32; 8];
+        occupancy_hist[0] = 1;
+        occupancy_hist[2] = 3;
+        let mut work_hist = [0u32; 16];
+        work_hist[5] = 4;
+        DispatchInfo {
+            units: 13,
+            warps: 4,
+            max_warp_work: 48,
+            total_work: 130,
+            occupancy_hist,
+            work_hist,
+        }
+    }
+
+    #[test]
+    fn dispatch_spans_carry_their_histograms() {
+        let t = Tracer::new();
+        let t0 = start(Some(&t));
+        dispatch(Some(&t), "spmspv/dispatch-plan", some_dispatch(), t0);
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].cat, CAT_DISPATCH);
+        assert_eq!(evs[0].dispatch, Some(some_dispatch()));
+
+        let doc = chrome_trace_json(&t.events(), &RTX_3060);
+        validate_chrome_trace(&doc).expect("valid trace");
+        assert!(
+            doc.contains("\"occupancy_hist\":[1,0,3,0,0,0,0,0]"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"max_warp_work\":48"), "{doc}");
+        let info = some_dispatch();
+        assert!((info.mean_warp_work() - 32.5).abs() < 1e-12);
+        assert!((info.imbalance() - 48.0 / 32.5).abs() < 1e-12);
+        let empty = DispatchInfo {
+            units: 0,
+            warps: 0,
+            max_warp_work: 0,
+            total_work: 0,
+            occupancy_hist: [0; 8],
+            work_hist: [0; 16],
+        };
+        assert_eq!(empty.mean_warp_work(), 0.0);
+        assert_eq!(empty.imbalance(), 1.0);
     }
 
     #[test]

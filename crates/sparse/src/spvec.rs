@@ -63,6 +63,26 @@ impl<T: Copy> SparseVector<T> {
         SparseVector::from_parts(n, indices, vals)
     }
 
+    /// Replaces this vector's contents with `(n, indices, vals)` —
+    /// validated exactly like [`SparseVector::from_parts`] — and returns
+    /// the *previous* buffers for reuse.
+    ///
+    /// This is the recycling primitive for iterative producers: a caller
+    /// that regenerates a vector every round hands the old allocation back
+    /// instead of dropping it, so the producer/consumer pair ping-pongs
+    /// between two stable allocations. On validation failure the vector is
+    /// left unchanged.
+    pub fn replace_parts(
+        &mut self,
+        n: usize,
+        indices: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Result<(Vec<u32>, Vec<T>)> {
+        let new = SparseVector::from_parts(n, indices, vals)?;
+        let old = std::mem::replace(self, new);
+        Ok((old.indices, old.vals))
+    }
+
     /// Logical length of the vector.
     pub fn len(&self) -> usize {
         self.n
@@ -182,6 +202,19 @@ mod tests {
     #[test]
     fn from_entries_rejects_duplicates() {
         assert!(SparseVector::from_entries(5, vec![(3, 1.0), (3, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn replace_parts_swaps_buffers_and_validates() {
+        let mut v = SparseVector::from_parts(4, vec![0, 2], vec![1.0, 2.0]).unwrap();
+        let (old_i, old_v) = v.replace_parts(6, vec![1, 5], vec![3.0, 4.0]).unwrap();
+        assert_eq!(old_i, vec![0, 2]);
+        assert_eq!(old_v, vec![1.0, 2.0]);
+        assert_eq!(v.len(), 6);
+        assert_eq!(v.indices(), &[1, 5]);
+        // Invalid replacement leaves the vector untouched.
+        assert!(v.replace_parts(6, vec![5, 1], vec![0.0, 0.0]).is_err());
+        assert_eq!(v.indices(), &[1, 5]);
     }
 
     #[test]

@@ -117,6 +117,55 @@ fn engine_reuse_is_allocation_stable_and_bitwise_equal() {
     assert_eq!(engine.metrics().scratch_reshapes, 1);
 }
 
+/// `multiply_into` recycles the caller's vector buffers: after warmup the
+/// output ping-pongs between two stable allocations instead of allocating
+/// a fresh vector per call, and the results stay bit-identical to
+/// `multiply`.
+#[test]
+fn multiply_into_ping_pongs_between_two_allocations() {
+    let a = uniform_random(500, 500, 6000, 13).to_csr();
+    let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    let mut check = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    let x = random_sparse_vector(500, 0.05, 4);
+    let (expect, _) = check.multiply(&x).unwrap();
+
+    let mut y = SparseVector::zeros(500);
+    let mut staging_ptrs = std::collections::BTreeSet::new();
+    let mut output_ptrs = std::collections::BTreeSet::new();
+    for call in 0..6 {
+        engine.multiply_into(&x, &mut y).unwrap();
+        assert_eq!(y.indices(), expect.indices(), "call {call}");
+        let bits: Vec<u64> = y.values().iter().map(|v| v.to_bits()).collect();
+        let expect_bits: Vec<u64> = expect.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expect_bits, "call {call}");
+        // Skip the warmup calls where the two buffers first grow to size.
+        if call >= 2 {
+            staging_ptrs.insert(engine.output_fingerprint()[0].0);
+            output_ptrs.insert(y.indices().as_ptr() as usize);
+        }
+    }
+    // One allocation lives in the engine's staging slot while the other is
+    // in the caller's hands; each pointer set sees at most the two of them.
+    assert!(
+        staging_ptrs.len() <= 2,
+        "staging buffer reallocated: {} distinct pointers",
+        staging_ptrs.len()
+    );
+    assert!(
+        output_ptrs.len() <= 2,
+        "output buffer reallocated: {} distinct pointers",
+        output_ptrs.len()
+    );
+    // Between them the loop touched at most two index allocations total.
+    let all: std::collections::BTreeSet<usize> =
+        staging_ptrs.union(&output_ptrs).copied().collect();
+    assert!(
+        all.len() <= 2,
+        "ping-pong should cycle two buffers, saw {}",
+        all.len()
+    );
+}
+
 /// The dense-tile fast path stays available to semirings whose zero is the
 /// structural default: force dense tiles and check against the oracle.
 #[test]

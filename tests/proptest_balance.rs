@@ -1,0 +1,145 @@
+//! Property-based tests for the work-balanced dispatch layer: on random
+//! matrices and frontiers the product must not depend on how the work was
+//! scheduled — any kernel choice crossed with any [`Balance`] mode yields
+//! the same vector. For a fixed kernel the PlusTimes result is bit-exact
+//! across balance modes (the binned path replays the direct kernel's
+//! fold order); MinPlus and OrAnd are order-independent, so they are
+//! exact across everything, including `Auto`.
+
+use proptest::prelude::*;
+use tilespmspv::core::exec::SpMSpVEngine;
+use tilespmspv::core::semiring::{spmspv_semiring, MinPlus, OrAnd, PlusTimes};
+use tilespmspv::core::spmspv::{tile_spmspv_with, Balance, KernelChoice, SpMSpVOptions};
+use tilespmspv::core::tile::{TileConfig, TileMatrix};
+use tilespmspv::sparse::gen::random_sparse_vector;
+use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
+
+/// An arbitrary weighted digraph of up to 140 vertices with finite,
+/// sign-mixed weights (duplicate edges summed).
+fn arb_weighted() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2usize..140)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, -4.0f64..4.0);
+            (Just(n), proptest::collection::vec(edge, 0..400))
+        })
+        .prop_map(|(n, edges)| {
+            let mut coo = CooMatrix::new(n, n);
+            for (u, v, w) in edges {
+                coo.push(u as usize, v as usize, w);
+            }
+            coo.sum_duplicates();
+            coo.to_csr()
+        })
+}
+
+/// The balance modes a product must be insensitive to: the default
+/// thresholds, aggressive over-splitting, no splitting, and a target so
+/// large every unit keeps one warp.
+fn balance_modes() -> [Balance; 4] {
+    [
+        Balance::binned(),
+        Balance::Binned {
+            target_nnz: 1,
+            max_split: 4,
+        },
+        Balance::Binned {
+            target_nnz: 8,
+            max_split: 1,
+        },
+        Balance::Binned {
+            target_nnz: 10_000_000,
+            max_split: 32,
+        },
+    ]
+}
+
+fn bits(y: &SparseVector<f64>) -> Vec<u64> {
+    y.values().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn plus_times_is_bitwise_balance_invariant(a in arb_weighted(), seed in 0u64..1000) {
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let sparsity = [0.004, 0.05, 0.4][seed as usize % 3];
+        let x = random_sparse_vector(a.ncols(), sparsity, seed);
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            let direct = SpMSpVOptions { kernel, ..Default::default() };
+            let (y0, _) = tile_spmspv_with(&tiled, &x, direct).unwrap();
+            for balance in balance_modes() {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let (y, _) = tile_spmspv_with(&tiled, &x, opts).unwrap();
+                prop_assert_eq!(y.indices(), y0.indices(), "{:?} {:?}", kernel, balance);
+                prop_assert_eq!(bits(&y), bits(&y0), "{:?} {:?}", kernel, balance);
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_auto_matches_reference_under_any_balance(
+        a in arb_weighted(),
+        seed in 0u64..1000,
+    ) {
+        // `Auto` may pick different kernels for different balance modes,
+        // so the invariant is agreement with the serial oracle, not
+        // bitwise equality between modes.
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+        let csc = a.to_csc();
+        let x = random_sparse_vector(a.ncols(), 0.1, seed);
+        let expect = spmspv_semiring::<PlusTimes>(&csc, &x).unwrap();
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            let opts = SpMSpVOptions { kernel: KernelChoice::Auto, balance, ..Default::default() };
+            let (y, _) = tile_spmspv_with(&tiled, &x, opts).unwrap();
+            prop_assert_eq!(y.indices(), expect.indices(), "{:?}", balance);
+            prop_assert!(y.max_abs_diff(&expect) < 1e-9, "{:?}", balance);
+        }
+    }
+
+    #[test]
+    fn min_plus_is_exactly_balance_invariant(a in arb_weighted(), seed in 0u64..1000) {
+        // min is order-independent and each term is one f64 addition, so
+        // every kernel x balance combination is exactly the oracle.
+        let csc = a.to_csc();
+        let x = random_sparse_vector(a.ncols(), 0.15, seed);
+        let expect = spmspv_semiring::<MinPlus>(&csc, &x).unwrap();
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile, KernelChoice::Auto] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let mut engine =
+                    SpMSpVEngine::<MinPlus>::from_csr_with(&a, TileConfig::default(), opts)
+                        .unwrap();
+                let (y, _) = engine.multiply(&x).unwrap();
+                prop_assert_eq!(&y, &expect, "{:?} {:?}", kernel, balance);
+            }
+        }
+    }
+
+    #[test]
+    fn or_and_is_exactly_balance_invariant(a in arb_weighted(), seed in 0u64..1000) {
+        let pattern = CsrMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            vec![true; a.nnz()],
+        )
+        .unwrap();
+        let csc = pattern.to_csc();
+        let picks = random_sparse_vector(a.ncols(), 0.1, seed);
+        let entries: Vec<(u32, bool)> = picks.indices().iter().map(|&i| (i, true)).collect();
+        let x = SparseVector::from_entries(a.ncols(), entries).unwrap();
+        let expect = spmspv_semiring::<OrAnd>(&csc, &x).unwrap();
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile, KernelChoice::Auto] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let mut engine =
+                    SpMSpVEngine::<OrAnd>::from_csr_with(&pattern, TileConfig::default(), opts)
+                        .unwrap();
+                let (y, _) = engine.multiply(&x).unwrap();
+                prop_assert_eq!(y.indices(), expect.indices(), "{:?} {:?}", kernel, balance);
+            }
+        }
+    }
+}

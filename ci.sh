@@ -27,3 +27,15 @@ test -s "$trace_dir/trace.json" && test -s "$trace_dir/trace.summary.json"
 # measurement noise (wall_ms is recorded but never compared). Exits
 # nonzero on any regressed row.
 ./target/release/repro bench --scale tiny --out "$trace_dir" --check results/baselines
+
+# Race-sanitizer gate. First the sanitizer's own test surface in release
+# mode (the shadow log makes sanitized runs slow in debug): the detector
+# unit tests, the schedule-permutation harness, and the engine-level
+# sanitizer integration. Then the full sweep: every SpMSpV kernel ×
+# balance mode × semiring plus a complete BFS per matrix runs under the
+# sanitizer over the tiny corpus, and schedule-permutation replay
+# certifies bitwise (PlusTimes) / semantic (MinPlus, OrAnd) determinism.
+# `repro sanitize` exits nonzero on any conflict or permutation-dependent
+# output.
+cargo test --release -q -p tsv-simt -p tsv-core
+./target/release/repro sanitize --scale tiny

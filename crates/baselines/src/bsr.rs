@@ -121,7 +121,7 @@ impl BsrMatrix {
             return (Vec::new(), KernelStats::default());
         }
 
-        let stats = launch_over_chunks(&mut y_padded, b, |warp, y_blk| {
+        let stats = launch_over_chunks("baseline/bsrmv", &mut y_padded, b, |warp, y_blk| {
             let br = warp.warp_id;
             for s in self.row_ptr[br]..self.row_ptr[br + 1] {
                 let bc = self.col_idx[s] as usize;

@@ -37,7 +37,7 @@ pub fn tile_spmv_into(a: &TileMatrix, x: &[f64], y_padded: &mut Vec<f64>) -> Ker
         return KernelStats::default();
     }
 
-    let mut stats = launch_over_chunks(y_padded, nt, |warp, y_tile| {
+    let mut stats = launch_over_chunks("baseline/tilespmv", y_padded, nt, |warp, y_tile| {
         let rt = warp.warp_id;
         for t in a.row_tile_range(rt) {
             let view = a.tile(t);

@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale tiny|small|medium] [--out DIR] [--check DIR]
 //!
 //! experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
-//!              profile trace bench
+//!              profile trace bench sanitize
 //! ```
 //!
 //! `trace` runs one instrumented SpMSpV sweep plus one instrumented BFS,
@@ -14,7 +14,11 @@
 //! R-MAT row pair comparing direct vs nnz-binned dispatch; with
 //! `--check DIR` it then diffs every row's modeled device time against
 //! the committed baselines in `DIR` and exits non-zero when a row
-//! regresses by more than 25%.
+//! regresses by more than 25%. `sanitize` runs every SpMSpV kernel ×
+//! balance mode × semiring (and a full BFS) over the representative
+//! corpus under the race sanitizer, then certifies schedule independence
+//! with seeded warp-order permutations; any detected conflict or
+//! permutation-dependent output exits non-zero.
 //!
 //! Each experiment prints the paper's rows/series to stdout and writes a
 //! CSV under `--out` (default `results/`). Absolute numbers come from the
@@ -106,6 +110,7 @@ fn main() {
         "profile" => profile(scale),
         "trace" => trace_cmd(scale, &out),
         "bench" => bench_cmd(scale, &out, check.as_deref()),
+        "sanitize" => sanitize_cmd(scale),
         "all" => {
             table1();
             table2(scale, &out);
@@ -123,7 +128,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|all> \
+        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|sanitize|all> \
          [--scale tiny|small|medium] [--out DIR] [--check BASELINE_DIR]"
     );
     std::process::exit(2);
@@ -791,6 +796,216 @@ fn trace_cmd(scale: SuiteScale, out: &Path) {
         summary.bfs_iterations().len(),
         summary.histograms().len(),
     );
+    println!();
+}
+
+// ---------------------------------------------------------------- sanitize
+
+/// `repro sanitize`: the race-sanitized conformance sweep. Every SpMSpV
+/// kernel (forced row-tile and col-tile) × balance mode (direct and
+/// nnz-binned) × semiring (PlusTimes, MinPlus, OrAnd) runs over the
+/// representative corpus with a shared [`tsv_simt::Sanitizer`] attached,
+/// plus one full sanitized BFS per matrix. A schedule-permutation replay
+/// then certifies determinism: PlusTimes must be bit-identical across
+/// seeded warp-order permutations for both balance modes, MinPlus and
+/// OrAnd must agree semantically. Any conflict or permutation-dependent
+/// output exits non-zero.
+fn sanitize_cmd(scale: SuiteScale) {
+    use std::sync::Arc;
+    use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+    use tsv_core::semiring::{MinPlus, OrAnd, PlusTimes};
+    use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
+    use tsv_core::telemetry::RunSummary;
+    use tsv_simt::{replay_check, Sanitizer};
+    use tsv_sparse::{CsrMatrix, SparseVector};
+
+    println!("== race sanitizer: kernel x balance x semiring sweep ==");
+    let suite = representative(scale);
+    let san = Arc::new(Sanitizer::new());
+    let mut failed = false;
+
+    let kernels = [
+        (KernelChoice::RowTile, "row"),
+        (KernelChoice::ColTile, "col"),
+    ];
+    let balances = [
+        (Balance::OneWarpPerRowTile, "direct"),
+        (Balance::binned(), "binned"),
+    ];
+
+    for e in &suite {
+        let a = &e.matrix;
+        // Boolean mirror with the same pattern, for the OrAnd semiring.
+        let b: CsrMatrix<bool> = CsrMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            vec![true; a.nnz()],
+        )
+        .expect("bool mirror of a valid CSR is valid");
+        let x = random_sparse_vector(a.ncols(), 0.02, 7);
+        let xb = SparseVector::from_parts(x.len(), x.indices().to_vec(), vec![true; x.nnz()])
+            .expect("bool mirror of a valid vector is valid");
+
+        let before = san.violation_count();
+        for (kernel, _) in kernels {
+            for (balance, _) in balances {
+                let opts = SpMSpVOptions {
+                    kernel,
+                    balance,
+                    ..Default::default()
+                };
+                let mut plus =
+                    SpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts)
+                        .expect("tile PlusTimes");
+                plus.set_sanitizer(Some(Arc::clone(&san)));
+                plus.multiply(&x).expect("PlusTimes multiply");
+
+                let mut tropical =
+                    SpMSpVEngine::<MinPlus>::from_csr_with(a, TileConfig::default(), opts)
+                        .expect("tile MinPlus");
+                tropical.set_sanitizer(Some(Arc::clone(&san)));
+                tropical.multiply(&x).expect("MinPlus multiply");
+
+                let mut boolean =
+                    SpMSpVEngine::<OrAnd>::from_csr_with(&b, TileConfig::default(), opts)
+                        .expect("tile OrAnd");
+                boolean.set_sanitizer(Some(Arc::clone(&san)));
+                boolean.multiply(&xb).expect("OrAnd multiply");
+            }
+        }
+
+        let mut bfs = BfsEngine::from_csr(a).expect("build BFS graph");
+        bfs.set_sanitizer(Some(Arc::clone(&san)));
+        bfs.run(bfs_source(a)).expect("sanitized BFS");
+
+        let new = san.violation_count() - before;
+        println!(
+            "  {:<16} {:>8} rows {:>9} nnz: {} violation(s)",
+            e.name,
+            a.nrows(),
+            a.nnz(),
+            new
+        );
+    }
+
+    println!("== schedule-permutation replay certification ==");
+    let cert = &suite[0].matrix;
+    let x = random_sparse_vector(cert.ncols(), 0.05, 11);
+    let n_seeded = 8;
+    for (kernel, kname) in kernels {
+        for (balance, bname) in balances {
+            let opts = SpMSpVOptions {
+                kernel,
+                balance,
+                ..Default::default()
+            };
+            let mut engine =
+                SpMSpVEngine::<PlusTimes>::from_csr_with(cert, TileConfig::default(), opts)
+                    .expect("tile PlusTimes");
+            let report = replay_check(
+                n_seeded,
+                0xC0FF_EE00,
+                || engine.multiply(&x).expect("replayed multiply").0,
+                |a, b| {
+                    a.indices() == b.indices()
+                        && a.values()
+                            .iter()
+                            .zip(b.values())
+                            .all(|(p, q)| p.to_bits() == q.to_bits())
+                },
+            );
+            println!(
+                "  plus-times {kname}/{bname}: {} runs, {} mismatched (bitwise)",
+                report.runs,
+                report.mismatched.len()
+            );
+            if !report.all_match() {
+                eprintln!("  schedule-dependent output: {:?}", report.mismatched);
+                failed = true;
+            }
+        }
+    }
+    // MinPlus and OrAnd carry the weaker semantic contract: same support,
+    // values equal under the semiring's own comparison.
+    for (balance, bname) in balances {
+        let opts = SpMSpVOptions {
+            kernel: KernelChoice::RowTile,
+            balance,
+            ..Default::default()
+        };
+        let mut tropical =
+            SpMSpVEngine::<MinPlus>::from_csr_with(cert, TileConfig::default(), opts)
+                .expect("tile MinPlus");
+        let report = replay_check(
+            n_seeded,
+            0xBEEF_0000,
+            || tropical.multiply(&x).expect("replayed multiply").0,
+            |a, b| {
+                a.indices() == b.indices()
+                    && a.values()
+                        .iter()
+                        .zip(b.values())
+                        .all(|(p, q)| (p - q).abs() < 1e-9)
+            },
+        );
+        println!(
+            "  min-plus   row/{bname}: {} runs, {} mismatched (semantic)",
+            report.runs,
+            report.mismatched.len()
+        );
+        if !report.all_match() {
+            failed = true;
+        }
+
+        let cb: CsrMatrix<bool> = CsrMatrix::from_parts(
+            cert.nrows(),
+            cert.ncols(),
+            cert.row_ptr().to_vec(),
+            cert.col_idx().to_vec(),
+            vec![true; cert.nnz()],
+        )
+        .expect("bool mirror");
+        let xb = SparseVector::from_parts(x.len(), x.indices().to_vec(), vec![true; x.nnz()])
+            .expect("bool mirror");
+        let mut boolean = SpMSpVEngine::<OrAnd>::from_csr_with(&cb, TileConfig::default(), opts)
+            .expect("tile OrAnd");
+        let report = replay_check(
+            n_seeded,
+            0xB001_0000,
+            || boolean.multiply(&xb).expect("replayed multiply").0,
+            |a, b| a == b,
+        );
+        println!(
+            "  or-and     row/{bname}: {} runs, {} mismatched (semantic)",
+            report.runs,
+            report.mismatched.len()
+        );
+        if !report.all_match() {
+            failed = true;
+        }
+    }
+
+    let s = san.summary();
+    let mut summary = RunSummary::new("repro-sanitize", RTX_3090);
+    summary.record_sanitizer(s);
+    tsv_simt::json::parse(&summary.to_json()).expect("run summary must parse");
+    println!(
+        "sanitizer: {} launches, {} accesses, {} violations",
+        s.launches, s.accesses, s.violations
+    );
+    if s.violations > 0 {
+        for v in san.violations() {
+            eprintln!("  {v}");
+        }
+        failed = true;
+    }
+    if failed {
+        eprintln!("sanitize: FAILED");
+        std::process::exit(1);
+    }
+    println!("sanitize: clean");
     println!();
 }
 

@@ -17,7 +17,7 @@ use tsv_core::telemetry::RunSummary;
 use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
 use tsv_simt::device::RTX_3060;
 use tsv_simt::trace::chrome_trace_json;
-use tsv_simt::Tracer;
+use tsv_simt::{Sanitizer, Tracer};
 use tsv_sparse::gen::random_sparse_vector;
 use tsv_sparse::reference::bfs_edges_traversed;
 use tsv_sparse::CsrMatrix;
@@ -29,6 +29,9 @@ pub enum CliError {
     Sparse(tsv_sparse::SparseError),
     /// Bad arguments or spec.
     Usage(String),
+    /// The race sanitizer detected conflicts; the message carries the
+    /// per-violation reports.
+    Sanitizer(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -36,6 +39,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Sparse(e) => write!(f, "{e}"),
             CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Sanitizer(m) => write!(f, "{m}"),
         }
     }
 }
@@ -79,6 +83,25 @@ pub fn cmd_info(a: &CsrMatrix<f64>) -> String {
         100.0 * stats.occupancy(tsv_core::tile::TileSize::S64),
     ));
     out
+}
+
+/// Renders the sanitizer's account after a run: the aggregate counters as
+/// a report line, and — when conflicts were found — a [`CliError`] carrying
+/// one report per violation, so the process exits nonzero.
+fn sanitizer_verdict(san: &Sanitizer, out: &mut String) -> Result<(), CliError> {
+    let s = san.summary();
+    out.push_str(&format!(
+        "sanitizer: {} launches, {} accesses, {} violations\n",
+        s.launches, s.accesses, s.violations
+    ));
+    if s.violations == 0 {
+        return Ok(());
+    }
+    let mut msg = format!("sanitizer detected {} conflict(s):\n", s.violations);
+    for v in san.violations() {
+        msg.push_str(&format!("  {v}\n"));
+    }
+    Err(CliError::Sanitizer(msg))
 }
 
 /// Writes the Chrome-trace document and the run-summary JSON next to it
@@ -146,18 +169,21 @@ pub fn parse_balance(spec: &str) -> Result<Balance, CliError> {
     })
 }
 
-/// `tsv spmspv <matrix> --sparsity S [--trace-out F]`: one product with
-/// timing and report; with `--trace-out`, also a Chrome trace and a run
-/// summary of the launch.
+/// `tsv spmspv <matrix> --sparsity S [--sanitize] [--trace-out F]`: one
+/// product with timing and report; with `--trace-out`, also a Chrome trace
+/// and a run summary of the launch. With `sanitize`, every kernel launch
+/// runs under the race sanitizer and any conflict fails the command.
 pub fn cmd_spmspv(
     a: &CsrMatrix<f64>,
     sparsity: f64,
     seed: u64,
     kernel: KernelChoice,
     balance: Balance,
+    sanitize: bool,
     trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
+    let san = sanitize.then(|| Arc::new(Sanitizer::new()));
     let tiled = TileMatrix::from_csr(a, TileConfig::default())?;
     let mut summary = RunSummary::new("spmspv", RTX_3060);
     if tracer.is_some() {
@@ -171,6 +197,7 @@ pub fn cmd_spmspv(
     };
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
     engine.set_tracer(tracer.clone());
+    engine.set_sanitizer(san.clone());
     let t = Instant::now();
     let (y, report) = engine.multiply(&x)?;
     let dt = t.elapsed();
@@ -195,6 +222,10 @@ pub fn cmd_spmspv(
         ));
         summary.record_dispatch(report.kernel.trace_label(), d);
     }
+    if let Some(san) = &san {
+        summary.record_sanitizer(san.summary());
+        sanitizer_verdict(san, &mut out)?;
+    }
     if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
         summary.record_profiler(engine.profiler());
         out.push_str(&write_trace_outputs(path, tracer, &summary)?);
@@ -209,6 +240,7 @@ pub fn cmd_bfs(
     a: &CsrMatrix<f64>,
     source: usize,
     algo: &str,
+    sanitize: bool,
     trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
     if trace_out.is_some() && algo != "tile" {
@@ -216,18 +248,32 @@ pub fn cmd_bfs(
             "--trace-out instruments the tiled engine; not supported with --algo {algo}"
         )));
     }
+    if sanitize && algo != "tile" {
+        return Err(CliError::Usage(format!(
+            "--sanitize instruments the tiled engine; not supported with --algo {algo}"
+        )));
+    }
     let t = Instant::now();
     let mut traced: Option<(Arc<Tracer>, RunSummary)> = None;
+    let mut san_report = String::new();
     let levels = match algo {
         "tile" => {
             let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
+            let san = sanitize.then(|| Arc::new(Sanitizer::new()));
             let mut engine = BfsEngine::from_csr_traced(a, tracer.clone())?;
+            engine.set_sanitizer(san.clone());
             let r = engine.run(source)?;
             if let Some(tracer) = tracer {
                 let mut summary = RunSummary::new("bfs", RTX_3060);
                 summary.record_bfs(&r, a.nrows());
                 summary.record_profiler(engine.profiler());
+                if let Some(san) = &san {
+                    summary.record_sanitizer(san.summary());
+                }
                 traced = Some((tracer, summary));
+            }
+            if let Some(san) = &san {
+                sanitizer_verdict(san, &mut san_report)?;
             }
             r.levels
         }
@@ -249,6 +295,7 @@ pub fn cmd_bfs(
         a.nrows(),
         dt.as_secs_f64() * 1e3,
     );
+    out.push_str(&san_report);
     if let (Some(path), Some((tracer, summary))) = (trace_out, &traced) {
         out.push_str(&write_trace_outputs(path, tracer, summary)?);
     }
@@ -272,7 +319,16 @@ mod tests {
     #[test]
     fn spmspv_runs_and_reports() {
         let a = banded(200, 5, 0.8, 1).to_csr();
-        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, Balance::default(), None).unwrap();
+        let s = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::default(),
+            false,
+            None,
+        )
+        .unwrap();
         assert!(s.contains("kernel:"));
         assert!(s.contains("nonzeros"));
     }
@@ -280,9 +336,33 @@ mod tests {
     #[test]
     fn spmspv_binned_reports_dispatch_shape() {
         let a = banded(200, 5, 0.8, 1).to_csr();
-        let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::RowTile, Balance::binned(), None).unwrap();
+        let s = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::RowTile,
+            Balance::binned(),
+            false,
+            None,
+        )
+        .unwrap();
         assert!(s.contains("dispatch:"), "{s}");
         assert!(s.contains("imbalance"), "{s}");
+    }
+
+    #[test]
+    fn sanitize_reports_clean_runs_for_both_commands() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        for balance in [Balance::default(), Balance::binned()] {
+            let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, balance, true, None).unwrap();
+            assert!(s.contains("sanitizer:"), "{s}");
+            assert!(s.contains(" 0 violations"), "{s}");
+        }
+        let s = cmd_bfs(&a, 0, "tile", true, None).unwrap();
+        assert!(s.contains("sanitizer:"), "{s}");
+        assert!(s.contains(" 0 violations"), "{s}");
+        // Sanitizing is an engine feature; baseline algorithms reject it.
+        assert!(cmd_bfs(&a, 0, "gunrock", true, None).is_err());
     }
 
     #[test]
@@ -316,10 +396,10 @@ mod tests {
     fn bfs_all_algorithms_run() {
         let a = banded(150, 4, 0.9, 2).to_csr();
         for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
-            let s = cmd_bfs(&a, 0, algo, None).unwrap();
+            let s = cmd_bfs(&a, 0, algo, false, None).unwrap();
             assert!(s.contains("reached: 150/150"), "{algo}: {s}");
         }
-        assert!(cmd_bfs(&a, 0, "nope", None).is_err());
+        assert!(cmd_bfs(&a, 0, "nope", false, None).is_err());
     }
 
     #[test]
@@ -335,6 +415,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::binned(),
+            true,
             Some(&spmspv_trace),
         )
         .unwrap();
@@ -345,9 +426,16 @@ mod tests {
         let summary = std::fs::read_to_string(dir.join("spmspv.trace.summary.json")).unwrap();
         let v = tsv_simt::json::parse(&summary).unwrap();
         assert!(!v.get("kernels").unwrap().as_array().unwrap().is_empty());
+        // The sanitized run exports its counters in the summary document.
+        let san = v.get("sanitizer").expect("sanitizer object present");
+        assert_eq!(
+            san.get("violations")
+                .and_then(tsv_simt::json::JsonValue::as_u64),
+            Some(0)
+        );
 
         let bfs_trace = dir.join("bfs.trace.json");
-        cmd_bfs(&a, 0, "tile", Some(&bfs_trace)).unwrap();
+        cmd_bfs(&a, 0, "tile", false, Some(&bfs_trace)).unwrap();
         let doc = std::fs::read_to_string(&bfs_trace).unwrap();
         tsv_simt::trace::validate_chrome_trace(&doc).unwrap();
         let summary = std::fs::read_to_string(dir.join("bfs.trace.summary.json")).unwrap();
@@ -360,7 +448,7 @@ mod tests {
             .is_empty());
 
         // Tracing is an engine feature; baseline algorithms reject it.
-        assert!(cmd_bfs(&a, 0, "gunrock", Some(&bfs_trace)).is_err());
+        assert!(cmd_bfs(&a, 0, "gunrock", false, Some(&bfs_trace)).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

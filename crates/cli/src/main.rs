@@ -4,9 +4,14 @@
 //! ```text
 //! tsv info    <matrix>
 //! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
-//!             [--balance direct|binned[:target[:split]]] [--trace-out F]
-//! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise] [--trace-out F]
+//!             [--balance direct|binned[:target[:split]]] [--sanitize] [--trace-out F]
+//! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+//!             [--sanitize] [--trace-out F]
 //! tsv convert <in> <out.mtx>
+//!
+//! `--sanitize` runs every kernel launch under the race sanitizer; any
+//! write-write or read-write conflict between warps not mediated by an
+//! atomic is reported and the command exits nonzero.
 //!
 //! `--trace-out F` writes a Chrome Trace Format document to `F` (open in
 //! Perfetto / chrome://tracing) and a machine-readable run summary to
@@ -56,10 +61,19 @@ fn run() -> Result<(), CliError> {
                 None => Balance::default(),
                 Some(spec) => parse_balance(&spec)?,
             };
+            let sanitize = flag_set(&args, "--sanitize");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
             print!(
                 "{}",
-                cmd_spmspv(&a, sparsity, seed, kernel, balance, trace_out.as_deref())?
+                cmd_spmspv(
+                    &a,
+                    sparsity,
+                    seed,
+                    kernel,
+                    balance,
+                    sanitize,
+                    trace_out.as_deref()
+                )?
             );
         }
         "bfs" => {
@@ -67,8 +81,12 @@ fn run() -> Result<(), CliError> {
             let a = load_matrix(spec)?;
             let source = flag_f64(&args, "--source")?.unwrap_or(0.0) as usize;
             let algo = flag_str(&args, "--algo").unwrap_or_else(|| "tile".into());
+            let sanitize = flag_set(&args, "--sanitize");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
-            print!("{}", cmd_bfs(&a, source, &algo, trace_out.as_deref())?);
+            print!(
+                "{}",
+                cmd_bfs(&a, source, &algo, sanitize, trace_out.as_deref())?
+            );
         }
         "convert" => {
             let spec = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
@@ -96,9 +114,13 @@ fn run() -> Result<(), CliError> {
 const USAGE: &str = "usage:
   tsv info    <matrix>
   tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
-              [--balance direct|binned[:target[:split]]] [--trace-out F]
-  tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise] [--trace-out F]
+              [--balance direct|binned[:target[:split]]] [--sanitize] [--trace-out F]
+  tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+              [--sanitize] [--trace-out F]
   tsv convert <matrix> <out.mtx>
+
+--sanitize runs every kernel launch under the race sanitizer; any
+write-write or read-write conflict is reported and fails the command.
 
 --trace-out writes Chrome Trace JSON to F plus a run summary to
 F.summary.json (load the trace in Perfetto or chrome://tracing).
@@ -106,6 +128,10 @@ F.summary.json (load the trace in Perfetto or chrome://tracing).
 <matrix>: a .mtx file, suite:<name>[:tiny|small|medium], or
           gen:<family>:<n>[:<param>[:<seed>]]
           families: banded grid geometric rmat web uniform";
+
+fn flag_set(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
 
 fn flag_str(args: &[String], name: &str) -> Option<String> {
     args.iter()

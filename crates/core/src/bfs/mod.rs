@@ -19,6 +19,7 @@ use crate::tile::{BitFrontier, BitTileMatrix, TileSize};
 use std::time::{Duration, Instant};
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::grid::launch;
+use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::trace::{self, IterationInfo, Tracer};
 use tsv_simt::warp::WARP_SIZE;
@@ -284,6 +285,22 @@ pub fn tile_bfs_traced(
     ws: &mut BfsWorkspace,
     tracer: Option<&Tracer>,
 ) -> Result<BfsResult, SparseError> {
+    tile_bfs_instrumented(g, source, opts, ws, tracer, None)
+}
+
+/// [`tile_bfs_traced`] with race detection: each per-iteration kernel
+/// launch (and the extracted-edge pass) runs inside its own sanitizer
+/// epoch, so conflicts are attributed to the kernel and iteration that made
+/// them. With `None`, each shadow access costs one branch — the same
+/// contract as the trace gate.
+pub fn tile_bfs_instrumented(
+    g: &TileBfsGraph,
+    source: usize,
+    opts: BfsOptions,
+    ws: &mut BfsWorkspace,
+    tracer: Option<&Tracer>,
+    san: Option<&Sanitizer>,
+) -> Result<BfsResult, SparseError> {
     if source >= g.n {
         return Err(SparseError::IndexOutOfBounds {
             row: source,
@@ -337,30 +354,34 @@ pub fn tile_bfs_traced(
 
         let t0 = trace::start(tracer);
         let start = Instant::now();
+        sanitize::begin(san, kernel.trace_label(), g.bit.nt());
         let mut stats = match kernel {
             KernelKind::PushCsc => {
                 y_atomic.clear();
-                let s = push_csc::push_csc_into(&g.bit, x, m, frontier, y_atomic);
+                let s = push_csc::push_csc_into(&g.bit, x, m, frontier, y_atomic, san);
                 y_atomic.copy_into(y_words);
                 y.load_words(y_words);
                 s
             }
             KernelKind::PushCsr => {
                 y_atomic.clear();
-                let s = push_csr::push_csr_into(&g.bit, x, m, &g.segments, y_atomic);
+                let s = push_csr::push_csr_into(&g.bit, x, m, &g.segments, y_atomic, san);
                 y_atomic.copy_into(y_words);
                 y.load_words(y_words);
                 s
             }
             KernelKind::PullCsc => {
                 m.complement_into(unvisited);
-                let s = pull_csc::pull_csc_into(&g.bit, m, unvisited, y_words);
+                let s = pull_csc::pull_csc_into(&g.bit, m, unvisited, y_words, san);
                 y.load_words(y_words);
                 s
             }
         };
+        sanitize::barrier(san);
         if g.bit.extra_nnz() > 0 {
-            stats += extra_pass_into(&g.bit, x, m, y, frontier, y_atomic, y_words);
+            sanitize::begin(san, "bfs/extra-pass", g.bit.nt());
+            stats += extra_pass_into(&g.bit, x, m, y, frontier, y_atomic, y_words, san);
+            sanitize::barrier(san);
         }
         let wall = start.elapsed();
 
@@ -414,6 +435,7 @@ pub fn tile_bfs_traced(
 /// delegates this part to): only the out-lists of frontier vertices are
 /// walked, each unvisited target joining `y`. `scratch` and `staging` are
 /// caller-owned buffers of `n_tiles` words.
+#[allow(clippy::too_many_arguments)]
 fn extra_pass_into(
     bit: &BitTileMatrix,
     x: &BitFrontier,
@@ -422,6 +444,7 @@ fn extra_pass_into(
     frontier: &mut Vec<u32>,
     scratch: &mut AtomicWords,
     staging: &mut [u64],
+    san: Option<&Sanitizer>,
 ) -> KernelStats {
     let nt = y.nt();
     scratch.load_from(y.words());
@@ -442,9 +465,11 @@ fn extra_pass_into(
             for &r in out {
                 let r = r as usize;
                 warp.stats.read_scattered(8); // mask probe
+                sanitize::read(san, "mask", r / nt, warp.warp_id, 0);
                 if !m.get(r) {
                     words.fetch_or(r / nt, 1u64 << (r % nt));
                     warp.stats.atomic(1);
+                    sanitize::rmw(san, "y-frontier", r / nt, warp.warp_id, 0);
                 }
             }
             warp.stats.lane_steps += out.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;

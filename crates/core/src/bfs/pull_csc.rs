@@ -17,6 +17,7 @@
 use crate::tile::bitvec::iter_bits;
 use crate::tile::{BitFrontier, BitTileMatrix};
 use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 
 /// Discovers the next frontier by pulling from unvisited vertices; returns
@@ -24,7 +25,7 @@ use tsv_simt::stats::KernelStats;
 pub fn pull_csc(a: &BitTileMatrix, m: &BitFrontier) -> (BitFrontier, KernelStats) {
     let unvisited = m.complement();
     let mut y_words = vec![0u64; a.n_tiles()];
-    let stats = pull_csc_into(a, m, &unvisited, &mut y_words);
+    let stats = pull_csc_into(a, m, &unvisited, &mut y_words, None);
     let mut out = BitFrontier::new(m.len(), a.nt());
     out.set_words(y_words);
     (out, stats)
@@ -39,15 +40,20 @@ pub fn pull_csc_into(
     m: &BitFrontier,
     unvisited: &BitFrontier,
     y_words: &mut [u64],
+    san: Option<&Sanitizer>,
 ) -> KernelStats {
     let nt = a.nt();
     let word_bytes = nt / 8;
     debug_assert_eq!(y_words.len(), a.n_tiles());
 
-    launch_over_chunks(y_words, 1, |warp, out| {
+    launch_over_chunks("bfs/pull-csc", y_words, 1, |warp, out| {
         let ct = warp.warp_id; // vertex tile = column tile of its own column
+                               // Every warp owns exactly its own output word and overwrites it on
+                               // all paths: a plain exclusive store.
+        sanitize::write(san, "y-words", ct, warp.warp_id, 0);
         let uw = unvisited.word(ct);
         warp.stats.read(word_bytes);
+        sanitize::read(san, "unvisited", ct, warp.warp_id, 0);
         if uw == 0 {
             // Still overwrite: the caller's buffer may hold a previous
             // iteration's word.
@@ -64,6 +70,7 @@ pub fn pull_csc_into(
                 warp.stats.read(4);
                 warp.stats.read_scattered(2 * word_bytes); // column + mask words
                 warp.stats.bitop(1);
+                sanitize::read(san, "mask", rt, warp.warp_id, lc % 32);
                 if col_word & m.word(rt) != 0 {
                     found |= 1u64 << lc;
                     break; // early exit, Algorithm 7 line 10

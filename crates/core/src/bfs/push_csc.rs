@@ -14,6 +14,7 @@
 use crate::tile::{BitFrontier, BitTileMatrix};
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::grid::launch;
+use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 
 /// Expands the frontier `x` one level; returns the newly discovered
@@ -21,7 +22,7 @@ use tsv_simt::stats::KernelStats;
 pub fn push_csc(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
     let mut frontier = Vec::new();
     let y = AtomicWords::zeroed(a.n_tiles());
-    let stats = push_csc_into(a, x, m, &mut frontier, &y);
+    let stats = push_csc_into(a, x, m, &mut frontier, &y, None);
     let mut out = BitFrontier::new(x.len(), a.nt());
     out.set_words(y.into_vec());
     (out, stats)
@@ -36,6 +37,7 @@ pub fn push_csc_into(
     m: &BitFrontier,
     frontier: &mut Vec<u32>,
     y: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats {
     let nt = a.nt();
     let word_bytes = nt / 8;
@@ -64,9 +66,13 @@ pub fn push_csc_into(
             let sum = col_word & !m.word(rt);
             warp.stats.read_scattered(word_bytes);
             warp.stats.bitop(2);
+            sanitize::read(san, "mask", rt, warp.warp_id, 0);
             if sum != 0 {
+                // Different frontier vertices may merge into the same
+                // output word — the atomicOr is what mediates them.
                 y.fetch_or(rt, sum);
                 warp.stats.atomic(1);
+                sanitize::rmw(san, "y-frontier", rt, warp.warp_id, 0);
             }
         }
         let tiles = a.col_tile_range(ct).len();

@@ -17,6 +17,7 @@
 use crate::tile::{BitFrontier, BitTileMatrix};
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::grid::launch;
+use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 
 /// Stored tiles per warp segment when a row tile is split.
@@ -27,7 +28,7 @@ pub const SPLIT_LEN: usize = 64;
 pub fn push_csr(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
     let segments = csr_segments(a);
     let y = AtomicWords::zeroed(a.n_tiles());
-    let stats = push_csr_into(a, x, m, &segments, &y);
+    let stats = push_csr_into(a, x, m, &segments, &y, None);
     let mut out = BitFrontier::new(x.len(), a.nt());
     out.set_words(y.into_vec());
     (out, stats)
@@ -57,6 +58,7 @@ pub fn push_csr_into(
     m: &BitFrontier,
     segments: &[(u32, u32)],
     y: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats {
     let nt = a.nt();
     let word_bytes = nt / 8;
@@ -92,14 +94,19 @@ pub fn push_csr_into(
         let fresh = acc & !m.word(rt);
         warp.stats.read(word_bytes);
         warp.stats.bitop(2);
+        sanitize::read(san, "mask", rt, warp.warp_id, 0);
         if fresh != 0 {
             if split {
                 // Multiple warps share this output word.
                 y.fetch_or(rt, fresh);
                 warp.stats.atomic(1);
+                sanitize::rmw(san, "y-frontier", rt, warp.warp_id, 0);
             } else {
                 y.fetch_or(rt, fresh); // uncontended: plain store on GPU
                 warp.stats.write(word_bytes);
+                // Unsplit row tiles own their output word outright; the
+                // sanitizer sees a plain store and would flag any overlap.
+                sanitize::write(san, "y-frontier", rt, warp.warp_id, 0);
             }
         }
     })

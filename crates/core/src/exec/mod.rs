@@ -23,7 +23,7 @@
 //! [`crate::bfs::tile_bfs`]) are thin wrappers over these drivers with a
 //! fresh workspace, so both paths execute the same code.
 
-use crate::bfs::{tile_bfs_traced, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
+use crate::bfs::{tile_bfs_instrumented, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
 use crate::semiring::{PlusTimes, Semiring};
 use crate::spmspv::generic::{
     build_col_worklist, build_row_worklist, col_kernel_binned_semiring, col_kernel_semiring,
@@ -36,6 +36,7 @@ use std::time::Instant;
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::grid::BinPlan;
 use tsv_simt::profile::Profiler;
+use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
@@ -244,7 +245,26 @@ pub fn spmspv_traced<S: Semiring>(
 where
     S::T: Default,
 {
-    let report = spmspv_into_ws::<S>(a, x, opts, ws, tracer)?;
+    spmspv_sanitized::<S>(a, x, opts, ws, tracer, None)
+}
+
+/// [`spmspv_traced`] with race detection: every kernel launch runs inside a
+/// sanitizer epoch (`begin`/`barrier`), so the shadow-access log is analyzed
+/// per launch and conflicts are attributed to the kernel that made them.
+/// With `None`, each global access costs one branch — the same contract as
+/// the trace gate.
+pub fn spmspv_sanitized<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    opts: SpMSpVOptions,
+    ws: &mut SpMSpVWorkspace<S::T>,
+    tracer: Option<&Tracer>,
+    san: Option<&Sanitizer>,
+) -> Result<(SparseVector<S::T>, ExecReport), SparseError>
+where
+    S::T: Default,
+{
+    let report = spmspv_into_ws::<S>(a, x, opts, ws, tracer, san)?;
     let y = SparseVector::from_parts(
         a.nrows(),
         std::mem::take(&mut ws.out_indices),
@@ -264,6 +284,7 @@ fn spmspv_into_ws<S: Semiring>(
     opts: SpMSpVOptions,
     ws: &mut SpMSpVWorkspace<S::T>,
     tracer: Option<&Tracer>,
+    san: Option<&Sanitizer>,
 ) -> Result<ExecReport, SparseError>
 where
     S::T: Default,
@@ -319,13 +340,27 @@ where
     };
 
     let t_kernel = trace::start(tracer);
+    // One sanitizer epoch per kernel launch: the tile kernel's shadow
+    // accesses are analyzed at its barrier, before the COO pass opens a
+    // fresh epoch — a plain store here and an atomic merge there never
+    // alias across launches.
+    sanitize::begin(
+        san,
+        match (kernel, opts.balance) {
+            (KernelUsed::RowTile, Balance::OneWarpPerRowTile) => "spmspv/row-tile",
+            (KernelUsed::ColTile, Balance::OneWarpPerRowTile) => "spmspv/col-tile",
+            (KernelUsed::RowTile, Balance::Binned { .. }) => "spmspv/row-tile-binned",
+            (KernelUsed::ColTile, Balance::Binned { .. }) => "spmspv/col-tile-binned",
+        },
+        a.nt(),
+    );
     let mut dispatch = None;
     let mut stats = match (kernel, opts.balance) {
         (KernelUsed::RowTile, Balance::OneWarpPerRowTile) => {
-            row_kernel_semiring::<S>(a, xt, y, touched)
+            row_kernel_semiring::<S>(a, xt, y, touched, san)
         }
         (KernelUsed::ColTile, Balance::OneWarpPerRowTile) => {
-            col_kernel_semiring::<S>(a, xt, y, contribs, touched)
+            col_kernel_semiring::<S>(a, xt, y, contribs, touched, san)
         }
         (
             kernel,
@@ -366,15 +401,16 @@ where
             );
             plan_stats
                 + match kernel {
-                    KernelUsed::RowTile => {
-                        row_kernel_binned_semiring::<S>(a, xt, y, worklist, plan, contribs, touched)
-                    }
+                    KernelUsed::RowTile => row_kernel_binned_semiring::<S>(
+                        a, xt, y, worklist, plan, contribs, touched, san,
+                    ),
                     KernelUsed::ColTile => {
-                        col_kernel_binned_semiring::<S>(a, xt, y, plan, contribs, touched)
+                        col_kernel_binned_semiring::<S>(a, xt, y, plan, contribs, touched, san)
                     }
                 }
         }
     };
+    sanitize::barrier(san);
     trace::phase(
         tracer,
         match kernel {
@@ -384,11 +420,17 @@ where
         t_kernel,
     );
     // Hybrid pass over the extracted very-sparse entries, driven by x's
-    // nonzeros so untouched columns cost nothing.
+    // nonzeros so untouched columns cost nothing. The kernel records no
+    // shadow accesses when inactive, so the epoch is opened only when it
+    // will actually run.
     let coo_active = a.extra().nnz() > 0 && x.nnz() > 0;
     let t_coo = trace::start(tracer);
-    stats += coo_kernel_semiring::<S>(a, x, y, contribs, touched);
     if coo_active {
+        sanitize::begin(san, "spmspv/coo-pass", a.nt());
+    }
+    stats += coo_kernel_semiring::<S>(a, x, y, contribs, touched, san);
+    if coo_active {
+        sanitize::barrier(san);
         trace::phase(tracer, "spmspv/coo-pass", t_coo);
     }
 
@@ -446,6 +488,7 @@ pub struct SpMSpVEngine<S: Semiring = PlusTimes> {
     ws: SpMSpVWorkspace<S::T>,
     profiler: Profiler,
     tracer: Option<Arc<Tracer>>,
+    sanitizer: Option<Arc<Sanitizer>>,
 }
 
 impl<S: Semiring> SpMSpVEngine<S>
@@ -468,6 +511,7 @@ where
             ws,
             profiler: Profiler::new(),
             tracer: None,
+            sanitizer: None,
         }
     }
 
@@ -521,6 +565,20 @@ where
         self.tracer.as_ref()
     }
 
+    /// Attaches (or detaches) a shared race sanitizer. Every later
+    /// `multiply` then runs each kernel launch inside a sanitizer epoch;
+    /// accumulated violations stay on the `Sanitizer` for the caller to
+    /// inspect. With `None` (the default) each global access costs one
+    /// branch, exactly like the trace gate.
+    pub fn set_sanitizer(&mut self, sanitizer: Option<Arc<Sanitizer>>) {
+        self.sanitizer = sanitizer;
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitizer.as_ref()
+    }
+
     /// Starts a fresh measurement window: clears the profiler and zeroes
     /// the workspace accounting. The prepared matrix, the warm scratch and
     /// any attached tracer are kept, so measurement restarts without
@@ -539,7 +597,14 @@ where
         let tracer = self.tracer.as_deref();
         let t0 = trace::start(tracer);
         let start = Instant::now();
-        let (y, report) = spmspv_traced::<S>(&self.a, x, self.opts, &mut self.ws, tracer)?;
+        let (y, report) = spmspv_sanitized::<S>(
+            &self.a,
+            x,
+            self.opts,
+            &mut self.ws,
+            tracer,
+            self.sanitizer.as_deref(),
+        )?;
         let wall = start.elapsed();
         trace::kernel(tracer, report.kernel.trace_label(), report.stats, t0);
         self.profiler
@@ -561,7 +626,14 @@ where
         let tracer = self.tracer.as_deref();
         let t0 = trace::start(tracer);
         let start = Instant::now();
-        let report = spmspv_into_ws::<S>(&self.a, x, self.opts, &mut self.ws, tracer)?;
+        let report = spmspv_into_ws::<S>(
+            &self.a,
+            x,
+            self.opts,
+            &mut self.ws,
+            tracer,
+            self.sanitizer.as_deref(),
+        )?;
         let wall = start.elapsed();
         trace::kernel(tracer, report.kernel.trace_label(), report.stats, t0);
         self.profiler
@@ -632,6 +704,7 @@ pub struct BfsEngine {
     ws: BfsWorkspace,
     profiler: Profiler,
     tracer: Option<Arc<Tracer>>,
+    sanitizer: Option<Arc<Sanitizer>>,
 }
 
 impl BfsEngine {
@@ -648,6 +721,7 @@ impl BfsEngine {
             ws: BfsWorkspace::new(),
             profiler: Profiler::new(),
             tracer: None,
+            sanitizer: None,
         }
     }
 
@@ -683,6 +757,19 @@ impl BfsEngine {
         self.tracer.as_ref()
     }
 
+    /// Attaches (or detaches) a shared race sanitizer. Every later `run`
+    /// then executes each per-iteration kernel launch (and the final
+    /// extra pass) inside a sanitizer epoch; accumulated violations stay
+    /// on the `Sanitizer` for the caller to inspect.
+    pub fn set_sanitizer(&mut self, sanitizer: Option<Arc<Sanitizer>>) {
+        self.sanitizer = sanitizer;
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitizer.as_ref()
+    }
+
     /// Starts a fresh measurement window: clears the profiler and zeroes
     /// the workspace run/realloc counters. The prepared graph, the warm
     /// frontier buffers and any attached tracer are kept.
@@ -695,12 +782,13 @@ impl BfsEngine {
     /// `bfs/<kernel>` in the engine's profiler (and on the attached
     /// tracer, when present).
     pub fn run(&mut self, source: usize) -> Result<BfsResult, SparseError> {
-        let r = tile_bfs_traced(
+        let r = tile_bfs_instrumented(
             &self.g,
             source,
             self.opts,
             &mut self.ws,
             self.tracer.as_deref(),
+            self.sanitizer.as_deref(),
         )?;
         for it in &r.iterations {
             self.profiler

@@ -24,6 +24,7 @@ use crate::semiring::Semiring;
 use crate::tile::{TileMatrix, TiledVector};
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::grid::{launch_binned, launch_over_chunks, launch_over_worklist, BinPlan};
+use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::warp::WARP_SIZE;
 use tsv_sparse::SparseVector;
@@ -32,6 +33,26 @@ use tsv_sparse::SparseVector;
 #[inline]
 fn mark(touched: &AtomicWords, rt: usize) {
     touched.fetch_or(rt / 64, 1 << (rt % 64));
+}
+
+/// Shadow-logs the row-tile kernels' once-per-warp output-tile store:
+/// `nt` plain writes to `y[base..base+nt]`. Guarded so a disabled
+/// sanitizer costs one branch for the whole tile, not one per element.
+#[inline]
+fn log_tile_write(san: Option<&Sanitizer>, base: usize, nt: usize, warp_id: usize) {
+    if let Some(s) = san {
+        if s.is_enabled() {
+            for lr in 0..nt {
+                s.record(
+                    sanitize::AccessKind::Write,
+                    "y",
+                    base + lr,
+                    warp_id,
+                    lr % WARP_SIZE,
+                );
+            }
+        }
+    }
 }
 
 /// CSR-form row-tile kernel over an arbitrary semiring (Algorithm 4).
@@ -43,6 +64,7 @@ pub fn row_kernel_semiring<S: Semiring>(
     x: &TiledVector<S::T>,
     y: &mut [S::T],
     touched: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats
 where
     S::T: Default,
@@ -55,7 +77,7 @@ where
     }
     let vb = std::mem::size_of::<S::T>();
 
-    launch_over_chunks(y, nt, |warp, y_tile| {
+    launch_over_chunks("spmspv/row-tile", y, nt, |warp, y_tile| {
         let rt = warp.warp_id;
         let mut dirty = false;
         // Tile-level CSR walk of this row tile.
@@ -68,6 +90,7 @@ where
             };
             // Load the vector tile and the tile body ("into shared memory").
             warp.stats.read(nt * vb);
+            sanitize::read(san, "x-tiles", view.col_tile, rt, 0);
             dirty = true;
             match view.dense {
                 Some(d) => {
@@ -108,8 +131,10 @@ where
         }
         // Row tile writes its outputs once.
         warp.stats.write(nt * vb);
+        log_tile_write(san, rt * nt, nt, rt);
         if dirty {
             mark(touched, rt);
+            sanitize::rmw(san, "touched", rt / 64, rt, 0);
         }
     })
 }
@@ -198,6 +223,7 @@ pub fn build_col_worklist<T: Copy + PartialEq + Default + Send + Sync>(
 /// order), and every tile-row partial is folded into `y` left-to-right. For
 /// `PlusTimes` over `f64` this makes the result bit-for-bit equal to the
 /// unbinned kernel; see DESIGN.md for the determinism argument.
+#[allow(clippy::too_many_arguments)]
 pub fn row_kernel_binned_semiring<S: Semiring>(
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
@@ -206,6 +232,7 @@ pub fn row_kernel_binned_semiring<S: Semiring>(
     plan: &BinPlan,
     contribs: &mut Vec<Vec<(u32, S::T)>>,
     touched: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats
 where
     S::T: Default,
@@ -218,55 +245,64 @@ where
     // Fast path: nothing was packed or split, so each warp exclusively owns
     // one listed row tile and can write y in place.
     if plan.n_warps() == worklist.len() && plan.n_assignments() == worklist.len() {
-        return launch_over_worklist(y, nt, worklist, |warp, rt, y_tile| {
-            let rt = rt as usize;
-            let mut dirty = false;
-            for t in a.row_tile_range(rt) {
-                let view = a.tile(t);
-                warp.stats.read(4);
-                warp.stats.read_scattered(4);
-                let Some(x_tile) = x.tile(view.col_tile) else {
-                    continue;
-                };
-                warp.stats.read(nt * vb);
-                dirty = true;
-                match view.dense {
-                    Some(d) => {
-                        warp.stats.read(nt * nt * vb);
-                        for lr in 0..nt {
-                            let row = &d[lr * nt..(lr + 1) * nt];
-                            let mut sum = S::zero();
-                            for (&v, &xv) in row.iter().zip(x_tile) {
-                                sum = S::add(sum, S::mul(v, xv));
+        return launch_over_worklist(
+            "spmspv/row-tile-binned",
+            y,
+            nt,
+            worklist,
+            |warp, rt, y_tile| {
+                let rt = rt as usize;
+                let mut dirty = false;
+                for t in a.row_tile_range(rt) {
+                    let view = a.tile(t);
+                    warp.stats.read(4);
+                    warp.stats.read_scattered(4);
+                    let Some(x_tile) = x.tile(view.col_tile) else {
+                        continue;
+                    };
+                    warp.stats.read(nt * vb);
+                    sanitize::read(san, "x-tiles", view.col_tile, warp.warp_id, 0);
+                    dirty = true;
+                    match view.dense {
+                        Some(d) => {
+                            warp.stats.read(nt * nt * vb);
+                            for lr in 0..nt {
+                                let row = &d[lr * nt..(lr + 1) * nt];
+                                let mut sum = S::zero();
+                                for (&v, &xv) in row.iter().zip(x_tile) {
+                                    sum = S::add(sum, S::mul(v, xv));
+                                }
+                                y_tile[lr] = S::add(y_tile[lr], sum);
                             }
-                            y_tile[lr] = S::add(y_tile[lr], sum);
+                            warp.stats.flop(2 * nt * nt);
+                            warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
                         }
-                        warp.stats.flop(2 * nt * nt);
-                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                    }
-                    None => {
-                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                        for (lr, y_slot) in y_tile.iter_mut().enumerate() {
-                            let (cols, vals) = view.row(lr);
-                            if cols.is_empty() {
-                                continue;
+                        None => {
+                            warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                            for (lr, y_slot) in y_tile.iter_mut().enumerate() {
+                                let (cols, vals) = view.row(lr);
+                                if cols.is_empty() {
+                                    continue;
+                                }
+                                let mut sum = S::zero();
+                                for (&lc, &v) in cols.iter().zip(vals) {
+                                    sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                                }
+                                warp.stats.flop(2 * cols.len());
+                                *y_slot = S::add(*y_slot, sum);
                             }
-                            let mut sum = S::zero();
-                            for (&lc, &v) in cols.iter().zip(vals) {
-                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                            }
-                            warp.stats.flop(2 * cols.len());
-                            *y_slot = S::add(*y_slot, sum);
+                            warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
                         }
-                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
                     }
                 }
-            }
-            warp.stats.write(nt * vb);
-            if dirty {
-                mark(touched, rt);
-            }
-        });
+                warp.stats.write(nt * vb);
+                log_tile_write(san, rt * nt, nt, warp.warp_id);
+                if dirty {
+                    mark(touched, rt);
+                    sanitize::rmw(san, "touched", rt / 64, warp.warp_id, 0);
+                }
+            },
+        );
     }
 
     if contribs.len() < plan.n_warps() {
@@ -291,6 +327,10 @@ where
                     continue;
                 };
                 warp.stats.read(nt * vb);
+                // Partial sums go to this warp's private bucket (merged
+                // sequentially after the barrier), so the only shared
+                // global accesses in the split path are the x-tile loads.
+                sanitize::read(san, "x-tiles", view.col_tile, warp.warp_id, 0);
                 dirty = true;
                 match view.dense {
                     Some(d) => {
@@ -347,6 +387,7 @@ pub fn col_kernel_binned_semiring<S: Semiring>(
     plan: &BinPlan,
     contribs: &mut Vec<Vec<(u32, S::T)>>,
     touched: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats
 where
     S::T: Default,
@@ -364,6 +405,7 @@ where
             let ct = asg.unit as usize;
             let x_tile = x.tile(ct).expect("work-list tiles are non-empty");
             warp.stats.read(nt * vb);
+            sanitize::read(san, "x-tiles", ct, warp.warp_id, 0);
             let tiles = a.col_tiles(ct);
             let idx = if asg.parts == 1 {
                 0..tiles.len()
@@ -389,6 +431,7 @@ where
                                 bucket.push(((base + lr) as u32, sum));
                                 warp.stats.atomic(1);
                                 warp.stats.write_scattered(vb);
+                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
                             }
                         }
                         warp.stats.flop(2 * nt * nt);
@@ -410,6 +453,7 @@ where
                                 bucket.push(((base + lr) as u32, sum));
                                 warp.stats.atomic(1);
                                 warp.stats.write_scattered(vb);
+                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
                             }
                         }
                         warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
@@ -433,6 +477,7 @@ pub fn col_kernel_semiring<S: Semiring>(
     y: &mut [S::T],
     contribs: &mut Vec<Vec<(u32, S::T)>>,
     touched: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats
 where
     S::T: Default,
@@ -448,60 +493,68 @@ where
         contribs.resize_with(active.len(), Vec::new);
     }
 
-    let stats = launch_over_chunks(&mut contribs[..active.len()], 1, |warp, chunk| {
-        let bucket = &mut chunk[0];
-        let ct = active[warp.warp_id] as usize;
-        let x_tile = x.tile(ct).expect("active tiles are non-empty");
-        warp.stats.read(nt * vb); // load the vector tile once
+    let stats = launch_over_chunks(
+        "spmspv/col-tile",
+        &mut contribs[..active.len()],
+        1,
+        |warp, chunk| {
+            let bucket = &mut chunk[0];
+            let ct = active[warp.warp_id] as usize;
+            let x_tile = x.tile(ct).expect("active tiles are non-empty");
+            warp.stats.read(nt * vb); // load the vector tile once
+            sanitize::read(san, "x-tiles", ct, warp.warp_id, 0);
 
-        for &t in a.col_tiles(ct) {
-            let t = t as usize;
-            let view = a.tile(t);
-            let rt = a.tile_row_of(t);
-            warp.stats.read(4 + 4); // tile id + row-tile id
-            let base = rt * nt;
-            match view.dense {
-                Some(d) => {
-                    warp.stats.read(nt * nt * vb);
-                    for lr in 0..nt {
-                        let row = &d[lr * nt..(lr + 1) * nt];
-                        let mut sum = S::zero();
-                        for (&v, &xv) in row.iter().zip(x_tile) {
-                            sum = S::add(sum, S::mul(v, xv));
+            for &t in a.col_tiles(ct) {
+                let t = t as usize;
+                let view = a.tile(t);
+                let rt = a.tile_row_of(t);
+                warp.stats.read(4 + 4); // tile id + row-tile id
+                let base = rt * nt;
+                match view.dense {
+                    Some(d) => {
+                        warp.stats.read(nt * nt * vb);
+                        for lr in 0..nt {
+                            let row = &d[lr * nt..(lr + 1) * nt];
+                            let mut sum = S::zero();
+                            for (&v, &xv) in row.iter().zip(x_tile) {
+                                sum = S::add(sum, S::mul(v, xv));
+                            }
+                            if sum != S::zero() {
+                                bucket.push(((base + lr) as u32, sum));
+                                warp.stats.atomic(1);
+                                warp.stats.write_scattered(vb);
+                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
+                            }
                         }
-                        if sum != S::zero() {
-                            bucket.push(((base + lr) as u32, sum));
-                            warp.stats.atomic(1);
-                            warp.stats.write_scattered(vb);
-                        }
+                        warp.stats.flop(2 * nt * nt);
+                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
                     }
-                    warp.stats.flop(2 * nt * nt);
-                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                }
-                None => {
-                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                    // Scale and merge each intra-tile row into the global y.
-                    for lr in 0..nt {
-                        let (cols, vals) = view.row(lr);
-                        if cols.is_empty() {
-                            continue;
+                    None => {
+                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+                        // Scale and merge each intra-tile row into the global y.
+                        for lr in 0..nt {
+                            let (cols, vals) = view.row(lr);
+                            if cols.is_empty() {
+                                continue;
+                            }
+                            let mut sum = S::zero();
+                            for (&lc, &v) in cols.iter().zip(vals) {
+                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+                            }
+                            warp.stats.flop(2 * cols.len());
+                            if sum != S::zero() {
+                                bucket.push(((base + lr) as u32, sum));
+                                warp.stats.atomic(1);
+                                warp.stats.write_scattered(vb);
+                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
+                            }
                         }
-                        let mut sum = S::zero();
-                        for (&lc, &v) in cols.iter().zip(vals) {
-                            sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                        }
-                        warp.stats.flop(2 * cols.len());
-                        if sum != S::zero() {
-                            bucket.push(((base + lr) as u32, sum));
-                            warp.stats.atomic(1);
-                            warp.stats.write_scattered(vb);
-                        }
+                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
                     }
-                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
                 }
             }
-        }
-    });
+        },
+    );
 
     merge_contribs::<S>(&mut contribs[..active.len()], y, nt, touched);
     stats
@@ -518,6 +571,7 @@ pub fn coo_kernel_semiring<S: Semiring>(
     y: &mut [S::T],
     contribs: &mut Vec<Vec<(u32, S::T)>>,
     touched: &AtomicWords,
+    san: Option<&Sanitizer>,
 ) -> KernelStats
 where
     S::T: Default,
@@ -534,26 +588,33 @@ where
         contribs.resize_with(n_warps, Vec::new);
     }
 
-    let stats = launch_over_chunks(&mut contribs[..n_warps], 1, |warp, chunk| {
-        let bucket = &mut chunk[0];
-        let start = warp.warp_id * CHUNK;
-        let end = (start + CHUNK).min(x.nnz());
-        for k in start..end {
-            let j = idx[k] as usize;
-            let xj = vals[k];
-            warp.stats.read(4 + vb); // the x entry (streamed)
-            warp.stats.read_scattered(8); // extra_col_ptr[j]
-            let (rows, evals) = a.extra_col(j);
-            warp.stats.read(rows.len() * (4 + vb));
-            for (&r, &v) in rows.iter().zip(evals) {
-                bucket.push((r, S::mul(v, xj)));
-                warp.stats.flop(2);
-                warp.stats.atomic(1);
-                warp.stats.write_scattered(vb);
+    let stats = launch_over_chunks(
+        "spmspv/coo-pass",
+        &mut contribs[..n_warps],
+        1,
+        |warp, chunk| {
+            let bucket = &mut chunk[0];
+            let start = warp.warp_id * CHUNK;
+            let end = (start + CHUNK).min(x.nnz());
+            for k in start..end {
+                let j = idx[k] as usize;
+                let xj = vals[k];
+                warp.stats.read(4 + vb); // the x entry (streamed)
+                warp.stats.read_scattered(8); // extra_col_ptr[j]
+                sanitize::read(san, "x", j, warp.warp_id, k % WARP_SIZE);
+                let (rows, evals) = a.extra_col(j);
+                warp.stats.read(rows.len() * (4 + vb));
+                for (&r, &v) in rows.iter().zip(evals) {
+                    bucket.push((r, S::mul(v, xj)));
+                    warp.stats.flop(2);
+                    warp.stats.atomic(1);
+                    warp.stats.write_scattered(vb);
+                    sanitize::rmw(san, "y", r as usize, warp.warp_id, k % WARP_SIZE);
+                }
+                warp.stats.lane_steps += rows.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
             }
-            warp.stats.lane_steps += rows.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
-        }
-    });
+        },
+    );
 
     merge_contribs::<S>(&mut contribs[..n_warps], y, nt, touched);
     stats
@@ -609,7 +670,7 @@ mod tests {
 
         let mut y = vec![0.0f64; tm.m_tiles() * 16];
         let touched = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
-        let stats = row_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y, &touched);
+        let stats = row_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y, &touched, None);
 
         let expect = spmspv_row(&a, &x).unwrap().to_dense();
         for i in 0..300 {
@@ -650,9 +711,38 @@ mod tests {
         let mut y = vec![f64::INFINITY; tm.m_tiles() * 16];
         let touched = AtomicWords::zeroed(1);
         let mut contribs = Vec::new();
-        col_kernel_semiring::<MinPlus>(&tm, &xt, &mut y, &mut contribs, &touched);
+        col_kernel_semiring::<MinPlus>(&tm, &xt, &mut y, &mut contribs, &touched, None);
         assert_eq!(y[1], 2.0);
         assert_eq!(y[2], f64::INFINITY, "vertex 2 not reached in one hop");
+    }
+
+    #[test]
+    fn row_and_col_kernels_are_race_free_under_the_sanitizer() {
+        let a = uniform_random(200, 200, 3000, 7).to_csr();
+        let tm = TileMatrix::from_csr(&a, TileConfig::with_size(TileSize::S16)).unwrap();
+        let x = random_sparse_vector(200, 0.1, 2);
+        let xt = TiledVector::from_sparse(&x, 16);
+        let san = Sanitizer::new();
+
+        let mut y = vec![0.0f64; tm.m_tiles() * 16];
+        let touched = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
+        sanitize::begin(Some(&san), "spmspv/row-tile", 16);
+        row_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y, &touched, Some(&san));
+        assert_eq!(sanitize::barrier(Some(&san)), 0, "{:?}", san.violations());
+
+        let mut y2 = vec![0.0f64; tm.m_tiles() * 16];
+        let touched2 = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
+        let mut contribs = Vec::new();
+        sanitize::begin(Some(&san), "spmspv/col-tile", 16);
+        col_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y2, &mut contribs, &touched2, Some(&san));
+        assert_eq!(sanitize::barrier(Some(&san)), 0, "{:?}", san.violations());
+
+        assert!(san.summary().accesses > 0, "the shadow log saw the launch");
+        // Row- and column-driven kernels fold in different orders, so they
+        // agree to rounding, not bitwise.
+        for (i, (&a, &b)) in y.iter().zip(&y2).enumerate() {
+            assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -21,11 +21,14 @@ use tsv_simt::device::DeviceConfig;
 use tsv_simt::json;
 use tsv_simt::model::kernel_time;
 use tsv_simt::profile::Profiler;
+use tsv_simt::sanitize::SanitizerSummary;
 
 /// Schema version of [`RunSummary::to_json`]. Version 2 added the
 /// `dispatch` array (per-plan warp-occupancy and work-imbalance views of
-/// the binned scheduler).
-pub const SCHEMA_VERSION: u32 = 2;
+/// the binned scheduler). Version 3 added the optional `sanitizer` object
+/// (launches analyzed, shadow accesses logged, conflicts detected by the
+/// race sanitizer).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One row of the per-kernel table.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +138,7 @@ pub struct RunSummary {
     bfs_iterations: Vec<IterationSummary>,
     histograms: Vec<Histogram>,
     dispatch: Vec<DispatchSummary>,
+    sanitizer: Option<SanitizerSummary>,
 }
 
 impl RunSummary {
@@ -147,6 +151,7 @@ impl RunSummary {
             bfs_iterations: Vec::new(),
             histograms: Vec::new(),
             dispatch: Vec::new(),
+            sanitizer: None,
         }
     }
 
@@ -262,6 +267,18 @@ impl RunSummary {
         for (b, &c) in row.work.buckets.iter_mut().zip(&d.work_hist) {
             b.1 += c as u64;
         }
+    }
+
+    /// Records the race sanitizer's aggregate counters. Calling it again
+    /// replaces the object — the sanitizer itself accumulates across
+    /// launches, so the latest snapshot is the complete account.
+    pub fn record_sanitizer(&mut self, s: SanitizerSummary) {
+        self.sanitizer = Some(s);
+    }
+
+    /// The recorded sanitizer counters, if any.
+    pub fn sanitizer(&self) -> Option<SanitizerSummary> {
+        self.sanitizer
     }
 
     /// The dispatch-plan rows recorded so far.
@@ -399,7 +416,16 @@ impl RunSummary {
             }
             out.push_str("]}");
         }
-        out.push_str("]}");
+        out.push(']');
+
+        if let Some(s) = &self.sanitizer {
+            let _ = write!(
+                out,
+                ",\"sanitizer\":{{\"launches\":{},\"accesses\":{},\"violations\":{}}}",
+                s.launches, s.accesses, s.violations,
+            );
+        }
+        out.push('}');
         out
     }
 }
@@ -596,6 +622,25 @@ mod tests {
         assert_eq!(occ[1].get("count").and_then(JsonValue::as_u64), Some(8));
         let work = row.get("warp_work").unwrap().as_array().unwrap();
         assert_eq!(work.len(), 16);
+    }
+
+    #[test]
+    fn sanitizer_object_is_absent_until_recorded_and_roundtrips() {
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        assert!(summary.sanitizer().is_none());
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        assert!(v.get("sanitizer").is_none());
+
+        summary.record_sanitizer(SanitizerSummary {
+            launches: 3,
+            accesses: 1234,
+            violations: 1,
+        });
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        let s = v.get("sanitizer").unwrap();
+        assert_eq!(s.get("launches").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(s.get("accesses").and_then(JsonValue::as_u64), Some(1234));
+        assert_eq!(s.get("violations").and_then(JsonValue::as_u64), Some(1));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use tsv_core::telemetry::RunSummary;
 use tsv_core::tile::TileConfig;
 use tsv_simt::device::RTX_3060;
 use tsv_simt::json::JsonValue;
+use tsv_simt::sanitize::{Sanitizer, SanitizerSummary};
 use tsv_simt::trace::{chrome_trace_json, validate_chrome_trace, Tracer, CAT_KERNEL};
 use tsv_sparse::gen::random_sparse_vector;
 use tsv_sparse::{CooMatrix, CsrMatrix};
@@ -200,4 +201,78 @@ fn disabled_tracing_is_free_on_the_reuse_path() {
     tracer.set_enabled(true);
     traced.multiply(&xs[0]).unwrap();
     assert!(!tracer.is_empty());
+}
+
+#[test]
+fn disabled_sanitizer_is_free_on_the_reuse_path() {
+    let a = layered_graph();
+    let xs: Vec<_> = (0..20)
+        .map(|s| random_sparse_vector(a.ncols(), 0.05, s))
+        .collect();
+
+    // Reference: engine with no sanitizer attached at all.
+    let mut bare = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    let mut bare_results = Vec::new();
+    for x in &xs {
+        bare_results.push(bare.multiply(x).unwrap().0);
+    }
+
+    // Same engine shape with a sanitizer attached but switched off: the
+    // only cost allowed is the enabled-flag branch per access, and nothing
+    // may reach the shadow log.
+    let san = Arc::new(Sanitizer::new());
+    san.set_enabled(false);
+    let mut checked = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    checked.set_sanitizer(Some(Arc::clone(&san)));
+    for (x, expect) in xs.iter().zip(&bare_results) {
+        let (y, _) = checked.multiply(x).unwrap();
+        assert_eq!(y.nnz(), expect.nnz());
+        assert!(y.max_abs_diff(expect) == 0.0, "results must be identical");
+    }
+    assert!(san.is_empty(), "disabled sanitizer must record nothing");
+    assert_eq!(san.summary(), SanitizerSummary::default());
+
+    // Re-enabling later works without rebuilding the engine, and the
+    // engine's kernels come back clean.
+    san.set_enabled(true);
+    let (y, _) = checked.multiply(&xs[0]).unwrap();
+    assert!(y.max_abs_diff(&bare_results[0]) == 0.0);
+    let s = san.summary();
+    assert!(s.launches > 0 && s.accesses > 0);
+    assert_eq!(s.violations, 0, "{:?}", san.violations());
+}
+
+#[test]
+fn sanitized_bfs_is_race_free_and_feeds_the_run_summary() {
+    let a = layered_graph();
+    let mut bare = BfsEngine::from_csr(&a).unwrap();
+    let expect = bare.run(0).unwrap();
+
+    let san = Arc::new(Sanitizer::new());
+    let mut engine = BfsEngine::from_csr(&a).unwrap();
+    engine.set_sanitizer(Some(Arc::clone(&san)));
+    let r = engine.run(0).unwrap();
+    assert_eq!(r.levels, expect.levels, "sanitized run must agree");
+
+    let s = san.summary();
+    assert!(
+        s.launches as usize >= r.iterations.len(),
+        "at least one epoch per iteration"
+    );
+    assert!(s.accesses > 0);
+    assert_eq!(s.violations, 0, "{:?}", san.violations());
+
+    let mut summary = RunSummary::new("bfs-sanitized", RTX_3060);
+    summary.record_sanitizer(s);
+    let v = tsv_simt::json::parse(&summary.to_json()).unwrap();
+    let obj = v.get("sanitizer").unwrap();
+    assert_eq!(
+        obj.get("violations").and_then(JsonValue::as_u64),
+        Some(0),
+        "clean run must export zero violations"
+    );
+    assert_eq!(
+        obj.get("launches").and_then(JsonValue::as_u64),
+        Some(s.launches)
+    );
 }

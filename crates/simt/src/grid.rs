@@ -3,6 +3,92 @@
 use crate::stats::KernelStats;
 use crate::warp::WarpCtx;
 use rayon::prelude::*;
+use std::cell::Cell;
+
+/// In which order a launch hands its warps to the scheduler.
+///
+/// GPU warp schedulers give no ordering guarantee, so a correct kernel must
+/// produce the same result under any execution order. The emulator's rayon
+/// substrate *is* order-nondeterministic across threads, but on a lightly
+/// loaded (or single-core) host it tends to run warps nearly in submission
+/// order — which can hide schedule dependence. The policy permutes the
+/// submission order deterministically so [`replay_check`] can explore
+/// distinct orders reproducibly.
+///
+/// Warp ids are always the *logical* ids (chunk index, work-list position,
+/// bin number): permutation changes when a warp runs, never which work it
+/// owns, so any warp-ordered merge downstream is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Submission order = logical order (the default; zero-overhead path).
+    InOrder,
+    /// Logical order reversed — the cheapest "maximally different" order.
+    Reversed,
+    /// A seeded Fisher-Yates shuffle of the logical order.
+    Seeded(u64),
+}
+
+thread_local! {
+    // The policy is per *calling* thread: each launch primitive reads it
+    // once before fanning out, so nested launches issued from inside a
+    // warp body (none exist today) would see the worker default, InOrder.
+    static SCHEDULE: Cell<SchedulePolicy> = const { Cell::new(SchedulePolicy::InOrder) };
+}
+
+/// The schedule policy launches issued from this thread will use.
+pub fn current_schedule() -> SchedulePolicy {
+    SCHEDULE.with(Cell::get)
+}
+
+/// Runs `f` with `policy` governing every launch issued from this thread,
+/// restoring the previous policy afterwards (also on panic).
+pub fn with_schedule<R>(policy: SchedulePolicy, f: impl FnOnce() -> R) -> R {
+    struct Restore(SchedulePolicy);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCHEDULE.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SCHEDULE.with(|s| s.replace(policy)));
+    f()
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The submission permutation for `n` warps under the current policy, or
+/// `None` for the in-order zero-allocation path.
+fn schedule_order(n: usize) -> Option<Vec<usize>> {
+    match current_schedule() {
+        SchedulePolicy::InOrder => None,
+        SchedulePolicy::Reversed => Some((0..n).rev().collect()),
+        SchedulePolicy::Seeded(seed) => {
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut state = seed;
+            for i in (1..n).rev() {
+                let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            Some(order)
+        }
+    }
+}
+
+/// Reorders `items` (in logical order) into submission order:
+/// `result[pos] = items[order[pos]]`.
+fn apply_order<T>(items: Vec<T>, order: &[usize]) -> Vec<T> {
+    debug_assert_eq!(items.len(), order.len());
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    order
+        .iter()
+        .map(|&i| slots[i].take().expect("order is a permutation"))
+        .collect()
+}
 
 /// Launches `n_warps` warps, each running `body`. Returns the summed work
 /// counters.
@@ -17,14 +103,15 @@ pub fn launch<F>(n_warps: usize, body: F) -> KernelStats
 where
     F: Fn(&mut WarpCtx) + Sync,
 {
-    (0..n_warps)
-        .into_par_iter()
-        .map(|warp_id| {
-            let mut ctx = WarpCtx::new(warp_id);
-            body(&mut ctx);
-            ctx.stats
-        })
-        .sum()
+    let run = |warp_id: usize| {
+        let mut ctx = WarpCtx::new(warp_id);
+        body(&mut ctx);
+        ctx.stats
+    };
+    match schedule_order(n_warps) {
+        None => (0..n_warps).into_par_iter().map(run).sum(),
+        Some(order) => order.into_par_iter().map(run).sum(),
+    }
 }
 
 /// Launches one warp per output chunk: `output` is split into disjoint
@@ -37,28 +124,41 @@ where
 /// `output.len()` must be a multiple of `chunk_len`: every caller owns a
 /// padded buffer (`m_tiles * nt` for the tile kernels), and a short tail
 /// chunk would mean a mis-sized buffer silently corrupting the last tile.
-pub fn launch_over_chunks<T, F>(output: &mut [T], chunk_len: usize, body: F) -> KernelStats
+/// `label` names the launching kernel in that assertion's message.
+pub fn launch_over_chunks<T, F>(
+    label: &str,
+    output: &mut [T],
+    chunk_len: usize,
+    body: F,
+) -> KernelStats
 where
     T: Send,
     F: Fn(&mut WarpCtx, &mut [T]) + Sync,
 {
-    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(chunk_len > 0, "{label}: chunk_len must be positive");
     assert_eq!(
         output.len() % chunk_len,
         0,
-        "output length {} is not a multiple of chunk_len {}; pad the buffer",
+        "{label}: output length {} is not a multiple of chunk_len {} \
+         ({} whole chunks + {} trailing elements); pad the buffer",
         output.len(),
-        chunk_len
+        chunk_len,
+        output.len() / chunk_len,
+        output.len() % chunk_len
     );
-    output
-        .par_chunks_mut(chunk_len)
-        .enumerate()
-        .map(|(warp_id, chunk)| {
-            let mut ctx = WarpCtx::new(warp_id);
-            body(&mut ctx, chunk);
-            ctx.stats
-        })
-        .sum()
+    let run = |(warp_id, chunk): (usize, &mut [T])| {
+        let mut ctx = WarpCtx::new(warp_id);
+        body(&mut ctx, chunk);
+        ctx.stats
+    };
+    let n_warps = output.len() / chunk_len;
+    match schedule_order(n_warps) {
+        None => output.par_chunks_mut(chunk_len).enumerate().map(run).sum(),
+        Some(order) => {
+            let chunks: Vec<(usize, &mut [T])> = output.chunks_mut(chunk_len).enumerate().collect();
+            apply_order(chunks, &order).into_par_iter().map(run).sum()
+        }
+    }
 }
 
 /// Launches one warp per *listed* unit: `output` is conceptually split into
@@ -75,6 +175,7 @@ where
 /// here keeps warp ids (and therefore any warp-ordered merge downstream)
 /// a pure function of the list.
 pub fn launch_over_worklist<T, F>(
+    label: &str,
     output: &mut [T],
     chunk_len: usize,
     worklist: &[u32],
@@ -84,47 +185,51 @@ where
     T: Send,
     F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
 {
-    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(chunk_len > 0, "{label}: chunk_len must be positive");
     assert_eq!(
         output.len() % chunk_len,
         0,
-        "output length {} is not a multiple of chunk_len {}; pad the buffer",
+        "{label}: output length {} is not a multiple of chunk_len {} \
+         ({} whole chunks + {} trailing elements); pad the buffer",
         output.len(),
-        chunk_len
+        chunk_len,
+        output.len() / chunk_len,
+        output.len() % chunk_len
     );
     let n_units = output.len() / chunk_len;
     // Carve the listed chunks out of `output` as disjoint mutable slices;
-    // the strictly-increasing check makes the split walk sound.
-    let mut chunks: Vec<(u32, &mut [T])> = Vec::with_capacity(worklist.len());
+    // the strictly-increasing check makes the split walk sound. Warp ids
+    // are work-list positions, fixed before any scheduling permutation.
+    let mut chunks: Vec<(usize, u32, &mut [T])> = Vec::with_capacity(worklist.len());
     let mut rest = output;
     let mut consumed = 0usize;
     let mut prev: Option<u32> = None;
-    for &u in worklist {
+    for (warp_id, &u) in worklist.iter().enumerate() {
         assert!(
             prev.is_none_or(|p| u > p),
-            "worklist must be strictly increasing (saw {u} after {prev:?})"
+            "{label}: worklist must be strictly increasing (saw {u} after {prev:?})"
         );
         prev = Some(u);
         let u = u as usize;
         assert!(
             u < n_units,
-            "worklist unit {u} out of range ({n_units} units)"
+            "{label}: worklist unit {u} out of range ({n_units} units)"
         );
         let (_, tail) = rest.split_at_mut((u - consumed) * chunk_len);
         let (chunk, tail) = tail.split_at_mut(chunk_len);
-        chunks.push((u as u32, chunk));
+        chunks.push((warp_id, u as u32, chunk));
         rest = tail;
         consumed = u + 1;
     }
-    chunks
-        .into_par_iter()
-        .enumerate()
-        .map(|(warp_id, (unit, chunk))| {
-            let mut ctx = WarpCtx::new(warp_id);
-            body(&mut ctx, unit, chunk);
-            ctx.stats
-        })
-        .sum()
+    let run = |(warp_id, unit, chunk): (usize, u32, &mut [T])| {
+        let mut ctx = WarpCtx::new(warp_id);
+        body(&mut ctx, unit, chunk);
+        ctx.stats
+    };
+    match schedule_order(chunks.len()) {
+        None => chunks.into_par_iter().map(run).sum(),
+        Some(order) => apply_order(chunks, &order).into_par_iter().map(run).sum(),
+    }
 }
 
 /// One entry of a warp's work in a binned launch: a unit, or a slice of one.
@@ -308,15 +413,80 @@ where
         scratch.len(),
         n
     );
-    scratch[..n]
-        .par_iter_mut()
-        .enumerate()
-        .map(|(warp_id, slot)| {
-            let mut ctx = WarpCtx::new(warp_id);
-            body(&mut ctx, plan.warp(warp_id), slot);
-            ctx.stats
-        })
-        .sum()
+    let run = |(warp_id, slot): (usize, &mut T)| {
+        let mut ctx = WarpCtx::new(warp_id);
+        body(&mut ctx, plan.warp(warp_id), slot);
+        ctx.stats
+    };
+    match schedule_order(n) {
+        None => scratch[..n].par_iter_mut().enumerate().map(run).sum(),
+        Some(order) => {
+            let slots: Vec<(usize, &mut T)> = scratch[..n].iter_mut().enumerate().collect();
+            apply_order(slots, &order).into_par_iter().map(run).sum()
+        }
+    }
+}
+
+/// Outcome of a [`replay_check`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Total executions, including the in-order reference.
+    pub runs: usize,
+    /// Which non-reference runs disagreed with the reference, by
+    /// description (e.g. `"reversed"`, `"seeded(3)"`).
+    pub mismatched: Vec<String>,
+}
+
+impl ReplayReport {
+    /// True when every permuted run matched the in-order reference.
+    pub fn all_match(&self) -> bool {
+        self.mismatched.is_empty()
+    }
+}
+
+/// Runs `run` once in order (the reference), once reversed, and under
+/// `n_seeded` seeded permutations derived from `seed`, comparing every
+/// permuted output to the reference with `eq`.
+///
+/// `eq` encodes the determinism contract being certified: bit-for-bit
+/// comparison proves *bitwise* determinism (the PlusTimes/Binned
+/// guarantee), while a semantic comparison (same support, values equal
+/// under the semiring's tolerance) proves the weaker *semantic*
+/// determinism appropriate for MinPlus/OrAnd.
+///
+/// This certifies schedule independence only over the orders actually
+/// tried — it is a replay fuzzer, not a proof; pair it with the
+/// [`crate::sanitize`] conflict detector, which reasons about *all*
+/// interleavings of the accesses one execution performs.
+pub fn replay_check<O>(
+    n_seeded: usize,
+    seed: u64,
+    mut run: impl FnMut() -> O,
+    mut eq: impl FnMut(&O, &O) -> bool,
+) -> ReplayReport {
+    let reference = with_schedule(SchedulePolicy::InOrder, &mut run);
+    let mut report = ReplayReport {
+        runs: 1,
+        mismatched: Vec::new(),
+    };
+    let mut check = |policy: SchedulePolicy, desc: String, run: &mut dyn FnMut() -> O| {
+        let out = with_schedule(policy, &mut *run);
+        report.runs += 1;
+        if !eq(&reference, &out) {
+            report.mismatched.push(desc);
+        }
+    };
+    check(SchedulePolicy::Reversed, "reversed".to_string(), &mut run);
+    for k in 0..n_seeded {
+        let mut state = seed ^ (k as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let perm_seed = splitmix64(&mut state);
+        check(
+            SchedulePolicy::Seeded(perm_seed),
+            format!("seeded({k})"),
+            &mut run,
+        );
+    }
+    report
 }
 
 #[cfg(test)]
@@ -354,7 +524,7 @@ mod tests {
     #[test]
     fn chunks_partition_output_disjointly() {
         let mut out = vec![0u32; 100];
-        let stats = launch_over_chunks(&mut out, 10, |w, chunk| {
+        let stats = launch_over_chunks("test/chunks", &mut out, 10, |w, chunk| {
             for v in chunk.iter_mut() {
                 *v = w.warp_id as u32 + 1;
             }
@@ -371,19 +541,55 @@ mod tests {
         // A short tail chunk means the caller mis-sized its padded buffer;
         // fail loudly instead of corrupting the last tile.
         let mut out = vec![0u8; 25];
-        launch_over_chunks(&mut out, 10, |_, _| {});
+        launch_over_chunks("test/ragged", &mut out, 10, |_, _| {});
+    }
+
+    #[test]
+    fn ragged_tail_panic_names_the_kernel_and_sizes() {
+        // Regression: the divisibility assert used to omit the launching
+        // kernel, which made a mis-sized buffer painful to attribute.
+        let err = std::panic::catch_unwind(|| {
+            let mut out = vec![0u8; 25];
+            launch_over_chunks("spmspv/row-tile", &mut out, 10, |_, _| {});
+        })
+        .expect_err("ragged tail must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("spmspv/row-tile"), "kernel label: {msg}");
+        assert!(msg.contains("25"), "total length: {msg}");
+        assert!(msg.contains("chunk_len 10"), "chunk size: {msg}");
+        assert!(msg.contains("2 whole chunks"), "unit count: {msg}");
+
+        let err = std::panic::catch_unwind(|| {
+            let mut out = vec![0u8; 25];
+            launch_over_worklist("bfs/pull-csc", &mut out, 10, &[0], |_, _, _| {});
+        })
+        .expect_err("ragged tail must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("bfs/pull-csc"), "kernel label: {msg}");
     }
 
     #[test]
     fn worklist_launches_only_listed_units() {
         let mut out = vec![0u32; 80];
         let worklist = [1u32, 3, 6];
-        let stats = launch_over_worklist(&mut out, 10, &worklist, |w, unit, chunk| {
-            assert_eq!(worklist[w.warp_id], unit);
-            for v in chunk.iter_mut() {
-                *v = unit + 1;
-            }
-        });
+        let stats = launch_over_worklist(
+            "test/worklist",
+            &mut out,
+            10,
+            &worklist,
+            |w, unit, chunk| {
+                assert_eq!(worklist[w.warp_id], unit);
+                for v in chunk.iter_mut() {
+                    *v = unit + 1;
+                }
+            },
+        );
         assert_eq!(stats.warps, 3, "grid size is the work-list length");
         for (i, &v) in out.iter().enumerate() {
             let unit = (i / 10) as u32;
@@ -399,7 +605,8 @@ mod tests {
     #[test]
     fn worklist_empty_launches_nothing() {
         let mut out = vec![7u8; 30];
-        let stats = launch_over_worklist(&mut out, 10, &[], |_, _, _| panic!("no warp"));
+        let stats =
+            launch_over_worklist("test/empty", &mut out, 10, &[], |_, _, _| panic!("no warp"));
         assert_eq!(stats.warps, 0);
         assert!(out.iter().all(|&v| v == 7));
     }
@@ -408,14 +615,14 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn worklist_rejects_unsorted_units() {
         let mut out = vec![0u8; 30];
-        launch_over_worklist(&mut out, 10, &[2, 1], |_, _, _| {});
+        launch_over_worklist("test/unsorted", &mut out, 10, &[2, 1], |_, _, _| {});
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn worklist_rejects_out_of_range_units() {
         let mut out = vec![0u8; 30];
-        launch_over_worklist(&mut out, 10, &[3], |_, _, _| {});
+        launch_over_worklist("test/range", &mut out, 10, &[3], |_, _, _| {});
     }
 
     #[test]
@@ -504,6 +711,151 @@ mod tests {
         assert_eq!(seen.load(0), 0b0111011);
         // Each warp wrote its own scratch slot: totals match assignments.
         assert_eq!(scratch.iter().sum::<u32>() as usize, plan.n_assignments());
+    }
+
+    fn all_policies() -> [SchedulePolicy; 4] {
+        [
+            SchedulePolicy::InOrder,
+            SchedulePolicy::Reversed,
+            SchedulePolicy::Seeded(7),
+            SchedulePolicy::Seeded(0xdead_beef),
+        ]
+    }
+
+    #[test]
+    fn every_policy_runs_every_warp_once_with_logical_ids() {
+        for policy in all_policies() {
+            with_schedule(policy, || {
+                let hits = AtomicWords::zeroed(2);
+                let stats = launch(128, |w| {
+                    hits.fetch_or(w.warp_id / 64, 1 << (w.warp_id % 64));
+                });
+                assert_eq!(stats.warps, 128, "{policy:?}");
+                assert_eq!(hits.load(0), u64::MAX, "{policy:?}");
+                assert_eq!(hits.load(1), u64::MAX, "{policy:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn every_policy_keeps_chunk_ownership() {
+        let mut reference: Option<Vec<u32>> = None;
+        for policy in all_policies() {
+            with_schedule(policy, || {
+                let mut out = vec![0u32; 100];
+                launch_over_chunks("test/sched-chunks", &mut out, 10, |w, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = w.warp_id as u32 + 1;
+                    }
+                });
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => assert_eq!(&out, r, "{policy:?}"),
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn every_policy_keeps_worklist_and_bin_assignments() {
+        let worklist = [1u32, 3, 6, 7];
+        let weights = [2u64, 2, 50, 1, 1, 1, 30];
+        let units: Vec<u32> = (0..weights.len() as u32).collect();
+        let mut plan = BinPlan::new();
+        plan.rebuild(&units, |u| weights[u as usize], 10, 8);
+        for policy in all_policies() {
+            with_schedule(policy, || {
+                let mut out = vec![0u32; 80];
+                launch_over_worklist(
+                    "test/sched-wl",
+                    &mut out,
+                    10,
+                    &worklist,
+                    |w, unit, chunk| {
+                        assert_eq!(worklist[w.warp_id], unit, "{policy:?}");
+                        chunk[0] = unit + 1;
+                    },
+                );
+                for (i, &u) in worklist.iter().enumerate() {
+                    assert_eq!(out[u as usize * 10], u + 1, "{policy:?} warp {i}");
+                }
+
+                let mut scratch = vec![u32::MAX; plan.n_warps()];
+                launch_binned(&plan, &mut scratch, |w, assignments, slot| {
+                    assert_eq!(assignments, plan.warp(w.warp_id), "{policy:?}");
+                    *slot = w.warp_id as u32;
+                });
+                let expect: Vec<u32> = (0..plan.n_warps() as u32).collect();
+                assert_eq!(scratch, expect, "{policy:?}: slot i belongs to warp i");
+            });
+        }
+    }
+
+    #[test]
+    fn with_schedule_restores_the_previous_policy() {
+        assert_eq!(current_schedule(), SchedulePolicy::InOrder);
+        with_schedule(SchedulePolicy::Reversed, || {
+            assert_eq!(current_schedule(), SchedulePolicy::Reversed);
+            with_schedule(SchedulePolicy::Seeded(1), || {
+                assert_eq!(current_schedule(), SchedulePolicy::Seeded(1));
+            });
+            assert_eq!(current_schedule(), SchedulePolicy::Reversed);
+        });
+        assert_eq!(current_schedule(), SchedulePolicy::InOrder);
+        // Restored even when the body panics.
+        let _ = std::panic::catch_unwind(|| {
+            with_schedule(SchedulePolicy::Reversed, || panic!("boom"));
+        });
+        assert_eq!(current_schedule(), SchedulePolicy::InOrder);
+    }
+
+    #[test]
+    fn seeded_orders_differ_by_seed_and_repeat_by_seed() {
+        let order_of = |policy| with_schedule(policy, || schedule_order(64));
+        let a = order_of(SchedulePolicy::Seeded(1)).unwrap();
+        let b = order_of(SchedulePolicy::Seeded(1)).unwrap();
+        let c = order_of(SchedulePolicy::Seeded(2)).unwrap();
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, c, "different seed, different order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "a true permutation");
+        assert_ne!(a, (0..64).collect::<Vec<_>>(), "not the identity");
+    }
+
+    #[test]
+    fn replay_check_passes_schedule_independent_kernels() {
+        let report = replay_check(
+            8,
+            42,
+            || {
+                // Order-independent: disjoint chunk writes.
+                let mut out = vec![0u64; 320];
+                launch_over_chunks("test/replay", &mut out, 10, |w, chunk| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = (w.warp_id * 100 + i) as u64;
+                    }
+                });
+                out
+            },
+            |a, b| a == b,
+        );
+        assert_eq!(report.runs, 10, "reference + reversed + 8 seeded");
+        assert!(report.all_match(), "mismatched: {:?}", report.mismatched);
+    }
+
+    #[test]
+    fn replay_check_reports_schedule_dependent_outputs() {
+        // A "kernel" whose output is the schedule itself: every permuted
+        // run must disagree with the in-order reference, and the report
+        // names each one.
+        let report = replay_check(3, 9, || schedule_order(16), |a, b| a == b);
+        assert_eq!(report.runs, 5);
+        assert!(!report.all_match());
+        assert_eq!(
+            report.mismatched,
+            vec!["reversed", "seeded(0)", "seeded(1)", "seeded(2)"]
+        );
     }
 
     #[test]

@@ -29,15 +29,18 @@ pub mod grid;
 pub mod json;
 pub mod model;
 pub mod profile;
+pub mod sanitize;
 pub mod stats;
 pub mod trace;
 pub mod warp;
 
 pub use device::{DeviceConfig, RTX_3060, RTX_3090};
 pub use grid::{
-    launch, launch_binned, launch_over_chunks, launch_over_worklist, Assignment, BinPlan,
+    launch, launch_binned, launch_over_chunks, launch_over_worklist, replay_check, with_schedule,
+    Assignment, BinPlan, ReplayReport, SchedulePolicy,
 };
 pub use profile::Profiler;
+pub use sanitize::Sanitizer;
 pub use stats::KernelStats;
 pub use trace::Tracer;
 pub use warp::{WarpCtx, WARP_SIZE};

@@ -3,7 +3,7 @@
 //! class, including degenerate and directed inputs.
 
 use tilespmspv::baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
-use tilespmspv::core::bfs::KernelSet;
+use tilespmspv::core::bfs::{KernelKind, KernelSet, PolicyThresholds};
 use tilespmspv::prelude::*;
 use tilespmspv::sparse::gen::{
     banded, geometric_graph, grid2d, grid3d, rmat, tridiagonal, RmatConfig,
@@ -146,6 +146,78 @@ fn single_vertex_and_edgeless_graphs() {
     assert!(r.levels.iter().filter(|&&l| l >= 0).count() == 1);
 
     assert_eq!(gunrock_bfs(&edgeless, 7).unwrap().reached(), 1);
+}
+
+/// A disconnected symmetric graph engineered so the policy holds the
+/// Pull-CSC kernel across consecutive iterations: a hub layer visits 60%
+/// of the graph in one step (dropping the unvisited fraction below the
+/// pull threshold), two further layers keep the frontier dense enough to
+/// stay off Push-CSC, and an unreachable island chain pins the unvisited
+/// fraction above zero for the whole traversal.
+#[test]
+fn pull_csc_stays_selected_on_disconnected_graphs() {
+    let n = 200;
+    let mut coo = CooMatrix::new(n, n);
+    let edge = |coo: &mut CooMatrix<f64>, u: usize, v: usize| {
+        coo.push(u, v, 1.0);
+        coo.push(v, u, 1.0);
+    };
+    // Hub layer: the source reaches vertices 1..=120 in one step.
+    for v in 1..=120 {
+        edge(&mut coo, 0, v);
+    }
+    // Layer 2 (121..151) hangs off layer 1, layer 3 (151..180) off layer 2.
+    for (i, v) in (121..151).enumerate() {
+        edge(&mut coo, 1 + (i % 120), v);
+    }
+    for (i, v) in (151..180).enumerate() {
+        edge(&mut coo, 121 + (i % 30), v);
+    }
+    // The unreachable island: a chain over 180..200.
+    for v in 180..n - 1 {
+        edge(&mut coo, v, v + 1);
+    }
+    let a = coo.to_csr();
+
+    let opts = BfsOptions {
+        thresholds: PolicyThresholds {
+            push_csc_density: 0.01,
+            pull_unvisited_frac: 0.5,
+        },
+        ..Default::default()
+    };
+    let g = TileBfsGraph::from_csr(&a).unwrap();
+    let r = tile_bfs(&g, 0, opts).unwrap();
+
+    let kernels: Vec<KernelKind> = r.iterations.iter().map(|it| it.kernel).collect();
+    assert_eq!(
+        r.iterations[0].kernel,
+        KernelKind::PushCsc,
+        "a single-vertex frontier must start on Push-CSC: {kernels:?}"
+    );
+    let pulls = kernels
+        .iter()
+        .filter(|&&k| k == KernelKind::PullCsc)
+        .count();
+    assert!(
+        pulls >= 2,
+        "the fixture must hold Pull-CSC for at least two iterations, got {pulls}: {kernels:?}"
+    );
+
+    // The pull iterations still produce an exactly-valid traversal.
+    let expect = bfs_levels(&a, 0).unwrap();
+    assert_eq!(r.levels, expect);
+    validate_bfs_levels(&a, 0, &r.levels).expect("graph500 validation");
+    let parents = bfs_parents_from_levels(&a, 0, &r.levels);
+    for (v, &p) in parents.iter().enumerate() {
+        if r.levels[v] > 0 {
+            assert!(p >= 0, "reached vertex {v} lacks a parent");
+            assert_eq!(r.levels[p as usize], r.levels[v] - 1, "vertex {v}");
+        }
+    }
+    for v in 180..n {
+        assert_eq!(r.levels[v], -1, "island vertex {v} must stay unreached");
+    }
 }
 
 #[test]

@@ -1,0 +1,221 @@
+//! Differential conformance suite: every tiled SpMSpV kernel (forced
+//! row-tile, forced col-tile, with and without the COO side pass) × every
+//! semiring × both balance modes, checked against a naive dense oracle
+//! that is too simple to be wrong.
+//!
+//! The zoo leans on the shapes that break tiled code: orders straddling
+//! the tile edge (31/32/33, 63/64/65, 127/128/129), matrices whose tiles
+//! are almost all empty, single-entry matrices, empty matrices, and the
+//! empty input vector.
+
+use tilespmspv::core::exec::SpMSpVEngine;
+use tilespmspv::core::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
+use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
+use tilespmspv::core::tile::{TileConfig, TileMatrix};
+use tilespmspv::sparse::gen::{
+    banded, geometric_graph, grid2d, random_sparse_vector, rmat, uniform_random, RmatConfig,
+};
+use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
+
+/// The naive oracle: a dense gather over the stored entries. `None`
+/// marks rows no product ever touched — the support the compacted
+/// output must reproduce exactly.
+fn dense_oracle<S: Semiring>(a: &CsrMatrix<S::T>, x: &SparseVector<S::T>) -> Vec<Option<S::T>> {
+    let mut xd: Vec<Option<S::T>> = vec![None; a.ncols()];
+    for (i, v) in x.iter() {
+        xd[i] = Some(v);
+    }
+    let mut y: Vec<Option<S::T>> = vec![None; a.nrows()];
+    for (r, c, v) in a.iter() {
+        if let Some(xv) = xd[c] {
+            let prod = S::mul(v, xv);
+            y[r] = Some(match y[r] {
+                None => prod,
+                Some(acc) => S::add(acc, prod),
+            });
+        }
+    }
+    y
+}
+
+/// Runs one (matrix, inputs) pair through every kernel × balance mode ×
+/// tiling config and diffs support and values against the oracle.
+fn check_matrix<S: Semiring>(
+    name: &str,
+    a: &CsrMatrix<S::T>,
+    xs: &[SparseVector<S::T>],
+    eq: impl Fn(S::T, S::T) -> bool + Copy,
+) where
+    S::T: Default + std::fmt::Debug,
+{
+    // extract_threshold 4 pushes near-empty tiles onto the COO side pass;
+    // 0 keeps everything in tiles. Both paths must agree with the oracle.
+    for extract in [0usize, 4] {
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let cfg = TileConfig {
+                    extract_threshold: extract,
+                    ..Default::default()
+                };
+                let opts = SpMSpVOptions {
+                    kernel,
+                    balance,
+                    ..Default::default()
+                };
+                let mut engine = SpMSpVEngine::<S>::from_csr_with(a, cfg, opts).unwrap();
+                for (si, x) in xs.iter().enumerate() {
+                    let (y, _) = engine.multiply(x).unwrap();
+                    let oracle = dense_oracle::<S>(a, x);
+                    let support: Vec<u32> = oracle
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, v)| v.map(|_| i as u32))
+                        .collect();
+                    let ctx = format!("{name} extract={extract} {kernel:?} {balance:?} input {si}");
+                    assert_eq!(y.indices(), &support[..], "{ctx}: support diverged");
+                    for (i, got) in y.iter() {
+                        let want = oracle[i].unwrap();
+                        assert!(eq(got, want), "{ctx} row {i}: got {got:?}, want {want:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// ~30 matrices: tile-edge straddlers, the structure classes, rectangular
+/// shapes, and the degenerate cases tiled layouts get wrong first.
+fn conformance_zoo() -> Vec<(String, CsrMatrix<f64>)> {
+    let mut zoo: Vec<(String, CsrMatrix<f64>)> = Vec::new();
+
+    // Orders one below, at, and above one, two and four tile widths.
+    for n in [1usize, 2, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129] {
+        let nnz = (n * n / 4).clamp(1, 6 * n);
+        zoo.push((
+            format!("uniform-{n}"),
+            uniform_random(n, n, nnz, n as u64).to_csr(),
+        ));
+    }
+
+    // Structure classes.
+    zoo.push(("banded".into(), banded(300, 9, 0.7, 1).to_csr()));
+    zoo.push(("banded-dense".into(), banded(128, 16, 1.0, 2).to_csr()));
+    zoo.push(("grid".into(), grid2d(18, 17).to_csr()));
+    zoo.push(("grid-square".into(), grid2d(16, 16).to_csr()));
+    zoo.push(("geometric".into(), geometric_graph(350, 5.0, 3).to_csr()));
+    zoo.push(("rmat".into(), rmat(RmatConfig::new(8, 6), 4).to_csr()));
+    zoo.push((
+        "rmat-skewed".into(),
+        rmat(RmatConfig::new(7, 10), 9).to_csr(),
+    ));
+    zoo.push(("dense-64".into(), uniform_random(64, 64, 2048, 10).to_csr()));
+
+    // Rectangular, including tile-edge straddling shapes.
+    zoo.push((
+        "rect-wide".into(),
+        uniform_random(64, 320, 1800, 5).to_csr(),
+    ));
+    zoo.push((
+        "rect-tall".into(),
+        uniform_random(320, 60, 1800, 6).to_csr(),
+    ));
+    zoo.push((
+        "rect-wide-edge".into(),
+        uniform_random(33, 65, 400, 7).to_csr(),
+    ));
+    zoo.push((
+        "rect-tall-edge".into(),
+        uniform_random(65, 33, 400, 8).to_csr(),
+    ));
+
+    // Degenerate shapes.
+    zoo.push(("empty".into(), CsrMatrix::zeros(64, 64)));
+    zoo.push(("empty-offsize".into(), CsrMatrix::zeros(65, 33)));
+    let mut single = CooMatrix::new(1, 1);
+    single.push(0, 0, 2.5);
+    zoo.push(("single".into(), single.to_csr()));
+    let mut corner = CooMatrix::new(97, 97);
+    corner.push(96, 96, -1.5);
+    zoo.push(("lonely-corner".into(), corner.to_csr()));
+    // One entry every 32nd diagonal position: every populated tile holds a
+    // single element, everything else is empty — the all-empty-tile case.
+    let mut sparse_diag = CooMatrix::new(256, 256);
+    for k in (0..256).step_by(32) {
+        sparse_diag.push(k, k, 1.0 + k as f64);
+    }
+    zoo.push(("sparse-diag".into(), sparse_diag.to_csr()));
+    // All entries inside the first tile of a much larger grid: every
+    // other row/column tile is structurally empty.
+    let mut first_tile = CooMatrix::new(160, 160);
+    for r in 0..16 {
+        for c in 0..8 {
+            first_tile.push(r, (c * 3) % 32, (r * 32 + c) as f64 * 0.25 + 1.0);
+        }
+    }
+    zoo.push(("first-tile-only".into(), first_tile.to_csr()));
+
+    zoo
+}
+
+/// Inputs for one matrix: the empty vector, a sparse and a dense random
+/// vector, and a single mid-vector entry.
+fn vector_zoo(ncols: usize) -> Vec<SparseVector<f64>> {
+    vec![
+        random_sparse_vector(ncols, 0.0, 1),
+        random_sparse_vector(ncols, 0.03, 2),
+        random_sparse_vector(ncols, 0.25, 3),
+        SparseVector::from_entries(ncols, vec![(ncols as u32 / 2, 1.5)]).unwrap(),
+    ]
+}
+
+fn bool_mirror(a: &CsrMatrix<f64>) -> CsrMatrix<bool> {
+    CsrMatrix::from_parts(
+        a.nrows(),
+        a.ncols(),
+        a.row_ptr().to_vec(),
+        a.col_idx().to_vec(),
+        vec![true; a.nnz()],
+    )
+    .unwrap()
+}
+
+fn bool_vec(x: &SparseVector<f64>) -> SparseVector<bool> {
+    SparseVector::from_parts(x.len(), x.indices().to_vec(), vec![true; x.nnz()]).unwrap()
+}
+
+#[test]
+fn plus_times_matches_the_dense_oracle_everywhere() {
+    let mut coo_side_seen = false;
+    for (name, a) in conformance_zoo() {
+        check_matrix::<PlusTimes>(&name, &a, &vector_zoo(a.ncols()), |g, w| {
+            (g - w).abs() < 1e-9
+        });
+        let cfg = TileConfig {
+            extract_threshold: 4,
+            ..Default::default()
+        };
+        coo_side_seen |= TileMatrix::from_csr(&a, cfg).unwrap().extra().nnz() > 0;
+    }
+    assert!(
+        coo_side_seen,
+        "the zoo must exercise the COO extraction side at threshold 4"
+    );
+}
+
+#[test]
+fn min_plus_matches_the_dense_oracle_everywhere() {
+    // min is selective and each product a single addition, so permuting
+    // the fold order cannot change the value: the agreement is exact.
+    for (name, a) in conformance_zoo() {
+        check_matrix::<MinPlus>(&name, &a, &vector_zoo(a.ncols()), |g, w| g == w);
+    }
+}
+
+#[test]
+fn or_and_matches_the_dense_oracle_everywhere() {
+    for (name, a) in conformance_zoo() {
+        let b = bool_mirror(&a);
+        let xs: Vec<SparseVector<bool>> = vector_zoo(a.ncols()).iter().map(bool_vec).collect();
+        check_matrix::<OrAnd>(&name, &b, &xs, |g, w| g == w);
+    }
+}

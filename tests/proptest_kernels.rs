@@ -49,6 +49,39 @@ fn arb_digraph() -> impl Strategy<Value = CsrMatrix<f64>> {
         })
 }
 
+/// A matrix whose populated tiles each hold only a handful of entries —
+/// the very-sparse-tile shape §3.2 extracts onto the COO side pass.
+///
+/// Built from (tile coordinate, intra-tile offset) tuples over a small
+/// tile grid with a ragged edge, so proptest shrinks toward fewer
+/// entries, fewer tiles and aligned orders without ever producing an
+/// invalid structure.
+fn arb_sparse_tile_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1usize..6, 1usize..6, 0usize..32, 0usize..32)
+        .prop_flat_map(|(mt, nt, trim_r, trim_c)| {
+            let entry = (0..mt as u32, 0..nt as u32, 0u32..32, 0u32..32, 1i32..100);
+            (
+                Just((mt, nt, trim_r, trim_c)),
+                proptest::collection::vec(entry, 0..24),
+            )
+        })
+        .prop_map(|((mt, nt, trim_r, trim_c), entries)| {
+            // Trim the last tile so orders straddle the tile edge.
+            let nrows = (mt * 32 - trim_r.min(31)).max(1);
+            let ncols = (nt * 32 - trim_c.min(31)).max(1);
+            let mut coo = CooMatrix::new(nrows, ncols);
+            for (tr, tc, dr, dc, v) in entries {
+                let r = tr as usize * 32 + dr as usize;
+                let c = tc as usize * 32 + dc as usize;
+                if r < nrows && c < ncols {
+                    coo.push(r, c, v as f64 * 0.5);
+                }
+            }
+            coo.sum_duplicates();
+            coo.to_csr()
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -153,6 +186,50 @@ proptest! {
             let mut u = x.clone();
             u.or_assign(&m);
             prop_assert_eq!(u.count_ones(), xs.iter().chain(ms.iter()).collect::<std::collections::BTreeSet<_>>().len());
+        }
+    }
+
+    #[test]
+    fn coo_extraction_path_matches_the_row_reference(
+        a in arb_sparse_tile_matrix(),
+        seed in 0u64..16,
+        sp_pick in 0usize..3,
+    ) {
+        use tilespmspv::core::spmspv::{tile_spmspv_with, Balance, KernelChoice, SpMSpVOptions};
+        use tilespmspv::core::tile::{TileConfig, TileMatrix};
+        use tilespmspv::sparse::reference::spmspv_row;
+
+        let sparsity = [0.05, 0.2, 0.6][sp_pick];
+        let x = tilespmspv::sparse::gen::random_sparse_vector(a.ncols(), sparsity, seed);
+        let expect = spmspv_row(&a, &x).unwrap();
+
+        let threshold = 4usize;
+        let cfg = TileConfig { extract_threshold: threshold, ..Default::default() };
+        let tiled = TileMatrix::from_csr(&a, cfg).unwrap();
+
+        // §3.2.1's extraction rule, checked structurally: exactly the
+        // entries of tiles holding at most `threshold` nonzeros move to
+        // the COO side.
+        let nt = tiled.nt();
+        let mut per_tile: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for (r, c, _) in a.iter() {
+            *per_tile.entry((r / nt, c / nt)).or_default() += 1;
+        }
+        let expect_extra: usize = per_tile.values().filter(|&&k| k <= threshold).sum();
+        prop_assert_eq!(tiled.extra().nnz(), expect_extra);
+
+        // Both kernels and both balance modes must agree with the serial
+        // reference through the hybrid tile + COO-side pass.
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let (y, _) = tile_spmspv_with(&tiled, &x, opts).unwrap();
+                prop_assert!(
+                    y.max_abs_diff(&expect) < 1e-9,
+                    "{:?}/{:?} diverged through the extraction path", kernel, balance
+                );
+            }
         }
     }
 

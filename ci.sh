@@ -39,3 +39,12 @@ test -s "$trace_dir/trace.json" && test -s "$trace_dir/trace.summary.json"
 # output.
 cargo test --release -q -p tsv-simt -p tsv-core
 ./target/release/repro sanitize --scale tiny
+
+# Native-backend gate: the conformance suite (every kernel × semiring ×
+# balance mode against the dense oracle) and the backend-equivalence
+# property tests, with the native rayon pool at one thread and at four.
+# PlusTimes must be bit-identical to the modeled grid at every width.
+TSV_NATIVE_THREADS=1 cargo test --release -q --test conformance_dense --test proptest_backend
+TSV_NATIVE_THREADS=4 cargo test --release -q --test conformance_dense --test proptest_backend
+./target/release/tsv spmspv gen:rmat:12 --backend native:4 | grep 'backend: native:4' >/dev/null
+./target/release/tsv bfs gen:grid:64 --backend native:2 | grep 'backend: native:2' >/dev/null

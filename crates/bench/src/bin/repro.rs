@@ -14,7 +14,9 @@
 //! R-MAT row pair comparing direct vs nnz-binned dispatch; with
 //! `--check DIR` it then diffs every row's modeled device time against
 //! the committed baselines in `DIR` and exits non-zero when a row
-//! regresses by more than 25%. `sanitize` runs every SpMSpV kernel ×
+//! regresses by more than 25%. It also writes native-backend wall-clock
+//! tables (`BENCH_spmspv_native.json`, `BENCH_bfs_native.json`) over a
+//! thread-count sweep; those are host-dependent and never gated. `sanitize` runs every SpMSpV kernel ×
 //! balance mode × semiring (and a full BFS) over the representative
 //! corpus under the race sanitizer, then certifies schedule independence
 //! with seeded warp-order permutations; any detected conflict or
@@ -1110,7 +1112,108 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
         eprintln!("bench check: {failures} row(s) regressed by more than 25% vs baseline");
         std::process::exit(1);
     }
+
+    native_bench_tables(scale, scale_name, out);
     println!();
+}
+
+/// Wall-clock tables for the native CPU backend at a sweep of thread
+/// counts (`BENCH_spmspv_native.json`, `BENCH_bfs_native.json`). Host
+/// wall time is machine-dependent, so these tables are informational
+/// only — they are never diffed against a committed baseline. Each
+/// SpMSpV row also re-checks the substrate contract: the native output
+/// must be bit-identical to the modeled backend's.
+fn native_bench_tables(scale: SuiteScale, scale_name: &str, out: &Path) {
+    use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+    use tsv_core::semiring::PlusTimes;
+    use tsv_simt::json;
+    use tsv_simt::ExecBackend;
+
+    println!("== native-backend wall clock (informational, not gated) ==");
+    let suite = representative(scale);
+    let threads = [1usize, 2, 4];
+
+    let mut spmspv_rows = String::new();
+    let mut bfs_rows = String::new();
+    for e in &suite {
+        let a = &e.matrix;
+        let x = random_sparse_vector(a.ncols(), 0.01, 1);
+        let src = bfs_source(a);
+
+        let mut model_engine =
+            SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
+        let (model_y, _) = model_engine.multiply(&x).unwrap();
+        let model_bits: Vec<u64> = model_y.values().iter().map(|v| v.to_bits()).collect();
+
+        for &t in &threads {
+            let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
+            engine.set_backend(ExecBackend::native(Some(t)));
+            let (y, _) = engine.multiply(&x).unwrap();
+            assert_eq!(y.indices(), model_y.indices(), "native support mismatch");
+            let bits: Vec<u64> = y.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, model_bits, "native must be bit-identical to model");
+            let wall = median_secs(
+                || {
+                    std::hint::black_box(engine.multiply(&x).unwrap());
+                },
+                3,
+                0.01,
+            );
+            if !spmspv_rows.is_empty() {
+                spmspv_rows.push(',');
+            }
+            spmspv_rows.push_str(&format!(
+                "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"backend\":\"native:{t}\",\
+                 \"threads\":{t},\"wall_ms\":{}}}",
+                json::escape(e.name),
+                a.nrows(),
+                a.nnz(),
+                json::number(wall * 1e3),
+            ));
+
+            let mut bfs_engine = BfsEngine::from_csr(a).unwrap();
+            bfs_engine.set_backend(ExecBackend::native(Some(t)));
+            let run = bfs_engine.run(src).unwrap();
+            let bfs_wall = median_secs(
+                || {
+                    std::hint::black_box(bfs_engine.run(src).unwrap());
+                },
+                3,
+                0.01,
+            );
+            if !bfs_rows.is_empty() {
+                bfs_rows.push(',');
+            }
+            bfs_rows.push_str(&format!(
+                "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"backend\":\"native:{t}\",\
+                 \"threads\":{t},\"iterations\":{},\"reached\":{},\"wall_ms\":{}}}",
+                json::escape(e.name),
+                a.nrows(),
+                a.nnz(),
+                run.iterations.len(),
+                run.reached(),
+                json::number(bfs_wall * 1e3),
+            ));
+        }
+        println!(
+            "  {:<18} spmspv + bfs measured at {:?} thread(s)",
+            e.name, threads
+        );
+    }
+
+    for (file, rows) in [
+        ("BENCH_spmspv_native.json", spmspv_rows),
+        ("BENCH_bfs_native.json", bfs_rows),
+    ] {
+        let doc = format!(
+            "{{\"schema_version\":1,\"scale\":\"{scale_name}\",\"device\":\"native-cpu\",\
+             \"rows\":[{rows}]}}",
+        );
+        tsv_simt::json::parse(&doc).expect("native bench table must parse");
+        let path = out.join(file);
+        std::fs::write(&path, &doc).expect("write native bench table");
+        println!("  -> wrote {} (not gated)", path.display());
+    }
 }
 
 /// The work-balance showcase: one SpMSpV on a skewed R-MAT with a dense

@@ -15,9 +15,10 @@ use tsv_core::semiring::PlusTimes;
 use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
 use tsv_core::telemetry::RunSummary;
 use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
+use tsv_simt::backend::BackendKind;
 use tsv_simt::device::RTX_3060;
 use tsv_simt::trace::chrome_trace_json;
-use tsv_simt::{Sanitizer, Tracer};
+use tsv_simt::{Backend as _, ExecBackend, Sanitizer, Tracer};
 use tsv_sparse::gen::random_sparse_vector;
 use tsv_sparse::reference::bfs_edges_traversed;
 use tsv_sparse::CsrMatrix;
@@ -169,23 +170,71 @@ pub fn parse_balance(spec: &str) -> Result<Balance, CliError> {
     })
 }
 
+/// Parses the `--backend` flag: `model` (the modeled SIMT grid, the
+/// default) or `native[:threads]` (the rayon CPU backend, with an optional
+/// positive thread count; without one the pool sizes itself to the
+/// machine).
+pub fn parse_backend(spec: &str) -> Result<ExecBackend, CliError> {
+    if spec == "model" {
+        return Ok(ExecBackend::model());
+    }
+    let mut parts = spec.split(':');
+    if parts.next() != Some("native") {
+        return Err(CliError::Usage(format!(
+            "unknown backend {spec:?} (model|native[:threads])"
+        )));
+    }
+    let threads = match parts.next() {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
+            CliError::Usage(format!(
+                "backend threads needs a positive integer, got {v:?}"
+            ))
+        })?),
+    };
+    if parts.next().is_some() {
+        return Err(CliError::Usage(format!(
+            "unknown backend {spec:?} (model|native[:threads])"
+        )));
+    }
+    Ok(ExecBackend::native(threads))
+}
+
+/// Rejects `--sanitize` on a non-model backend: the race sanitizer replays
+/// the modeled grid's warp schedules, which a native thread pool does not
+/// expose.
+fn check_sanitize_backend(sanitize: bool, backend: &ExecBackend) -> Result<(), CliError> {
+    if sanitize && backend.kind() != BackendKind::Model {
+        return Err(CliError::Usage(format!(
+            "--sanitize requires the model backend (the race sanitizer replays modeled \
+             warp schedules); drop --sanitize or use --backend model, not {:?}",
+            backend.describe()
+        )));
+    }
+    Ok(())
+}
+
 /// `tsv spmspv <matrix> --sparsity S [--sanitize] [--trace-out F]`: one
 /// product with timing and report; with `--trace-out`, also a Chrome trace
 /// and a run summary of the launch. With `sanitize`, every kernel launch
 /// runs under the race sanitizer and any conflict fails the command.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_spmspv(
     a: &CsrMatrix<f64>,
     sparsity: f64,
     seed: u64,
     kernel: KernelChoice,
     balance: Balance,
+    backend: ExecBackend,
     sanitize: bool,
     trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
+    check_sanitize_backend(sanitize, &backend)?;
     let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
     let san = sanitize.then(|| Arc::new(Sanitizer::new()));
     let tiled = TileMatrix::from_csr(a, TileConfig::default())?;
     let mut summary = RunSummary::new("spmspv", RTX_3060);
+    summary.set_backend(backend.describe());
     if tracer.is_some() {
         summary.record_tile_nnz(&tiled);
     }
@@ -196,13 +245,15 @@ pub fn cmd_spmspv(
         ..Default::default()
     };
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
+    let backend_desc = backend.describe();
+    engine.set_backend(backend);
     engine.set_tracer(tracer.clone());
     engine.set_sanitizer(san.clone());
     let t = Instant::now();
     let (y, report) = engine.multiply(&x)?;
     let dt = t.elapsed();
     let mut out = format!(
-        "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
+        "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nbackend: {backend_desc}\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
         x.nnz(),
         100.0 * x.sparsity(),
         y.nnz(),
@@ -240,9 +291,11 @@ pub fn cmd_bfs(
     a: &CsrMatrix<f64>,
     source: usize,
     algo: &str,
+    backend: ExecBackend,
     sanitize: bool,
     trace_out: Option<&Path>,
 ) -> Result<String, CliError> {
+    check_sanitize_backend(sanitize, &backend)?;
     if trace_out.is_some() && algo != "tile" {
         return Err(CliError::Usage(format!(
             "--trace-out instruments the tiled engine; not supported with --algo {algo}"
@@ -253,6 +306,12 @@ pub fn cmd_bfs(
             "--sanitize instruments the tiled engine; not supported with --algo {algo}"
         )));
     }
+    if backend.kind() != BackendKind::Model && algo != "tile" {
+        return Err(CliError::Usage(format!(
+            "--backend selects the tiled engine's substrate; not supported with --algo {algo}"
+        )));
+    }
+    let backend_desc = backend.describe();
     let t = Instant::now();
     let mut traced: Option<(Arc<Tracer>, RunSummary)> = None;
     let mut san_report = String::new();
@@ -261,10 +320,12 @@ pub fn cmd_bfs(
             let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
             let san = sanitize.then(|| Arc::new(Sanitizer::new()));
             let mut engine = BfsEngine::from_csr_traced(a, tracer.clone())?;
+            engine.set_backend(backend);
             engine.set_sanitizer(san.clone());
             let r = engine.run(source)?;
             if let Some(tracer) = tracer {
                 let mut summary = RunSummary::new("bfs", RTX_3060);
+                summary.set_backend(&backend_desc);
                 summary.record_bfs(&r, a.nrows());
                 summary.record_profiler(engine.profiler());
                 if let Some(san) = &san {
@@ -291,7 +352,7 @@ pub fn cmd_bfs(
     let depth = *levels.iter().max().unwrap_or(&0);
     let edges = bfs_edges_traversed(a, &levels);
     let mut out = format!(
-        "algorithm: {algo}\nreached: {reached}/{} vertices, depth {depth}\nedges traversed: {edges}\ntime (incl. format build): {:.3} ms\n",
+        "algorithm: {algo}\nbackend: {backend_desc}\nreached: {reached}/{} vertices, depth {depth}\nedges traversed: {edges}\ntime (incl. format build): {:.3} ms\n",
         a.nrows(),
         dt.as_secs_f64() * 1e3,
     );
@@ -325,11 +386,13 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::default(),
+            ExecBackend::model(),
             false,
             None,
         )
         .unwrap();
         assert!(s.contains("kernel:"));
+        assert!(s.contains("backend: model"));
         assert!(s.contains("nonzeros"));
     }
 
@@ -342,6 +405,7 @@ mod tests {
             1,
             KernelChoice::RowTile,
             Balance::binned(),
+            ExecBackend::model(),
             false,
             None,
         )
@@ -354,15 +418,25 @@ mod tests {
     fn sanitize_reports_clean_runs_for_both_commands() {
         let a = banded(200, 5, 0.8, 1).to_csr();
         for balance in [Balance::default(), Balance::binned()] {
-            let s = cmd_spmspv(&a, 0.05, 1, KernelChoice::Auto, balance, true, None).unwrap();
+            let s = cmd_spmspv(
+                &a,
+                0.05,
+                1,
+                KernelChoice::Auto,
+                balance,
+                ExecBackend::model(),
+                true,
+                None,
+            )
+            .unwrap();
             assert!(s.contains("sanitizer:"), "{s}");
             assert!(s.contains(" 0 violations"), "{s}");
         }
-        let s = cmd_bfs(&a, 0, "tile", true, None).unwrap();
+        let s = cmd_bfs(&a, 0, "tile", ExecBackend::model(), true, None).unwrap();
         assert!(s.contains("sanitizer:"), "{s}");
         assert!(s.contains(" 0 violations"), "{s}");
         // Sanitizing is an engine feature; baseline algorithms reject it.
-        assert!(cmd_bfs(&a, 0, "gunrock", true, None).is_err());
+        assert!(cmd_bfs(&a, 0, "gunrock", ExecBackend::model(), true, None).is_err());
     }
 
     #[test]
@@ -396,10 +470,10 @@ mod tests {
     fn bfs_all_algorithms_run() {
         let a = banded(150, 4, 0.9, 2).to_csr();
         for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
-            let s = cmd_bfs(&a, 0, algo, false, None).unwrap();
+            let s = cmd_bfs(&a, 0, algo, ExecBackend::model(), false, None).unwrap();
             assert!(s.contains("reached: 150/150"), "{algo}: {s}");
         }
-        assert!(cmd_bfs(&a, 0, "nope", false, None).is_err());
+        assert!(cmd_bfs(&a, 0, "nope", ExecBackend::model(), false, None).is_err());
     }
 
     #[test]
@@ -415,6 +489,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::binned(),
+            ExecBackend::model(),
             true,
             Some(&spmspv_trace),
         )
@@ -435,7 +510,7 @@ mod tests {
         );
 
         let bfs_trace = dir.join("bfs.trace.json");
-        cmd_bfs(&a, 0, "tile", false, Some(&bfs_trace)).unwrap();
+        cmd_bfs(&a, 0, "tile", ExecBackend::model(), false, Some(&bfs_trace)).unwrap();
         let doc = std::fs::read_to_string(&bfs_trace).unwrap();
         tsv_simt::trace::validate_chrome_trace(&doc).unwrap();
         let summary = std::fs::read_to_string(dir.join("bfs.trace.summary.json")).unwrap();
@@ -448,7 +523,104 @@ mod tests {
             .is_empty());
 
         // Tracing is an engine feature; baseline algorithms reject it.
-        assert!(cmd_bfs(&a, 0, "gunrock", false, Some(&bfs_trace)).is_err());
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "gunrock",
+            ExecBackend::model(),
+            false,
+            Some(&bfs_trace)
+        )
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backend_specs_parse() {
+        assert_eq!(parse_backend("model").unwrap().describe(), "model");
+        let native = parse_backend("native:3").unwrap();
+        assert_eq!(native.kind(), BackendKind::Native);
+        assert_eq!(native.describe(), "native:3");
+        assert_eq!(native.threads(), 3);
+        let auto = parse_backend("native").unwrap();
+        assert_eq!(auto.kind(), BackendKind::Native);
+        assert!(auto.threads() >= 1);
+        assert!(parse_backend("cuda").is_err());
+        assert!(parse_backend("native:0").is_err());
+        assert!(parse_backend("native:many").is_err());
+        assert!(parse_backend("native:2:4").is_err());
+    }
+
+    #[test]
+    fn native_backend_runs_both_commands() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        let model = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::binned(),
+            ExecBackend::model(),
+            false,
+            None,
+        )
+        .unwrap();
+        let native = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::binned(),
+            ExecBackend::native(Some(2)),
+            false,
+            None,
+        )
+        .unwrap();
+        assert!(native.contains("backend: native:2"), "{native}");
+        // Same product, same kernel, same counters — only backend and
+        // timing lines may differ.
+        let stable = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("x:") || l.starts_with("y:") || l.starts_with("kernel:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(stable(&model), stable(&native));
+
+        let s = cmd_bfs(&a, 0, "tile", ExecBackend::native(Some(2)), false, None).unwrap();
+        assert!(
+            s.contains("reached: 150/150") || s.contains("reached: 200/200"),
+            "{s}"
+        );
+        assert!(s.contains("backend: native:2"), "{s}");
+    }
+
+    #[test]
+    fn sanitize_rejects_native_backend() {
+        let a = banded(100, 4, 0.8, 1).to_csr();
+        let err = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::default(),
+            ExecBackend::native(Some(2)),
+            true,
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("--sanitize requires the model backend"),
+            "{err}"
+        );
+        let err = cmd_bfs(&a, 0, "tile", ExecBackend::native(Some(2)), true, None).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("--sanitize requires the model backend"),
+            "{err}"
+        );
+        // Baseline algorithms have no backend either.
+        assert!(cmd_bfs(&a, 0, "gunrock", ExecBackend::native(Some(2)), false, None).is_err());
     }
 }

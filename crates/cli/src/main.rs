@@ -4,14 +4,22 @@
 //! ```text
 //! tsv info    <matrix>
 //! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
-//!             [--balance direct|binned[:target[:split]]] [--sanitize] [--trace-out F]
+//!             [--balance direct|binned[:target[:split]]]
+//!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
 //! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
-//!             [--sanitize] [--trace-out F]
+//!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
 //! tsv convert <in> <out.mtx>
+//!
+//! `--backend` selects the execution substrate: `model` (the default)
+//! runs the kernels on the modeled SIMT grid with work counters;
+//! `native[:threads]` runs the same tile kernels as real parallel code on
+//! a rayon thread pool. PlusTimes results are bit-identical across
+//! backends and thread counts.
 //!
 //! `--sanitize` runs every kernel launch under the race sanitizer; any
 //! write-write or read-write conflict between warps not mediated by an
-//! atomic is reported and the command exits nonzero.
+//! atomic is reported and the command exits nonzero. The sanitizer
+//! replays modeled warp schedules, so it requires `--backend model`.
 //!
 //! `--trace-out F` writes a Chrome Trace Format document to `F` (open in
 //! Perfetto / chrome://tracing) and a machine-readable run summary to
@@ -21,8 +29,9 @@
 //! (see `tsv_cli::source`).
 //! ```
 
-use tsv_cli::{cmd_bfs, cmd_info, cmd_spmspv, load_matrix, parse_balance, CliError};
+use tsv_cli::{cmd_bfs, cmd_info, cmd_spmspv, load_matrix, parse_backend, parse_balance, CliError};
 use tsv_core::spmspv::{Balance, KernelChoice};
+use tsv_simt::ExecBackend;
 
 fn main() {
     if let Err(e) = run() {
@@ -61,6 +70,10 @@ fn run() -> Result<(), CliError> {
                 None => Balance::default(),
                 Some(spec) => parse_balance(&spec)?,
             };
+            let backend = match flag_str(&args, "--backend") {
+                None => ExecBackend::default(),
+                Some(spec) => parse_backend(&spec)?,
+            };
             let sanitize = flag_set(&args, "--sanitize");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
             print!(
@@ -71,6 +84,7 @@ fn run() -> Result<(), CliError> {
                     seed,
                     kernel,
                     balance,
+                    backend,
                     sanitize,
                     trace_out.as_deref()
                 )?
@@ -81,11 +95,15 @@ fn run() -> Result<(), CliError> {
             let a = load_matrix(spec)?;
             let source = flag_f64(&args, "--source")?.unwrap_or(0.0) as usize;
             let algo = flag_str(&args, "--algo").unwrap_or_else(|| "tile".into());
+            let backend = match flag_str(&args, "--backend") {
+                None => ExecBackend::default(),
+                Some(spec) => parse_backend(&spec)?,
+            };
             let sanitize = flag_set(&args, "--sanitize");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
             print!(
                 "{}",
-                cmd_bfs(&a, source, &algo, sanitize, trace_out.as_deref())?
+                cmd_bfs(&a, source, &algo, backend, sanitize, trace_out.as_deref())?
             );
         }
         "convert" => {
@@ -114,13 +132,19 @@ fn run() -> Result<(), CliError> {
 const USAGE: &str = "usage:
   tsv info    <matrix>
   tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
-              [--balance direct|binned[:target[:split]]] [--sanitize] [--trace-out F]
+              [--balance direct|binned[:target[:split]]]
+              [--backend model|native[:threads]] [--sanitize] [--trace-out F]
   tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
-              [--sanitize] [--trace-out F]
+              [--backend model|native[:threads]] [--sanitize] [--trace-out F]
   tsv convert <matrix> <out.mtx>
+
+--backend selects the execution substrate: model (default) is the
+modeled SIMT grid; native[:threads] runs the same tile kernels on a
+rayon thread pool (PlusTimes results are bit-identical across both).
 
 --sanitize runs every kernel launch under the race sanitizer; any
 write-write or read-write conflict is reported and fails the command.
+It replays modeled warp schedules, so it requires --backend model.
 
 --trace-out writes Chrome Trace JSON to F plus a run summary to
 F.summary.json (load the trace in Perfetto or chrome://tracing).

@@ -18,7 +18,7 @@ pub use policy::{KernelKind, KernelSet, PolicyThresholds};
 use crate::tile::{BitFrontier, BitTileMatrix, TileSize};
 use std::time::{Duration, Instant};
 use tsv_simt::atomic::AtomicWords;
-use tsv_simt::grid::launch;
+use tsv_simt::backend::{Backend, ModelBackend};
 use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::trace::{self, IterationInfo, Tracer};
@@ -301,6 +301,24 @@ pub fn tile_bfs_instrumented(
     tracer: Option<&Tracer>,
     san: Option<&Sanitizer>,
 ) -> Result<BfsResult, SparseError> {
+    tile_bfs_on_backend(&ModelBackend, g, source, opts, ws, tracer, san)
+}
+
+/// [`tile_bfs_instrumented`] over an explicit execution [`Backend`]: every
+/// per-iteration kernel launch (and the extracted-edge pass) runs on
+/// `backend` instead of the default modeled SIMT grid. The traversal,
+/// policy decisions and work counters are backend-independent; only the
+/// substrate executing the warps changes.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_bfs_on_backend<B: Backend>(
+    backend: &B,
+    g: &TileBfsGraph,
+    source: usize,
+    opts: BfsOptions,
+    ws: &mut BfsWorkspace,
+    tracer: Option<&Tracer>,
+    san: Option<&Sanitizer>,
+) -> Result<BfsResult, SparseError> {
     if source >= g.n {
         return Err(SparseError::IndexOutOfBounds {
             row: source,
@@ -358,21 +376,21 @@ pub fn tile_bfs_instrumented(
         let mut stats = match kernel {
             KernelKind::PushCsc => {
                 y_atomic.clear();
-                let s = push_csc::push_csc_into(&g.bit, x, m, frontier, y_atomic, san);
+                let s = push_csc::push_csc_into(backend, &g.bit, x, m, frontier, y_atomic, san);
                 y_atomic.copy_into(y_words);
                 y.load_words(y_words);
                 s
             }
             KernelKind::PushCsr => {
                 y_atomic.clear();
-                let s = push_csr::push_csr_into(&g.bit, x, m, &g.segments, y_atomic, san);
+                let s = push_csr::push_csr_into(backend, &g.bit, x, m, &g.segments, y_atomic, san);
                 y_atomic.copy_into(y_words);
                 y.load_words(y_words);
                 s
             }
             KernelKind::PullCsc => {
                 m.complement_into(unvisited);
-                let s = pull_csc::pull_csc_into(&g.bit, m, unvisited, y_words, san);
+                let s = pull_csc::pull_csc_into(backend, &g.bit, m, unvisited, y_words, san);
                 y.load_words(y_words);
                 s
             }
@@ -380,7 +398,7 @@ pub fn tile_bfs_instrumented(
         sanitize::barrier(san);
         if g.bit.extra_nnz() > 0 {
             sanitize::begin(san, "bfs/extra-pass", g.bit.nt());
-            stats += extra_pass_into(&g.bit, x, m, y, frontier, y_atomic, y_words, san);
+            stats += extra_pass_into(backend, &g.bit, x, m, y, frontier, y_atomic, y_words, san);
             sanitize::barrier(san);
         }
         let wall = start.elapsed();
@@ -436,7 +454,8 @@ pub fn tile_bfs_instrumented(
 /// walked, each unvisited target joining `y`. `scratch` and `staging` are
 /// caller-owned buffers of `n_tiles` words.
 #[allow(clippy::too_many_arguments)]
-fn extra_pass_into(
+fn extra_pass_into<B: Backend>(
+    backend: &B,
     bit: &BitTileMatrix,
     x: &BitFrontier,
     m: &BitFrontier,
@@ -454,7 +473,7 @@ fn extra_pass_into(
     let n_warps = frontier.len().div_ceil(chunk);
     let words = &*scratch;
 
-    let stats = launch(n_warps, |warp| {
+    let stats = backend.launch(n_warps, |warp| {
         let start = warp.warp_id * chunk;
         let end = (start + chunk).min(frontier.len());
         for &c in &frontier[start..end] {

@@ -16,7 +16,7 @@
 
 use crate::tile::bitvec::iter_bits;
 use crate::tile::{BitFrontier, BitTileMatrix};
-use tsv_simt::grid::launch_over_chunks;
+use tsv_simt::backend::{Backend, ModelBackend};
 use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 
@@ -25,7 +25,7 @@ use tsv_simt::stats::KernelStats;
 pub fn pull_csc(a: &BitTileMatrix, m: &BitFrontier) -> (BitFrontier, KernelStats) {
     let unvisited = m.complement();
     let mut y_words = vec![0u64; a.n_tiles()];
-    let stats = pull_csc_into(a, m, &unvisited, &mut y_words, None);
+    let stats = pull_csc_into(&ModelBackend, a, m, &unvisited, &mut y_words, None);
     let mut out = BitFrontier::new(m.len(), a.nt());
     out.set_words(y_words);
     (out, stats)
@@ -35,7 +35,8 @@ pub fn pull_csc(a: &BitTileMatrix, m: &BitFrontier) -> (BitFrontier, KernelStats
 /// complement of the mask (see
 /// [`BitFrontier::complement_into`](crate::tile::BitFrontier::complement_into))
 /// and the output word buffer, which is fully overwritten.
-pub fn pull_csc_into(
+pub fn pull_csc_into<B: Backend>(
+    backend: &B,
     a: &BitTileMatrix,
     m: &BitFrontier,
     unvisited: &BitFrontier,
@@ -46,7 +47,7 @@ pub fn pull_csc_into(
     let word_bytes = nt / 8;
     debug_assert_eq!(y_words.len(), a.n_tiles());
 
-    launch_over_chunks("bfs/pull-csc", y_words, 1, |warp, out| {
+    backend.launch_over_chunks("bfs/pull-csc", y_words, 1, |warp, out| {
         let ct = warp.warp_id; // vertex tile = column tile of its own column
                                // Every warp owns exactly its own output word and overwrites it on
                                // all paths: a plain exclusive store.

@@ -13,7 +13,7 @@
 
 use crate::tile::{BitFrontier, BitTileMatrix};
 use tsv_simt::atomic::AtomicWords;
-use tsv_simt::grid::launch;
+use tsv_simt::backend::{Backend, ModelBackend};
 use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 
@@ -22,7 +22,7 @@ use tsv_simt::stats::KernelStats;
 pub fn push_csc(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
     let mut frontier = Vec::new();
     let y = AtomicWords::zeroed(a.n_tiles());
-    let stats = push_csc_into(a, x, m, &mut frontier, &y, None);
+    let stats = push_csc_into(&ModelBackend, a, x, m, &mut frontier, &y, None);
     let mut out = BitFrontier::new(x.len(), a.nt());
     out.set_words(y.into_vec());
     (out, stats)
@@ -31,7 +31,8 @@ pub fn push_csc(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFron
 /// Workspace form of [`push_csc`]: the frontier vertex list is built in the
 /// caller's buffer and the output words accumulate into a caller-owned
 /// (pre-zeroed) [`AtomicWords`], so an iterative driver allocates nothing.
-pub fn push_csc_into(
+pub fn push_csc_into<B: Backend>(
+    backend: &B,
     a: &BitTileMatrix,
     x: &BitFrontier,
     m: &BitFrontier,
@@ -47,7 +48,7 @@ pub fn push_csc_into(
     frontier.clear();
     frontier.extend(x.iter_vertices().map(|v| v as u32));
 
-    launch(frontier.len(), |warp| {
+    backend.launch(frontier.len(), |warp| {
         let v = frontier[warp.warp_id] as usize;
         let ct = v / nt;
         let lc = v % nt;

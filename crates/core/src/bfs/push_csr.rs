@@ -16,7 +16,7 @@
 
 use crate::tile::{BitFrontier, BitTileMatrix};
 use tsv_simt::atomic::AtomicWords;
-use tsv_simt::grid::launch;
+use tsv_simt::backend::{Backend, ModelBackend};
 use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 
@@ -28,7 +28,7 @@ pub const SPLIT_LEN: usize = 64;
 pub fn push_csr(a: &BitTileMatrix, x: &BitFrontier, m: &BitFrontier) -> (BitFrontier, KernelStats) {
     let segments = csr_segments(a);
     let y = AtomicWords::zeroed(a.n_tiles());
-    let stats = push_csr_into(a, x, m, &segments, &y, None);
+    let stats = push_csr_into(&ModelBackend, a, x, m, &segments, &y, None);
     let mut out = BitFrontier::new(x.len(), a.nt());
     out.set_words(y.into_vec());
     (out, stats)
@@ -52,7 +52,8 @@ pub fn csr_segments(a: &BitTileMatrix) -> Vec<(u32, u32)> {
 /// Workspace form of [`push_csr`]: runs over a precomputed
 /// [`csr_segments`] list, accumulating into a caller-owned (pre-zeroed)
 /// [`AtomicWords`].
-pub fn push_csr_into(
+pub fn push_csr_into<B: Backend>(
+    backend: &B,
     a: &BitTileMatrix,
     x: &BitFrontier,
     m: &BitFrontier,
@@ -63,7 +64,7 @@ pub fn push_csr_into(
     let nt = a.nt();
     let word_bytes = nt / 8;
 
-    launch(segments.len(), |warp| {
+    backend.launch(segments.len(), |warp| {
         let (rt, seg) = segments[warp.warp_id];
         let rt = rt as usize;
         let range = a.row_tile_range(rt);

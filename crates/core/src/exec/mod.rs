@@ -23,7 +23,7 @@
 //! [`crate::bfs::tile_bfs`]) are thin wrappers over these drivers with a
 //! fresh workspace, so both paths execute the same code.
 
-use crate::bfs::{tile_bfs_instrumented, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
+use crate::bfs::{tile_bfs_on_backend, BfsOptions, BfsResult, BfsWorkspace, TileBfsGraph};
 use crate::semiring::{PlusTimes, Semiring};
 use crate::spmspv::generic::{
     build_col_worklist, build_row_worklist, col_kernel_binned_semiring, col_kernel_semiring,
@@ -34,6 +34,7 @@ use crate::tile::{TileConfig, TileMatrix, TiledVector};
 use std::sync::Arc;
 use std::time::Instant;
 use tsv_simt::atomic::AtomicWords;
+use tsv_simt::backend::{Backend, ExecBackend, ModelBackend};
 use tsv_simt::grid::BinPlan;
 use tsv_simt::profile::Profiler;
 use tsv_simt::sanitize::{self, Sanitizer};
@@ -264,7 +265,28 @@ pub fn spmspv_sanitized<S: Semiring>(
 where
     S::T: Default,
 {
-    let report = spmspv_into_ws::<S>(a, x, opts, ws, tracer, san)?;
+    spmspv_on_backend::<S, _>(&ModelBackend, a, x, opts, ws, tracer, san)
+}
+
+/// [`spmspv_sanitized`] over an explicit execution [`Backend`]: the tile
+/// kernel, the binned dispatch and the hybrid COO pass all launch on
+/// `backend` instead of the default modeled SIMT grid. Kernel selection,
+/// dispatch planning and the deterministic merge are backend-independent,
+/// so `PlusTimes` results are bit-identical across backends.
+#[allow(clippy::too_many_arguments)]
+pub fn spmspv_on_backend<S: Semiring, B: Backend>(
+    backend: &B,
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    opts: SpMSpVOptions,
+    ws: &mut SpMSpVWorkspace<S::T>,
+    tracer: Option<&Tracer>,
+    san: Option<&Sanitizer>,
+) -> Result<(SparseVector<S::T>, ExecReport), SparseError>
+where
+    S::T: Default,
+{
+    let report = spmspv_into_ws::<S, _>(backend, a, x, opts, ws, tracer, san)?;
     let y = SparseVector::from_parts(
         a.nrows(),
         std::mem::take(&mut ws.out_indices),
@@ -278,7 +300,9 @@ where
 /// compacted result in `ws.out_indices` / `ws.out_vals`. Callers either
 /// take the buffers ([`spmspv_traced`]) or swap them with a recycled
 /// vector's ([`SpMSpVEngine::multiply_into`]).
-fn spmspv_into_ws<S: Semiring>(
+#[allow(clippy::too_many_arguments)]
+fn spmspv_into_ws<S: Semiring, B: Backend>(
+    backend: &B,
     a: &TileMatrix<S::T>,
     x: &SparseVector<S::T>,
     opts: SpMSpVOptions,
@@ -357,10 +381,10 @@ where
     let mut dispatch = None;
     let mut stats = match (kernel, opts.balance) {
         (KernelUsed::RowTile, Balance::OneWarpPerRowTile) => {
-            row_kernel_semiring::<S>(a, xt, y, touched, san)
+            row_kernel_semiring::<S, _>(backend, a, xt, y, touched, san)
         }
         (KernelUsed::ColTile, Balance::OneWarpPerRowTile) => {
-            col_kernel_semiring::<S>(a, xt, y, contribs, touched, san)
+            col_kernel_semiring::<S, _>(backend, a, xt, y, contribs, touched, san)
         }
         (
             kernel,
@@ -401,12 +425,12 @@ where
             );
             plan_stats
                 + match kernel {
-                    KernelUsed::RowTile => row_kernel_binned_semiring::<S>(
-                        a, xt, y, worklist, plan, contribs, touched, san,
+                    KernelUsed::RowTile => row_kernel_binned_semiring::<S, _>(
+                        backend, a, xt, y, worklist, plan, contribs, touched, san,
                     ),
-                    KernelUsed::ColTile => {
-                        col_kernel_binned_semiring::<S>(a, xt, y, plan, contribs, touched, san)
-                    }
+                    KernelUsed::ColTile => col_kernel_binned_semiring::<S, _>(
+                        backend, a, xt, y, plan, contribs, touched, san,
+                    ),
                 }
         }
     };
@@ -428,7 +452,7 @@ where
     if coo_active {
         sanitize::begin(san, "spmspv/coo-pass", a.nt());
     }
-    stats += coo_kernel_semiring::<S>(a, x, y, contribs, touched, san);
+    stats += coo_kernel_semiring::<S, _>(backend, a, x, y, contribs, touched, san);
     if coo_active {
         sanitize::barrier(san);
         trace::phase(tracer, "spmspv/coo-pass", t_coo);
@@ -489,6 +513,7 @@ pub struct SpMSpVEngine<S: Semiring = PlusTimes> {
     profiler: Profiler,
     tracer: Option<Arc<Tracer>>,
     sanitizer: Option<Arc<Sanitizer>>,
+    backend: ExecBackend,
 }
 
 impl<S: Semiring> SpMSpVEngine<S>
@@ -512,6 +537,7 @@ where
             profiler: Profiler::new(),
             tracer: None,
             sanitizer: None,
+            backend: ExecBackend::default(),
         }
     }
 
@@ -579,6 +605,20 @@ where
         self.sanitizer.as_ref()
     }
 
+    /// Selects the execution substrate for every later `multiply`. The
+    /// default is the modeled SIMT grid; [`ExecBackend::native`] runs the
+    /// same tile kernels as real parallel code. The sanitizer is
+    /// model-only: attaching one while a native backend is selected is the
+    /// caller's error (the CLI rejects the combination up front).
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The selected execution backend.
+    pub fn backend(&self) -> &ExecBackend {
+        &self.backend
+    }
+
     /// Starts a fresh measurement window: clears the profiler and zeroes
     /// the workspace accounting. The prepared matrix, the warm scratch and
     /// any attached tracer are kept, so measurement restarts without
@@ -597,7 +637,8 @@ where
         let tracer = self.tracer.as_deref();
         let t0 = trace::start(tracer);
         let start = Instant::now();
-        let (y, report) = spmspv_sanitized::<S>(
+        let (y, report) = spmspv_on_backend::<S, _>(
+            &self.backend,
             &self.a,
             x,
             self.opts,
@@ -626,7 +667,8 @@ where
         let tracer = self.tracer.as_deref();
         let t0 = trace::start(tracer);
         let start = Instant::now();
-        let report = spmspv_into_ws::<S>(
+        let report = spmspv_into_ws::<S, _>(
+            &self.backend,
             &self.a,
             x,
             self.opts,
@@ -705,6 +747,7 @@ pub struct BfsEngine {
     profiler: Profiler,
     tracer: Option<Arc<Tracer>>,
     sanitizer: Option<Arc<Sanitizer>>,
+    backend: ExecBackend,
 }
 
 impl BfsEngine {
@@ -722,6 +765,7 @@ impl BfsEngine {
             profiler: Profiler::new(),
             tracer: None,
             sanitizer: None,
+            backend: ExecBackend::default(),
         }
     }
 
@@ -770,6 +814,18 @@ impl BfsEngine {
         self.sanitizer.as_ref()
     }
 
+    /// Selects the execution substrate for every later `run` — see
+    /// [`SpMSpVEngine::set_backend`]; the same model-only sanitizer rule
+    /// applies.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The selected execution backend.
+    pub fn backend(&self) -> &ExecBackend {
+        &self.backend
+    }
+
     /// Starts a fresh measurement window: clears the profiler and zeroes
     /// the workspace run/realloc counters. The prepared graph, the warm
     /// frontier buffers and any attached tracer are kept.
@@ -782,7 +838,8 @@ impl BfsEngine {
     /// `bfs/<kernel>` in the engine's profiler (and on the attached
     /// tracer, when present).
     pub fn run(&mut self, source: usize) -> Result<BfsResult, SparseError> {
-        let r = tile_bfs_instrumented(
+        let r = tile_bfs_on_backend(
+            &self.backend,
             &self.g,
             source,
             self.opts,

@@ -27,7 +27,15 @@ pub fn col_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
     let mut y = vec![0.0f64; a.m_tiles() * nt];
     let touched = AtomicWords::zeroed(a.m_tiles().div_ceil(64));
     let mut contribs = Vec::new();
-    let stats = col_kernel_semiring::<PlusTimes>(a, x, &mut y, &mut contribs, &touched, None);
+    let stats = col_kernel_semiring::<PlusTimes, _>(
+        &tsv_simt::backend::ModelBackend,
+        a,
+        x,
+        &mut y,
+        &mut contribs,
+        &touched,
+        None,
+    );
     (y, stats)
 }
 

@@ -28,8 +28,15 @@ pub fn coo_kernel(
 ) -> (Vec<f64>, KernelStats) {
     let touched = AtomicWords::zeroed(a.m_tiles().div_ceil(64));
     let mut contribs = Vec::new();
-    let stats =
-        coo_kernel_semiring::<PlusTimes>(a, x, &mut y_padded, &mut contribs, &touched, None);
+    let stats = coo_kernel_semiring::<PlusTimes, _>(
+        &tsv_simt::backend::ModelBackend,
+        a,
+        x,
+        &mut y_padded,
+        &mut contribs,
+        &touched,
+        None,
+    );
     (y_padded, stats)
 }
 

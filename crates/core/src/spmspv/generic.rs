@@ -23,7 +23,8 @@
 use crate::semiring::Semiring;
 use crate::tile::{TileMatrix, TiledVector};
 use tsv_simt::atomic::AtomicWords;
-use tsv_simt::grid::{launch_binned, launch_over_chunks, launch_over_worklist, BinPlan};
+use tsv_simt::backend::Backend;
+use tsv_simt::grid::BinPlan;
 use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::warp::WARP_SIZE;
@@ -55,11 +56,13 @@ fn log_tile_write(san: Option<&Sanitizer>, base: usize, nt: usize, warp_id: usiz
     }
 }
 
-/// CSR-form row-tile kernel over an arbitrary semiring (Algorithm 4).
+/// CSR-form row-tile kernel over an arbitrary semiring (Algorithm 4),
+/// launched on `backend`.
 ///
 /// `y` must be `m_tiles * nt` long and hold `S::zero()` in every slot the
 /// caller has not already accumulated into.
-pub fn row_kernel_semiring<S: Semiring>(
+pub fn row_kernel_semiring<S: Semiring, B: Backend>(
+    backend: &B,
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
@@ -77,7 +80,7 @@ where
     }
     let vb = std::mem::size_of::<S::T>();
 
-    launch_over_chunks("spmspv/row-tile", y, nt, |warp, y_tile| {
+    backend.launch_over_chunks("spmspv/row-tile", y, nt, |warp, y_tile| {
         let rt = warp.warp_id;
         let mut dirty = false;
         // Tile-level CSR walk of this row tile.
@@ -212,7 +215,7 @@ pub fn build_col_worklist<T: Copy + PartialEq + Default + Send + Sync>(
 /// [`build_row_worklist`]. Two dispatch shapes:
 ///
 /// * When the plan degenerated to one whole unit per warp, the kernel runs
-///   [`launch_over_worklist`] and writes `y` directly — each warp owns its
+///   [`Backend::launch_over_worklist`] and writes `y` directly — each warp owns its
 ///   row tile exactly as in [`row_kernel_semiring`].
 /// * Otherwise (packed or split warps share unit ranges) every warp buffers
 ///   `(row, partial)` contributions and they are merged in warp order.
@@ -224,7 +227,8 @@ pub fn build_col_worklist<T: Copy + PartialEq + Default + Send + Sync>(
 /// `PlusTimes` over `f64` this makes the result bit-for-bit equal to the
 /// unbinned kernel; see DESIGN.md for the determinism argument.
 #[allow(clippy::too_many_arguments)]
-pub fn row_kernel_binned_semiring<S: Semiring>(
+pub fn row_kernel_binned_semiring<S: Semiring, B: Backend>(
+    backend: &B,
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
@@ -245,7 +249,7 @@ where
     // Fast path: nothing was packed or split, so each warp exclusively owns
     // one listed row tile and can write y in place.
     if plan.n_warps() == worklist.len() && plan.n_assignments() == worklist.len() {
-        return launch_over_worklist(
+        return backend.launch_over_worklist(
             "spmspv/row-tile-binned",
             y,
             nt,
@@ -308,7 +312,7 @@ where
     if contribs.len() < plan.n_warps() {
         contribs.resize_with(plan.n_warps(), Vec::new);
     }
-    let stats = launch_binned(plan, contribs, |warp, assignments, bucket| {
+    let stats = backend.launch_binned(plan, contribs, |warp, assignments, bucket| {
         for asg in assignments {
             let rt = asg.unit as usize;
             let tiles = a.row_tile_range(rt);
@@ -380,7 +384,9 @@ where
 /// merged in warp order. The push order (and therefore the accumulation
 /// order into `y`) is identical to [`col_kernel_semiring`]'s warp-ordered
 /// merge, so results match it bitwise.
-pub fn col_kernel_binned_semiring<S: Semiring>(
+#[allow(clippy::too_many_arguments)]
+pub fn col_kernel_binned_semiring<S: Semiring, B: Backend>(
+    backend: &B,
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
@@ -400,7 +406,7 @@ where
     if contribs.len() < plan.n_warps() {
         contribs.resize_with(plan.n_warps(), Vec::new);
     }
-    let stats = launch_binned(plan, contribs, |warp, assignments, bucket| {
+    let stats = backend.launch_binned(plan, contribs, |warp, assignments, bucket| {
         for asg in assignments {
             let ct = asg.unit as usize;
             let x_tile = x.tile(ct).expect("work-list tiles are non-empty");
@@ -471,7 +477,8 @@ where
 /// One warp per non-empty vector tile, contributions buffered in
 /// `contribs` (one bucket per warp, capacity kept across calls) and merged
 /// into `y` in warp order after the launch.
-pub fn col_kernel_semiring<S: Semiring>(
+pub fn col_kernel_semiring<S: Semiring, B: Backend>(
+    backend: &B,
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
@@ -493,7 +500,7 @@ where
         contribs.resize_with(active.len(), Vec::new);
     }
 
-    let stats = launch_over_chunks(
+    let stats = backend.launch_over_chunks(
         "spmspv/col-tile",
         &mut contribs[..active.len()],
         1,
@@ -565,7 +572,8 @@ const CHUNK: usize = WARP_SIZE;
 
 /// The hybrid pass over extracted very-sparse entries, over an arbitrary
 /// semiring. Accumulates `extra ⊗ x` into `y`.
-pub fn coo_kernel_semiring<S: Semiring>(
+pub fn coo_kernel_semiring<S: Semiring, B: Backend>(
+    backend: &B,
     a: &TileMatrix<S::T>,
     x: &SparseVector<S::T>,
     y: &mut [S::T],
@@ -588,7 +596,7 @@ where
         contribs.resize_with(n_warps, Vec::new);
     }
 
-    let stats = launch_over_chunks(
+    let stats = backend.launch_over_chunks(
         "spmspv/coo-pass",
         &mut contribs[..n_warps],
         1,
@@ -670,7 +678,14 @@ mod tests {
 
         let mut y = vec![0.0f64; tm.m_tiles() * 16];
         let touched = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
-        let stats = row_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y, &touched, None);
+        let stats = row_kernel_semiring::<PlusTimes, _>(
+            &tsv_simt::backend::ModelBackend,
+            &tm,
+            &xt,
+            &mut y,
+            &touched,
+            None,
+        );
 
         let expect = spmspv_row(&a, &x).unwrap().to_dense();
         for i in 0..300 {
@@ -711,7 +726,15 @@ mod tests {
         let mut y = vec![f64::INFINITY; tm.m_tiles() * 16];
         let touched = AtomicWords::zeroed(1);
         let mut contribs = Vec::new();
-        col_kernel_semiring::<MinPlus>(&tm, &xt, &mut y, &mut contribs, &touched, None);
+        col_kernel_semiring::<MinPlus, _>(
+            &tsv_simt::backend::ModelBackend,
+            &tm,
+            &xt,
+            &mut y,
+            &mut contribs,
+            &touched,
+            None,
+        );
         assert_eq!(y[1], 2.0);
         assert_eq!(y[2], f64::INFINITY, "vertex 2 not reached in one hop");
     }
@@ -727,14 +750,29 @@ mod tests {
         let mut y = vec![0.0f64; tm.m_tiles() * 16];
         let touched = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
         sanitize::begin(Some(&san), "spmspv/row-tile", 16);
-        row_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y, &touched, Some(&san));
+        row_kernel_semiring::<PlusTimes, _>(
+            &tsv_simt::backend::ModelBackend,
+            &tm,
+            &xt,
+            &mut y,
+            &touched,
+            Some(&san),
+        );
         assert_eq!(sanitize::barrier(Some(&san)), 0, "{:?}", san.violations());
 
         let mut y2 = vec![0.0f64; tm.m_tiles() * 16];
         let touched2 = AtomicWords::zeroed(tm.m_tiles().div_ceil(64));
         let mut contribs = Vec::new();
         sanitize::begin(Some(&san), "spmspv/col-tile", 16);
-        col_kernel_semiring::<PlusTimes>(&tm, &xt, &mut y2, &mut contribs, &touched2, Some(&san));
+        col_kernel_semiring::<PlusTimes, _>(
+            &tsv_simt::backend::ModelBackend,
+            &tm,
+            &xt,
+            &mut y2,
+            &mut contribs,
+            &touched2,
+            Some(&san),
+        );
         assert_eq!(sanitize::barrier(Some(&san)), 0, "{:?}", san.violations());
 
         assert!(san.summary().accesses > 0, "the shadow log saw the launch");

@@ -23,7 +23,14 @@ pub fn row_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
     let nt = a.nt();
     let mut y = vec![0.0f64; a.m_tiles() * nt];
     let touched = AtomicWords::zeroed(a.m_tiles().div_ceil(64));
-    let stats = row_kernel_semiring::<PlusTimes>(a, x, &mut y, &touched, None);
+    let stats = row_kernel_semiring::<PlusTimes, _>(
+        &tsv_simt::backend::ModelBackend,
+        a,
+        x,
+        &mut y,
+        &touched,
+        None,
+    );
     (y, stats)
 }
 

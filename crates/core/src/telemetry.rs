@@ -27,8 +27,9 @@ use tsv_simt::sanitize::SanitizerSummary;
 /// `dispatch` array (per-plan warp-occupancy and work-imbalance views of
 /// the binned scheduler). Version 3 added the optional `sanitizer` object
 /// (launches analyzed, shadow accesses logged, conflicts detected by the
-/// race sanitizer).
-pub const SCHEMA_VERSION: u32 = 3;
+/// race sanitizer). Version 4 added the `backend` string (which execution
+/// substrate ran the kernels: `"model"` or `"native:<threads>"`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One row of the per-kernel table.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +135,7 @@ impl DispatchSummary {
 pub struct RunSummary {
     workload: String,
     device: DeviceConfig,
+    backend: String,
     kernels: Vec<KernelSummary>,
     bfs_iterations: Vec<IterationSummary>,
     histograms: Vec<Histogram>,
@@ -142,17 +144,31 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    /// An empty summary for `workload`, modeled on `device`.
+    /// An empty summary for `workload`, modeled on `device`. The backend
+    /// defaults to `"model"`; runs on another substrate record it with
+    /// [`RunSummary::set_backend`].
     pub fn new(workload: impl Into<String>, device: DeviceConfig) -> Self {
         RunSummary {
             workload: workload.into(),
             device,
+            backend: "model".to_string(),
             kernels: Vec::new(),
             bfs_iterations: Vec::new(),
             histograms: Vec::new(),
             dispatch: Vec::new(),
             sanitizer: None,
         }
+    }
+
+    /// Records which execution substrate ran the kernels (e.g. `"model"`
+    /// or `"native:8"` — the [`tsv_simt::ExecBackend::describe`] string).
+    pub fn set_backend(&mut self, backend: impl Into<String>) {
+        self.backend = backend.into();
+    }
+
+    /// The recorded execution backend.
+    pub fn backend(&self) -> &str {
+        &self.backend
     }
 
     /// Appends one per-kernel row per profiler entry. `modeled_ms` uses the
@@ -307,9 +323,11 @@ impl RunSummary {
         let mut out = String::with_capacity(1024);
         let _ = write!(
             out,
-            "{{\"schema_version\":{SCHEMA_VERSION},\"workload\":\"{}\",\"device\":\"{}\"",
+            "{{\"schema_version\":{SCHEMA_VERSION},\"workload\":\"{}\",\"device\":\"{}\",\
+             \"backend\":\"{}\"",
             json::escape(&self.workload),
             json::escape(self.device.name),
+            json::escape(&self.backend),
         );
 
         out.push_str(",\"kernels\":[");
@@ -641,6 +659,21 @@ mod tests {
         assert_eq!(s.get("launches").and_then(JsonValue::as_u64), Some(3));
         assert_eq!(s.get("accesses").and_then(JsonValue::as_u64), Some(1234));
         assert_eq!(s.get("violations").and_then(JsonValue::as_u64), Some(1));
+    }
+
+    #[test]
+    fn backend_defaults_to_model_and_roundtrips() {
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        assert_eq!(summary.backend(), "model");
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        assert_eq!(v.get("backend").and_then(JsonValue::as_str), Some("model"));
+
+        summary.set_backend("native:4");
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        assert_eq!(
+            v.get("backend").and_then(JsonValue::as_str),
+            Some("native:4")
+        );
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! Execution backends: the substrate a tile kernel launches on.
+//!
+//! The paper's kernels are written against four launch shapes — a plain
+//! grid, a grid over exclusive output chunks, a frontier-compacted work
+//! list, and a binned plan with per-warp scratch — plus the atomic views
+//! in [`crate::atomic`]. [`Backend`] abstracts exactly that surface, so
+//! the *same* kernel bodies run on two substrates:
+//!
+//! * [`ModelBackend`] — the modeled SIMT device: warps are rayon tasks on
+//!   the global pool, work counters feed the roofline time model, and the
+//!   [`crate::grid::SchedulePolicy`] permutation plus the
+//!   [`crate::sanitize`] shadow log are available for race and
+//!   determinism certification.
+//! * [`NativeBackend`] — the same kernels as real parallel CPU code:
+//!   warps are rayon tasks on a backend-owned pool of a configurable
+//!   size, `std::sync::atomic` carries the semiring atomics, and wall
+//!   time is honest. No schedule permutation, no sanitizer — the modeled
+//!   backend certifies the kernels, the native backend runs them fast.
+//!
+//! Determinism carries over structurally: chunk and work-list launches
+//! hand each warp an exclusive `&mut` slice, scatter kernels buffer
+//! `(index, value)` pairs per warp and merge them *after* the launch in
+//! logical warp order, and warp ids are logical (chunk index, work-list
+//! position, bin number) on both substrates. PlusTimes output is
+//! therefore bit-identical across backends and across native thread
+//! counts.
+//!
+//! The trait's launch methods are generic (each takes the kernel body as
+//! a closure), so `Backend` is not object-safe; code that must choose a
+//! backend at runtime holds the [`ExecBackend`] enum, which implements
+//! the trait by delegation.
+
+use crate::grid::{self, Assignment, BinPlan};
+use crate::stats::KernelStats;
+use crate::warp::WarpCtx;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Which substrate a backend runs on — the runtime-queryable identity
+/// behind the generic trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The modeled SIMT device (counted work, modeled time).
+    Model,
+    /// Native parallel CPU execution (real threads, honest wall time).
+    Native,
+}
+
+/// An execution substrate for the tile kernels.
+///
+/// The four launch methods mirror the free functions in [`crate::grid`]
+/// and share their contracts: logical warp ids, exclusive chunk
+/// ownership, strictly-increasing work lists, per-warp scratch under a
+/// [`BinPlan`]. Atomics are not part of the trait — both substrates use
+/// the `std::sync::atomic` views in [`crate::atomic`] directly, which on
+/// the model stand in for the device's global-memory atomics.
+pub trait Backend: Send + Sync {
+    /// Which substrate this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Short name for telemetry and reports (`"model"` / `"native"`).
+    fn name(&self) -> &'static str;
+
+    /// Worker threads the backend fans out over.
+    fn threads(&self) -> usize;
+
+    /// Launches `n_warps` warps, each running `body`; returns the summed
+    /// work counters. See [`grid::launch`].
+    fn launch<F>(&self, n_warps: usize, body: F) -> KernelStats
+    where
+        F: Fn(&mut WarpCtx) + Sync;
+
+    /// Launches one warp per `chunk_len`-sized piece of `output` with
+    /// exclusive mutable access. See [`grid::launch_over_chunks`].
+    fn launch_over_chunks<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &mut [T]) + Sync;
+
+    /// Launches one warp per listed unit with exclusive access to that
+    /// unit's chunk. See [`grid::launch_over_worklist`].
+    fn launch_over_worklist<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        worklist: &[u32],
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync;
+
+    /// Launches one warp per [`BinPlan`] bin with its assignment slice
+    /// and exclusive scratch slot. See [`grid::launch_binned`].
+    fn launch_binned<T, F>(&self, plan: &BinPlan, scratch: &mut [T], body: F) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &[Assignment], &mut T) + Sync;
+}
+
+/// The modeled SIMT device: delegates to the [`crate::grid`] launch
+/// primitives, preserving the schedule-permutation machinery
+/// ([`crate::grid::with_schedule`]) and sanitizer compatibility.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelBackend;
+
+impl Backend for ModelBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Model
+    }
+
+    fn name(&self) -> &'static str {
+        "model"
+    }
+
+    fn threads(&self) -> usize {
+        rayon::current_num_threads()
+    }
+
+    fn launch<F>(&self, n_warps: usize, body: F) -> KernelStats
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        grid::launch(n_warps, body)
+    }
+
+    fn launch_over_chunks<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &mut [T]) + Sync,
+    {
+        grid::launch_over_chunks(label, output, chunk_len, body)
+    }
+
+    fn launch_over_worklist<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        worklist: &[u32],
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
+    {
+        grid::launch_over_worklist(label, output, chunk_len, worklist, body)
+    }
+
+    fn launch_binned<T, F>(&self, plan: &BinPlan, scratch: &mut [T], body: F) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &[Assignment], &mut T) + Sync,
+    {
+        grid::launch_binned(plan, scratch, body)
+    }
+}
+
+/// Native parallel CPU execution of the same tile kernels.
+///
+/// Owns its rayon pool so `--backend native:N` pins the parallelism
+/// without touching the global pool the model (and the rest of the
+/// process) uses. Warps map to rayon tasks in logical order; the u64
+/// bitmask words of the BFS kernels are the vector lane; the semiring
+/// atomics go through [`crate::atomic`]'s `std::sync::atomic` views.
+/// [`crate::grid::SchedulePolicy`] is ignored — submission-order
+/// permutation is a certification tool for the model, and the native
+/// kernels' determinism does not depend on execution order.
+#[derive(Clone)]
+pub struct NativeBackend {
+    pool: Arc<rayon::ThreadPool>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for NativeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeBackend")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl NativeBackend {
+    /// Builds a native backend over `threads` worker threads (`None` =
+    /// one per logical CPU, rayon's default).
+    pub fn new(threads: Option<usize>) -> Self {
+        let mut builder = rayon::ThreadPoolBuilder::new();
+        if let Some(t) = threads {
+            builder = builder.num_threads(t);
+        }
+        let pool = builder
+            .build()
+            .expect("native backend: failed to build thread pool");
+        let threads = pool.current_num_threads();
+        NativeBackend {
+            pool: Arc::new(pool),
+            threads,
+        }
+    }
+}
+
+impl Default for NativeBackend {
+    fn default() -> Self {
+        NativeBackend::new(None)
+    }
+}
+
+impl Backend for NativeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Native
+    }
+
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn launch<F>(&self, n_warps: usize, body: F) -> KernelStats
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        self.pool.install(|| {
+            (0..n_warps)
+                .into_par_iter()
+                .map(|warp_id| {
+                    let mut ctx = WarpCtx::new(warp_id);
+                    body(&mut ctx);
+                    ctx.stats
+                })
+                .sum()
+        })
+    }
+
+    fn launch_over_chunks<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &mut [T]) + Sync,
+    {
+        grid::check_chunked(label, output.len(), chunk_len);
+        self.pool.install(|| {
+            output
+                .par_chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(warp_id, chunk)| {
+                    let mut ctx = WarpCtx::new(warp_id);
+                    body(&mut ctx, chunk);
+                    ctx.stats
+                })
+                .sum()
+        })
+    }
+
+    fn launch_over_worklist<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        worklist: &[u32],
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
+    {
+        let chunks = grid::carve_worklist(label, output, chunk_len, worklist);
+        self.pool.install(|| {
+            chunks
+                .into_par_iter()
+                .map(|(warp_id, unit, chunk)| {
+                    let mut ctx = WarpCtx::new(warp_id);
+                    body(&mut ctx, unit, chunk);
+                    ctx.stats
+                })
+                .sum()
+        })
+    }
+
+    fn launch_binned<T, F>(&self, plan: &BinPlan, scratch: &mut [T], body: F) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &[Assignment], &mut T) + Sync,
+    {
+        let n = plan.n_warps();
+        assert!(
+            scratch.len() >= n,
+            "scratch holds {} slots for {} warps",
+            scratch.len(),
+            n
+        );
+        self.pool.install(|| {
+            scratch[..n]
+                .par_iter_mut()
+                .enumerate()
+                .map(|(warp_id, slot)| {
+                    let mut ctx = WarpCtx::new(warp_id);
+                    body(&mut ctx, plan.warp(warp_id), slot);
+                    ctx.stats
+                })
+                .sum()
+        })
+    }
+}
+
+/// Runtime backend choice. The [`Backend`] trait is not object-safe (its
+/// launch methods are generic over the kernel body), so engines and the
+/// CLI hold this enum and dispatch per call.
+#[derive(Debug, Clone)]
+pub enum ExecBackend {
+    /// The modeled SIMT device.
+    Model(ModelBackend),
+    /// Native parallel CPU execution.
+    Native(NativeBackend),
+}
+
+impl ExecBackend {
+    /// The modeled backend — the default substrate everywhere.
+    pub fn model() -> Self {
+        ExecBackend::Model(ModelBackend)
+    }
+
+    /// A native backend over `threads` workers (`None` = all CPUs).
+    pub fn native(threads: Option<usize>) -> Self {
+        ExecBackend::Native(NativeBackend::new(threads))
+    }
+
+    /// `"model"`, `"native"`, or `"native:N"` — the CLI spelling that
+    /// reproduces this backend, used in reports and telemetry.
+    pub fn describe(&self) -> String {
+        match self {
+            ExecBackend::Model(_) => "model".to_string(),
+            ExecBackend::Native(b) => format!("native:{}", b.threads()),
+        }
+    }
+}
+
+impl Default for ExecBackend {
+    fn default() -> Self {
+        ExecBackend::model()
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $b:ident => $e:expr) => {
+        match $self {
+            ExecBackend::Model($b) => $e,
+            ExecBackend::Native($b) => $e,
+        }
+    };
+}
+
+impl Backend for ExecBackend {
+    fn kind(&self) -> BackendKind {
+        delegate!(self, b => b.kind())
+    }
+
+    fn name(&self) -> &'static str {
+        delegate!(self, b => b.name())
+    }
+
+    fn threads(&self) -> usize {
+        delegate!(self, b => b.threads())
+    }
+
+    fn launch<F>(&self, n_warps: usize, body: F) -> KernelStats
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        delegate!(self, b => b.launch(n_warps, body))
+    }
+
+    fn launch_over_chunks<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &mut [T]) + Sync,
+    {
+        delegate!(self, b => b.launch_over_chunks(label, output, chunk_len, body))
+    }
+
+    fn launch_over_worklist<T, F>(
+        &self,
+        label: &str,
+        output: &mut [T],
+        chunk_len: usize,
+        worklist: &[u32],
+        body: F,
+    ) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
+    {
+        delegate!(self, b => b.launch_over_worklist(label, output, chunk_len, worklist, body))
+    }
+
+    fn launch_binned<T, F>(&self, plan: &BinPlan, scratch: &mut [T], body: F) -> KernelStats
+    where
+        T: Send,
+        F: Fn(&mut WarpCtx, &[Assignment], &mut T) + Sync,
+    {
+        delegate!(self, b => b.launch_binned(plan, scratch, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicWords;
+
+    fn backends() -> Vec<(String, ExecBackend)> {
+        vec![
+            ("model".into(), ExecBackend::model()),
+            ("native:1".into(), ExecBackend::native(Some(1))),
+            ("native:4".into(), ExecBackend::native(Some(4))),
+        ]
+    }
+
+    #[test]
+    fn identity_reports_kind_name_and_threads() {
+        let m = ExecBackend::model();
+        assert_eq!(m.kind(), BackendKind::Model);
+        assert_eq!(m.name(), "model");
+        assert_eq!(m.describe(), "model");
+        let n = ExecBackend::native(Some(3));
+        assert_eq!(n.kind(), BackendKind::Native);
+        assert_eq!(n.name(), "native");
+        assert_eq!(n.threads(), 3);
+        assert_eq!(n.describe(), "native:3");
+    }
+
+    #[test]
+    fn every_backend_runs_every_warp_once() {
+        for (name, b) in backends() {
+            let hits = AtomicWords::zeroed(2);
+            let stats = b.launch(128, |w| {
+                hits.fetch_or(w.warp_id / 64, 1 << (w.warp_id % 64));
+            });
+            assert_eq!(stats.warps, 128, "{name}");
+            assert_eq!(hits.load(0), u64::MAX, "{name}");
+            assert_eq!(hits.load(1), u64::MAX, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_backend_keeps_chunk_ownership_bit_identical() {
+        let mut reference: Option<Vec<u32>> = None;
+        for (name, b) in backends() {
+            let mut out = vec![0u32; 100];
+            b.launch_over_chunks("test/backend-chunks", &mut out, 10, |w, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (w.warp_id * 100 + i) as u32;
+                }
+            });
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "{name}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_honors_worklists_and_bin_plans() {
+        let worklist = [1u32, 3, 6, 7];
+        let weights = [2u64, 2, 50, 1, 1, 1, 30];
+        let units: Vec<u32> = (0..weights.len() as u32).collect();
+        let mut plan = BinPlan::new();
+        plan.rebuild(&units, |u| weights[u as usize], 10, 8);
+        for (name, b) in backends() {
+            let mut out = vec![0u32; 80];
+            b.launch_over_worklist("test/backend-wl", &mut out, 10, &worklist, |w, unit, c| {
+                assert_eq!(worklist[w.warp_id], unit, "{name}");
+                c[0] = unit + 1;
+            });
+            for &u in &worklist {
+                assert_eq!(out[u as usize * 10], u + 1, "{name}");
+            }
+
+            let mut scratch = vec![u32::MAX; plan.n_warps()];
+            b.launch_binned(&plan, &mut scratch, |w, assignments, slot| {
+                assert_eq!(assignments, plan.warp(w.warp_id), "{name}");
+                *slot = w.warp_id as u32;
+            });
+            let expect: Vec<u32> = (0..plan.n_warps() as u32).collect();
+            assert_eq!(scratch, expect, "{name}: slot i belongs to warp i");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn native_worklist_rejects_unsorted_units() {
+        let mut out = vec![0u8; 30];
+        ExecBackend::native(Some(1)).launch_over_worklist(
+            "test/native-unsorted",
+            &mut out,
+            10,
+            &[2, 1],
+            |_, _, _| {},
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of chunk_len")]
+    fn native_chunks_reject_ragged_tail() {
+        let mut out = vec![0u8; 25];
+        ExecBackend::native(Some(1)).launch_over_chunks(
+            "test/native-ragged",
+            &mut out,
+            10,
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn native_stats_sum_across_threads() {
+        let b = NativeBackend::new(Some(4));
+        let stats = b.launch(37, |w| {
+            w.stats.read(8);
+            w.stats.flop(2);
+        });
+        assert_eq!(stats.warps, 37);
+        assert_eq!(stats.gmem_read_bytes, 37 * 8);
+        assert_eq!(stats.flops, 37 * 2);
+    }
+}

@@ -114,6 +114,64 @@ where
     }
 }
 
+/// Asserts the chunked-launch size contract shared by every backend:
+/// `chunk_len` positive and `len` an exact multiple of it.
+///
+/// Every caller owns a padded buffer (`m_tiles * nt` for the tile
+/// kernels), and a short tail chunk would mean a mis-sized buffer
+/// silently corrupting the last tile. `label` names the launching kernel
+/// in the assertion message.
+pub(crate) fn check_chunked(label: &str, len: usize, chunk_len: usize) {
+    assert!(chunk_len > 0, "{label}: chunk_len must be positive");
+    assert_eq!(
+        len % chunk_len,
+        0,
+        "{label}: output length {} is not a multiple of chunk_len {} \
+         ({} whole chunks + {} trailing elements); pad the buffer",
+        len,
+        chunk_len,
+        len / chunk_len,
+        len % chunk_len
+    );
+}
+
+/// Carves the chunks named by `worklist` out of `output` as disjoint
+/// mutable slices, tagged `(warp_id, unit, chunk)`. Shared by the modeled
+/// and native work-list launches so both enforce the same contract: the
+/// strictly-increasing check makes the split walk sound, and warp ids are
+/// work-list positions, fixed before any scheduling permutation.
+pub(crate) fn carve_worklist<'a, T>(
+    label: &str,
+    output: &'a mut [T],
+    chunk_len: usize,
+    worklist: &[u32],
+) -> Vec<(usize, u32, &'a mut [T])> {
+    check_chunked(label, output.len(), chunk_len);
+    let n_units = output.len() / chunk_len;
+    let mut chunks: Vec<(usize, u32, &mut [T])> = Vec::with_capacity(worklist.len());
+    let mut rest = output;
+    let mut consumed = 0usize;
+    let mut prev: Option<u32> = None;
+    for (warp_id, &u) in worklist.iter().enumerate() {
+        assert!(
+            prev.is_none_or(|p| u > p),
+            "{label}: worklist must be strictly increasing (saw {u} after {prev:?})"
+        );
+        prev = Some(u);
+        let u = u as usize;
+        assert!(
+            u < n_units,
+            "{label}: worklist unit {u} out of range ({n_units} units)"
+        );
+        let (_, tail) = rest.split_at_mut((u - consumed) * chunk_len);
+        let (chunk, tail) = tail.split_at_mut(chunk_len);
+        chunks.push((warp_id, u as u32, chunk));
+        rest = tail;
+        consumed = u + 1;
+    }
+    chunks
+}
+
 /// Launches one warp per output chunk: `output` is split into disjoint
 /// `chunk_len`-sized pieces and warp `i` gets exclusive mutable access to
 /// piece `i`.
@@ -135,17 +193,7 @@ where
     T: Send,
     F: Fn(&mut WarpCtx, &mut [T]) + Sync,
 {
-    assert!(chunk_len > 0, "{label}: chunk_len must be positive");
-    assert_eq!(
-        output.len() % chunk_len,
-        0,
-        "{label}: output length {} is not a multiple of chunk_len {} \
-         ({} whole chunks + {} trailing elements); pad the buffer",
-        output.len(),
-        chunk_len,
-        output.len() / chunk_len,
-        output.len() % chunk_len
-    );
+    check_chunked(label, output.len(), chunk_len);
     let run = |(warp_id, chunk): (usize, &mut [T])| {
         let mut ctx = WarpCtx::new(warp_id);
         body(&mut ctx, chunk);
@@ -185,42 +233,7 @@ where
     T: Send,
     F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
 {
-    assert!(chunk_len > 0, "{label}: chunk_len must be positive");
-    assert_eq!(
-        output.len() % chunk_len,
-        0,
-        "{label}: output length {} is not a multiple of chunk_len {} \
-         ({} whole chunks + {} trailing elements); pad the buffer",
-        output.len(),
-        chunk_len,
-        output.len() / chunk_len,
-        output.len() % chunk_len
-    );
-    let n_units = output.len() / chunk_len;
-    // Carve the listed chunks out of `output` as disjoint mutable slices;
-    // the strictly-increasing check makes the split walk sound. Warp ids
-    // are work-list positions, fixed before any scheduling permutation.
-    let mut chunks: Vec<(usize, u32, &mut [T])> = Vec::with_capacity(worklist.len());
-    let mut rest = output;
-    let mut consumed = 0usize;
-    let mut prev: Option<u32> = None;
-    for (warp_id, &u) in worklist.iter().enumerate() {
-        assert!(
-            prev.is_none_or(|p| u > p),
-            "{label}: worklist must be strictly increasing (saw {u} after {prev:?})"
-        );
-        prev = Some(u);
-        let u = u as usize;
-        assert!(
-            u < n_units,
-            "{label}: worklist unit {u} out of range ({n_units} units)"
-        );
-        let (_, tail) = rest.split_at_mut((u - consumed) * chunk_len);
-        let (chunk, tail) = tail.split_at_mut(chunk_len);
-        chunks.push((warp_id, u as u32, chunk));
-        rest = tail;
-        consumed = u + 1;
-    }
+    let chunks = carve_worklist(label, output, chunk_len, worklist);
     let run = |(warp_id, unit, chunk): (usize, u32, &mut [T])| {
         let mut ctx = WarpCtx::new(warp_id);
         body(&mut ctx, unit, chunk);

@@ -13,6 +13,9 @@
 //!   lock-step semantics.
 //! * [`atomic`] — the atomic global-memory operations of the paper's
 //!   Algorithms 5–7 (`atomicOr`, atomic f64 add) over plain vectors.
+//! * [`backend`] — the substrate as a trait: the modeled device above, or
+//!   a native CPU backend running the same kernels as real parallel code
+//!   on its own thread pool (honest wall time, no model).
 //! * [`stats`] — per-kernel work counters (global memory traffic, flops,
 //!   atomics, warp count) aggregated across the grid.
 //! * [`device`] + [`model`] — the two GPUs of the paper (RTX 3060 / 3090) as
@@ -24,6 +27,7 @@
 //! the counted work either way.
 
 pub mod atomic;
+pub mod backend;
 pub mod device;
 pub mod grid;
 pub mod json;
@@ -34,6 +38,7 @@ pub mod stats;
 pub mod trace;
 pub mod warp;
 
+pub use backend::{Backend, BackendKind, ExecBackend, ModelBackend, NativeBackend};
 pub use device::{DeviceConfig, RTX_3060, RTX_3090};
 pub use grid::{
     launch, launch_binned, launch_over_chunks, launch_over_worklist, replay_check, with_schedule,

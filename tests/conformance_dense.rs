@@ -1,6 +1,7 @@
 //! Differential conformance suite: every tiled SpMSpV kernel (forced
 //! row-tile, forced col-tile, with and without the COO side pass) × every
-//! semiring × both balance modes, checked against a naive dense oracle
+//! semiring × both balance modes × both execution backends (modeled SIMT
+//! grid and native rayon pool), checked against a naive dense oracle
 //! that is too simple to be wrong.
 //!
 //! The zoo leans on the shapes that break tiled code: orders straddling
@@ -12,10 +13,24 @@ use tilespmspv::core::exec::SpMSpVEngine;
 use tilespmspv::core::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
 use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
 use tilespmspv::core::tile::{TileConfig, TileMatrix};
+use tilespmspv::simt::ExecBackend;
 use tilespmspv::sparse::gen::{
     banded, geometric_graph, grid2d, random_sparse_vector, rmat, uniform_random, RmatConfig,
 };
 use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
+
+/// The substrates every conformance case runs on: the modeled SIMT grid
+/// and the native rayon backend. `TSV_NATIVE_THREADS` picks the native
+/// pool size (CI runs the suite at 1 and at N), defaulting to 2 so a
+/// plain `cargo test` still exercises real cross-thread merging.
+fn backends() -> Vec<ExecBackend> {
+    let threads = std::env::var("TSV_NATIVE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(2);
+    vec![ExecBackend::model(), ExecBackend::native(Some(threads))]
+}
 
 /// The naive oracle: a dense gather over the stored entries. `None`
 /// marks rows no product ever touched — the support the compacted
@@ -49,7 +64,9 @@ fn check_matrix<S: Semiring>(
     S::T: Default + std::fmt::Debug,
 {
     // extract_threshold 4 pushes near-empty tiles onto the COO side pass;
-    // 0 keeps everything in tiles. Both paths must agree with the oracle.
+    // 0 keeps everything in tiles. Both paths must agree with the oracle
+    // on every execution substrate.
+    let backends = backends();
     for extract in [0usize, 4] {
         for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
             for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
@@ -63,19 +80,25 @@ fn check_matrix<S: Semiring>(
                     ..Default::default()
                 };
                 let mut engine = SpMSpVEngine::<S>::from_csr_with(a, cfg, opts).unwrap();
-                for (si, x) in xs.iter().enumerate() {
-                    let (y, _) = engine.multiply(x).unwrap();
-                    let oracle = dense_oracle::<S>(a, x);
-                    let support: Vec<u32> = oracle
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, v)| v.map(|_| i as u32))
-                        .collect();
-                    let ctx = format!("{name} extract={extract} {kernel:?} {balance:?} input {si}");
-                    assert_eq!(y.indices(), &support[..], "{ctx}: support diverged");
-                    for (i, got) in y.iter() {
-                        let want = oracle[i].unwrap();
-                        assert!(eq(got, want), "{ctx} row {i}: got {got:?}, want {want:?}");
+                for backend in &backends {
+                    engine.set_backend(backend.clone());
+                    for (si, x) in xs.iter().enumerate() {
+                        let (y, _) = engine.multiply(x).unwrap();
+                        let oracle = dense_oracle::<S>(a, x);
+                        let support: Vec<u32> = oracle
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, v)| v.map(|_| i as u32))
+                            .collect();
+                        let ctx = format!(
+                            "{name} extract={extract} {kernel:?} {balance:?} backend {} input {si}",
+                            backend.describe()
+                        );
+                        assert_eq!(y.indices(), &support[..], "{ctx}: support diverged");
+                        for (i, got) in y.iter() {
+                            let want = oracle[i].unwrap();
+                            assert!(eq(got, want), "{ctx} row {i}: got {got:?}, want {want:?}");
+                        }
                     }
                 }
             }

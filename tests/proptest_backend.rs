@@ -1,0 +1,164 @@
+//! Property-based backend-equivalence tests: on random matrices and
+//! frontiers the product must not depend on which execution substrate
+//! ran the kernels. The native rayon backend replays the modeled grid's
+//! chunk decomposition and merges warp contributions in warp order, so
+//! PlusTimes is bit-identical to the model across every kernel × balance
+//! combination — and across native thread counts. MinPlus and OrAnd are
+//! order-independent, so they agree exactly with the serial oracle on
+//! any backend. BFS levels are substrate-independent by the same
+//! argument.
+
+use proptest::prelude::*;
+use tilespmspv::core::exec::{BfsEngine, SpMSpVEngine};
+use tilespmspv::core::semiring::{spmspv_semiring, MinPlus, OrAnd, PlusTimes};
+use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
+use tilespmspv::core::tile::TileConfig;
+use tilespmspv::simt::ExecBackend;
+use tilespmspv::sparse::gen::random_sparse_vector;
+use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
+
+/// An arbitrary weighted digraph of up to 140 vertices with finite,
+/// sign-mixed weights (duplicate edges summed).
+fn arb_weighted() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (2usize..140)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, -4.0f64..4.0);
+            (Just(n), proptest::collection::vec(edge, 0..400))
+        })
+        .prop_map(|(n, edges)| {
+            let mut coo = CooMatrix::new(n, n);
+            for (u, v, w) in edges {
+                coo.push(u as usize, v as usize, w);
+            }
+            coo.sum_duplicates();
+            coo.to_csr()
+        })
+}
+
+fn bits(y: &SparseVector<f64>) -> Vec<u64> {
+    y.values().iter().map(|v| v.to_bits()).collect()
+}
+
+/// One SpMSpV through a fresh engine on the given backend.
+fn run_on<S: tilespmspv::core::semiring::Semiring>(
+    a: &CsrMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    opts: SpMSpVOptions,
+    backend: ExecBackend,
+) -> SparseVector<S::T>
+where
+    S::T: Default,
+{
+    let mut engine = SpMSpVEngine::<S>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+    engine.set_backend(backend);
+    engine.multiply(x).unwrap().0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn plus_times_native_is_bitwise_identical_to_model(
+        a in arb_weighted(),
+        seed in 0u64..1000,
+    ) {
+        let sparsity = [0.004, 0.05, 0.4][seed as usize % 3];
+        let x = random_sparse_vector(a.ncols(), sparsity, seed);
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let model = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::model());
+                let native = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::native(Some(2)));
+                prop_assert_eq!(
+                    native.indices(), model.indices(),
+                    "support: {:?} {:?}", kernel, balance
+                );
+                prop_assert_eq!(
+                    bits(&native), bits(&model),
+                    "bits: {:?} {:?}", kernel, balance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_native_is_thread_count_invariant(
+        a in arb_weighted(),
+        seed in 0u64..1000,
+    ) {
+        // The part-order merge makes the fold order a function of the
+        // chunk decomposition alone, so growing the pool must not move a
+        // single bit.
+        let x = random_sparse_vector(a.ncols(), 0.1, seed);
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            let opts = SpMSpVOptions {
+                kernel: KernelChoice::RowTile,
+                balance,
+                ..Default::default()
+            };
+            let one = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::native(Some(1)));
+            for t in [2usize, 4] {
+                let many = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::native(Some(t)));
+                prop_assert_eq!(many.indices(), one.indices(), "{} threads {:?}", t, balance);
+                prop_assert_eq!(bits(&many), bits(&one), "{} threads {:?}", t, balance);
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_native_matches_the_oracle(a in arb_weighted(), seed in 0u64..1000) {
+        // min is order-independent and each term one f64 addition, so the
+        // native backend must reproduce the serial oracle exactly.
+        let csc = a.to_csc();
+        let x = random_sparse_vector(a.ncols(), 0.15, seed);
+        let expect = spmspv_semiring::<MinPlus>(&csc, &x).unwrap();
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let y = run_on::<MinPlus>(&a, &x, opts, ExecBackend::native(Some(2)));
+                prop_assert_eq!(&y, &expect, "{:?} {:?}", kernel, balance);
+            }
+        }
+    }
+
+    #[test]
+    fn or_and_native_matches_the_oracle(a in arb_weighted(), seed in 0u64..1000) {
+        let pattern = CsrMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            vec![true; a.nnz()],
+        )
+        .unwrap();
+        let csc = pattern.to_csc();
+        let picks = random_sparse_vector(a.ncols(), 0.1, seed);
+        let entries: Vec<(u32, bool)> = picks.indices().iter().map(|&i| (i, true)).collect();
+        let x = SparseVector::from_entries(a.ncols(), entries).unwrap();
+        let expect = spmspv_semiring::<OrAnd>(&csc, &x).unwrap();
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let y = run_on::<OrAnd>(&pattern, &x, opts, ExecBackend::native(Some(2)));
+                prop_assert_eq!(y.indices(), expect.indices(), "{:?} {:?}", kernel, balance);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_backend_invariant(a in arb_weighted(), source in 0usize..140) {
+        // The traversal's frontier evolution is a pure function of the
+        // graph, so the native pool must reach the same levels in the
+        // same number of iterations as the modeled grid.
+        let source = source % a.nrows();
+        let mut model_engine = BfsEngine::from_csr(&a).unwrap();
+        let model = model_engine.run(source).unwrap();
+        for t in [1usize, 3] {
+            let mut native_engine = BfsEngine::from_csr(&a).unwrap();
+            native_engine.set_backend(ExecBackend::native(Some(t)));
+            let native = native_engine.run(source).unwrap();
+            prop_assert_eq!(&native.levels, &model.levels, "{} threads", t);
+            prop_assert_eq!(native.iterations.len(), model.iterations.len(), "{} threads", t);
+        }
+    }
+}

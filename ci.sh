@@ -28,6 +28,20 @@ test -s "$trace_dir/trace.json" && test -s "$trace_dir/trace.summary.json"
 # nonzero on any regressed row.
 ./target/release/repro bench --scale tiny --out "$trace_dir" --check results/baselines
 
+# Metrics smoke: a run with --metrics-out must emit a valid Prometheus
+# exposition covering both the backend and engine instrumentation, and
+# --report must print the roofline utilization table. Then the
+# perf-trajectory report: regenerate the bench rows and render the
+# baseline diff to REPORT.md (informational — the bench gate above is
+# the enforcer).
+./target/release/tsv spmspv gen:rmat:10 --sparsity 0.05 \
+    --metrics-out "$trace_dir/metrics.prom" --report | tee "$trace_dir/mlog"
+grep 'utilization:' "$trace_dir/mlog" >/dev/null
+grep 'tsv_simt_launches_total' "$trace_dir/metrics.prom" >/dev/null
+grep 'tsv_engine_phase_ns' "$trace_dir/metrics.prom" >/dev/null
+./target/release/repro report --scale tiny --out "$trace_dir" --check results/baselines
+test -s "$trace_dir/REPORT.md"
+
 # Race-sanitizer gate. First the sanitizer's own test surface in release
 # mode (the shadow log makes sanitized runs slow in debug): the detector
 # unit tests, the schedule-permutation harness, and the engine-level

@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale tiny|small|medium] [--out DIR] [--check DIR]
 //!
 //! experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
-//!              profile trace bench sanitize
+//!              profile trace bench report sanitize
 //! ```
 //!
 //! `trace` runs one instrumented SpMSpV sweep plus one instrumented BFS,
@@ -16,7 +16,12 @@
 //! the committed baselines in `DIR` and exits non-zero when a row
 //! regresses by more than 25%. It also writes native-backend wall-clock
 //! tables (`BENCH_spmspv_native.json`, `BENCH_bfs_native.json`) over a
-//! thread-count sweep; those are host-dependent and never gated. `sanitize` runs every SpMSpV kernel ×
+//! thread-count sweep; those are host-dependent and never gated. `report`
+//! regenerates fresh bench rows, diffs them against the committed
+//! baselines (`--check DIR`, default `results/baselines`) and renders a
+//! markdown perf-trajectory report — per-case modeled-time deltas,
+//! roofline utilization and regression flags — to `<out>/REPORT.md`.
+//! `sanitize` runs every SpMSpV kernel ×
 //! balance mode × semiring (and a full BFS) over the representative
 //! corpus under the race sanitizer, then certifies schedule independence
 //! with seeded warp-order permutations; any detected conflict or
@@ -112,6 +117,7 @@ fn main() {
         "profile" => profile(scale),
         "trace" => trace_cmd(scale, &out),
         "bench" => bench_cmd(scale, &out, check.as_deref()),
+        "report" => report_cmd(scale, &out, check.as_deref()),
         "sanitize" => sanitize_cmd(scale),
         "all" => {
             table1();
@@ -130,7 +136,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|sanitize|all> \
+        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|report|sanitize|all> \
          [--scale tiny|small|medium] [--out DIR] [--check BASELINE_DIR]"
     );
     std::process::exit(2);
@@ -1013,23 +1019,36 @@ fn sanitize_cmd(scale: SuiteScale) {
 
 // ------------------------------------------------------------------- bench
 
-/// `repro bench`: machine-readable benchmark tables. Each row pairs the
-/// median CPU wall time with the modeled RTX 3090 device time so CI can
-/// diff runs without scraping stdout. A skewed R-MAT row pair compares
-/// one-warp-per-row-tile dispatch with nnz-binned dispatch on the same
-/// product; with a baseline directory, every row's modeled time is
-/// gated against the committed tables.
-fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
-    use tsv_simt::json;
-
-    println!("== machine-readable benchmark tables ==");
-    let scale_name = match scale {
+fn scale_name(scale: SuiteScale) -> &'static str {
+    match scale {
         SuiteScale::Tiny => "tiny",
         SuiteScale::Small => "small",
         SuiteScale::Medium => "medium",
-    };
-    let suite = representative(scale);
+    }
+}
 
+/// Renders the roofline-utilization fields appended to each modeled bench
+/// row: memory/compute time fractions and the bound classification, all
+/// restated from the cost model via [`tsv_core::telemetry::KernelUtilization`].
+fn utilization_fields(stats: &KernelStats, launches: usize, modeled_ms: f64) -> String {
+    use tsv_core::telemetry::KernelUtilization;
+    use tsv_simt::json;
+    let u = KernelUtilization::from_launches("", stats, launches, modeled_ms, &RTX_3090);
+    format!(
+        ",\"bw_fraction\":{},\"flop_fraction\":{},\"bound\":\"{}\"",
+        json::number(u.bw_fraction),
+        json::number(u.flop_fraction),
+        u.bound.as_str(),
+    )
+}
+
+/// Builds the two gated bench tables (`BENCH_spmspv.json`, `BENCH_bfs.json`)
+/// as JSON documents. Row schema v2: v1's fields plus the roofline
+/// utilization triple (`bw_fraction`, `flop_fraction`, `bound`).
+fn build_bench_docs(scale: SuiteScale, scale_name: &str) -> (String, String) {
+    use tsv_simt::json;
+
+    let suite = representative(scale);
     let mut spmspv_rows = String::new();
     let mut bfs_rows = String::new();
     for (i, e) in suite.iter().enumerate() {
@@ -1051,13 +1070,14 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
         }
         spmspv_rows.push_str(&format!(
             "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"kernel\":\"{}\",\
-             \"wall_ms\":{},\"modeled_ms\":{}}}",
+             \"wall_ms\":{},\"modeled_ms\":{}{}}}",
             json::escape(e.name),
             a.nrows(),
             a.nnz(),
             report.kernel.trace_label(),
             json::number(wall * 1e3),
             json::number(modeled * 1e3),
+            utilization_fields(&report.stats, 1, modeled * 1e3),
         ));
 
         let src = bfs_source(a);
@@ -1071,12 +1091,16 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
             0.01,
         );
         let bfs_modeled = modeled_secs(run.iterations.iter().map(|it| it.stats), &RTX_3090);
+        let mut bfs_stats = KernelStats::default();
+        for it in &run.iterations {
+            bfs_stats.merge(&it.stats);
+        }
         if i > 0 {
             bfs_rows.push(',');
         }
         bfs_rows.push_str(&format!(
             "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"iterations\":{},\"reached\":{},\
-             \"wall_ms\":{},\"modeled_ms\":{}}}",
+             \"wall_ms\":{},\"modeled_ms\":{}{}}}",
             json::escape(e.name),
             a.nrows(),
             a.nnz(),
@@ -1084,6 +1108,7 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
             run.reached(),
             json::number(bfs_wall * 1e3),
             json::number(bfs_modeled * 1e3),
+            utilization_fields(&bfs_stats, run.iterations.len(), bfs_modeled * 1e3),
         ));
         println!("  {:<18} spmspv + bfs measured", e.name);
     }
@@ -1091,21 +1116,37 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
     spmspv_rows.push(',');
     spmspv_rows.push_str(&balance_rows(scale));
 
-    let mut failures = 0usize;
-    for (file, rows) in [
-        ("BENCH_spmspv.json", spmspv_rows),
-        ("BENCH_bfs.json", bfs_rows),
-    ] {
-        let doc = format!(
-            "{{\"schema_version\":1,\"scale\":\"{scale_name}\",\"device\":\"{}\",\"rows\":[{rows}]}}",
+    let doc = |rows: &str| {
+        format!(
+            "{{\"schema_version\":2,\"scale\":\"{scale_name}\",\"device\":\"{}\",\"rows\":[{rows}]}}",
             json::escape(RTX_3090.name),
-        );
-        tsv_simt::json::parse(&doc).expect("bench table must parse");
+        )
+    };
+    (doc(&spmspv_rows), doc(&bfs_rows))
+}
+
+/// `repro bench`: machine-readable benchmark tables. Each row pairs the
+/// median CPU wall time with the modeled RTX 3090 device time plus its
+/// roofline utilization so CI can diff runs without scraping stdout. A
+/// skewed R-MAT row pair compares one-warp-per-row-tile dispatch with
+/// nnz-binned dispatch on the same product; with a baseline directory,
+/// every row's modeled time is gated against the committed tables.
+fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
+    println!("== machine-readable benchmark tables ==");
+    let scale_name = scale_name(scale);
+    let (spmspv_doc, bfs_doc) = build_bench_docs(scale, scale_name);
+
+    let mut failures = 0usize;
+    for (file, doc) in [
+        ("BENCH_spmspv.json", &spmspv_doc),
+        ("BENCH_bfs.json", &bfs_doc),
+    ] {
+        tsv_simt::json::parse(doc).expect("bench table must parse");
         let path = out.join(file);
-        std::fs::write(&path, &doc).expect("write bench table");
+        std::fs::write(&path, doc).expect("write bench table");
         println!("  -> wrote {}", path.display());
         if let Some(dir) = check {
-            failures += check_against_baseline(file, &doc, dir);
+            failures += check_against_baseline(file, doc, dir);
         }
     }
     if failures > 0 {
@@ -1113,23 +1154,34 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
         std::process::exit(1);
     }
 
-    native_bench_tables(scale, scale_name, out);
+    println!("== native-backend wall clock (informational, not gated) ==");
+    let (spmspv_native, bfs_native) = build_native_docs(scale, scale_name);
+    for (file, doc) in [
+        ("BENCH_spmspv_native.json", &spmspv_native),
+        ("BENCH_bfs_native.json", &bfs_native),
+    ] {
+        tsv_simt::json::parse(doc).expect("native bench table must parse");
+        let path = out.join(file);
+        std::fs::write(&path, doc).expect("write native bench table");
+        println!("  -> wrote {} (not gated)", path.display());
+    }
     println!();
 }
 
 /// Wall-clock tables for the native CPU backend at a sweep of thread
 /// counts (`BENCH_spmspv_native.json`, `BENCH_bfs_native.json`). Host
 /// wall time is machine-dependent, so these tables are informational
-/// only — they are never diffed against a committed baseline. Each
-/// SpMSpV row also re-checks the substrate contract: the native output
-/// must be bit-identical to the modeled backend's.
-fn native_bench_tables(scale: SuiteScale, scale_name: &str, out: &Path) {
+/// only — they are never diffed against a committed baseline. Each matrix
+/// is tiled and warmed ONCE and only the backend is re-pointed per thread
+/// count, so the sweep measures the kernels, not repeated preparation.
+/// Each SpMSpV row also re-checks the substrate contract: the native
+/// output must be bit-identical to the modeled backend's.
+fn build_native_docs(scale: SuiteScale, scale_name: &str) -> (String, String) {
     use tsv_core::exec::{BfsEngine, SpMSpVEngine};
     use tsv_core::semiring::PlusTimes;
     use tsv_simt::json;
     use tsv_simt::ExecBackend;
 
-    println!("== native-backend wall clock (informational, not gated) ==");
     let suite = representative(scale);
     let threads = [1usize, 2, 4];
 
@@ -1145,8 +1197,12 @@ fn native_bench_tables(scale: SuiteScale, scale_name: &str, out: &Path) {
         let (model_y, _) = model_engine.multiply(&x).unwrap();
         let model_bits: Vec<u64> = model_y.values().iter().map(|v| v.to_bits()).collect();
 
+        // One tiled engine and one BFS graph per matrix; the thread sweep
+        // only swaps the backend, reusing the warmed preparation.
+        let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
+        let mut bfs_engine = BfsEngine::from_csr(a).unwrap();
+
         for &t in &threads {
-            let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
             engine.set_backend(ExecBackend::native(Some(t)));
             let (y, _) = engine.multiply(&x).unwrap();
             assert_eq!(y.indices(), model_y.indices(), "native support mismatch");
@@ -1171,7 +1227,6 @@ fn native_bench_tables(scale: SuiteScale, scale_name: &str, out: &Path) {
                 json::number(wall * 1e3),
             ));
 
-            let mut bfs_engine = BfsEngine::from_csr(a).unwrap();
             bfs_engine.set_backend(ExecBackend::native(Some(t)));
             let run = bfs_engine.run(src).unwrap();
             let bfs_wall = median_secs(
@@ -1201,19 +1256,13 @@ fn native_bench_tables(scale: SuiteScale, scale_name: &str, out: &Path) {
         );
     }
 
-    for (file, rows) in [
-        ("BENCH_spmspv_native.json", spmspv_rows),
-        ("BENCH_bfs_native.json", bfs_rows),
-    ] {
-        let doc = format!(
+    let doc = |rows: &str| {
+        format!(
             "{{\"schema_version\":1,\"scale\":\"{scale_name}\",\"device\":\"native-cpu\",\
              \"rows\":[{rows}]}}",
-        );
-        tsv_simt::json::parse(&doc).expect("native bench table must parse");
-        let path = out.join(file);
-        std::fs::write(&path, &doc).expect("write native bench table");
-        println!("  -> wrote {} (not gated)", path.display());
-    }
+        )
+    };
+    (doc(&spmspv_rows), doc(&bfs_rows))
 }
 
 /// The work-balance showcase: one SpMSpV on a skewed R-MAT with a dense
@@ -1260,13 +1309,14 @@ fn balance_rows(scale: SuiteScale) -> String {
         let modeled = modeled_secs([report.stats], &RTX_3090);
         let mut row = format!(
             "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"kernel\":\"{}\",\
-             \"balance\":\"{label}\",\"wall_ms\":{},\"modeled_ms\":{}",
+             \"balance\":\"{label}\",\"wall_ms\":{},\"modeled_ms\":{}{}",
             json::escape(&format!("{name}/{label}")),
             a.nrows(),
             a.nnz(),
             report.kernel.trace_label(),
             json::number(wall * 1e3),
             json::number(modeled * 1e3),
+            utilization_fields(&report.stats, 1, modeled * 1e3),
         );
         if let Some(d) = &report.dispatch {
             let _ = write!(
@@ -1305,6 +1355,192 @@ fn balance_rows(scale: SuiteScale) -> String {
         wall_ms[0] / wall_ms[1],
     );
     rows.join(",")
+}
+
+// ------------------------------------------------------------------ report
+
+/// One parsed bench row as the report renders it.
+struct ReportRow {
+    name: String,
+    modeled_ms: f64,
+    bound: Option<String>,
+    bw_fraction: Option<f64>,
+    flop_fraction: Option<f64>,
+}
+
+/// Extracts the rows of a bench table document.
+fn report_rows(doc: &str, what: &str) -> Vec<ReportRow> {
+    let v = tsv_simt::json::parse(doc).unwrap_or_else(|e| {
+        eprintln!("report: {what} does not parse: {e}");
+        std::process::exit(1);
+    });
+    v.get("rows")
+        .and_then(|r| r.as_array().map(|a| a.to_vec()))
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|row| {
+            Some(ReportRow {
+                name: row.get("matrix")?.as_str()?.to_string(),
+                modeled_ms: row.get("modeled_ms")?.as_f64()?,
+                bound: row
+                    .get("bound")
+                    .and_then(|b| b.as_str())
+                    .map(str::to_string),
+                bw_fraction: row.get("bw_fraction").and_then(|f| f.as_f64()),
+                flop_fraction: row.get("flop_fraction").and_then(|f| f.as_f64()),
+            })
+        })
+        .collect()
+}
+
+/// `repro report`: the perf-trajectory view. Regenerates fresh bench rows
+/// (modeled tables plus the native wall-clock sweep), reads the committed
+/// baselines, and renders a markdown report to `<out>/REPORT.md` — one
+/// table per workload with per-case modeled-time deltas, roofline
+/// utilization and regression flags (the same +25% threshold the bench
+/// gate enforces), plus the informational native tables.
+fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
+    let baseline_dir = baseline.unwrap_or_else(|| Path::new("results/baselines"));
+    let scale_name = scale_name(scale);
+    println!(
+        "== perf-trajectory report (baselines: {}) ==",
+        baseline_dir.display()
+    );
+
+    let (spmspv_doc, bfs_doc) = build_bench_docs(scale, scale_name);
+    println!("== native-backend wall clock (informational, not gated) ==");
+    let (spmspv_native, bfs_native) = build_native_docs(scale, scale_name);
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# Performance trajectory report\n");
+    let _ = writeln!(
+        md,
+        "Generated by `repro report --scale {scale_name}`. Modeled device: {}.",
+        RTX_3090.name
+    );
+    let _ = writeln!(
+        md,
+        "Baselines: `{}` (committed). A case is flagged **REGRESSION** when its modeled\n\
+         device time grew by more than 25% over the baseline — the same threshold\n\
+         `repro bench --check` gates on. Utilization columns restate the cost model:\n\
+         the memory/compute roofline terms as fractions of the kernel's modeled time,\n\
+         and which term (memory, compute, atomic or launch overhead) bounds it.\n",
+        baseline_dir.display()
+    );
+
+    let mut regressions = 0usize;
+    for (title, file, doc) in [
+        ("SpMSpV", "BENCH_spmspv.json", &spmspv_doc),
+        ("BFS", "BENCH_bfs.json", &bfs_doc),
+    ] {
+        let fresh = report_rows(doc, file);
+        let base = match std::fs::read_to_string(baseline_dir.join(file)) {
+            Ok(doc) => report_rows(&doc, "baseline"),
+            Err(e) => {
+                eprintln!(
+                    "report: no baseline {} ({e}); marking every case new",
+                    baseline_dir.join(file).display()
+                );
+                Vec::new()
+            }
+        };
+        let _ = writeln!(md, "## {title} (modeled device time, ms)\n");
+        let _ = writeln!(
+            md,
+            "| case | baseline | current | delta | bound | mem util | alu util | status |"
+        );
+        let _ = writeln!(md, "|---|---:|---:|---:|---|---:|---:|---|");
+        for row in &fresh {
+            let pct = |f: Option<f64>| match f {
+                Some(f) => format!("{:.1}%", f * 100.0),
+                None => "—".to_string(),
+            };
+            let bound = row.bound.as_deref().unwrap_or("—");
+            let (base_col, delta_col, status) = match base.iter().find(|b| b.name == row.name) {
+                None => ("—".to_string(), "—".to_string(), "new".to_string()),
+                Some(b) => {
+                    let delta = 100.0 * (row.modeled_ms / b.modeled_ms - 1.0);
+                    let status = if row.modeled_ms > 1.25 * b.modeled_ms {
+                        regressions += 1;
+                        "**REGRESSION**".to_string()
+                    } else {
+                        "ok".to_string()
+                    };
+                    (
+                        format!("{:.4}", b.modeled_ms),
+                        format!("{delta:+.1}%"),
+                        status,
+                    )
+                }
+            };
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.4} | {} | {} | {} | {} | {} |",
+                row.name,
+                base_col,
+                row.modeled_ms,
+                delta_col,
+                bound,
+                pct(row.bw_fraction),
+                pct(row.flop_fraction),
+                status,
+            );
+        }
+        // Baseline rows that vanished from the fresh table are regressions
+        // too — a silently dropped case must not read as a clean report.
+        for b in &base {
+            if !fresh.iter().any(|r| r.name == b.name) {
+                regressions += 1;
+                let _ = writeln!(
+                    md,
+                    "| {} | {:.4} | — | — | — | — | — | **REGRESSION** (row disappeared) |",
+                    b.name, b.modeled_ms
+                );
+            }
+        }
+        let _ = writeln!(md);
+    }
+
+    let _ = writeln!(
+        md,
+        "## Native backend wall clock (informational, host-dependent)\n"
+    );
+    let _ = writeln!(md, "| case | threads | wall ms |");
+    let _ = writeln!(md, "|---|---:|---:|");
+    for doc in [&spmspv_native, &bfs_native] {
+        let v = tsv_simt::json::parse(doc).expect("native table must parse");
+        for row in v
+            .get("rows")
+            .and_then(|r| r.as_array().map(|a| a.to_vec()))
+            .unwrap_or_default()
+        {
+            let name = row.get("matrix").and_then(|m| m.as_str()).unwrap_or("?");
+            let threads = row.get("threads").and_then(|t| t.as_u64()).unwrap_or(0);
+            let wall = row.get("wall_ms").and_then(|w| w.as_f64()).unwrap_or(0.0);
+            let kind = if row.get("iterations").is_some() {
+                "bfs"
+            } else {
+                "spmspv"
+            };
+            let _ = writeln!(md, "| {name} ({kind}) | {threads} | {wall:.4} |");
+        }
+    }
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "{} case(s) regressed beyond the 25% threshold.",
+        regressions
+    );
+
+    let path = out.join("REPORT.md");
+    std::fs::write(&path, &md).expect("write report");
+    println!("  -> wrote {}", path.display());
+    if regressions > 0 {
+        println!("report: {regressions} case(s) flagged as regressions");
+    } else {
+        println!("report: no regressions vs baseline");
+    }
+    println!();
 }
 
 /// Compares a freshly generated bench table against the committed

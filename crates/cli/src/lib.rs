@@ -107,12 +107,24 @@ fn sanitizer_verdict(san: &Sanitizer, out: &mut String) -> Result<(), CliError> 
 
 /// Writes the Chrome-trace document and the run-summary JSON next to it
 /// (`<trace_out>` and `<trace_out stem>.summary.json`), returning the
-/// lines to append to the command's report.
+/// lines to append to the command's report. Records the tracer's ring
+/// accounting into the summary first, and warns on stderr when the ring
+/// overflowed — a truncated trace silently missing its oldest spans is
+/// worse than a noisy one.
 fn write_trace_outputs(
     trace_out: &Path,
     tracer: &Tracer,
-    summary: &RunSummary,
+    summary: &mut RunSummary,
 ) -> Result<String, CliError> {
+    summary.record_trace(tracer);
+    let dropped = tracer.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: trace ring overflowed; {dropped} event(s) dropped (oldest spans are \
+             missing from {})",
+            trace_out.display()
+        );
+    }
     let chrome = chrome_trace_json(&tracer.events(), &RTX_3060);
     std::fs::write(trace_out, chrome)
         .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", trace_out.display())))?;
@@ -124,6 +136,22 @@ fn write_trace_outputs(
         trace_out.display(),
         tracer.len(),
         summary_path.display(),
+    ))
+}
+
+/// Writes the process-wide metrics registry as Prometheus text exposition
+/// to `path`, self-validating the document before it lands on disk.
+fn write_metrics_output(path: &Path) -> Result<String, CliError> {
+    let text = tsv_simt::metrics::global().prometheus_text();
+    let check = tsv_simt::metrics::validate_prometheus_text(&text)
+        .map_err(|e| CliError::Usage(format!("internal error: metrics exposition invalid: {e}")))?;
+    std::fs::write(path, &text)
+        .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", path.display())))?;
+    Ok(format!(
+        "metrics: {} ({} families, {} series)\n",
+        path.display(),
+        check.families,
+        check.series,
     ))
 }
 
@@ -214,10 +242,14 @@ fn check_sanitize_backend(sanitize: bool, backend: &ExecBackend) -> Result<(), C
     Ok(())
 }
 
-/// `tsv spmspv <matrix> --sparsity S [--sanitize] [--trace-out F]`: one
-/// product with timing and report; with `--trace-out`, also a Chrome trace
-/// and a run summary of the launch. With `sanitize`, every kernel launch
-/// runs under the race sanitizer and any conflict fails the command.
+/// `tsv spmspv <matrix> --sparsity S [--sanitize] [--trace-out F]
+/// [--metrics-out F] [--report]`: one product with timing and report; with
+/// `--trace-out`, also a Chrome trace and a run summary of the launch.
+/// With `sanitize`, every kernel launch runs under the race sanitizer and
+/// any conflict fails the command. `--metrics-out` dumps the process-wide
+/// metrics registry as Prometheus text; `--report` appends the roofline
+/// utilization table (per-kernel achieved bandwidth / flop rate against
+/// the device peaks, with bound classification).
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_spmspv(
     a: &CsrMatrix<f64>,
@@ -228,6 +260,8 @@ pub fn cmd_spmspv(
     backend: ExecBackend,
     sanitize: bool,
     trace_out: Option<&Path>,
+    metrics_out: Option<&Path>,
+    report: bool,
 ) -> Result<String, CliError> {
     check_sanitize_backend(sanitize, &backend)?;
     let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
@@ -250,19 +284,19 @@ pub fn cmd_spmspv(
     engine.set_tracer(tracer.clone());
     engine.set_sanitizer(san.clone());
     let t = Instant::now();
-    let (y, report) = engine.multiply(&x)?;
+    let (y, exec_report) = engine.multiply(&x)?;
     let dt = t.elapsed();
     let mut out = format!(
         "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nbackend: {backend_desc}\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
         x.nnz(),
         100.0 * x.sparsity(),
         y.nnz(),
-        report.kernel,
+        exec_report.kernel,
         dt.as_secs_f64() * 1e3,
-        report.stats.flops,
-        report.stats.gmem_bytes(),
+        exec_report.stats.flops,
+        exec_report.stats.gmem_bytes(),
     );
-    if let Some(d) = &report.dispatch {
+    if let Some(d) = &exec_report.dispatch {
         out.push_str(&format!(
             "dispatch: {} units -> {} warps   max/mean work {:.0}/{:.1} (imbalance {:.2})\n",
             d.units,
@@ -271,22 +305,34 @@ pub fn cmd_spmspv(
             d.mean_warp_work(),
             d.imbalance(),
         ));
-        summary.record_dispatch(report.kernel.trace_label(), d);
+        summary.record_dispatch(exec_report.kernel.trace_label(), d);
     }
     if let Some(san) = &san {
         summary.record_sanitizer(san.summary());
         sanitizer_verdict(san, &mut out)?;
     }
-    if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
+    if trace_out.is_some() || report {
         summary.record_profiler(engine.profiler());
-        out.push_str(&write_trace_outputs(path, tracer, &summary)?);
+    }
+    if report {
+        out.push_str("utilization:\n");
+        out.push_str(&summary.utilization_table());
+    }
+    if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
+        out.push_str(&write_trace_outputs(path, tracer, &mut summary)?);
+    }
+    if let Some(path) = metrics_out {
+        out.push_str(&write_metrics_output(path)?);
     }
     Ok(out)
 }
 
-/// `tsv bfs <matrix> --source V --algo A [--trace-out F]`: one traversal
-/// with summary. Tracing instruments the tiled engine only, so
-/// `--trace-out` requires `--algo tile`.
+/// `tsv bfs <matrix> --source V --algo A [--trace-out F] [--metrics-out F]
+/// [--report]`: one traversal with summary. Tracing, reporting and the
+/// sanitizer instrument the tiled engine only, so those flags require
+/// `--algo tile`; `--metrics-out` reads the process-wide registry and
+/// works with every algorithm.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_bfs(
     a: &CsrMatrix<f64>,
     source: usize,
@@ -294,11 +340,18 @@ pub fn cmd_bfs(
     backend: ExecBackend,
     sanitize: bool,
     trace_out: Option<&Path>,
+    metrics_out: Option<&Path>,
+    report: bool,
 ) -> Result<String, CliError> {
     check_sanitize_backend(sanitize, &backend)?;
     if trace_out.is_some() && algo != "tile" {
         return Err(CliError::Usage(format!(
             "--trace-out instruments the tiled engine; not supported with --algo {algo}"
+        )));
+    }
+    if report && algo != "tile" {
+        return Err(CliError::Usage(format!(
+            "--report reads the tiled engine's profiler; not supported with --algo {algo}"
         )));
     }
     if sanitize && algo != "tile" {
@@ -314,6 +367,7 @@ pub fn cmd_bfs(
     let backend_desc = backend.describe();
     let t = Instant::now();
     let mut traced: Option<(Arc<Tracer>, RunSummary)> = None;
+    let mut report_table: Option<String> = None;
     let mut san_report = String::new();
     let levels = match algo {
         "tile" => {
@@ -323,7 +377,7 @@ pub fn cmd_bfs(
             engine.set_backend(backend);
             engine.set_sanitizer(san.clone());
             let r = engine.run(source)?;
-            if let Some(tracer) = tracer {
+            if trace_out.is_some() || report {
                 let mut summary = RunSummary::new("bfs", RTX_3060);
                 summary.set_backend(&backend_desc);
                 summary.record_bfs(&r, a.nrows());
@@ -331,7 +385,12 @@ pub fn cmd_bfs(
                 if let Some(san) = &san {
                     summary.record_sanitizer(san.summary());
                 }
-                traced = Some((tracer, summary));
+                if report {
+                    report_table = Some(summary.utilization_table());
+                }
+                if let Some(tracer) = tracer {
+                    traced = Some((tracer, summary));
+                }
             }
             if let Some(san) = &san {
                 sanitizer_verdict(san, &mut san_report)?;
@@ -357,8 +416,15 @@ pub fn cmd_bfs(
         dt.as_secs_f64() * 1e3,
     );
     out.push_str(&san_report);
-    if let (Some(path), Some((tracer, summary))) = (trace_out, &traced) {
+    if let Some(table) = report_table {
+        out.push_str("utilization:\n");
+        out.push_str(&table);
+    }
+    if let (Some(path), Some((tracer, summary))) = (trace_out, &mut traced) {
         out.push_str(&write_trace_outputs(path, tracer, summary)?);
+    }
+    if let Some(path) = metrics_out {
+        out.push_str(&write_metrics_output(path)?);
     }
     Ok(out)
 }
@@ -389,6 +455,8 @@ mod tests {
             ExecBackend::model(),
             false,
             None,
+            None,
+            false,
         )
         .unwrap();
         assert!(s.contains("kernel:"));
@@ -408,6 +476,8 @@ mod tests {
             ExecBackend::model(),
             false,
             None,
+            None,
+            false,
         )
         .unwrap();
         assert!(s.contains("dispatch:"), "{s}");
@@ -427,16 +497,28 @@ mod tests {
                 ExecBackend::model(),
                 true,
                 None,
+                None,
+                false,
             )
             .unwrap();
             assert!(s.contains("sanitizer:"), "{s}");
             assert!(s.contains(" 0 violations"), "{s}");
         }
-        let s = cmd_bfs(&a, 0, "tile", ExecBackend::model(), true, None).unwrap();
+        let s = cmd_bfs(&a, 0, "tile", ExecBackend::model(), true, None, None, false).unwrap();
         assert!(s.contains("sanitizer:"), "{s}");
         assert!(s.contains(" 0 violations"), "{s}");
         // Sanitizing is an engine feature; baseline algorithms reject it.
-        assert!(cmd_bfs(&a, 0, "gunrock", ExecBackend::model(), true, None).is_err());
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "gunrock",
+            ExecBackend::model(),
+            true,
+            None,
+            None,
+            false
+        )
+        .is_err());
     }
 
     #[test]
@@ -470,10 +552,20 @@ mod tests {
     fn bfs_all_algorithms_run() {
         let a = banded(150, 4, 0.9, 2).to_csr();
         for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
-            let s = cmd_bfs(&a, 0, algo, ExecBackend::model(), false, None).unwrap();
+            let s = cmd_bfs(&a, 0, algo, ExecBackend::model(), false, None, None, false).unwrap();
             assert!(s.contains("reached: 150/150"), "{algo}: {s}");
         }
-        assert!(cmd_bfs(&a, 0, "nope", ExecBackend::model(), false, None).is_err());
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "nope",
+            ExecBackend::model(),
+            false,
+            None,
+            None,
+            false
+        )
+        .is_err());
     }
 
     #[test]
@@ -492,6 +584,8 @@ mod tests {
             ExecBackend::model(),
             true,
             Some(&spmspv_trace),
+            None,
+            false,
         )
         .unwrap();
         assert!(s.contains("trace:"), "{s}");
@@ -510,7 +604,17 @@ mod tests {
         );
 
         let bfs_trace = dir.join("bfs.trace.json");
-        cmd_bfs(&a, 0, "tile", ExecBackend::model(), false, Some(&bfs_trace)).unwrap();
+        cmd_bfs(
+            &a,
+            0,
+            "tile",
+            ExecBackend::model(),
+            false,
+            Some(&bfs_trace),
+            None,
+            false,
+        )
+        .unwrap();
         let doc = std::fs::read_to_string(&bfs_trace).unwrap();
         tsv_simt::trace::validate_chrome_trace(&doc).unwrap();
         let summary = std::fs::read_to_string(dir.join("bfs.trace.summary.json")).unwrap();
@@ -529,7 +633,74 @@ mod tests {
             "gunrock",
             ExecBackend::model(),
             false,
-            Some(&bfs_trace)
+            Some(&bfs_trace),
+            None,
+            false
+        )
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_and_metrics_out_produce_valid_documents() {
+        let dir = std::env::temp_dir().join("tsv-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = banded(300, 5, 0.8, 1).to_csr();
+
+        let metrics_path = dir.join("spmspv.prom");
+        let s = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::binned(),
+            ExecBackend::model(),
+            false,
+            None,
+            Some(&metrics_path),
+            true,
+        )
+        .unwrap();
+        // The utilization table lists the launched kernels with a bound
+        // classification column.
+        assert!(s.contains("utilization:"), "{s}");
+        assert!(s.contains("bound"), "{s}");
+        assert!(s.contains("spmspv/"), "{s}");
+        assert!(s.contains("metrics:"), "{s}");
+
+        // The exposition on disk revalidates and carries the launch
+        // counters the run just incremented.
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let check = tsv_simt::metrics::validate_prometheus_text(&text).unwrap();
+        assert!(check.series > 0);
+        assert!(text.contains("tsv_simt_launches_total"), "{text}");
+        assert!(text.contains("tsv_engine_phase_ns"), "{text}");
+        assert!(text.contains("tsv_engine_multiplies_total"), "{text}");
+
+        // BFS accepts the same flags on the tiled engine and rejects
+        // --report on baselines (no profiler to read).
+        let s = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            ExecBackend::model(),
+            false,
+            None,
+            Some(&dir.join("bfs.prom")),
+            true,
+        )
+        .unwrap();
+        assert!(s.contains("utilization:"), "{s}");
+        assert!(s.contains("metrics:"), "{s}");
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "gunrock",
+            ExecBackend::model(),
+            false,
+            None,
+            None,
+            true
         )
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -563,6 +734,8 @@ mod tests {
             ExecBackend::model(),
             false,
             None,
+            None,
+            false,
         )
         .unwrap();
         let native = cmd_spmspv(
@@ -574,6 +747,8 @@ mod tests {
             ExecBackend::native(Some(2)),
             false,
             None,
+            None,
+            false,
         )
         .unwrap();
         assert!(native.contains("backend: native:2"), "{native}");
@@ -587,7 +762,17 @@ mod tests {
         };
         assert_eq!(stable(&model), stable(&native));
 
-        let s = cmd_bfs(&a, 0, "tile", ExecBackend::native(Some(2)), false, None).unwrap();
+        let s = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            ExecBackend::native(Some(2)),
+            false,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
         assert!(
             s.contains("reached: 150/150") || s.contains("reached: 200/200"),
             "{s}"
@@ -607,6 +792,8 @@ mod tests {
             ExecBackend::native(Some(2)),
             true,
             None,
+            None,
+            false,
         )
         .unwrap_err();
         assert!(
@@ -614,13 +801,33 @@ mod tests {
                 .contains("--sanitize requires the model backend"),
             "{err}"
         );
-        let err = cmd_bfs(&a, 0, "tile", ExecBackend::native(Some(2)), true, None).unwrap_err();
+        let err = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            ExecBackend::native(Some(2)),
+            true,
+            None,
+            None,
+            false,
+        )
+        .unwrap_err();
         assert!(
             err.to_string()
                 .contains("--sanitize requires the model backend"),
             "{err}"
         );
         // Baseline algorithms have no backend either.
-        assert!(cmd_bfs(&a, 0, "gunrock", ExecBackend::native(Some(2)), false, None).is_err());
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "gunrock",
+            ExecBackend::native(Some(2)),
+            false,
+            None,
+            None,
+            false
+        )
+        .is_err());
     }
 }

@@ -6,8 +6,10 @@
 //! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
 //!             [--balance direct|binned[:target[:split]]]
 //!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
+//!             [--metrics-out F] [--report]
 //! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
 //!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
+//!             [--metrics-out F] [--report]
 //! tsv convert <in> <out.mtx>
 //!
 //! `--backend` selects the execution substrate: `model` (the default)
@@ -23,7 +25,18 @@
 //!
 //! `--trace-out F` writes a Chrome Trace Format document to `F` (open in
 //! Perfetto / chrome://tracing) and a machine-readable run summary to
-//! `F` with extension `.summary.json`.
+//! `F` with extension `.summary.json`. If the trace ring overflowed, the
+//! summary's `trace.events_dropped` counts the evicted spans and a
+//! warning is printed on stderr.
+//!
+//! `--metrics-out F` dumps the process-wide metrics registry (kernel
+//! launches, per-phase latency histograms, workspace high-water gauges,
+//! dispatch occupancy) as Prometheus text exposition to `F`.
+//!
+//! `--report` appends a roofline utilization table: each kernel's
+//! achieved memory bandwidth and flop rate as fractions of the device
+//! peaks, and whether the cost model says it is memory-, compute-,
+//! atomic- or overhead-bound.
 //!
 //! <matrix>: a .mtx file, `suite:<name>[:scale]`, or `gen:<family>:<n>[...]`
 //! (see `tsv_cli::source`).
@@ -76,6 +89,8 @@ fn run() -> Result<(), CliError> {
             };
             let sanitize = flag_set(&args, "--sanitize");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
+            let metrics_out = flag_str(&args, "--metrics-out").map(std::path::PathBuf::from);
+            let report = flag_set(&args, "--report");
             print!(
                 "{}",
                 cmd_spmspv(
@@ -86,7 +101,9 @@ fn run() -> Result<(), CliError> {
                     balance,
                     backend,
                     sanitize,
-                    trace_out.as_deref()
+                    trace_out.as_deref(),
+                    metrics_out.as_deref(),
+                    report,
                 )?
             );
         }
@@ -101,9 +118,20 @@ fn run() -> Result<(), CliError> {
             };
             let sanitize = flag_set(&args, "--sanitize");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
+            let metrics_out = flag_str(&args, "--metrics-out").map(std::path::PathBuf::from);
+            let report = flag_set(&args, "--report");
             print!(
                 "{}",
-                cmd_bfs(&a, source, &algo, backend, sanitize, trace_out.as_deref())?
+                cmd_bfs(
+                    &a,
+                    source,
+                    &algo,
+                    backend,
+                    sanitize,
+                    trace_out.as_deref(),
+                    metrics_out.as_deref(),
+                    report,
+                )?
             );
         }
         "convert" => {
@@ -134,8 +162,10 @@ const USAGE: &str = "usage:
   tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
               [--balance direct|binned[:target[:split]]]
               [--backend model|native[:threads]] [--sanitize] [--trace-out F]
+              [--metrics-out F] [--report]
   tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
               [--backend model|native[:threads]] [--sanitize] [--trace-out F]
+              [--metrics-out F] [--report]
   tsv convert <matrix> <out.mtx>
 
 --backend selects the execution substrate: model (default) is the
@@ -148,6 +178,13 @@ It replays modeled warp schedules, so it requires --backend model.
 
 --trace-out writes Chrome Trace JSON to F plus a run summary to
 F.summary.json (load the trace in Perfetto or chrome://tracing).
+
+--metrics-out dumps the process-wide metrics registry (launches,
+phase latencies, workspace high-water marks, dispatch occupancy) as
+Prometheus text exposition to F.
+
+--report appends a per-kernel roofline utilization table (achieved
+GB/s and GFLOP/s vs device peaks, bound classification).
 
 <matrix>: a .mtx file, suite:<name>[:tiny|small|medium], or
           gen:<family>:<n>[:<param>[:<seed>]]

@@ -75,6 +75,33 @@ fn trace_out_flag_emits_documents() {
 }
 
 #[test]
+fn metrics_out_and_report_flags_emit_documents() {
+    let dir = std::env::temp_dir().join("tsv_cli_metrics_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prom = dir.join("spmspv.prom");
+    let (stdout, stderr, ok) = tsv(&[
+        "spmspv",
+        "gen:banded:300:5",
+        "--sparsity",
+        "0.05",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+        "--report",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("utilization:"), "{stdout}");
+    assert!(stdout.contains("bound"), "{stdout}");
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    let text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        text.contains("# TYPE tsv_simt_launches_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("tsv_engine_phase_ns"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let (_, stderr, ok) = tsv(&["info", "/no/such/file.mtx"]);
     assert!(!ok);

@@ -222,6 +222,20 @@ impl BfsWorkspace {
         self.reallocs
     }
 
+    /// Approximate resident scratch bytes (capacities, not lengths) — the
+    /// quantity behind the `tsv_engine_workspace_bytes{engine="bfs"}`
+    /// high-water gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        let frontier_words = |f: &BitFrontier| f.words().len() as u64 * 8;
+        frontier_words(&self.x)
+            + frontier_words(&self.m)
+            + frontier_words(&self.y)
+            + frontier_words(&self.unvisited)
+            + self.y_atomic.len() as u64 * 8
+            + self.y_words.capacity() as u64 * 8
+            + self.frontier.capacity() as u64 * 4
+    }
+
     /// Zeroes the run/realloc counters without touching the buffers, so a
     /// fresh measurement window starts from zero while steady-state reuse
     /// is preserved (the next traversal still won't reallocate).

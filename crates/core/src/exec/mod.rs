@@ -42,6 +42,78 @@ use tsv_simt::stats::KernelStats;
 use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
 
+/// Process-lifetime instrument handles for the engine layer (see
+/// [`tsv_simt::metrics`]): per-phase latency histograms, dispatch-shape
+/// distributions, lifecycle counters and workspace high-water gauges.
+/// Handles are cached in `LazyLock`s so the registry mutex is touched
+/// once per series per process, never on the multiply path; when the
+/// registry is disabled, [`emetrics::begin`] skips the clock read and an
+/// event costs one branch.
+pub(crate) mod emetrics {
+    use std::sync::{Arc, LazyLock};
+    use std::time::Instant;
+    use tsv_simt::metrics::{self, Counter, Gauge, Histogram};
+
+    fn phase(label: &str) -> Arc<Histogram> {
+        metrics::global().histogram(&metrics::series("tsv_engine_phase_ns", &[("phase", label)]))
+    }
+
+    pub static COMPRESS: LazyLock<Arc<Histogram>> = LazyLock::new(|| phase("spmspv/compress-x"));
+    pub static PLAN: LazyLock<Arc<Histogram>> = LazyLock::new(|| phase("spmspv/dispatch-plan"));
+    pub static KERNEL_ROW: LazyLock<Arc<Histogram>> =
+        LazyLock::new(|| phase("spmspv/row-tile-kernel"));
+    pub static KERNEL_COL: LazyLock<Arc<Histogram>> =
+        LazyLock::new(|| phase("spmspv/col-tile-kernel"));
+    pub static COO: LazyLock<Arc<Histogram>> = LazyLock::new(|| phase("spmspv/coo-pass"));
+    pub static COMPACT: LazyLock<Arc<Histogram>> = LazyLock::new(|| phase("spmspv/compact"));
+    pub static MULTIPLY: LazyLock<Arc<Histogram>> = LazyLock::new(|| phase("spmspv/multiply"));
+    pub static BFS_ITER: LazyLock<Arc<Histogram>> = LazyLock::new(|| phase("bfs/iteration"));
+
+    pub static MULTIPLIES: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| metrics::global().counter("tsv_engine_multiplies_total"));
+    pub static BFS_RUNS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| metrics::global().counter("tsv_engine_bfs_runs_total"));
+    pub static RESETS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| metrics::global().counter("tsv_engine_resets_total"));
+    pub static BACKEND_SWITCHES: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| metrics::global().counter("tsv_engine_backend_switches_total"));
+
+    pub static WS_SPMSPV: LazyLock<Arc<Gauge>> = LazyLock::new(|| {
+        metrics::global().gauge(&metrics::series(
+            "tsv_engine_workspace_bytes",
+            &[("engine", "spmspv")],
+        ))
+    });
+    pub static WS_BFS: LazyLock<Arc<Gauge>> = LazyLock::new(|| {
+        metrics::global().gauge(&metrics::series(
+            "tsv_engine_workspace_bytes",
+            &[("engine", "bfs")],
+        ))
+    });
+
+    pub static DISPATCH_PLANS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| metrics::global().counter("tsv_dispatch_plans_total"));
+    pub static DISPATCH_WARPS: LazyLock<Arc<Histogram>> =
+        LazyLock::new(|| metrics::global().histogram("tsv_dispatch_warps_per_plan"));
+    pub static DISPATCH_IMBALANCE: LazyLock<Arc<Histogram>> =
+        LazyLock::new(|| metrics::global().histogram("tsv_dispatch_imbalance_pct"));
+
+    /// Timestamp for a phase observation — `None` (no clock read) when
+    /// the registry is disabled.
+    #[inline]
+    pub fn begin(h: &Histogram) -> Option<Instant> {
+        h.is_enabled().then(Instant::now)
+    }
+
+    /// Completes a phase observation started by [`begin`].
+    #[inline]
+    pub fn end(h: &Histogram, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            h.observe(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// Cumulative workspace accounting, exposed so callers (and the repro
 /// harness) can verify that iterative use is allocation- and scan-stable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -149,7 +221,30 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
         }
         if reshaped {
             self.metrics.scratch_reshapes += 1;
+            emetrics::WS_SPMSPV.set(self.approx_bytes() as f64);
         }
+    }
+
+    /// Approximate resident scratch bytes (capacities, not lengths) — the
+    /// quantity behind the `tsv_engine_workspace_bytes{engine="spmspv"}`
+    /// high-water gauge. Updated on every reshape, which is when the
+    /// footprint can change.
+    pub fn approx_bytes(&self) -> u64 {
+        let t = std::mem::size_of::<T>() as u64;
+        let mut b = self.y.capacity() as u64 * t
+            + self.touched.len() as u64 * 8
+            + self.touched_list.capacity() as u64 * 4
+            + self.worklist.capacity() as u64 * 4
+            + self.unit_weights.capacity() as u64 * 8
+            + self.out_indices.capacity() as u64 * 4
+            + self.out_vals.capacity() as u64 * t;
+        if let Some(xt) = &self.xt {
+            b += xt.payload_fingerprint().1 as u64 * t;
+        }
+        for c in &self.contribs {
+            b += c.capacity() as u64 * (4 + t);
+        }
+        b
     }
 
     /// The cumulative accounting for this workspace.
@@ -341,7 +436,9 @@ where
     } = ws;
     let xt = xt.as_mut().expect("workspace prepared");
     let t_compress = trace::start(tracer);
+    let m_compress = emetrics::begin(&emetrics::COMPRESS);
     xt.refill(x, S::zero());
+    emetrics::end(&emetrics::COMPRESS, m_compress);
     trace::phase(tracer, "spmspv/compress-x", t_compress);
 
     let kernel = match opts.kernel {
@@ -364,6 +461,10 @@ where
     };
 
     let t_kernel = trace::start(tracer);
+    let m_kernel = emetrics::begin(match kernel {
+        KernelUsed::RowTile => &emetrics::KERNEL_ROW,
+        KernelUsed::ColTile => &emetrics::KERNEL_COL,
+    });
     // One sanitizer epoch per kernel launch: the tile kernel's shadow
     // accesses are analyzed at its barrier, before the COO pass opens a
     // fresh epoch — a plain store here and an atomic merge there never
@@ -397,6 +498,7 @@ where
             // list, then bin it into warps. Its traffic is device work and
             // is charged into the kernel's stats.
             let t_plan = trace::start(tracer);
+            let m_plan = emetrics::begin(&emetrics::PLAN);
             let mut plan_stats = KernelStats::default();
             match kernel {
                 KernelUsed::RowTile => {
@@ -417,12 +519,12 @@ where
             }
             let stats = DispatchStats::from_plan(plan, worklist.len());
             dispatch = Some(stats);
-            trace::dispatch(
-                tracer,
-                "spmspv/dispatch-plan",
-                stats.to_trace_info(),
-                t_plan,
-            );
+            emetrics::end(&emetrics::PLAN, m_plan);
+            let info = stats.to_trace_info();
+            emetrics::DISPATCH_PLANS.inc();
+            emetrics::DISPATCH_WARPS.observe(info.warps as u64);
+            emetrics::DISPATCH_IMBALANCE.observe((info.imbalance() * 100.0) as u64);
+            trace::dispatch(tracer, "spmspv/dispatch-plan", info, t_plan);
             plan_stats
                 + match kernel {
                     KernelUsed::RowTile => row_kernel_binned_semiring::<S, _>(
@@ -435,6 +537,13 @@ where
         }
     };
     sanitize::barrier(san);
+    emetrics::end(
+        match kernel {
+            KernelUsed::RowTile => &emetrics::KERNEL_ROW,
+            KernelUsed::ColTile => &emetrics::KERNEL_COL,
+        },
+        m_kernel,
+    );
     trace::phase(
         tracer,
         match kernel {
@@ -449,18 +558,25 @@ where
     // will actually run.
     let coo_active = a.extra().nnz() > 0 && x.nnz() > 0;
     let t_coo = trace::start(tracer);
+    let m_coo = if coo_active {
+        emetrics::begin(&emetrics::COO)
+    } else {
+        None
+    };
     if coo_active {
         sanitize::begin(san, "spmspv/coo-pass", a.nt());
     }
     stats += coo_kernel_semiring::<S, _>(backend, a, x, y, contribs, touched, san);
     if coo_active {
         sanitize::barrier(san);
+        emetrics::end(&emetrics::COO, m_coo);
         trace::phase(tracer, "spmspv/coo-pass", t_coo);
     }
 
     // Compact and reset only the row tiles the kernels wrote, staging the
     // result in the workspace's recyclable output buffers.
     let t_compact = trace::start(tracer);
+    let m_compact = emetrics::begin(&emetrics::COMPACT);
     drain_touched(touched, touched_list);
     let nt = a.nt();
     let n = a.nrows();
@@ -481,6 +597,7 @@ where
         metrics.slots_reset += nt as u64;
     }
     metrics.calls += 1;
+    emetrics::end(&emetrics::COMPACT, m_compact);
     trace::phase(tracer, "spmspv/compact", t_compact);
 
     Ok(ExecReport {
@@ -611,6 +728,7 @@ where
     /// model-only: attaching one while a native backend is selected is the
     /// caller's error (the CLI rejects the combination up front).
     pub fn set_backend(&mut self, backend: ExecBackend) {
+        emetrics::BACKEND_SWITCHES.inc();
         self.backend = backend;
     }
 
@@ -622,8 +740,11 @@ where
     /// Starts a fresh measurement window: clears the profiler and zeroes
     /// the workspace accounting. The prepared matrix, the warm scratch and
     /// any attached tracer are kept, so measurement restarts without
-    /// rebuild or reallocation.
+    /// rebuild or reallocation. The process-lifetime metrics registry
+    /// (`tsv_simt::metrics`) is deliberately *not* cleared — it
+    /// accumulates across resets.
     pub fn reset(&mut self) {
+        emetrics::RESETS.inc();
         self.profiler.clear();
         self.ws.reset_metrics();
     }
@@ -650,6 +771,8 @@ where
         trace::kernel(tracer, report.kernel.trace_label(), report.stats, t0);
         self.profiler
             .record(report.kernel.trace_label(), report.stats, wall);
+        emetrics::MULTIPLIES.inc();
+        emetrics::MULTIPLY.observe(wall.as_nanos() as u64);
         Ok((y, report))
     }
 
@@ -680,6 +803,8 @@ where
         trace::kernel(tracer, report.kernel.trace_label(), report.stats, t0);
         self.profiler
             .record(report.kernel.trace_label(), report.stats, wall);
+        emetrics::MULTIPLIES.inc();
+        emetrics::MULTIPLY.observe(wall.as_nanos() as u64);
         let (old_i, old_v) = y
             .replace_parts(
                 self.a.nrows(),
@@ -818,6 +943,7 @@ impl BfsEngine {
     /// [`SpMSpVEngine::set_backend`]; the same model-only sanitizer rule
     /// applies.
     pub fn set_backend(&mut self, backend: ExecBackend) {
+        emetrics::BACKEND_SWITCHES.inc();
         self.backend = backend;
     }
 
@@ -828,8 +954,10 @@ impl BfsEngine {
 
     /// Starts a fresh measurement window: clears the profiler and zeroes
     /// the workspace run/realloc counters. The prepared graph, the warm
-    /// frontier buffers and any attached tracer are kept.
+    /// frontier buffers and any attached tracer are kept. The
+    /// process-lifetime metrics registry accumulates across resets.
     pub fn reset(&mut self) {
+        emetrics::RESETS.inc();
         self.profiler.clear();
         self.ws.reset_counters();
     }
@@ -850,6 +978,11 @@ impl BfsEngine {
         for it in &r.iterations {
             self.profiler
                 .record(it.kernel.trace_label(), it.stats, it.wall);
+            emetrics::BFS_ITER.observe(it.wall.as_nanos() as u64);
+        }
+        emetrics::BFS_RUNS.inc();
+        if emetrics::WS_BFS.is_enabled() {
+            emetrics::WS_BFS.set(self.ws.approx_bytes() as f64);
         }
         Ok(r)
     }

@@ -19,9 +19,11 @@ use crate::tile::TileMatrix;
 use std::fmt::Write as _;
 use tsv_simt::device::DeviceConfig;
 use tsv_simt::json;
-use tsv_simt::model::kernel_time;
+use tsv_simt::model::{kernel_time, SCATTER_PENALTY};
 use tsv_simt::profile::Profiler;
 use tsv_simt::sanitize::SanitizerSummary;
+use tsv_simt::stats::KernelStats;
+use tsv_simt::trace::Tracer;
 
 /// Schema version of [`RunSummary::to_json`]. Version 2 added the
 /// `dispatch` array (per-plan warp-occupancy and work-imbalance views of
@@ -29,7 +31,12 @@ use tsv_simt::sanitize::SanitizerSummary;
 /// (launches analyzed, shadow accesses logged, conflicts detected by the
 /// race sanitizer). Version 4 added the `backend` string (which execution
 /// substrate ran the kernels: `"model"` or `"native:<threads>"`).
-pub const SCHEMA_VERSION: u32 = 4;
+/// Version 5 added `lane_steps` to kernel rows, the `utilization` array
+/// (per-kernel roofline attribution: achieved bandwidth / flop rate as
+/// fractions of the [`DeviceConfig`] peaks, with a bound classification)
+/// and the optional `trace` object (`events`, `events_dropped` — ring
+/// overflow accounting from the tracer).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One row of the per-kernel table.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +61,9 @@ pub struct KernelSummary {
     pub atomics: u64,
     /// Warps launched.
     pub warps: u64,
+    /// Lane-iterations executed (occupancy/divergence measure; feeds the
+    /// compute term of the roofline at 0.25 ops per step).
+    pub lane_steps: u64,
 }
 
 /// One row of the per-iteration BFS timeline.
@@ -130,6 +140,157 @@ impl DispatchSummary {
     }
 }
 
+/// Which roofline term dominated a kernel's modeled time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// The memory term (streamed + penalized scattered traffic over peak
+    /// bandwidth) was largest.
+    Memory,
+    /// The compute term (flops + bitops + lane-step overhead over peak
+    /// flop rate) was largest.
+    Compute,
+    /// The atomic-throughput term was largest.
+    Atomic,
+    /// Fixed costs (per-launch overhead plus warp scheduling) exceeded
+    /// every roofline term — the kernel is too small to saturate anything.
+    Overhead,
+}
+
+impl BoundKind {
+    /// Lower-case name used in JSON and tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundKind::Memory => "memory",
+            BoundKind::Compute => "compute",
+            BoundKind::Atomic => "atomic",
+            BoundKind::Overhead => "overhead",
+        }
+    }
+}
+
+/// Per-kernel roofline attribution: where one kernel's modeled time went,
+/// expressed as achieved rates and as fractions of the device peaks.
+///
+/// The fractions restate the cost model's own terms: each is (term time)
+/// / (modeled time). Because the modeled body is `max(mem, compute,
+/// atomic) / sqrt(occupancy)` with `occupancy <= 1`, and launch/schedule
+/// overhead only adds on top, every fraction is provably `<= 1.0` — a
+/// kernel cannot appear to exceed a [`DeviceConfig`] peak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelUtilization {
+    /// Kernel label, matching the [`KernelSummary`] row.
+    pub label: String,
+    /// Raw global-memory traffic over modeled time, GB/s (no scatter
+    /// penalty — this is the bandwidth the kernel actually achieved).
+    pub achieved_gbps: f64,
+    /// ALU throughput (flops + bitops + 0.25·lane_steps) over modeled
+    /// time, GFLOP/s.
+    pub achieved_gflops: f64,
+    /// Memory-term time as a fraction of modeled time (penalized traffic
+    /// over peak bandwidth; in `[0, 1]`).
+    pub bw_fraction: f64,
+    /// Compute-term time as a fraction of modeled time (in `[0, 1]`).
+    pub flop_fraction: f64,
+    /// Atomic-term time as a fraction of modeled time (in `[0, 1]`).
+    pub atomic_fraction: f64,
+    /// Which term dominated.
+    pub bound: BoundKind,
+}
+
+impl KernelUtilization {
+    /// Attribution for `launches` launches whose summed counters are
+    /// `stats` and whose modeled total is `modeled_ms` — the figures a
+    /// [`KernelSummary`] row carries.
+    pub fn from_launches(
+        label: impl Into<String>,
+        stats: &KernelStats,
+        launches: usize,
+        modeled_ms: f64,
+        device: &DeviceConfig,
+    ) -> Self {
+        let label = label.into();
+        let modeled_secs = modeled_ms * 1e-3;
+        // Degenerate (zero, negative or NaN) modeled time: no meaningful
+        // rates, report zero utilization.
+        if modeled_secs.is_nan() || modeled_secs <= 0.0 {
+            return KernelUtilization {
+                label,
+                achieved_gbps: 0.0,
+                achieved_gflops: 0.0,
+                bw_fraction: 0.0,
+                flop_fraction: 0.0,
+                atomic_fraction: 0.0,
+                bound: BoundKind::Overhead,
+            };
+        }
+        // Mirror `tsv_simt::model::kernel_time` term for term so the
+        // fractions are exact restatements of the cost model.
+        let scattered = stats.gmem_scattered_bytes as f64;
+        let streamed = stats
+            .gmem_bytes()
+            .saturating_sub(stats.gmem_scattered_bytes) as f64;
+        let mem_secs = (streamed + SCATTER_PENALTY * scattered) / device.peak_bytes_per_sec();
+        let alu_ops = stats.flops as f64 + stats.bitops as f64 + 0.25 * stats.lane_steps as f64;
+        let compute_secs = alu_ops / device.peak_flops();
+        let atomic_secs = stats.atomics as f64 / device.atomics_per_sec;
+        let overhead_secs = launches as f64 * device.launch_overhead_us * 1e-6
+            + stats.warps as f64 * device.warp_sched_ns * 1e-9 / device.sm_count as f64;
+
+        let body_max = mem_secs.max(compute_secs).max(atomic_secs);
+        let bound = if overhead_secs > body_max {
+            BoundKind::Overhead
+        } else if mem_secs >= compute_secs && mem_secs >= atomic_secs {
+            BoundKind::Memory
+        } else if compute_secs >= atomic_secs {
+            BoundKind::Compute
+        } else {
+            BoundKind::Atomic
+        };
+
+        KernelUtilization {
+            label,
+            achieved_gbps: stats.gmem_bytes() as f64 / modeled_secs / 1e9,
+            achieved_gflops: alu_ops / modeled_secs / 1e9,
+            bw_fraction: mem_secs / modeled_secs,
+            flop_fraction: compute_secs / modeled_secs,
+            atomic_fraction: atomic_secs / modeled_secs,
+            bound,
+        }
+    }
+
+    /// Attribution computed from one recorded [`KernelSummary`] row.
+    pub fn from_row(row: &KernelSummary, device: &DeviceConfig) -> Self {
+        let stats = KernelStats {
+            gmem_read_bytes: row.gmem_bytes,
+            gmem_write_bytes: 0,
+            gmem_scattered_bytes: row.gmem_scattered_bytes,
+            atomics: row.atomics,
+            flops: row.flops,
+            bitops: row.bitops,
+            warps: row.warps,
+            lane_steps: row.lane_steps,
+        };
+        Self::from_launches(
+            row.label.clone(),
+            &stats,
+            row.launches,
+            row.modeled_ms,
+            device,
+        )
+    }
+}
+
+/// Tracer ring accounting: how many events the ring holds and how many
+/// were evicted because it wrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Events currently held in the ring.
+    pub events: u64,
+    /// Events evicted by ring overflow — nonzero means the exported trace
+    /// is missing its oldest spans.
+    pub events_dropped: u64,
+}
+
 /// A structured, exportable account of one run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
@@ -141,6 +302,7 @@ pub struct RunSummary {
     histograms: Vec<Histogram>,
     dispatch: Vec<DispatchSummary>,
     sanitizer: Option<SanitizerSummary>,
+    trace: Option<TraceSummary>,
 }
 
 impl RunSummary {
@@ -157,6 +319,7 @@ impl RunSummary {
             histograms: Vec::new(),
             dispatch: Vec::new(),
             sanitizer: None,
+            trace: None,
         }
     }
 
@@ -187,6 +350,7 @@ impl RunSummary {
                 bitops: e.stats.bitops,
                 atomics: e.stats.atomics,
                 warps: e.stats.warps,
+                lane_steps: e.stats.lane_steps,
             });
         }
     }
@@ -297,6 +461,55 @@ impl RunSummary {
         self.sanitizer
     }
 
+    /// Records the tracer's ring accounting. Call after the run so the
+    /// exported document says whether the trace is complete: a nonzero
+    /// `events_dropped` means the ring wrapped and the oldest spans were
+    /// evicted.
+    pub fn record_trace(&mut self, tracer: &Tracer) {
+        self.trace = Some(TraceSummary {
+            events: tracer.len() as u64,
+            events_dropped: tracer.dropped(),
+        });
+    }
+
+    /// The recorded tracer ring accounting, if any.
+    pub fn trace(&self) -> Option<TraceSummary> {
+        self.trace
+    }
+
+    /// Roofline attribution for every recorded kernel row, in row order.
+    pub fn utilization(&self) -> Vec<KernelUtilization> {
+        self.kernels
+            .iter()
+            .map(|k| KernelUtilization::from_row(k, &self.device))
+            .collect()
+    }
+
+    /// Renders [`RunSummary::utilization`] as an aligned, human-readable
+    /// table (the `--report` view).
+    pub fn utilization_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>9} {:>7} {:>9} {:>7} {:>9}",
+            "kernel", "launches", "GB/s", "%bw", "GFLOP/s", "%flop", "bound"
+        );
+        for (k, u) in self.kernels.iter().zip(self.utilization()) {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>9.3} {:>6.1}% {:>9.3} {:>6.1}% {:>9}",
+                u.label,
+                k.launches,
+                u.achieved_gbps,
+                u.bw_fraction * 100.0,
+                u.achieved_gflops,
+                u.flop_fraction * 100.0,
+                u.bound.as_str(),
+            );
+        }
+        out
+    }
+
     /// The dispatch-plan rows recorded so far.
     pub fn dispatch(&self) -> &[DispatchSummary] {
         &self.dispatch
@@ -339,7 +552,7 @@ impl RunSummary {
                 out,
                 "{{\"label\":\"{}\",\"launches\":{},\"wall_ms\":{},\"modeled_ms\":{},\
                  \"gmem_bytes\":{},\"gmem_scattered_bytes\":{},\"flops\":{},\"bitops\":{},\
-                 \"atomics\":{},\"warps\":{}}}",
+                 \"atomics\":{},\"warps\":{},\"lane_steps\":{}}}",
                 json::escape(&k.label),
                 k.launches,
                 json::number(k.wall_ms),
@@ -350,6 +563,7 @@ impl RunSummary {
                 k.bitops,
                 k.atomics,
                 k.warps,
+                k.lane_steps,
             );
         }
         out.push(']');
@@ -436,11 +650,39 @@ impl RunSummary {
         }
         out.push(']');
 
+        out.push_str(",\"utilization\":[");
+        for (i, u) in self.utilization().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"achieved_gbps\":{},\"achieved_gflops\":{},\
+                 \"bw_fraction\":{},\"flop_fraction\":{},\"atomic_fraction\":{},\
+                 \"bound\":\"{}\"}}",
+                json::escape(&u.label),
+                json::number(u.achieved_gbps),
+                json::number(u.achieved_gflops),
+                json::number(u.bw_fraction),
+                json::number(u.flop_fraction),
+                json::number(u.atomic_fraction),
+                u.bound.as_str(),
+            );
+        }
+        out.push(']');
+
         if let Some(s) = &self.sanitizer {
             let _ = write!(
                 out,
                 ",\"sanitizer\":{{\"launches\":{},\"accesses\":{},\"violations\":{}}}",
                 s.launches, s.accesses, s.violations,
+            );
+        }
+        if let Some(t) = &self.trace {
+            let _ = write!(
+                out,
+                ",\"trace\":{{\"events\":{},\"events_dropped\":{}}}",
+                t.events, t.events_dropped,
             );
         }
         out.push('}');
@@ -674,6 +916,142 @@ mod tests {
             v.get("backend").and_then(JsonValue::as_str),
             Some("native:4")
         );
+    }
+
+    #[test]
+    fn utilization_fractions_are_bounded_and_consistent_with_profiler() {
+        let p = Profiler::new();
+        // A memory-heavy kernel, a compute-heavy kernel, an atomic-heavy
+        // kernel, and a tiny launch that is pure overhead.
+        let mut mem = KernelStats::default();
+        mem.read(512 << 20);
+        mem.read_scattered(64 << 20);
+        mem.warps = 4096;
+        let mut comp = KernelStats::default();
+        comp.read(1024);
+        comp.flop(4_000_000_000);
+        comp.bitop(500_000_000);
+        comp.lane_steps = 2_000_000_000;
+        comp.warps = 4096;
+        let mut atom = KernelStats::default();
+        atom.read(1024);
+        atom.atomic(2_000_000_000);
+        atom.warps = 4096;
+        let mut tiny = KernelStats::default();
+        tiny.read(64);
+        tiny.flop(8);
+        tiny.warps = 1;
+        p.record("mem-bound", mem, std::time::Duration::from_millis(1));
+        p.record("compute-bound", comp, std::time::Duration::from_millis(1));
+        p.record("atomic-bound", atom, std::time::Duration::from_millis(1));
+        p.record("overhead-bound", tiny, std::time::Duration::from_micros(5));
+        p.record("overhead-bound", tiny, std::time::Duration::from_micros(5));
+
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        summary.record_profiler(&p);
+        let rows = summary.utilization();
+        assert_eq!(rows.len(), summary.kernels().len());
+
+        for (k, u) in summary.kernels().iter().zip(&rows) {
+            assert_eq!(k.label, u.label);
+            // Every fraction is a share of the kernel's own modeled time,
+            // which upper-bounds each roofline term by construction.
+            for f in [u.bw_fraction, u.flop_fraction, u.atomic_fraction] {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "{}: fraction {f} out of range",
+                    u.label
+                );
+            }
+            // Fractions restate the profiler's modeled figures exactly:
+            // term time = fraction * modeled time.
+            let modeled_secs = k.modeled_ms * 1e-3;
+            let scattered = k.gmem_scattered_bytes as f64;
+            let streamed = (k.gmem_bytes - k.gmem_scattered_bytes) as f64;
+            let mem_secs = (streamed + SCATTER_PENALTY * scattered) / RTX_3060.peak_bytes_per_sec();
+            assert!(
+                (u.bw_fraction * modeled_secs - mem_secs).abs() <= 1e-12 + 1e-9 * mem_secs,
+                "{}: bw term mismatch",
+                u.label
+            );
+            let alu = k.flops as f64 + k.bitops as f64 + 0.25 * k.lane_steps as f64;
+            assert!(
+                (u.achieved_gflops * modeled_secs * 1e9 - alu).abs() <= 1e-6 * alu.max(1.0),
+                "{}: flop rate mismatch",
+                u.label
+            );
+            assert!(
+                (u.achieved_gbps * modeled_secs * 1e9 - k.gmem_bytes as f64).abs()
+                    <= 1e-6 * k.gmem_bytes as f64,
+                "{}: bandwidth mismatch",
+                u.label
+            );
+        }
+
+        let bound_of = |label: &str| rows.iter().find(|u| u.label == label).unwrap().bound;
+        assert_eq!(bound_of("mem-bound"), BoundKind::Memory);
+        assert_eq!(bound_of("compute-bound"), BoundKind::Compute);
+        assert_eq!(bound_of("atomic-bound"), BoundKind::Atomic);
+        assert_eq!(bound_of("overhead-bound"), BoundKind::Overhead);
+
+        // The table lists every kernel with its bound classification.
+        let table = summary.utilization_table();
+        for u in &rows {
+            assert!(table.contains(&u.label), "table missing {}", u.label);
+        }
+        assert!(table.contains("memory") && table.contains("overhead"));
+
+        // And the JSON view carries the same rows.
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        let util = v.get("utilization").unwrap().as_array().unwrap();
+        assert_eq!(util.len(), rows.len());
+        for (row, u) in util.iter().zip(&rows) {
+            assert_eq!(
+                row.get("label").and_then(JsonValue::as_str),
+                Some(u.label.as_str())
+            );
+            assert_eq!(
+                row.get("bound").and_then(JsonValue::as_str),
+                Some(u.bound.as_str())
+            );
+            let f = row.get("bw_fraction").and_then(JsonValue::as_f64).unwrap();
+            assert!((f - u.bw_fraction).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_modeled_time_yields_zero_utilization() {
+        let u =
+            KernelUtilization::from_launches("noop", &KernelStats::default(), 0, 0.0, &RTX_3060);
+        assert_eq!(u.achieved_gbps, 0.0);
+        assert_eq!(u.bw_fraction, 0.0);
+        assert_eq!(u.bound, BoundKind::Overhead);
+    }
+
+    #[test]
+    fn trace_object_is_absent_until_recorded_and_counts_drops() {
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        assert!(summary.trace().is_none());
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        assert!(v.get("trace").is_none());
+
+        // A two-slot ring fed five events evicts three.
+        let tracer = tsv_simt::trace::Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            tracer.record("ev", "kernel", i, 1, None, None);
+        }
+        summary.record_trace(&tracer);
+        assert_eq!(
+            summary.trace(),
+            Some(TraceSummary {
+                events: 2,
+                events_dropped: 3
+            })
+        );
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        let t = v.get("trace").unwrap();
+        assert_eq!(t.get("events").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(t.get("events_dropped").and_then(JsonValue::as_u64), Some(3));
     }
 
     #[test]

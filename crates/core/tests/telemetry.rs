@@ -5,7 +5,7 @@ use std::sync::Arc;
 use tsv_core::bfs::{policy, KernelKind, KernelSet, PolicyThresholds};
 use tsv_core::exec::{BfsEngine, SpMSpVEngine};
 use tsv_core::semiring::PlusTimes;
-use tsv_core::telemetry::RunSummary;
+use tsv_core::telemetry::{BoundKind, RunSummary};
 use tsv_core::tile::TileConfig;
 use tsv_simt::device::RTX_3060;
 use tsv_simt::json::JsonValue;
@@ -274,5 +274,135 @@ fn sanitized_bfs_is_race_free_and_feeds_the_run_summary() {
     assert_eq!(
         obj.get("launches").and_then(JsonValue::as_u64),
         Some(s.launches)
+    );
+}
+
+#[test]
+fn engine_utilization_is_bounded_and_consistent_with_profiler() {
+    let a = layered_graph();
+    let mut bfs = BfsEngine::from_csr(&a).unwrap();
+    bfs.run(0).unwrap();
+    let mut spmspv = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    for seed in 0..3 {
+        let x = random_sparse_vector(a.ncols(), 0.02, seed);
+        spmspv.multiply(&x).unwrap();
+    }
+
+    let mut summary = RunSummary::new("utilization", RTX_3060);
+    summary.record_profiler(bfs.profiler());
+    summary.record_profiler(spmspv.profiler());
+
+    let rows = summary.utilization();
+    assert_eq!(rows.len(), summary.kernels().len());
+    for (u, k) in rows.iter().zip(summary.kernels()) {
+        assert_eq!(u.label, k.label);
+        // Roofline fractions are time shares of the modeled launch time,
+        // which is at least the max of the component terms — so every
+        // fraction is a true utilization in [0, 1].
+        for (f, what) in [
+            (u.bw_fraction, "bw"),
+            (u.flop_fraction, "flop"),
+            (u.atomic_fraction, "atomic"),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{}: {what} fraction {f}", k.label);
+        }
+        // Achieved bandwidth reconstructs the profiler's byte counter.
+        let modeled_secs = k.modeled_ms * 1e-3;
+        assert!(modeled_secs > 0.0, "{}", k.label);
+        let expect_gbps = k.gmem_bytes as f64 / modeled_secs / 1e9;
+        assert!(
+            (u.achieved_gbps - expect_gbps).abs() <= 1e-9 * expect_gbps.max(1.0),
+            "{}: {} vs {}",
+            k.label,
+            u.achieved_gbps,
+            expect_gbps
+        );
+        assert!(matches!(
+            u.bound,
+            BoundKind::Memory | BoundKind::Compute | BoundKind::Atomic | BoundKind::Overhead
+        ));
+    }
+
+    // The JSON export carries one utilization row per kernel row, and the
+    // human table names every kernel.
+    let v = tsv_simt::json::parse(&summary.to_json()).unwrap();
+    let util = v.get("utilization").unwrap().as_array().unwrap();
+    assert_eq!(util.len(), rows.len());
+    let table = summary.utilization_table();
+    for k in summary.kernels() {
+        assert!(table.contains(&k.label), "{} missing from table", k.label);
+    }
+}
+
+#[test]
+fn disabled_metrics_registry_records_nothing_during_engine_runs() {
+    // The global registry is shared by every test in this binary; other
+    // tests only increment (they never toggle enablement), so flipping it
+    // off here and snapshotting inside the disabled window is race-free.
+    let reg = tsv_simt::metrics::global();
+    let a = layered_graph();
+    let xs: Vec<_> = (0..5)
+        .map(|s| random_sparse_vector(a.ncols(), 0.05, s))
+        .collect();
+
+    let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+    engine.multiply(&xs[0]).unwrap();
+
+    let multiplies = |text: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix("tsv_engine_multiplies_total "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .map(|v| v as u64)
+            .expect("multiplies counter exported")
+    };
+
+    reg.set_enabled(false);
+    let before = multiplies(&reg.prometheus_text());
+    let mut bare_results = Vec::new();
+    for x in &xs {
+        bare_results.push(engine.multiply(x).unwrap().0);
+    }
+    let after = multiplies(&reg.prometheus_text());
+    reg.set_enabled(true);
+
+    // None of our five multiplies reached the counter: the only cost a
+    // disabled registry may impose is the enabled-flag branch per event.
+    // (< xs.len() rather than == before: other tests in this binary share
+    // the global registry and an increment that passed its enabled check
+    // just before we flipped the flag may still land inside our window.)
+    assert!(
+        after - before < xs.len() as u64,
+        "disabled registry recorded: {before} -> {after}"
+    );
+
+    // Re-enabled, the same engine immediately records again, and the
+    // results were unaffected either way.
+    let (y, _) = engine.multiply(&xs[0]).unwrap();
+    assert!(y.max_abs_diff(&bare_results[0]) == 0.0);
+    assert!(
+        multiplies(&reg.prometheus_text()) > after,
+        "re-enabled registry records"
+    );
+}
+
+#[test]
+fn ring_overflow_is_accounted_in_the_run_summary() {
+    let a = layered_graph();
+    // A 4-slot ring under a full BFS (a dozen-plus spans) must overflow.
+    let tracer = Arc::new(Tracer::with_capacity(4));
+    let mut bfs = BfsEngine::from_csr_traced(&a, Some(Arc::clone(&tracer))).unwrap();
+    bfs.run(0).unwrap();
+
+    assert_eq!(tracer.len(), 4, "ring keeps only the newest spans");
+    assert!(tracer.dropped() > 0, "older spans must have been evicted");
+
+    let mut summary = RunSummary::new("overflow", RTX_3060);
+    summary.record_trace(&tracer);
+    let v = tsv_simt::json::parse(&summary.to_json()).unwrap();
+    let trace = v.get("trace").unwrap();
+    assert_eq!(trace.get("events").and_then(JsonValue::as_u64), Some(4));
+    assert_eq!(
+        trace.get("events_dropped").and_then(JsonValue::as_u64),
+        Some(tracer.dropped())
     );
 }

@@ -205,10 +205,19 @@ impl NativeBackend {
             .build()
             .expect("native backend: failed to build thread pool");
         let threads = pool.current_num_threads();
+        crate::metrics::global()
+            .gauge("tsv_simt_pool_threads{backend=\"native\"}")
+            .set(threads as f64);
         NativeBackend {
             pool: Arc::new(pool),
             threads,
         }
+    }
+
+    /// Folds one launch's counters into the process-lifetime registry.
+    #[inline]
+    fn record(stats: &KernelStats) {
+        crate::metrics::native_launch_metrics().record(stats);
     }
 }
 
@@ -235,7 +244,7 @@ impl Backend for NativeBackend {
     where
         F: Fn(&mut WarpCtx) + Sync,
     {
-        self.pool.install(|| {
+        let stats: KernelStats = self.pool.install(|| {
             (0..n_warps)
                 .into_par_iter()
                 .map(|warp_id| {
@@ -244,7 +253,9 @@ impl Backend for NativeBackend {
                     ctx.stats
                 })
                 .sum()
-        })
+        });
+        Self::record(&stats);
+        stats
     }
 
     fn launch_over_chunks<T, F>(
@@ -259,7 +270,7 @@ impl Backend for NativeBackend {
         F: Fn(&mut WarpCtx, &mut [T]) + Sync,
     {
         grid::check_chunked(label, output.len(), chunk_len);
-        self.pool.install(|| {
+        let stats: KernelStats = self.pool.install(|| {
             output
                 .par_chunks_mut(chunk_len)
                 .enumerate()
@@ -269,7 +280,9 @@ impl Backend for NativeBackend {
                     ctx.stats
                 })
                 .sum()
-        })
+        });
+        Self::record(&stats);
+        stats
     }
 
     fn launch_over_worklist<T, F>(
@@ -285,7 +298,7 @@ impl Backend for NativeBackend {
         F: Fn(&mut WarpCtx, u32, &mut [T]) + Sync,
     {
         let chunks = grid::carve_worklist(label, output, chunk_len, worklist);
-        self.pool.install(|| {
+        let stats: KernelStats = self.pool.install(|| {
             chunks
                 .into_par_iter()
                 .map(|(warp_id, unit, chunk)| {
@@ -294,7 +307,9 @@ impl Backend for NativeBackend {
                     ctx.stats
                 })
                 .sum()
-        })
+        });
+        Self::record(&stats);
+        stats
     }
 
     fn launch_binned<T, F>(&self, plan: &BinPlan, scratch: &mut [T], body: F) -> KernelStats
@@ -309,7 +324,7 @@ impl Backend for NativeBackend {
             scratch.len(),
             n
         );
-        self.pool.install(|| {
+        let stats: KernelStats = self.pool.install(|| {
             scratch[..n]
                 .par_iter_mut()
                 .enumerate()
@@ -319,7 +334,9 @@ impl Backend for NativeBackend {
                     ctx.stats
                 })
                 .sum()
-        })
+        });
+        Self::record(&stats);
+        stats
     }
 }
 

@@ -108,10 +108,12 @@ where
         body(&mut ctx);
         ctx.stats
     };
-    match schedule_order(n_warps) {
+    let stats: KernelStats = match schedule_order(n_warps) {
         None => (0..n_warps).into_par_iter().map(run).sum(),
         Some(order) => order.into_par_iter().map(run).sum(),
-    }
+    };
+    crate::metrics::model_launch_metrics().record(&stats);
+    stats
 }
 
 /// Asserts the chunked-launch size contract shared by every backend:
@@ -200,13 +202,15 @@ where
         ctx.stats
     };
     let n_warps = output.len() / chunk_len;
-    match schedule_order(n_warps) {
+    let stats: KernelStats = match schedule_order(n_warps) {
         None => output.par_chunks_mut(chunk_len).enumerate().map(run).sum(),
         Some(order) => {
             let chunks: Vec<(usize, &mut [T])> = output.chunks_mut(chunk_len).enumerate().collect();
             apply_order(chunks, &order).into_par_iter().map(run).sum()
         }
-    }
+    };
+    crate::metrics::model_launch_metrics().record(&stats);
+    stats
 }
 
 /// Launches one warp per *listed* unit: `output` is conceptually split into
@@ -239,10 +243,12 @@ where
         body(&mut ctx, unit, chunk);
         ctx.stats
     };
-    match schedule_order(chunks.len()) {
+    let stats: KernelStats = match schedule_order(chunks.len()) {
         None => chunks.into_par_iter().map(run).sum(),
         Some(order) => apply_order(chunks, &order).into_par_iter().map(run).sum(),
-    }
+    };
+    crate::metrics::model_launch_metrics().record(&stats);
+    stats
 }
 
 /// One entry of a warp's work in a binned launch: a unit, or a slice of one.
@@ -431,13 +437,15 @@ where
         body(&mut ctx, plan.warp(warp_id), slot);
         ctx.stats
     };
-    match schedule_order(n) {
+    let stats: KernelStats = match schedule_order(n) {
         None => scratch[..n].par_iter_mut().enumerate().map(run).sum(),
         Some(order) => {
             let slots: Vec<(usize, &mut T)> = scratch[..n].iter_mut().enumerate().collect();
             apply_order(slots, &order).into_par_iter().map(run).sum()
         }
-    }
+    };
+    crate::metrics::model_launch_metrics().record(&stats);
+    stats
 }
 
 /// Outcome of a [`replay_check`] run.

@@ -31,6 +31,7 @@ pub mod backend;
 pub mod device;
 pub mod grid;
 pub mod json;
+pub mod metrics;
 pub mod model;
 pub mod profile;
 pub mod sanitize;
@@ -44,6 +45,7 @@ pub use grid::{
     launch, launch_binned, launch_over_chunks, launch_over_worklist, replay_check, with_schedule,
     Assignment, BinPlan, ReplayReport, SchedulePolicy,
 };
+pub use metrics::MetricsRegistry;
 pub use profile::Profiler;
 pub use sanitize::Sanitizer;
 pub use stats::KernelStats;

@@ -1,0 +1,836 @@
+//! Process-lifetime metrics registry.
+//!
+//! The tracer ([`crate::trace`]) and [`crate::profile::Profiler`] describe
+//! *one run*: they are cleared on engine reset and their output is
+//! per-invocation. This module is the complementary view — a registry of
+//! counters, gauges and histograms that lives as long as the process and
+//! keeps accumulating across engine resets, backend switches and workload
+//! changes. It is the substrate a long-lived serving front end scrapes.
+//!
+//! Design constraints (mirrored from the tracer/sanitizer precedent):
+//!
+//! * **Dependency-free.** Hand-rolled Prometheus text exposition and JSON
+//!   (via [`crate::json`]); atomics from `std` only.
+//! * **Always-on but cheap.** Every instrument shares one `AtomicBool`
+//!   enabled flag (relaxed load). When disabled, an event costs exactly one
+//!   branch; when enabled, a counter increment is one relaxed atomic add.
+//!   No locks are taken on the event path — the registry mutex is touched
+//!   only at registration (once per series per process) and at exposition.
+//! * **Monotone where it matters.** Counters only go up; gauges track a
+//!   high-water mark alongside the current value so a scrape after the
+//!   burst still sees the peak.
+//!
+//! Series names follow Prometheus conventions and carry their labels
+//! inline: `tsv_simt_launches_total{backend="model"}`. [`series`] builds
+//! such keys. Exposition groups series into families (the name up to `{`)
+//! and emits one `# TYPE` line per family.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json;
+use crate::stats::KernelStats;
+
+/// Number of log2 buckets in a [`Histogram`].
+///
+/// Bucket 0 holds the value 0; bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k)`, i.e. its inclusive upper bound is `2^k - 1`. The last
+/// bucket additionally absorbs everything above its lower bound.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    on: Arc<AtomicBool>,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(on: Arc<AtomicBool>) -> Self {
+        Counter {
+            on,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the owning registry currently records events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on.load(Relaxed)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. One relaxed atomic when enabled, one branch when not.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.on.load(Relaxed) {
+            self.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A gauge: a current value plus the highest value ever set.
+///
+/// Values are `f64` (stored as bits in an `AtomicU64`). NaN sets are
+/// ignored so exposition never has to encode a NaN.
+pub struct Gauge {
+    on: Arc<AtomicBool>,
+    bits: AtomicU64,
+    high_bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new(on: Arc<AtomicBool>) -> Self {
+        Gauge {
+            on,
+            bits: AtomicU64::new(0f64.to_bits()),
+            high_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Whether the owning registry currently records events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on.load(Relaxed)
+    }
+
+    /// Sets the current value and folds it into the high-water mark.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !self.on.load(Relaxed) || v.is_nan() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Relaxed);
+        let mut cur = self.high_bits.load(Relaxed);
+        while v > f64::from_bits(cur) {
+            match self
+                .high_bits
+                .compare_exchange_weak(cur, v.to_bits(), Relaxed, Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value (0 until the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+
+    /// Highest value ever set, or `None` before the first `set`.
+    pub fn high_water(&self) -> Option<f64> {
+        let h = f64::from_bits(self.high_bits.load(Relaxed));
+        (h > f64::NEG_INFINITY).then_some(h)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` observations.
+pub struct Histogram {
+    on: Arc<AtomicBool>,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(on: Arc<AtomicBool>) -> Self {
+        Histogram {
+            on,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the owning registry currently records events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on.load(Relaxed)
+    }
+
+    /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`,
+    /// clamped to the last bucket.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (the Prometheus `le` label);
+    /// `None` for the open-ended last bucket.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i + 1 < HIST_BUCKETS).then(|| (1u64 << i) - 1)
+    }
+
+    /// Records one observation. Three relaxed atomics when enabled, one
+    /// branch when not.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !self.on.load(Relaxed) {
+            return;
+        }
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative).
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Relaxed))
+    }
+}
+
+/// Builds a series key: `name{k1="v1",k2="v2"}` (or just `name` with no
+/// labels). Label values are JSON/Prometheus-escaped.
+pub fn series(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut s = String::with_capacity(name.len() + 16 * labels.len());
+    s.push_str(name);
+    s.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", json::escape(v));
+    }
+    s.push('}');
+    s
+}
+
+/// Splits a series key into `(family, labels-with-braces-or-empty)`.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    }
+}
+
+/// Splices an extra `le="..."` label into a series key's label set.
+fn with_le(name: &str, labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{name}{{le=\"{le}\"}}")
+    } else {
+        // labels is `{...}`; insert before the closing brace.
+        format!("{name}{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// The registry: a named collection of instruments sharing one enabled
+/// flag. Use [`global`] for the process-wide instance that all built-in
+/// instrumentation reports to; fresh instances are for tests.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether instruments record events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Turns recording on or off for every instrument of this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Gets or creates the counter named `key`.
+    pub fn counter(&self, key: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry(key.to_string())
+                .or_insert_with(|| Arc::new(Counter::new(Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// Gets or creates the gauge named `key`.
+    pub fn gauge(&self, key: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(
+            map.entry(key.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new(Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// Gets or creates the histogram named `key`.
+    pub fn histogram(&self, key: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(key.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// Number of registered series across all kinds.
+    pub fn series_count(&self) -> usize {
+        self.counters.lock().unwrap().len()
+            + self.gauges.lock().unwrap().len()
+            + self.histograms.lock().unwrap().len()
+    }
+
+    /// Prometheus text-format exposition of every registered series.
+    ///
+    /// Counters expose their value; gauges expose the current value plus a
+    /// `<family>_highwater` gauge; histograms expose cumulative
+    /// `<family>_bucket{le=...}` series, `<family>_sum` and
+    /// `<family>_count`. Families are `# TYPE`-declared once, series are
+    /// emitted in sorted order (BTreeMap), so output is deterministic.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut declare = |out: &mut String, family: &str, kind: &str| {
+            if typed.insert(family.to_string()) {
+                let _ = writeln!(out, "# TYPE {family} {kind}");
+            }
+        };
+
+        for (key, c) in self.counters.lock().unwrap().iter() {
+            let (family, labels) = split_key(key);
+            declare(&mut out, family, "counter");
+            let _ = writeln!(out, "{family}{labels} {}", c.get());
+        }
+        for (key, g) in self.gauges.lock().unwrap().iter() {
+            let (family, labels) = split_key(key);
+            declare(&mut out, family, "gauge");
+            let _ = writeln!(out, "{family}{labels} {}", fmt_f64(g.get()));
+            let hw_family = format!("{family}_highwater");
+            declare(&mut out, &hw_family, "gauge");
+            let hw = g.high_water().unwrap_or(0.0);
+            let _ = writeln!(out, "{hw_family}{labels} {}", fmt_f64(hw));
+        }
+        for (key, h) in self.histograms.lock().unwrap().iter() {
+            let (family, labels) = split_key(key);
+            declare(&mut out, family, "histogram");
+            let counts = h.bucket_counts();
+            let mut cum = 0u64;
+            for (i, n) in counts.iter().enumerate() {
+                cum += n;
+                // Empty buckets below the data are elided (keeps 32-bucket
+                // series readable); the cumulative contract still holds
+                // because cum carries forward.
+                if *n == 0 && i + 1 < HIST_BUCKETS {
+                    continue;
+                }
+                let le = match Histogram::bucket_bound(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let bkey = with_le(&format!("{family}_bucket"), labels, &le);
+                let _ = writeln!(out, "{bkey} {cum}");
+            }
+            let _ = writeln!(out, "{family}_sum{labels} {}", h.sum());
+            let _ = writeln!(out, "{family}_count{labels} {}", h.count());
+        }
+        out
+    }
+
+    /// JSON export of the full registry, parseable by [`crate::json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema_version\":1,");
+        let _ = write!(out, "\"enabled\":{},", self.is_enabled());
+
+        out.push_str("\"counters\":[");
+        for (i, (key, c)) in self.counters.lock().unwrap().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"value\":{}}}",
+                json::escape(key),
+                c.get()
+            );
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (key, g)) in self.gauges.lock().unwrap().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"value\":{},\"high_water\":{}}}",
+                json::escape(key),
+                json::number(g.get()),
+                json::number(g.high_water().unwrap_or(0.0))
+            );
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, (key, h)) in self.histograms.lock().unwrap().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[",
+                json::escape(key),
+                h.count(),
+                h.sum()
+            );
+            let counts = h.bucket_counts();
+            let mut first = true;
+            for (b, n) in counts.iter().enumerate() {
+                if *n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let le = match Histogram::bucket_bound(b) {
+                    Some(bound) => format!("\"{bound}\""),
+                    None => "\"+Inf\"".to_string(),
+                };
+                let _ = write!(out, "{{\"le\":{le},\"count\":{n}}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// The process-wide registry all built-in instrumentation reports to.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+// ---------------------------------------------------------------------------
+// Built-in launch instrumentation (hot path: handles cached in statics).
+// ---------------------------------------------------------------------------
+
+/// Cached handles for per-launch accounting of one backend.
+pub struct LaunchMetrics {
+    /// Kernel launches.
+    pub launches: Arc<Counter>,
+    /// Warps executed.
+    pub warps: Arc<Counter>,
+    /// Lane-iterations executed (per-thread work proxy).
+    pub lane_steps: Arc<Counter>,
+    /// Warps per launch — the grid/pool occupancy distribution.
+    pub warps_per_launch: Arc<Histogram>,
+}
+
+impl LaunchMetrics {
+    fn for_backend(backend: &str) -> Self {
+        let reg = global();
+        let l = [("backend", backend)];
+        LaunchMetrics {
+            launches: reg.counter(&series("tsv_simt_launches_total", &l)),
+            warps: reg.counter(&series("tsv_simt_warps_total", &l)),
+            lane_steps: reg.counter(&series("tsv_simt_lane_steps_total", &l)),
+            warps_per_launch: reg.histogram(&series("tsv_simt_warps_per_launch", &l)),
+        }
+    }
+
+    /// Folds one launch's summed counters into the registry.
+    #[inline]
+    pub fn record(&self, stats: &KernelStats) {
+        if !self.launches.is_enabled() {
+            return; // one branch covers all four series
+        }
+        self.launches.inc();
+        self.warps.add(stats.warps);
+        self.lane_steps.add(stats.lane_steps);
+        self.warps_per_launch.observe(stats.warps);
+    }
+}
+
+/// Handles for the modeled-grid launch path (cached after first use).
+pub fn model_launch_metrics() -> &'static LaunchMetrics {
+    static M: OnceLock<LaunchMetrics> = OnceLock::new();
+    M.get_or_init(|| LaunchMetrics::for_backend("model"))
+}
+
+/// Handles for the native-backend launch path (cached after first use).
+pub fn native_launch_metrics() -> &'static LaunchMetrics {
+    static M: OnceLock<LaunchMetrics> = OnceLock::new();
+    M.get_or_init(|| LaunchMetrics::for_backend("native"))
+}
+
+// ---------------------------------------------------------------------------
+// Exposition validation (used by the CLI after writing --metrics-out and by
+// the CI smoke step via `tsv`'s self-check).
+// ---------------------------------------------------------------------------
+
+/// What [`validate_prometheus_text`] verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    /// `# TYPE`-declared metric families.
+    pub families: usize,
+    /// Sample lines.
+    pub series: usize,
+}
+
+/// Structurally validates a Prometheus text exposition: every sample line
+/// parses (`name[{labels}] value`), belongs to a `# TYPE`-declared family
+/// (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes, gauges
+/// the `_highwater` suffix), and histogram bucket series are cumulative
+/// with `_count` equal to the `+Inf` bucket.
+pub fn validate_prometheus_text(text: &str) -> Result<ExpositionSummary, String> {
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut series_n = 0usize;
+    // (family) -> (last cumulative bucket value, saw +Inf, count value)
+    let mut hist_state: BTreeMap<String, (u64, Option<u64>, Option<u64>)> = BTreeMap::new();
+
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (it.next(), it.next(), it.next()) else {
+                return Err(format!("line {ln}: malformed TYPE line {line:?}"));
+            };
+            if !["counter", "gauge", "histogram"].contains(&kind) {
+                return Err(format!("line {ln}: unknown metric kind {kind:?}"));
+            }
+            if kinds.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {ln}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or other comment
+        }
+
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {ln}: no value in {line:?}"))?;
+        if value != "+Inf" && value != "-Inf" && value.parse::<f64>().is_err() {
+            return Err(format!("line {ln}: unparseable value {value:?}"));
+        }
+        let (name, labels) = split_key(name_labels);
+        if !valid_metric_name(name) {
+            return Err(format!("line {ln}: invalid metric name {name:?}"));
+        }
+        if !labels.is_empty() {
+            validate_labels(labels).map_err(|e| format!("line {ln}: {e}"))?;
+        }
+        series_n += 1;
+
+        // Resolve the declaring family.
+        let family = if kinds.contains_key(name) {
+            name.to_string()
+        } else {
+            let stripped = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|f| kinds.get(*f).map(String::as_str) == Some("histogram"));
+            match stripped {
+                Some(f) => f.to_string(),
+                None => return Err(format!("line {ln}: series {name} has no TYPE declaration")),
+            }
+        };
+
+        if kinds.get(&family).map(String::as_str) == Some("histogram") {
+            let v: u64 = value
+                .parse::<f64>()
+                .map_err(|_| format!("line {ln}: histogram value {value:?}"))?
+                as u64;
+            if name.ends_with("_bucket") {
+                let bare = labels_without_le(labels);
+                let st = hist_state.entry(format!("{family}{bare}")).or_default();
+                if v < st.0 {
+                    return Err(format!(
+                        "line {ln}: histogram {family} buckets not cumulative ({v} < {})",
+                        st.0
+                    ));
+                }
+                st.0 = v;
+                if labels.contains("le=\"+Inf\"") {
+                    st.1 = Some(v);
+                }
+            } else if name.ends_with("_count") {
+                let st = hist_state.entry(format!("{family}{labels}")).or_default();
+                st.2 = Some(v);
+            }
+        }
+    }
+
+    for (key, (_, inf, count)) in hist_state {
+        match (inf, count) {
+            (Some(i), Some(c)) if i != c => {
+                return Err(format!("histogram {key}: +Inf bucket {i} != count {c}"));
+            }
+            (None, Some(_)) => {
+                return Err(format!("histogram {key}: missing +Inf bucket"));
+            }
+            _ => {}
+        }
+    }
+
+    Ok(ExpositionSummary {
+        families: kinds.len(),
+        series: series_n,
+    })
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn validate_labels(labels: &str) -> Result<(), String> {
+    let inner = labels
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("malformed label set {labels:?}"))?;
+    // Split on commas outside quotes.
+    let mut depth_quote = false;
+    let mut start = 0usize;
+    let bytes = inner.as_bytes();
+    let mut parts = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => depth_quote = !depth_quote,
+            b',' if !depth_quote => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    for p in parts {
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| format!("label {p:?} has no '='"))?;
+        if !valid_metric_name(k) {
+            return Err(format!("invalid label name {k:?}"));
+        }
+        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+            return Err(format!("label value {v:?} not quoted"));
+        }
+    }
+    Ok(())
+}
+
+fn labels_without_le(labels: &str) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner = &labels[1..labels.len() - 1];
+    let kept: Vec<&str> = inner.split(',').filter(|p| !p.starts_with("le=")).collect();
+    if kept.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", kept.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("tsv_test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(Arc::ptr_eq(&c, &reg.counter("tsv_test_total")));
+
+        let g = reg.gauge("tsv_test_bytes");
+        assert_eq!(g.high_water(), None);
+        g.set(10.0);
+        g.set(3.0);
+        assert_eq!(g.get(), 3.0);
+        assert_eq!(g.high_water(), Some(10.0));
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 3.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 <- 0; bucket k <- [2^(k-1), 2^k).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Bound of bucket k is 2^k - 1, matching the index rule.
+        for k in 0..HIST_BUCKETS - 1 {
+            let b = Histogram::bucket_bound(k).unwrap();
+            assert_eq!(Histogram::bucket_index(b), k.max(usize::from(b > 0)));
+            if b < u64::MAX {
+                assert!(Histogram::bucket_index(b + 1) > k || k == HIST_BUCKETS - 1);
+            }
+        }
+        assert_eq!(Histogram::bucket_bound(HIST_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_observe_and_export() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("tsv_test_ns");
+        for v in [0u64, 1, 2, 3, 900, 1 << 40] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 906 + (1 << 40));
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[10], 1); // 900 in [512, 1024)
+        assert_eq!(counts[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("tsv_test_total");
+        let g = reg.gauge("tsv_test_gauge");
+        let h = reg.histogram("tsv_test_hist");
+        reg.set_enabled(false);
+        c.inc();
+        g.set(7.0);
+        h.observe(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(g.high_water(), None);
+        assert_eq!(h.count(), 0);
+        reg.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_validates_and_lists_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter(&series("tsv_x_total", &[("backend", "model")]))
+            .add(3);
+        reg.gauge("tsv_ws_bytes").set(128.0);
+        let h = reg.histogram(&series("tsv_lat_ns", &[("phase", "spmspv/kernel")]));
+        h.observe(5);
+        h.observe(700);
+        let text = reg.prometheus_text();
+        let summary = validate_prometheus_text(&text).expect("valid exposition");
+        assert_eq!(summary.families, 4); // x_total, ws_bytes, ws_bytes_highwater, lat_ns
+        assert!(text.contains("# TYPE tsv_x_total counter"));
+        assert!(text.contains("tsv_x_total{backend=\"model\"} 3"));
+        assert!(text.contains("tsv_ws_bytes_highwater 128.0"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_prometheus_text("tsv_undeclared 1\n").is_err());
+        assert!(validate_prometheus_text("# TYPE tsv_x counter\ntsv_x notanumber\n").is_err());
+        assert!(validate_prometheus_text("# TYPE tsv_x widget\n").is_err());
+        let bad_cum = "# TYPE tsv_h histogram\n\
+                       tsv_h_bucket{le=\"1\"} 5\n\
+                       tsv_h_bucket{le=\"+Inf\"} 3\n\
+                       tsv_h_sum 9\ntsv_h_count 3\n";
+        assert!(validate_prometheus_text(bad_cum).is_err());
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("tsv_a_total").add(2);
+        reg.gauge("tsv_b").set(1.5);
+        reg.histogram("tsv_c").observe(9);
+        let doc = json::parse(&reg.to_json()).expect("parseable");
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+        let counters = doc.get("counters").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0].get("name").and_then(|v| v.as_str()),
+            Some("tsv_a_total")
+        );
+        assert_eq!(counters[0].get("value").and_then(|v| v.as_u64()), Some(2));
+        let gauges = doc.get("gauges").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            gauges[0].get("high_water").and_then(|v| v.as_f64()),
+            Some(1.5)
+        );
+        let hists = doc.get("histograms").and_then(|v| v.as_array()).unwrap();
+        let buckets = hists[0].get("buckets").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("le").and_then(|v| v.as_str()), Some("15"));
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("tsv_cc_total");
+        let h = reg.histogram("tsv_cc_hist");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.sum(), 8 * (999 * 1000 / 2));
+    }
+}

@@ -1,0 +1,161 @@
+//! Integration tests of the metrics registry: histogram bucket boundaries
+//! under proptest, lossless concurrent increments through the native
+//! backend's rayon pool, and exposition round-trips (Prometheus text
+//! re-validated, JSON re-parsed with the crate's own parser).
+
+use proptest::prelude::*;
+use tsv_simt::json::JsonValue;
+use tsv_simt::metrics::{
+    series, validate_prometheus_text, Histogram, MetricsRegistry, HIST_BUCKETS,
+};
+use tsv_simt::{Backend as _, NativeBackend};
+
+proptest! {
+    /// Bucket boundaries: value 0 lands in bucket 0; any v > 0 lands in
+    /// the unique bucket k with 2^(k-1) <= v < 2^k (saturating at the
+    /// open-ended last bucket), and the bucket's inclusive upper bound
+    /// brackets it. Shifting a uniform word right by a uniform amount
+    /// gives log-uniform values, so every bucket gets exercised.
+    #[test]
+    fn bucket_index_brackets_every_value(raw in 0u64..u64::MAX, shift in 0u32..64u32) {
+        let v = raw >> shift;
+        let k = Histogram::bucket_index(v);
+        prop_assert!(k < HIST_BUCKETS);
+        if v == 0 {
+            prop_assert_eq!(k, 0);
+        } else if k < HIST_BUCKETS - 1 {
+            // Lower edge: bucket k >= 1 starts at 2^(k-1).
+            prop_assert!(v >= 1u64 << (k - 1), "v={v} below bucket {k}");
+            // Upper edge: inclusive bound is 2^k - 1.
+            let bound = Histogram::bucket_bound(k).unwrap();
+            prop_assert!(v <= bound, "v={v} above bound {bound} of bucket {k}");
+            if k >= 1 {
+                let below = Histogram::bucket_bound(k - 1).unwrap();
+                prop_assert!(v > below, "v={v} not above bucket {}'s bound {below}", k - 1);
+            }
+        } else {
+            // The last bucket is open-ended.
+            prop_assert_eq!(Histogram::bucket_bound(k), None);
+            prop_assert!(v > Histogram::bucket_bound(HIST_BUCKETS - 2).unwrap());
+        }
+    }
+
+    /// Observing any set of values preserves exact count and sum, and the
+    /// per-bucket counts total the observation count.
+    #[test]
+    fn observations_are_conserved(values in proptest::collection::vec(0u64..u64::MAX, 0..64usize)) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t_conserve");
+        let mut expect_sum = 0u64;
+        for &v in &values {
+            h.observe(v);
+            expect_sum = expect_sum.wrapping_add(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), expect_sum);
+        let total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(total, values.len() as u64);
+    }
+
+    /// Adjacent bucket bounds are strictly increasing, so the cumulative
+    /// `le` series the Prometheus exposition emits is well ordered.
+    #[test]
+    fn bucket_bounds_strictly_increase(i in 0usize..HIST_BUCKETS - 2) {
+        let a = Histogram::bucket_bound(i).unwrap();
+        let b = Histogram::bucket_bound(i + 1).unwrap();
+        prop_assert!(a < b);
+    }
+}
+
+/// Increments issued from inside the native backend's rayon pool are
+/// lossless: warps run on pool threads concurrently, and the relaxed
+/// atomics must still account for every event exactly.
+#[test]
+fn native_pool_increments_are_lossless() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("t_pool_warps");
+    let h = reg.histogram("t_pool_obs");
+    let backend = NativeBackend::new(Some(4));
+
+    let launches = 16usize;
+    let warps = 64usize;
+    for _ in 0..launches {
+        backend.launch(warps, |_ctx| {
+            c.inc();
+            h.observe(3);
+        });
+    }
+    assert_eq!(c.get(), (launches * warps) as u64);
+    assert_eq!(h.count(), (launches * warps) as u64);
+    assert_eq!(h.sum(), 3 * (launches * warps) as u64);
+    // All observations of 3 land in one bucket.
+    let counts = h.bucket_counts();
+    assert_eq!(
+        counts[Histogram::bucket_index(3)],
+        (launches * warps) as u64
+    );
+
+    // The backend itself recorded the launches in the process-wide
+    // registry under the native label (>= because other tests in this
+    // binary share the global registry).
+    let text = tsv_simt::metrics::global().prometheus_text();
+    let needle = format!(
+        "{} ",
+        series("tsv_simt_launches_total", &[("backend", "native")])
+    );
+    let recorded: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(|v| v as u64)
+        .expect("native launch counter exported");
+    assert!(recorded >= launches as u64, "{recorded} < {launches}");
+}
+
+/// The Prometheus text exposition round-trips through the validator and
+/// the JSON export through the crate's own parser, with matching figures.
+#[test]
+fn expositions_round_trip() {
+    let reg = MetricsRegistry::new();
+    reg.counter(&series("t_requests_total", &[("code", "200")]))
+        .add(7);
+    reg.gauge("t_depth").set(2.5);
+    reg.gauge("t_depth").set(1.0);
+    let h = reg.histogram("t_latency");
+    for v in [0, 1, 5, 1000, u64::MAX] {
+        h.observe(v);
+    }
+
+    let text = reg.prometheus_text();
+    let check = validate_prometheus_text(&text).expect("exposition must validate");
+    // counter + gauge + gauge's high-water companion + histogram.
+    assert_eq!(check.families, 4);
+    // 1 counter sample, 2 gauge samples, 5 cumulative buckets + sum + count.
+    assert_eq!(check.series, 10);
+    assert_eq!(reg.series_count(), 3);
+
+    let v = tsv_simt::json::parse(&reg.to_json()).expect("json export must parse");
+    let counters = v.get("counters").unwrap().as_array().unwrap();
+    assert_eq!(counters.len(), 1);
+    assert_eq!(
+        counters[0].get("value").and_then(JsonValue::as_u64),
+        Some(7)
+    );
+    let gauges = v.get("gauges").unwrap().as_array().unwrap();
+    assert_eq!(
+        gauges[0].get("value").and_then(JsonValue::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        gauges[0].get("high_water").and_then(JsonValue::as_f64),
+        Some(2.5)
+    );
+    let hists = v.get("histograms").unwrap().as_array().unwrap();
+    assert_eq!(hists[0].get("count").and_then(JsonValue::as_u64), Some(5));
+    let buckets = hists[0].get("buckets").unwrap().as_array().unwrap();
+    let total: u64 = buckets
+        .iter()
+        .map(|b| b.get("count").and_then(JsonValue::as_u64).unwrap())
+        .sum();
+    assert_eq!(total, 5);
+}

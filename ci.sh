@@ -58,7 +58,14 @@ cargo test --release -q -p tsv-simt -p tsv-core
 # balance mode against the dense oracle) and the backend-equivalence
 # property tests, with the native rayon pool at one thread and at four.
 # PlusTimes must be bit-identical to the modeled grid at every width.
+# Then the same equivalence suites pinned to the SELL-C-σ slab format
+# (TSV_FORMAT selects the tile storage the conformance cases run with) at
+# both widths — the lane-blocked bodies must hold the same bit-identity.
 TSV_NATIVE_THREADS=1 cargo test --release -q --test conformance_dense --test proptest_backend
 TSV_NATIVE_THREADS=4 cargo test --release -q --test conformance_dense --test proptest_backend
+TSV_FORMAT=sell TSV_NATIVE_THREADS=1 cargo test --release -q --test conformance_dense --test proptest_backend
+TSV_FORMAT=sell TSV_NATIVE_THREADS=4 cargo test --release -q --test conformance_dense --test proptest_backend
 ./target/release/tsv spmspv gen:rmat:12 --backend native:4 | grep 'backend: native:4' >/dev/null
 ./target/release/tsv bfs gen:grid:64 --backend native:2 | grep 'backend: native:2' >/dev/null
+./target/release/tsv spmspv gen:rmat:12 --format sell --backend native:4 | grep 'format: sell' >/dev/null
+./target/release/tsv bfs gen:grid:64 --format sell:8 | grep 'format: sell' >/dev/null

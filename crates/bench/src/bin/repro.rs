@@ -16,11 +16,14 @@
 //! the committed baselines in `DIR` and exits non-zero when a row
 //! regresses by more than 25%. It also writes native-backend wall-clock
 //! tables (`BENCH_spmspv_native.json`, `BENCH_bfs_native.json`) over a
-//! thread-count sweep; those are host-dependent and never gated. `report`
-//! regenerates fresh bench rows, diffs them against the committed
-//! baselines (`--check DIR`, default `results/baselines`) and renders a
-//! markdown perf-trajectory report — per-case modeled-time deltas,
-//! roofline utilization and regression flags — to `<out>/REPORT.md`.
+//! thread-count sweep × both tile storage formats (tile-CSR and SELL-C-σ
+//! slabs, each row carrying a `format` field and SELL rows their padding
+//! ratio); those are host-dependent and never gated. `report` regenerates
+//! fresh bench rows, diffs them against the committed baselines
+//! (`--check DIR`, default `results/baselines`) and renders a markdown
+//! perf-trajectory report — per-case modeled-time deltas, roofline
+//! utilization, regression flags and a tile-CSR vs SELL native
+//! comparison — to `<out>/REPORT.md`.
 //! `sanitize` runs every SpMSpV kernel ×
 //! balance mode × semiring (and a full BFS) over the representative
 //! corpus under the race sanitizer, then certifies schedule independence
@@ -1172,18 +1175,25 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
 /// counts (`BENCH_spmspv_native.json`, `BENCH_bfs_native.json`). Host
 /// wall time is machine-dependent, so these tables are informational
 /// only — they are never diffed against a committed baseline. Each matrix
-/// is tiled and warmed ONCE and only the backend is re-pointed per thread
-/// count, so the sweep measures the kernels, not repeated preparation.
-/// Each SpMSpV row also re-checks the substrate contract: the native
-/// output must be bit-identical to the modeled backend's.
+/// is tiled and warmed ONCE per tile storage format and only the backend
+/// is re-pointed per thread count, so the sweep measures the kernels, not
+/// repeated preparation. Each SpMSpV row also re-checks the substrate
+/// contract: the native output — in *either* format — must be
+/// bit-identical to the modeled backend's tile-CSR product. Schema v2:
+/// v1's fields plus `format` on every row and `sell_padding` on SELL
+/// SpMSpV rows.
 fn build_native_docs(scale: SuiteScale, scale_name: &str) -> (String, String) {
+    use tsv_core::bfs::BfsOptions;
     use tsv_core::exec::{BfsEngine, SpMSpVEngine};
     use tsv_core::semiring::PlusTimes;
+    use tsv_core::spmspv::{SpMSpVOptions, SpvFormat};
+    use tsv_core::tile::SellConfig;
     use tsv_simt::json;
     use tsv_simt::ExecBackend;
 
     let suite = representative(scale);
     let threads = [1usize, 2, 4];
+    let formats = [SpvFormat::TileCsr, SpvFormat::Sell(SellConfig::default())];
 
     let mut spmspv_rows = String::new();
     let mut bfs_rows = String::new();
@@ -1197,68 +1207,96 @@ fn build_native_docs(scale: SuiteScale, scale_name: &str) -> (String, String) {
         let (model_y, _) = model_engine.multiply(&x).unwrap();
         let model_bits: Vec<u64> = model_y.values().iter().map(|v| v.to_bits()).collect();
 
-        // One tiled engine and one BFS graph per matrix; the thread sweep
-        // only swaps the backend, reusing the warmed preparation.
-        let mut engine = SpMSpVEngine::<PlusTimes>::from_csr(a, TileConfig::default()).unwrap();
-        let mut bfs_engine = BfsEngine::from_csr(a).unwrap();
-
-        for &t in &threads {
-            engine.set_backend(ExecBackend::native(Some(t)));
-            let (y, _) = engine.multiply(&x).unwrap();
-            assert_eq!(y.indices(), model_y.indices(), "native support mismatch");
-            let bits: Vec<u64> = y.values().iter().map(|v| v.to_bits()).collect();
-            assert_eq!(bits, model_bits, "native must be bit-identical to model");
-            let wall = median_secs(
-                || {
-                    std::hint::black_box(engine.multiply(&x).unwrap());
+        for &format in &formats {
+            // One tiled engine (and, for SELL, one slab build) per format;
+            // the thread sweep only swaps the backend, reusing the warmed
+            // preparation.
+            let opts = SpMSpVOptions {
+                format,
+                ..Default::default()
+            };
+            let mut engine =
+                SpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+            let padding = engine.sell_stats().map(|s| s.padding_ratio());
+            let mut bfs_engine = BfsEngine::from_csr(a).unwrap();
+            bfs_engine.set_options(BfsOptions {
+                pull_lanes: match format {
+                    SpvFormat::TileCsr => 0,
+                    SpvFormat::Sell(cfg) => cfg.c,
                 },
-                3,
-                0.01,
-            );
-            if !spmspv_rows.is_empty() {
-                spmspv_rows.push(',');
-            }
-            spmspv_rows.push_str(&format!(
-                "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"backend\":\"native:{t}\",\
-                 \"threads\":{t},\"wall_ms\":{}}}",
-                json::escape(e.name),
-                a.nrows(),
-                a.nnz(),
-                json::number(wall * 1e3),
-            ));
+                ..Default::default()
+            });
 
-            bfs_engine.set_backend(ExecBackend::native(Some(t)));
-            let run = bfs_engine.run(src).unwrap();
-            let bfs_wall = median_secs(
-                || {
-                    std::hint::black_box(bfs_engine.run(src).unwrap());
-                },
-                3,
-                0.01,
-            );
-            if !bfs_rows.is_empty() {
-                bfs_rows.push(',');
+            for &t in &threads {
+                engine.set_backend(ExecBackend::native(Some(t)));
+                let (y, _) = engine.multiply(&x).unwrap();
+                assert_eq!(y.indices(), model_y.indices(), "native support mismatch");
+                let bits: Vec<u64> = y.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    bits, model_bits,
+                    "native {format} must be bit-identical to the model's tile-CSR"
+                );
+                let wall = median_secs(
+                    || {
+                        std::hint::black_box(engine.multiply(&x).unwrap());
+                    },
+                    3,
+                    0.01,
+                );
+                if !spmspv_rows.is_empty() {
+                    spmspv_rows.push(',');
+                }
+                let sell_field = match padding {
+                    Some(p) => format!(",\"sell_padding\":{}", json::number(p)),
+                    None => String::new(),
+                };
+                spmspv_rows.push_str(&format!(
+                    "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"backend\":\"native:{t}\",\
+                     \"threads\":{t},\"format\":\"{}\",\"wall_ms\":{}{sell_field}}}",
+                    json::escape(e.name),
+                    a.nrows(),
+                    a.nnz(),
+                    format.short(),
+                    json::number(wall * 1e3),
+                ));
+
+                bfs_engine.set_backend(ExecBackend::native(Some(t)));
+                let run = bfs_engine.run(src).unwrap();
+                let bfs_wall = median_secs(
+                    || {
+                        std::hint::black_box(bfs_engine.run(src).unwrap());
+                    },
+                    3,
+                    0.01,
+                );
+                if !bfs_rows.is_empty() {
+                    bfs_rows.push(',');
+                }
+                bfs_rows.push_str(&format!(
+                    "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"backend\":\"native:{t}\",\
+                     \"threads\":{t},\"format\":\"{}\",\"iterations\":{},\"reached\":{},\
+                     \"wall_ms\":{}}}",
+                    json::escape(e.name),
+                    a.nrows(),
+                    a.nnz(),
+                    format.short(),
+                    run.iterations.len(),
+                    run.reached(),
+                    json::number(bfs_wall * 1e3),
+                ));
             }
-            bfs_rows.push_str(&format!(
-                "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"backend\":\"native:{t}\",\
-                 \"threads\":{t},\"iterations\":{},\"reached\":{},\"wall_ms\":{}}}",
-                json::escape(e.name),
-                a.nrows(),
-                a.nnz(),
-                run.iterations.len(),
-                run.reached(),
-                json::number(bfs_wall * 1e3),
-            ));
         }
         println!(
-            "  {:<18} spmspv + bfs measured at {:?} thread(s)",
-            e.name, threads
+            "  {:<18} spmspv + bfs measured at {:?} thread(s) x {:?}",
+            e.name,
+            threads,
+            ["tilecsr", "sell"]
         );
     }
 
     let doc = |rows: &str| {
         format!(
-            "{{\"schema_version\":1,\"scale\":\"{scale_name}\",\"device\":\"native-cpu\",\
+            "{{\"schema_version\":2,\"scale\":\"{scale_name}\",\"device\":\"native-cpu\",\
              \"rows\":[{rows}]}}",
         )
     };
@@ -1410,6 +1448,15 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
     let (spmspv_doc, bfs_doc) = build_bench_docs(scale, scale_name);
     println!("== native-backend wall clock (informational, not gated) ==");
     let (spmspv_native, bfs_native) = build_native_docs(scale, scale_name);
+    for (file, doc) in [
+        ("BENCH_spmspv_native.json", &spmspv_native),
+        ("BENCH_bfs_native.json", &bfs_native),
+    ] {
+        tsv_simt::json::parse(doc).expect("native bench table must parse");
+        let path = out.join(file);
+        std::fs::write(&path, doc).expect("write native bench table");
+        println!("  -> wrote {} (not gated)", path.display());
+    }
 
     let mut md = String::new();
     let _ = writeln!(md, "# Performance trajectory report\n");
@@ -1505,8 +1552,8 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
         md,
         "## Native backend wall clock (informational, host-dependent)\n"
     );
-    let _ = writeln!(md, "| case | threads | wall ms |");
-    let _ = writeln!(md, "|---|---:|---:|");
+    let _ = writeln!(md, "| case | format | threads | wall ms |");
+    let _ = writeln!(md, "|---|---|---:|---:|");
     for doc in [&spmspv_native, &bfs_native] {
         let v = tsv_simt::json::parse(doc).expect("native table must parse");
         for row in v
@@ -1515,6 +1562,7 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
             .unwrap_or_default()
         {
             let name = row.get("matrix").and_then(|m| m.as_str()).unwrap_or("?");
+            let format = row.get("format").and_then(|f| f.as_str()).unwrap_or("?");
             let threads = row.get("threads").and_then(|t| t.as_u64()).unwrap_or(0);
             let wall = row.get("wall_ms").and_then(|w| w.as_f64()).unwrap_or(0.0);
             let kind = if row.get("iterations").is_some() {
@@ -1522,10 +1570,12 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
             } else {
                 "spmspv"
             };
-            let _ = writeln!(md, "| {name} ({kind}) | {threads} | {wall:.4} |");
+            let _ = writeln!(md, "| {name} ({kind}) | {format} | {threads} | {wall:.4} |");
         }
     }
     let _ = writeln!(md);
+
+    md.push_str(&format_comparison_md(&spmspv_native));
     let _ = writeln!(
         md,
         "{} case(s) regressed beyond the 25% threshold.",
@@ -1541,6 +1591,78 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
         println!("report: no regressions vs baseline");
     }
     println!();
+}
+
+/// Renders the tile-CSR vs SELL-C-σ native comparison section: for each
+/// matrix, the best wall time of each format across the thread sweep, the
+/// resulting speedup, and the slab padding ratio that explains it (low
+/// padding → the lane-blocked loops help; high padding → the slabs carry
+/// dead lanes and parity or a slowdown is expected, which is why the
+/// per-tile fallback exists). Informational, like everything wall-clock.
+fn format_comparison_md(spmspv_native: &str) -> String {
+    use std::collections::BTreeMap;
+    let v = tsv_simt::json::parse(spmspv_native).expect("native table must parse");
+    // matrix -> (best tilecsr wall, best sell wall, sell padding ratio)
+    let mut per: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new();
+    for row in v
+        .get("rows")
+        .and_then(|r| r.as_array().map(|a| a.to_vec()))
+        .unwrap_or_default()
+    {
+        let (Some(name), Some(format), Some(wall)) = (
+            row.get("matrix").and_then(|m| m.as_str()),
+            row.get("format").and_then(|f| f.as_str()),
+            row.get("wall_ms").and_then(|w| w.as_f64()),
+        ) else {
+            continue;
+        };
+        let e = per
+            .entry(name.to_string())
+            .or_insert((f64::INFINITY, f64::INFINITY, f64::NAN));
+        match format {
+            "tilecsr" => e.0 = e.0.min(wall),
+            "sell" => {
+                e.1 = e.1.min(wall);
+                if let Some(p) = row.get("sell_padding").and_then(|p| p.as_f64()) {
+                    e.2 = p;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut md = String::new();
+    let _ = writeln!(md, "## Tile-CSR vs SELL-C-σ slabs (native wall clock)\n");
+    let _ = writeln!(
+        md,
+        "Best wall time per format across the thread sweep. The padding ratio is\n\
+         `padded / real` entries of the slab build (1.0 = perfectly rectangular\n\
+         chunks); tiles whose padding would exceed the threshold fall back to\n\
+         tile-CSR, so a ratio near 1 marks the matrices where the lane-blocked\n\
+         inner loops get full SIMD lanes and a win is expected, while ragged\n\
+         matrices should show parity rather than a regression.\n"
+    );
+    let _ = writeln!(
+        md,
+        "| matrix | tilecsr ms | sell ms | sell speedup | padding |"
+    );
+    let _ = writeln!(md, "|---|---:|---:|---:|---:|");
+    for (name, (csr, sell, padding)) in &per {
+        if !csr.is_finite() || !sell.is_finite() {
+            continue;
+        }
+        let _ = writeln!(
+            md,
+            "| {name} | {csr:.4} | {sell:.4} | {:.2}x | {} |",
+            csr / sell,
+            if padding.is_nan() {
+                "—".to_string()
+            } else {
+                format!("{padding:.3}x")
+            }
+        );
+    }
+    let _ = writeln!(md);
+    md
 }
 
 /// Compares a freshly generated bench table against the committed

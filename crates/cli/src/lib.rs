@@ -10,9 +10,10 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use tsv_baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
+use tsv_core::bfs::BfsOptions;
 use tsv_core::exec::{BfsEngine, SpMSpVEngine};
 use tsv_core::semiring::PlusTimes;
-use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
+use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
 use tsv_core::telemetry::RunSummary;
 use tsv_core::tile::{TileConfig, TileMatrix, TileStats};
 use tsv_simt::backend::BackendKind;
@@ -198,6 +199,13 @@ pub fn parse_balance(spec: &str) -> Result<Balance, CliError> {
     })
 }
 
+/// Parses the `--format` flag: `tilecsr` (the baseline tile-CSR bodies,
+/// the default) or `sell[:C[:sigma]]` (SELL-C-σ slab tiles with
+/// lane-blocked inner loops; C ∈ {4, 8}, σ a positive row-sort window).
+pub fn parse_format(spec: &str) -> Result<SpvFormat, CliError> {
+    SpvFormat::parse(spec).map_err(CliError::Usage)
+}
+
 /// Parses the `--backend` flag: `model` (the modeled SIMT grid, the
 /// default) or `native[:threads]` (the rayon CPU backend, with an optional
 /// positive thread count; without one the pool sizes itself to the
@@ -257,6 +265,7 @@ pub fn cmd_spmspv(
     seed: u64,
     kernel: KernelChoice,
     balance: Balance,
+    format: SpvFormat,
     backend: ExecBackend,
     sanitize: bool,
     trace_out: Option<&Path>,
@@ -276,6 +285,7 @@ pub fn cmd_spmspv(
     let opts = SpMSpVOptions {
         kernel,
         balance,
+        format,
         ..Default::default()
     };
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
@@ -287,15 +297,25 @@ pub fn cmd_spmspv(
     let (y, exec_report) = engine.multiply(&x)?;
     let dt = t.elapsed();
     let mut out = format!(
-        "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nbackend: {backend_desc}\nkernel: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
+        "x: {} nonzeros ({:.4}% dense)\ny: {} nonzeros\nbackend: {backend_desc}\nkernel: {}\nformat: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
         x.nnz(),
         100.0 * x.sparsity(),
         y.nnz(),
         exec_report.kernel,
+        exec_report.format,
         dt.as_secs_f64() * 1e3,
         exec_report.stats.flops,
         exec_report.stats.gmem_bytes(),
     );
+    if let Some(sell) = &exec_report.sell {
+        out.push_str(&format!(
+            "sell: {} slab tiles, {} fallback, {} dense   padding {:.3}x\n",
+            sell.sell_tiles,
+            sell.fallback_tiles,
+            sell.dense_tiles,
+            sell.padding_ratio(),
+        ));
+    }
     if let Some(d) = &exec_report.dispatch {
         out.push_str(&format!(
             "dispatch: {} units -> {} warps   max/mean work {:.0}/{:.1} (imbalance {:.2})\n",
@@ -337,6 +357,7 @@ pub fn cmd_bfs(
     a: &CsrMatrix<f64>,
     source: usize,
     algo: &str,
+    format: SpvFormat,
     backend: ExecBackend,
     sanitize: bool,
     trace_out: Option<&Path>,
@@ -344,6 +365,11 @@ pub fn cmd_bfs(
     report: bool,
 ) -> Result<String, CliError> {
     check_sanitize_backend(sanitize, &backend)?;
+    if format != SpvFormat::TileCsr && algo != "tile" {
+        return Err(CliError::Usage(format!(
+            "--format selects the tiled engine's kernel bodies; not supported with --algo {algo}"
+        )));
+    }
     if trace_out.is_some() && algo != "tile" {
         return Err(CliError::Usage(format!(
             "--trace-out instruments the tiled engine; not supported with --algo {algo}"
@@ -374,6 +400,15 @@ pub fn cmd_bfs(
             let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
             let san = sanitize.then(|| Arc::new(Sanitizer::new()));
             let mut engine = BfsEngine::from_csr_traced(a, tracer.clone())?;
+            // `--format sell[:C]` maps to the lane-blocked pull sweep with
+            // lane width C; tile-CSR keeps the scalar early-exit walk.
+            engine.set_options(BfsOptions {
+                pull_lanes: match format {
+                    SpvFormat::TileCsr => 0,
+                    SpvFormat::Sell(cfg) => cfg.c,
+                },
+                ..Default::default()
+            });
             engine.set_backend(backend);
             engine.set_sanitizer(san.clone());
             let r = engine.run(source)?;
@@ -415,6 +450,9 @@ pub fn cmd_bfs(
         a.nrows(),
         dt.as_secs_f64() * 1e3,
     );
+    if algo == "tile" {
+        out.push_str(&format!("format: {format}\n"));
+    }
     out.push_str(&san_report);
     if let Some(table) = report_table {
         out.push_str("utilization:\n");
@@ -452,6 +490,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::default(),
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -473,6 +512,7 @@ mod tests {
             1,
             KernelChoice::RowTile,
             Balance::binned(),
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -494,6 +534,7 @@ mod tests {
                 1,
                 KernelChoice::Auto,
                 balance,
+                SpvFormat::default(),
                 ExecBackend::model(),
                 true,
                 None,
@@ -504,7 +545,18 @@ mod tests {
             assert!(s.contains("sanitizer:"), "{s}");
             assert!(s.contains(" 0 violations"), "{s}");
         }
-        let s = cmd_bfs(&a, 0, "tile", ExecBackend::model(), true, None, None, false).unwrap();
+        let s = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            SpvFormat::default(),
+            ExecBackend::model(),
+            true,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
         assert!(s.contains("sanitizer:"), "{s}");
         assert!(s.contains(" 0 violations"), "{s}");
         // Sanitizing is an engine feature; baseline algorithms reject it.
@@ -512,6 +564,7 @@ mod tests {
             &a,
             0,
             "gunrock",
+            SpvFormat::default(),
             ExecBackend::model(),
             true,
             None,
@@ -552,13 +605,25 @@ mod tests {
     fn bfs_all_algorithms_run() {
         let a = banded(150, 4, 0.9, 2).to_csr();
         for algo in ["tile", "gunrock", "gswitch", "enterprise"] {
-            let s = cmd_bfs(&a, 0, algo, ExecBackend::model(), false, None, None, false).unwrap();
+            let s = cmd_bfs(
+                &a,
+                0,
+                algo,
+                SpvFormat::default(),
+                ExecBackend::model(),
+                false,
+                None,
+                None,
+                false,
+            )
+            .unwrap();
             assert!(s.contains("reached: 150/150"), "{algo}: {s}");
         }
         assert!(cmd_bfs(
             &a,
             0,
             "nope",
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -581,6 +646,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::binned(),
+            SpvFormat::default(),
             ExecBackend::model(),
             true,
             Some(&spmspv_trace),
@@ -608,6 +674,7 @@ mod tests {
             &a,
             0,
             "tile",
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             Some(&bfs_trace),
@@ -631,6 +698,7 @@ mod tests {
             &a,
             0,
             "gunrock",
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             Some(&bfs_trace),
@@ -654,6 +722,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::binned(),
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -683,6 +752,7 @@ mod tests {
             &a,
             0,
             "tile",
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -696,6 +766,7 @@ mod tests {
             &a,
             0,
             "gunrock",
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -731,6 +802,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::binned(),
+            SpvFormat::default(),
             ExecBackend::model(),
             false,
             None,
@@ -744,6 +816,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::binned(),
+            SpvFormat::default(),
             ExecBackend::native(Some(2)),
             false,
             None,
@@ -766,6 +839,7 @@ mod tests {
             &a,
             0,
             "tile",
+            SpvFormat::default(),
             ExecBackend::native(Some(2)),
             false,
             None,
@@ -789,6 +863,7 @@ mod tests {
             1,
             KernelChoice::Auto,
             Balance::default(),
+            SpvFormat::default(),
             ExecBackend::native(Some(2)),
             true,
             None,
@@ -805,6 +880,7 @@ mod tests {
             &a,
             0,
             "tile",
+            SpvFormat::default(),
             ExecBackend::native(Some(2)),
             true,
             None,
@@ -822,7 +898,126 @@ mod tests {
             &a,
             0,
             "gunrock",
+            SpvFormat::default(),
             ExecBackend::native(Some(2)),
+            false,
+            None,
+            None,
+            false
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn format_specs_parse() {
+        use tsv_core::tile::SellConfig;
+        assert_eq!(parse_format("tilecsr").unwrap(), SpvFormat::TileCsr);
+        assert_eq!(
+            parse_format("sell").unwrap(),
+            SpvFormat::Sell(SellConfig::default())
+        );
+        match parse_format("sell:4:16").unwrap() {
+            SpvFormat::Sell(cfg) => {
+                assert_eq!(cfg.c, 4);
+                assert_eq!(cfg.sigma, 16);
+            }
+            other => panic!("expected sell, got {other}"),
+        }
+        assert!(parse_format("csr").is_err());
+        assert!(parse_format("sell:3").is_err());
+        assert!(parse_format("sell:8:0").is_err());
+        assert!(parse_format("sell:8:64:9").is_err());
+        assert!(parse_format("tilecsr:8").is_err());
+    }
+
+    #[test]
+    fn sell_format_reports_slab_stats_and_matches_tilecsr() {
+        let a = banded(240, 6, 0.85, 2).to_csr();
+        let stable = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("x:") || l.starts_with("y:") || l.starts_with("kernel:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for backend in [ExecBackend::model(), ExecBackend::native(Some(2))] {
+            let tilecsr = cmd_spmspv(
+                &a,
+                0.05,
+                1,
+                KernelChoice::Auto,
+                Balance::binned(),
+                SpvFormat::default(),
+                backend.clone(),
+                false,
+                None,
+                None,
+                false,
+            )
+            .unwrap();
+            let sell = cmd_spmspv(
+                &a,
+                0.05,
+                1,
+                KernelChoice::Auto,
+                Balance::binned(),
+                parse_format("sell:8:32").unwrap(),
+                backend,
+                false,
+                None,
+                None,
+                false,
+            )
+            .unwrap();
+            assert!(sell.contains("format: sell"), "{sell}");
+            assert!(sell.contains("sell: "), "{sell}");
+            assert!(sell.contains("padding"), "{sell}");
+            assert!(tilecsr.contains("format: tilecsr"), "{tilecsr}");
+            // Same product regardless of tile storage.
+            assert_eq!(stable(&tilecsr), stable(&sell));
+        }
+    }
+
+    #[test]
+    fn bfs_sell_format_uses_lane_blocked_pull() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        let scalar = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            SpvFormat::default(),
+            ExecBackend::model(),
+            false,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        let lanes = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            parse_format("sell:8").unwrap(),
+            ExecBackend::model(),
+            false,
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        assert!(lanes.contains("format: sell"), "{lanes}");
+        let reached = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("reached:"))
+                .map(str::to_owned)
+        };
+        assert_eq!(reached(&scalar), reached(&lanes));
+        // Baseline algorithms have no tile storage to reshape.
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "gunrock",
+            parse_format("sell").unwrap(),
+            ExecBackend::model(),
             false,
             None,
             None,

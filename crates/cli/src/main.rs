@@ -5,9 +5,11 @@
 //! tsv info    <matrix>
 //! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
 //!             [--balance direct|binned[:target[:split]]]
+//!             [--format tilecsr|sell[:C[:sigma]]]
 //!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
 //!             [--metrics-out F] [--report]
 //! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+//!             [--format tilecsr|sell[:C]]
 //!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
 //!             [--metrics-out F] [--report]
 //! tsv convert <in> <out.mtx>
@@ -42,8 +44,11 @@
 //! (see `tsv_cli::source`).
 //! ```
 
-use tsv_cli::{cmd_bfs, cmd_info, cmd_spmspv, load_matrix, parse_backend, parse_balance, CliError};
-use tsv_core::spmspv::{Balance, KernelChoice};
+use tsv_cli::{
+    cmd_bfs, cmd_info, cmd_spmspv, load_matrix, parse_backend, parse_balance, parse_format,
+    CliError,
+};
+use tsv_core::spmspv::{Balance, KernelChoice, SpvFormat};
 use tsv_simt::ExecBackend;
 
 fn main() {
@@ -83,6 +88,10 @@ fn run() -> Result<(), CliError> {
                 None => Balance::default(),
                 Some(spec) => parse_balance(&spec)?,
             };
+            let format = match flag_str(&args, "--format") {
+                None => SpvFormat::default(),
+                Some(spec) => parse_format(&spec)?,
+            };
             let backend = match flag_str(&args, "--backend") {
                 None => ExecBackend::default(),
                 Some(spec) => parse_backend(&spec)?,
@@ -99,6 +108,7 @@ fn run() -> Result<(), CliError> {
                     seed,
                     kernel,
                     balance,
+                    format,
                     backend,
                     sanitize,
                     trace_out.as_deref(),
@@ -112,6 +122,10 @@ fn run() -> Result<(), CliError> {
             let a = load_matrix(spec)?;
             let source = flag_f64(&args, "--source")?.unwrap_or(0.0) as usize;
             let algo = flag_str(&args, "--algo").unwrap_or_else(|| "tile".into());
+            let format = match flag_str(&args, "--format") {
+                None => SpvFormat::default(),
+                Some(spec) => parse_format(&spec)?,
+            };
             let backend = match flag_str(&args, "--backend") {
                 None => ExecBackend::default(),
                 Some(spec) => parse_backend(&spec)?,
@@ -126,6 +140,7 @@ fn run() -> Result<(), CliError> {
                     &a,
                     source,
                     &algo,
+                    format,
                     backend,
                     sanitize,
                     trace_out.as_deref(),
@@ -161,12 +176,21 @@ const USAGE: &str = "usage:
   tsv info    <matrix>
   tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
               [--balance direct|binned[:target[:split]]]
+              [--format tilecsr|sell[:C[:sigma]]]
               [--backend model|native[:threads]] [--sanitize] [--trace-out F]
               [--metrics-out F] [--report]
   tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
+              [--format tilecsr|sell[:C]]
               [--backend model|native[:threads]] [--sanitize] [--trace-out F]
               [--metrics-out F] [--report]
   tsv convert <matrix> <out.mtx>
+
+--format selects the tile storage the kernels read: tilecsr
+(default) or sell[:C[:sigma]] — SELL-C-σ slabs with lane-blocked,
+autovectorizable inner loops (C in {4, 8}; per-tile fallback to
+tile-CSR when padding exceeds the threshold). PlusTimes results are
+bit-identical across formats. For bfs, sell[:C] selects the
+lane-blocked pull sweep.
 
 --backend selects the execution substrate: model (default) is the
 modeled SIMT grid; native[:threads] runs the same tile kernels on a

@@ -108,6 +108,12 @@ pub struct BfsOptions {
     pub kernels: KernelSet,
     /// Selection thresholds.
     pub thresholds: PolicyThresholds,
+    /// Lane width for the pull kernel's inner loop: `0` (default) keeps
+    /// the paper's scalar column-at-a-time walk with its per-column early
+    /// exit; `4` or `8` select the lane-blocked sweep (see
+    /// [`pull_csc::pull_csc_into`]). The discovered frontier is identical;
+    /// the work counters differ.
+    pub pull_lanes: usize,
 }
 
 impl Default for BfsOptions {
@@ -115,6 +121,7 @@ impl Default for BfsOptions {
         BfsOptions {
             kernels: KernelSet::All,
             thresholds: PolicyThresholds::default(),
+            pull_lanes: 0,
         }
     }
 }
@@ -404,7 +411,15 @@ pub fn tile_bfs_on_backend<B: Backend>(
             }
             KernelKind::PullCsc => {
                 m.complement_into(unvisited);
-                let s = pull_csc::pull_csc_into(backend, &g.bit, m, unvisited, y_words, san);
+                let s = pull_csc::pull_csc_into(
+                    backend,
+                    &g.bit,
+                    m,
+                    unvisited,
+                    y_words,
+                    opts.pull_lanes,
+                    san,
+                );
                 y.load_words(y_words);
                 s
             }
@@ -608,6 +623,7 @@ mod tests {
                 push_csc_density: 0.01,
                 pull_unvisited_frac: 0.5,
             },
+            ..Default::default()
         };
         let r = tile_bfs(&g, 0, opts).unwrap();
         assert_eq!(r.levels, bfs_levels(&a, 0).unwrap());

@@ -29,8 +29,10 @@ use crate::spmspv::generic::{
     build_col_worklist, build_row_worklist, col_kernel_binned_semiring, col_kernel_semiring,
     coo_kernel_semiring, drain_touched, row_kernel_binned_semiring, row_kernel_semiring,
 };
-use crate::spmspv::{Balance, DispatchStats, ExecReport, KernelChoice, KernelUsed, SpMSpVOptions};
-use crate::tile::{TileConfig, TileMatrix, TiledVector};
+use crate::spmspv::{
+    Balance, DispatchStats, ExecReport, KernelChoice, KernelUsed, SpMSpVOptions, SpvFormat,
+};
+use crate::tile::{SellSlabs, TileConfig, TileMatrix, TiledVector};
 use std::sync::Arc;
 use std::time::Instant;
 use tsv_simt::atomic::AtomicWords;
@@ -360,7 +362,31 @@ pub fn spmspv_sanitized<S: Semiring>(
 where
     S::T: Default,
 {
-    spmspv_on_backend::<S, _>(&ModelBackend, a, x, opts, ws, tracer, san)
+    let sell = build_sell_slabs::<S>(a, opts.format);
+    spmspv_on_backend::<S, _>(&ModelBackend, a, x, opts, ws, sell.as_ref(), tracer, san)
+}
+
+/// Builds the SELL-C-σ slab sidecar for `a` when `format` requests it (and
+/// records the resulting padding ratio on the metrics registry). One-shot
+/// drivers call this per multiply; [`SpMSpVEngine`] builds once at
+/// construction and reuses the slabs across calls.
+pub fn build_sell_slabs<S: Semiring>(
+    a: &TileMatrix<S::T>,
+    format: SpvFormat,
+) -> Option<SellSlabs<S::T>>
+where
+    S::T: Default,
+{
+    match format {
+        SpvFormat::TileCsr => None,
+        SpvFormat::Sell(cfg) => {
+            let slabs = SellSlabs::build(a, cfg);
+            tsv_simt::metrics::format_metrics()
+                .sell_padding_ratio
+                .set(slabs.stats().padding_ratio());
+            Some(slabs)
+        }
+    }
 }
 
 /// [`spmspv_sanitized`] over an explicit execution [`Backend`]: the tile
@@ -375,13 +401,14 @@ pub fn spmspv_on_backend<S: Semiring, B: Backend>(
     x: &SparseVector<S::T>,
     opts: SpMSpVOptions,
     ws: &mut SpMSpVWorkspace<S::T>,
+    sell: Option<&SellSlabs<S::T>>,
     tracer: Option<&Tracer>,
     san: Option<&Sanitizer>,
 ) -> Result<(SparseVector<S::T>, ExecReport), SparseError>
 where
     S::T: Default,
 {
-    let report = spmspv_into_ws::<S, _>(backend, a, x, opts, ws, tracer, san)?;
+    let report = spmspv_into_ws::<S, _>(backend, a, x, opts, ws, sell, tracer, san)?;
     let y = SparseVector::from_parts(
         a.nrows(),
         std::mem::take(&mut ws.out_indices),
@@ -402,12 +429,24 @@ fn spmspv_into_ws<S: Semiring, B: Backend>(
     x: &SparseVector<S::T>,
     opts: SpMSpVOptions,
     ws: &mut SpMSpVWorkspace<S::T>,
+    sell: Option<&SellSlabs<S::T>>,
     tracer: Option<&Tracer>,
     san: Option<&Sanitizer>,
 ) -> Result<ExecReport, SparseError>
 where
     S::T: Default,
 {
+    // The slab sidecar only applies when the options ask for it — an
+    // engine whose format knob was flipped back to tile-CSR keeps its
+    // cached slabs but stops routing through them.
+    let sell = match opts.format {
+        SpvFormat::Sell(_) => sell,
+        SpvFormat::TileCsr => None,
+    };
+    match opts.format {
+        SpvFormat::TileCsr => tsv_simt::metrics::format_metrics().launches_tilecsr.inc(),
+        SpvFormat::Sell(_) => tsv_simt::metrics::format_metrics().launches_sell.inc(),
+    }
     if a.ncols() != x.len() {
         return Err(SparseError::DimensionMismatch {
             op: "tile_spmspv",
@@ -482,10 +521,10 @@ where
     let mut dispatch = None;
     let mut stats = match (kernel, opts.balance) {
         (KernelUsed::RowTile, Balance::OneWarpPerRowTile) => {
-            row_kernel_semiring::<S, _>(backend, a, xt, y, touched, san)
+            row_kernel_semiring::<S, _>(backend, a, xt, y, sell, touched, san)
         }
         (KernelUsed::ColTile, Balance::OneWarpPerRowTile) => {
-            col_kernel_semiring::<S, _>(backend, a, xt, y, contribs, touched, san)
+            col_kernel_semiring::<S, _>(backend, a, xt, y, sell, contribs, touched, san)
         }
         (
             kernel,
@@ -528,10 +567,10 @@ where
             plan_stats
                 + match kernel {
                     KernelUsed::RowTile => row_kernel_binned_semiring::<S, _>(
-                        backend, a, xt, y, worklist, plan, contribs, touched, san,
+                        backend, a, xt, y, sell, worklist, plan, contribs, touched, san,
                     ),
                     KernelUsed::ColTile => col_kernel_binned_semiring::<S, _>(
-                        backend, a, xt, y, plan, contribs, touched, san,
+                        backend, a, xt, y, sell, plan, contribs, touched, san,
                     ),
                 }
         }
@@ -604,6 +643,8 @@ where
         kernel,
         stats,
         dispatch,
+        format: opts.format,
+        sell: sell.map(|s| *s.stats()),
     })
 }
 
@@ -627,6 +668,12 @@ pub struct SpMSpVEngine<S: Semiring = PlusTimes> {
     a: TileMatrix<S::T>,
     opts: SpMSpVOptions,
     ws: SpMSpVWorkspace<S::T>,
+    /// SELL-C-σ slab sidecar, built once at construction when the options
+    /// select [`SpvFormat::Sell`] and reused across multiplies. Owned by
+    /// the engine (not the workspace) because a workspace can be reused
+    /// with a different matrix of identical geometry, which would silently
+    /// alias stale baked values.
+    sell: Option<SellSlabs<S::T>>,
     profiler: Profiler,
     tracer: Option<Arc<Tracer>>,
     sanitizer: Option<Arc<Sanitizer>>,
@@ -647,15 +694,23 @@ where
     pub fn with_options(a: TileMatrix<S::T>, opts: SpMSpVOptions) -> Self {
         let mut ws = SpMSpVWorkspace::new();
         ws.prepare(&a, S::zero());
+        let sell = build_sell_slabs::<S>(&a, opts.format);
         SpMSpVEngine {
             a,
             opts,
             ws,
+            sell,
             profiler: Profiler::new(),
             tracer: None,
             sanitizer: None,
             backend: ExecBackend::default(),
         }
+    }
+
+    /// The SELL slab construction stats, when the engine was built with
+    /// [`SpvFormat::Sell`].
+    pub fn sell_stats(&self) -> Option<crate::tile::SellStats> {
+        self.sell.as_ref().map(|s| *s.stats())
     }
 
     /// Tiles `a` and wraps it. When the semiring's zero differs from the
@@ -764,6 +819,7 @@ where
             x,
             self.opts,
             &mut self.ws,
+            self.sell.as_ref(),
             tracer,
             self.sanitizer.as_deref(),
         )?;
@@ -796,6 +852,7 @@ where
             x,
             self.opts,
             &mut self.ws,
+            self.sell.as_ref(),
             tracer,
             self.sanitizer.as_deref(),
         )?;
@@ -985,6 +1042,12 @@ impl BfsEngine {
             emetrics::WS_BFS.set(self.ws.approx_bytes() as f64);
         }
         Ok(r)
+    }
+
+    /// Replaces the traversal options for every later `run` (e.g. to
+    /// select the lane-blocked pull kernel after a traced construction).
+    pub fn set_options(&mut self, opts: BfsOptions) {
+        self.opts = opts;
     }
 
     /// The prepared graph.

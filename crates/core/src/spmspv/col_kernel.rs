@@ -32,6 +32,7 @@ pub fn col_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
         a,
         x,
         &mut y,
+        None,
         &mut contribs,
         &touched,
         None,

@@ -21,7 +21,8 @@
 //! scheduling-dependent atomic ordering.
 
 use crate::semiring::Semiring;
-use crate::tile::{TileMatrix, TiledVector};
+use crate::tile::matrix::TileView;
+use crate::tile::{SellSlabView, SellSlabs, TileMatrix, TiledVector};
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::backend::Backend;
 use tsv_simt::grid::BinPlan;
@@ -56,6 +57,136 @@ fn log_tile_write(san: Option<&Sanitizer>, base: usize, nt: usize, warp_id: usiz
     }
 }
 
+/// Computes every intra-tile row's semiring product sum for one stored
+/// tile and hands it to `emit(stats, local_row, sum)`: dense payloads sweep
+/// all `nt` rows, tile-CSR rows skip empty ones, and SELL slabs run the
+/// lane-blocked body (which also skips empty rows). Rows are emitted once
+/// each — in ascending order for dense/CSR, in slab order for SELL — and
+/// every per-row sum folds its entries in ascending-column CSR order, so
+/// the multiset of `(row, sum)` pairs per tile is format-independent and
+/// `PlusTimes` results stay bit-identical (each output slot receives
+/// exactly one fold per tile, tiles visited in unchanged order).
+#[inline]
+fn tile_rows_semiring<S: Semiring, F: FnMut(&mut KernelStats, usize, S::T)>(
+    view: &TileView<'_, S::T>,
+    slab: Option<SellSlabView<'_, S::T>>,
+    x_tile: &[S::T],
+    nt: usize,
+    stats: &mut KernelStats,
+    mut emit: F,
+) {
+    let vb = std::mem::size_of::<S::T>();
+    match view.dense {
+        Some(d) => {
+            stats.read(nt * nt * vb);
+            for lr in 0..nt {
+                let row = &d[lr * nt..(lr + 1) * nt];
+                let mut sum = S::zero();
+                for (&v, &xv) in row.iter().zip(x_tile) {
+                    sum = S::add(sum, S::mul(v, xv));
+                }
+                emit(stats, lr, sum);
+            }
+            stats.flop(2 * nt * nt);
+            stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+        }
+        None => match slab {
+            Some(sl) => match sl.c {
+                4 => sell_rows_semiring::<S, 4, F>(&sl, view.nnz(), x_tile, stats, emit),
+                8 => sell_rows_semiring::<S, 8, F>(&sl, view.nnz(), x_tile, stats, emit),
+                _ => csr_rows_semiring::<S, F>(view, x_tile, nt, stats, emit),
+            },
+            None => csr_rows_semiring::<S, F>(view, x_tile, nt, stats, emit),
+        },
+    }
+}
+
+/// The scalar tile-CSR walk (the seed kernels' body, work counting
+/// unchanged byte for byte).
+#[inline]
+fn csr_rows_semiring<S: Semiring, F: FnMut(&mut KernelStats, usize, S::T)>(
+    view: &TileView<'_, S::T>,
+    x_tile: &[S::T],
+    nt: usize,
+    stats: &mut KernelStats,
+    mut emit: F,
+) {
+    let vb = std::mem::size_of::<S::T>();
+    stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+    for lr in 0..nt {
+        let (cols, vals) = view.row(lr);
+        if cols.is_empty() {
+            continue;
+        }
+        let mut sum = S::zero();
+        for (&lc, &v) in cols.iter().zip(vals) {
+            sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
+        }
+        stats.flop(2 * cols.len());
+        emit(stats, lr, sum);
+    }
+    stats.lane_steps += view.nnz().div_ceil(2) as u64;
+}
+
+/// The lane-blocked SELL slab walk: `C` rows per step over `chunks_exact`
+/// fixed-width lane arrays, so the inner loop autovectorizes on stable
+/// Rust. The select keeps padding slots out of the accumulators (their
+/// baked values are never observed — MinPlus-safe), each lane folds its
+/// row's entries in CSR order, and the permutation is undone at emission.
+#[inline]
+fn sell_rows_semiring<S: Semiring, const C: usize, F: FnMut(&mut KernelStats, usize, S::T)>(
+    sl: &SellSlabView<'_, S::T>,
+    nnz: usize,
+    x_tile: &[S::T],
+    stats: &mut KernelStats,
+    mut emit: F,
+) {
+    let vb = std::mem::size_of::<S::T>();
+    // Slab header (permutation + lengths + widths) plus the padded lanes.
+    stats.read(sl.perm.len() * 3 + sl.widths.len() * 2 + sl.cols.len() * (1 + vb));
+    let mut off = 0usize;
+    for (j, &w) in sl.widths.iter().enumerate() {
+        let w = w as usize;
+        if w == 0 {
+            continue;
+        }
+        let lens: &[u16; C] = sl.lens[j * C..(j + 1) * C]
+            .try_into()
+            .expect("chunk height");
+        let span = w * C;
+        let mut acc = [S::zero(); C];
+        for (k, (cols_k, vals_k)) in sl.cols[off..off + span]
+            .chunks_exact(C)
+            .zip(sl.vals[off..off + span].chunks_exact(C))
+            .enumerate()
+        {
+            let cols_k: &[u8; C] = cols_k.try_into().expect("lane width");
+            let vals_k: &[S::T; C] = vals_k.try_into().expect("lane width");
+            let k = k as u16;
+            for l in 0..C {
+                let p = S::mul(vals_k[l], x_tile[cols_k[l] as usize]);
+                acc[l] = if k < lens[l] {
+                    S::add(acc[l], p)
+                } else {
+                    acc[l]
+                };
+            }
+        }
+        off += span;
+        // One lock-step SIMT step per lane-block row of the chunk.
+        stats.lane_steps += w as u64;
+        let perm: &[u8; C] = sl.perm[j * C..(j + 1) * C]
+            .try_into()
+            .expect("chunk height");
+        for l in 0..C {
+            if lens[l] > 0 {
+                emit(stats, perm[l] as usize, acc[l]);
+            }
+        }
+    }
+    stats.flop(2 * nnz);
+}
+
 /// CSR-form row-tile kernel over an arbitrary semiring (Algorithm 4),
 /// launched on `backend`.
 ///
@@ -66,6 +197,7 @@ pub fn row_kernel_semiring<S: Semiring, B: Backend>(
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
+    sell: Option<&SellSlabs<S::T>>,
     touched: &AtomicWords,
     san: Option<&Sanitizer>,
 ) -> KernelStats
@@ -95,42 +227,18 @@ where
             warp.stats.read(nt * vb);
             sanitize::read(san, "x-tiles", view.col_tile, rt, 0);
             dirty = true;
-            match view.dense {
-                Some(d) => {
-                    // Dense payload: full nt×nt sweep, no index decode.
-                    warp.stats.read(nt * nt * vb);
-                    for lr in 0..nt {
-                        let row = &d[lr * nt..(lr + 1) * nt];
-                        let mut sum = S::zero();
-                        for (&v, &xv) in row.iter().zip(x_tile) {
-                            sum = S::add(sum, S::mul(v, xv));
-                        }
-                        y_tile[lr] = S::add(y_tile[lr], sum);
-                    }
-                    warp.stats.flop(2 * nt * nt);
-                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                }
-                None => {
-                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                    // Lanes are striped over the tile rows (two lanes per
-                    // row at nt = 16); on the CPU the warp walks its rows
-                    // in order, each row reducing its partial sums exactly
-                    // as the __shfl_down_sync pair of Algorithm 4 would.
-                    for (lr, y_slot) in y_tile.iter_mut().enumerate() {
-                        let (cols, vals) = view.row(lr);
-                        if cols.is_empty() {
-                            continue;
-                        }
-                        let mut sum = S::zero();
-                        for (&lc, &v) in cols.iter().zip(vals) {
-                            sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                        }
-                        warp.stats.flop(2 * cols.len());
-                        *y_slot = S::add(*y_slot, sum);
-                    }
-                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                }
-            }
+            // Lanes are striped over the tile rows (two lanes per row at
+            // nt = 16); on the CPU the warp walks its rows in order, each
+            // row reducing its partial sums exactly as the
+            // __shfl_down_sync pair of Algorithm 4 would.
+            tile_rows_semiring::<S, _>(
+                &view,
+                sell.and_then(|s| s.slab(t)),
+                x_tile,
+                nt,
+                &mut warp.stats,
+                |_, lr, sum| y_tile[lr] = S::add(y_tile[lr], sum),
+            );
         }
         // Row tile writes its outputs once.
         warp.stats.write(nt * vb);
@@ -232,6 +340,7 @@ pub fn row_kernel_binned_semiring<S: Semiring, B: Backend>(
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
+    sell: Option<&SellSlabs<S::T>>,
     worklist: &[u32],
     plan: &BinPlan,
     contribs: &mut Vec<Vec<(u32, S::T)>>,
@@ -267,37 +376,14 @@ where
                     warp.stats.read(nt * vb);
                     sanitize::read(san, "x-tiles", view.col_tile, warp.warp_id, 0);
                     dirty = true;
-                    match view.dense {
-                        Some(d) => {
-                            warp.stats.read(nt * nt * vb);
-                            for lr in 0..nt {
-                                let row = &d[lr * nt..(lr + 1) * nt];
-                                let mut sum = S::zero();
-                                for (&v, &xv) in row.iter().zip(x_tile) {
-                                    sum = S::add(sum, S::mul(v, xv));
-                                }
-                                y_tile[lr] = S::add(y_tile[lr], sum);
-                            }
-                            warp.stats.flop(2 * nt * nt);
-                            warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                        }
-                        None => {
-                            warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                            for (lr, y_slot) in y_tile.iter_mut().enumerate() {
-                                let (cols, vals) = view.row(lr);
-                                if cols.is_empty() {
-                                    continue;
-                                }
-                                let mut sum = S::zero();
-                                for (&lc, &v) in cols.iter().zip(vals) {
-                                    sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                                }
-                                warp.stats.flop(2 * cols.len());
-                                *y_slot = S::add(*y_slot, sum);
-                            }
-                            warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                        }
-                    }
+                    tile_rows_semiring::<S, _>(
+                        &view,
+                        sell.and_then(|s| s.slab(t)),
+                        x_tile,
+                        nt,
+                        &mut warp.stats,
+                        |_, lr, sum| y_tile[lr] = S::add(y_tile[lr], sum),
+                    );
                 }
                 warp.stats.write(nt * vb);
                 log_tile_write(san, rt * nt, nt, warp.warp_id);
@@ -324,7 +410,8 @@ where
             let base = rt * nt;
             let mut dirty = false;
             for ti in idx {
-                let view = a.tile(tiles.start + ti);
+                let t = tiles.start + ti;
+                let view = a.tile(t);
                 warp.stats.read(4);
                 warp.stats.read_scattered(4);
                 let Some(x_tile) = x.tile(view.col_tile) else {
@@ -336,37 +423,14 @@ where
                 // global accesses in the split path are the x-tile loads.
                 sanitize::read(san, "x-tiles", view.col_tile, warp.warp_id, 0);
                 dirty = true;
-                match view.dense {
-                    Some(d) => {
-                        warp.stats.read(nt * nt * vb);
-                        for lr in 0..nt {
-                            let row = &d[lr * nt..(lr + 1) * nt];
-                            let mut sum = S::zero();
-                            for (&v, &xv) in row.iter().zip(x_tile) {
-                                sum = S::add(sum, S::mul(v, xv));
-                            }
-                            bucket.push(((base + lr) as u32, sum));
-                        }
-                        warp.stats.flop(2 * nt * nt);
-                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                    }
-                    None => {
-                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                        for lr in 0..nt {
-                            let (cols, vals) = view.row(lr);
-                            if cols.is_empty() {
-                                continue;
-                            }
-                            let mut sum = S::zero();
-                            for (&lc, &v) in cols.iter().zip(vals) {
-                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                            }
-                            warp.stats.flop(2 * cols.len());
-                            bucket.push(((base + lr) as u32, sum));
-                        }
-                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                    }
-                }
+                tile_rows_semiring::<S, _>(
+                    &view,
+                    sell.and_then(|s| s.slab(t)),
+                    x_tile,
+                    nt,
+                    &mut warp.stats,
+                    |_, lr, sum| bucket.push(((base + lr) as u32, sum)),
+                );
             }
             // One (partial) output-tile write per assignment; empty split
             // parts touched nothing and write nothing.
@@ -390,6 +454,7 @@ pub fn col_kernel_binned_semiring<S: Semiring, B: Backend>(
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
+    sell: Option<&SellSlabs<S::T>>,
     plan: &BinPlan,
     contribs: &mut Vec<Vec<(u32, S::T)>>,
     touched: &AtomicWords,
@@ -407,11 +472,12 @@ where
         contribs.resize_with(plan.n_warps(), Vec::new);
     }
     let stats = backend.launch_binned(plan, contribs, |warp, assignments, bucket| {
+        let wid = warp.warp_id;
         for asg in assignments {
             let ct = asg.unit as usize;
             let x_tile = x.tile(ct).expect("work-list tiles are non-empty");
             warp.stats.read(nt * vb);
-            sanitize::read(san, "x-tiles", ct, warp.warp_id, 0);
+            sanitize::read(san, "x-tiles", ct, wid, 0);
             let tiles = a.col_tiles(ct);
             let idx = if asg.parts == 1 {
                 0..tiles.len()
@@ -424,47 +490,21 @@ where
                 let rt = a.tile_row_of(t);
                 warp.stats.read(4 + 4);
                 let base = rt * nt;
-                match view.dense {
-                    Some(d) => {
-                        warp.stats.read(nt * nt * vb);
-                        for lr in 0..nt {
-                            let row = &d[lr * nt..(lr + 1) * nt];
-                            let mut sum = S::zero();
-                            for (&v, &xv) in row.iter().zip(x_tile) {
-                                sum = S::add(sum, S::mul(v, xv));
-                            }
-                            if sum != S::zero() {
-                                bucket.push(((base + lr) as u32, sum));
-                                warp.stats.atomic(1);
-                                warp.stats.write_scattered(vb);
-                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
-                            }
+                tile_rows_semiring::<S, _>(
+                    &view,
+                    sell.and_then(|s| s.slab(t)),
+                    x_tile,
+                    nt,
+                    &mut warp.stats,
+                    |st, lr, sum| {
+                        if sum != S::zero() {
+                            bucket.push(((base + lr) as u32, sum));
+                            st.atomic(1);
+                            st.write_scattered(vb);
+                            sanitize::rmw(san, "y", base + lr, wid, lr % WARP_SIZE);
                         }
-                        warp.stats.flop(2 * nt * nt);
-                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                    }
-                    None => {
-                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                        for lr in 0..nt {
-                            let (cols, vals) = view.row(lr);
-                            if cols.is_empty() {
-                                continue;
-                            }
-                            let mut sum = S::zero();
-                            for (&lc, &v) in cols.iter().zip(vals) {
-                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                            }
-                            warp.stats.flop(2 * cols.len());
-                            if sum != S::zero() {
-                                bucket.push(((base + lr) as u32, sum));
-                                warp.stats.atomic(1);
-                                warp.stats.write_scattered(vb);
-                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
-                            }
-                        }
-                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                    }
-                }
+                    },
+                );
             }
         }
     });
@@ -477,11 +517,13 @@ where
 /// One warp per non-empty vector tile, contributions buffered in
 /// `contribs` (one bucket per warp, capacity kept across calls) and merged
 /// into `y` in warp order after the launch.
+#[allow(clippy::too_many_arguments)]
 pub fn col_kernel_semiring<S: Semiring, B: Backend>(
     backend: &B,
     a: &TileMatrix<S::T>,
     x: &TiledVector<S::T>,
     y: &mut [S::T],
+    sell: Option<&SellSlabs<S::T>>,
     contribs: &mut Vec<Vec<(u32, S::T)>>,
     touched: &AtomicWords,
     san: Option<&Sanitizer>,
@@ -506,10 +548,11 @@ where
         1,
         |warp, chunk| {
             let bucket = &mut chunk[0];
-            let ct = active[warp.warp_id] as usize;
+            let wid = warp.warp_id;
+            let ct = active[wid] as usize;
             let x_tile = x.tile(ct).expect("active tiles are non-empty");
             warp.stats.read(nt * vb); // load the vector tile once
-            sanitize::read(san, "x-tiles", ct, warp.warp_id, 0);
+            sanitize::read(san, "x-tiles", ct, wid, 0);
 
             for &t in a.col_tiles(ct) {
                 let t = t as usize;
@@ -517,48 +560,21 @@ where
                 let rt = a.tile_row_of(t);
                 warp.stats.read(4 + 4); // tile id + row-tile id
                 let base = rt * nt;
-                match view.dense {
-                    Some(d) => {
-                        warp.stats.read(nt * nt * vb);
-                        for lr in 0..nt {
-                            let row = &d[lr * nt..(lr + 1) * nt];
-                            let mut sum = S::zero();
-                            for (&v, &xv) in row.iter().zip(x_tile) {
-                                sum = S::add(sum, S::mul(v, xv));
-                            }
-                            if sum != S::zero() {
-                                bucket.push(((base + lr) as u32, sum));
-                                warp.stats.atomic(1);
-                                warp.stats.write_scattered(vb);
-                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
-                            }
+                tile_rows_semiring::<S, _>(
+                    &view,
+                    sell.and_then(|s| s.slab(t)),
+                    x_tile,
+                    nt,
+                    &mut warp.stats,
+                    |st, lr, sum| {
+                        if sum != S::zero() {
+                            bucket.push(((base + lr) as u32, sum));
+                            st.atomic(1);
+                            st.write_scattered(vb);
+                            sanitize::rmw(san, "y", base + lr, wid, lr % WARP_SIZE);
                         }
-                        warp.stats.flop(2 * nt * nt);
-                        warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                    }
-                    None => {
-                        warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
-                        // Scale and merge each intra-tile row into the global y.
-                        for lr in 0..nt {
-                            let (cols, vals) = view.row(lr);
-                            if cols.is_empty() {
-                                continue;
-                            }
-                            let mut sum = S::zero();
-                            for (&lc, &v) in cols.iter().zip(vals) {
-                                sum = S::add(sum, S::mul(v, x_tile[lc as usize]));
-                            }
-                            warp.stats.flop(2 * cols.len());
-                            if sum != S::zero() {
-                                bucket.push(((base + lr) as u32, sum));
-                                warp.stats.atomic(1);
-                                warp.stats.write_scattered(vb);
-                                sanitize::rmw(san, "y", base + lr, warp.warp_id, lr % WARP_SIZE);
-                            }
-                        }
-                        warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
-                    }
-                }
+                    },
+                );
             }
         },
     );
@@ -683,6 +699,7 @@ mod tests {
             &tm,
             &xt,
             &mut y,
+            None,
             &touched,
             None,
         );
@@ -731,6 +748,7 @@ mod tests {
             &tm,
             &xt,
             &mut y,
+            None,
             &mut contribs,
             &touched,
             None,
@@ -755,6 +773,7 @@ mod tests {
             &tm,
             &xt,
             &mut y,
+            None,
             &touched,
             Some(&san),
         );
@@ -769,6 +788,7 @@ mod tests {
             &tm,
             &xt,
             &mut y2,
+            None,
             &mut contribs,
             &touched2,
             Some(&san),

@@ -31,7 +31,7 @@ pub use row_kernel::row_kernel;
 
 use crate::exec::{spmspv_with_workspace, SpMSpVWorkspace};
 use crate::semiring::PlusTimes;
-use crate::tile::TileMatrix;
+use crate::tile::{SellConfig, SellStats, TileMatrix};
 use tsv_simt::stats::KernelStats;
 use tsv_sparse::{SparseError, SparseVector};
 
@@ -78,6 +78,84 @@ impl Balance {
             target_nnz: 64,
             max_split: 32,
         }
+    }
+}
+
+/// Storage format the tile kernels traverse for stored sparse tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SpvFormat {
+    /// The intra-tile CSR payload (the paper's layout, and the default).
+    #[default]
+    TileCsr,
+    /// SELL-C-σ slabs built per tile from the tile-CSR payload (see
+    /// [`crate::tile::SellSlabs`]): lane-blocked kernel bodies process `C`
+    /// rows per step, with per-tile fallback to tile-CSR when the padding
+    /// overhead exceeds the configured threshold. `PlusTimes` results are
+    /// bit-identical to [`SpvFormat::TileCsr`].
+    Sell(SellConfig),
+}
+
+impl SpvFormat {
+    /// Parses a CLI/env format spec: `tilecsr`, `sell`, `sell:C` or
+    /// `sell:C:sigma` (`C` ∈ {4, 8}).
+    pub fn parse(spec: &str) -> Result<SpvFormat, String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or("");
+        let parse_pos = |what: &str, s: &str| -> Result<usize, String> {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("{what} must be a positive integer, got '{s}'"))
+        };
+        let fmt = match head {
+            "tilecsr" => SpvFormat::TileCsr,
+            "sell" => {
+                let mut cfg = SellConfig::default();
+                if let Some(c) = parts.next() {
+                    cfg.c = parse_pos("sell chunk height", c)?;
+                }
+                if let Some(sigma) = parts.next() {
+                    cfg.sigma = parse_pos("sell sigma window", sigma)?;
+                }
+                cfg.validate()?;
+                SpvFormat::Sell(cfg)
+            }
+            other => {
+                return Err(format!(
+                    "unknown format '{other}' (expected 'tilecsr' or 'sell[:C[:sigma]]')"
+                ))
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("unexpected trailing format component ':{extra}'"));
+        }
+        if head == "tilecsr" && spec != "tilecsr" {
+            return Err("'tilecsr' takes no parameters".into());
+        }
+        Ok(fmt)
+    }
+
+    /// Short format family name (`"tilecsr"` / `"sell"`), used for metric
+    /// labels and bench-table columns.
+    pub fn short(&self) -> &'static str {
+        match self {
+            SpvFormat::TileCsr => "tilecsr",
+            SpvFormat::Sell(_) => "sell",
+        }
+    }
+
+    /// Full spec round-trippable through [`SpvFormat::parse`].
+    pub fn label(&self) -> String {
+        match self {
+            SpvFormat::TileCsr => "tilecsr".to_string(),
+            SpvFormat::Sell(cfg) => format!("sell:{}:{}", cfg.c, cfg.sigma),
+        }
+    }
+}
+
+impl std::fmt::Display for SpvFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
     }
 }
 
@@ -176,6 +254,10 @@ pub struct SpMSpVOptions {
     pub csc_threshold: f64,
     /// Warp-scheduling policy for the tile kernels.
     pub balance: Balance,
+    /// Storage format for stored sparse tiles. [`SpvFormat::TileCsr`]
+    /// (the default) is the paper's layout; [`SpvFormat::Sell`] runs the
+    /// lane-blocked slab bodies with bit-identical `PlusTimes` results.
+    pub format: SpvFormat,
 }
 
 impl Default for SpMSpVOptions {
@@ -184,6 +266,7 @@ impl Default for SpMSpVOptions {
             kernel: KernelChoice::Auto,
             csc_threshold: 0.01,
             balance: Balance::OneWarpPerRowTile,
+            format: SpvFormat::TileCsr,
         }
     }
 }
@@ -240,6 +323,11 @@ pub struct ExecReport {
     /// Dispatch-plan telemetry when the launch was binned
     /// ([`Balance::Binned`]); `None` on the one-warp-per-row-tile grid.
     pub dispatch: Option<DispatchStats>,
+    /// The tile format the kernels traversed.
+    pub format: SpvFormat,
+    /// Slab-construction accounting when the format was
+    /// [`SpvFormat::Sell`]; `None` on tile-CSR.
+    pub sell: Option<SellStats>,
 }
 
 /// `y = A x` with default options.

@@ -28,6 +28,7 @@ pub fn row_kernel(a: &TileMatrix, x: &TiledVector) -> (Vec<f64>, KernelStats) {
         a,
         x,
         &mut y,
+        None,
         &touched,
         None,
     );

@@ -4,6 +4,7 @@ pub mod bitmask;
 pub mod bitvec;
 pub mod layout;
 pub mod matrix;
+pub mod sell;
 pub mod stats;
 pub mod vector;
 
@@ -11,5 +12,6 @@ pub use bitmask::{BitTileMatrix, Orientation};
 pub use bitvec::BitFrontier;
 pub use layout::{TileConfig, TileSize};
 pub use matrix::TileMatrix;
+pub use sell::{SellConfig, SellSlabView, SellSlabs, SellStats};
 pub use stats::{tile_count, TileStats};
 pub use vector::TiledVector;

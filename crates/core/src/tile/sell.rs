@@ -1,0 +1,464 @@
+//! SELL-C-σ slabs: a vectorizable sidecar payload for stored CSR tiles.
+//!
+//! The tile-CSR payload walks one row at a time, so the native backend's
+//! inner loops are scalar gathers. Following SlimSell's construction, this
+//! module re-lays each stored sparse tile as *slabs*: rows are sorted by
+//! descending length inside σ-row windows (recording the permutation),
+//! grouped into chunks of height `C` (the lane width), and each chunk is
+//! padded to its longest row with the columns/values stored *lane-major* —
+//! entry `k` of the chunk's `C` rows sits at `k*C .. k*C+C`. A kernel can
+//! then process `C` rows per step over `chunks_exact` fixed-width arrays,
+//! which LLVM autovectorizes on stable Rust.
+//!
+//! The slabs are a sidecar: the [`TileMatrix`] (tile-level CSR, dense
+//! payloads, COO extraction, CSC tile index) is unchanged, and any tile
+//! whose padding overhead exceeds [`SellConfig::max_padding`] falls back to
+//! its tile-CSR payload. Dense tiles keep their dense sweep.
+//!
+//! Determinism: the σ-window sort orders rows by `(length desc, row asc)` —
+//! a total order, so the permutation is a pure function of the tile
+//! structure. Each row's entries keep their CSR (ascending-column) order
+//! along the lane axis, and kernels fold them in exactly that order with
+//! padding slots masked out of the accumulators, so per-row sums are
+//! bit-identical to the tile-CSR walk for any semiring.
+
+use super::matrix::TileMatrix;
+
+/// Lane widths the lane-blocked kernel bodies are compiled for.
+pub const SELL_LANE_WIDTHS: [usize; 2] = [4, 8];
+
+/// Parameters of the SELL-C-σ slab construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SellConfig {
+    /// Chunk height = lane width. Must be one of [`SELL_LANE_WIDTHS`]
+    /// (every tile size divides by both).
+    pub c: usize,
+    /// Row-sorting window in rows; clamped to the tile height. `nt`-sized
+    /// windows sort the whole tile, `c`-sized windows preserve locality.
+    pub sigma: usize,
+    /// Per-tile fallback threshold: when `padded / real` entries exceed
+    /// this, the tile keeps its tile-CSR payload.
+    pub max_padding: f64,
+}
+
+impl Default for SellConfig {
+    fn default() -> Self {
+        SellConfig {
+            c: 8,
+            sigma: 64,
+            max_padding: 3.0,
+        }
+    }
+}
+
+impl SellConfig {
+    /// Validates the lane width and window.
+    pub fn validate(&self) -> Result<(), String> {
+        if !SELL_LANE_WIDTHS.contains(&self.c) {
+            return Err(format!(
+                "sell chunk height must be one of {SELL_LANE_WIDTHS:?}, got {}",
+                self.c
+            ));
+        }
+        if self.sigma == 0 {
+            return Err("sell sigma window must be positive".into());
+        }
+        if self.max_padding.is_nan() || self.max_padding < 1.0 {
+            return Err("sell padding threshold must be >= 1.0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate slab-construction accounting, behind the
+/// `tsv_core_sell_padding_ratio` gauge and the CLI's format report line.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SellStats {
+    /// Stored sparse tiles converted to slabs.
+    pub sell_tiles: usize,
+    /// Stored sparse tiles kept on tile-CSR (padding above threshold).
+    pub fallback_tiles: usize,
+    /// Stored dense tiles (never converted; the dense sweep already
+    /// vectorizes).
+    pub dense_tiles: usize,
+    /// True nonzeros held in slabs.
+    pub real_entries: usize,
+    /// Slab slots including padding (`Σ chunk_width * C`).
+    pub padded_entries: usize,
+}
+
+impl SellStats {
+    /// Padded slots per real entry over the converted tiles (1.0 when no
+    /// tile converted).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.real_entries == 0 {
+            1.0
+        } else {
+            self.padded_entries as f64 / self.real_entries as f64
+        }
+    }
+
+    /// Fraction of slab slots holding real entries.
+    pub fn fill_ratio(&self) -> f64 {
+        1.0 / self.padding_ratio()
+    }
+}
+
+/// Borrowed view of one tile's slab, handed to the lane-blocked kernel
+/// bodies. All arrays are indexed in *sorted* row position; `perm` maps a
+/// sorted position back to the original intra-tile row.
+#[derive(Debug, Clone, Copy)]
+pub struct SellSlabView<'a, T> {
+    /// Chunk height = lane width.
+    pub c: usize,
+    /// Sorted position → original local row (`nt` entries, a permutation).
+    pub perm: &'a [u8],
+    /// True row length at each sorted position (`nt` entries).
+    pub lens: &'a [u16],
+    /// Padded width of each chunk (`nt / c` entries; the max length in the
+    /// chunk).
+    pub widths: &'a [u16],
+    /// Lane-major local column indices (`Σ width * c` entries; padding
+    /// slots hold 0).
+    pub cols: &'a [u8],
+    /// Lane-major values, parallel to `cols`; padding slots hold
+    /// `T::default()` and are masked out of every accumulation.
+    pub vals: &'a [T],
+}
+
+/// SELL-C-σ slabs for every eligible stored tile of a [`TileMatrix`].
+#[derive(Debug, Clone)]
+pub struct SellSlabs<T> {
+    c: usize,
+    nt: usize,
+    config: SellConfig,
+    /// Per stored tile: slab index, or `u32::MAX` for dense/fallback tiles.
+    sell_id: Vec<u32>,
+    /// Per slab: the stored tile it was built from.
+    tile_of: Vec<u32>,
+    perm: Vec<u8>,
+    lens: Vec<u16>,
+    widths: Vec<u16>,
+    /// Per slab: start offset into `cols` / `vals` (`n_slabs + 1` entries).
+    slab_ptr: Vec<usize>,
+    cols: Vec<u8>,
+    vals: Vec<T>,
+    stats: SellStats,
+}
+
+impl<T: Copy + PartialEq + Default + Send + Sync> SellSlabs<T> {
+    /// Builds slabs for every stored sparse tile of `a` whose padding
+    /// overhead stays under `config.max_padding`.
+    ///
+    /// # Panics
+    ///
+    /// When `config` fails [`SellConfig::validate`].
+    pub fn build(a: &TileMatrix<T>, config: SellConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid SellConfig: {e}"));
+        let nt = a.nt();
+        let c = config.c;
+        debug_assert_eq!(nt % c, 0, "every tile size divides by the lane width");
+        let sigma = config.sigma.min(nt).max(1);
+        let n_chunks = nt / c;
+
+        let mut slabs = SellSlabs {
+            c,
+            nt,
+            config,
+            sell_id: Vec::with_capacity(a.num_tiles()),
+            tile_of: Vec::new(),
+            perm: Vec::new(),
+            lens: Vec::new(),
+            widths: Vec::new(),
+            slab_ptr: vec![0],
+            cols: Vec::new(),
+            vals: Vec::new(),
+            stats: SellStats::default(),
+        };
+        let mut order: Vec<u8> = Vec::with_capacity(nt);
+
+        for t in 0..a.num_tiles() {
+            let view = a.tile(t);
+            if view.dense.is_some() {
+                slabs.sell_id.push(u32::MAX);
+                slabs.stats.dense_tiles += 1;
+                continue;
+            }
+            let row_len =
+                |lr: u8| view.local_row_ptr[lr as usize + 1] - view.local_row_ptr[lr as usize];
+
+            // σ-window sort: (length desc, row asc) is a total order, so the
+            // permutation is deterministic regardless of sort stability.
+            order.clear();
+            order.extend(0..nt as u8);
+            for window in order.chunks_mut(sigma) {
+                window.sort_unstable_by_key(|&lr| (std::cmp::Reverse(row_len(lr)), lr));
+            }
+
+            // Chunk widths and the padding decision.
+            let mut padded = 0usize;
+            let mut tile_widths = [0u16; 16]; // nt/c ≤ 64/4 = 16
+            for (j, chunk) in order.chunks(c).enumerate() {
+                let w = chunk.iter().map(|&lr| row_len(lr)).max().unwrap_or(0);
+                tile_widths[j] = w;
+                padded += w as usize * c;
+            }
+            let real = view.nnz();
+            if real == 0 || padded as f64 > config.max_padding * real as f64 {
+                slabs.sell_id.push(u32::MAX);
+                slabs.stats.fallback_tiles += 1;
+                continue;
+            }
+
+            // Lay the chunk lanes out lane-major: entry k of the chunk's c
+            // rows at k*c .. k*c+c, padding with (col 0, T::default()).
+            slabs.sell_id.push(slabs.tile_of.len() as u32);
+            slabs.tile_of.push(t as u32);
+            for (j, chunk) in order.chunks(c).enumerate() {
+                for k in 0..tile_widths[j] {
+                    for &lr in chunk {
+                        let (cols, vals) = view.row(lr as usize);
+                        if (k as usize) < cols.len() {
+                            slabs.cols.push(cols[k as usize]);
+                            slabs.vals.push(vals[k as usize]);
+                        } else {
+                            slabs.cols.push(0);
+                            slabs.vals.push(T::default());
+                        }
+                    }
+                }
+                slabs.widths.push(tile_widths[j]);
+            }
+            for &lr in order.iter() {
+                slabs.perm.push(lr);
+                slabs.lens.push(row_len(lr));
+            }
+            slabs.slab_ptr.push(slabs.cols.len());
+            slabs.stats.sell_tiles += 1;
+            slabs.stats.real_entries += real;
+            slabs.stats.padded_entries += padded;
+            debug_assert_eq!(slabs.widths.len(), slabs.tile_of.len() * n_chunks);
+        }
+        slabs
+    }
+}
+
+impl<T> SellSlabs<T> {
+    /// The slab of stored tile `t`, or `None` when the tile stayed on its
+    /// dense / tile-CSR payload.
+    #[inline]
+    pub fn slab(&self, t: usize) -> Option<SellSlabView<'_, T>> {
+        let sid = *self.sell_id.get(t)?;
+        if sid == u32::MAX {
+            return None;
+        }
+        let sid = sid as usize;
+        let n_chunks = self.nt / self.c;
+        Some(SellSlabView {
+            c: self.c,
+            perm: &self.perm[sid * self.nt..(sid + 1) * self.nt],
+            lens: &self.lens[sid * self.nt..(sid + 1) * self.nt],
+            widths: &self.widths[sid * n_chunks..(sid + 1) * n_chunks],
+            cols: &self.cols[self.slab_ptr[sid]..self.slab_ptr[sid + 1]],
+            vals: &self.vals[self.slab_ptr[sid]..self.slab_ptr[sid + 1]],
+        })
+    }
+
+    /// The stored-tile id each slab was built from, parallel to slab ids.
+    pub fn slab_tiles(&self) -> &[u32] {
+        &self.tile_of
+    }
+
+    /// Chunk height = lane width.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Tile height the slabs were built for.
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> SellConfig {
+        self.config
+    }
+
+    /// Construction accounting (tiles converted, padding overhead).
+    pub fn stats(&self) -> &SellStats {
+        &self.stats
+    }
+
+    /// Approximate resident bytes of the slab arrays.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.sell_id.len() * 4
+            + self.tile_of.len() * 4
+            + self.perm.len()
+            + self.lens.len() * 2
+            + self.widths.len() * 2
+            + self.slab_ptr.len() * 8
+            + self.cols.len()
+            + self.vals.len() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{TileConfig, TileSize};
+    use tsv_sparse::gen::{banded, rmat, RmatConfig};
+
+    fn slabs_for(
+        csr: &tsv_sparse::CsrMatrix<f64>,
+        tile: TileSize,
+        cfg: SellConfig,
+    ) -> (TileMatrix<f64>, SellSlabs<f64>) {
+        let tm = TileMatrix::from_csr(csr, TileConfig::with_size(tile)).unwrap();
+        let sl = SellSlabs::build(&tm, cfg);
+        (tm, sl)
+    }
+
+    #[test]
+    fn slabs_round_trip_to_tile_csr() {
+        let a = rmat(RmatConfig::new(8, 6), 5).to_csr();
+        for c in SELL_LANE_WIDTHS {
+            for sigma in [4, 16, 64] {
+                let cfg = SellConfig {
+                    c,
+                    sigma,
+                    max_padding: 1e9, // convert everything
+                };
+                let (tm, sl) = slabs_for(&a, TileSize::S16, cfg);
+                let nt = tm.nt();
+                for t in 0..tm.num_tiles() {
+                    let view = tm.tile(t);
+                    let Some(slab) = sl.slab(t) else {
+                        assert!(view.dense.is_some(), "only dense tiles skipped");
+                        continue;
+                    };
+                    // perm is a permutation; lens are the true row lengths.
+                    let mut seen = vec![false; nt];
+                    for (pos, &lr) in slab.perm.iter().enumerate() {
+                        assert!(!seen[lr as usize]);
+                        seen[lr as usize] = true;
+                        let (cols, vals) = view.row(lr as usize);
+                        assert_eq!(slab.lens[pos] as usize, cols.len());
+                        // Reconstruct the row from the lane-major layout.
+                        let chunk = pos / c;
+                        let lane = pos % c;
+                        let base: usize =
+                            slab.widths[..chunk].iter().map(|&w| w as usize * c).sum();
+                        for k in 0..cols.len() {
+                            assert_eq!(slab.cols[base + k * c + lane], cols[k]);
+                            assert_eq!(slab.vals[base + k * c + lane], vals[k]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_windows_sort_descending_within_each_window() {
+        let a = rmat(RmatConfig::new(9, 4), 11).to_csr();
+        let cfg = SellConfig {
+            c: 4,
+            sigma: 8,
+            max_padding: 1e9,
+            // full conversion so every tile is inspectable
+        };
+        let (tm, sl) = slabs_for(&a, TileSize::S32, cfg);
+        for t in 0..tm.num_tiles() {
+            let Some(slab) = sl.slab(t) else { continue };
+            for window in slab.lens.chunks(8) {
+                for pair in window.windows(2) {
+                    assert!(pair[0] >= pair[1], "lengths not descending in window");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_band_has_low_padding() {
+        // Band rows have near-identical lengths, so the overall padding
+        // ratio stays close to 1 even with fallback disabled. (Under the
+        // default `max_padding` the tiny off-diagonal corner tiles — one
+        // row, one entry — legitimately fall back instead.)
+        let a = banded(256, 1, 1.0, 3).to_csr();
+        let cfg = TileConfig {
+            tile_size: TileSize::S32,
+            extract_threshold: 0,
+            dense_threshold: 2.0,
+        };
+        let tm = TileMatrix::from_csr(&a, cfg).unwrap();
+        let sl = SellSlabs::build(
+            &tm,
+            SellConfig {
+                max_padding: 1e9,
+                ..Default::default()
+            },
+        );
+        let st = sl.stats();
+        assert!(st.sell_tiles > 0);
+        assert_eq!(st.fallback_tiles, 0);
+        assert!(st.padding_ratio() < 1.35, "band rows are near-uniform");
+
+        // With the default cap the corner tiles fall back but the band
+        // interior still converts.
+        let capped = SellSlabs::build(&tm, SellConfig::default());
+        assert!(capped.stats().sell_tiles > 0);
+        assert!(capped.stats().padding_ratio() <= st.padding_ratio());
+    }
+
+    #[test]
+    fn pathological_tiles_fall_back() {
+        // One full row per tile, the rest empty: padding C× the real
+        // entries at any chunk the full row lands in.
+        let mut coo = tsv_sparse::CooMatrix::new(64, 64);
+        for ccol in 0..64 {
+            coo.push(0, ccol, 1.0);
+        }
+        let cfg = TileConfig {
+            tile_size: TileSize::S32,
+            extract_threshold: 0,
+            dense_threshold: 2.0,
+        };
+        let tm = TileMatrix::from_csr(&coo.to_csr(), cfg).unwrap();
+        let sl = SellSlabs::build(
+            &tm,
+            SellConfig {
+                c: 8,
+                sigma: 32,
+                max_padding: 1.5,
+            },
+        );
+        let st = sl.stats();
+        assert_eq!(st.sell_tiles + st.fallback_tiles, tm.num_tiles());
+        assert!(st.fallback_tiles > 0, "skewed tiles must fall back");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SellConfig {
+            c: 3,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SellConfig {
+            sigma: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SellConfig {
+            max_padding: 0.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SellConfig::default().validate().is_ok());
+    }
+}

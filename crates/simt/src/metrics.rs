@@ -501,6 +501,43 @@ pub fn native_launch_metrics() -> &'static LaunchMetrics {
     M.get_or_init(|| LaunchMetrics::for_backend("native"))
 }
 
+/// Cached handles for per-format kernel accounting: which tile storage
+/// format the SpMSpV driver dispatched (tile-CSR baseline vs SELL-C-σ
+/// slabs) and the padding overhead of the most recently built slab set.
+pub struct FormatMetrics {
+    /// SpMSpV driver passes dispatched with tile-CSR tile bodies.
+    pub launches_tilecsr: Arc<Counter>,
+    /// SpMSpV driver passes dispatched with SELL slab tile bodies.
+    pub launches_sell: Arc<Counter>,
+    /// `padded_entries / real_entries` of the most recent slab build
+    /// (1.0 = no padding; the gauge's high-water mark keeps the worst).
+    pub sell_padding_ratio: Arc<Gauge>,
+}
+
+impl FormatMetrics {
+    /// Builds the handle set against an explicit registry (tests use a
+    /// fresh one; the process-wide path goes through [`format_metrics`]).
+    pub fn in_registry(reg: &MetricsRegistry) -> Self {
+        FormatMetrics {
+            launches_tilecsr: reg.counter(&series(
+                "tsv_core_kernel_format_launches_total",
+                &[("format", "tilecsr")],
+            )),
+            launches_sell: reg.counter(&series(
+                "tsv_core_kernel_format_launches_total",
+                &[("format", "sell")],
+            )),
+            sell_padding_ratio: reg.gauge("tsv_core_sell_padding_ratio"),
+        }
+    }
+}
+
+/// Handles for the format-dispatch accounting (cached after first use).
+pub fn format_metrics() -> &'static FormatMetrics {
+    static M: OnceLock<FormatMetrics> = OnceLock::new();
+    M.get_or_init(|| FormatMetrics::in_registry(global()))
+}
+
 // ---------------------------------------------------------------------------
 // Exposition validation (used by the CLI after writing --metrics-out and by
 // the CI smoke step via `tsv`'s self-check).

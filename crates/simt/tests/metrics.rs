@@ -112,6 +112,41 @@ fn native_pool_increments_are_lossless() {
     assert!(recorded >= launches as u64, "{recorded} < {launches}");
 }
 
+/// The per-format kernel instruments keep the registry's disabled-is-free
+/// contract: with the registry off, incrementing the format counters and
+/// setting the padding gauge costs one branch and records nothing.
+#[test]
+fn format_metrics_disabled_is_free() {
+    use tsv_simt::metrics::FormatMetrics;
+    let reg = MetricsRegistry::new();
+    let fm = FormatMetrics::in_registry(&reg);
+    reg.set_enabled(false);
+    fm.launches_tilecsr.inc();
+    fm.launches_sell.inc();
+    fm.sell_padding_ratio.set(1.7);
+    assert_eq!(fm.launches_tilecsr.get(), 0);
+    assert_eq!(fm.launches_sell.get(), 0);
+    assert_eq!(fm.sell_padding_ratio.get(), 0.0);
+
+    reg.set_enabled(true);
+    fm.launches_sell.inc();
+    fm.sell_padding_ratio.set(1.25);
+    assert_eq!(fm.launches_sell.get(), 1);
+    assert_eq!(fm.sell_padding_ratio.get(), 1.25);
+    // Both label values of the launch counter and the gauge are distinct
+    // series in the exposition.
+    let text = reg.prometheus_text();
+    assert!(
+        text.contains("tsv_core_kernel_format_launches_total{format=\"sell\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("tsv_core_kernel_format_launches_total{format=\"tilecsr\"}"),
+        "{text}"
+    );
+    assert!(text.contains("tsv_core_sell_padding_ratio"), "{text}");
+}
+
 /// The Prometheus text exposition round-trips through the validator and
 /// the JSON export through the crate's own parser, with matching figures.
 #[test]

@@ -11,8 +11,8 @@
 
 use tilespmspv::core::exec::SpMSpVEngine;
 use tilespmspv::core::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
-use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
-use tilespmspv::core::tile::{TileConfig, TileMatrix};
+use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
+use tilespmspv::core::tile::{SellConfig, TileConfig, TileMatrix};
 use tilespmspv::simt::ExecBackend;
 use tilespmspv::sparse::gen::{
     banded, geometric_graph, grid2d, random_sparse_vector, rmat, uniform_random, RmatConfig,
@@ -30,6 +30,25 @@ fn backends() -> Vec<ExecBackend> {
         .filter(|&t| t > 0)
         .unwrap_or(2);
     vec![ExecBackend::model(), ExecBackend::native(Some(threads))]
+}
+
+/// The tile storage formats every conformance case runs with. `TSV_FORMAT`
+/// pins one (`tilecsr`, `sell`, `sell:C:sigma`, … — CI runs the suite once
+/// per format); unset runs both the tile-CSR baseline and SELL slabs with
+/// a small σ-window so sorting, padding and fallback all engage on the
+/// zoo's tile shapes.
+fn formats() -> Vec<SpvFormat> {
+    match std::env::var("TSV_FORMAT") {
+        Ok(spec) => vec![SpvFormat::parse(&spec).expect("TSV_FORMAT must parse")],
+        Err(_) => vec![
+            SpvFormat::TileCsr,
+            SpvFormat::Sell(SellConfig {
+                c: 8,
+                sigma: 16,
+                ..SellConfig::default()
+            }),
+        ],
+    }
 }
 
 /// The naive oracle: a dense gather over the stored entries. `None`
@@ -67,9 +86,13 @@ fn check_matrix<S: Semiring>(
     // 0 keeps everything in tiles. Both paths must agree with the oracle
     // on every execution substrate.
     let backends = backends();
+    let formats = formats();
     for extract in [0usize, 4] {
         for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
-            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            for (balance, &format) in [Balance::OneWarpPerRowTile, Balance::binned()]
+                .into_iter()
+                .flat_map(|b| formats.iter().map(move |f| (b, f)))
+            {
                 let cfg = TileConfig {
                     extract_threshold: extract,
                     ..Default::default()
@@ -77,6 +100,7 @@ fn check_matrix<S: Semiring>(
                 let opts = SpMSpVOptions {
                     kernel,
                     balance,
+                    format,
                     ..Default::default()
                 };
                 let mut engine = SpMSpVEngine::<S>::from_csr_with(a, cfg, opts).unwrap();
@@ -91,7 +115,7 @@ fn check_matrix<S: Semiring>(
                             .filter_map(|(i, v)| v.map(|_| i as u32))
                             .collect();
                         let ctx = format!(
-                            "{name} extract={extract} {kernel:?} {balance:?} backend {} input {si}",
+                            "{name} extract={extract} {kernel:?} {balance:?} {format} backend {} input {si}",
                             backend.describe()
                         );
                         assert_eq!(y.indices(), &support[..], "{ctx}: support diverged");
@@ -223,6 +247,60 @@ fn plus_times_matches_the_dense_oracle_everywhere() {
         coo_side_seen,
         "the zoo must exercise the COO extraction side at threshold 4"
     );
+}
+
+/// The acceptance bar for the SELL slabs: on the whole zoo, PlusTimes is
+/// bit-identical across {tile-CSR, SELL} × {model, native} × {1, 2, 4}
+/// threads. The slab bodies fold each row in the same ascending-column
+/// order as the tile-CSR walk and the permutation is undone at emit time,
+/// so not a single bit may move.
+#[test]
+fn plus_times_is_bit_identical_across_formats_and_substrates() {
+    let sell = SpvFormat::Sell(SellConfig {
+        c: 8,
+        sigma: 16,
+        ..SellConfig::default()
+    });
+    for (name, a) in conformance_zoo() {
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let x = random_sparse_vector(a.ncols(), 0.08, 7);
+                let run = |format: SpvFormat, backend: ExecBackend| {
+                    let opts = SpMSpVOptions {
+                        kernel,
+                        balance,
+                        format,
+                        ..Default::default()
+                    };
+                    let mut engine =
+                        SpMSpVEngine::<PlusTimes>::from_csr_with(&a, TileConfig::default(), opts)
+                            .unwrap();
+                    engine.set_backend(backend);
+                    let (y, _) = engine.multiply(&x).unwrap();
+                    (
+                        y.indices().to_vec(),
+                        y.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    )
+                };
+                let reference = run(SpvFormat::TileCsr, ExecBackend::model());
+                for format in [SpvFormat::TileCsr, sell] {
+                    for threads in [None, Some(1), Some(2), Some(4)] {
+                        let backend = match threads {
+                            None => ExecBackend::model(),
+                            Some(t) => ExecBackend::native(Some(t)),
+                        };
+                        let got = run(format, backend.clone());
+                        assert_eq!(
+                            got,
+                            reference,
+                            "{name} {kernel:?} {balance:?} {format} backend {}",
+                            backend.describe()
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -11,8 +11,8 @@
 use proptest::prelude::*;
 use tilespmspv::core::exec::{BfsEngine, SpMSpVEngine};
 use tilespmspv::core::semiring::{spmspv_semiring, MinPlus, OrAnd, PlusTimes};
-use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
-use tilespmspv::core::tile::TileConfig;
+use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
+use tilespmspv::core::tile::{SellConfig, TileConfig};
 use tilespmspv::simt::ExecBackend;
 use tilespmspv::sparse::gen::random_sparse_vector;
 use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
@@ -101,6 +101,63 @@ proptest! {
                 let many = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::native(Some(t)));
                 prop_assert_eq!(many.indices(), one.indices(), "{} threads {:?}", t, balance);
                 prop_assert_eq!(bits(&many), bits(&one), "{} threads {:?}", t, balance);
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_sell_is_bitwise_identical_to_tile_csr(
+        a in arb_weighted(),
+        seed in 0u64..1000,
+    ) {
+        // The SELL slab bodies fold each row in the same ascending-column
+        // order as the tile-CSR walk (the σ-sort permutes only *which
+        // lane* a row occupies, undone at emit), so on both substrates the
+        // product must match the baseline format bit for bit.
+        let sparsity = [0.01, 0.08, 0.35][seed as usize % 3];
+        let x = random_sparse_vector(a.ncols(), sparsity, seed);
+        let sell = SpvFormat::Sell(SellConfig { c: 8, sigma: 16, ..SellConfig::default() });
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let base = SpMSpVOptions { kernel, balance, ..Default::default() };
+                let tilecsr = run_on::<PlusTimes>(&a, &x, base, ExecBackend::model());
+                for backend in [ExecBackend::model(), ExecBackend::native(Some(2))] {
+                    let opts = SpMSpVOptions { format: sell, ..base };
+                    let y = run_on::<PlusTimes>(&a, &x, opts, backend.clone());
+                    prop_assert_eq!(
+                        y.indices(), tilecsr.indices(),
+                        "support: {:?} {:?} {}", kernel, balance, backend.describe()
+                    );
+                    prop_assert_eq!(
+                        bits(&y), bits(&tilecsr),
+                        "bits: {:?} {:?} {}", kernel, balance, backend.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_sell_is_thread_count_invariant(
+        a in arb_weighted(),
+        seed in 0u64..1000,
+    ) {
+        // Both supported lane widths: the chunk decomposition (and with it
+        // the merge order) is thread-count independent, and the slab walk
+        // is deterministic per tile.
+        let x = random_sparse_vector(a.ncols(), 0.1, seed);
+        for c in [4usize, 8] {
+            let opts = SpMSpVOptions {
+                kernel: KernelChoice::RowTile,
+                balance: Balance::binned(),
+                format: SpvFormat::Sell(SellConfig { c, sigma: 32, ..SellConfig::default() }),
+                ..Default::default()
+            };
+            let one = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::native(Some(1)));
+            for t in [2usize, 4] {
+                let many = run_on::<PlusTimes>(&a, &x, opts, ExecBackend::native(Some(t)));
+                prop_assert_eq!(many.indices(), one.indices(), "C={} {} threads", c, t);
+                prop_assert_eq!(bits(&many), bits(&one), "C={} {} threads", c, t);
             }
         }
     }

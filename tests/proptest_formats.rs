@@ -64,6 +64,64 @@ proptest! {
     }
 
     #[test]
+    fn sell_slabs_round_trip_to_tile_csr(
+        coo in arb_matrix(),
+        c_pick in 0usize..2,
+        sigma in 1usize..40,
+    ) {
+        // The SELL-C-σ construction is a pure re-layout: `perm` must be a
+        // permutation of the tile's rows, `lens` the true row lengths,
+        // every (col, val) recoverable from the lane-major slab at its
+        // tile-CSR position, and the padding accounting consistent with
+        // the recorded chunk widths.
+        use tilespmspv::core::tile::{SellConfig, SellSlabs};
+        let csr = coo.to_csr();
+        let tiled = TileMatrix::from_csr(&csr, TileConfig::default()).unwrap();
+        let cfg = SellConfig {
+            c: [4, 8][c_pick],
+            sigma,
+            max_padding: 1e9, // convert every stored sparse tile
+        };
+        let slabs = SellSlabs::build(&tiled, cfg);
+        prop_assert_eq!(slabs.stats().fallback_tiles, 0, "uncapped build must not fall back");
+        let nt = tiled.nt();
+        let c = cfg.c;
+        let mut real = 0usize;
+        for t in 0..tiled.num_tiles() {
+            let view = tiled.tile(t);
+            let Some(slab) = slabs.slab(t) else {
+                prop_assert!(view.dense.is_some(), "only dense tiles may skip conversion");
+                continue;
+            };
+            let mut seen = vec![false; nt];
+            for (pos, &lr) in slab.perm.iter().enumerate() {
+                prop_assert!(!seen[lr as usize], "perm repeats row {}", lr);
+                seen[lr as usize] = true;
+                let (cols, vals) = view.row(lr as usize);
+                prop_assert_eq!(slab.lens[pos] as usize, cols.len());
+                real += cols.len();
+                let chunk = pos / c;
+                let lane = pos % c;
+                let base: usize = slab.widths[..chunk].iter().map(|&w| w as usize * c).sum();
+                for k in 0..cols.len() {
+                    prop_assert_eq!(slab.cols[base + k * c + lane], cols[k]);
+                    prop_assert_eq!(slab.vals[base + k * c + lane], vals[k]);
+                }
+            }
+            // Each chunk is padded exactly to its widest row.
+            for (chunk, &w) in slab.widths.iter().enumerate() {
+                let lens = &slab.lens[chunk * c..(chunk + 1) * c];
+                prop_assert_eq!(w, *lens.iter().max().unwrap());
+            }
+        }
+        prop_assert_eq!(slabs.stats().real_entries, real);
+        prop_assert!(slabs.stats().padded_entries >= real);
+        if real > 0 {
+            prop_assert!(slabs.stats().padding_ratio() >= 1.0);
+        }
+    }
+
+    #[test]
     fn matrix_market_roundtrip(coo in arb_matrix()) {
         let mut summed = coo.clone();
         summed.sum_duplicates();

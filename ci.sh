@@ -54,6 +54,23 @@ test -s "$trace_dir/REPORT.md"
 cargo test --release -q -p tsv-simt -p tsv-core
 ./target/release/repro sanitize --scale tiny
 
+# Plan-time static race verifier. `repro analyze` sweeps the corpus
+# (kernel × balance × format × both backends, plus BFS) through the
+# analyzer and cross-checks every verdict against the dynamic sanitizer:
+# each default-path plan must prove, a Proved verdict must show zero
+# dynamic conflicts, and a non-Proved verdict must be justified by
+# observed atomic claims. The CLI smoke drives --verify-plan end to end.
+./target/release/repro analyze --scale tiny
+./target/release/tsv spmspv gen:rmat:10 --verify-plan | grep 'proved' >/dev/null
+./target/release/tsv spmspv gen:banded:2000:8 --balance binned --verify-plan | grep 'merge-determinism' >/dev/null
+./target/release/tsv bfs gen:grid:40:40 --verify-plan | grep 'plan bfs/' >/dev/null
+
+# loom model checking: exhaustive interleaving exploration of the atomic
+# merge primitives (frontier fetch_or, PlusTimes CAS-add bit-identity,
+# workspace pool handoff) with `--cfg loom` swapping the atomic views
+# onto loom's model-checked types.
+RUSTFLAGS="--cfg loom" cargo test --release -q -p tsv-simt --test loom_model
+
 # Native-backend gate: the conformance suite (every kernel × semiring ×
 # balance mode against the dense oracle) and the backend-equivalence
 # property tests, with the native rayon pool at one thread and at four.

@@ -77,7 +77,7 @@ pub fn betweenness_traced(
         }
     }
     // Each undirected path is found from both endpoints' perspectives.
-    for v in bc.iter_mut() {
+    for v in &mut bc {
         *v /= 2.0;
     }
     Ok(bc)
@@ -113,7 +113,7 @@ pub fn betweenness_msbfs(a: &CsrMatrix<f64>, sources: &[usize]) -> Result<Vec<f6
             }
         }
     }
-    for v in bc.iter_mut() {
+    for v in &mut bc {
         *v /= 2.0;
     }
     Ok(bc)

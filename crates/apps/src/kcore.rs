@@ -42,7 +42,7 @@ pub fn k_core(a: &CsrMatrix<f64>) -> Result<Vec<u32>, SparseError> {
         while cursor < buckets.len() && buckets[cursor].is_empty() {
             cursor += 1;
         }
-        let Some(v) = buckets.get_mut(cursor).and_then(|b| b.pop()) else {
+        let Some(v) = buckets.get_mut(cursor).and_then(std::vec::Vec::pop) else {
             break;
         };
         let v = v as usize;

@@ -24,6 +24,8 @@
 //! setup phases and per-round progress records land on its ring for Chrome
 //! Trace export and run summaries (`tsv_core::telemetry`).
 
+#![forbid(unsafe_code)]
+
 pub mod bc;
 pub mod cc;
 pub mod kcore;

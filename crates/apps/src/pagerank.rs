@@ -25,7 +25,7 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions {
+        Self {
             damping: 0.85,
             tolerance: 1e-9,
             max_iters: 200,

@@ -128,7 +128,7 @@ mod tests {
     fn rcm_is_a_permutation() {
         let a = geometric_graph(500, 4.0, 1).to_csr();
         let perm = rcm_order(&a).unwrap();
-        let mut sorted = perm.clone();
+        let mut sorted = perm;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..500).collect::<Vec<_>>());
     }

@@ -150,7 +150,7 @@ mod tests {
         let levels = tsv_sparse::reference::bfs_levels(&pattern, 0).unwrap();
         for v in 0..300 {
             if levels[v] >= 0 {
-                assert_eq!(d[v], levels[v] as f64, "vertex {v}");
+                assert_eq!(d[v], f64::from(levels[v]), "vertex {v}");
             } else {
                 assert!(d[v].is_infinite());
             }

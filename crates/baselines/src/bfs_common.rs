@@ -63,6 +63,7 @@ pub fn validate_bfs_input<T: Copy>(a: &CsrMatrix<T>, source: usize) -> Result<()
 }
 
 /// A concurrent visited set over `n` vertices: 64 vertices per word.
+///
 /// `try_visit` atomically claims a vertex, returning true for the winner —
 /// the idempotent-filter primitive all frontier-queue baselines rely on.
 #[derive(Debug)]
@@ -74,7 +75,7 @@ pub struct VisitedSet {
 impl VisitedSet {
     /// An empty visited set.
     pub fn new(n: usize) -> Self {
-        VisitedSet {
+        Self {
             words: AtomicWords::zeroed(n.div_ceil(64)),
             n,
         }
@@ -117,7 +118,7 @@ pub struct Bitmap {
 impl Bitmap {
     /// An empty bitmap.
     pub fn new(n: usize) -> Self {
-        Bitmap {
+        Self {
             words: vec![0; n.div_ceil(64)],
             n,
         }
@@ -125,7 +126,7 @@ impl Bitmap {
 
     /// Builds from a vertex list.
     pub fn from_list(n: usize, list: &[u32]) -> Self {
-        let mut b = Bitmap::new(n);
+        let mut b = Self::new(n);
         for &v in list {
             b.set(v as usize);
         }

@@ -68,7 +68,7 @@ impl BsrMatrix {
             row_ptr[br + 1] = col_idx.len();
         }
 
-        Ok(BsrMatrix {
+        Ok(Self {
             nrows,
             ncols,
             block,
@@ -171,7 +171,7 @@ mod tests {
     fn ragged_blocks_handled() {
         let a = uniform_random(70, 45, 400, 3).to_csr();
         let bsr = BsrMatrix::from_csr(&a, 16).unwrap();
-        let x: Vec<f64> = (0..45).map(|i| i as f64 * 0.1).collect();
+        let x: Vec<f64> = (0..45).map(|i| f64::from(i) * 0.1).collect();
         let (y, _) = bsr.bsrmv(&x);
         let expect = spmv(&a, &x).unwrap();
         for i in 0..70 {

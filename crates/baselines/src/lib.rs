@@ -18,6 +18,8 @@
 //! * [`enterprise`] — Enterprise-style BFS: out-degree-classified frontier
 //!   bins with per-bin granularity, plus direction switching.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs_common;
 pub mod bsr;
 pub mod combblas;

@@ -46,40 +46,37 @@ pub fn tile_spmv_into(a: &TileMatrix, x: &[f64], y_padded: &mut Vec<f64>) -> Ker
             warp.stats.read(4);
             warp.stats.read(nt * 8); // the dense x slice for this tile
 
-            match view.dense {
-                Some(d) => {
-                    warp.stats.read(nt * nt * 8);
-                    for lr in 0..nt {
-                        let row = &d[lr * nt..(lr + 1) * nt];
-                        let mut sum = 0.0;
-                        for (lc, v) in row.iter().enumerate() {
-                            let c = base_c + lc;
-                            if c < a.ncols() {
-                                sum += v * x[c];
-                            }
-                        }
-                        y_tile[lr] += sum;
-                    }
-                    warp.stats.flop(2 * nt * nt);
-                    warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
-                }
-                None => {
-                    warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + 8));
-                    for (lr, y_slot) in y_tile.iter_mut().enumerate() {
-                        let (cols, vals) = view.row(lr);
-                        if cols.is_empty() {
-                            continue;
-                        }
-                        let mut sum = 0.0;
-                        for (&lc, &v) in cols.iter().zip(vals) {
-                            let c = base_c + lc as usize;
+            if let Some(d) = view.dense {
+                warp.stats.read(nt * nt * 8);
+                for lr in 0..nt {
+                    let row = &d[lr * nt..(lr + 1) * nt];
+                    let mut sum = 0.0;
+                    for (lc, v) in row.iter().enumerate() {
+                        let c = base_c + lc;
+                        if c < a.ncols() {
                             sum += v * x[c];
                         }
-                        warp.stats.flop(2 * cols.len());
-                        *y_slot += sum;
                     }
-                    warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
+                    y_tile[lr] += sum;
                 }
+                warp.stats.flop(2 * nt * nt);
+                warp.stats.lane_steps += ((nt * nt) / 32) as u64 * 32;
+            } else {
+                warp.stats.read((nt + 1) * 2 + view.nnz() * (1 + 8));
+                for (lr, y_slot) in y_tile.iter_mut().enumerate() {
+                    let (cols, vals) = view.row(lr);
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    let mut sum = 0.0;
+                    for (&lc, &v) in cols.iter().zip(vals) {
+                        let c = base_c + lc as usize;
+                        sum += v * x[c];
+                    }
+                    warp.stats.flop(2 * cols.len());
+                    *y_slot += sum;
+                }
+                warp.stats.lane_steps += view.nnz().div_ceil(2) as u64;
             }
         }
         warp.stats.write(nt * 8);
@@ -106,7 +103,7 @@ mod tests {
     fn matches_reference_spmv() {
         let a = banded(150, 7, 0.8, 2).to_csr();
         let tm = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
-        let x: Vec<f64> = (0..150).map(|i| (i % 5) as f64 - 2.0).collect();
+        let x: Vec<f64> = (0..150).map(|i| f64::from(i % 5) - 2.0).collect();
         let (y, stats) = tile_spmv(&tm, &x);
         let expect = spmv(&a, &x).unwrap();
         for i in 0..150 {
@@ -150,7 +147,7 @@ mod tests {
     fn into_variant_reuses_buffer_and_matches_wrapper() {
         let a = banded(300, 5, 0.8, 4).to_csr();
         let tm = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
-        let x: Vec<f64> = (0..300).map(|i| (i % 7) as f64).collect();
+        let x: Vec<f64> = (0..300).map(|i| f64::from(i % 7)).collect();
         let (expect, expect_stats) = tile_spmv(&tm, &x);
 
         let mut buf = Vec::new();

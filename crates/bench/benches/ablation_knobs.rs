@@ -19,7 +19,7 @@ fn bench_tile_size(c: &mut Criterion) {
     for ts in TileSize::all() {
         let tiled = TileMatrix::from_csr(&a, TileConfig::with_size(ts)).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(ts), &ts, |b, _| {
-            b.iter(|| black_box(tsv_core::spmspv::tile_spmspv(&tiled, &x).unwrap()))
+            b.iter(|| black_box(tsv_core::spmspv::tile_spmspv(&tiled, &x).unwrap()));
         });
     }
     group.finish();
@@ -68,7 +68,7 @@ fn bench_kernel_choice(c: &mut Criterion) {
                 ..Default::default()
             };
             group.bench_with_input(BenchmarkId::new(label, sp), &sp, |b, _| {
-                b.iter(|| black_box(tile_spmspv_with(&tiled, &x, opts).unwrap()))
+                b.iter(|| black_box(tile_spmspv_with(&tiled, &x, opts).unwrap()));
             });
         }
     }
@@ -116,7 +116,7 @@ fn bench_policy_thresholds(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(density), &density, |b, _| {
-            b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap()))
+            b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap()));
         });
     }
     group.finish();

@@ -30,8 +30,7 @@ fn bench_fig10(c: &mut Criterion) {
             .iterations
             .iter()
             .max_by_key(|it| it.frontier)
-            .map(|it| it.level as i32 - 1)
-            .unwrap_or(0);
+            .map_or(0, |it| it.level as i32 - 1);
         let mut x = BitFrontier::new(n, nt);
         let mut m = BitFrontier::new(n, nt);
         for (v, &l) in full.levels.iter().enumerate() {
@@ -44,23 +43,23 @@ fn bench_fig10(c: &mut Criterion) {
         }
 
         group.bench_with_input(BenchmarkId::new("Push-CSC", name), &name, |b, _| {
-            b.iter(|| black_box(push_csc::push_csc(g.bit(), &x, &m)))
+            b.iter(|| black_box(push_csc::push_csc(g.bit(), &x, &m)));
         });
         group.bench_with_input(BenchmarkId::new("Push-CSR", name), &name, |b, _| {
-            b.iter(|| black_box(push_csr::push_csr(g.bit(), &x, &m)))
+            b.iter(|| black_box(push_csr::push_csr(g.bit(), &x, &m)));
         });
         group.bench_with_input(BenchmarkId::new("Pull-CSC", name), &name, |b, _| {
-            b.iter(|| black_box(pull_csc::pull_csc(g.bit(), &m)))
+            b.iter(|| black_box(pull_csc::pull_csc(g.bit(), &m)));
         });
 
         // Whole traversals: one-shot (scratch allocated per run) vs the
         // engine (scratch reused across runs).
         group.bench_with_input(BenchmarkId::new("TileBFS-one-shot", name), &name, |b, _| {
-            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()));
         });
         let mut engine = BfsEngine::from_csr(&a).unwrap();
         group.bench_with_input(BenchmarkId::new("TileBFS-engine", name), &name, |b, _| {
-            b.iter(|| black_box(engine.run(src).unwrap()))
+            b.iter(|| black_box(engine.run(src).unwrap()));
         });
     }
     group.finish();

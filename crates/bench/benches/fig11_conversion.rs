@@ -15,7 +15,7 @@ fn bench_fig11(c: &mut Criterion) {
     for e in representative(SuiteScale::Tiny) {
         let a = e.matrix;
         group.bench_with_input(BenchmarkId::new("bfs-format", e.name), &e.name, |b, _| {
-            b.iter(|| black_box(TileBfsGraph::from_csr(&a).unwrap()))
+            b.iter(|| black_box(TileBfsGraph::from_csr(&a).unwrap()));
         });
         group.bench_with_input(
             BenchmarkId::new("numeric-format", e.name),

@@ -19,10 +19,10 @@ fn bench_fig12(c: &mut Criterion) {
         let g = TileBfsGraph::from_csr(&a).unwrap();
 
         group.bench_with_input(BenchmarkId::new("TileBFS", e.name), &e.name, |b, _| {
-            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("Enterprise", e.name), &e.name, |b, _| {
-            b.iter(|| black_box(enterprise_bfs(&a, src).unwrap()))
+            b.iter(|| black_box(enterprise_bfs(&a, src).unwrap()));
         });
     }
     group.finish();

@@ -37,19 +37,19 @@ fn bench_fig6(c: &mut Criterion) {
             let xd = x.to_dense();
 
             group.bench_with_input(BenchmarkId::new("TileSpMSpV", sp), &sp, |b, _| {
-                b.iter(|| black_box(tile_spmspv(&tiled, &x).unwrap()))
+                b.iter(|| black_box(tile_spmspv(&tiled, &x).unwrap()));
             });
             group.bench_with_input(BenchmarkId::new("TileSpMSpV-engine", sp), &sp, |b, _| {
-                b.iter(|| black_box(engine.multiply(&x).unwrap()))
+                b.iter(|| black_box(engine.multiply(&x).unwrap()));
             });
             group.bench_with_input(BenchmarkId::new("TileSpMV", sp), &sp, |b, _| {
-                b.iter(|| black_box(tile_spmv(&tiled, &xd)))
+                b.iter(|| black_box(tile_spmv(&tiled, &xd)));
             });
             group.bench_with_input(BenchmarkId::new("cuSPARSE-BSR", sp), &sp, |b, _| {
-                b.iter(|| black_box(bsr.bsrmv(&xd)))
+                b.iter(|| black_box(bsr.bsrmv(&xd)));
             });
             group.bench_with_input(BenchmarkId::new("CombBLAS-bucket", sp), &sp, |b, _| {
-                b.iter(|| black_box(bucket_spmspv(&csc, &x).unwrap()))
+                b.iter(|| black_box(bucket_spmspv(&csc, &x).unwrap()));
             });
         }
         group.finish();

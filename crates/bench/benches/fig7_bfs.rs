@@ -20,13 +20,13 @@ fn bench_fig7(c: &mut Criterion) {
         let label = format!("{}-{}", p.family, a.nrows());
 
         group.bench_with_input(BenchmarkId::new("TileBFS", &label), &label, |b, _| {
-            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("Gunrock", &label), &label, |b, _| {
-            b.iter(|| black_box(gunrock_bfs(&a, src).unwrap()))
+            b.iter(|| black_box(gunrock_bfs(&a, src).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("GSwitch", &label), &label, |b, _| {
-            b.iter(|| black_box(gswitch_bfs(&a, src).unwrap()))
+            b.iter(|| black_box(gswitch_bfs(&a, src).unwrap()));
         });
     }
     group.finish();

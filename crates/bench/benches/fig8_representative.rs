@@ -20,13 +20,13 @@ fn bench_fig8(c: &mut Criterion) {
         let g = TileBfsGraph::from_csr(&a).unwrap();
 
         group.bench_with_input(BenchmarkId::new("TileBFS", e.name), &e.name, |b, _| {
-            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()))
+            b.iter(|| black_box(tile_bfs(&g, src, BfsOptions::default()).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("Gunrock", e.name), &e.name, |b, _| {
-            b.iter(|| black_box(gunrock_bfs(&a, src).unwrap()))
+            b.iter(|| black_box(gunrock_bfs(&a, src).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("GSwitch", e.name), &e.name, |b, _| {
-            b.iter(|| black_box(gswitch_bfs(&a, src).unwrap()))
+            b.iter(|| black_box(gswitch_bfs(&a, src).unwrap()));
         });
     }
     group.finish();

@@ -27,7 +27,7 @@ fn bench_fig9(c: &mut Criterion) {
                 ..Default::default()
             };
             group.bench_with_input(BenchmarkId::new(label, e.name), &e.name, |b, _| {
-                b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap()))
+                b.iter(|| black_box(tile_bfs(&g, src, opts).unwrap()));
             });
         }
     }

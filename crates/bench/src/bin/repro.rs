@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale tiny|small|medium] [--out DIR] [--check DIR]
 //!
 //! experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
-//!              profile trace bench report sanitize
+//!              profile trace bench report sanitize analyze
 //! ```
 //!
 //! `trace` runs one instrumented SpMSpV sweep plus one instrumented BFS,
@@ -28,7 +28,13 @@
 //! balance mode × semiring (and a full BFS) over the representative
 //! corpus under the race sanitizer, then certifies schedule independence
 //! with seeded warp-order permutations; any detected conflict or
-//! permutation-dependent output exits non-zero.
+//! permutation-dependent output exits non-zero. `analyze` sweeps the
+//! conformance corpus (kernel × balance × format × both backends, plus
+//! BFS) through the plan-time static race verifier and cross-checks it
+//! against the dynamic sanitizer: every default-path plan must prove, a
+//! `Proved` verdict must see zero dynamic conflicts, and a non-`Proved`
+//! verdict must be justified by observed atomic claims; any disagreement
+//! exits non-zero.
 //!
 //! Each experiment prints the paper's rows/series to stdout and writes a
 //! CSV under `--out` (default `results/`). Absolute numbers come from the
@@ -68,7 +74,7 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match args.get(i).map(|s| s.as_str()) {
+                scale = match args.get(i).map(std::string::String::as_str) {
                     Some("tiny") => SuiteScale::Tiny,
                     Some("small") => SuiteScale::Small,
                     Some("medium") => SuiteScale::Medium,
@@ -80,22 +86,20 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                match args.get(i) {
-                    Some(dir) => out = PathBuf::from(dir),
-                    None => {
-                        eprintln!("--out needs a directory");
-                        std::process::exit(2);
-                    }
+                if let Some(dir) = args.get(i) {
+                    out = PathBuf::from(dir);
+                } else {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
                 }
             }
             "--check" => {
                 i += 1;
-                match args.get(i) {
-                    Some(dir) => check = Some(PathBuf::from(dir)),
-                    None => {
-                        eprintln!("--check needs a baseline directory");
-                        std::process::exit(2);
-                    }
+                if let Some(dir) = args.get(i) {
+                    check = Some(PathBuf::from(dir));
+                } else {
+                    eprintln!("--check needs a baseline directory");
+                    std::process::exit(2);
                 }
             }
             other => {
@@ -122,6 +126,7 @@ fn main() {
         "bench" => bench_cmd(scale, &out, check.as_deref()),
         "report" => report_cmd(scale, &out, check.as_deref()),
         "sanitize" => sanitize_cmd(scale),
+        "analyze" => analyze_cmd(scale),
         "all" => {
             table1();
             table2(scale, &out);
@@ -139,7 +144,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|report|sanitize|all> \
+        "usage: repro <table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|fig12|profile|trace|bench|report|sanitize|analyze|all> \
          [--scale tiny|small|medium] [--out DIR] [--check BASELINE_DIR]"
     );
     std::process::exit(2);
@@ -299,11 +304,11 @@ fn fig6(scale: SuiteScale, out: &Path) {
             "sparsity {:>7}: speedup vs TileSpMV geo {:>6.2}x (max {:>7.2}x) | vs cuSPARSE-BSR geo {:>6.2}x (max {:>7.2}x) | vs CombBLAS geo {:>6.2}x (max {:>7.2}x)",
             sp,
             geomean(&vs_spmv),
-            vs_spmv.iter().cloned().fold(0.0, f64::max),
+            vs_spmv.iter().copied().fold(0.0, f64::max),
             geomean(&vs_bsr),
-            vs_bsr.iter().cloned().fold(0.0, f64::max),
+            vs_bsr.iter().copied().fold(0.0, f64::max),
             geomean(&vs_cb),
-            vs_cb.iter().cloned().fold(0.0, f64::max),
+            vs_cb.iter().copied().fold(0.0, f64::max),
         );
     }
     write_csv(&out.join("fig6_spmspv.csv"), &csv);
@@ -402,16 +407,16 @@ fn fig7(scale: SuiteScale, out: &Path) {
     println!(
         "speedup of TileBFS (CPU wall):      vs Gunrock geo {:.2}x (max {:.2}x), vs GSwitch geo {:.2}x (max {:.2}x)",
         geomean(&sp_gun),
-        sp_gun.iter().cloned().fold(0.0, f64::max),
+        sp_gun.iter().copied().fold(0.0, f64::max),
         geomean(&sp_gsw),
-        sp_gsw.iter().cloned().fold(0.0, f64::max),
+        sp_gsw.iter().copied().fold(0.0, f64::max),
     );
     println!(
         "speedup of TileBFS (modeled 3090):  vs Gunrock geo {:.2}x (max {:.2}x), vs GSwitch geo {:.2}x (max {:.2}x)",
         geomean(&msp_gun),
-        msp_gun.iter().cloned().fold(0.0, f64::max),
+        msp_gun.iter().copied().fold(0.0, f64::max),
         geomean(&msp_gsw),
-        msp_gsw.iter().cloned().fold(0.0, f64::max),
+        msp_gsw.iter().copied().fold(0.0, f64::max),
     );
     write_csv(&out.join("fig7_bfs.csv"), &csv);
     println!();
@@ -657,7 +662,7 @@ fn fig12(scale: SuiteScale, out: &Path) {
     println!(
         "speedup of TileBFS vs Enterprise: geo {:.2}x (max {:.2}x)",
         geomean(&speedups),
-        speedups.iter().cloned().fold(0.0, f64::max)
+        speedups.iter().copied().fold(0.0, f64::max)
     );
     write_csv(&out.join("fig12_enterprise.csv"), &csv);
     println!();
@@ -732,8 +737,7 @@ fn profile(scale: SuiteScale) {
         shared.scratch_reshapes, shared.slots_scanned, shared.slots_reset
     );
     println!(
-        "one-shot (fresh per call): {} scratch builds, {} slots scanned, {} slots reset",
-        fresh_reshapes, fresh_scanned, fresh_reset
+        "one-shot (fresh per call): {fresh_reshapes} scratch builds, {fresh_scanned} slots scanned, {fresh_reset} slots reset"
     );
     println!();
 }
@@ -1017,6 +1021,165 @@ fn sanitize_cmd(scale: SuiteScale) {
         std::process::exit(1);
     }
     println!("sanitize: clean");
+    println!();
+}
+
+// ----------------------------------------------------------------- analyze
+
+/// `repro analyze`: sweeps the conformance corpus through the plan-time
+/// static race verifier — every SpMSpV kernel × balance × tile format on
+/// both execution backends, plus a TileBFS traversal — and cross-checks
+/// the analyzer against the dynamic sanitizer. The differential contract:
+/// a `Proved` plan must show zero dynamic conflicts, and any non-`Proved`
+/// verdict must be justified by observed atomic claims. Every default-path
+/// plan is expected to prove outright; a non-proved plan, a sanitizer
+/// conflict under a proof, or an unjustified verdict exits non-zero.
+fn analyze_cmd(scale: SuiteScale) {
+    use std::sync::Arc;
+    use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+    use tsv_core::semiring::PlusTimes;
+    use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
+    use tsv_core::telemetry::RunSummary;
+    use tsv_simt::{ExecBackend, Sanitizer};
+
+    println!("== static race verifier: kernel x balance x format x backend sweep ==");
+    let suite = representative(scale);
+    let mut failed = false;
+    let mut plans = 0usize;
+    let mut proved = 0usize;
+    let mut summary = RunSummary::new("repro-analyze", RTX_3090);
+
+    let kernels = [
+        (KernelChoice::RowTile, "row"),
+        (KernelChoice::ColTile, "col"),
+    ];
+    let balances = [
+        (Balance::OneWarpPerRowTile, "direct"),
+        (Balance::binned(), "binned"),
+    ];
+    let formats = [
+        (SpvFormat::TileCsr, "tilecsr"),
+        (SpvFormat::Sell(Default::default()), "sell"),
+    ];
+    let backends = [
+        (ExecBackend::model(), "model"),
+        (ExecBackend::native(Some(2)), "native:2"),
+    ];
+
+    for e in &suite {
+        let a = &e.matrix;
+        let x = random_sparse_vector(a.ncols(), 0.02, 7);
+        let mut corpus_bad = 0usize;
+        for (kernel, kname) in kernels {
+            for (balance, bname) in balances {
+                for (format, fname) in formats {
+                    for (backend, bk) in &backends {
+                        let opts = SpMSpVOptions {
+                            kernel,
+                            balance,
+                            format,
+                            verify: true,
+                            ..Default::default()
+                        };
+                        let mut engine = SpMSpVEngine::<PlusTimes>::from_csr_with(
+                            a,
+                            TileConfig::default(),
+                            opts,
+                        )
+                        .expect("tile PlusTimes");
+                        engine.set_backend(backend.clone());
+                        // The sanitizer replays modeled warp schedules, so
+                        // the dynamic side of the cross-check runs on the
+                        // model backend only; native runs still verify.
+                        let san = (*bk == "model").then(|| Arc::new(Sanitizer::new()));
+                        engine.set_sanitizer(san.clone());
+                        engine.multiply(&x).expect("verified multiply");
+                        let report = engine
+                            .last_analysis()
+                            .expect("verify option must produce a report")
+                            .clone();
+                        summary.record_static_analysis(&report);
+                        plans += 1;
+                        let mut bad: Option<String> = None;
+                        if let Some(san) = &san {
+                            let conflicts = san.violation_count();
+                            let atomics = san.summary().atomics;
+                            if report.is_proved() && conflicts > 0 {
+                                bad = Some(format!(
+                                    "proved, but the sanitizer found {conflicts} conflict(s)"
+                                ));
+                            } else if !report.is_proved() && atomics == 0 {
+                                bad = Some(
+                                    "non-proved verdict with no atomic claims observed".into(),
+                                );
+                            }
+                        }
+                        if report.is_proved() {
+                            proved += 1;
+                        } else if bad.is_none() {
+                            bad = Some(format!("default-path plan not proved: {report}"));
+                        }
+                        if let Some(why) = bad {
+                            eprintln!("  {} {kname}/{bname}/{fname}/{bk}: {why}", e.name);
+                            corpus_bad += 1;
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        for (backend, bk) in &backends {
+            let mut bfs = BfsEngine::from_csr(a).expect("build BFS graph");
+            let mut opts = bfs.options();
+            opts.verify = true;
+            bfs.set_options(opts);
+            bfs.set_backend(backend.clone());
+            let san = (*bk == "model").then(|| Arc::new(Sanitizer::new()));
+            bfs.set_sanitizer(san.clone());
+            let r = bfs.run(bfs_source(a)).expect("verified BFS");
+            let report = r.analysis.expect("verify option must produce a report");
+            summary.record_static_analysis(&report);
+            plans += 1;
+            let conflicts = san.as_ref().map_or(0, |s| s.violation_count());
+            if report.is_proved() {
+                proved += 1;
+                if conflicts > 0 {
+                    eprintln!(
+                        "  {} bfs/{bk}: proved, but the sanitizer found {conflicts} conflict(s)",
+                        e.name
+                    );
+                    corpus_bad += 1;
+                    failed = true;
+                }
+            } else {
+                eprintln!(
+                    "  {} bfs/{bk}: default-path plan not proved: {report}",
+                    e.name
+                );
+                corpus_bad += 1;
+                failed = true;
+            }
+        }
+
+        println!(
+            "  {:<16} {:>8} rows {:>9} nnz: {} disagreement(s)",
+            e.name,
+            a.nrows(),
+            a.nnz(),
+            corpus_bad
+        );
+    }
+
+    // The summary document must carry the verdicts and stay parseable.
+    let doc = summary.to_json();
+    tsv_simt::json::parse(&doc).expect("run summary must parse");
+    println!("analyze: {plans} plans, {proved} proved");
+    if failed {
+        eprintln!("analyze: FAILED");
+        std::process::exit(1);
+    }
+    println!("analyze: clean");
     println!();
 }
 
@@ -1413,7 +1576,7 @@ fn report_rows(doc: &str, what: &str) -> Vec<ReportRow> {
         std::process::exit(1);
     });
     v.get("rows")
-        .and_then(|r| r.as_array().map(|a| a.to_vec()))
+        .and_then(|r| r.as_array().map(<[tsv_simt::json::JsonValue]>::to_vec))
         .unwrap_or_default()
         .iter()
         .filter_map(|row| {
@@ -1424,8 +1587,12 @@ fn report_rows(doc: &str, what: &str) -> Vec<ReportRow> {
                     .get("bound")
                     .and_then(|b| b.as_str())
                     .map(str::to_string),
-                bw_fraction: row.get("bw_fraction").and_then(|f| f.as_f64()),
-                flop_fraction: row.get("flop_fraction").and_then(|f| f.as_f64()),
+                bw_fraction: row
+                    .get("bw_fraction")
+                    .and_then(tsv_simt::json::JsonValue::as_f64),
+                flop_fraction: row
+                    .get("flop_fraction")
+                    .and_then(tsv_simt::json::JsonValue::as_f64),
             })
         })
         .collect()
@@ -1558,13 +1725,19 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
         let v = tsv_simt::json::parse(doc).expect("native table must parse");
         for row in v
             .get("rows")
-            .and_then(|r| r.as_array().map(|a| a.to_vec()))
+            .and_then(|r| r.as_array().map(<[tsv_simt::json::JsonValue]>::to_vec))
             .unwrap_or_default()
         {
             let name = row.get("matrix").and_then(|m| m.as_str()).unwrap_or("?");
             let format = row.get("format").and_then(|f| f.as_str()).unwrap_or("?");
-            let threads = row.get("threads").and_then(|t| t.as_u64()).unwrap_or(0);
-            let wall = row.get("wall_ms").and_then(|w| w.as_f64()).unwrap_or(0.0);
+            let threads = row
+                .get("threads")
+                .and_then(tsv_simt::json::JsonValue::as_u64)
+                .unwrap_or(0);
+            let wall = row
+                .get("wall_ms")
+                .and_then(tsv_simt::json::JsonValue::as_f64)
+                .unwrap_or(0.0);
             let kind = if row.get("iterations").is_some() {
                 "bfs"
             } else {
@@ -1578,8 +1751,7 @@ fn report_cmd(scale: SuiteScale, out: &Path, baseline: Option<&Path>) {
     md.push_str(&format_comparison_md(&spmspv_native));
     let _ = writeln!(
         md,
-        "{} case(s) regressed beyond the 25% threshold.",
-        regressions
+        "{regressions} case(s) regressed beyond the 25% threshold."
     );
 
     let path = out.join("REPORT.md");
@@ -1606,13 +1778,14 @@ fn format_comparison_md(spmspv_native: &str) -> String {
     let mut per: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new();
     for row in v
         .get("rows")
-        .and_then(|r| r.as_array().map(|a| a.to_vec()))
+        .and_then(|r| r.as_array().map(<[tsv_simt::json::JsonValue]>::to_vec))
         .unwrap_or_default()
     {
         let (Some(name), Some(format), Some(wall)) = (
             row.get("matrix").and_then(|m| m.as_str()),
             row.get("format").and_then(|f| f.as_str()),
-            row.get("wall_ms").and_then(|w| w.as_f64()),
+            row.get("wall_ms")
+                .and_then(tsv_simt::json::JsonValue::as_f64),
         ) else {
             continue;
         };
@@ -1623,7 +1796,10 @@ fn format_comparison_md(spmspv_native: &str) -> String {
             "tilecsr" => e.0 = e.0.min(wall),
             "sell" => {
                 e.1 = e.1.min(wall);
-                if let Some(p) = row.get("sell_padding").and_then(|p| p.as_f64()) {
+                if let Some(p) = row
+                    .get("sell_padding")
+                    .and_then(tsv_simt::json::JsonValue::as_f64)
+                {
                     e.2 = p;
                 }
             }
@@ -1686,7 +1862,7 @@ fn check_against_baseline(file: &str, new_doc: &str, baseline_dir: &Path) -> usi
             std::process::exit(1);
         });
         v.get("rows")
-            .and_then(|r| r.as_array().map(|a| a.to_vec()))
+            .and_then(|r| r.as_array().map(<[tsv_simt::json::JsonValue]>::to_vec))
             .unwrap_or_default()
             .iter()
             .filter_map(|row| {
@@ -1716,10 +1892,7 @@ fn check_against_baseline(file: &str, new_doc: &str, baseline_dir: &Path) -> usi
                 failures += 1;
             }
             Some((_, new_ms)) => {
-                println!(
-                    "  ok {file}: {name} modeled {:.4} ms vs baseline {:.4} ms",
-                    new_ms, base_ms
-                );
+                println!("  ok {file}: {name} modeled {new_ms:.4} ms vs baseline {base_ms:.4} ms");
             }
         }
     }

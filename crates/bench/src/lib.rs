@@ -4,6 +4,8 @@
 //! their workloads and metrics through this crate so that the numbers they
 //! report are directly comparable.
 
+#![forbid(unsafe_code)]
+
 pub mod measure;
 pub mod workloads;
 

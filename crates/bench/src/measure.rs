@@ -21,7 +21,7 @@ pub fn median_secs<F: FnMut()>(mut f: F, min_iters: usize, min_total_secs: f64) 
             break;
         }
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

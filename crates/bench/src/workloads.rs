@@ -26,15 +26,15 @@ pub fn fig7_sweep(max_scale: u32) -> Vec<Fig7Point> {
         let n = 1usize << scale;
         points.push(Fig7Point {
             family: "banded",
-            matrix: banded(n, 16, 0.8, scale as u64).to_csr(),
+            matrix: banded(n, 16, 0.8, u64::from(scale)).to_csr(),
         });
         points.push(Fig7Point {
             family: "geometric",
-            matrix: geometric_graph(n, 4.0, scale as u64).to_csr(),
+            matrix: geometric_graph(n, 4.0, u64::from(scale)).to_csr(),
         });
         points.push(Fig7Point {
             family: "rmat",
-            matrix: rmat(RmatConfig::new(scale, 8), scale as u64).to_csr(),
+            matrix: rmat(RmatConfig::new(scale, 8), u64::from(scale)).to_csr(),
         });
         scale += 2;
     }

@@ -2,6 +2,8 @@
 //! the subcommand implementations, kept out of `main.rs` so they are unit
 //! testable.
 
+#![forbid(unsafe_code)]
+
 pub mod source;
 
 pub use source::{load_matrix, MatrixSource};
@@ -39,9 +41,9 @@ pub enum CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Sparse(e) => write!(f, "{e}"),
-            CliError::Usage(m) => write!(f, "{m}"),
-            CliError::Sanitizer(m) => write!(f, "{m}"),
+            Self::Sparse(e) => write!(f, "{e}"),
+            Self::Usage(m) => write!(f, "{m}"),
+            Self::Sanitizer(m) => write!(f, "{m}"),
         }
     }
 }
@@ -50,7 +52,7 @@ impl std::error::Error for CliError {}
 
 impl From<tsv_sparse::SparseError> for CliError {
     fn from(e: tsv_sparse::SparseError) -> Self {
-        CliError::Sparse(e)
+        Self::Sparse(e)
     }
 }
 
@@ -257,7 +259,10 @@ fn check_sanitize_backend(sanitize: bool, backend: &ExecBackend) -> Result<(), C
 /// any conflict fails the command. `--metrics-out` dumps the process-wide
 /// metrics registry as Prometheus text; `--report` appends the roofline
 /// utilization table (per-kernel achieved bandwidth / flop rate against
-/// the device peaks, with bound classification).
+/// the device peaks, with bound classification). `--verify-plan` runs the
+/// plan-time static race verifier over the launch shapes before execution
+/// and prints its per-obligation verdicts; malformed launch geometry is
+/// reported as an error before any kernel runs.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_spmspv(
     a: &CsrMatrix<f64>,
@@ -271,6 +276,7 @@ pub fn cmd_spmspv(
     trace_out: Option<&Path>,
     metrics_out: Option<&Path>,
     report: bool,
+    verify_plan: bool,
 ) -> Result<String, CliError> {
     check_sanitize_backend(sanitize, &backend)?;
     let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
@@ -286,6 +292,7 @@ pub fn cmd_spmspv(
         kernel,
         balance,
         format,
+        verify: verify_plan,
         ..Default::default()
     };
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
@@ -327,6 +334,10 @@ pub fn cmd_spmspv(
         ));
         summary.record_dispatch(exec_report.kernel.trace_label(), d);
     }
+    if let Some(analysis) = engine.last_analysis() {
+        summary.record_static_analysis(analysis);
+        out.push_str(&format!("{analysis}"));
+    }
     if let Some(san) = &san {
         summary.record_sanitizer(san.summary());
         sanitizer_verdict(san, &mut out)?;
@@ -363,8 +374,14 @@ pub fn cmd_bfs(
     trace_out: Option<&Path>,
     metrics_out: Option<&Path>,
     report: bool,
+    verify_plan: bool,
 ) -> Result<String, CliError> {
     check_sanitize_backend(sanitize, &backend)?;
+    if verify_plan && algo != "tile" {
+        return Err(CliError::Usage(format!(
+            "--verify-plan analyzes the tiled engine's launch shapes; not supported with --algo {algo}"
+        )));
+    }
     if format != SpvFormat::TileCsr && algo != "tile" {
         return Err(CliError::Usage(format!(
             "--format selects the tiled engine's kernel bodies; not supported with --algo {algo}"
@@ -407,16 +424,23 @@ pub fn cmd_bfs(
                     SpvFormat::TileCsr => 0,
                     SpvFormat::Sell(cfg) => cfg.c,
                 },
+                verify: verify_plan,
                 ..Default::default()
             });
             engine.set_backend(backend);
             engine.set_sanitizer(san.clone());
             let r = engine.run(source)?;
+            if let Some(analysis) = &r.analysis {
+                san_report.push_str(&format!("{analysis}"));
+            }
             if trace_out.is_some() || report {
                 let mut summary = RunSummary::new("bfs", RTX_3060);
                 summary.set_backend(&backend_desc);
                 summary.record_bfs(&r, a.nrows());
                 summary.record_profiler(engine.profiler());
+                if let Some(analysis) = &r.analysis {
+                    summary.record_static_analysis(analysis);
+                }
                 if let Some(san) = &san {
                     summary.record_sanitizer(san.summary());
                 }
@@ -496,6 +520,7 @@ mod tests {
             None,
             None,
             false,
+            false,
         )
         .unwrap();
         assert!(s.contains("kernel:"));
@@ -517,6 +542,7 @@ mod tests {
             false,
             None,
             None,
+            false,
             false,
         )
         .unwrap();
@@ -540,6 +566,7 @@ mod tests {
                 None,
                 None,
                 false,
+                false,
             )
             .unwrap();
             assert!(s.contains("sanitizer:"), "{s}");
@@ -555,6 +582,7 @@ mod tests {
             None,
             None,
             false,
+            false,
         )
         .unwrap();
         assert!(s.contains("sanitizer:"), "{s}");
@@ -569,7 +597,8 @@ mod tests {
             true,
             None,
             None,
-            false
+            false,
+            false,
         )
         .is_err());
     }
@@ -584,7 +613,7 @@ mod tests {
                 target_nnz: 128,
                 max_split: match Balance::binned() {
                     Balance::Binned { max_split, .. } => max_split,
-                    _ => unreachable!(),
+                    Balance::OneWarpPerRowTile => unreachable!(),
                 }
             }
         );
@@ -615,6 +644,7 @@ mod tests {
                 None,
                 None,
                 false,
+                false,
             )
             .unwrap();
             assert!(s.contains("reached: 150/150"), "{algo}: {s}");
@@ -628,7 +658,8 @@ mod tests {
             false,
             None,
             None,
-            false
+            false,
+            false,
         )
         .is_err());
     }
@@ -651,6 +682,7 @@ mod tests {
             true,
             Some(&spmspv_trace),
             None,
+            false,
             false,
         )
         .unwrap();
@@ -680,6 +712,7 @@ mod tests {
             Some(&bfs_trace),
             None,
             false,
+            false,
         )
         .unwrap();
         let doc = std::fs::read_to_string(&bfs_trace).unwrap();
@@ -703,7 +736,8 @@ mod tests {
             false,
             Some(&bfs_trace),
             None,
-            false
+            false,
+            false,
         )
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -728,6 +762,7 @@ mod tests {
             None,
             Some(&metrics_path),
             true,
+            false,
         )
         .unwrap();
         // The utilization table lists the launched kernels with a bound
@@ -758,6 +793,7 @@ mod tests {
             None,
             Some(&dir.join("bfs.prom")),
             true,
+            false,
         )
         .unwrap();
         assert!(s.contains("utilization:"), "{s}");
@@ -771,7 +807,8 @@ mod tests {
             false,
             None,
             None,
-            true
+            true,
+            false,
         )
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -808,6 +845,7 @@ mod tests {
             None,
             None,
             false,
+            false,
         )
         .unwrap();
         let native = cmd_spmspv(
@@ -821,6 +859,7 @@ mod tests {
             false,
             None,
             None,
+            false,
             false,
         )
         .unwrap();
@@ -844,6 +883,7 @@ mod tests {
             false,
             None,
             None,
+            false,
             false,
         )
         .unwrap();
@@ -869,6 +909,7 @@ mod tests {
             None,
             None,
             false,
+            false,
         )
         .unwrap_err();
         assert!(
@@ -885,6 +926,7 @@ mod tests {
             true,
             None,
             None,
+            false,
             false,
         )
         .unwrap_err();
@@ -903,7 +945,8 @@ mod tests {
             false,
             None,
             None,
-            false
+            false,
+            false,
         )
         .is_err());
     }
@@ -921,7 +964,7 @@ mod tests {
                 assert_eq!(cfg.c, 4);
                 assert_eq!(cfg.sigma, 16);
             }
-            other => panic!("expected sell, got {other}"),
+            other @ SpvFormat::TileCsr => panic!("expected sell, got {other}"),
         }
         assert!(parse_format("csr").is_err());
         assert!(parse_format("sell:3").is_err());
@@ -952,6 +995,7 @@ mod tests {
                 None,
                 None,
                 false,
+                false,
             )
             .unwrap();
             let sell = cmd_spmspv(
@@ -965,6 +1009,7 @@ mod tests {
                 false,
                 None,
                 None,
+                false,
                 false,
             )
             .unwrap();
@@ -990,6 +1035,7 @@ mod tests {
             None,
             None,
             false,
+            false,
         )
         .unwrap();
         let lanes = cmd_bfs(
@@ -1001,6 +1047,7 @@ mod tests {
             false,
             None,
             None,
+            false,
             false,
         )
         .unwrap();
@@ -1021,8 +1068,93 @@ mod tests {
             false,
             None,
             None,
-            false
+            false,
+            false,
         )
         .is_err());
+    }
+
+    #[test]
+    fn spmspv_verify_plan_prints_proved_verdicts() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        for balance in [Balance::default(), Balance::binned()] {
+            let s = cmd_spmspv(
+                &a,
+                0.05,
+                1,
+                KernelChoice::Auto,
+                balance,
+                SpvFormat::default(),
+                ExecBackend::model(),
+                false,
+                None,
+                None,
+                false,
+                true,
+            )
+            .unwrap();
+            assert!(s.contains("plan spmspv/"), "{s}");
+            assert!(s.contains("proved"), "{s}");
+            assert!(s.contains("write-disjointness"), "{s}");
+            assert!(s.contains("merge-determinism"), "{s}");
+            assert!(s.contains("workspace-aliasing"), "{s}");
+        }
+    }
+
+    #[test]
+    fn bfs_verify_plan_prints_proved_verdicts_and_rejects_baselines() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        let s = cmd_bfs(
+            &a,
+            0,
+            "tile",
+            SpvFormat::default(),
+            ExecBackend::model(),
+            false,
+            None,
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        assert!(s.contains("plan bfs/"), "{s}");
+        assert!(s.contains("proved"), "{s}");
+        // Baselines have no tiled launch plan to verify.
+        assert!(cmd_bfs(
+            &a,
+            0,
+            "gunrock",
+            SpvFormat::default(),
+            ExecBackend::model(),
+            false,
+            None,
+            None,
+            false,
+            true,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn verify_plan_works_on_the_native_backend() {
+        // Unlike --sanitize, the static proof is substrate-independent.
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        let s = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::default(),
+            SpvFormat::default(),
+            ExecBackend::native(Some(2)),
+            false,
+            None,
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        assert!(s.contains("plan spmspv/"), "{s}");
+        assert!(s.contains("proved"), "{s}");
     }
 }

@@ -6,12 +6,12 @@
 //! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
 //!             [--balance direct|binned[:target[:split]]]
 //!             [--format tilecsr|sell[:C[:sigma]]]
-//!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
-//!             [--metrics-out F] [--report]
+//!             [--backend model|native[:threads]] [--sanitize] [--verify-plan]
+//!             [--trace-out F] [--metrics-out F] [--report]
 //! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
 //!             [--format tilecsr|sell[:C]]
-//!             [--backend model|native[:threads]] [--sanitize] [--trace-out F]
-//!             [--metrics-out F] [--report]
+//!             [--backend model|native[:threads]] [--sanitize] [--verify-plan]
+//!             [--trace-out F] [--metrics-out F] [--report]
 //! tsv convert <in> <out.mtx>
 //!
 //! `--backend` selects the execution substrate: `model` (the default)
@@ -24,6 +24,15 @@
 //! write-write or read-write conflict between warps not mediated by an
 //! atomic is reported and the command exits nonzero. The sanitizer
 //! replays modeled warp schedules, so it requires `--backend model`.
+//!
+//! `--verify-plan` runs the plan-time static race verifier before any
+//! kernel launches: it extracts symbolic read/write footprints for every
+//! launch shape the plan may run and discharges write-disjointness,
+//! merge-determinism and workspace-aliasing obligations, printing a
+//! per-obligation verdict (`proved`, `needs-atomics` or `unknown`).
+//! Malformed launch geometry is reported as an error instead of a
+//! mid-kernel panic. Works on every backend — the proof is about the
+//! plan, not the substrate.
 //!
 //! `--trace-out F` writes a Chrome Trace Format document to `F` (open in
 //! Perfetto / chrome://tracing) and a machine-readable run summary to
@@ -97,6 +106,7 @@ fn run() -> Result<(), CliError> {
                 Some(spec) => parse_backend(&spec)?,
             };
             let sanitize = flag_set(&args, "--sanitize");
+            let verify_plan = flag_set(&args, "--verify-plan");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
             let metrics_out = flag_str(&args, "--metrics-out").map(std::path::PathBuf::from);
             let report = flag_set(&args, "--report");
@@ -114,6 +124,7 @@ fn run() -> Result<(), CliError> {
                     trace_out.as_deref(),
                     metrics_out.as_deref(),
                     report,
+                    verify_plan,
                 )?
             );
         }
@@ -131,6 +142,7 @@ fn run() -> Result<(), CliError> {
                 Some(spec) => parse_backend(&spec)?,
             };
             let sanitize = flag_set(&args, "--sanitize");
+            let verify_plan = flag_set(&args, "--verify-plan");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
             let metrics_out = flag_str(&args, "--metrics-out").map(std::path::PathBuf::from);
             let report = flag_set(&args, "--report");
@@ -146,6 +158,7 @@ fn run() -> Result<(), CliError> {
                     trace_out.as_deref(),
                     metrics_out.as_deref(),
                     report,
+                    verify_plan,
                 )?
             );
         }
@@ -177,12 +190,12 @@ const USAGE: &str = "usage:
   tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
               [--balance direct|binned[:target[:split]]]
               [--format tilecsr|sell[:C[:sigma]]]
-              [--backend model|native[:threads]] [--sanitize] [--trace-out F]
-              [--metrics-out F] [--report]
+              [--backend model|native[:threads]] [--sanitize] [--verify-plan]
+              [--trace-out F] [--metrics-out F] [--report]
   tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
               [--format tilecsr|sell[:C]]
-              [--backend model|native[:threads]] [--sanitize] [--trace-out F]
-              [--metrics-out F] [--report]
+              [--backend model|native[:threads]] [--sanitize] [--verify-plan]
+              [--trace-out F] [--metrics-out F] [--report]
   tsv convert <matrix> <out.mtx>
 
 --format selects the tile storage the kernels read: tilecsr
@@ -199,6 +212,12 @@ rayon thread pool (PlusTimes results are bit-identical across both).
 --sanitize runs every kernel launch under the race sanitizer; any
 write-write or read-write conflict is reported and fails the command.
 It replays modeled warp schedules, so it requires --backend model.
+
+--verify-plan runs the plan-time static race verifier before launch:
+symbolic footprints per launch shape, with write-disjointness,
+merge-determinism and workspace-aliasing verdicts printed per plan.
+Malformed launch geometry becomes an error instead of a panic. Works
+on every backend.
 
 --trace-out writes Chrome Trace JSON to F plus a run summary to
 F.summary.json (load the trace in Perfetto or chrome://tracing).

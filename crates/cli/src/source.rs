@@ -43,7 +43,7 @@ pub enum MatrixSource {
 
 impl MatrixSource {
     /// Parses a source spec string.
-    pub fn parse(spec: &str) -> Result<MatrixSource, CliError> {
+    pub fn parse(spec: &str) -> Result<Self, CliError> {
         if let Some(rest) = spec.strip_prefix("suite:") {
             let mut parts = rest.split(':');
             let name = parts
@@ -58,7 +58,7 @@ impl MatrixSource {
                     return Err(CliError::Usage(format!("unknown scale {other:?}")));
                 }
             };
-            return Ok(MatrixSource::Suite(name.to_string(), scale));
+            return Ok(Self::Suite(name.to_string(), scale));
         }
         if let Some(rest) = spec.strip_prefix("edges:") {
             let (path, sym) = match rest.strip_suffix(":sym") {
@@ -68,7 +68,7 @@ impl MatrixSource {
             if path.is_empty() {
                 return Err(CliError::Usage("edges: needs a file path".into()));
             }
-            return Ok(MatrixSource::EdgeList(path.to_string(), sym));
+            return Ok(Self::EdgeList(path.to_string(), sym));
         }
         if let Some(rest) = spec.strip_prefix("gen:") {
             let parts: Vec<&str> = rest.split(':').collect();
@@ -93,14 +93,14 @@ impl MatrixSource {
                     .map_err(|_| CliError::Usage(format!("bad seed {s:?}")))?,
                 None => 1,
             };
-            return Ok(MatrixSource::Gen {
+            return Ok(Self::Gen {
                 family,
                 n,
                 param,
                 seed,
             });
         }
-        Ok(MatrixSource::File(spec.to_string()))
+        Ok(Self::File(spec.to_string()))
     }
 }
 

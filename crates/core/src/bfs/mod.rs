@@ -12,11 +12,13 @@ pub mod policy;
 pub mod pull_csc;
 pub mod push_csc;
 pub mod push_csr;
+pub(crate) mod verify;
 
 pub use policy::{KernelKind, KernelSet, PolicyThresholds};
 
 use crate::tile::{BitFrontier, BitTileMatrix, TileSize};
 use std::time::{Duration, Instant};
+use tsv_simt::analyze::PlanReport;
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::backend::{Backend, ModelBackend};
 use tsv_simt::sanitize::{self, Sanitizer};
@@ -71,7 +73,7 @@ impl TileBfsGraph {
             BitTileMatrix::from_csr(&t, nt, extract_threshold)?
         };
         let segments = push_csr::csr_segments(&bit);
-        Ok(TileBfsGraph {
+        Ok(Self {
             n: a.nrows(),
             bit,
             symmetric,
@@ -114,14 +116,20 @@ pub struct BfsOptions {
     /// [`pull_csc::pull_csc_into`]). The discovered frontier is identical;
     /// the work counters differ.
     pub pull_lanes: usize,
+    /// Run the plan-time static race verifier over every kernel shape the
+    /// policy may launch, before the first iteration. The report lands in
+    /// [`BfsResult::analysis`]; malformed launch geometry surfaces as
+    /// [`SparseError::Plan`] instead of a mid-kernel panic.
+    pub verify: bool,
 }
 
 impl Default for BfsOptions {
     fn default() -> Self {
-        BfsOptions {
+        Self {
             kernels: KernelSet::All,
             thresholds: PolicyThresholds::default(),
             pull_lanes: 0,
+            verify: false,
         }
     }
 }
@@ -157,6 +165,8 @@ pub struct BfsResult {
     pub iterations: Vec<IterationRecord>,
     /// Summed work counters.
     pub total_stats: KernelStats,
+    /// The static verifier's report, when [`BfsOptions::verify`] was set.
+    pub analysis: Option<PlanReport>,
 }
 
 impl BfsResult {
@@ -193,7 +203,7 @@ pub struct BfsWorkspace {
 impl BfsWorkspace {
     /// An empty workspace; buffers grow on first use.
     pub fn new() -> Self {
-        BfsWorkspace {
+        Self {
             x: BitFrontier::new(0, 32),
             m: BitFrontier::new(0, 32),
             y: BitFrontier::new(0, 32),
@@ -254,7 +264,7 @@ impl BfsWorkspace {
 
 impl Default for BfsWorkspace {
     fn default() -> Self {
-        BfsWorkspace::new()
+        Self::new()
     }
 }
 
@@ -348,6 +358,11 @@ pub fn tile_bfs_on_backend<B: Backend>(
             ncols: 1,
         });
     }
+    let analysis = if opts.verify {
+        Some(verify::verify_bfs_plan(g, opts.kernels).map_err(crate::spmspv::verify::plan_error)?)
+    } else {
+        None
+    };
     ws.prepare(g);
     let BfsWorkspace {
         x,
@@ -474,6 +489,7 @@ pub fn tile_bfs_on_backend<B: Backend>(
         levels,
         iterations,
         total_stats,
+        analysis,
     })
 }
 

@@ -15,9 +15,9 @@ impl KernelKind {
     /// Short label for profiler aggregation.
     pub fn label(&self) -> &'static str {
         match self {
-            KernelKind::PushCsc => "push-csc",
-            KernelKind::PushCsr => "push-csr",
-            KernelKind::PullCsc => "pull-csc",
+            Self::PushCsc => "push-csc",
+            Self::PushCsr => "push-csr",
+            Self::PullCsc => "pull-csc",
         }
     }
 
@@ -26,9 +26,9 @@ impl KernelKind {
     /// engines record (`"bfs/" + label`), so trace and profiler views join.
     pub fn trace_label(&self) -> &'static str {
         match self {
-            KernelKind::PushCsc => "bfs/push-csc",
-            KernelKind::PushCsr => "bfs/push-csr",
-            KernelKind::PullCsc => "bfs/pull-csc",
+            Self::PushCsc => "bfs/push-csc",
+            Self::PushCsr => "bfs/push-csr",
+            Self::PullCsc => "bfs/pull-csc",
         }
     }
 }
@@ -36,9 +36,9 @@ impl KernelKind {
 impl std::fmt::Display for KernelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            KernelKind::PushCsc => write!(f, "Push-CSC"),
-            KernelKind::PushCsr => write!(f, "Push-CSR"),
-            KernelKind::PullCsc => write!(f, "Pull-CSC"),
+            Self::PushCsc => write!(f, "Push-CSC"),
+            Self::PushCsr => write!(f, "Push-CSR"),
+            Self::PullCsc => write!(f, "Pull-CSC"),
         }
     }
 }
@@ -67,7 +67,7 @@ pub struct PolicyThresholds {
 
 impl Default for PolicyThresholds {
     fn default() -> Self {
-        PolicyThresholds {
+        Self {
             push_csc_density: 0.01,
             pull_unvisited_frac: 0.05,
         }

@@ -97,16 +97,16 @@ pub fn push_csr_into<B: Backend>(
         warp.stats.bitop(2);
         sanitize::read(san, "mask", rt, warp.warp_id, 0);
         if fresh != 0 {
+            y.fetch_or(rt, fresh);
             if split {
                 // Multiple warps share this output word.
-                y.fetch_or(rt, fresh);
                 warp.stats.atomic(1);
                 sanitize::rmw(san, "y-frontier", rt, warp.warp_id, 0);
             } else {
-                y.fetch_or(rt, fresh); // uncontended: plain store on GPU
+                // Unsplit row tiles own their output word outright: on the
+                // GPU this is an uncontended plain store, and the sanitizer
+                // sees a plain store so it would flag any overlap.
                 warp.stats.write(word_bytes);
-                // Unsplit row tiles own their output word outright; the
-                // sanitizer sees a plain store and would flag any overlap.
                 sanitize::write(san, "y-frontier", rt, warp.warp_id, 0);
             }
         }

@@ -1,0 +1,210 @@
+//! Symbolic footprints of the TileBFS kernel shapes, fed to the
+//! plan-time verifier ([`tsv_simt::analyze`]).
+//!
+//! The traversal's per-iteration kernel choice is data-dependent, but the
+//! *set* of shapes the policy may launch is a pure function of the plan
+//! (graph structure + [`KernelSet`]), so all of them are verified once,
+//! up front, before the first iteration:
+//!
+//! * **Push-CSC** — one warp per frontier vertex; all output-word updates
+//!   go through `fetch_or` (idempotent, order-independent), so the
+//!   all-to-all scatter proves outright.
+//! * **Push-CSR** — one warp per `(row tile, segment)`. A row tile with a
+//!   single segment is owned by exactly one warp (a plain store on the
+//!   GPU); split row tiles share their word via `fetch_or`. The two
+//!   extents partition the segment list, which is what the mixed launch's
+//!   proof rests on.
+//! * **Pull-CSC** — one warp per vertex tile, each exclusively
+//!   overwriting its own output word.
+//! * **Extra pass** — frontier-chunked walk of extracted edges, merging
+//!   with `fetch_or`.
+//!
+//! Buffer names match the kernels' dynamic sanitizer labels
+//! (`y-frontier`, `y-words`, `mask`, `unvisited`).
+
+use super::policy::KernelSet;
+use super::TileBfsGraph;
+use tsv_simt::analyze::{
+    self, chunked, scatter_units, shared, worklisted, AccessMode, AtomicKind, LaunchSummary,
+    PlanError, PlanReport,
+};
+
+/// The push-CSC launch: idempotent atomic scatter over the frontier words.
+fn push_csc_launch(n_tiles: usize) -> LaunchSummary {
+    LaunchSummary {
+        label: "bfs/push-csc".to_string(),
+        uses: vec![
+            shared("mask", AccessMode::Read, n_tiles),
+            shared(
+                "y-frontier",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                n_tiles,
+            ),
+        ],
+        merge: None,
+    }
+}
+
+/// The push-CSR launch: single-segment row tiles exclusively own their
+/// output word (plain store), split row tiles share theirs atomically.
+fn push_csr_launch(g: &TileBfsGraph) -> Result<LaunchSummary, PlanError> {
+    let n_tiles = g.bit().n_tiles();
+    let mut single = Vec::new();
+    let mut split = Vec::new();
+    let segments = g.csr_segments();
+    let mut i = 0;
+    while i < segments.len() {
+        let rt = segments[i].0;
+        let mut j = i + 1;
+        while j < segments.len() && segments[j].0 == rt {
+            j += 1;
+        }
+        if j - i == 1 {
+            single.push(rt);
+        } else {
+            split.push(rt);
+        }
+        i = j;
+    }
+    Ok(LaunchSummary {
+        label: "bfs/push-csr".to_string(),
+        uses: vec![
+            shared("mask", AccessMode::Read, n_tiles),
+            worklisted(
+                "bfs/push-csr",
+                "y-frontier",
+                AccessMode::Write,
+                n_tiles,
+                1,
+                &single,
+            )?,
+            scatter_units(
+                "y-frontier",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                1,
+                &split,
+            ),
+        ],
+        merge: None,
+    })
+}
+
+/// The pull-CSC launch: each warp exclusively overwrites its own output
+/// word — the shape `launch_over_chunks` runs with chunk width 1.
+fn pull_csc_launch(n_tiles: usize) -> Result<LaunchSummary, PlanError> {
+    Ok(LaunchSummary {
+        label: "bfs/pull-csc".to_string(),
+        uses: vec![
+            chunked("bfs/pull-csc", "y-words", AccessMode::Write, n_tiles, 1)?,
+            shared("unvisited", AccessMode::Read, n_tiles),
+            shared("mask", AccessMode::Read, n_tiles),
+        ],
+        merge: None,
+    })
+}
+
+/// The extracted-edge pass: frontier-chunked warps merging via `fetch_or`.
+fn extra_pass_launch(n_tiles: usize) -> LaunchSummary {
+    LaunchSummary {
+        label: "bfs/extra-pass".to_string(),
+        uses: vec![
+            shared("mask", AccessMode::Read, n_tiles),
+            shared(
+                "y-frontier",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                n_tiles,
+            ),
+        ],
+        merge: None,
+    }
+}
+
+/// Verifies every kernel shape the policy may launch for this graph and
+/// kernel set. Called once per traversal, before the first iteration.
+pub(crate) fn verify_bfs_plan(
+    g: &TileBfsGraph,
+    kernels: KernelSet,
+) -> Result<PlanReport, PlanError> {
+    let n_tiles = g.bit().n_tiles();
+    let mut launches = vec![push_csc_launch(n_tiles)];
+    if matches!(kernels, KernelSet::PushOnly | KernelSet::All) {
+        launches.push(push_csr_launch(g)?);
+    }
+    if matches!(kernels, KernelSet::All) && g.symmetric() {
+        launches.push(pull_csc_launch(n_tiles)?);
+    }
+    if g.bit().extra_nnz() > 0 {
+        launches.push(extra_pass_launch(n_tiles));
+    }
+    let label = format!(
+        "bfs/{}",
+        match kernels {
+            KernelSet::PushCscOnly => "push-csc-only",
+            KernelSet::PushOnly => "push-only",
+            KernelSet::All => "all",
+        }
+    );
+    Ok(analyze::verify(&label, &launches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_sparse::gen::{grid2d, rmat, RmatConfig};
+    use tsv_sparse::CooMatrix;
+
+    #[test]
+    fn grid_graph_proves_all_kernel_sets() {
+        let a = grid2d(20, 15).to_csr().without_diagonal();
+        let g = TileBfsGraph::from_csr(&a).unwrap();
+        for set in [KernelSet::PushCscOnly, KernelSet::PushOnly, KernelSet::All] {
+            let r = verify_bfs_plan(&g, set).unwrap();
+            assert!(r.is_proved(), "{set:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn split_segments_still_prove() {
+        // One hub row tile connected to many column tiles: push-CSR splits
+        // it across warps, whose atomic merges must prove apart from the
+        // unsplit tiles' exclusive stores.
+        let n = 32 * 110;
+        let mut coo = CooMatrix::new(n, n);
+        for ct in 1..110 {
+            let v = ct * 32 + 5;
+            coo.push(0, v, 1.0);
+            coo.push(v, 0, 1.0);
+        }
+        let g = TileBfsGraph::with_params(&coo.to_csr(), 32, 0).unwrap();
+        assert!(
+            g.csr_segments().len() > g.bit().n_tiles(),
+            "expected at least one split row tile"
+        );
+        let r = verify_bfs_plan(&g, KernelSet::All).unwrap();
+        assert!(r.is_proved(), "{r}");
+        assert!(r.launches.iter().any(|l| l == "bfs/push-csr"));
+    }
+
+    #[test]
+    fn extraction_adds_the_extra_pass_launch() {
+        let a = rmat(RmatConfig::new(8, 3), 7).to_csr();
+        let g = TileBfsGraph::with_params(&a, 32, 3).unwrap();
+        assert!(g.bit().extra_nnz() > 0);
+        let r = verify_bfs_plan(&g, KernelSet::All).unwrap();
+        assert!(r.is_proved(), "{r}");
+        assert!(r.launches.iter().any(|l| l == "bfs/extra-pass"));
+    }
+
+    #[test]
+    fn asymmetric_graph_skips_the_pull_launch() {
+        let mut coo = CooMatrix::new(50, 50);
+        for i in 0..50 {
+            coo.push((i + 1) % 50, i, 1.0);
+        }
+        let g = TileBfsGraph::from_csr(&coo.to_csr()).unwrap();
+        assert!(!g.symmetric());
+        let r = verify_bfs_plan(&g, KernelSet::All).unwrap();
+        assert!(r.is_proved(), "{r}");
+        assert!(!r.launches.iter().any(|l| l == "bfs/pull-csc"));
+    }
+}

@@ -29,12 +29,14 @@ use crate::spmspv::generic::{
     build_col_worklist, build_row_worklist, col_kernel_binned_semiring, col_kernel_semiring,
     coo_kernel_semiring, drain_touched, row_kernel_binned_semiring, row_kernel_semiring,
 };
+use crate::spmspv::verify;
 use crate::spmspv::{
     Balance, DispatchStats, ExecReport, KernelChoice, KernelUsed, SpMSpVOptions, SpvFormat,
 };
 use crate::tile::{SellSlabs, TileConfig, TileMatrix, TiledVector};
 use std::sync::Arc;
 use std::time::Instant;
+use tsv_simt::analyze::PlanReport;
 use tsv_simt::atomic::AtomicWords;
 use tsv_simt::backend::{Backend, ExecBackend, ModelBackend};
 use tsv_simt::grid::BinPlan;
@@ -157,12 +159,15 @@ pub struct SpMSpVWorkspace<T = f64> {
     out_indices: Vec<u32>,
     out_vals: Vec<T>,
     metrics: EngineMetrics,
+    /// The static verifier's report for the most recent dispatch, when
+    /// [`SpMSpVOptions::verify`] was set; `None` otherwise.
+    last_analysis: Option<PlanReport>,
 }
 
 impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
     /// An empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
-        SpMSpVWorkspace {
+        Self {
             xt: None,
             y: Vec::new(),
             touched: AtomicWords::zeroed(0),
@@ -174,7 +179,14 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
             out_indices: Vec::new(),
             out_vals: Vec::new(),
             metrics: EngineMetrics::default(),
+            last_analysis: None,
         }
+    }
+
+    /// The plan-time verifier's report for the most recent multiply, when
+    /// it ran with [`SpMSpVOptions::verify`] set.
+    pub fn last_analysis(&self) -> Option<&PlanReport> {
+        self.last_analysis.as_ref()
     }
 
     /// Sizes the buffers for `a`, filling the padded output with `zero`.
@@ -296,7 +308,7 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SpMSpVWorkspace<T> {
 
 impl<T: Copy + PartialEq + Default + Send + Sync> Default for SpMSpVWorkspace<T> {
     fn default() -> Self {
-        SpMSpVWorkspace::new()
+        Self::new()
     }
 }
 
@@ -472,7 +484,9 @@ where
         out_indices,
         out_vals,
         metrics,
+        last_analysis,
     } = ws;
+    *last_analysis = None;
     let xt = xt.as_mut().expect("workspace prepared");
     let t_compress = trace::start(tracer);
     let m_compress = emetrics::begin(&emetrics::COMPRESS);
@@ -498,6 +512,29 @@ where
             }
         }
     };
+
+    // Whether the hybrid COO pass will run this multiply — a pure function
+    // of the operands, needed up front so the static verifier can cover
+    // the full phase (tile launch + COO pass) before anything executes.
+    let coo_active = a.extra().nnz() > 0 && x.nnz() > 0;
+
+    // Plan-time verification of the *direct* shapes happens here, before
+    // the launch; the binned shapes verify inside their dispatch arm, right
+    // after planning builds the work list and BinPlan (still pre-launch).
+    if opts.verify && opts.balance == Balance::OneWarpPerRowTile {
+        let launch = match kernel {
+            KernelUsed::RowTile => {
+                verify::row_direct_launch(a.m_tiles(), a.nt(), a.n_tiles(), touched.len())
+                    .map_err(verify::plan_error)?
+            }
+            KernelUsed::ColTile => verify::col_direct_launch(xt.active_tiles(), a.n_tiles()),
+        };
+        let mut launches = vec![launch];
+        if coo_active {
+            launches.push(verify::coo_launch(x.nnz(), x.len()));
+        }
+        *last_analysis = Some(verify::run(&verify::plan_label(kernel, &opts), &launches));
+    }
 
     let t_kernel = trace::start(tracer);
     let m_kernel = emetrics::begin(match kernel {
@@ -541,16 +578,16 @@ where
             let mut plan_stats = KernelStats::default();
             match kernel {
                 KernelUsed::RowTile => {
-                    build_row_worklist(a, xt, worklist, unit_weights, &mut plan_stats)
+                    build_row_worklist(a, xt, worklist, unit_weights, &mut plan_stats);
                 }
                 KernelUsed::ColTile => {
-                    build_col_worklist(a, xt, worklist, unit_weights, &mut plan_stats)
+                    build_col_worklist(a, xt, worklist, unit_weights, &mut plan_stats);
                 }
             }
             plan.rebuild(
                 worklist,
                 |u| unit_weights[u as usize],
-                (target_nnz as u64).max(1),
+                u64::from(target_nnz).max(1),
                 max_split.max(1),
             );
             for &u in worklist.iter() {
@@ -561,9 +598,43 @@ where
             emetrics::end(&emetrics::PLAN, m_plan);
             let info = stats.to_trace_info();
             emetrics::DISPATCH_PLANS.inc();
-            emetrics::DISPATCH_WARPS.observe(info.warps as u64);
+            emetrics::DISPATCH_WARPS.observe(u64::from(info.warps));
             emetrics::DISPATCH_IMBALANCE.observe((info.imbalance() * 100.0) as u64);
             trace::dispatch(tracer, "spmspv/dispatch-plan", info, t_plan);
+            // The work list and BinPlan now exist but nothing has
+            // launched: verify the binned shape (in-place fast path or
+            // buffered scatter with part-order merge) plus the COO pass.
+            if opts.verify {
+                let fast =
+                    plan.n_warps() == worklist.len() && plan.n_assignments() == worklist.len();
+                let launch = match kernel {
+                    KernelUsed::RowTile if fast => verify::row_binned_fast_launch(
+                        a.m_tiles(),
+                        a.nt(),
+                        a.n_tiles(),
+                        touched.len(),
+                        worklist,
+                    )
+                    .map_err(verify::plan_error)?,
+                    KernelUsed::RowTile => verify::binned_buffered_launch(
+                        "spmspv/row-tile-binned",
+                        plan,
+                        worklist,
+                        a.n_tiles(),
+                    ),
+                    KernelUsed::ColTile => verify::binned_buffered_launch(
+                        "spmspv/col-tile-binned",
+                        plan,
+                        worklist,
+                        a.n_tiles(),
+                    ),
+                };
+                let mut launches = vec![launch];
+                if coo_active {
+                    launches.push(verify::coo_launch(x.nnz(), x.len()));
+                }
+                *last_analysis = Some(verify::run(&verify::plan_label(kernel, &opts), &launches));
+            }
             plan_stats
                 + match kernel {
                     KernelUsed::RowTile => row_kernel_binned_semiring::<S, _>(
@@ -595,7 +666,6 @@ where
     // nonzeros so untouched columns cost nothing. The kernel records no
     // shadow accesses when inactive, so the epoch is opened only when it
     // will actually run.
-    let coo_active = a.extra().nnz() > 0 && x.nnz() > 0;
     let t_coo = trace::start(tracer);
     let m_coo = if coo_active {
         emetrics::begin(&emetrics::COO)
@@ -695,7 +765,7 @@ where
         let mut ws = SpMSpVWorkspace::new();
         ws.prepare(&a, S::zero());
         let sell = build_sell_slabs::<S>(&a, opts.format);
-        SpMSpVEngine {
+        Self {
             a,
             opts,
             ws,
@@ -897,6 +967,13 @@ where
         self.ws.metrics()
     }
 
+    /// The plan-time static verifier's report for the most recent
+    /// multiply — present when the engine's options set
+    /// [`SpMSpVOptions::verify`], `None` otherwise.
+    pub fn last_analysis(&self) -> Option<&PlanReport> {
+        self.ws.last_analysis()
+    }
+
     /// The cumulative per-kernel breakdown.
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
@@ -940,7 +1017,7 @@ impl BfsEngine {
 
     /// Wraps a prepared graph.
     pub fn with_options(g: TileBfsGraph, opts: BfsOptions) -> Self {
-        BfsEngine {
+        Self {
             g,
             opts,
             ws: BfsWorkspace::new(),
@@ -1156,6 +1233,53 @@ mod tests {
         assert_eq!(r2.reached(), 225);
         assert_eq!(engine.workspace().runs(), 2);
         assert_eq!(engine.workspace().reallocs(), 1);
+    }
+
+    #[test]
+    fn verify_option_proves_default_plans_and_lands_on_the_engine() {
+        let a = uniform_random(300, 300, 3000, 5).to_csr();
+        let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
+
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            let mut engine = SpMSpVEngine::<PlusTimes>::with_options(
+                tiled.clone(),
+                SpMSpVOptions {
+                    balance,
+                    verify: true,
+                    ..Default::default()
+                },
+            );
+            assert!(engine.last_analysis().is_none());
+            for density in [0.3, 0.004] {
+                let x = random_sparse_vector(300, density, 9);
+                let (_, r) = engine.multiply(&x).unwrap();
+                let report = engine
+                    .last_analysis()
+                    .expect("verify option must record a report");
+                assert!(report.is_proved(), "{:?}: {report}", r.kernel);
+                assert!(report.plan.starts_with(r.kernel.trace_label()));
+            }
+        }
+
+        // Without the option the engine keeps no report around.
+        let mut engine = SpMSpVEngine::<PlusTimes>::new(tiled);
+        let x = random_sparse_vector(300, 0.1, 2);
+        engine.multiply(&x).unwrap();
+        assert!(engine.last_analysis().is_none());
+    }
+
+    #[test]
+    fn bfs_verify_option_proves_and_lands_on_the_result() {
+        let a = tsv_sparse::gen::grid2d(12, 12).to_csr().without_diagonal();
+        let mut engine = BfsEngine::from_csr(&a).unwrap();
+        engine.set_options(BfsOptions {
+            verify: true,
+            ..Default::default()
+        });
+        let r = engine.run(0).unwrap();
+        let report = r.analysis.expect("verify option must record a report");
+        assert!(report.is_proved(), "{report}");
+        assert!(report.plan.starts_with("bfs/"));
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! tracing (Chrome Trace export) lives in [`tsv_simt::trace`] and is
 //! attached to the engines via their `*_traced` constructors.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod exec;
 pub mod semiring;

@@ -24,6 +24,7 @@ pub mod col_kernel;
 pub mod coo_kernel;
 pub mod generic;
 pub mod row_kernel;
+pub(crate) mod verify;
 
 pub use col_kernel::col_kernel;
 pub use coo_kernel::coo_kernel;
@@ -74,7 +75,7 @@ impl Balance {
     /// far better than few heavy ones, and the per-warp scheduling cost
     /// they add is two orders of magnitude below the occupancy win.
     pub fn binned() -> Self {
-        Balance::Binned {
+        Self::Binned {
             target_nnz: 64,
             max_split: 32,
         }
@@ -98,7 +99,7 @@ pub enum SpvFormat {
 impl SpvFormat {
     /// Parses a CLI/env format spec: `tilecsr`, `sell`, `sell:C` or
     /// `sell:C:sigma` (`C` ∈ {4, 8}).
-    pub fn parse(spec: &str) -> Result<SpvFormat, String> {
+    pub fn parse(spec: &str) -> Result<Self, String> {
         let mut parts = spec.split(':');
         let head = parts.next().unwrap_or("");
         let parse_pos = |what: &str, s: &str| -> Result<usize, String> {
@@ -108,7 +109,7 @@ impl SpvFormat {
                 .ok_or_else(|| format!("{what} must be a positive integer, got '{s}'"))
         };
         let fmt = match head {
-            "tilecsr" => SpvFormat::TileCsr,
+            "tilecsr" => Self::TileCsr,
             "sell" => {
                 let mut cfg = SellConfig::default();
                 if let Some(c) = parts.next() {
@@ -118,7 +119,7 @@ impl SpvFormat {
                     cfg.sigma = parse_pos("sell sigma window", sigma)?;
                 }
                 cfg.validate()?;
-                SpvFormat::Sell(cfg)
+                Self::Sell(cfg)
             }
             other => {
                 return Err(format!(
@@ -139,16 +140,16 @@ impl SpvFormat {
     /// labels and bench-table columns.
     pub fn short(&self) -> &'static str {
         match self {
-            SpvFormat::TileCsr => "tilecsr",
-            SpvFormat::Sell(_) => "sell",
+            Self::TileCsr => "tilecsr",
+            Self::Sell(_) => "sell",
         }
     }
 
     /// Full spec round-trippable through [`SpvFormat::parse`].
     pub fn label(&self) -> String {
         match self {
-            SpvFormat::TileCsr => "tilecsr".to_string(),
-            SpvFormat::Sell(cfg) => format!("sell:{}:{}", cfg.c, cfg.sigma),
+            Self::TileCsr => "tilecsr".to_string(),
+            Self::Sell(cfg) => format!("sell:{}:{}", cfg.c, cfg.sigma),
         }
     }
 }
@@ -192,7 +193,7 @@ impl DispatchStats {
                 (v.ilog2() as usize).min(len - 1)
             }
         }
-        let mut s = DispatchStats {
+        let mut s = Self {
             units: units as u32,
             warps: plan.n_warps() as u32,
             ..Default::default()
@@ -213,7 +214,7 @@ impl DispatchStats {
         if self.warps == 0 {
             0.0
         } else {
-            self.total_work as f64 / self.warps as f64
+            self.total_work as f64 / f64::from(self.warps)
         }
     }
 
@@ -258,15 +259,25 @@ pub struct SpMSpVOptions {
     /// (the default) is the paper's layout; [`SpvFormat::Sell`] runs the
     /// lane-blocked slab bodies with bit-identical `PlusTimes` results.
     pub format: SpvFormat,
+    /// Run the plan-time static race verifier ([`tsv_simt::analyze`]) on
+    /// every dispatch before launching it: symbolic per-warp footprints
+    /// are extracted for the selected kernel shape and the three
+    /// obligations (write-disjointness, merge determinism, workspace
+    /// aliasing) are discharged. The report lands on the workspace
+    /// ([`crate::exec::SpMSpVEngine::last_analysis`]); a structurally
+    /// invalid plan returns [`tsv_sparse::SparseError::Plan`] instead of
+    /// panicking mid-kernel.
+    pub verify: bool,
 }
 
 impl Default for SpMSpVOptions {
     fn default() -> Self {
-        SpMSpVOptions {
+        Self {
             kernel: KernelChoice::Auto,
             csc_threshold: 0.01,
             balance: Balance::OneWarpPerRowTile,
             format: SpvFormat::TileCsr,
+            verify: false,
         }
     }
 }
@@ -284,8 +295,8 @@ impl KernelUsed {
     /// Short label for profiler aggregation ("row-tile" / "col-tile").
     pub fn label(&self) -> &'static str {
         match self {
-            KernelUsed::RowTile => "row-tile",
-            KernelUsed::ColTile => "col-tile",
+            Self::RowTile => "row-tile",
+            Self::ColTile => "col-tile",
         }
     }
 
@@ -294,8 +305,8 @@ impl KernelUsed {
     /// both views so they can be joined.
     pub fn trace_label(&self) -> &'static str {
         match self {
-            KernelUsed::RowTile => "spmspv/row-tile",
-            KernelUsed::ColTile => "spmspv/col-tile",
+            Self::RowTile => "spmspv/row-tile",
+            Self::ColTile => "spmspv/col-tile",
         }
     }
 }
@@ -303,8 +314,8 @@ impl KernelUsed {
 impl std::fmt::Display for KernelUsed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            KernelUsed::RowTile => write!(f, "row-tile (CSR form)"),
-            KernelUsed::ColTile => write!(f, "col-tile (CSC form)"),
+            Self::RowTile => write!(f, "row-tile (CSR form)"),
+            Self::ColTile => write!(f, "col-tile (CSC form)"),
         }
     }
 }

@@ -1,0 +1,241 @@
+//! Symbolic footprints of the SpMSpV dispatch shapes, fed to the
+//! plan-time verifier ([`tsv_simt::analyze`]).
+//!
+//! Each function here mirrors one kernel launch of
+//! [`super::generic`] as a [`LaunchSummary`]: the buffers it touches, who
+//! touches which indices, and the host-side merge that consumes its
+//! partials. The summaries are pure functions of the plan (matrix
+//! geometry, work list, [`BinPlan`]) — nothing here looks at values — so
+//! the three obligations are discharged before the kernel runs. Buffer
+//! names match the dynamic sanitizer's labels, which is what makes the
+//! analyzer-vs-sanitizer differential cross-check meaningful.
+//!
+//! One deliberate modeling choice: the scatter kernels (column-push, the
+//! COO pass, the buffered binned paths) charge *atomic claims* to the
+//! sanitizer because that is what the GPU kernels of Algorithms 5–7 do —
+//! but the substrate implements them as per-warp contribution buckets
+//! merged in warp order after the barrier. The footprint models the
+//! implementation: exclusive `contribs` slots plus a deterministic
+//! [`MergeSpec`], which is why those plans *prove* instead of merely
+//! being atomic-mediated.
+
+use super::{Balance, KernelUsed, SpMSpVOptions, SpvFormat};
+use tsv_simt::analyze::{
+    self, chunked, shared, slots, worklisted, AccessMode, AtomicKind, LaunchSummary, MergeSpec,
+    PlanError,
+};
+use tsv_simt::grid::BinPlan;
+use tsv_simt::warp::WARP_SIZE;
+use tsv_sparse::SparseError;
+
+/// Converts a plan-construction failure into the engine's error type, so
+/// the CLI reports it *before* launch instead of panicking mid-kernel.
+pub(crate) fn plan_error(e: PlanError) -> SparseError {
+    SparseError::Plan {
+        what: e.to_string(),
+    }
+}
+
+/// The plan label the report carries: kernel / balance / format.
+pub(crate) fn plan_label(kernel: KernelUsed, opts: &SpMSpVOptions) -> String {
+    let balance = match opts.balance {
+        Balance::OneWarpPerRowTile => "direct",
+        Balance::Binned { .. } => "binned",
+    };
+    let format = match opts.format {
+        SpvFormat::TileCsr => "tilecsr",
+        SpvFormat::Sell(_) => "sell",
+    };
+    format!("{}/{balance}/{format}", kernel.trace_label())
+}
+
+/// The direct row-tile kernel: one warp per row tile, each exclusively
+/// owning its `nt`-wide output chunk; broadcast x-tile loads; idempotent
+/// atomic ORs into the touched bitset.
+pub(crate) fn row_direct_launch(
+    m_tiles: usize,
+    nt: usize,
+    n_tiles: usize,
+    touched_words: usize,
+) -> Result<LaunchSummary, PlanError> {
+    Ok(LaunchSummary {
+        label: "spmspv/row-tile".to_string(),
+        uses: vec![
+            chunked("spmspv/row-tile", "y", AccessMode::Write, m_tiles * nt, nt)?,
+            shared("x-tiles", AccessMode::Read, n_tiles),
+            shared(
+                "touched",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                touched_words,
+            ),
+        ],
+        merge: None,
+    })
+}
+
+/// The binned row-tile kernel's fast path: the plan degenerated to one
+/// whole unit per warp, so the kernel writes `y` in place over the listed
+/// row tiles — [`worklisted`] proves the chunks disjoint (and rejects the
+/// unsorted/out-of-range lists `carve_worklist` would panic on).
+pub(crate) fn row_binned_fast_launch(
+    m_tiles: usize,
+    nt: usize,
+    n_tiles: usize,
+    touched_words: usize,
+    worklist: &[u32],
+) -> Result<LaunchSummary, PlanError> {
+    Ok(LaunchSummary {
+        label: "spmspv/row-tile-binned".to_string(),
+        uses: vec![
+            worklisted(
+                "spmspv/row-tile-binned",
+                "y",
+                AccessMode::Write,
+                m_tiles * nt,
+                nt,
+                worklist,
+            )?,
+            shared("x-tiles", AccessMode::Read, n_tiles),
+            shared(
+                "touched",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                touched_words,
+            ),
+        ],
+        merge: None,
+    })
+}
+
+/// A buffered scatter launch (binned row/col, with packed or split
+/// warps): every warp owns exactly its contribution slot, and the host
+/// consumes the partials in the plan's `(unit, part)` order.
+pub(crate) fn binned_buffered_launch(
+    label: &'static str,
+    plan: &BinPlan,
+    worklist: &[u32],
+    n_tiles: usize,
+) -> LaunchSummary {
+    LaunchSummary {
+        label: label.to_string(),
+        uses: vec![
+            slots("contribs", AccessMode::Write, plan.n_warps()),
+            shared("x-tiles", AccessMode::Read, n_tiles),
+        ],
+        merge: Some(MergeSpec::from_plan(plan, worklist)),
+    }
+}
+
+/// The direct column-push kernel: one warp per active vector tile, each
+/// buffering into its own slot; partials merged one bucket per unit in
+/// warp order.
+pub(crate) fn col_direct_launch(active_tiles: &[u32], n_tiles: usize) -> LaunchSummary {
+    LaunchSummary {
+        label: "spmspv/col-tile".to_string(),
+        uses: vec![
+            slots("contribs", AccessMode::Write, active_tiles.len()),
+            shared("x-tiles", AccessMode::Read, n_tiles),
+        ],
+        merge: Some(MergeSpec::one_bucket_per_unit(active_tiles)),
+    }
+}
+
+/// The hybrid COO pass: one warp per `WARP_SIZE`-wide chunk of x's
+/// nonzeros, buffering into its own slot; warp-order merge.
+pub(crate) fn coo_launch(x_nnz: usize, x_len: usize) -> LaunchSummary {
+    let n_warps = x_nnz.div_ceil(WARP_SIZE);
+    let warps: Vec<u32> = (0..n_warps as u32).collect();
+    LaunchSummary {
+        label: "spmspv/coo-pass".to_string(),
+        uses: vec![
+            slots("contribs", AccessMode::Write, n_warps),
+            shared("x", AccessMode::Read, x_len),
+        ],
+        merge: Some(MergeSpec::one_bucket_per_unit(&warps)),
+    }
+}
+
+/// Discharges the three obligations over the phase's launch sequence,
+/// counting verdicts on the metrics registry.
+pub(crate) fn run(plan: &str, launches: &[LaunchSummary]) -> analyze::PlanReport {
+    analyze::verify(plan, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsv_simt::analyze::Verdict;
+
+    #[test]
+    fn every_direct_shape_proves() {
+        let launches = vec![
+            row_direct_launch(8, 16, 8, 1).unwrap(),
+            coo_launch(100, 500),
+        ];
+        let r = run("spmspv/row-tile/direct/tilecsr", &launches);
+        assert!(r.is_proved(), "{r}");
+
+        let r = run(
+            "spmspv/col-tile/direct/tilecsr",
+            &[col_direct_launch(&[0, 3, 7], 8)],
+        );
+        assert!(r.is_proved(), "{r}");
+    }
+
+    #[test]
+    fn binned_shapes_prove_for_real_plans() {
+        let worklist = [0u32, 2, 5, 6];
+        let mut plan = BinPlan::new();
+        plan.rebuild(&worklist, |u| if u == 5 { 100 } else { 4 }, 16, 8);
+        let r = run(
+            "spmspv/row-tile/binned/tilecsr",
+            &[binned_buffered_launch(
+                "spmspv/row-tile-binned",
+                &plan,
+                &worklist,
+                8,
+            )],
+        );
+        assert!(r.is_proved(), "{r}");
+
+        let fast = row_binned_fast_launch(8, 16, 8, 1, &worklist).unwrap();
+        let r = run("spmspv/row-tile/binned/tilecsr", &[fast]);
+        assert!(r.is_proved(), "{r}");
+    }
+
+    #[test]
+    fn bad_geometry_is_an_error_not_a_panic() {
+        // 25 output slots with nt = 10: the condition launch_over_chunks
+        // would assert at run time, surfaced as a plan error.
+        let err = chunked("spmspv/row-tile", "y", AccessMode::Write, 25, 10).unwrap_err();
+        let e = plan_error(err);
+        let msg = e.to_string();
+        assert!(msg.contains("static verifier"), "{msg}");
+        assert!(msg.contains("not a multiple"), "{msg}");
+
+        let err = row_binned_fast_launch(8, 16, 8, 1, &[3, 1]).unwrap_err();
+        assert!(plan_error(err).to_string().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn labels_name_kernel_balance_and_format() {
+        let opts = SpMSpVOptions {
+            balance: Balance::binned(),
+            ..Default::default()
+        };
+        assert_eq!(
+            plan_label(KernelUsed::RowTile, &opts),
+            "spmspv/row-tile/binned/tilecsr"
+        );
+        let opts = SpMSpVOptions::default();
+        assert_eq!(
+            plan_label(KernelUsed::ColTile, &opts),
+            "spmspv/col-tile/direct/tilecsr"
+        );
+    }
+
+    #[test]
+    fn verdict_labels_round_trip() {
+        assert_eq!(Verdict::Proved.label(), "proved");
+        assert_eq!(Verdict::NeedsAtomics.label(), "needs-atomics");
+    }
+}

@@ -17,6 +17,7 @@ use crate::bfs::BfsResult;
 use crate::spmspv::DispatchStats;
 use crate::tile::TileMatrix;
 use std::fmt::Write as _;
+use tsv_simt::analyze::PlanReport;
 use tsv_simt::device::DeviceConfig;
 use tsv_simt::json;
 use tsv_simt::model::{kernel_time, SCATTER_PENALTY};
@@ -35,8 +36,11 @@ use tsv_simt::trace::Tracer;
 /// (per-kernel roofline attribution: achieved bandwidth / flop rate as
 /// fractions of the [`DeviceConfig`] peaks, with a bound classification)
 /// and the optional `trace` object (`events`, `events_dropped` — ring
-/// overflow accounting from the tracer).
-pub const SCHEMA_VERSION: u32 = 5;
+/// overflow accounting from the tracer). Version 6 added `atomics` to the
+/// `sanitizer` object and the optional `static_analysis` object (verdict
+/// counts plus one row per verified plan, each with its per-obligation
+/// verdicts from the plan-time race verifier).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One row of the per-kernel table.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +92,7 @@ pub struct IterationSummary {
 }
 
 /// A named bucketed distribution.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// Distribution name, e.g. `"tile_nnz"`.
     pub name: String,
@@ -98,7 +102,7 @@ pub struct Histogram {
 
 /// One dispatch-plan row: how the binned scheduler distributed work
 /// units across warps for a labeled sequence of launches.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatchSummary {
     /// Plan label, e.g. `"spmspv/row-tile-binned"`.
     pub label: String,
@@ -160,10 +164,10 @@ impl BoundKind {
     /// Lower-case name used in JSON and tables.
     pub fn as_str(self) -> &'static str {
         match self {
-            BoundKind::Memory => "memory",
-            BoundKind::Compute => "compute",
-            BoundKind::Atomic => "atomic",
-            BoundKind::Overhead => "overhead",
+            Self::Memory => "memory",
+            Self::Compute => "compute",
+            Self::Atomic => "atomic",
+            Self::Overhead => "overhead",
         }
     }
 }
@@ -213,7 +217,7 @@ impl KernelUtilization {
         // Degenerate (zero, negative or NaN) modeled time: no meaningful
         // rates, report zero utilization.
         if modeled_secs.is_nan() || modeled_secs <= 0.0 {
-            return KernelUtilization {
+            return Self {
                 label,
                 achieved_gbps: 0.0,
                 achieved_gflops: 0.0,
@@ -234,7 +238,7 @@ impl KernelUtilization {
         let compute_secs = alu_ops / device.peak_flops();
         let atomic_secs = stats.atomics as f64 / device.atomics_per_sec;
         let overhead_secs = launches as f64 * device.launch_overhead_us * 1e-6
-            + stats.warps as f64 * device.warp_sched_ns * 1e-9 / device.sm_count as f64;
+            + stats.warps as f64 * device.warp_sched_ns * 1e-9 / f64::from(device.sm_count);
 
         let body_max = mem_secs.max(compute_secs).max(atomic_secs);
         let bound = if overhead_secs > body_max {
@@ -247,7 +251,7 @@ impl KernelUtilization {
             BoundKind::Atomic
         };
 
-        KernelUtilization {
+        Self {
             label,
             achieved_gbps: stats.gmem_bytes() as f64 / modeled_secs / 1e9,
             achieved_gflops: alu_ops / modeled_secs / 1e9,
@@ -303,6 +307,7 @@ pub struct RunSummary {
     dispatch: Vec<DispatchSummary>,
     sanitizer: Option<SanitizerSummary>,
     trace: Option<TraceSummary>,
+    static_analysis: Vec<PlanReport>,
 }
 
 impl RunSummary {
@@ -310,7 +315,7 @@ impl RunSummary {
     /// defaults to `"model"`; runs on another substrate record it with
     /// [`RunSummary::set_backend`].
     pub fn new(workload: impl Into<String>, device: DeviceConfig) -> Self {
-        RunSummary {
+        Self {
             workload: workload.into(),
             device,
             backend: "model".to_string(),
@@ -320,6 +325,7 @@ impl RunSummary {
             dispatch: Vec::new(),
             sanitizer: None,
             trace: None,
+            static_analysis: Vec::new(),
         }
     }
 
@@ -420,32 +426,31 @@ impl RunSummary {
     /// label produced; histogram buckets add elementwise.
     pub fn record_dispatch(&mut self, label: impl Into<String>, d: &DispatchStats) {
         let label = label.into();
-        let row = match self.dispatch.iter_mut().find(|r| r.label == label) {
-            Some(row) => row,
-            None => {
-                self.dispatch.push(DispatchSummary {
-                    label: label.clone(),
-                    plans: 0,
-                    units: 0,
-                    warps: 0,
-                    max_warp_work: 0,
-                    total_work: 0,
-                    occupancy: pow2_histogram(format!("{label}/occupancy"), d.occupancy_hist.len()),
-                    work: pow2_histogram(format!("{label}/warp_work"), d.work_hist.len()),
-                });
-                self.dispatch.last_mut().expect("just pushed")
-            }
+        let row = if let Some(row) = self.dispatch.iter_mut().find(|r| r.label == label) {
+            row
+        } else {
+            self.dispatch.push(DispatchSummary {
+                label: label.clone(),
+                plans: 0,
+                units: 0,
+                warps: 0,
+                max_warp_work: 0,
+                total_work: 0,
+                occupancy: pow2_histogram(format!("{label}/occupancy"), d.occupancy_hist.len()),
+                work: pow2_histogram(format!("{label}/warp_work"), d.work_hist.len()),
+            });
+            self.dispatch.last_mut().expect("just pushed")
         };
         row.plans += 1;
-        row.units += d.units as u64;
-        row.warps += d.warps as u64;
+        row.units += u64::from(d.units);
+        row.warps += u64::from(d.warps);
         row.max_warp_work = row.max_warp_work.max(d.max_warp_work);
         row.total_work += d.total_work;
         for (b, &c) in row.occupancy.buckets.iter_mut().zip(&d.occupancy_hist) {
-            b.1 += c as u64;
+            b.1 += u64::from(c);
         }
         for (b, &c) in row.work.buckets.iter_mut().zip(&d.work_hist) {
-            b.1 += c as u64;
+            b.1 += u64::from(c);
         }
     }
 
@@ -459,6 +464,18 @@ impl RunSummary {
     /// The recorded sanitizer counters, if any.
     pub fn sanitizer(&self) -> Option<SanitizerSummary> {
         self.sanitizer
+    }
+
+    /// Appends one plan report from the static race verifier. A run that
+    /// verifies several plans (e.g. a multiply and a traversal) records
+    /// each; duplicate plan labels are kept — they are distinct proofs.
+    pub fn record_static_analysis(&mut self, report: &PlanReport) {
+        self.static_analysis.push(report.clone());
+    }
+
+    /// The recorded plan reports, in record order.
+    pub fn static_analysis(&self) -> &[PlanReport] {
+        &self.static_analysis
     }
 
     /// Records the tracer's ring accounting. Call after the run so the
@@ -674,9 +691,49 @@ impl RunSummary {
         if let Some(s) = &self.sanitizer {
             let _ = write!(
                 out,
-                ",\"sanitizer\":{{\"launches\":{},\"accesses\":{},\"violations\":{}}}",
-                s.launches, s.accesses, s.violations,
+                ",\"sanitizer\":{{\"launches\":{},\"accesses\":{},\"atomics\":{},\
+                 \"violations\":{}}}",
+                s.launches, s.accesses, s.atomics, s.violations,
             );
+        }
+        if !self.static_analysis.is_empty() {
+            let (proved, needs_atomics, unknown) =
+                self.static_analysis
+                    .iter()
+                    .fold((0u64, 0u64, 0u64), |(p, a, u), r| {
+                        let (rp, ra, ru) = r.counts();
+                        (p + rp, a + ra, u + ru)
+                    });
+            let _ = write!(
+                out,
+                ",\"static_analysis\":{{\"proved\":{proved},\"needs_atomics\":{needs_atomics},\
+                 \"unknown\":{unknown},\"plans\":["
+            );
+            for (i, r) in self.static_analysis.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"plan\":\"{}\",\"overall\":\"{}\",\"obligations\":[",
+                    json::escape(&r.plan),
+                    r.overall().label(),
+                );
+                for (j, o) in r.obligations.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\"}}",
+                        o.kind.label(),
+                        o.verdict.label(),
+                        json::escape(&o.detail),
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
         }
         if let Some(t) = &self.trace {
             let _ = write!(
@@ -777,7 +834,7 @@ mod tests {
         let v = tsv_simt::json::parse(&doc).expect("summary must parse");
         assert_eq!(
             v.get("schema_version").unwrap().as_u64(),
-            Some(SCHEMA_VERSION as u64)
+            Some(u64::from(SCHEMA_VERSION))
         );
         assert_eq!(v.get("workload").unwrap().as_str(), Some("grid12"));
 
@@ -894,13 +951,58 @@ mod tests {
         summary.record_sanitizer(SanitizerSummary {
             launches: 3,
             accesses: 1234,
+            atomics: 17,
             violations: 1,
         });
         let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
         let s = v.get("sanitizer").unwrap();
         assert_eq!(s.get("launches").and_then(JsonValue::as_u64), Some(3));
         assert_eq!(s.get("accesses").and_then(JsonValue::as_u64), Some(1234));
+        assert_eq!(s.get("atomics").and_then(JsonValue::as_u64), Some(17));
         assert_eq!(s.get("violations").and_then(JsonValue::as_u64), Some(1));
+    }
+
+    #[test]
+    fn static_analysis_object_is_absent_until_recorded_and_roundtrips() {
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        assert!(summary.static_analysis().is_empty());
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        assert!(v.get("static_analysis").is_none());
+
+        // A real proof from the verifier: an exclusively-chunked write.
+        use tsv_simt::analyze::{chunked, verify, AccessMode, LaunchSummary};
+        let launch = LaunchSummary {
+            label: "unit/chunked".to_string(),
+            uses: vec![chunked("unit/chunked", "y", AccessMode::Write, 64, 16).unwrap()],
+            merge: None,
+        };
+        let report = verify("unit/plan", &[launch]);
+        assert!(report.is_proved());
+        summary.record_static_analysis(&report);
+        summary.record_static_analysis(&report);
+
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        let sa = v.get("static_analysis").unwrap();
+        assert_eq!(sa.get("proved").and_then(JsonValue::as_u64), Some(6));
+        assert_eq!(sa.get("needs_atomics").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(sa.get("unknown").and_then(JsonValue::as_u64), Some(0));
+        let plans = sa.get("plans").unwrap().as_array().unwrap();
+        assert_eq!(plans.len(), 2);
+        assert_eq!(
+            plans[0].get("plan").and_then(JsonValue::as_str),
+            Some("unit/plan")
+        );
+        assert_eq!(
+            plans[0].get("overall").and_then(JsonValue::as_str),
+            Some("proved")
+        );
+        let obligations = plans[0].get("obligations").unwrap().as_array().unwrap();
+        assert_eq!(obligations.len(), 3);
+        for o in obligations {
+            assert_eq!(o.get("verdict").and_then(JsonValue::as_str), Some("proved"));
+            assert!(o.get("kind").and_then(JsonValue::as_str).is_some());
+            assert!(o.get("detail").and_then(JsonValue::as_str).is_some());
+        }
     }
 
     #[test]

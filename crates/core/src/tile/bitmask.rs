@@ -141,7 +141,7 @@ impl BitTileMatrix {
             csc_ptr[i + 1] += csc_ptr[i];
         }
 
-        Ok(BitTileMatrix {
+        Ok(Self {
             n,
             nt,
             n_tiles,

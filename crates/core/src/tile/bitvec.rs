@@ -33,7 +33,7 @@ impl BitFrontier {
     /// ```
     pub fn new(n: usize, nt: usize) -> Self {
         assert!(nt == 32 || nt == 64, "bit tiles require nt of 32 or 64");
-        BitFrontier {
+        Self {
             n,
             nt,
             words: vec![0; n.div_ceil(nt)],
@@ -147,7 +147,7 @@ impl BitFrontier {
     }
 
     /// `self |= other` (the frontier/mask union step of each iteration).
-    pub fn or_assign(&mut self, other: &BitFrontier) {
+    pub fn or_assign(&mut self, other: &Self) {
         assert_eq!(self.n, other.n);
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
@@ -155,7 +155,7 @@ impl BitFrontier {
     }
 
     /// `self & !other`, the "newly discovered" filter (`y AND NOT m`).
-    pub fn and_not(&self, other: &BitFrontier) -> BitFrontier {
+    pub fn and_not(&self, other: &Self) -> Self {
         assert_eq!(self.n, other.n);
         let words = self
             .words
@@ -163,7 +163,7 @@ impl BitFrontier {
             .zip(&other.words)
             .map(|(&a, &b)| a & !b)
             .collect();
-        BitFrontier {
+        Self {
             n: self.n,
             nt: self.nt,
             words,
@@ -172,14 +172,14 @@ impl BitFrontier {
 
     /// The complement restricted to valid bits — the "unvisited" vector x₃
     /// the Pull-CSC iteration derives from m (Fig. 5).
-    pub fn complement(&self) -> BitFrontier {
+    pub fn complement(&self) -> Self {
         let words = self
             .words
             .iter()
             .enumerate()
             .map(|(t, &w)| !w & self.tile_valid_mask(t))
             .collect();
-        BitFrontier {
+        Self {
             n: self.n,
             nt: self.nt,
             words,
@@ -188,7 +188,7 @@ impl BitFrontier {
 
     /// Writes the complement into `out` without allocating — the workspace
     /// form of [`BitFrontier::complement`] used by the reusable BFS driver.
-    pub fn complement_into(&self, out: &mut BitFrontier) {
+    pub fn complement_into(&self, out: &mut Self) {
         assert_eq!(self.n, out.n);
         assert_eq!(self.nt, out.nt);
         for (t, (d, &w)) in out.words.iter_mut().zip(&self.words).enumerate() {
@@ -275,7 +275,7 @@ mod tests {
         assert_eq!(f.n_tiles(), 4);
         // Last tile covers vertices 96..100 → 4 valid bits.
         assert_eq!(f.tile_valid_mask(3), 0b1111);
-        assert_eq!(f.tile_valid_mask(0), u32::MAX as u64);
+        assert_eq!(f.tile_valid_mask(0), u64::from(u32::MAX));
     }
 
     #[test]
@@ -349,7 +349,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "bit tiles require nt of 32 or 64")]
     fn invalid_nt_rejected() {
         BitFrontier::new(10, 16);
     }

@@ -16,26 +16,26 @@ impl TileSize {
     #[inline]
     pub fn nt(self) -> usize {
         match self {
-            TileSize::S16 => 16,
-            TileSize::S32 => 32,
-            TileSize::S64 => 64,
+            Self::S16 => 16,
+            Self::S32 => 32,
+            Self::S64 => 64,
         }
     }
 
     /// The paper's TileBFS rule (§3.4): matrices of order greater than
     /// 10 000 use 64×64 tiles, smaller ones 32×32.
-    pub fn for_bfs(order: usize) -> TileSize {
+    pub fn for_bfs(order: usize) -> Self {
         if order > 10_000 {
-            TileSize::S64
+            Self::S64
         } else {
-            TileSize::S32
+            Self::S32
         }
     }
 
     /// All supported sizes, in increasing order (Table 2 reports tile
     /// counts for each).
-    pub fn all() -> [TileSize; 3] {
-        [TileSize::S16, TileSize::S32, TileSize::S64]
+    pub fn all() -> [Self; 3] {
+        [Self::S16, Self::S32, Self::S64]
     }
 }
 
@@ -64,7 +64,7 @@ pub struct TileConfig {
 
 impl Default for TileConfig {
     fn default() -> Self {
-        TileConfig {
+        Self {
             tile_size: TileSize::S16,
             extract_threshold: 2,
             dense_threshold: 0.75,
@@ -75,7 +75,7 @@ impl Default for TileConfig {
 impl TileConfig {
     /// Config with a given tile size and the default thresholds.
     pub fn with_size(tile_size: TileSize) -> Self {
-        TileConfig {
+        Self {
             tile_size,
             ..Default::default()
         }

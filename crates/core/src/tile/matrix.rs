@@ -263,7 +263,7 @@ impl<T: Copy + PartialEq + Default + Send + Sync> TileMatrix<T> {
             next[ct as usize] += 1;
         }
 
-        Ok(TileMatrix {
+        Ok(Self {
             nrows,
             ncols,
             config,
@@ -465,7 +465,7 @@ impl<T: Copy + PartialEq + Default + Send + Sync> TileMatrix<T> {
             + self.tile_ptr.len() * 8
             + self.local_row_ptr.len() * 2
             + self.local_col.len()
-            + self.packed16.as_ref().map_or(0, |p| p.len())
+            + self.packed16.as_ref().map_or(0, std::vec::Vec::len)
             + self.vals.len() * vb
             + self.dense_vals.len() * vb
             + self.formats.len()

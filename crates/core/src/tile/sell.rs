@@ -43,7 +43,7 @@ pub struct SellConfig {
 
 impl Default for SellConfig {
     fn default() -> Self {
-        SellConfig {
+        Self {
             c: 8,
             sigma: 64,
             max_padding: 3.0,
@@ -72,7 +72,7 @@ impl SellConfig {
 
 /// Aggregate slab-construction accounting, behind the
 /// `tsv_core_sell_padding_ratio` gauge and the CLI's format report line.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SellStats {
     /// Stored sparse tiles converted to slabs.
     pub sell_tiles: usize,
@@ -163,7 +163,7 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SellSlabs<T> {
         let sigma = config.sigma.min(nt).max(1);
         let n_chunks = nt / c;
 
-        let mut slabs = SellSlabs {
+        let mut slabs = Self {
             c,
             nt,
             config,
@@ -231,7 +231,7 @@ impl<T: Copy + PartialEq + Default + Send + Sync> SellSlabs<T> {
                 }
                 slabs.widths.push(tile_widths[j]);
             }
-            for &lr in order.iter() {
+            for &lr in &order {
                 slabs.perm.push(lr);
                 slabs.lens.push(row_len(lr));
             }

@@ -48,8 +48,8 @@ pub struct TileStats {
 
 impl TileStats {
     /// Computes all three tile counts for a matrix.
-    pub fn for_matrix<T: Copy + Sync>(a: &CsrMatrix<T>) -> TileStats {
-        TileStats {
+    pub fn for_matrix<T: Copy + Sync>(a: &CsrMatrix<T>) -> Self {
+        Self {
             nrows: a.nrows(),
             ncols: a.ncols(),
             nnz: a.nnz(),

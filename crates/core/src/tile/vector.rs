@@ -14,7 +14,7 @@
 use tsv_sparse::SparseVector;
 
 /// A sparse vector in the paper's tiled physical layout.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TiledVector<T = f64> {
     n: usize,
     nt: usize,
@@ -41,7 +41,7 @@ impl<T: Copy + PartialEq + Default> TiledVector<T> {
     pub fn from_sparse_filled(x: &SparseVector<T>, nt: usize, fill: T) -> Self {
         assert!(nt > 0, "tile length must be positive");
         let n = x.len();
-        let mut out = TiledVector {
+        let mut out = Self {
             n,
             nt,
             fill,
@@ -56,7 +56,7 @@ impl<T: Copy + PartialEq + Default> TiledVector<T> {
     /// An empty tiled vector of logical length `n`.
     pub fn zeros(n: usize, nt: usize) -> Self {
         assert!(nt > 0);
-        TiledVector {
+        Self {
             n,
             nt,
             fill: T::default(),
@@ -329,7 +329,7 @@ mod tests {
     fn refill_reuses_allocations_and_resets_state() {
         let dense = SparseVector::from_entries(
             16,
-            (0..16).map(|i| (i, i as f64 + 1.0)).collect::<Vec<_>>(),
+            (0..16).map(|i| (i, f64::from(i) + 1.0)).collect::<Vec<_>>(),
         )
         .unwrap();
         let mut t = TiledVector::from_sparse(&dense, 4);

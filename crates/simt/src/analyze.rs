@@ -1,0 +1,1432 @@
+//! Plan-time static race verifier: symbolic access footprints over launch
+//! plans, discharged *before* any kernel runs.
+//!
+//! The dynamic sanitizer ([`crate::sanitize`]) certifies the schedules it
+//! happens to replay; this module proves the plan. Every launch shape the
+//! substrate offers — a grid over exclusive chunks, a frontier-compacted
+//! work list, a [`BinPlan`] with per-warp scratch and a part-order merge,
+//! and the atomic-scatter grid of the BFS kernels — induces a *symbolic*
+//! per-warp footprint on each global buffer it touches: an interval/set
+//! summary over output rows or workspace slots that is a pure function of
+//! the plan, not of the execution. Partition-induced write-disjointness is
+//! decidable from those summaries alone (the shared-memory SpMV insight),
+//! so three obligations are discharged statically per plan:
+//!
+//! 1. **Write-disjointness** ([`ObligationKind::WriteDisjointness`]) —
+//!    distinct warps' plain-write footprints never overlap, *or* every
+//!    overlapping update is atomic-mediated. Order-independent atomics
+//!    (idempotent `fetch_or` flag sets) prove outright; value-carrying
+//!    atomic reductions prove race freedom but leave the accumulation
+//!    order schedule-dependent, so they verdict [`Verdict::NeedsAtomics`].
+//! 2. **Merge determinism** ([`ObligationKind::MergeDeterminism`]) — a
+//!    plan that buffers per-warp partials must consume each partial
+//!    exactly once, in an order that is a pure function of the plan
+//!    (ascending part order per unit, units in work-list order).
+//! 3. **Workspace aliasing** ([`ObligationKind::WorkspaceAliasing`]) — no
+//!    warp's read footprint overlaps another warp's write footprint on the
+//!    same buffer within a launch; cross-launch write→read dependencies
+//!    must sit behind a barrier (they always do: the engine separates
+//!    phases with sanitizer barriers, modeled here per launch).
+//!
+//! Verdicts are [`Verdict::Proved`], [`Verdict::NeedsAtomics`], or
+//! [`Verdict::Unknown`] with a reason. [`verify`] also counts every
+//! discharged obligation on the metrics registry
+//! (`tsv_simt_plan_obligations_total{verdict="..."}`) so long-running
+//! processes expose how many plans they proved.
+//!
+//! The footprint constructors mirror the run-time assertions of
+//! [`crate::grid`] as recoverable errors: [`chunked`] rejects exactly what
+//! `check_chunked` would panic on (zero or non-dividing `chunk_len`), and
+//! [`worklisted`] rejects what `carve_worklist` would panic on (unsorted
+//! or out-of-range units) — so a caller that verifies its plan reports a
+//! [`PlanError`] *before* launch instead of panicking mid-kernel.
+//!
+//! The analyzer-vs-sanitizer contract (checked by `repro analyze` and the
+//! differential proptests): a plan whose overall verdict is `Proved` must
+//! produce **zero** dynamic conflicts under the sanitizer, and a
+//! `NeedsAtomics`/`Unknown` verdict must be justified by at least one
+//! observed atomic claim in the dynamic log.
+
+use crate::grid::BinPlan;
+use crate::metrics;
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Interval sets: the numeric half of a symbolic footprint.
+// ---------------------------------------------------------------------
+
+/// A normalized set of half-open `[start, end)` index intervals: sorted,
+/// disjoint, non-empty, adjacent runs merged. The concrete summary a
+/// symbolic [`Footprint`] expands to when an overlap question cannot be
+/// answered structurally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexSet {
+    intervals: Vec<(u64, u64)>,
+}
+
+impl IndexSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single interval `[start, end)` (empty when `start >= end`).
+    #[must_use]
+    pub fn interval(start: u64, end: u64) -> Self {
+        let mut s = Self::new();
+        s.insert(start, end);
+        s
+    }
+
+    /// Inserts `[start, end)`, merging with any overlapping or adjacent
+    /// run to keep the representation normalized.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let pos = self.intervals.partition_point(|&(_, e)| e < start);
+        let mut start = start;
+        let mut end = end;
+        let mut merged_until = pos;
+        while merged_until < self.intervals.len() && self.intervals[merged_until].0 <= end {
+            start = start.min(self.intervals[merged_until].0);
+            end = end.max(self.intervals[merged_until].1);
+            merged_until += 1;
+        }
+        self.intervals.splice(pos..merged_until, [(start, end)]);
+    }
+
+    /// Total number of indices covered.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.intervals.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// True when no index is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The normalized runs, ascending.
+    #[must_use]
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.intervals
+    }
+
+    /// First index covered by both sets, if any — the witness reported in
+    /// obligation details.
+    #[must_use]
+    pub fn first_overlap(&self, other: &Self) -> Option<u64> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (a0, a1) = self.intervals[i];
+            let (b0, b1) = other.intervals[j];
+            if a0.max(b0) < a1.min(b1) {
+                return Some(a0.max(b0));
+            }
+            if a1 <= b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+
+    /// Whether the sets share any index.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.first_overlap(other).is_some()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbolic footprints.
+// ---------------------------------------------------------------------
+
+/// How a launch's warps touch one buffer: a symbolic per-warp summary.
+///
+/// The first three shapes are *partition-induced disjoint by
+/// construction* — the overlap question is answered structurally, without
+/// expanding per-warp index sets. [`Footprint::Shared`] is the scatter
+/// summary: any warp may touch any index in range, so questions about it
+/// fall back to interval reasoning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Footprint {
+    /// Warp `w` owns exactly `[w * chunk_len, (w + 1) * chunk_len)` — the
+    /// [`crate::grid::launch_over_chunks`] shape.
+    DisjointChunks {
+        /// Number of warps (= chunks).
+        n_warps: usize,
+        /// Chunk width in elements.
+        chunk_len: usize,
+    },
+    /// Warp `i` owns the chunk of unit `units[i]` — the
+    /// [`crate::grid::launch_over_worklist`] shape. Construction via
+    /// [`worklisted`] guarantees the list is strictly increasing and in
+    /// range, which is what makes the chunks disjoint.
+    ListedChunks {
+        /// Chunk width in elements.
+        chunk_len: usize,
+        /// Strictly-increasing unit ids, one per warp.
+        units: Vec<u32>,
+    },
+    /// Warp `w` owns exactly scratch slot `w` — the
+    /// [`crate::grid::launch_binned`] shape (per-warp partial buffers).
+    OwnSlot {
+        /// Number of warps (= slots).
+        n_warps: usize,
+    },
+    /// Any warp may touch any index in `[0, len)` — broadcast reads and
+    /// atomic scatter targets.
+    Shared {
+        /// Buffer length.
+        len: usize,
+    },
+    /// Any warp may touch any index in `indices`, but nothing outside it —
+    /// the restricted scatter of push-CSR's *split* segments, whose target
+    /// words are provably disjoint from the unsplit segments' exclusive
+    /// plain stores.
+    ScatterSet {
+        /// The exact index set the scatter is confined to.
+        indices: IndexSet,
+    },
+}
+
+impl Footprint {
+    /// Whether distinct warps' index sets are disjoint *by construction*.
+    #[must_use]
+    pub fn per_warp_disjoint(&self) -> bool {
+        !matches!(self, Self::Shared { .. } | Self::ScatterSet { .. })
+    }
+
+    /// The union of all warps' index sets.
+    #[must_use]
+    pub fn covered(&self) -> IndexSet {
+        match self {
+            Self::DisjointChunks { n_warps, chunk_len } => {
+                IndexSet::interval(0, (*n_warps as u64) * (*chunk_len as u64))
+            }
+            Self::ListedChunks { chunk_len, units } => {
+                let c = *chunk_len as u64;
+                let mut s = IndexSet::new();
+                for &u in units {
+                    s.insert(u64::from(u) * c, (u64::from(u) + 1) * c);
+                }
+                s
+            }
+            Self::OwnSlot { n_warps } => IndexSet::interval(0, *n_warps as u64),
+            Self::Shared { len } => IndexSet::interval(0, *len as u64),
+            Self::ScatterSet { indices } => indices.clone(),
+        }
+    }
+
+    /// Warp `w`'s own index set.
+    #[must_use]
+    pub fn warp_set(&self, w: usize) -> IndexSet {
+        match self {
+            Self::DisjointChunks { chunk_len, .. } => {
+                let c = *chunk_len as u64;
+                IndexSet::interval(w as u64 * c, (w as u64 + 1) * c)
+            }
+            Self::ListedChunks { chunk_len, units } => match units.get(w) {
+                Some(&u) => {
+                    let c = *chunk_len as u64;
+                    IndexSet::interval(u64::from(u) * c, (u64::from(u) + 1) * c)
+                }
+                None => IndexSet::new(),
+            },
+            Self::OwnSlot { .. } => IndexSet::interval(w as u64, w as u64 + 1),
+            Self::Shared { len } => IndexSet::interval(0, *len as u64),
+            Self::ScatterSet { indices } => indices.clone(),
+        }
+    }
+
+    /// Number of warps participating in this footprint.
+    #[must_use]
+    pub fn warps(&self) -> usize {
+        match self {
+            Self::DisjointChunks { n_warps, .. } | Self::OwnSlot { n_warps } => *n_warps,
+            Self::ListedChunks { units, .. } => units.len(),
+            Self::Shared { .. } | Self::ScatterSet { .. } => usize::MAX,
+        }
+    }
+
+    /// Whether two footprints (on the same buffer, held by *different*
+    /// warps) can touch a common index. For the structurally-partitioned
+    /// shapes with identical geometry this is decided symbolically; mixed
+    /// shapes fall back to interval intersection of the covered sets,
+    /// which is conservative (may say "yes" for index sets that interleave
+    /// without colliding) but never unsound.
+    #[must_use]
+    pub fn may_overlap_across_warps(&self, other: &Self) -> bool {
+        if self == other && self.per_warp_disjoint() {
+            // Same partition: warp w's set equals warp w's set; distinct
+            // warps are disjoint by construction.
+            return false;
+        }
+        self.covered().intersects(&other.covered())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buffer uses, launches, and merge specifications.
+// ---------------------------------------------------------------------
+
+/// What a footprint does to its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Plain loads.
+    Read,
+    /// Plain stores.
+    Write,
+    /// Atomic read-modify-write.
+    Atomic(AtomicKind),
+}
+
+/// What an atomic update computes — the distinction between *race-free*
+/// and *schedule-independent*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicKind {
+    /// Idempotent, order-independent set (e.g. `fetch_or` of frontier or
+    /// touched bits): overlapping updates commute *and* absorb, so the
+    /// final state is a pure function of the update set. Proves outright.
+    IdempotentOr,
+    /// Value-carrying reduction (e.g. CAS-loop float add): race-free, but
+    /// the accumulation order — and therefore bit-exact floating-point
+    /// results — depends on the schedule. Verdicts `NeedsAtomics`.
+    Reduction,
+}
+
+/// One buffer touched by a launch: name, mode, and symbolic footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferUse {
+    /// Buffer id, matching the dynamic sanitizer's buffer labels.
+    pub buf: &'static str,
+    /// What the accesses do.
+    pub mode: AccessMode,
+    /// Who touches what.
+    pub footprint: Footprint,
+}
+
+/// How the host consumes per-warp partial buffers after a launch barrier:
+/// the assignment sequence `(unit, part, parts)` in consumption order,
+/// plus the unit work list the merge must cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeSpec {
+    /// `(unit, part, parts)` per consumed partial, in merge order.
+    pub assignments: Vec<(u32, u32, u32)>,
+    /// The strictly-increasing unit list the merge is expected to cover.
+    pub units: Vec<u32>,
+}
+
+impl MergeSpec {
+    /// The merge a [`BinPlan`] induces: warp scratch consumed in warp
+    /// order, each warp's assignments in plan order.
+    #[must_use]
+    pub fn from_plan(plan: &BinPlan, units: &[u32]) -> Self {
+        let mut assignments = Vec::with_capacity(plan.n_assignments());
+        for w in 0..plan.n_warps() {
+            for a in plan.warp(w) {
+                assignments.push((a.unit, a.part, a.parts));
+            }
+        }
+        Self {
+            assignments,
+            units: units.to_vec(),
+        }
+    }
+
+    /// The trivial merge of unsplit per-warp buckets consumed in warp
+    /// order (the direct scatter kernels): unit `i` contributes one
+    /// partial, consumed once.
+    #[must_use]
+    pub fn one_bucket_per_unit(units: &[u32]) -> Self {
+        Self {
+            assignments: units.iter().map(|&u| (u, 0, 1)).collect(),
+            units: units.to_vec(),
+        }
+    }
+}
+
+/// The symbolic summary of one kernel launch: every buffer it touches,
+/// plus the host-side merge that consumes its partials (if any). The
+/// launch is assumed barrier-terminated — the engine closes every launch
+/// with a sanitizer barrier before the next phase reads its output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSummary {
+    /// Kernel label, matching trace/sanitizer labels.
+    pub label: String,
+    /// Buffers touched.
+    pub uses: Vec<BufferUse>,
+    /// Host merge consuming this launch's per-warp partials.
+    pub merge: Option<MergeSpec>,
+}
+
+// ---------------------------------------------------------------------
+// Plan-construction errors: the grid asserts, surfaced before launch.
+// ---------------------------------------------------------------------
+
+/// A plan that could not be constructed — the same conditions the grid
+/// launch primitives assert at run time, reported as recoverable errors
+/// at plan time so the CLI fails before any kernel starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// `chunk_len` is zero (`check_chunked`'s first assert).
+    ZeroChunk {
+        /// Launch label.
+        label: String,
+    },
+    /// Output length is not a multiple of `chunk_len` (`check_chunked`'s
+    /// divisibility assert — a mis-sized padded buffer).
+    NonDivisibleChunks {
+        /// Launch label.
+        label: String,
+        /// Output buffer length.
+        len: usize,
+        /// Requested chunk width.
+        chunk_len: usize,
+    },
+    /// The work list is not strictly increasing (`carve_worklist`).
+    UnsortedWorklist {
+        /// Launch label.
+        label: String,
+        /// The offending unit.
+        unit: u32,
+        /// Its predecessor in the list.
+        prev: u32,
+    },
+    /// A work-list unit addresses a chunk past the end of the output
+    /// buffer (`carve_worklist`).
+    UnitOutOfRange {
+        /// Launch label.
+        label: String,
+        /// The offending unit.
+        unit: u32,
+        /// Number of whole chunks the output holds.
+        n_units: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroChunk { label } => {
+                write!(f, "{label}: chunk_len must be positive")
+            }
+            Self::NonDivisibleChunks {
+                label,
+                len,
+                chunk_len,
+            } => write!(
+                f,
+                "{label}: output length {len} is not a multiple of chunk_len {chunk_len} \
+                 ({} whole chunks + {} trailing elements); pad the buffer",
+                len / chunk_len,
+                len % chunk_len
+            ),
+            Self::UnsortedWorklist { label, unit, prev } => write!(
+                f,
+                "{label}: worklist must be strictly increasing (saw {unit} after {prev})"
+            ),
+            Self::UnitOutOfRange {
+                label,
+                unit,
+                n_units,
+            } => write!(
+                f,
+                "{label}: worklist unit {unit} out of range ({n_units} units)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The [`Footprint::DisjointChunks`] constructor, rejecting exactly what
+/// [`crate::grid::launch_over_chunks`] would panic on.
+///
+/// # Errors
+///
+/// [`PlanError::ZeroChunk`] when `chunk_len == 0`;
+/// [`PlanError::NonDivisibleChunks`] when `len % chunk_len != 0`.
+pub fn chunked(
+    label: &str,
+    buf: &'static str,
+    mode: AccessMode,
+    len: usize,
+    chunk_len: usize,
+) -> Result<BufferUse, PlanError> {
+    if chunk_len == 0 {
+        return Err(PlanError::ZeroChunk {
+            label: label.to_string(),
+        });
+    }
+    if !len.is_multiple_of(chunk_len) {
+        return Err(PlanError::NonDivisibleChunks {
+            label: label.to_string(),
+            len,
+            chunk_len,
+        });
+    }
+    Ok(BufferUse {
+        buf,
+        mode,
+        footprint: Footprint::DisjointChunks {
+            n_warps: len / chunk_len,
+            chunk_len,
+        },
+    })
+}
+
+/// The [`Footprint::ListedChunks`] constructor, rejecting exactly what
+/// [`crate::grid::launch_over_worklist`] would panic on.
+///
+/// # Errors
+///
+/// Everything [`chunked`] rejects, plus
+/// [`PlanError::UnsortedWorklist`] / [`PlanError::UnitOutOfRange`] for a
+/// list that is not strictly increasing or addresses a chunk outside the
+/// output buffer.
+pub fn worklisted(
+    label: &str,
+    buf: &'static str,
+    mode: AccessMode,
+    len: usize,
+    chunk_len: usize,
+    worklist: &[u32],
+) -> Result<BufferUse, PlanError> {
+    // Same divisibility contract as the chunked launch.
+    let base = chunked(label, buf, mode, len, chunk_len)?;
+    let Footprint::DisjointChunks {
+        n_warps: n_units, ..
+    } = base.footprint
+    else {
+        unreachable!("chunked returns DisjointChunks")
+    };
+    let mut prev: Option<u32> = None;
+    for &u in worklist {
+        if let Some(p) = prev {
+            if u <= p {
+                return Err(PlanError::UnsortedWorklist {
+                    label: label.to_string(),
+                    unit: u,
+                    prev: p,
+                });
+            }
+        }
+        if u as usize >= n_units {
+            return Err(PlanError::UnitOutOfRange {
+                label: label.to_string(),
+                unit: u,
+                n_units,
+            });
+        }
+        prev = Some(u);
+    }
+    Ok(BufferUse {
+        buf,
+        mode,
+        footprint: Footprint::ListedChunks {
+            chunk_len,
+            units: worklist.to_vec(),
+        },
+    })
+}
+
+/// The [`Footprint::OwnSlot`] constructor (per-warp scratch; infallible —
+/// slot `w` is warp `w`'s by construction).
+#[must_use]
+pub fn slots(buf: &'static str, mode: AccessMode, n_warps: usize) -> BufferUse {
+    BufferUse {
+        buf,
+        mode,
+        footprint: Footprint::OwnSlot { n_warps },
+    }
+}
+
+/// The [`Footprint::Shared`] constructor (broadcast reads, atomic
+/// scatter).
+#[must_use]
+pub fn shared(buf: &'static str, mode: AccessMode, len: usize) -> BufferUse {
+    BufferUse {
+        buf,
+        mode,
+        footprint: Footprint::Shared { len },
+    }
+}
+
+/// The [`Footprint::ScatterSet`] constructor: a scatter confined to the
+/// chunks of `units` (width `chunk_len`), so its extent can be proved
+/// apart from other footprints on the same buffer.
+#[must_use]
+pub fn scatter_units(
+    buf: &'static str,
+    mode: AccessMode,
+    chunk_len: usize,
+    units: &[u32],
+) -> BufferUse {
+    let c = chunk_len as u64;
+    let mut indices = IndexSet::new();
+    for &u in units {
+        indices.insert(u64::from(u) * c, (u64::from(u) + 1) * c);
+    }
+    BufferUse {
+        buf,
+        mode,
+        footprint: Footprint::ScatterSet { indices },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdicts, obligations, reports.
+// ---------------------------------------------------------------------
+
+/// The outcome of discharging one obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds as a pure function of the plan.
+    Proved,
+    /// The property holds *iff* the claimed atomics really are atomic
+    /// (and, for reductions, iff the accumulation is order-insensitive).
+    /// Must be justified by observed atomic claims in the dynamic log.
+    NeedsAtomics,
+    /// The analyzer could not discharge the obligation; the reason names
+    /// the first blocking footprint.
+    Unknown {
+        /// Why the obligation could not be discharged.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Metrics / JSON label: `"proved"`, `"needs-atomics"`, `"unknown"`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Proved => "proved",
+            Self::NeedsAtomics => "needs-atomics",
+            Self::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// Severity rank for combining verdicts (higher is worse).
+    #[must_use]
+    pub fn severity(&self) -> u8 {
+        match self {
+            Self::Proved => 0,
+            Self::NeedsAtomics => 1,
+            Self::Unknown { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unknown { reason } => write!(f, "unknown ({reason})"),
+            v => f.write_str(v.label()),
+        }
+    }
+}
+
+/// The three properties discharged per plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObligationKind {
+    /// Distinct warps' writes are disjoint or atomic-mediated.
+    WriteDisjointness,
+    /// Each buffered partial is consumed exactly once, in a
+    /// schedule-independent order.
+    MergeDeterminism,
+    /// No warp reads what another warp writes within a launch; cross-phase
+    /// dependencies sit behind barriers.
+    WorkspaceAliasing,
+}
+
+impl ObligationKind {
+    /// JSON / report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::WriteDisjointness => "write-disjointness",
+            Self::MergeDeterminism => "merge-determinism",
+            Self::WorkspaceAliasing => "workspace-aliasing",
+        }
+    }
+}
+
+/// One discharged obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obligation {
+    /// Which property.
+    pub kind: ObligationKind,
+    /// The outcome.
+    pub verdict: Verdict,
+    /// Human-readable account of *why* (the proof sketch or the blocker).
+    pub detail: String,
+}
+
+/// The verifier's account of one plan: the launches analyzed and the
+/// three obligations with their verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Plan label (kernel + balance + format, as the caller names it).
+    pub plan: String,
+    /// Labels of the launches analyzed, in phase order.
+    pub launches: Vec<String>,
+    /// The three obligations, in [`ObligationKind`] order.
+    pub obligations: Vec<Obligation>,
+}
+
+impl PlanReport {
+    /// The worst verdict across all obligations.
+    #[must_use]
+    pub fn overall(&self) -> &Verdict {
+        self.obligations
+            .iter()
+            .map(|o| &o.verdict)
+            .max_by_key(|v| v.severity())
+            .unwrap_or(&Verdict::Proved)
+    }
+
+    /// True when every obligation proved.
+    #[must_use]
+    pub fn is_proved(&self) -> bool {
+        matches!(self.overall(), Verdict::Proved)
+    }
+
+    /// `(proved, needs_atomics, unknown)` obligation counts.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64, u64) {
+        let mut c = (0, 0, 0);
+        for o in &self.obligations {
+            match o.verdict {
+                Verdict::Proved => c.0 += 1,
+                Verdict::NeedsAtomics => c.1 += 1,
+                Verdict::Unknown { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan {}: {} ({} launches)",
+            self.plan,
+            self.overall(),
+            self.launches.len()
+        )?;
+        for o in &self.obligations {
+            writeln!(f, "  {:<19} {:<13} {}", o.kind.label(), o.verdict, o.detail)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The verifier.
+// ---------------------------------------------------------------------
+
+fn combine(worst: &mut Verdict, v: Verdict) {
+    if v.severity() > worst.severity() {
+        *worst = v;
+    }
+}
+
+/// Obligation 1: warp-level write-disjointness, or atomic mediation of
+/// every overlapping update.
+fn check_write_disjointness(launches: &[LaunchSummary]) -> Obligation {
+    let mut verdict = Verdict::Proved;
+    let mut notes: Vec<String> = Vec::new();
+    for l in launches {
+        // Pairwise over all mutating uses of the same buffer (a single
+        // Shared use also conflicts with itself across warps).
+        let muts: Vec<&BufferUse> = l
+            .uses
+            .iter()
+            .filter(|u| !matches!(u.mode, AccessMode::Read))
+            .collect();
+        for (i, a) in muts.iter().enumerate() {
+            for b in &muts[i..] {
+                if a.buf != b.buf {
+                    continue;
+                }
+                let self_pair = std::ptr::eq(*a, *b);
+                let overlap = if self_pair {
+                    !a.footprint.per_warp_disjoint()
+                } else {
+                    a.footprint.may_overlap_across_warps(&b.footprint)
+                };
+                if !overlap {
+                    continue;
+                }
+                if let (AccessMode::Atomic(ka), AccessMode::Atomic(kb)) = (a.mode, b.mode) {
+                    if ka == AtomicKind::IdempotentOr && kb == AtomicKind::IdempotentOr {
+                        notes.push(format!(
+                            "{}: overlapping `{}` updates are idempotent atomic ORs \
+                             (order-independent)",
+                            l.label, a.buf
+                        ));
+                    } else {
+                        combine(&mut verdict, Verdict::NeedsAtomics);
+                        notes.push(format!(
+                            "{}: overlapping `{}` updates are atomic reductions — \
+                             race-free iff atomic, accumulation order schedule-dependent",
+                            l.label, a.buf
+                        ));
+                    }
+                } else {
+                    let witness = a
+                        .footprint
+                        .covered()
+                        .first_overlap(&b.footprint.covered())
+                        .unwrap_or(0);
+                    combine(
+                        &mut verdict,
+                        Verdict::Unknown {
+                            reason: format!(
+                                "{}: plain writes to `{}` may collide across warps \
+                                 (first shared index {witness})",
+                                l.label, a.buf
+                            ),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    let detail = match &verdict {
+        Verdict::Proved if notes.is_empty() => {
+            "every write footprint is partition-disjoint by construction".to_string()
+        }
+        Verdict::Proved => format!("write footprints partition-disjoint; {}", notes.join("; ")),
+        Verdict::NeedsAtomics | Verdict::Unknown { .. } => notes.join("; "),
+    };
+    Obligation {
+        kind: ObligationKind::WriteDisjointness,
+        verdict,
+        detail,
+    }
+}
+
+/// Obligation 2: each buffered partial consumed exactly once, in
+/// ascending part order per unit, covering the work list exactly.
+fn check_merge_determinism(launches: &[LaunchSummary]) -> Obligation {
+    let mut verdict = Verdict::Proved;
+    let mut notes: Vec<String> = Vec::new();
+    let mut merges = 0usize;
+    for l in launches {
+        let Some(merge) = &l.merge else { continue };
+        merges += 1;
+        // Walk partials in consumption order; per unit, parts must be
+        // exactly 0..parts, in order, each consumed once.
+        let mut seen: Vec<(u32, u32, u32)> = Vec::new(); // (unit, next_part, parts)
+        let fail = |reason: String, verdict: &mut Verdict| {
+            combine(verdict, Verdict::Unknown { reason });
+        };
+        for &(unit, part, parts) in &merge.assignments {
+            match seen.iter_mut().find(|(u, ..)| *u == unit) {
+                None => {
+                    if part != 0 {
+                        fail(
+                            format!(
+                                "{}: unit {unit} merge starts at part {part}, not 0",
+                                l.label
+                            ),
+                            &mut verdict,
+                        );
+                    }
+                    seen.push((unit, part + 1, parts));
+                }
+                Some((_, next, declared)) => {
+                    if parts != *declared {
+                        fail(
+                            format!(
+                                "{}: unit {unit} declares {parts} parts after {declared}",
+                                l.label
+                            ),
+                            &mut verdict,
+                        );
+                    } else if part != *next {
+                        fail(
+                            format!(
+                                "{}: unit {unit} consumes part {part} out of order \
+                                 (expected {next})",
+                                l.label
+                            ),
+                            &mut verdict,
+                        );
+                    }
+                    *next = next.saturating_add(1).max(part + 1);
+                }
+            }
+        }
+        for &(unit, consumed, parts) in &seen {
+            if consumed != parts {
+                fail(
+                    format!(
+                        "{}: unit {unit} consumed {consumed} of {parts} partials",
+                        l.label
+                    ),
+                    &mut verdict,
+                );
+            }
+        }
+        // Coverage: the merged units must be exactly the work list.
+        let merged: Vec<u32> = seen.iter().map(|&(u, ..)| u).collect();
+        if merged != merge.units {
+            fail(
+                format!(
+                    "{}: merge covers {} units, work list has {}",
+                    l.label,
+                    merged.len(),
+                    merge.units.len()
+                ),
+                &mut verdict,
+            );
+        }
+        if matches!(verdict, Verdict::Proved) {
+            notes.push(format!(
+                "{}: {} partials over {} units consumed exactly once in part order",
+                l.label,
+                merge.assignments.len(),
+                merge.units.len()
+            ));
+        }
+    }
+    let detail = match (&verdict, merges) {
+        (Verdict::Proved, 0) => "plan buffers no partials; nothing to merge".to_string(),
+        (Verdict::Proved, _) => format!(
+            "merge order is a pure function of the plan; {}",
+            notes.join("; ")
+        ),
+        _ => notes.join("; "),
+    };
+    Obligation {
+        kind: ObligationKind::MergeDeterminism,
+        verdict,
+        detail,
+    }
+}
+
+/// Obligation 3: no warp's read footprint overlaps another warp's write
+/// footprint on the same buffer within a launch; cross-launch write→read
+/// dependencies are barrier-separated (structurally true — every launch
+/// summary is barrier-terminated).
+fn check_workspace_aliasing(launches: &[LaunchSummary]) -> Obligation {
+    let mut verdict = Verdict::Proved;
+    let mut notes: Vec<String> = Vec::new();
+    for l in launches {
+        for r in l.uses.iter().filter(|u| u.mode == AccessMode::Read) {
+            for w in &l.uses {
+                if w.buf != r.buf || matches!(w.mode, AccessMode::Read) {
+                    continue;
+                }
+                // Same-warp read-after-own-write is fine; the question is
+                // whether warp i can read what warp j != i mutates.
+                if r.footprint.may_overlap_across_warps(&w.footprint) {
+                    match w.mode {
+                        AccessMode::Atomic(_) => {
+                            combine(&mut verdict, Verdict::NeedsAtomics);
+                            notes.push(format!(
+                                "{}: plain reads of `{}` observe concurrent atomic \
+                                 updates — value is schedule-dependent",
+                                l.label, r.buf
+                            ));
+                        }
+                        _ => {
+                            combine(
+                                &mut verdict,
+                                Verdict::Unknown {
+                                    reason: format!(
+                                        "{}: `{}` is read and written by different \
+                                         warps in the same launch",
+                                        l.label, r.buf
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let detail = match &verdict {
+        Verdict::Proved => format!(
+            "in-launch reads never alias another warp's writes; {} cross-launch \
+             dependencies are barrier-separated (one barrier per launch)",
+            launches.len().saturating_sub(1)
+        ),
+        _ => notes.join("; "),
+    };
+    Obligation {
+        kind: ObligationKind::WorkspaceAliasing,
+        verdict,
+        detail,
+    }
+}
+
+/// Discharges the three obligations over a plan's launch sequence and
+/// counts each verdict on the metrics registry
+/// (`tsv_simt_plan_obligations_total{verdict="..."}`).
+#[must_use]
+pub fn verify(plan: &str, launches: &[LaunchSummary]) -> PlanReport {
+    let obligations = vec![
+        check_write_disjointness(launches),
+        check_merge_determinism(launches),
+        check_workspace_aliasing(launches),
+    ];
+    let registry = metrics::global();
+    for o in &obligations {
+        registry
+            .counter(&metrics::series(
+                "tsv_simt_plan_obligations_total",
+                &[("verdict", o.verdict.label())],
+            ))
+            .inc();
+    }
+    PlanReport {
+        plan: plan.to_string(),
+        launches: launches.iter().map(|l| l.label.clone()).collect(),
+        obligations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(label: &str, uses: Vec<BufferUse>) -> LaunchSummary {
+        LaunchSummary {
+            label: label.to_string(),
+            uses,
+            merge: None,
+        }
+    }
+
+    #[test]
+    fn index_set_normalizes_and_merges() {
+        let mut s = IndexSet::new();
+        s.insert(10, 20);
+        s.insert(0, 5);
+        s.insert(5, 10); // adjacent: merges into [0, 20)
+        assert_eq!(s.runs(), &[(0, 20)]);
+        assert_eq!(s.len(), 20);
+        s.insert(30, 40);
+        s.insert(15, 35); // bridges both runs
+        assert_eq!(s.runs(), &[(0, 40)]);
+        s.insert(50, 50); // empty: no-op
+        assert_eq!(s.runs(), &[(0, 40)]);
+    }
+
+    #[test]
+    fn index_set_overlap_witness() {
+        let a = IndexSet::interval(0, 10);
+        let b = IndexSet::interval(8, 12);
+        assert_eq!(a.first_overlap(&b), Some(8));
+        assert!(a.intersects(&b));
+        let c = IndexSet::interval(10, 12);
+        assert_eq!(a.first_overlap(&c), None, "half-open: [0,10) vs [10,12)");
+        assert!(!a.intersects(&c));
+        assert!(IndexSet::new().is_empty());
+    }
+
+    #[test]
+    fn chunked_mirrors_grid_asserts_as_errors() {
+        // The run-time panic in `grid::check_chunked`, surfaced at plan
+        // time: the CLI can report this before any kernel launches.
+        let err = chunked("spmspv/row-tile", "y", AccessMode::Write, 25, 10).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NonDivisibleChunks {
+                label: "spmspv/row-tile".into(),
+                len: 25,
+                chunk_len: 10
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("spmspv/row-tile"), "{msg}");
+        assert!(msg.contains("2 whole chunks"), "{msg}");
+        assert!(msg.contains("5 trailing elements"), "{msg}");
+
+        let err = chunked("k", "y", AccessMode::Write, 10, 0).unwrap_err();
+        assert!(matches!(err, PlanError::ZeroChunk { .. }));
+
+        let ok = chunked("k", "y", AccessMode::Write, 30, 10).unwrap();
+        assert_eq!(
+            ok.footprint,
+            Footprint::DisjointChunks {
+                n_warps: 3,
+                chunk_len: 10
+            }
+        );
+    }
+
+    #[test]
+    fn worklisted_mirrors_carve_asserts_as_errors() {
+        let err = worklisted("k", "y", AccessMode::Write, 30, 10, &[2, 1]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::UnsortedWorklist {
+                    unit: 1,
+                    prev: 2,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = worklisted("k", "y", AccessMode::Write, 30, 10, &[3]).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::UnitOutOfRange {
+                unit: 3,
+                n_units: 3,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("out of range"));
+        let ok = worklisted("k", "y", AccessMode::Write, 30, 10, &[0, 2]).unwrap();
+        assert!(ok.footprint.per_warp_disjoint());
+        assert_eq!(ok.footprint.covered().runs(), &[(0, 10), (20, 30)]);
+    }
+
+    #[test]
+    fn footprint_per_warp_sets() {
+        let f = Footprint::DisjointChunks {
+            n_warps: 4,
+            chunk_len: 8,
+        };
+        assert_eq!(f.warp_set(1).runs(), &[(8, 16)]);
+        assert_eq!(f.warps(), 4);
+        let f = Footprint::ListedChunks {
+            chunk_len: 4,
+            units: vec![1, 5],
+        };
+        assert_eq!(f.warp_set(0).runs(), &[(4, 8)]);
+        assert_eq!(f.warp_set(1).runs(), &[(20, 24)]);
+        assert!(f.warp_set(2).is_empty());
+        let f = Footprint::OwnSlot { n_warps: 3 };
+        assert_eq!(f.warp_set(2).runs(), &[(2, 3)]);
+        assert_eq!(f.covered().len(), 3);
+    }
+
+    #[test]
+    fn identical_partitions_never_overlap_across_warps() {
+        let a = Footprint::DisjointChunks {
+            n_warps: 4,
+            chunk_len: 8,
+        };
+        assert!(!a.may_overlap_across_warps(&a.clone()));
+        let s = Footprint::Shared { len: 32 };
+        assert!(a.may_overlap_across_warps(&s));
+        assert!(s.may_overlap_across_warps(&s.clone()));
+    }
+
+    #[test]
+    fn disjoint_writes_prove_all_three_obligations() {
+        let l = launch(
+            "spmspv/row-tile",
+            vec![
+                chunked("spmspv/row-tile", "y", AccessMode::Write, 64, 16).unwrap(),
+                shared("x-tiles", AccessMode::Read, 4),
+                shared("touched", AccessMode::Atomic(AtomicKind::IdempotentOr), 1),
+            ],
+        );
+        let r = verify("row-tile/direct", &[l]);
+        assert!(r.is_proved(), "{r}");
+        assert_eq!(r.counts(), (3, 0, 0));
+        assert_eq!(r.launches, vec!["spmspv/row-tile"]);
+        for o in &r.obligations {
+            assert_eq!(
+                o.verdict,
+                Verdict::Proved,
+                "{}: {}",
+                o.kind.label(),
+                o.detail
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_or_scatter_proves_but_reduction_needs_atomics() {
+        // BFS frontier: fetch_or scatter — order-independent, proved.
+        let or = launch(
+            "bfs/push-csc",
+            vec![
+                shared("mask", AccessMode::Read, 8),
+                shared(
+                    "y-frontier",
+                    AccessMode::Atomic(AtomicKind::IdempotentOr),
+                    8,
+                ),
+            ],
+        );
+        let r = verify("bfs/push", &[or]);
+        assert!(r.is_proved(), "{r}");
+        assert!(r.obligations[0].detail.contains("idempotent"), "{r}");
+
+        // Atomic float-add scatter: race-free, order schedule-dependent.
+        let red = launch(
+            "demo/atomic-add",
+            vec![shared("y", AccessMode::Atomic(AtomicKind::Reduction), 8)],
+        );
+        let r = verify("demo/reduction", &[red]);
+        assert_eq!(*r.overall(), Verdict::NeedsAtomics, "{r}");
+        assert_eq!(r.overall().label(), "needs-atomics");
+    }
+
+    #[test]
+    fn overlapping_plain_writes_are_unknown_with_witness() {
+        let l = launch("demo/racy", vec![shared("y", AccessMode::Write, 16)]);
+        let r = verify("demo/racy", &[l]);
+        match r.overall() {
+            Verdict::Unknown { reason } => {
+                assert!(reason.contains('y'), "{reason}");
+                assert!(reason.contains("shared index"), "{reason}");
+            }
+            v => panic!("expected unknown, got {v}"),
+        }
+        assert_eq!(r.counts().2, 1);
+    }
+
+    #[test]
+    fn mixed_write_partitions_with_disjoint_extents_prove() {
+        // Two different partition shapes over non-overlapping ranges of
+        // the same buffer: interval reasoning proves them apart.
+        let l = launch(
+            "demo/mixed",
+            vec![
+                BufferUse {
+                    buf: "y",
+                    mode: AccessMode::Write,
+                    footprint: Footprint::ListedChunks {
+                        chunk_len: 4,
+                        units: vec![0, 1],
+                    },
+                },
+                BufferUse {
+                    buf: "y",
+                    mode: AccessMode::Write,
+                    footprint: Footprint::ListedChunks {
+                        chunk_len: 4,
+                        units: vec![2, 3],
+                    },
+                },
+            ],
+        );
+        let r = verify("demo/mixed", &[l]);
+        assert!(r.is_proved(), "{r}");
+    }
+
+    #[test]
+    fn bin_plan_merge_is_deterministic() {
+        let mut plan = BinPlan::new();
+        let units = [0u32, 1, 2, 7];
+        // Unit 2 is heavy (weight 50 at target 10 → split into parts).
+        plan.rebuild(&units, |u| if u == 2 { 50 } else { 3 }, 10, 8);
+        let mut l = launch(
+            "spmspv/row-tile-binned",
+            vec![slots("contribs", AccessMode::Write, plan.n_warps())],
+        );
+        l.merge = Some(MergeSpec::from_plan(&plan, &units));
+        let r = verify("row-tile/binned", &[l]);
+        assert!(r.is_proved(), "{r}");
+        assert!(
+            r.obligations[1]
+                .detail
+                .contains("pure function of the plan"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn merge_violations_are_unknown() {
+        let base = |assignments: Vec<(u32, u32, u32)>, units: Vec<u32>| {
+            let mut l = launch("demo/merge", vec![slots("contribs", AccessMode::Write, 4)]);
+            l.merge = Some(MergeSpec { assignments, units });
+            verify("demo/merge", &[l])
+        };
+        // Part consumed out of order.
+        let r = base(vec![(0, 1, 2), (0, 0, 2)], vec![0]);
+        assert!(
+            matches!(r.obligations[1].verdict, Verdict::Unknown { .. }),
+            "{r}"
+        );
+        // Partial consumed twice.
+        let r = base(vec![(0, 0, 1), (0, 0, 1)], vec![0]);
+        assert!(
+            matches!(r.obligations[1].verdict, Verdict::Unknown { .. }),
+            "{r}"
+        );
+        // Partial missing.
+        let r = base(vec![(0, 0, 2)], vec![0]);
+        assert!(
+            matches!(r.obligations[1].verdict, Verdict::Unknown { .. }),
+            "{r}"
+        );
+        // Unit not on the work list.
+        let r = base(vec![(0, 0, 1), (3, 0, 1)], vec![0]);
+        assert!(
+            matches!(r.obligations[1].verdict, Verdict::Unknown { .. }),
+            "{r}"
+        );
+        // Declared parts disagree between assignments.
+        let r = base(vec![(0, 0, 2), (0, 1, 3)], vec![0]);
+        assert!(
+            matches!(r.obligations[1].verdict, Verdict::Unknown { .. }),
+            "{r}"
+        );
+        // The clean trivial merge proves.
+        let r = base(vec![(0, 0, 1), (2, 0, 1)], vec![0, 2]);
+        assert_eq!(r.obligations[1].verdict, Verdict::Proved, "{r}");
+    }
+
+    #[test]
+    fn one_bucket_per_unit_merge_proves() {
+        let mut l = launch(
+            "spmspv/col-tile",
+            vec![slots("contribs", AccessMode::Write, 3)],
+        );
+        l.merge = Some(MergeSpec::one_bucket_per_unit(&[1, 4, 9]));
+        let r = verify("col-tile/direct", &[l]);
+        assert!(r.is_proved(), "{r}");
+    }
+
+    #[test]
+    fn cross_warp_read_write_aliasing_detected() {
+        // Every warp reads the whole buffer one warp is writing.
+        let l = launch(
+            "demo/alias",
+            vec![
+                chunked("demo/alias", "buf", AccessMode::Write, 16, 4).unwrap(),
+                shared("buf", AccessMode::Read, 16),
+            ],
+        );
+        let r = verify("demo/alias", &[l]);
+        assert!(
+            matches!(r.obligations[2].verdict, Verdict::Unknown { .. }),
+            "{r}"
+        );
+        // Reads of a *different* buffer do not alias.
+        let l = launch(
+            "demo/clean",
+            vec![
+                chunked("demo/clean", "y", AccessMode::Write, 16, 4).unwrap(),
+                shared("x", AccessMode::Read, 16),
+            ],
+        );
+        assert!(verify("demo/clean", &[l]).is_proved());
+    }
+
+    #[test]
+    fn split_scatter_proves_apart_from_exclusive_stores() {
+        // push-CSR: unsplit row tiles own their output word (plain store),
+        // split row tiles share theirs (atomic OR). The extents are
+        // provably disjoint, so the mixed launch proves.
+        let l = launch(
+            "bfs/push-csr",
+            vec![
+                shared("mask", AccessMode::Read, 8),
+                worklisted(
+                    "bfs/push-csr",
+                    "y-frontier",
+                    AccessMode::Write,
+                    8,
+                    1,
+                    &[0, 1, 3],
+                )
+                .unwrap(),
+                scatter_units(
+                    "y-frontier",
+                    AccessMode::Atomic(AtomicKind::IdempotentOr),
+                    1,
+                    &[2, 4],
+                ),
+            ],
+        );
+        let r = verify("bfs/push-csr", &[l]);
+        assert!(r.is_proved(), "{r}");
+
+        // If a split word were ALSO plain-stored, the collision surfaces.
+        let l = launch(
+            "bfs/push-csr",
+            vec![
+                worklisted(
+                    "bfs/push-csr",
+                    "y-frontier",
+                    AccessMode::Write,
+                    8,
+                    1,
+                    &[0, 2],
+                )
+                .unwrap(),
+                scatter_units(
+                    "y-frontier",
+                    AccessMode::Atomic(AtomicKind::IdempotentOr),
+                    1,
+                    &[2, 4],
+                ),
+            ],
+        );
+        let r = verify("bfs/push-csr", &[l]);
+        assert!(matches!(r.overall(), Verdict::Unknown { .. }), "{r}");
+    }
+
+    #[test]
+    fn reads_of_atomic_targets_need_atomics() {
+        let l = launch(
+            "demo/atomic-read",
+            vec![
+                shared("f", AccessMode::Atomic(AtomicKind::IdempotentOr), 8),
+                shared("f", AccessMode::Read, 8),
+            ],
+        );
+        let r = verify("demo/atomic-read", &[l]);
+        assert_eq!(r.obligations[2].verdict, Verdict::NeedsAtomics, "{r}");
+    }
+
+    #[test]
+    fn verify_counts_obligations_on_the_registry() {
+        let reg = metrics::global();
+        let proved = reg.counter("tsv_simt_plan_obligations_total{verdict=\"proved\"}");
+        let before = proved.get();
+        let l = launch(
+            "spmspv/row-tile",
+            vec![chunked("spmspv/row-tile", "y", AccessMode::Write, 32, 16).unwrap()],
+        );
+        let r = verify("metrics-probe", &[l]);
+        assert!(r.is_proved());
+        assert!(
+            proved.get() >= before + 3 || !reg.is_enabled(),
+            "three proved obligations recorded"
+        );
+    }
+
+    #[test]
+    fn report_display_names_everything() {
+        let l = launch(
+            "spmspv/row-tile",
+            vec![chunked("spmspv/row-tile", "y", AccessMode::Write, 32, 16).unwrap()],
+        );
+        let r = verify("row-tile/direct/tilecsr", &[l]);
+        let s = r.to_string();
+        assert!(s.contains("row-tile/direct/tilecsr"), "{s}");
+        assert!(s.contains("write-disjointness"), "{s}");
+        assert!(s.contains("merge-determinism"), "{s}");
+        assert!(s.contains("workspace-aliasing"), "{s}");
+        assert!(s.contains("proved"), "{s}");
+    }
+
+    #[test]
+    fn empty_plan_proves_vacuously() {
+        let r = verify("empty", &[]);
+        assert!(r.is_proved());
+        assert_eq!(r.counts(), (3, 0, 0));
+    }
+}

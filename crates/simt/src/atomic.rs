@@ -5,8 +5,28 @@
 //! with atomic float adds. These wrappers provide the same operations over
 //! plain vectors, with safe conversion back to `Vec<u64>`/`Vec<f64>` once
 //! the launch has completed.
+//!
+//! Under `--cfg loom` the atomics come from the `loom` model checker
+//! instead of `std`, so `tests/loom_model.rs` can exhaustively explore
+//! thread interleavings through the exact same merge code paths the
+//! native backend runs in production.
 
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exclusive-access store. `loom`'s atomics expose `with_mut` where std
+/// has `get_mut`, so the `&mut self` fast paths funnel through here.
+#[inline]
+fn store_mut(w: &mut AtomicU64, v: u64) {
+    #[cfg(loom)]
+    w.with_mut(|p| *p = v);
+    #[cfg(not(loom))]
+    {
+        *w.get_mut() = v;
+    }
+}
 
 /// A bit-word vector supporting concurrent `fetch_or`, the `atomicOr` target
 /// of the paper's BFS kernels (one word per vector tile).
@@ -18,14 +38,14 @@ pub struct AtomicWords {
 impl AtomicWords {
     /// Creates `n` zero words.
     pub fn zeroed(n: usize) -> Self {
-        AtomicWords {
+        Self {
             words: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Wraps an existing word vector.
     pub fn from_vec(v: Vec<u64>) -> Self {
-        AtomicWords {
+        Self {
             words: v.into_iter().map(AtomicU64::new).collect(),
         }
     }
@@ -56,8 +76,8 @@ impl AtomicWords {
     /// Resets every word to zero (exclusive access, so no atomics needed) —
     /// lets iterative drivers reuse one allocation across launches.
     pub fn clear(&mut self) {
-        for w in self.words.iter_mut() {
-            *w.get_mut() = 0;
+        for w in &mut self.words {
+            store_mut(w, 0);
         }
     }
 
@@ -67,7 +87,7 @@ impl AtomicWords {
     pub fn load_from(&mut self, src: &[u64]) {
         assert_eq!(src.len(), self.words.len());
         for (w, &s) in self.words.iter_mut().zip(src) {
-            *w.get_mut() = s;
+            store_mut(w, s);
         }
     }
 
@@ -81,7 +101,9 @@ impl AtomicWords {
 
     /// Consumes the atomic view back into a plain vector.
     pub fn into_vec(self) -> Vec<u64> {
-        self.words.into_iter().map(|w| w.into_inner()).collect()
+        // Keep the cfg-switched `AtomicU64` alias: naming the std path
+        // here would break the `--cfg loom` build.
+        self.words.into_iter().map(AtomicU64::into_inner).collect()
     }
 
     /// Copies the current contents into a plain vector.
@@ -103,7 +125,7 @@ pub struct AtomicF64s {
 impl AtomicF64s {
     /// Creates `n` zeros.
     pub fn zeroed(n: usize) -> Self {
-        AtomicF64s {
+        Self {
             bits: (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect(),
         }
     }
@@ -111,7 +133,7 @@ impl AtomicF64s {
     /// Wraps an existing vector (e.g. the output of a non-atomic kernel
     /// that a later atomic pass accumulates into).
     pub fn from_vec(v: Vec<f64>) -> Self {
-        AtomicF64s {
+        Self {
             bits: v.into_iter().map(|x| AtomicU64::new(x.to_bits())).collect(),
         }
     }
@@ -183,7 +205,10 @@ mod tests {
         assert!(!w.is_empty());
     }
 
+    // The concurrent stress tests drive the rayon pool, which Miri
+    // cannot interpret at useful speed; loom covers the interleavings.
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn concurrent_or_sets_every_bit() {
         let w = AtomicWords::zeroed(1);
         (0..64u64).into_par_iter().for_each(|b| {
@@ -215,6 +240,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)]
     fn concurrent_f64_adds_do_not_lose_updates() {
         let v = AtomicF64s::zeroed(1);
         (0..10_000).into_par_iter().for_each(|_| v.add(0, 1.0));

@@ -208,7 +208,7 @@ impl NativeBackend {
         crate::metrics::global()
             .gauge("tsv_simt_pool_threads{backend=\"native\"}")
             .set(threads as f64);
-        NativeBackend {
+        Self {
             pool: Arc::new(pool),
             threads,
         }
@@ -223,7 +223,7 @@ impl NativeBackend {
 
 impl Default for NativeBackend {
     fn default() -> Self {
-        NativeBackend::new(None)
+        Self::new(None)
     }
 }
 
@@ -354,27 +354,27 @@ pub enum ExecBackend {
 impl ExecBackend {
     /// The modeled backend — the default substrate everywhere.
     pub fn model() -> Self {
-        ExecBackend::Model(ModelBackend)
+        Self::Model(ModelBackend)
     }
 
     /// A native backend over `threads` workers (`None` = all CPUs).
     pub fn native(threads: Option<usize>) -> Self {
-        ExecBackend::Native(NativeBackend::new(threads))
+        Self::Native(NativeBackend::new(threads))
     }
 
     /// `"model"`, `"native"`, or `"native:N"` — the CLI spelling that
     /// reproduces this backend, used in reports and telemetry.
     pub fn describe(&self) -> String {
         match self {
-            ExecBackend::Model(_) => "model".to_string(),
-            ExecBackend::Native(b) => format!("native:{}", b.threads()),
+            Self::Model(_) => "model".to_string(),
+            Self::Native(b) => format!("native:{}", b.threads()),
         }
     }
 }
 
 impl Default for ExecBackend {
     fn default() -> Self {
-        ExecBackend::model()
+        Self::model()
     }
 }
 

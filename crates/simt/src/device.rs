@@ -35,7 +35,7 @@ impl DeviceConfig {
     /// used by the BFS kernels runs at a similar rate, and the model treats
     /// one bit-word operation as one "flop" of that pipe.
     pub fn peak_flops(&self) -> f64 {
-        self.cuda_cores as f64 * self.clock_ghz * 1e9 * 2.0
+        f64::from(self.cuda_cores) * self.clock_ghz * 1e9 * 2.0
     }
 
     /// Peak memory bandwidth in bytes/second.
@@ -45,7 +45,7 @@ impl DeviceConfig {
 
     /// Maximum concurrently resident warps (48 per Ampere SM).
     pub fn max_resident_warps(&self) -> u64 {
-        self.sm_count as u64 * 48
+        u64::from(self.sm_count) * 48
     }
 }
 

@@ -347,16 +347,16 @@ impl BinPlan {
                 if open {
                     self.close_warp(&mut acc, &mut open);
                 }
-                let parts = w.div_ceil(target_weight).min(max_parts as u64).max(1) as u32;
+                let parts = w.div_ceil(target_weight).min(u64::from(max_parts)).max(1) as u32;
                 for part in 0..parts {
                     self.assignments.push(Assignment {
                         unit: u,
                         part,
                         parts,
                     });
-                    let base = w / parts as u64;
-                    let extra = w % parts as u64;
-                    acc = base + u64::from((part as u64) < extra);
+                    let base = w / u64::from(parts);
+                    let extra = w % u64::from(parts);
+                    acc = base + u64::from(u64::from(part) < extra);
                     open = true;
                     self.close_warp(&mut acc, &mut open);
                 }

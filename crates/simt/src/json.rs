@@ -52,24 +52,24 @@ pub enum JsonValue {
     /// A string, unescaped.
     Str(String),
     /// An array.
-    Arr(Vec<JsonValue>),
+    Arr(Vec<Self>),
     /// An object. Key order is not preserved.
-    Obj(BTreeMap<String, JsonValue>),
+    Obj(BTreeMap<String, Self>),
 }
 
 impl JsonValue {
     /// Member lookup on objects; `None` elsewhere.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+    pub fn get(&self, key: &str) -> Option<&Self> {
         match self {
-            JsonValue::Obj(m) => m.get(key),
+            Self::Obj(m) => m.get(key),
             _ => None,
         }
     }
 
     /// The elements when this is an array.
-    pub fn as_array(&self) -> Option<&[JsonValue]> {
+    pub fn as_array(&self) -> Option<&[Self]> {
         match self {
-            JsonValue::Arr(v) => Some(v),
+            Self::Arr(v) => Some(v),
             _ => None,
         }
     }
@@ -77,7 +77,7 @@ impl JsonValue {
     /// The number when this is one.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
-            JsonValue::Num(n) => Some(*n),
+            Self::Num(n) => Some(*n),
             _ => None,
         }
     }
@@ -90,7 +90,7 @@ impl JsonValue {
     /// The string when this is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            JsonValue::Str(s) => Some(s),
+            Self::Str(s) => Some(s),
             _ => None,
         }
     }

@@ -25,7 +25,15 @@
 //! Wall-clock time of the CPU execution and modeled device time are both
 //! reported by the harness; relative orderings between algorithms come from
 //! the counted work either way.
+//!
+//! [`analyze`] is the plan-time counterpart to the dynamic [`sanitize`]
+//! layer: symbolic per-warp access footprints extracted from launch plans,
+//! with race-freedom and merge-determinism obligations discharged before
+//! any kernel runs.
 
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod atomic;
 pub mod backend;
 pub mod device;
@@ -39,6 +47,10 @@ pub mod stats;
 pub mod trace;
 pub mod warp;
 
+pub use analyze::{
+    AccessMode, AtomicKind, BufferUse, Footprint, LaunchSummary, MergeSpec, Obligation,
+    ObligationKind, PlanError, PlanReport, Verdict,
+};
 pub use backend::{Backend, BackendKind, ExecBackend, ModelBackend, NativeBackend};
 pub use device::{DeviceConfig, RTX_3060, RTX_3090};
 pub use grid::{

@@ -48,7 +48,7 @@ pub struct Counter {
 
 impl Counter {
     fn new(on: Arc<AtomicBool>) -> Self {
-        Counter {
+        Self {
             on,
             value: AtomicU64::new(0),
         }
@@ -92,7 +92,7 @@ pub struct Gauge {
 
 impl Gauge {
     fn new(on: Arc<AtomicBool>) -> Self {
-        Gauge {
+        Self {
             on,
             bits: AtomicU64::new(0f64.to_bits()),
             high_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
@@ -146,7 +146,7 @@ pub struct Histogram {
 
 impl Histogram {
     fn new(on: Arc<AtomicBool>) -> Self {
-        Histogram {
+        Self {
             on,
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
@@ -261,7 +261,7 @@ impl Default for MetricsRegistry {
 impl MetricsRegistry {
     /// A fresh, enabled registry.
     pub fn new() -> Self {
-        MetricsRegistry {
+        Self {
             enabled: Arc::new(AtomicBool::new(true)),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
@@ -468,7 +468,7 @@ impl LaunchMetrics {
     fn for_backend(backend: &str) -> Self {
         let reg = global();
         let l = [("backend", backend)];
-        LaunchMetrics {
+        Self {
             launches: reg.counter(&series("tsv_simt_launches_total", &l)),
             warps: reg.counter(&series("tsv_simt_warps_total", &l)),
             lane_steps: reg.counter(&series("tsv_simt_lane_steps_total", &l)),
@@ -518,7 +518,7 @@ impl FormatMetrics {
     /// Builds the handle set against an explicit registry (tests use a
     /// fresh one; the process-wide path goes through [`format_metrics`]).
     pub fn in_registry(reg: &MetricsRegistry) -> Self {
-        FormatMetrics {
+        Self {
             launches_tilecsr: reg.counter(&series(
                 "tsv_core_kernel_format_launches_total",
                 &[("format", "tilecsr")],
@@ -830,17 +830,28 @@ mod tests {
         reg.gauge("tsv_b").set(1.5);
         reg.histogram("tsv_c").observe(9);
         let doc = json::parse(&reg.to_json()).expect("parseable");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            doc.get("schema_version")
+                .and_then(super::super::json::JsonValue::as_u64),
+            Some(1)
+        );
         let counters = doc.get("counters").and_then(|v| v.as_array()).unwrap();
         assert_eq!(counters.len(), 1);
         assert_eq!(
             counters[0].get("name").and_then(|v| v.as_str()),
             Some("tsv_a_total")
         );
-        assert_eq!(counters[0].get("value").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            counters[0]
+                .get("value")
+                .and_then(super::super::json::JsonValue::as_u64),
+            Some(2)
+        );
         let gauges = doc.get("gauges").and_then(|v| v.as_array()).unwrap();
         assert_eq!(
-            gauges[0].get("high_water").and_then(|v| v.as_f64()),
+            gauges[0]
+                .get("high_water")
+                .and_then(super::super::json::JsonValue::as_f64),
             Some(1.5)
         );
         let hists = doc.get("histograms").and_then(|v| v.as_array()).unwrap();

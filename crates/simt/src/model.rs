@@ -40,7 +40,7 @@ pub fn kernel_time(stats: &KernelStats, device: &DeviceConfig) -> f64 {
     // divided by the SM count. A grid of mostly-empty warps (one warp per
     // row tile against an inactive frontier) pays this even when its
     // memory traffic rounds to nothing.
-    let sched = stats.warps as f64 * device.warp_sched_ns * 1e-9 / device.sm_count as f64;
+    let sched = stats.warps as f64 * device.warp_sched_ns * 1e-9 / f64::from(device.sm_count);
 
     device.launch_overhead_us * 1e-6 + sched + body
 }

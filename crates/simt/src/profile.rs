@@ -43,7 +43,7 @@ pub struct Profiler {
 impl Profiler {
     /// An empty profiler.
     pub fn new() -> Self {
-        Profiler::default()
+        Self::default()
     }
 
     /// Records one launch under `label`.
@@ -79,7 +79,7 @@ impl Profiler {
 
     /// Folds another profiler's aggregates into this one (label-wise sum) —
     /// used to combine the per-engine breakdowns into one run-level report.
-    pub fn merge(&self, other: &Profiler) {
+    pub fn merge(&self, other: &Self) {
         let mut map = self.entries.lock().expect("profiler lock");
         for (label, e) in other.entries() {
             let t = map.entry(label).or_default();

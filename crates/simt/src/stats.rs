@@ -86,7 +86,7 @@ impl KernelStats {
 
     /// Merges another counter set into this one.
     #[inline]
-    pub fn merge(&mut self, other: &KernelStats) {
+    pub fn merge(&mut self, other: &Self) {
         self.gmem_read_bytes += other.gmem_read_bytes;
         self.gmem_write_bytes += other.gmem_write_bytes;
         self.gmem_scattered_bytes += other.gmem_scattered_bytes;
@@ -99,23 +99,23 @@ impl KernelStats {
 }
 
 impl std::ops::Add for KernelStats {
-    type Output = KernelStats;
+    type Output = Self;
 
-    fn add(mut self, rhs: KernelStats) -> KernelStats {
+    fn add(mut self, rhs: Self) -> Self {
         self.merge(&rhs);
         self
     }
 }
 
 impl std::ops::AddAssign for KernelStats {
-    fn add_assign(&mut self, rhs: KernelStats) {
+    fn add_assign(&mut self, rhs: Self) {
         self.merge(&rhs);
     }
 }
 
 impl std::iter::Sum for KernelStats {
-    fn sum<I: Iterator<Item = KernelStats>>(iter: I) -> KernelStats {
-        iter.fold(KernelStats::default(), |a, b| a + b)
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |a, b| a + b)
     }
 }
 

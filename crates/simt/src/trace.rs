@@ -103,7 +103,7 @@ impl DispatchInfo {
         if self.warps == 0 {
             0.0
         } else {
-            self.total_work as f64 / self.warps as f64
+            self.total_work as f64 / f64::from(self.warps)
         }
     }
 
@@ -182,7 +182,7 @@ impl Tracer {
     /// An enabled tracer whose ring holds `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        Tracer {
+        Self {
             epoch: Instant::now(),
             capacity,
             enabled: AtomicBool::new(true),
@@ -221,7 +221,7 @@ impl Tracer {
         stats: Option<KernelStats>,
         iteration: Option<IterationInfo>,
     ) {
-        self.record_full(name, cat, ts_ns, dur_ns, stats, iteration, None)
+        self.record_full(name, cat, ts_ns, dur_ns, stats, iteration, None);
     }
 
     /// Records one completed span with every optional payload.

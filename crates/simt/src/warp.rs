@@ -24,7 +24,7 @@ pub struct WarpCtx {
 impl WarpCtx {
     /// Creates the context for warp `warp_id`.
     pub fn new(warp_id: usize) -> Self {
-        WarpCtx {
+        Self {
             warp_id,
             stats: KernelStats {
                 warps: 1,
@@ -129,7 +129,7 @@ mod tests {
         let mut w = WarpCtx::new(3);
         let v: [f64; 32] = std::array::from_fn(|i| (i + 1) as f64);
         let total = w.reduce_sum(v);
-        assert_eq!(total, (32 * 33 / 2) as f64);
+        assert_eq!(total, f64::from(32 * 33 / 2));
         assert!(w.stats.flops > 0);
     }
 

@@ -1,0 +1,88 @@
+//! loom model checking for the atomic merge primitives the native
+//! backend runs concurrently.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; the harness is empty in
+//! ordinary builds. Each test wraps its body in [`loom::model`], which
+//! exhaustively explores the thread interleavings of the loom-backed
+//! atomics in [`tsv_simt::atomic`] — the same code paths the native
+//! backend's semiring merges and the workspace pool handoff execute in
+//! production. Thread counts stay at two and the data tiny: loom's state
+//! space is exponential in both.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test --release -p tsv-simt --test loom_model
+//! ```
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use tsv_simt::atomic::{AtomicF64s, AtomicWords};
+
+/// The BFS frontier merge: two warps `atomicOr` different bits into the
+/// same output word. Idempotent-or is the analyzer's `Proved` case for
+/// overlapping atomics — every interleaving must land the full union.
+#[test]
+fn frontier_or_merge_is_complete_under_every_interleaving() {
+    loom::model(|| {
+        let w = Arc::new(AtomicWords::zeroed(1));
+        let a = Arc::clone(&w);
+        let b = Arc::clone(&w);
+        let ta = thread::spawn(move || {
+            a.fetch_or(0, 0b0011);
+        });
+        let tb = thread::spawn(move || {
+            b.fetch_or(0, 0b1100);
+        });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        assert_eq!(w.load(0), 0b1111);
+    });
+}
+
+/// The PlusTimes semiring merge: two warps CAS-add partial products into
+/// one slot. The addends sum exactly in either order, so every
+/// interleaving must produce the bit-identical total — the property the
+/// schedule-permutation replay checks statistically and loom proves.
+#[test]
+fn cas_add_merge_is_bit_identical_under_every_interleaving() {
+    loom::model(|| {
+        let v = Arc::new(AtomicF64s::zeroed(1));
+        let a = Arc::clone(&v);
+        let b = Arc::clone(&v);
+        let ta = thread::spawn(move || a.add(0, 1.0));
+        let tb = thread::spawn(move || b.add(0, 2.0));
+        ta.join().unwrap();
+        tb.join().unwrap();
+        assert_eq!(v.load(0).to_bits(), 3.0f64.to_bits());
+    });
+}
+
+/// The workspace pool handoff: the host thread stages a previous
+/// frontier into a pooled accumulator with exclusive access
+/// (`load_from`), hands it to two merging warps, then reads the result
+/// back after join. Verifies the exclusive-phase stores are visible to
+/// the spawned threads and the merged state is visible after join, for
+/// every interleaving of the concurrent phase.
+#[test]
+fn pool_handoff_publishes_staged_state_and_merged_result() {
+    loom::model(|| {
+        let mut staged = AtomicWords::zeroed(2);
+        staged.load_from(&[0b1, 0]);
+        let w = Arc::new(staged);
+        let a = Arc::clone(&w);
+        let b = Arc::clone(&w);
+        let ta = thread::spawn(move || {
+            a.fetch_or(0, 0b10);
+        });
+        let tb = thread::spawn(move || {
+            b.fetch_or(1, 0b1);
+        });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        let mut out = vec![0u64; 2];
+        w.copy_into(&mut out);
+        assert_eq!(out, vec![0b11, 0b1]);
+    });
+}

@@ -14,7 +14,7 @@ use crate::Result;
 ///
 /// Duplicate coordinates are allowed until [`CooMatrix::sum_duplicates`] is
 /// called; conversions to compressed formats sum duplicates implicitly.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CooMatrix<T> {
     nrows: usize,
     ncols: usize,
@@ -26,7 +26,7 @@ pub struct CooMatrix<T> {
 impl<T: Copy> CooMatrix<T> {
     /// Creates an empty matrix of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix {
+        Self {
             nrows,
             ncols,
             rows: Vec::new(),
@@ -37,7 +37,7 @@ impl<T: Copy> CooMatrix<T> {
 
     /// Creates an empty matrix of the given shape with entry capacity.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
-        CooMatrix {
+        Self {
             nrows,
             ncols,
             rows: Vec::with_capacity(cap),
@@ -69,7 +69,7 @@ impl<T: Copy> CooMatrix<T> {
                 });
             }
         }
-        Ok(CooMatrix {
+        Ok(Self {
             nrows,
             ncols,
             rows,
@@ -158,8 +158,8 @@ impl<T: Copy> CooMatrix<T> {
     }
 
     /// Returns the transpose (entries re-labelled, shape swapped).
-    pub fn transpose(&self) -> CooMatrix<T> {
-        CooMatrix {
+    pub fn transpose(&self) -> Self {
+        Self {
             nrows: self.ncols,
             ncols: self.nrows,
             rows: self.cols.clone(),

@@ -12,7 +12,7 @@ use crate::Result;
 /// A sparse matrix in CSC form: `col_ptr` of length `ncols + 1` delimits the
 /// row-index/value run of each column. Row indices within a column are kept
 /// sorted.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CscMatrix<T> {
     nrows: usize,
     ncols: usize,
@@ -76,7 +76,7 @@ impl<T: Copy> CscMatrix<T> {
                 }
             }
         }
-        Ok(CscMatrix {
+        Ok(Self {
             nrows,
             ncols,
             col_ptr,
@@ -96,7 +96,7 @@ impl<T: Copy> CscMatrix<T> {
     ) -> Self {
         debug_assert_eq!(col_ptr.len(), ncols + 1);
         debug_assert_eq!(row_idx.len(), vals.len());
-        CscMatrix {
+        Self {
             nrows,
             ncols,
             col_ptr,
@@ -111,7 +111,7 @@ impl<T: Copy> CscMatrix<T> {
         T: std::ops::Add<Output = T>,
     {
         let t = coo.transpose().to_csr();
-        CscMatrix {
+        Self {
             nrows: coo.nrows(),
             ncols: coo.ncols(),
             col_ptr: t.row_ptr().to_vec(),

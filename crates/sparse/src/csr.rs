@@ -16,7 +16,7 @@ use crate::Result;
 /// Column indices within a row are kept sorted by every constructor in this
 /// crate; [`CsrMatrix::from_parts`] verifies it so downstream binary searches
 /// are sound.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrMatrix<T> {
     nrows: usize,
     ncols: usize,
@@ -80,7 +80,7 @@ impl<T: Copy> CsrMatrix<T> {
                 }
             }
         }
-        Ok(CsrMatrix {
+        Ok(Self {
             nrows,
             ncols,
             row_ptr,
@@ -104,7 +104,7 @@ impl<T: Copy> CsrMatrix<T> {
         for i in 0..nrows {
             row_ptr[i + 1] += row_ptr[i];
         }
-        CsrMatrix {
+        Self {
             nrows,
             ncols: sorted.ncols(),
             row_ptr,
@@ -115,7 +115,7 @@ impl<T: Copy> CsrMatrix<T> {
 
     /// An empty (all-zero) matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix {
+        Self {
             nrows,
             ncols,
             row_ptr: vec![0; nrows + 1],
@@ -223,10 +223,10 @@ impl<T: Copy> CsrMatrix<T> {
     }
 
     /// Returns `Aᵀ` in CSR form.
-    pub fn transpose(&self) -> CsrMatrix<T> {
+    pub fn transpose(&self) -> Self {
         let csc = self.to_csc();
         // A CSC matrix is the CSR of its transpose with roles swapped.
-        CsrMatrix {
+        Self {
             nrows: self.ncols,
             ncols: self.nrows,
             row_ptr: csc.col_ptr().to_vec(),
@@ -265,7 +265,7 @@ impl CsrMatrix<f64> {
     /// Makes the pattern symmetric by adding `Aᵀ`'s missing entries (values
     /// are kept where both directions exist; new entries copy the mirrored
     /// value). Used to turn directed generator output into undirected graphs.
-    pub fn symmetrize(&self) -> CsrMatrix<f64> {
+    pub fn symmetrize(&self) -> Self {
         let mut coo = self.to_coo();
         for (r, c, v) in self.iter() {
             if r != c && self.get(c, r).is_none() {
@@ -276,7 +276,7 @@ impl CsrMatrix<f64> {
     }
 
     /// Removes diagonal entries (self-loops for adjacency matrices).
-    pub fn without_diagonal(&self) -> CsrMatrix<f64> {
+    pub fn without_diagonal(&self) -> Self {
         let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         for (r, c, v) in self.iter() {
             if r != c {

@@ -52,12 +52,20 @@ pub enum SparseError {
         /// Description of the problem.
         msg: String,
     },
+    /// A kernel launch plan failed static verification — the condition a
+    /// grid launch primitive would otherwise assert at run time (zero or
+    /// non-dividing chunk width, unsorted or out-of-range work list),
+    /// surfaced before any kernel starts.
+    Plan {
+        /// Description of the rejected plan.
+        what: String,
+    },
 }
 
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds {
+            Self::IndexOutOfBounds {
                 row,
                 col,
                 nrows,
@@ -66,10 +74,10 @@ impl fmt::Display for SparseError {
                 f,
                 "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
             ),
-            SparseError::LengthMismatch { what } => {
+            Self::LengthMismatch { what } => {
                 write!(f, "parallel array length mismatch: {what}")
             }
-            SparseError::DimensionMismatch {
+            Self::DimensionMismatch {
                 op,
                 expected,
                 found,
@@ -77,15 +85,18 @@ impl fmt::Display for SparseError {
                 f,
                 "dimension mismatch in {op}: expected {expected}, found {found}"
             ),
-            SparseError::MalformedPointers { what } => {
+            Self::MalformedPointers { what } => {
                 write!(f, "malformed compressed pointer array: {what}")
             }
-            SparseError::NotSquare { nrows, ncols } => {
+            Self::NotSquare { nrows, ncols } => {
                 write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
             }
-            SparseError::Io(e) => write!(f, "I/O error: {e}"),
-            SparseError::Parse { line, msg } => {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Parse { line, msg } => {
                 write!(f, "MatrixMarket parse error at line {line}: {msg}")
+            }
+            Self::Plan { what } => {
+                write!(f, "launch plan rejected by static verifier: {what}")
             }
         }
     }
@@ -94,7 +105,7 @@ impl fmt::Display for SparseError {
 impl std::error::Error for SparseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SparseError::Io(e) => Some(e),
+            Self::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -102,7 +113,7 @@ impl std::error::Error for SparseError {
 
 impl From<std::io::Error> for SparseError {
     fn from(e: std::io::Error) -> Self {
-        SparseError::Io(e)
+        Self::Io(e)
     }
 }
 
@@ -131,6 +142,13 @@ mod tests {
 
         let e = SparseError::NotSquare { nrows: 3, ncols: 5 };
         assert!(e.to_string().contains("3x5"));
+
+        let e = SparseError::Plan {
+            what: "spmspv/row-tile: output length 25 is not a multiple of chunk_len 10".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("static verifier"), "{s}");
+        assert!(s.contains("spmspv/row-tile"), "{s}");
     }
 
     #[test]

@@ -106,7 +106,7 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind {
+        Self {
             parent: (0..n as u32).collect(),
         }
     }

@@ -7,6 +7,7 @@
 use crate::coo::CooMatrix;
 
 /// 5-point stencil adjacency on an `nx × ny` grid (order `nx * ny`).
+///
 /// Off-diagonal entries are `-1`, the diagonal is the vertex degree, making
 /// the result the graph Laplacian — symmetric positive semidefinite.
 pub fn grid2d(nx: usize, ny: usize) -> CooMatrix<f64> {

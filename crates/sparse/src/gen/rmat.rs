@@ -30,7 +30,7 @@ pub struct RmatConfig {
 impl Default for RmatConfig {
     /// Graph500 reference parameters.
     fn default() -> Self {
-        RmatConfig {
+        Self {
             scale: 14,
             edge_factor: 16,
             a: 0.57,
@@ -44,7 +44,7 @@ impl Default for RmatConfig {
 impl RmatConfig {
     /// Convenience constructor with Graph500 probabilities.
     pub fn new(scale: u32, edge_factor: usize) -> Self {
-        RmatConfig {
+        Self {
             scale,
             edge_factor,
             ..Default::default()

@@ -155,10 +155,7 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<CooMatrix<f64>> {
 }
 
 fn parse_header(header: &str, lineno: usize) -> Result<(Field, Symmetry)> {
-    let toks: Vec<String> = header
-        .split_whitespace()
-        .map(|t| t.to_lowercase())
-        .collect();
+    let toks: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(SparseError::Parse {
             line: lineno,
@@ -423,9 +420,9 @@ mod tests {
 
     #[test]
     fn edge_list_rejects_garbage() {
-        assert!(read_edge_list("0\n".as_bytes(), None, false).is_err());
-        assert!(read_edge_list("a b\n".as_bytes(), None, false).is_err());
-        let empty = read_edge_list("# only comments\n".as_bytes(), None, false).unwrap();
+        assert!(read_edge_list(b"0\n".as_slice(), None, false).is_err());
+        assert!(read_edge_list(b"a b\n".as_slice(), None, false).is_err());
+        let empty = read_edge_list(b"# only comments\n".as_slice(), None, false).unwrap();
         assert_eq!(empty.nnz(), 0);
     }
 

@@ -21,6 +21,8 @@
 //! All indices stored inside matrices are `u32` (the collection the paper
 //! evaluates fits comfortably), while matrix dimensions use `usize`.
 
+#![forbid(unsafe_code)]
+
 pub mod coo;
 pub mod csc;
 pub mod csr;

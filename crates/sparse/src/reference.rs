@@ -233,7 +233,7 @@ pub fn bfs_parents_from_levels<T: Copy>(
         }
         let (ins, _) = t.row(v);
         if let Some(&u) = ins.iter().find(|&&u| levels[u as usize] == levels[v] - 1) {
-            parents[v] = u as i64;
+            parents[v] = i64::from(u);
         }
     }
     parents

@@ -9,7 +9,7 @@ use crate::Result;
 
 /// A length-`n` sparse vector holding `nnz` explicit entries with strictly
 /// increasing indices.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparseVector<T> {
     n: usize,
     indices: Vec<u32>,
@@ -19,7 +19,7 @@ pub struct SparseVector<T> {
 impl<T: Copy> SparseVector<T> {
     /// An all-zero vector of length `n`.
     pub fn zeros(n: usize) -> Self {
-        SparseVector {
+        Self {
             n,
             indices: Vec::new(),
             vals: Vec::new(),
@@ -51,7 +51,7 @@ impl<T: Copy> SparseVector<T> {
                 });
             }
         }
-        Ok(SparseVector { n, indices, vals })
+        Ok(Self { n, indices, vals })
     }
 
     /// Builds from possibly unsorted entries, sorting and rejecting
@@ -60,7 +60,7 @@ impl<T: Copy> SparseVector<T> {
         entries.sort_by_key(|e| e.0);
         let indices: Vec<u32> = entries.iter().map(|e| e.0).collect();
         let vals: Vec<T> = entries.iter().map(|e| e.1).collect();
-        SparseVector::from_parts(n, indices, vals)
+        Self::from_parts(n, indices, vals)
     }
 
     /// Replaces this vector's contents with `(n, indices, vals)` —
@@ -78,7 +78,7 @@ impl<T: Copy> SparseVector<T> {
         indices: Vec<u32>,
         vals: Vec<T>,
     ) -> Result<(Vec<u32>, Vec<T>)> {
-        let new = SparseVector::from_parts(n, indices, vals)?;
+        let new = Self::from_parts(n, indices, vals)?;
         let old = std::mem::replace(self, new);
         Ok((old.indices, old.vals))
     }
@@ -158,7 +158,7 @@ impl SparseVector<f64> {
                 vals.push(v);
             }
         }
-        SparseVector {
+        Self {
             n: dense.len(),
             indices,
             vals,
@@ -168,7 +168,7 @@ impl SparseVector<f64> {
     /// Maximum absolute difference against another vector of the same
     /// length, treating implicit zeros as 0.0. Used by tests comparing
     /// parallel results to the serial reference.
-    pub fn max_abs_diff(&self, other: &SparseVector<f64>) -> f64 {
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!(self.n, other.n, "comparing vectors of different lengths");
         let a = self.to_dense();
         let b = other.to_dense();

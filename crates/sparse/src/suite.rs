@@ -46,9 +46,9 @@ impl SuiteScale {
     /// Base order multiplied by each matrix's relative size factor.
     fn base(self) -> usize {
         match self {
-            SuiteScale::Tiny => 1_500,
-            SuiteScale::Small => 12_000,
-            SuiteScale::Medium => 48_000,
+            Self::Tiny => 1_500,
+            Self::Small => 12_000,
+            Self::Medium => 48_000,
         }
     }
 }

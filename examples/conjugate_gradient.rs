@@ -48,7 +48,7 @@ fn main() {
 
     // Conjugate gradient.
     let mut x = vec![0.0f64; n];
-    let mut r = b.clone();
+    let mut r = b;
     let mut p = r.clone();
     let mut rs = dot(&r, &r);
     let b_norm = rs.sqrt();

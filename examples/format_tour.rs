@@ -37,7 +37,7 @@ fn main() {
         let csr_bytes = a.nnz() * (4 + 8) + (a.nrows() + 1) * 8;
         let tiled = TileMatrix::from_csr(&a, TileConfig::default()).unwrap();
         let bsr = BsrMatrix::from_csr(&a, 16).unwrap();
-        println!("  CSR storage:        {:>10} bytes", csr_bytes);
+        println!("  CSR storage:        {csr_bytes:>10} bytes");
         println!(
             "  tiled storage:      {:>10} bytes ({} tiles + {} extracted entries)",
             tiled.storage_bytes(),

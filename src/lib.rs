@@ -36,6 +36,8 @@
 //! assert!(y.max_abs_diff(&expect) < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tsv_apps as apps;
 pub use tsv_baselines as baselines;
 pub use tsv_core as core;

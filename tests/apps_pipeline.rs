@@ -48,7 +48,7 @@ fn sssp_on_unit_weights_matches_tile_bfs() {
     let dist = sssp(&unit, 0).unwrap();
     for v in 0..unit.nrows() {
         if levels[v] >= 0 {
-            assert_eq!(dist[v], levels[v] as f64, "vertex {v}");
+            assert_eq!(dist[v], f64::from(levels[v]), "vertex {v}");
         } else {
             assert!(dist[v].is_infinite());
         }

@@ -100,7 +100,7 @@ fn binned_is_bitwise_identical_under_fixed_kernels() {
                             "a non-empty work list must launch warps"
                         );
                         assert!(
-                            (d.warps as u64) <= r.stats.warps,
+                            u64::from(d.warps) <= r.stats.warps,
                             "plan warps exceed the launch's warp count"
                         );
                     }

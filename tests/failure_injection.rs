@@ -40,13 +40,13 @@ fn every_error_variant_is_reachable() {
     assert!(matches!(e, SparseError::Io(_)));
 
     // Parse
-    let e = read_matrix_market_from("garbage".as_bytes()).unwrap_err();
+    let e = read_matrix_market_from(b"garbage".as_slice()).unwrap_err();
     assert!(matches!(e, SparseError::Parse { .. }));
 
     // Every variant Displays without panicking.
     for err in [
         CooMatrix::from_triplets(1, 1, vec![9], vec![0], vec![1.0]).unwrap_err(),
-        read_edge_list("x y".as_bytes(), None, false).unwrap_err(),
+        read_edge_list(b"x y".as_slice(), None, false).unwrap_err(),
     ] {
         assert!(!err.to_string().is_empty());
     }

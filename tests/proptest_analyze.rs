@@ -1,0 +1,139 @@
+//! Differential properties for the plan-time static race verifier:
+//! the analyzer's verdicts cross-checked against the dynamic sanitizer
+//! on random matrices × kernels × balance modes × tile formats.
+//!
+//! The contract (also enforced corpus-wide by `repro analyze`):
+//!
+//! * a plan whose overall verdict is `Proved` must show **zero** dynamic
+//!   conflicts when the same launches run under the sanitizer;
+//! * a non-`Proved` verdict must be justified by at least one observed
+//!   atomic claim in the dynamic log (the analyzer only weakens its
+//!   verdict for atomic-mediated overlap);
+//! * every report discharges exactly the three obligations, and the
+//!   verdict counters are consistent with the overall verdict.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tilespmspv::core::exec::{BfsEngine, SpMSpVEngine};
+use tilespmspv::core::semiring::PlusTimes;
+use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
+use tilespmspv::core::tile::{SellConfig, TileConfig};
+use tilespmspv::prelude::*;
+use tilespmspv::simt::Sanitizer;
+use tilespmspv::sparse::CooMatrix;
+
+/// An arbitrary matrix up to 150 rows with clustered and scattered
+/// entries, so tile occupancy spans dense slabs and singleton tiles.
+fn arb_matrix() -> impl Strategy<Value = tilespmspv::sparse::CsrMatrix<f64>> {
+    (2usize..150, 2usize..150)
+        .prop_flat_map(|(m, n)| {
+            let entry = (0..m as u32, 0..n as u32, 1i32..50);
+            (Just((m, n)), proptest::collection::vec(entry, 0..400))
+        })
+        .prop_map(|((m, n), entries)| {
+            let mut coo = CooMatrix::new(m, n);
+            for (r, c, v) in entries {
+                coo.push(r as usize, c as usize, f64::from(v) * 0.25);
+            }
+            coo.sum_duplicates();
+            coo.to_csr()
+        })
+}
+
+/// An arbitrary square (directed) graph up to 120 vertices for BFS.
+fn arb_square() -> impl Strategy<Value = tilespmspv::sparse::CsrMatrix<f64>> {
+    (2usize..120)
+        .prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32);
+            (Just(n), proptest::collection::vec(edge, 0..300))
+        })
+        .prop_map(|(n, edges)| {
+            let mut coo = CooMatrix::new(n, n);
+            for (u, v) in edges {
+                if u != v {
+                    coo.push(u as usize, v as usize, 1.0);
+                }
+            }
+            coo.sum_duplicates();
+            coo.to_csr()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn proved_plans_show_zero_dynamic_conflicts(
+        a in arb_matrix(),
+        seed in 0u64..16,
+        sp_pick in 0usize..3,
+    ) {
+        let sparsity = [0.05, 0.2, 0.6][sp_pick];
+        let x = tilespmspv::sparse::gen::random_sparse_vector(a.ncols(), sparsity, seed);
+        for kernel in [KernelChoice::RowTile, KernelChoice::ColTile] {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                for format in [SpvFormat::TileCsr, SpvFormat::Sell(SellConfig::default())] {
+                    let opts = SpMSpVOptions {
+                        kernel,
+                        balance,
+                        format,
+                        verify: true,
+                        ..Default::default()
+                    };
+                    let mut engine = SpMSpVEngine::<PlusTimes>::from_csr_with(
+                        &a,
+                        TileConfig::default(),
+                        opts,
+                    )
+                    .unwrap();
+                    let san = Arc::new(Sanitizer::new());
+                    engine.set_sanitizer(Some(Arc::clone(&san)));
+                    engine.multiply(&x).unwrap();
+
+                    let report = engine.last_analysis().expect("verify: true must report");
+                    prop_assert_eq!(report.obligations.len(), 3,
+                        "{}: three obligations per plan", report.plan);
+                    let (proved, needs_atomics, unknown) = report.counts();
+                    prop_assert_eq!(proved + needs_atomics + unknown, 3u64);
+                    prop_assert_eq!(report.is_proved(), proved == 3,
+                        "{}: overall verdict vs counts", report.plan);
+
+                    let conflicts = san.violation_count();
+                    let atomics = san.summary().atomics;
+                    if report.is_proved() {
+                        prop_assert_eq!(conflicts, 0,
+                            "{}: proved but {} dynamic conflict(s)", report.plan, conflicts);
+                    } else {
+                        prop_assert!(atomics > 0,
+                            "{}: non-proved verdict with no atomic claims to justify it",
+                            report.plan);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proved_bfs_plans_show_zero_dynamic_conflicts(
+        a in arb_square(),
+        src_pick in 0usize..1000,
+    ) {
+        let source = src_pick % a.nrows();
+        let mut bfs = BfsEngine::from_csr(&a).unwrap();
+        let opts = BfsOptions { verify: true, ..Default::default() };
+        bfs.set_options(opts);
+        let san = Arc::new(Sanitizer::new());
+        bfs.set_sanitizer(Some(Arc::clone(&san)));
+        let r = bfs.run(source).unwrap();
+
+        let report = r.analysis.expect("verify: true must report");
+        prop_assert_eq!(report.obligations.len(), 3);
+        if report.is_proved() {
+            prop_assert_eq!(san.violation_count(), 0,
+                "{}: proved but dynamic conflicts observed", report.plan);
+        } else {
+            prop_assert!(san.summary().atomics > 0,
+                "{}: non-proved verdict with no atomic claims", report.plan);
+        }
+    }
+}

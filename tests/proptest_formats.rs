@@ -19,7 +19,7 @@ fn arb_matrix() -> impl Strategy<Value = CooMatrix<f64>> {
             for (r, c, v) in entries {
                 // Avoid explicit zeros so nnz comparisons stay exact.
                 let v = if v == 0 { 1 } else { v };
-                coo.push(r as usize, c as usize, v as f64);
+                coo.push(r as usize, c as usize, f64::from(v));
             }
             coo
         })
@@ -30,7 +30,7 @@ fn arb_vector(n: usize) -> impl Strategy<Value = SparseVector<f64>> {
     proptest::collection::btree_map(0..n as u32, -50i32..50, 0..n.min(64)).prop_map(move |m| {
         let entries: Vec<(u32, f64)> = m
             .into_iter()
-            .map(|(i, v)| (i, if v == 0 { 1.0 } else { v as f64 }))
+            .map(|(i, v)| (i, if v == 0 { 1.0 } else { f64::from(v) }))
             .collect();
         SparseVector::from_entries(n, entries).expect("btree keys are unique")
     })

@@ -74,7 +74,7 @@ fn arb_sparse_tile_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
                 let r = tr as usize * 32 + dr as usize;
                 let c = tc as usize * 32 + dc as usize;
                 if r < nrows && c < ncols {
-                    coo.push(r, c, v as f64 * 0.5);
+                    coo.push(r, c, f64::from(v) * 0.5);
                 }
             }
             coo.sum_duplicates();

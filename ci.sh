@@ -25,8 +25,12 @@ test -s "$trace_dir/trace.json" && test -s "$trace_dir/trace.summary.json"
 # baselines. The modeled times are deterministic functions of the kernels'
 # work counters, so a >25% drift is a real change in counted work, not
 # measurement noise (wall_ms is recorded but never compared). Exits
-# nonzero on any regressed row.
+# nonzero on any regressed row. The batched traversal-amortization table
+# must be emitted alongside (its 1.5x geomean floor and lane-by-lane
+# bit-identity are asserted inside the binary; the table itself is
+# informational and never diffed against a baseline).
 ./target/release/repro bench --scale tiny --out "$trace_dir" --check results/baselines
+test -s "$trace_dir/BENCH_batched.json"
 
 # Metrics smoke: a run with --metrics-out must emit a valid Prometheus
 # exposition covering both the backend and engine instrumentation, and
@@ -86,3 +90,14 @@ TSV_FORMAT=sell TSV_NATIVE_THREADS=4 cargo test --release -q --test conformance_
 ./target/release/tsv bfs gen:grid:64 --backend native:2 | grep 'backend: native:2' >/dev/null
 ./target/release/tsv spmspv gen:rmat:12 --format sell --backend native:4 | grep 'format: sell' >/dev/null
 ./target/release/tsv bfs gen:grid:64 --format sell:8 | grep 'format: sell' >/dev/null
+
+# Batched multi-frontier gate: the batched ≡ sequential differential
+# suite (backend × format × balance × B ∈ {1, 2, 7, 32} over the
+# conformance corpus) at one and at four native threads, the batched
+# analyzer/sanitizer cross-check proptests, and a --batch CLI smoke
+# covering the batched kernel label and the per-width plan proof.
+TSV_NATIVE_THREADS=1 cargo test --release -q --test batched_equivalence
+TSV_NATIVE_THREADS=4 cargo test --release -q --test batched_equivalence
+cargo test --release -q --test proptest_analyze
+./target/release/tsv spmspv gen:rmat:12 --batch 4 --backend native:4 | grep 'batch: 4 lanes' >/dev/null
+./target/release/tsv spmspv gen:rmat:12 --batch 4 --verify-plan | grep '/b4' >/dev/null

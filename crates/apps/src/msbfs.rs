@@ -6,10 +6,18 @@
 //! every adjacency read, which is exactly the batched regime (per-source
 //! BFS from many roots) that betweenness centrality and all-pairs
 //! estimators run. A natural extension of the paper's bitmask machinery.
+//!
+//! The traversal itself lives in [`BatchedBfsEngine`] in `tsv-core::exec`:
+//! the engine owns the round-to-round workspace and routes the expansion
+//! through the execution [`Backend`](tsv_simt::backend::Backend)
+//! abstraction (this module's previous ad-hoc rayon round buffers moved
+//! there wholesale). These free functions remain the one-shot entry
+//! points; the regression tests below pin that the engine reproduces the
+//! round-buffer implementation's levels exactly.
 
-use rayon::prelude::*;
 use std::sync::Arc;
-use tsv_simt::trace::{self, IterationInfo, Tracer};
+use tsv_core::exec::BatchedBfsEngine;
+use tsv_simt::trace::Tracer;
 use tsv_sparse::{CsrMatrix, SparseError};
 
 /// Runs up to 64 concurrent BFS traversals. Returns `levels[s][v]`: the
@@ -29,139 +37,16 @@ pub fn multi_source_bfs_traced(
     sources: &[usize],
     tracer: Option<Arc<Tracer>>,
 ) -> Result<Vec<Vec<i32>>, SparseError> {
-    if a.nrows() != a.ncols() {
-        return Err(SparseError::NotSquare {
-            nrows: a.nrows(),
-            ncols: a.ncols(),
-        });
-    }
-    assert!(sources.len() <= 64, "at most 64 concurrent sources");
-    let n = a.nrows();
-    for &s in sources {
-        if s >= n {
-            return Err(SparseError::IndexOutOfBounds {
-                row: s,
-                col: 0,
-                nrows: n,
-                ncols: 1,
-            });
-        }
-    }
-
-    let k = sources.len();
-    let mut levels = vec![vec![-1i32; n]; k];
-    if k == 0 {
-        return Ok(levels);
-    }
-
-    // seen[v] bit i: v reached from source i. front[v]: reached last round.
-    let mut seen = vec![0u64; n];
-    let mut front = vec![0u64; n];
-    for (i, &s) in sources.iter().enumerate() {
-        seen[s] |= 1 << i;
-        front[s] |= 1 << i;
-        levels[i][s] = 0;
-    }
-
-    let mut level = 0i32;
-    let mut active: Vec<u32> = sources.iter().map(|&s| s as u32).collect();
-    active.sort_unstable();
-    active.dedup();
-
-    // Round-to-round scratch, allocated once: the expand target and the
-    // next frontier list are reused every level instead of reallocated.
-    let mut next = vec![0u64; n];
-    let mut new_active: Vec<u32> = Vec::new();
-
-    // Telemetry counts (vertex, source) pairs: each of the k traversals
-    // contributes its own frontier/visited set.
-    let tr = tracer.as_deref();
-    let mut frontier_pairs = k;
-    let mut reached_pairs = k;
-
-    while !active.is_empty() {
-        level += 1;
-        let t0 = trace::start(tr);
-        // Expand: next[v] = OR of front[u] over in-neighbors u, minus seen.
-        // Sharing is the point: each adjacency row is read once for all 64
-        // traversals.
-        let chunk = active
-            .len()
-            .div_ceil(rayon::current_num_threads().max(1))
-            .max(32);
-        let contributions: Vec<Vec<(u32, u64)>> = active
-            .par_chunks(chunk)
-            .map(|part| {
-                let mut local = Vec::new();
-                for &u in part {
-                    let fu = front[u as usize];
-                    let (nbrs, _) = a.row(u as usize);
-                    for &v in nbrs {
-                        let fresh = fu & !seen[v as usize];
-                        if fresh != 0 {
-                            local.push((v, fu));
-                        }
-                    }
-                }
-                local
-            })
-            .collect();
-
-        next.fill(0);
-        for local in contributions {
-            for (v, bits) in local {
-                next[v as usize] |= bits;
-            }
-        }
-
-        // Retire the old frontier word-by-word (it is nonzero only at the
-        // active vertices) rather than rebuilding the whole vector.
-        for &u in &active {
-            front[u as usize] = 0;
-        }
-
-        // Filter to freshly-discovered (vertex, source) pairs; those form
-        // the next frontier and get this level.
-        new_active.clear();
-        let mut discovered = 0usize;
-        for v in 0..n {
-            let fresh = next[v] & !seen[v];
-            if fresh != 0 {
-                seen[v] |= fresh;
-                front[v] = fresh;
-                discovered += fresh.count_ones() as usize;
-                for (i, lv) in levels.iter_mut().enumerate().take(k) {
-                    if fresh >> i & 1 == 1 {
-                        lv[v] = level;
-                    }
-                }
-                new_active.push(v as u32);
-            }
-        }
-        reached_pairs += discovered;
-        trace::iteration(
-            tr,
-            "msbfs/level",
-            None,
-            IterationInfo {
-                level: level as u32,
-                frontier: frontier_pairs,
-                discovered,
-                unvisited: n * k - reached_pairs,
-                density: frontier_pairs as f64 / (n * k) as f64,
-            },
-            t0,
-        );
-        frontier_pairs = discovered;
-        std::mem::swap(&mut active, &mut new_active);
-    }
-    Ok(levels)
+    let mut engine = BatchedBfsEngine::new();
+    engine.set_tracer(tracer);
+    engine.run(a, sources)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsv_sparse::gen::{geometric_graph, grid2d, rmat, RmatConfig};
+    use tsv_simt::backend::ExecBackend;
+    use tsv_sparse::gen::{geometric_graph, grid2d, rmat, uniform_random, RmatConfig};
     use tsv_sparse::reference::bfs_levels;
 
     #[test]
@@ -211,5 +96,122 @@ mod tests {
         let a = grid2d(4, 4).to_csr();
         let sources: Vec<usize> = (0..65).map(|i| i % 16).collect();
         let _ = multi_source_bfs(&a, &sources);
+    }
+
+    /// The original round-buffer implementation this module shipped before
+    /// the traversal moved into [`BatchedBfsEngine`], kept verbatim (minus
+    /// telemetry and the rayon fan-out, which never affected results: OR
+    /// merge is commutative and idempotent) as the regression oracle.
+    fn round_buffer_msbfs(a: &CsrMatrix<f64>, sources: &[usize]) -> Vec<Vec<i32>> {
+        let n = a.nrows();
+        let k = sources.len();
+        let mut levels = vec![vec![-1i32; n]; k];
+        let mut seen = vec![0u64; n];
+        let mut front = vec![0u64; n];
+        for (i, &s) in sources.iter().enumerate() {
+            seen[s] |= 1 << i;
+            front[s] |= 1 << i;
+            levels[i][s] = 0;
+        }
+        let mut level = 0i32;
+        let mut active: Vec<u32> = sources.iter().map(|&s| s as u32).collect();
+        active.sort_unstable();
+        active.dedup();
+        let mut next = vec![0u64; n];
+        while !active.is_empty() {
+            level += 1;
+            next.fill(0);
+            for &u in &active {
+                let fu = front[u as usize];
+                let (nbrs, _) = a.row(u as usize);
+                for &v in nbrs {
+                    let fresh = fu & !seen[v as usize];
+                    if fresh != 0 {
+                        next[v as usize] |= fu;
+                    }
+                }
+            }
+            for &u in &active {
+                front[u as usize] = 0;
+            }
+            active.clear();
+            for v in 0..n {
+                let fresh = next[v] & !seen[v];
+                if fresh != 0 {
+                    seen[v] |= fresh;
+                    front[v] = fresh;
+                    for (i, lv) in levels.iter_mut().enumerate().take(k) {
+                        if fresh >> i & 1 == 1 {
+                            lv[v] = level;
+                        }
+                    }
+                    active.push(v as u32);
+                }
+            }
+        }
+        levels
+    }
+
+    /// A graph with several components plus isolated vertices: sources in
+    /// different components must never see each other, and unreachable
+    /// rows stay all `-1`.
+    fn disconnected_fixture() -> CsrMatrix<f64> {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Component 1: an 8-cycle over 0..8.
+        for i in 0..8u32 {
+            edges.push((i, (i + 1) % 8));
+        }
+        // Component 2: a path over 20..30.
+        for i in 20..29u32 {
+            edges.push((i, i + 1));
+        }
+        // Component 3: a star centered at 40.
+        for leaf in 41..48u32 {
+            edges.push((40, leaf));
+        }
+        // Vertices 48..56 stay isolated.
+        let (rows, cols): (Vec<u32>, Vec<u32>) =
+            edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).unzip();
+        let vals = vec![1.0; rows.len()];
+        tsv_sparse::CooMatrix::from_triplets(56, 56, rows, cols, vals)
+            .unwrap()
+            .to_csr()
+    }
+
+    #[test]
+    fn engine_rewrite_reproduces_round_buffer_levels_on_disconnected_fixture() {
+        let a = disconnected_fixture();
+        let sources = [0usize, 4, 20, 29, 40, 47, 55];
+        let expected = round_buffer_msbfs(&a, &sources);
+        assert_eq!(multi_source_bfs(&a, &sources).unwrap(), expected);
+        // Cross-component isolation: a source on the isolated vertex
+        // reaches only itself.
+        assert_eq!(expected[6].iter().filter(|&&l| l >= 0).count(), 1);
+        // And across backends/thread counts the engine still matches.
+        for backend in [ExecBackend::native(Some(1)), ExecBackend::native(Some(4))] {
+            let mut engine = BatchedBfsEngine::new();
+            engine.set_backend(backend);
+            assert_eq!(engine.run(&a, &sources).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn engine_rewrite_reproduces_round_buffer_levels_on_representative_corpus() {
+        let corpus: Vec<CsrMatrix<f64>> = vec![
+            grid2d(17, 13).to_csr().without_diagonal(),
+            geometric_graph(600, 4.0, 8).to_csr(),
+            rmat(RmatConfig::new(9, 7), 3).to_csr(),
+            uniform_random(500, 500, 3000, 12).to_csr(),
+        ];
+        for (gi, a) in corpus.iter().enumerate() {
+            let n = a.nrows();
+            let sources: Vec<usize> = (0..32).map(|i| (i * 37) % n).collect();
+            let expected = round_buffer_msbfs(a, &sources);
+            assert_eq!(
+                multi_source_bfs(a, &sources).unwrap(),
+                expected,
+                "graph {gi}"
+            );
+        }
     }
 }

@@ -891,6 +891,27 @@ fn sanitize_cmd(scale: SuiteScale) {
             }
         }
 
+        // The batched engine's slab writes run under the same dynamic
+        // scrutiny: one pass over 4 frontiers per balance.
+        let xs: Vec<SparseVector<f64>> = (0..4)
+            .map(|q| random_sparse_vector(a.ncols(), 0.02, 7 + q))
+            .collect();
+        for (balance, _) in balances {
+            let opts = SpMSpVOptions {
+                kernel: KernelChoice::RowTile,
+                balance,
+                ..Default::default()
+            };
+            let mut batched = tsv_core::exec::BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(
+                a,
+                TileConfig::default(),
+                opts,
+            )
+            .expect("tile batched PlusTimes");
+            batched.set_sanitizer(Some(Arc::clone(&san)));
+            batched.multiply(&xs).expect("batched PlusTimes multiply");
+        }
+
         let mut bfs = BfsEngine::from_csr(a).expect("build BFS graph");
         bfs.set_sanitizer(Some(Arc::clone(&san)));
         bfs.run(bfs_source(a)).expect("sanitized BFS");
@@ -942,6 +963,52 @@ fn sanitize_cmd(scale: SuiteScale) {
             }
         }
     }
+    // The batched engine carries the strong contract too: every query
+    // lane's output is bitwise schedule-independent.
+    for (balance, bname) in balances {
+        let opts = SpMSpVOptions {
+            kernel: KernelChoice::RowTile,
+            balance,
+            ..Default::default()
+        };
+        let xs: Vec<SparseVector<f64>> = (0..4)
+            .map(|q| random_sparse_vector(cert.ncols(), 0.05, 11 + q))
+            .collect();
+        let mut batched = tsv_core::exec::BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(
+            cert,
+            TileConfig::default(),
+            opts,
+        )
+        .expect("tile batched PlusTimes");
+        let report = replay_check(
+            n_seeded,
+            0xBA7C_4ED0,
+            || batched.multiply(&xs).expect("replayed batched multiply").0,
+            |a, b| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(p, q)| {
+                        p.indices() == q.indices()
+                            && p.values()
+                                .iter()
+                                .zip(q.values())
+                                .all(|(v, w)| v.to_bits() == w.to_bits())
+                    })
+            },
+        );
+        println!(
+            "  batched    row/{bname}: {} runs, {} mismatched (bitwise, 4 lanes)",
+            report.runs,
+            report.mismatched.len()
+        );
+        if !report.all_match() {
+            eprintln!(
+                "  schedule-dependent batched output: {:?}",
+                report.mismatched
+            );
+            failed = true;
+        }
+    }
+
     // MinPlus and OrAnd carry the weaker semantic contract: same support,
     // values equal under the semiring's own comparison.
     for (balance, bname) in balances {
@@ -1028,7 +1095,9 @@ fn sanitize_cmd(scale: SuiteScale) {
 
 /// `repro analyze`: sweeps the conformance corpus through the plan-time
 /// static race verifier — every SpMSpV kernel × balance × tile format on
-/// both execution backends, plus a TileBFS traversal — and cross-checks
+/// both execution backends, the batched multi-frontier engine (balance ×
+/// format × backend, whose plans must prove write-disjointness across
+/// query lanes), plus a TileBFS traversal — and cross-checks
 /// the analyzer against the dynamic sanitizer. The differential contract:
 /// a `Proved` plan must show zero dynamic conflicts, and any non-`Proved`
 /// verdict must be justified by observed atomic claims. Every default-path
@@ -1124,6 +1193,65 @@ fn analyze_cmd(scale: SuiteScale) {
                             corpus_bad += 1;
                             failed = true;
                         }
+                    }
+                }
+            }
+        }
+
+        // Batched launches get their own access-footprint shapes: the
+        // verifier must prove write-disjointness across query lanes, and
+        // a proved batched plan must show zero dynamic conflicts.
+        let xs: Vec<_> = (0..5)
+            .map(|q| random_sparse_vector(a.ncols(), 0.02, 7 + q))
+            .collect();
+        for (balance, bname) in balances {
+            for (format, fname) in formats {
+                for (backend, bk) in &backends {
+                    let opts = SpMSpVOptions {
+                        kernel: KernelChoice::RowTile,
+                        balance,
+                        format,
+                        verify: true,
+                        ..Default::default()
+                    };
+                    let mut engine =
+                        tsv_core::exec::BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(
+                            a,
+                            TileConfig::default(),
+                            opts,
+                        )
+                        .expect("tile batched PlusTimes");
+                    engine.set_backend(backend.clone());
+                    let san = (*bk == "model").then(|| Arc::new(Sanitizer::new()));
+                    engine.set_sanitizer(san.clone());
+                    engine.multiply(&xs).expect("verified batched multiply");
+                    let report = engine
+                        .last_analysis()
+                        .expect("verify option must produce a report")
+                        .clone();
+                    summary.record_static_analysis(&report);
+                    plans += 1;
+                    let mut bad: Option<String> = None;
+                    if let Some(san) = &san {
+                        let conflicts = san.violation_count();
+                        let atomics = san.summary().atomics;
+                        if report.is_proved() && conflicts > 0 {
+                            bad = Some(format!(
+                                "proved, but the sanitizer found {conflicts} conflict(s)"
+                            ));
+                        } else if !report.is_proved() && atomics == 0 {
+                            bad = Some("non-proved verdict with no atomic claims observed".into());
+                        }
+                    }
+                    if report.is_proved() {
+                        proved += 1;
+                    } else if bad.is_none() {
+                        bad = Some(format!("default-path plan not proved: {report}"));
+                    }
+                    if let Some(why) = bad {
+                        eprintln!("  {} batched/{bname}/{fname}/{bk}: {why}", e.name);
+                        corpus_bad += 1;
+                        failed = true;
                     }
                 }
             }
@@ -1319,6 +1447,17 @@ fn bench_cmd(scale: SuiteScale, out: &Path, check: Option<&Path>) {
         eprintln!("bench check: {failures} row(s) regressed by more than 25% vs baseline");
         std::process::exit(1);
     }
+
+    println!("== batched traversal amortization (informational, not gated) ==");
+    let batched_doc = format!(
+        "{{\"schema_version\":1,\"scale\":\"{scale_name}\",\"device\":\"{}\",\"rows\":[{}]}}",
+        tsv_simt::json::escape(RTX_3090.name),
+        batched_rows(scale),
+    );
+    tsv_simt::json::parse(&batched_doc).expect("batched bench table must parse");
+    let batched_path = out.join("BENCH_batched.json");
+    std::fs::write(&batched_path, &batched_doc).expect("write batched bench table");
+    println!("  -> wrote {} (not gated)", batched_path.display());
 
     println!("== native-backend wall clock (informational, not gated) ==");
     let (spmspv_native, bfs_native) = build_native_docs(scale, scale_name);
@@ -1554,6 +1693,148 @@ fn balance_rows(scale: SuiteScale) -> String {
         wall_ms[0],
         wall_ms[1],
         wall_ms[0] / wall_ms[1],
+    );
+    rows.join(",")
+}
+
+/// The traversal-amortization showcase: `B` frontiers multiplied once
+/// through the batched multi-frontier engine versus `B` sequential
+/// row-tile multiplies over the same frontiers. The batched pass reads
+/// each touched tile body once for all query lanes, so its modeled
+/// device time must amortize — the geomean speedup over the
+/// representative corpus is asserted to reach 1.5x at `B = 8`. Every
+/// lane is also certified bit-identical to its sequential product on
+/// both backends (native at 1 and 4 threads) and both tile formats.
+/// Returns the `BENCH_batched.json` rows (comma-joined).
+fn batched_rows(scale: SuiteScale) -> String {
+    use tsv_core::exec::{BatchedSpMSpVEngine, SpMSpVEngine};
+    use tsv_core::semiring::PlusTimes;
+    use tsv_core::spmspv::{KernelChoice, SpMSpVOptions, SpvFormat};
+    use tsv_core::tile::SellConfig;
+    use tsv_simt::json;
+    use tsv_simt::ExecBackend;
+
+    const B: usize = 8;
+    let suite = representative(scale);
+    let mut rows = Vec::new();
+    let mut amortizations = Vec::new();
+    for e in &suite {
+        let a = &e.matrix;
+        let xs: Vec<_> = (0..B)
+            .map(|q| random_sparse_vector(a.ncols(), 0.3, 21 + q as u64))
+            .collect();
+        let opts = SpMSpVOptions {
+            kernel: KernelChoice::RowTile,
+            ..Default::default()
+        };
+
+        // The baseline: B sequential multiplies on the modeled device.
+        let mut seq =
+            SpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+        let mut seq_ys = Vec::new();
+        let mut seq_stats = Vec::new();
+        for x in &xs {
+            let (y, report) = seq.multiply(x).unwrap();
+            seq_stats.push(report.stats);
+            seq_ys.push(y);
+        }
+        let seq_modeled = modeled_secs(seq_stats, &RTX_3090);
+        let seq_wall = median_secs(
+            || {
+                for x in &xs {
+                    std::hint::black_box(seq.multiply(x).unwrap());
+                }
+            },
+            3,
+            0.01,
+        );
+
+        // One batched pass over the same frontiers.
+        let mut batched =
+            BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts)
+                .unwrap();
+        let (ys, report) = batched.multiply(&xs).unwrap();
+        let batched_modeled = modeled_secs([report.stats], &RTX_3090);
+        let batched_wall = median_secs(
+            || {
+                std::hint::black_box(batched.multiply(&xs).unwrap());
+            },
+            3,
+            0.01,
+        );
+
+        // Lane-by-lane bitwise certification against the sequential
+        // reference, across backend x format x thread count.
+        let bits = |y: &tsv_sparse::SparseVector<f64>| -> Vec<u64> {
+            y.values().iter().map(|v| v.to_bits()).collect()
+        };
+        let check = |label: &str, got: &[tsv_sparse::SparseVector<f64>]| {
+            for (q, (y, want)) in got.iter().zip(&seq_ys).enumerate() {
+                assert_eq!(
+                    y.indices(),
+                    want.indices(),
+                    "{}/{label} lane {q}: support mismatch",
+                    e.name
+                );
+                assert_eq!(
+                    bits(y),
+                    bits(want),
+                    "{}/{label} lane {q}: batched must be bit-identical to sequential",
+                    e.name
+                );
+            }
+        };
+        check("model/tilecsr", &ys);
+        for format in [SpvFormat::TileCsr, SpvFormat::Sell(SellConfig::default())] {
+            let opts = SpMSpVOptions {
+                kernel: KernelChoice::RowTile,
+                format,
+                ..Default::default()
+            };
+            let mut engine =
+                BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts)
+                    .unwrap();
+            for threads in [1usize, 4] {
+                engine.set_backend(ExecBackend::native(Some(threads)));
+                let (native_ys, _) = engine.multiply(&xs).unwrap();
+                check(&format!("native:{threads}/{}", format.short()), &native_ys);
+            }
+        }
+
+        let amortization = seq_modeled / batched_modeled;
+        amortizations.push(amortization);
+        println!(
+            "  {:<18} B={B} sequential {:.3} ms vs batched {:.3} ms modeled ({:.2}x); \
+             wall {:.3} vs {:.3} ms",
+            e.name,
+            seq_modeled * 1e3,
+            batched_modeled * 1e3,
+            amortization,
+            seq_wall * 1e3,
+            batched_wall * 1e3,
+        );
+        rows.push(format!(
+            "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"batch\":{B},\
+             \"kernel\":\"spmspv/row-tile-batched\",\
+             \"sequential_modeled_ms\":{},\"batched_modeled_ms\":{},\"amortization\":{},\
+             \"sequential_wall_ms\":{},\"batched_wall_ms\":{}{}}}",
+            json::escape(e.name),
+            a.nrows(),
+            a.nnz(),
+            json::number(seq_modeled * 1e3),
+            json::number(batched_modeled * 1e3),
+            json::number(amortization),
+            json::number(seq_wall * 1e3),
+            json::number(batched_wall * 1e3),
+            utilization_fields(&report.stats, 1, batched_modeled * 1e3),
+        ));
+    }
+
+    let g = geomean(&amortizations);
+    println!("  geomean traversal amortization at B={B}: {g:.2}x");
+    assert!(
+        g >= 1.5,
+        "batched traversal amortization regressed: geomean {g:.2}x < 1.5x at B={B}"
     );
     rows.join(",")
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tsv_baselines::{enterprise_bfs, gswitch_bfs, gunrock_bfs};
 use tsv_core::bfs::BfsOptions;
-use tsv_core::exec::{BfsEngine, SpMSpVEngine};
+use tsv_core::exec::{BatchedSpMSpVEngine, BfsEngine, SpMSpVEngine};
 use tsv_core::semiring::PlusTimes;
 use tsv_core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
 use tsv_core::telemetry::RunSummary;
@@ -262,7 +262,10 @@ fn check_sanitize_backend(sanitize: bool, backend: &ExecBackend) -> Result<(), C
 /// the device peaks, with bound classification). `--verify-plan` runs the
 /// plan-time static race verifier over the launch shapes before execution
 /// and prints its per-obligation verdicts; malformed launch geometry is
-/// reported as an error before any kernel runs.
+/// reported as an error before any kernel runs. `--batch k` (`batch > 0`
+/// here) routes through the batched multi-frontier engine instead: `k`
+/// random frontiers (seeds `seed..seed+k`) multiplied in one shared tile
+/// traversal, with per-lane rows in the output and the run summary.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_spmspv(
     a: &CsrMatrix<f64>,
@@ -272,6 +275,7 @@ pub fn cmd_spmspv(
     balance: Balance,
     format: SpvFormat,
     backend: ExecBackend,
+    batch: usize,
     sanitize: bool,
     trace_out: Option<&Path>,
     metrics_out: Option<&Path>,
@@ -279,6 +283,13 @@ pub fn cmd_spmspv(
     verify_plan: bool,
 ) -> Result<String, CliError> {
     check_sanitize_backend(sanitize, &backend)?;
+    if batch > 0 && kernel == KernelChoice::ColTile {
+        return Err(CliError::Usage(
+            "--batch runs the row-tile batched kernel (its lane-major output slabs have no \
+             column-kernel counterpart); drop --kernel col or --batch"
+                .to_string(),
+        ));
+    }
     let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
     let san = sanitize.then(|| Arc::new(Sanitizer::new()));
     let tiled = TileMatrix::from_csr(a, TileConfig::default())?;
@@ -287,7 +298,6 @@ pub fn cmd_spmspv(
     if tracer.is_some() {
         summary.record_tile_nnz(&tiled);
     }
-    let x = random_sparse_vector(a.ncols(), sparsity, seed);
     let opts = SpMSpVOptions {
         kernel,
         balance,
@@ -295,6 +305,68 @@ pub fn cmd_spmspv(
         verify: verify_plan,
         ..Default::default()
     };
+    if batch > 0 {
+        let mut engine = BatchedSpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
+        let backend_desc = backend.describe();
+        engine.set_backend(backend);
+        engine.set_tracer(tracer.clone());
+        engine.set_sanitizer(san.clone());
+        let xs: Vec<_> = (0..batch)
+            .map(|q| random_sparse_vector(a.ncols(), sparsity, seed + q as u64))
+            .collect();
+        let t = Instant::now();
+        let (_ys, exec_report) = engine.multiply(&xs)?;
+        let dt = t.elapsed();
+        summary.record_batch(&exec_report);
+        let mut out = format!("batch: {batch} lanes\n");
+        for (q, row) in exec_report.per_query.iter().enumerate() {
+            out.push_str(&format!(
+                "lane {q}: x {} nonzeros -> y {} nonzeros\n",
+                row.x_nnz, row.y_nnz
+            ));
+        }
+        out.push_str(&format!(
+            "backend: {backend_desc}\nkernel: spmspv/row-tile-batched\nformat: {}\ntime: {:.3} ms   flops: {}   gmem: {} bytes\n",
+            exec_report.format,
+            dt.as_secs_f64() * 1e3,
+            exec_report.stats.flops,
+            exec_report.stats.gmem_bytes(),
+        ));
+        if let Some(d) = &exec_report.dispatch {
+            out.push_str(&format!(
+                "dispatch: {} units -> {} warps   max/mean work {:.0}/{:.1} (imbalance {:.2})\n",
+                d.units,
+                d.warps,
+                d.max_warp_work as f64,
+                d.mean_warp_work(),
+                d.imbalance(),
+            ));
+            summary.record_dispatch("spmspv/row-tile-batched-binned", d);
+        }
+        if let Some(analysis) = engine.last_analysis() {
+            summary.record_static_analysis(analysis);
+            out.push_str(&format!("{analysis}"));
+        }
+        if let Some(san) = &san {
+            summary.record_sanitizer(san.summary());
+            sanitizer_verdict(san, &mut out)?;
+        }
+        if trace_out.is_some() || report {
+            summary.record_profiler(engine.profiler());
+        }
+        if report {
+            out.push_str("utilization:\n");
+            out.push_str(&summary.utilization_table());
+        }
+        if let (Some(path), Some(tracer)) = (trace_out, &tracer) {
+            out.push_str(&write_trace_outputs(path, tracer, &mut summary)?);
+        }
+        if let Some(path) = metrics_out {
+            out.push_str(&write_metrics_output(path)?);
+        }
+        return Ok(out);
+    }
+    let x = random_sparse_vector(a.ncols(), sparsity, seed);
     let mut engine = SpMSpVEngine::<PlusTimes>::with_options(tiled, opts);
     let backend_desc = backend.describe();
     engine.set_backend(backend);
@@ -516,6 +588,7 @@ mod tests {
             Balance::default(),
             SpvFormat::default(),
             ExecBackend::model(),
+            0,
             false,
             None,
             None,
@@ -539,6 +612,7 @@ mod tests {
             Balance::binned(),
             SpvFormat::default(),
             ExecBackend::model(),
+            0,
             false,
             None,
             None,
@@ -562,6 +636,7 @@ mod tests {
                 balance,
                 SpvFormat::default(),
                 ExecBackend::model(),
+                0,
                 true,
                 None,
                 None,
@@ -679,6 +754,7 @@ mod tests {
             Balance::binned(),
             SpvFormat::default(),
             ExecBackend::model(),
+            0,
             true,
             Some(&spmspv_trace),
             None,
@@ -758,6 +834,7 @@ mod tests {
             Balance::binned(),
             SpvFormat::default(),
             ExecBackend::model(),
+            0,
             false,
             None,
             Some(&metrics_path),
@@ -841,6 +918,7 @@ mod tests {
             Balance::binned(),
             SpvFormat::default(),
             ExecBackend::model(),
+            0,
             false,
             None,
             None,
@@ -856,6 +934,7 @@ mod tests {
             Balance::binned(),
             SpvFormat::default(),
             ExecBackend::native(Some(2)),
+            0,
             false,
             None,
             None,
@@ -905,6 +984,7 @@ mod tests {
             Balance::default(),
             SpvFormat::default(),
             ExecBackend::native(Some(2)),
+            0,
             true,
             None,
             None,
@@ -991,6 +1071,7 @@ mod tests {
                 Balance::binned(),
                 SpvFormat::default(),
                 backend.clone(),
+                0,
                 false,
                 None,
                 None,
@@ -1006,6 +1087,7 @@ mod tests {
                 Balance::binned(),
                 parse_format("sell:8:32").unwrap(),
                 backend,
+                0,
                 false,
                 None,
                 None,
@@ -1086,6 +1168,7 @@ mod tests {
                 balance,
                 SpvFormat::default(),
                 ExecBackend::model(),
+                0,
                 false,
                 None,
                 None,
@@ -1147,6 +1230,7 @@ mod tests {
             Balance::default(),
             SpvFormat::default(),
             ExecBackend::native(Some(2)),
+            0,
             false,
             None,
             None,
@@ -1156,5 +1240,106 @@ mod tests {
         .unwrap();
         assert!(s.contains("plan spmspv/"), "{s}");
         assert!(s.contains("proved"), "{s}");
+    }
+
+    #[test]
+    fn spmspv_batch_prints_per_lane_rows_on_both_backends() {
+        let a = banded(200, 5, 0.8, 1).to_csr();
+        for backend in [ExecBackend::model(), ExecBackend::native(Some(2))] {
+            for balance in [Balance::default(), Balance::binned()] {
+                let s = cmd_spmspv(
+                    &a,
+                    0.05,
+                    1,
+                    KernelChoice::Auto,
+                    balance,
+                    SpvFormat::default(),
+                    backend.clone(),
+                    3,
+                    false,
+                    None,
+                    None,
+                    false,
+                    false,
+                )
+                .unwrap();
+                assert!(s.contains("batch: 3 lanes"), "{s}");
+                assert!(s.contains("lane 0:"), "{s}");
+                assert!(s.contains("lane 2:"), "{s}");
+                assert!(s.contains("kernel: spmspv/row-tile-batched"), "{s}");
+                if balance == Balance::binned() {
+                    assert!(s.contains("dispatch:"), "{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmspv_batch_rejects_the_column_kernel() {
+        let a = banded(100, 4, 0.8, 1).to_csr();
+        let err = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::ColTile,
+            Balance::default(),
+            SpvFormat::default(),
+            ExecBackend::model(),
+            2,
+            false,
+            None,
+            None,
+            false,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--batch"), "{err}");
+    }
+
+    #[test]
+    fn spmspv_batch_sanitizes_verifies_and_records_the_summary() {
+        let dir = std::env::temp_dir().join("tsv-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = banded(300, 5, 0.8, 1).to_csr();
+        let trace = dir.join("batch.trace.json");
+        let s = cmd_spmspv(
+            &a,
+            0.05,
+            1,
+            KernelChoice::Auto,
+            Balance::binned(),
+            SpvFormat::default(),
+            ExecBackend::model(),
+            4,
+            true,
+            Some(&trace),
+            None,
+            false,
+            true,
+        )
+        .unwrap();
+        assert!(s.contains("batch: 4 lanes"), "{s}");
+        assert!(s.contains("plan spmspv/row-tile-batched/"), "{s}");
+        assert!(s.contains("/b4"), "{s}");
+        assert!(s.contains("proved"), "{s}");
+        assert!(s.contains("sanitizer:"), "{s}");
+        assert!(s.contains(" 0 violations"), "{s}");
+        let summary = std::fs::read_to_string(dir.join("batch.trace.summary.json")).unwrap();
+        let v = tsv_simt::json::parse(&summary).unwrap();
+        let batch = v.get("batch").expect("batch object present");
+        assert_eq!(
+            batch
+                .get("width")
+                .and_then(tsv_simt::json::JsonValue::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            batch
+                .get("queries")
+                .and_then(tsv_simt::json::JsonValue::as_array)
+                .map(<[tsv_simt::json::JsonValue]>::len),
+            Some(4)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

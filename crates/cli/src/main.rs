@@ -6,7 +6,8 @@
 //! tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
 //!             [--balance direct|binned[:target[:split]]]
 //!             [--format tilecsr|sell[:C[:sigma]]]
-//!             [--backend model|native[:threads]] [--sanitize] [--verify-plan]
+//!             [--backend model|native[:threads]] [--batch K]
+//!             [--sanitize] [--verify-plan]
 //!             [--trace-out F] [--metrics-out F] [--report]
 //! tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
 //!             [--format tilecsr|sell[:C]]
@@ -19,6 +20,11 @@
 //! `native[:threads]` runs the same tile kernels as real parallel code on
 //! a rayon thread pool. PlusTimes results are bit-identical across
 //! backends and thread counts.
+//!
+//! `--batch K` multiplies `K` random frontiers (seeds `seed..seed+K`)
+//! through the batched multi-frontier engine in one shared tile
+//! traversal, printing per-lane rows; the row-tile kernel only, so it
+//! rejects `--kernel col`.
 //!
 //! `--sanitize` runs every kernel launch under the race sanitizer; any
 //! write-write or read-write conflict between warps not mediated by an
@@ -105,6 +111,12 @@ fn run() -> Result<(), CliError> {
                 None => ExecBackend::default(),
                 Some(spec) => parse_backend(&spec)?,
             };
+            let batch = match flag_str(&args, "--batch") {
+                None => 0,
+                Some(v) => v.parse::<usize>().ok().filter(|&b| b > 0).ok_or_else(|| {
+                    CliError::Usage(format!("--batch needs a positive integer, got {v:?}"))
+                })?,
+            };
             let sanitize = flag_set(&args, "--sanitize");
             let verify_plan = flag_set(&args, "--verify-plan");
             let trace_out = flag_str(&args, "--trace-out").map(std::path::PathBuf::from);
@@ -120,6 +132,7 @@ fn run() -> Result<(), CliError> {
                     balance,
                     format,
                     backend,
+                    batch,
                     sanitize,
                     trace_out.as_deref(),
                     metrics_out.as_deref(),
@@ -190,7 +203,8 @@ const USAGE: &str = "usage:
   tsv spmspv  <matrix> [--sparsity S] [--seed N] [--kernel auto|row|col]
               [--balance direct|binned[:target[:split]]]
               [--format tilecsr|sell[:C[:sigma]]]
-              [--backend model|native[:threads]] [--sanitize] [--verify-plan]
+              [--backend model|native[:threads]] [--batch K]
+              [--sanitize] [--verify-plan]
               [--trace-out F] [--metrics-out F] [--report]
   tsv bfs     <matrix> [--source V] [--algo tile|gunrock|gswitch|enterprise]
               [--format tilecsr|sell[:C]]
@@ -208,6 +222,11 @@ lane-blocked pull sweep.
 --backend selects the execution substrate: model (default) is the
 modeled SIMT grid; native[:threads] runs the same tile kernels on a
 rayon thread pool (PlusTimes results are bit-identical across both).
+
+--batch K multiplies K random frontiers (seeds seed..seed+K) in one
+shared tile traversal via the batched multi-frontier engine, printing
+one row per query lane. Row-tile kernel only (rejects --kernel col);
+PlusTimes lanes are bit-identical to K sequential multiplies.
 
 --sanitize runs every kernel launch under the race sanitizer; any
 write-write or read-write conflict is reported and fails the command.

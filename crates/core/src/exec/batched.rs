@@ -1,0 +1,1146 @@
+//! Batched multi-frontier execution: one tile traversal, `B` query lanes.
+//!
+//! The production shape the ROADMAP names — millions of users querying the
+//! *same* graph — wants the matrix traversal amortized across concurrent
+//! sparse frontiers. A column-blocked batch of B sparse vectors is a thin
+//! SpSpM (the blocked inner loop of tensor-core SpGEMM is the exemplar),
+//! and this module makes it first-class:
+//!
+//! * [`BatchedSpMSpVEngine`] — a prepared [`TileMatrix`] multiplied
+//!   against a *batch* of sparse vectors in one pass over the touched
+//!   tiles. The padded output is a **lane-major slab**: the slot of
+//!   (global row `r`, query lane `q`) is `r * B + q`, so each row tile
+//!   owns a contiguous `nt * B` chunk and the existing chunked launch
+//!   shapes prove write-disjointness across query lanes structurally.
+//!   Lane-major also means the `B` accumulators of one row sit adjacent
+//!   in memory — the layout the native backend's autovectorized bodies
+//!   extend along.
+//! * [`BatchedBfsEngine`] — the traversal counterpart: MS-BFS (one `u64`
+//!   frontier word per vertex, bit `q` = "reached from source `q`") with
+//!   owned round-to-round workspace and expansion routed through the
+//!   [`Backend`] abstraction instead of `msbfs`'s previous ad-hoc rayon
+//!   buffers. Bits merge by OR in warp order, so levels are independent
+//!   of thread count and chunking.
+//!
+//! Determinism: per query lane the fold order into `y` is *identical* to
+//! a sequential [`super::SpMSpVEngine`] multiply (tiles in tile order,
+//! rows folded in CSR order, buffered partials merged in warp/part
+//! order), so `PlusTimes` batched output is bit-for-bit equal to `B`
+//! independent sequential multiplies — on both backends, both formats,
+//! both balance modes, and any thread count. The differential suite in
+//! `tests/batched_equivalence.rs` certifies exactly this.
+//!
+//! Amortization: the batched kernels walk each touched tile once and
+//! charge its body traffic once (first active lane), while every lane
+//! pays its own vector-tile loads and flops. SpMSpV is memory-bound on
+//! the roofline, so modeled device time per query drops toward the
+//! compute bound as B grows — `repro bench` reports the measured
+//! amortization rows.
+
+use super::emetrics;
+use super::EngineMetrics;
+use crate::semiring::{PlusTimes, Semiring};
+use crate::spmspv::generic::{
+    batched_coo_kernel_semiring, batched_row_kernel_binned_semiring, batched_row_kernel_semiring,
+    build_batched_row_worklist, drain_touched,
+};
+use crate::spmspv::verify;
+use crate::spmspv::{Balance, DispatchStats, SpMSpVOptions, SpvFormat};
+use crate::tile::{SellSlabs, SellStats, TileConfig, TileMatrix, TiledVector};
+use std::sync::Arc;
+use std::time::Instant;
+use tsv_simt::analyze::PlanReport;
+use tsv_simt::atomic::AtomicWords;
+use tsv_simt::backend::{Backend, ExecBackend};
+use tsv_simt::grid::BinPlan;
+use tsv_simt::profile::Profiler;
+use tsv_simt::sanitize::{self, Sanitizer};
+use tsv_simt::stats::KernelStats;
+use tsv_simt::trace::{self, IterationInfo, Tracer};
+use tsv_simt::warp::WARP_SIZE;
+use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
+
+/// Per-lane outputs paired with the batch execution report: what a
+/// batched multiply returns.
+pub type BatchResult<T> = Result<(Vec<SparseVector<T>>, BatchExecReport), SparseError>;
+
+/// One query lane's contribution to a batched multiply, for the
+/// run-summary `batch` object's per-query rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchQueryReport {
+    /// Nonzeros of this lane's input frontier.
+    pub x_nnz: usize,
+    /// Nonzeros of this lane's compacted output.
+    pub y_nnz: usize,
+}
+
+/// What one batched multiply did: the shared-traversal counters plus the
+/// per-lane input/output shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchExecReport {
+    /// Query lanes in the batch (`B`).
+    pub batch: usize,
+    /// Work counters of the shared tile pass, the per-lane COO passes and
+    /// dispatch planning, summed.
+    pub stats: KernelStats,
+    /// The binned dispatch shape over the union work list, when
+    /// [`Balance::Binned`] was selected.
+    pub dispatch: Option<DispatchStats>,
+    /// The storage format the kernels routed through.
+    pub format: SpvFormat,
+    /// SELL slab construction stats, when the format was [`SpvFormat::Sell`].
+    pub sell: Option<SellStats>,
+    /// Per-lane input/output nonzero counts, lane order.
+    pub per_query: Vec<BatchQueryReport>,
+}
+
+/// Reusable scratch for the batched driver: one tiled vector per query
+/// lane, the lane-major output slab, and the shared touched/merge/plan
+/// machinery of the sequential workspace.
+#[derive(Debug)]
+pub struct BatchedSpMSpVWorkspace<T = f64> {
+    /// One compressed input per lane; lanes beyond the current batch
+    /// width keep their buffers warm for wider later rounds.
+    xts: Vec<TiledVector<T>>,
+    /// Lane-major slab, `m_tiles * nt * B` slots; slot of (row `r`, lane
+    /// `q`) is `r * B + q`.
+    y: Vec<T>,
+    touched: AtomicWords,
+    touched_list: Vec<u32>,
+    contribs: Vec<Vec<(u32, T)>>,
+    /// Union work list: row tiles active in *any* lane, ascending.
+    worklist: Vec<u32>,
+    unit_weights: Vec<u64>,
+    plan: BinPlan,
+    /// Per-lane compacted-output staging.
+    staged: Vec<(Vec<u32>, Vec<T>)>,
+    metrics: EngineMetrics,
+    last_analysis: Option<PlanReport>,
+}
+
+impl<T: Copy + PartialEq + Default + Send + Sync> BatchedSpMSpVWorkspace<T> {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            xts: Vec::new(),
+            y: Vec::new(),
+            touched: AtomicWords::zeroed(0),
+            touched_list: Vec::new(),
+            contribs: Vec::new(),
+            worklist: Vec::new(),
+            unit_weights: Vec::new(),
+            plan: BinPlan::new(),
+            staged: Vec::new(),
+            metrics: EngineMetrics::default(),
+            last_analysis: None,
+        }
+    }
+
+    /// The plan-time verifier's report for the most recent batched
+    /// multiply, when it ran with [`SpMSpVOptions::verify`] set.
+    pub fn last_analysis(&self) -> Option<&PlanReport> {
+        self.last_analysis.as_ref()
+    }
+
+    /// Sizes the buffers for `a` at batch width `b`. A no-op once the
+    /// geometry (matrix *and* width) matches; extra lanes from wider past
+    /// rounds are kept warm.
+    fn prepare(&mut self, a: &TileMatrix<T>, b: usize, zero: T) {
+        let nt = a.nt();
+        let padded = a.m_tiles() * nt * b;
+        let words = a.m_tiles().div_ceil(64);
+        let mut reshaped = false;
+        if self.y.len() != padded {
+            self.y.clear();
+            self.y.resize(padded, zero);
+            reshaped = true;
+        }
+        if self.touched.len() != words {
+            self.touched = AtomicWords::zeroed(words);
+            reshaped = true;
+        }
+        if self.touched_list.capacity() < a.m_tiles() {
+            self.touched_list
+                .reserve(a.m_tiles() - self.touched_list.len());
+            reshaped = true;
+        }
+        if self.unit_weights.len() != a.m_tiles() {
+            self.unit_weights.clear();
+            self.unit_weights.resize(a.m_tiles(), 0);
+            reshaped = true;
+        }
+        if self.worklist.capacity() < a.m_tiles() {
+            self.worklist.reserve(a.m_tiles() - self.worklist.len());
+            reshaped = true;
+        }
+        for q in 0..b.min(self.xts.len()) {
+            let xt = &self.xts[q];
+            if xt.len() != a.ncols() || xt.nt() != nt {
+                let mut fresh = TiledVector::zeros(a.ncols(), nt);
+                fresh.reserve_full();
+                self.xts[q] = fresh;
+                reshaped = true;
+            }
+        }
+        while self.xts.len() < b {
+            let mut xt = TiledVector::zeros(a.ncols(), nt);
+            xt.reserve_full();
+            self.xts.push(xt);
+            reshaped = true;
+        }
+        if self.staged.len() < b {
+            self.staged.resize_with(b, Default::default);
+            reshaped = true;
+        }
+        if reshaped {
+            self.metrics.scratch_reshapes += 1;
+            emetrics::WS_BATCHED.set(self.approx_bytes() as f64);
+        }
+    }
+
+    /// Approximate resident scratch bytes (capacities, not lengths) — the
+    /// `tsv_engine_workspace_bytes{engine="spmspv-batched"}` gauge.
+    pub fn approx_bytes(&self) -> u64 {
+        let t = std::mem::size_of::<T>() as u64;
+        let mut b = self.y.capacity() as u64 * t
+            + self.touched.len() as u64 * 8
+            + self.touched_list.capacity() as u64 * 4
+            + self.worklist.capacity() as u64 * 4
+            + self.unit_weights.capacity() as u64 * 8;
+        for xt in &self.xts {
+            b += xt.payload_fingerprint().1 as u64 * t;
+        }
+        for c in &self.contribs {
+            b += c.capacity() as u64 * (4 + t);
+        }
+        for (i, v) in &self.staged {
+            b += i.capacity() as u64 * 4 + v.capacity() as u64 * t;
+        }
+        b
+    }
+
+    /// The cumulative accounting for this workspace.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Zeroes the accounting without touching the buffers.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = EngineMetrics::default();
+    }
+
+    /// `(pointer, capacity)` pairs of the owned scratch buffers, for
+    /// asserting that steady-state reuse at a fixed batch width neither
+    /// moves nor regrows them.
+    pub fn scratch_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut f = vec![(self.y.as_ptr() as usize, self.y.capacity())];
+        for xt in &self.xts {
+            f.push(xt.payload_fingerprint());
+        }
+        f.push((
+            self.touched_list.as_ptr() as usize,
+            self.touched_list.capacity(),
+        ));
+        f.push((self.worklist.as_ptr() as usize, self.worklist.capacity()));
+        f.push((
+            self.unit_weights.as_ptr() as usize,
+            self.unit_weights.capacity(),
+        ));
+        f
+    }
+}
+
+impl<T: Copy + PartialEq + Default + Send + Sync> Default for BatchedSpMSpVWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `y_q = A ⊕.⊗ x_q` for every lane `q` of a batch, in one pass over the
+/// touched tiles, on an explicit execution [`Backend`].
+///
+/// The batched engine is row-tile only ([`SpMSpVOptions::kernel`] is not
+/// consulted): the row-tile kernel is the shape whose exclusive output
+/// chunks extend to lane-major slabs, and both [`Balance`] modes are
+/// supported over the *union* work list of the batch. Everything else
+/// matches the sequential driver: dispatch telemetry, plan-time
+/// verification under [`SpMSpVOptions::verify`], sanitizer epochs per
+/// launch, and touched-tile compaction (now per lane).
+///
+/// # Panics
+///
+/// Same dense-tile rule as the sequential driver: when `S::zero()`
+/// differs from `S::T::default()`, `a` must store no dense tiles.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn batched_spmspv_on_backend<S: Semiring, B: Backend>(
+    backend: &B,
+    a: &TileMatrix<S::T>,
+    xs: &[SparseVector<S::T>],
+    opts: SpMSpVOptions,
+    ws: &mut BatchedSpMSpVWorkspace<S::T>,
+    sell: Option<&SellSlabs<S::T>>,
+    tracer: Option<&Tracer>,
+    san: Option<&Sanitizer>,
+) -> BatchResult<S::T>
+where
+    S::T: Default,
+{
+    let b = xs.len();
+    let sell = match opts.format {
+        SpvFormat::Sell(_) => sell,
+        SpvFormat::TileCsr => None,
+    };
+    if b == 0 {
+        return Ok((
+            Vec::new(),
+            BatchExecReport {
+                batch: 0,
+                stats: KernelStats::default(),
+                dispatch: None,
+                format: opts.format,
+                sell: sell.map(|s| *s.stats()),
+                per_query: Vec::new(),
+            },
+        ));
+    }
+    for x in xs {
+        if a.ncols() != x.len() {
+            return Err(SparseError::DimensionMismatch {
+                op: "batched_spmspv",
+                expected: a.ncols(),
+                found: x.len(),
+            });
+        }
+    }
+    assert!(
+        S::zero() == S::T::default() || a.dense_tiles() == 0,
+        "semiring zero differs from the structural default value; \
+         build the matrix with dense tiles disabled (dense_threshold > 1.0)"
+    );
+    match opts.format {
+        SpvFormat::TileCsr => tsv_simt::metrics::format_metrics().launches_tilecsr.inc(),
+        SpvFormat::Sell(_) => tsv_simt::metrics::format_metrics().launches_sell.inc(),
+    }
+    ws.prepare(a, b, S::zero());
+    let BatchedSpMSpVWorkspace {
+        xts,
+        y,
+        touched,
+        touched_list,
+        contribs,
+        worklist,
+        unit_weights,
+        plan,
+        staged,
+        metrics,
+        last_analysis,
+    } = ws;
+    *last_analysis = None;
+    let xts = &mut xts[..b];
+
+    let t_compress = trace::start(tracer);
+    let m_compress = emetrics::begin(&emetrics::COMPRESS);
+    for (xt, x) in xts.iter_mut().zip(xs) {
+        xt.refill(x, S::zero());
+    }
+    emetrics::end(&emetrics::COMPRESS, m_compress);
+    trace::phase(tracer, "spmspv/compress-x", t_compress);
+    let xts = &xts[..b];
+
+    let coo_active = a.extra().nnz() > 0 && xs.iter().any(|x| x.nnz() > 0);
+    let nt = a.nt();
+
+    // Plan-time verification of the direct shape happens before launch;
+    // the binned shapes verify inside the dispatch arm, after planning
+    // builds the union work list (still pre-launch). The batched chunked
+    // footprint is what discharges write-disjointness across query lanes.
+    if opts.verify && opts.balance == Balance::OneWarpPerRowTile {
+        let mut launches =
+            vec![
+                verify::batched_row_direct_launch(a.m_tiles(), nt, b, a.n_tiles(), touched.len())
+                    .map_err(verify::plan_error)?,
+            ];
+        if coo_active {
+            for x in xs {
+                if x.nnz() > 0 {
+                    launches.push(verify::batched_coo_launch(x.nnz(), x.len()));
+                }
+            }
+        }
+        *last_analysis = Some(verify::run(
+            &verify::batched_plan_label(b, &opts),
+            &launches,
+        ));
+    }
+
+    let t_kernel = trace::start(tracer);
+    let m_kernel = emetrics::begin(&emetrics::KERNEL_ROW);
+    let mut dispatch = None;
+    let mut stats = match opts.balance {
+        Balance::OneWarpPerRowTile => {
+            sanitize::begin(san, "spmspv/row-tile-batched", nt * b);
+            let stats = batched_row_kernel_semiring::<S, _>(backend, a, xts, y, sell, touched, san);
+            sanitize::barrier(san);
+            stats
+        }
+        Balance::Binned {
+            target_nnz,
+            max_split,
+        } => {
+            let t_plan = trace::start(tracer);
+            let m_plan = emetrics::begin(&emetrics::PLAN);
+            let mut plan_stats = KernelStats::default();
+            build_batched_row_worklist(a, xts, worklist, unit_weights, &mut plan_stats);
+            plan.rebuild(
+                worklist,
+                |u| unit_weights[u as usize],
+                u64::from(target_nnz).max(1),
+                max_split.max(1),
+            );
+            for &u in worklist.iter() {
+                unit_weights[u as usize] = 0;
+            }
+            let dstats = DispatchStats::from_plan(plan, worklist.len());
+            dispatch = Some(dstats);
+            emetrics::end(&emetrics::PLAN, m_plan);
+            let info = dstats.to_trace_info();
+            emetrics::DISPATCH_PLANS.inc();
+            emetrics::DISPATCH_WARPS.observe(u64::from(info.warps));
+            emetrics::DISPATCH_IMBALANCE.observe((info.imbalance() * 100.0) as u64);
+            trace::dispatch(tracer, "spmspv/dispatch-plan", info, t_plan);
+            if opts.verify {
+                let fast =
+                    plan.n_warps() == worklist.len() && plan.n_assignments() == worklist.len();
+                let launch = if fast {
+                    verify::batched_row_binned_fast_launch(
+                        a.m_tiles(),
+                        nt,
+                        b,
+                        a.n_tiles(),
+                        touched.len(),
+                        worklist,
+                    )
+                    .map_err(verify::plan_error)?
+                } else {
+                    verify::binned_buffered_launch(
+                        "spmspv/row-tile-batched-binned",
+                        plan,
+                        worklist,
+                        a.n_tiles(),
+                    )
+                };
+                let mut launches = vec![launch];
+                if coo_active {
+                    for x in xs {
+                        if x.nnz() > 0 {
+                            launches.push(verify::batched_coo_launch(x.nnz(), x.len()));
+                        }
+                    }
+                }
+                *last_analysis = Some(verify::run(
+                    &verify::batched_plan_label(b, &opts),
+                    &launches,
+                ));
+            }
+            sanitize::begin(san, "spmspv/row-tile-batched-binned", nt * b);
+            let stats = plan_stats
+                + batched_row_kernel_binned_semiring::<S, _>(
+                    backend, a, xts, y, sell, worklist, plan, contribs, touched, san,
+                );
+            sanitize::barrier(san);
+            stats
+        }
+    };
+    emetrics::end(&emetrics::KERNEL_ROW, m_kernel);
+    trace::phase(tracer, "spmspv/row-tile-kernel", t_kernel);
+
+    // Per-lane hybrid COO passes: lanes land on disjoint slab slots
+    // (`r * B + q`), so the launches compose without cross-lane
+    // interference; each runs in its own sanitizer epoch.
+    if coo_active {
+        let t_coo = trace::start(tracer);
+        let m_coo = emetrics::begin(&emetrics::COO);
+        for (q, x) in xs.iter().enumerate() {
+            if x.nnz() == 0 {
+                continue;
+            }
+            sanitize::begin(san, "spmspv/coo-batched", nt * b);
+            stats +=
+                batched_coo_kernel_semiring::<S, _>(backend, a, x, q, b, y, contribs, touched, san);
+            sanitize::barrier(san);
+        }
+        emetrics::end(&emetrics::COO, m_coo);
+        trace::phase(tracer, "spmspv/coo-pass", t_coo);
+    }
+
+    // Per-lane compaction over the touched row tiles only: rows ascend
+    // outer, lanes inner, so each lane's staged indices come out sorted.
+    let t_compact = trace::start(tracer);
+    let m_compact = emetrics::begin(&emetrics::COMPACT);
+    drain_touched(touched, touched_list);
+    let n = a.nrows();
+    let zero = S::zero();
+    for (i, v) in staged.iter_mut().take(b) {
+        i.clear();
+        v.clear();
+    }
+    for &rt in touched_list.iter() {
+        let base = rt as usize * nt;
+        let end = (base + nt).min(n);
+        for r in base..end {
+            for (q, (si, sv)) in staged.iter_mut().enumerate().take(b) {
+                let val = y[r * b + q];
+                if val != zero {
+                    si.push(r as u32);
+                    sv.push(val);
+                }
+            }
+        }
+        metrics.slots_scanned += ((end - base) * b) as u64;
+        y[base * b..(base + nt) * b].fill(zero);
+        metrics.slots_reset += (nt * b) as u64;
+    }
+    metrics.calls += 1;
+    emetrics::end(&emetrics::COMPACT, m_compact);
+    trace::phase(tracer, "spmspv/compact", t_compact);
+
+    let mut outputs = Vec::with_capacity(b);
+    let mut per_query = Vec::with_capacity(b);
+    for (q, (si, sv)) in staged.iter_mut().enumerate().take(b) {
+        per_query.push(BatchQueryReport {
+            x_nnz: xs[q].nnz(),
+            y_nnz: si.len(),
+        });
+        outputs.push(
+            SparseVector::from_parts(a.nrows(), std::mem::take(si), std::mem::take(sv))
+                .expect("touched-tile order yields sorted unique indices"),
+        );
+    }
+
+    Ok((
+        outputs,
+        BatchExecReport {
+            batch: b,
+            stats,
+            dispatch,
+            format: opts.format,
+            sell: sell.map(|s| *s.stats()),
+            per_query,
+        },
+    ))
+}
+
+/// A prepared batched SpMSpV operator: a [`TileMatrix`] bound to a
+/// [`BatchedSpMSpVWorkspace`] and a per-kernel [`Profiler`].
+///
+/// ```
+/// use tsv_core::exec::BatchedSpMSpVEngine;
+/// use tsv_core::semiring::PlusTimes;
+/// use tsv_core::tile::TileConfig;
+///
+/// let a = tsv_sparse::gen::banded(200, 4, 0.9, 7).to_csr();
+/// let mut engine = BatchedSpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+/// let xs: Vec<_> = (0..4)
+///     .map(|s| tsv_sparse::gen::random_sparse_vector(200, 0.05, s))
+///     .collect();
+/// let (ys, report) = engine.multiply(&xs).unwrap();
+/// assert_eq!(ys.len(), 4);
+/// assert_eq!(report.batch, 4);
+/// ```
+pub struct BatchedSpMSpVEngine<S: Semiring = PlusTimes> {
+    a: TileMatrix<S::T>,
+    opts: SpMSpVOptions,
+    ws: BatchedSpMSpVWorkspace<S::T>,
+    sell: Option<SellSlabs<S::T>>,
+    profiler: Profiler,
+    tracer: Option<Arc<Tracer>>,
+    sanitizer: Option<Arc<Sanitizer>>,
+    backend: ExecBackend,
+}
+
+impl<S: Semiring> BatchedSpMSpVEngine<S>
+where
+    S::T: Default,
+{
+    /// Wraps an already-tiled matrix with default options.
+    pub fn new(a: TileMatrix<S::T>) -> Self {
+        Self::with_options(a, SpMSpVOptions::default())
+    }
+
+    /// Wraps an already-tiled matrix. The kernel choice in `opts` is not
+    /// consulted — the batched engine is row-tile only; balance, format
+    /// and verify apply as in the sequential engine.
+    pub fn with_options(a: TileMatrix<S::T>, opts: SpMSpVOptions) -> Self {
+        let sell = super::build_sell_slabs::<S>(&a, opts.format);
+        Self {
+            a,
+            opts,
+            ws: BatchedSpMSpVWorkspace::new(),
+            sell,
+            profiler: Profiler::new(),
+            tracer: None,
+            sanitizer: None,
+            backend: ExecBackend::default(),
+        }
+    }
+
+    /// Tiles `a` and wraps it, applying the same dense-tile safety rule as
+    /// [`super::SpMSpVEngine::from_csr`].
+    pub fn from_csr(a: &CsrMatrix<S::T>, mut config: TileConfig) -> Result<Self, SparseError> {
+        if S::zero() != S::T::default() {
+            config.dense_threshold = 2.0;
+        }
+        Ok(Self::new(TileMatrix::from_csr(a, config)?))
+    }
+
+    /// [`Self::from_csr`] with explicit options.
+    pub fn from_csr_with(
+        a: &CsrMatrix<S::T>,
+        mut config: TileConfig,
+        opts: SpMSpVOptions,
+    ) -> Result<Self, SparseError> {
+        if S::zero() != S::T::default() {
+            config.dense_threshold = 2.0;
+        }
+        Ok(Self::with_options(TileMatrix::from_csr(a, config)?, opts))
+    }
+
+    /// Attaches (or detaches) a shared tracer.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// Attaches (or detaches) a shared race sanitizer (model backend
+    /// only, as in the sequential engine).
+    pub fn set_sanitizer(&mut self, sanitizer: Option<Arc<Sanitizer>>) {
+        self.sanitizer = sanitizer;
+    }
+
+    /// Selects the execution substrate for every later `multiply`.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        emetrics::BACKEND_SWITCHES.inc();
+        self.backend = backend;
+    }
+
+    /// The selected execution backend.
+    pub fn backend(&self) -> &ExecBackend {
+        &self.backend
+    }
+
+    /// The prepared matrix.
+    pub fn matrix(&self) -> &TileMatrix<S::T> {
+        &self.a
+    }
+
+    /// The kernel-selection options.
+    pub fn options(&self) -> SpMSpVOptions {
+        self.opts
+    }
+
+    /// Cumulative workspace accounting.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.ws.metrics()
+    }
+
+    /// The plan-time verifier's report for the most recent multiply, when
+    /// the options set [`SpMSpVOptions::verify`].
+    pub fn last_analysis(&self) -> Option<&PlanReport> {
+        self.ws.last_analysis()
+    }
+
+    /// The cumulative per-kernel breakdown.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// `(pointer, capacity)` pairs of the workspace buffers.
+    pub fn scratch_fingerprint(&self) -> Vec<(usize, usize)> {
+        self.ws.scratch_fingerprint()
+    }
+
+    /// Starts a fresh measurement window over warm scratch.
+    pub fn reset(&mut self) {
+        emetrics::RESETS.inc();
+        self.profiler.clear();
+        self.ws.reset_metrics();
+    }
+
+    /// `y_q = A ⊕.⊗ x_q` for every lane of the batch in one shared tile
+    /// traversal, recording the launch under the batched kernel label.
+    pub fn multiply(&mut self, xs: &[SparseVector<S::T>]) -> BatchResult<S::T> {
+        let tracer = self.tracer.as_deref();
+        let t0 = trace::start(tracer);
+        let start = Instant::now();
+        let (ys, report) = batched_spmspv_on_backend::<S, _>(
+            &self.backend,
+            &self.a,
+            xs,
+            self.opts,
+            &mut self.ws,
+            self.sell.as_ref(),
+            tracer,
+            self.sanitizer.as_deref(),
+        )?;
+        let wall = start.elapsed();
+        let label = match self.opts.balance {
+            Balance::OneWarpPerRowTile => "spmspv/row-tile-batched",
+            Balance::Binned { .. } => "spmspv/row-tile-batched-binned",
+        };
+        trace::kernel(tracer, label, report.stats, t0);
+        self.profiler.record(label, report.stats, wall);
+        emetrics::BATCH_WIDTH.set(report.batch as f64);
+        emetrics::BATCHED_MULTIPLIES.inc();
+        emetrics::MULTIPLY.observe(wall.as_nanos() as u64);
+        Ok((ys, report))
+    }
+}
+
+/// Vertices per expansion warp in the MS-BFS kernel. Fixed (not
+/// thread-count-derived) so the launch shape — and with it the modeled
+/// counters — is identical across backends and thread counts.
+const MSBFS_CHUNK: usize = WARP_SIZE;
+
+/// Multi-source BFS as a first-class batched engine: up to 64 traversals
+/// sharing every adjacency read, frontiers stored as one `u64` word per
+/// vertex (bit `q` = "reached from source `q`" — the column-blocked batch
+/// in bit form). Owns its round-to-round workspace and routes the
+/// expansion through the [`Backend`] abstraction: each warp scans a chunk
+/// of the active list into a private `(vertex, bits)` bucket, buckets
+/// merge by OR in warp order after the barrier. OR is commutative and
+/// idempotent, so levels are exactly those of per-source sequential BFS
+/// regardless of backend, thread count, or chunking — the msbfs
+/// regression suite pins this against the old round-buffer
+/// implementation's outputs.
+#[derive(Debug)]
+pub struct BatchedBfsEngine {
+    seen: Vec<u64>,
+    front: Vec<u64>,
+    next: Vec<u64>,
+    active: Vec<u32>,
+    new_active: Vec<u32>,
+    contribs: Vec<Vec<(u32, u64)>>,
+    backend: ExecBackend,
+    tracer: Option<Arc<Tracer>>,
+    runs: u64,
+}
+
+impl BatchedBfsEngine {
+    /// An engine with empty workspace; buffers are sized on first run.
+    pub fn new() -> Self {
+        Self {
+            seen: Vec::new(),
+            front: Vec::new(),
+            next: Vec::new(),
+            active: Vec::new(),
+            new_active: Vec::new(),
+            contribs: Vec::new(),
+            backend: ExecBackend::default(),
+            tracer: None,
+            runs: 0,
+        }
+    }
+
+    /// Attaches (or detaches) a shared tracer; each shared level then
+    /// records one `msbfs/level` iteration event.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// Selects the execution substrate for every later `run`.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        emetrics::BACKEND_SWITCHES.inc();
+        self.backend = backend;
+    }
+
+    /// Traversals completed on this engine.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs up to 64 concurrent BFS traversals over the shared adjacency.
+    /// Returns `levels[s][v]`: the level of vertex `v` from `sources[s]`
+    /// (`-1` when unreachable).
+    ///
+    /// # Panics
+    ///
+    /// When more than 64 sources are given.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(
+        &mut self,
+        a: &CsrMatrix<f64>,
+        sources: &[usize],
+    ) -> Result<Vec<Vec<i32>>, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        assert!(sources.len() <= 64, "at most 64 concurrent sources");
+        let n = a.nrows();
+        for &s in sources {
+            if s >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: s,
+                    col: 0,
+                    nrows: n,
+                    ncols: 1,
+                });
+            }
+        }
+
+        let k = sources.len();
+        let mut levels = vec![vec![-1i32; n]; k];
+        if k == 0 {
+            return Ok(levels);
+        }
+        emetrics::BATCH_WIDTH.set(k as f64);
+
+        // Size (or re-zero) the per-vertex frontier words.
+        for buf in [&mut self.seen, &mut self.front, &mut self.next] {
+            buf.clear();
+            buf.resize(n, 0);
+        }
+        for (i, &s) in sources.iter().enumerate() {
+            self.seen[s] |= 1 << i;
+            self.front[s] |= 1 << i;
+            levels[i][s] = 0;
+        }
+
+        let mut level = 0i32;
+        self.active.clear();
+        self.active.extend(sources.iter().map(|&s| s as u32));
+        self.active.sort_unstable();
+        self.active.dedup();
+
+        let tr = self.tracer.as_deref();
+        let mut frontier_pairs = k;
+        let mut reached_pairs = k;
+
+        while !self.active.is_empty() {
+            level += 1;
+            let t0 = trace::start(tr);
+            let m_iter = emetrics::begin(&emetrics::BFS_ITER);
+            // Expand: next[v] = OR of front[u] over out-edges of the
+            // active vertices, minus seen. One warp per fixed-size chunk
+            // of the active list, each buffering into its own bucket —
+            // the same exclusive-slot shape as the scatter kernels.
+            let n_warps = self.active.len().div_ceil(MSBFS_CHUNK);
+            if self.contribs.len() < n_warps {
+                self.contribs.resize_with(n_warps, Vec::new);
+            }
+            let active = &self.active;
+            let front = &self.front;
+            let seen = &self.seen;
+            self.backend.launch_over_chunks(
+                "bfs/msbfs-expand",
+                &mut self.contribs[..n_warps],
+                1,
+                |warp, chunk| {
+                    let bucket = &mut chunk[0];
+                    let start = warp.warp_id * MSBFS_CHUNK;
+                    let end = (start + MSBFS_CHUNK).min(active.len());
+                    for &u in &active[start..end] {
+                        let fu = front[u as usize];
+                        let (nbrs, _) = a.row(u as usize);
+                        // Row extent + the frontier word (streamed).
+                        warp.stats.read(8 + 8);
+                        warp.stats.read(nbrs.len() * 4);
+                        let mut steps = 0usize;
+                        for &v in nbrs {
+                            warp.stats.read_scattered(8); // seen[v]
+                            let fresh = fu & !seen[v as usize];
+                            if fresh != 0 {
+                                bucket.push((v, fu));
+                                warp.stats.atomic(1);
+                                warp.stats.write_scattered(8);
+                            }
+                            steps += 1;
+                        }
+                        warp.stats.lane_steps +=
+                            steps.div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
+                    }
+                },
+            );
+
+            self.next.fill(0);
+            for bucket in &mut self.contribs[..n_warps] {
+                for &(v, bits) in bucket.iter() {
+                    self.next[v as usize] |= bits;
+                }
+                bucket.clear();
+            }
+
+            // Retire the old frontier word-by-word (nonzero only at the
+            // active vertices).
+            for &u in &self.active {
+                self.front[u as usize] = 0;
+            }
+
+            // Filter to freshly-discovered (vertex, source) pairs; those
+            // form the next frontier and get this level.
+            self.new_active.clear();
+            let mut discovered = 0usize;
+            for v in 0..n {
+                let fresh = self.next[v] & !self.seen[v];
+                if fresh != 0 {
+                    self.seen[v] |= fresh;
+                    self.front[v] = fresh;
+                    discovered += fresh.count_ones() as usize;
+                    for (i, lv) in levels.iter_mut().enumerate().take(k) {
+                        if fresh >> i & 1 == 1 {
+                            lv[v] = level;
+                        }
+                    }
+                    self.new_active.push(v as u32);
+                }
+            }
+            reached_pairs += discovered;
+            emetrics::end(&emetrics::BFS_ITER, m_iter);
+            trace::iteration(
+                tr,
+                "msbfs/level",
+                None,
+                IterationInfo {
+                    level: level as u32,
+                    frontier: frontier_pairs,
+                    discovered,
+                    unvisited: n * k - reached_pairs,
+                    density: frontier_pairs as f64 / (n * k) as f64,
+                },
+                t0,
+            );
+            frontier_pairs = discovered;
+            std::mem::swap(&mut self.active, &mut self.new_active);
+        }
+        self.runs += 1;
+        emetrics::BFS_RUNS.inc();
+        Ok(levels)
+    }
+}
+
+impl Default for BatchedBfsEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SpMSpVEngine;
+    use super::*;
+    use crate::semiring::{MinPlus, OrAnd};
+    use tsv_sparse::gen::{
+        geometric_graph, grid2d, random_sparse_vector, rmat, uniform_random, RmatConfig,
+    };
+    use tsv_sparse::reference::bfs_levels;
+
+    fn bits(v: &SparseVector<f64>) -> (Vec<u32>, Vec<u64>) {
+        (
+            v.indices().to_vec(),
+            v.values().iter().map(|x| x.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn batched_matches_sequential_bitwise_across_balances() {
+        let a = uniform_random(400, 400, 5000, 3).to_csr();
+        for opts in [
+            SpMSpVOptions::default(),
+            SpMSpVOptions {
+                balance: Balance::binned(),
+                ..Default::default()
+            },
+        ] {
+            let mut seq = SpMSpVEngine::<PlusTimes>::from_csr_with(
+                &a,
+                TileConfig::default(),
+                SpMSpVOptions {
+                    kernel: crate::spmspv::KernelChoice::RowTile,
+                    ..opts
+                },
+            )
+            .unwrap();
+            let mut batched =
+                BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(&a, TileConfig::default(), opts)
+                    .unwrap();
+            let xs: Vec<_> = (0..7)
+                .map(|s| random_sparse_vector(400, [0.08, 0.01, 0.3][s as usize % 3], s))
+                .collect();
+            let (ys, report) = batched.multiply(&xs).unwrap();
+            assert_eq!(report.batch, 7);
+            for (q, x) in xs.iter().enumerate() {
+                let (y_seq, _) = seq.multiply(x).unwrap();
+                assert_eq!(bits(&ys[q]), bits(&y_seq), "lane {q}");
+                assert_eq!(report.per_query[q].x_nnz, x.nnz());
+                assert_eq!(report.per_query[q].y_nnz, y_seq.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_min_plus_and_or_and_agree_with_sequential() {
+        let a = uniform_random(200, 200, 2500, 11).to_csr();
+        let mut seq = SpMSpVEngine::<MinPlus>::from_csr(&a, TileConfig::default()).unwrap();
+        let mut batched =
+            BatchedSpMSpVEngine::<MinPlus>::from_csr(&a, TileConfig::default()).unwrap();
+        let xs: Vec<_> = (0..3)
+            .map(|s| {
+                let v = random_sparse_vector(200, 0.05, s + 40);
+                SparseVector::from_entries(200, v.indices().iter().map(|&i| (i, 1.0)).collect())
+                    .unwrap()
+            })
+            .collect();
+        let (ys, _) = batched.multiply(&xs).unwrap();
+        for (q, x) in xs.iter().enumerate() {
+            let (y_seq, _) = seq.multiply(x).unwrap();
+            assert_eq!(ys[q], y_seq, "lane {q}");
+        }
+
+        let ab = CsrMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            vec![true; a.nnz()],
+        )
+        .unwrap();
+        let mut seq = SpMSpVEngine::<OrAnd>::from_csr(&ab, TileConfig::default()).unwrap();
+        let mut batched =
+            BatchedSpMSpVEngine::<OrAnd>::from_csr(&ab, TileConfig::default()).unwrap();
+        let xs: Vec<_> = (0..4)
+            .map(|s| {
+                let v = random_sparse_vector(200, 0.1, s + 80);
+                SparseVector::from_entries(200, v.indices().iter().map(|&i| (i, true)).collect())
+                    .unwrap()
+            })
+            .collect();
+        let (ys, _) = batched.multiply(&xs).unwrap();
+        for (q, x) in xs.iter().enumerate() {
+            let (y_seq, _) = seq.multiply(x).unwrap();
+            assert_eq!(ys[q], y_seq, "lane {q}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_stable_at_fixed_width_and_handles_width_changes() {
+        let a = uniform_random(300, 300, 4000, 5).to_csr();
+        let mut engine =
+            BatchedSpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+        let xs: Vec<_> = (0..4).map(|s| random_sparse_vector(300, 0.1, s)).collect();
+        engine.multiply(&xs).unwrap();
+        let fp = engine.scratch_fingerprint();
+        let reshapes = engine.metrics().scratch_reshapes;
+        for _ in 0..3 {
+            engine.multiply(&xs).unwrap();
+            assert_eq!(engine.scratch_fingerprint(), fp, "scratch moved at fixed B");
+        }
+        assert_eq!(engine.metrics().scratch_reshapes, reshapes);
+
+        // Narrower batch reuses lanes; result still right.
+        let (ys, report) = engine.multiply(&xs[..2]).unwrap();
+        assert_eq!(report.batch, 2);
+        assert_eq!(ys.len(), 2);
+        let mut seq = SpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+        for (q, x) in xs[..2].iter().enumerate() {
+            let (y_seq, _) = seq.multiply(x).unwrap();
+            assert_eq!(bits(&ys[q]), bits(&y_seq), "lane {q} after shrink");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_frontiers() {
+        let a = uniform_random(100, 100, 800, 9).to_csr();
+        let mut engine =
+            BatchedSpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+        let (ys, report) = engine.multiply(&[]).unwrap();
+        assert!(ys.is_empty());
+        assert_eq!(report.batch, 0);
+
+        let xs = vec![SparseVector::<f64>::zeros(100), SparseVector::zeros(100)];
+        let (ys, _) = engine.multiply(&xs).unwrap();
+        assert!(ys.iter().all(|y| y.nnz() == 0));
+    }
+
+    #[test]
+    fn verify_option_proves_batched_plans() {
+        let a = uniform_random(300, 300, 3000, 5).to_csr();
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            let mut engine = BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(
+                &a,
+                TileConfig::default(),
+                SpMSpVOptions {
+                    balance,
+                    verify: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let xs: Vec<_> = (0..5)
+                .map(|s| random_sparse_vector(300, [0.2, 0.01][s as usize % 2], s))
+                .collect();
+            engine.multiply(&xs).unwrap();
+            let report = engine.last_analysis().expect("verify records a report");
+            assert!(report.is_proved(), "{report}");
+            assert!(report.plan.contains("/b5"), "{}", report.plan);
+        }
+    }
+
+    #[test]
+    fn batched_rejects_mismatched_lane_dimensions() {
+        let a = uniform_random(64, 64, 300, 1).to_csr();
+        let mut engine =
+            BatchedSpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+        let xs = vec![
+            random_sparse_vector(64, 0.1, 1),
+            random_sparse_vector(65, 0.1, 2),
+        ];
+        assert!(engine.multiply(&xs).is_err());
+    }
+
+    #[test]
+    fn bfs_engine_matches_reference_levels_on_every_backend() {
+        let a = geometric_graph(500, 4.0, 6).to_csr();
+        let sources: Vec<usize> = (0..48).map(|i| (i * 9) % 500).collect();
+        let mut reference: Option<Vec<Vec<i32>>> = None;
+        for backend in [
+            ExecBackend::model(),
+            ExecBackend::native(Some(1)),
+            ExecBackend::native(Some(4)),
+        ] {
+            let mut engine = BatchedBfsEngine::new();
+            engine.set_backend(backend);
+            let levels = engine.run(&a, &sources).unwrap();
+            for (i, &s) in sources.iter().enumerate().step_by(11) {
+                assert_eq!(levels[i], bfs_levels(&a, s).unwrap(), "source {s}");
+            }
+            match &reference {
+                None => reference = Some(levels),
+                Some(r) => assert_eq!(&levels, r, "levels differ across backends"),
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_engine_reuses_workspace_across_runs() {
+        let a = grid2d(12, 12).to_csr().without_diagonal();
+        let mut engine = BatchedBfsEngine::new();
+        let l1 = engine.run(&a, &[0, 5, 77]).unwrap();
+        let l2 = engine.run(&a, &[0, 5, 77]).unwrap();
+        assert_eq!(l1, l2, "warm workspace changes nothing");
+        assert_eq!(engine.runs(), 2);
+        assert_eq!(engine.run(&a, &[]).unwrap().len(), 0);
+        assert!(engine.run(&a, &[999]).is_err());
+    }
+
+    #[test]
+    fn bfs_engine_handles_disconnected_and_duplicate_sources() {
+        let a = rmat(RmatConfig::new(7, 6), 2).to_csr();
+        let s = (0..a.nrows()).find(|&v| a.row_nnz(v) > 0).unwrap();
+        let mut engine = BatchedBfsEngine::new();
+        let levels = engine.run(&a, &[s, s, s]).unwrap();
+        assert_eq!(levels[0], levels[1]);
+        assert_eq!(levels[1], levels[2]);
+        assert_eq!(levels[0], bfs_levels(&a, s).unwrap());
+    }
+}

@@ -18,6 +18,9 @@
 //!   breakdowns across iterations.
 //! * [`BfsEngine`] — the traversal counterpart, owning a
 //!   [`TileBfsGraph`] and a [`BfsWorkspace`].
+//! * [`BatchedSpMSpVEngine`] / [`BatchedBfsEngine`] (in [`batched`]) — the
+//!   multi-frontier variants: one tile traversal amortized across a
+//!   column-blocked batch of query lanes.
 //!
 //! The one-shot APIs ([`crate::spmspv::tile_spmspv_with`],
 //! [`crate::bfs::tile_bfs`]) are thin wrappers over these drivers with a
@@ -45,6 +48,13 @@ use tsv_simt::sanitize::{self, Sanitizer};
 use tsv_simt::stats::KernelStats;
 use tsv_simt::trace::{self, Tracer};
 use tsv_sparse::{CsrMatrix, SparseError, SparseVector};
+
+pub mod batched;
+
+pub use batched::{
+    batched_spmspv_on_backend, BatchExecReport, BatchQueryReport, BatchResult, BatchedBfsEngine,
+    BatchedSpMSpVEngine, BatchedSpMSpVWorkspace,
+};
 
 /// Process-lifetime instrument handles for the engine layer (see
 /// [`tsv_simt::metrics`]): per-phase latency histograms, dispatch-shape
@@ -75,6 +85,8 @@ pub(crate) mod emetrics {
 
     pub static MULTIPLIES: LazyLock<Arc<Counter>> =
         LazyLock::new(|| metrics::global().counter("tsv_engine_multiplies_total"));
+    pub static BATCHED_MULTIPLIES: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| metrics::global().counter("tsv_engine_batched_multiplies_total"));
     pub static BFS_RUNS: LazyLock<Arc<Counter>> =
         LazyLock::new(|| metrics::global().counter("tsv_engine_bfs_runs_total"));
     pub static RESETS: LazyLock<Arc<Counter>> =
@@ -94,6 +106,16 @@ pub(crate) mod emetrics {
             &[("engine", "bfs")],
         ))
     });
+    pub static WS_BATCHED: LazyLock<Arc<Gauge>> = LazyLock::new(|| {
+        metrics::global().gauge(&metrics::series(
+            "tsv_engine_workspace_bytes",
+            &[("engine", "spmspv-batched")],
+        ))
+    });
+    /// Query lanes in the most recent batched launch (SpMSpV batch width
+    /// or MS-BFS concurrent-source count).
+    pub static BATCH_WIDTH: LazyLock<Arc<Gauge>> =
+        LazyLock::new(|| metrics::global().gauge("tsv_engine_batch_width"));
 
     pub static DISPATCH_PLANS: LazyLock<Arc<Counter>> =
         LazyLock::new(|| metrics::global().counter("tsv_dispatch_plans_total"));

@@ -66,19 +66,28 @@ fn log_tile_write(san: Option<&Sanitizer>, base: usize, nt: usize, warp_id: usiz
 /// the multiset of `(row, sum)` pairs per tile is format-independent and
 /// `PlusTimes` results stay bit-identical (each output slot receives
 /// exactly one fold per tile, tiles visited in unchanged order).
+///
+/// `charge_reads` gates the tile-*body* traffic counters (payload, index
+/// arrays, slab header) while flops and lane steps are always charged:
+/// the batched kernels walk the same tile once per active query lane but
+/// the body is resident after the first lane's pass, so only that first
+/// pass pays the memory traffic. Single-vector callers pass `true`.
 #[inline]
 fn tile_rows_semiring<S: Semiring, F: FnMut(&mut KernelStats, usize, S::T)>(
     view: &TileView<'_, S::T>,
     slab: Option<SellSlabView<'_, S::T>>,
     x_tile: &[S::T],
     nt: usize,
+    charge_reads: bool,
     stats: &mut KernelStats,
     mut emit: F,
 ) {
     let vb = std::mem::size_of::<S::T>();
     match view.dense {
         Some(d) => {
-            stats.read(nt * nt * vb);
+            if charge_reads {
+                stats.read(nt * nt * vb);
+            }
             for lr in 0..nt {
                 let row = &d[lr * nt..(lr + 1) * nt];
                 let mut sum = S::zero();
@@ -92,11 +101,25 @@ fn tile_rows_semiring<S: Semiring, F: FnMut(&mut KernelStats, usize, S::T)>(
         }
         None => match slab {
             Some(sl) => match sl.c {
-                4 => sell_rows_semiring::<S, 4, F>(&sl, view.nnz(), x_tile, stats, emit),
-                8 => sell_rows_semiring::<S, 8, F>(&sl, view.nnz(), x_tile, stats, emit),
-                _ => csr_rows_semiring::<S, F>(view, x_tile, nt, stats, emit),
+                4 => sell_rows_semiring::<S, 4, F>(
+                    &sl,
+                    view.nnz(),
+                    x_tile,
+                    charge_reads,
+                    stats,
+                    emit,
+                ),
+                8 => sell_rows_semiring::<S, 8, F>(
+                    &sl,
+                    view.nnz(),
+                    x_tile,
+                    charge_reads,
+                    stats,
+                    emit,
+                ),
+                _ => csr_rows_semiring::<S, F>(view, x_tile, nt, charge_reads, stats, emit),
             },
-            None => csr_rows_semiring::<S, F>(view, x_tile, nt, stats, emit),
+            None => csr_rows_semiring::<S, F>(view, x_tile, nt, charge_reads, stats, emit),
         },
     }
 }
@@ -108,11 +131,14 @@ fn csr_rows_semiring<S: Semiring, F: FnMut(&mut KernelStats, usize, S::T)>(
     view: &TileView<'_, S::T>,
     x_tile: &[S::T],
     nt: usize,
+    charge_reads: bool,
     stats: &mut KernelStats,
     mut emit: F,
 ) {
     let vb = std::mem::size_of::<S::T>();
-    stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+    if charge_reads {
+        stats.read((nt + 1) * 2 + view.nnz() * (1 + vb));
+    }
     for lr in 0..nt {
         let (cols, vals) = view.row(lr);
         if cols.is_empty() {
@@ -138,12 +164,15 @@ fn sell_rows_semiring<S: Semiring, const C: usize, F: FnMut(&mut KernelStats, us
     sl: &SellSlabView<'_, S::T>,
     nnz: usize,
     x_tile: &[S::T],
+    charge_reads: bool,
     stats: &mut KernelStats,
     mut emit: F,
 ) {
     let vb = std::mem::size_of::<S::T>();
     // Slab header (permutation + lengths + widths) plus the padded lanes.
-    stats.read(sl.perm.len() * 3 + sl.widths.len() * 2 + sl.cols.len() * (1 + vb));
+    if charge_reads {
+        stats.read(sl.perm.len() * 3 + sl.widths.len() * 2 + sl.cols.len() * (1 + vb));
+    }
     let mut off = 0usize;
     for (j, &w) in sl.widths.iter().enumerate() {
         let w = w as usize;
@@ -236,6 +265,7 @@ where
                 sell.and_then(|s| s.slab(t)),
                 x_tile,
                 nt,
+                true,
                 &mut warp.stats,
                 |_, lr, sum| y_tile[lr] = S::add(y_tile[lr], sum),
             );
@@ -381,6 +411,7 @@ where
                         sell.and_then(|s| s.slab(t)),
                         x_tile,
                         nt,
+                        true,
                         &mut warp.stats,
                         |_, lr, sum| y_tile[lr] = S::add(y_tile[lr], sum),
                     );
@@ -428,6 +459,7 @@ where
                     sell.and_then(|s| s.slab(t)),
                     x_tile,
                     nt,
+                    true,
                     &mut warp.stats,
                     |_, lr, sum| bucket.push(((base + lr) as u32, sum)),
                 );
@@ -495,6 +527,7 @@ where
                     sell.and_then(|s| s.slab(t)),
                     x_tile,
                     nt,
+                    true,
                     &mut warp.stats,
                     |st, lr, sum| {
                         if sum != S::zero() {
@@ -565,6 +598,7 @@ where
                     sell.and_then(|s| s.slab(t)),
                     x_tile,
                     nt,
+                    true,
                     &mut warp.stats,
                     |st, lr, sum| {
                         if sum != S::zero() {
@@ -641,6 +675,331 @@ where
     );
 
     merge_contribs::<S>(&mut contribs[..n_warps], y, nt, touched);
+    stats
+}
+
+/// Walks one stored tile for every active query lane of a batch,
+/// accumulating into the warp's lane-major output slab. Shared body for
+/// the batched direct and binned-fast row kernels.
+///
+/// `emit_base(lr)` maps an intra-tile row to the slab offset of lane 0;
+/// lane `q`'s slot is `emit_base(lr) + q`. The tile body's memory traffic
+/// is charged only for the first active lane (the tile is resident across
+/// lanes — this is the traversal amortization batching buys), while each
+/// lane pays its own vector-tile load, flops, and lane steps. Per lane the
+/// fold order is exactly the single-vector kernel's, so `PlusTimes`
+/// results stay bit-identical to `B` sequential multiplies.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn batched_tile_lanes<S: Semiring>(
+    view: &TileView<'_, S::T>,
+    slab: Option<SellSlabView<'_, S::T>>,
+    xts: &[TiledVector<S::T>],
+    nt: usize,
+    b: usize,
+    warp: &mut tsv_simt::warp::WarpCtx,
+    san: Option<&Sanitizer>,
+    y_slab: &mut [S::T],
+) -> bool
+where
+    S::T: Default,
+{
+    let vb = std::mem::size_of::<S::T>();
+    let mut body_charged = false;
+    for (q, xt) in xts.iter().enumerate() {
+        let Some(x_tile) = xt.tile(view.col_tile) else {
+            continue;
+        };
+        // Each lane loads its own vector tile; the matrix tile body is
+        // charged once per tile (first active lane) below.
+        warp.stats.read(nt * vb);
+        sanitize::read(san, "x-tiles", view.col_tile, warp.warp_id, q % WARP_SIZE);
+        tile_rows_semiring::<S, _>(
+            view,
+            slab,
+            x_tile,
+            nt,
+            !body_charged,
+            &mut warp.stats,
+            |_, lr, sum| {
+                let i = lr * b + q;
+                y_slab[i] = S::add(y_slab[i], sum);
+            },
+        );
+        body_charged = true;
+    }
+    body_charged
+}
+
+/// Batched CSR-form row-tile kernel: one tile traversal shared by a
+/// column-blocked batch of `xts.len()` sparse vectors.
+///
+/// `y` is the lane-major output slab, `m_tiles * nt * B` long with the
+/// slot of (global row `r`, query lane `q`) at `r * B + q`; every slot the
+/// caller has not already accumulated into must hold `S::zero()`. Each
+/// warp owns the `nt * B` slab of one row tile, so write-disjointness
+/// across query lanes is structural (lanes live inside the warp's
+/// exclusive chunk) — the same argument the analyzer's chunked footprint
+/// proves at plan time.
+pub fn batched_row_kernel_semiring<S: Semiring, B: Backend>(
+    backend: &B,
+    a: &TileMatrix<S::T>,
+    xts: &[TiledVector<S::T>],
+    y: &mut [S::T],
+    sell: Option<&SellSlabs<S::T>>,
+    touched: &AtomicWords,
+    san: Option<&Sanitizer>,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    let nt = a.nt();
+    let b = xts.len();
+    debug_assert!(xts.iter().all(|xt| xt.nt() == nt), "batch tiled with nt");
+    debug_assert_eq!(y.len(), a.m_tiles() * nt * b, "lane-major slab sized");
+    if a.m_tiles() == 0 || b == 0 {
+        return KernelStats::default();
+    }
+    let vb = std::mem::size_of::<S::T>();
+
+    backend.launch_over_chunks("spmspv/row-tile-batched", y, nt * b, |warp, y_slab| {
+        let rt = warp.warp_id;
+        let mut dirty = false;
+        for t in a.row_tile_range(rt) {
+            let view = a.tile(t);
+            warp.stats.read(4);
+            warp.stats.read_scattered(4);
+            dirty |= batched_tile_lanes::<S>(
+                &view,
+                sell.and_then(|s| s.slab(t)),
+                xts,
+                nt,
+                b,
+                warp,
+                san,
+                y_slab,
+            );
+        }
+        warp.stats.write(nt * b * vb);
+        log_tile_write(san, rt * nt * b, nt * b, rt);
+        if dirty {
+            mark(touched, rt);
+            sanitize::rmw(san, "touched", rt / 64, rt, 0);
+        }
+    })
+}
+
+/// Builds the union frontier-compacted row-tile work list of a batch: a
+/// row tile is listed when at least one query lane has an active vector
+/// tile in its column range. `weights[rt]` accumulates stored nnz over
+/// every (lane, active tile) pair, so binning balances the *batch's* work,
+/// not any single lane's. Same contract as [`build_row_worklist`]:
+/// `weights` all-zero on entry, left set for the caller to reset.
+pub fn build_batched_row_worklist<T: Copy + PartialEq + Default + Send + Sync>(
+    a: &TileMatrix<T>,
+    xts: &[TiledVector<T>],
+    worklist: &mut Vec<u32>,
+    weights: &mut [u64],
+    stats: &mut KernelStats,
+) {
+    debug_assert!(weights.len() >= a.m_tiles(), "weights sized to m_tiles");
+    worklist.clear();
+    for xt in xts {
+        for &ct in xt.active_tiles() {
+            stats.read(4);
+            for &t in a.col_tiles(ct as usize) {
+                let t = t as usize;
+                let rt = a.tile_row_of(t);
+                stats.read(4 + 4 + 4);
+                if weights[rt] == 0 {
+                    worklist.push(rt as u32);
+                }
+                weights[rt] += (a.tile(t).nnz() as u64).max(1);
+            }
+        }
+    }
+    worklist.sort_unstable();
+    stats.write(worklist.len() * 4);
+}
+
+/// Batched row-tile kernel over the union work list's nnz-binned plan.
+///
+/// Mirrors [`row_kernel_binned_semiring`] with lane-major slab outputs:
+/// the fast path writes each listed row tile's `nt * B` slab in place, the
+/// buffered path pushes `(slab_index, partial)` pairs (slab index
+/// `r * B + q`) into per-warp buckets merged in warp order. Per lane and
+/// per output slot the accumulation order is tile order within the row
+/// tile — identical to the batched direct kernel and to `B` sequential
+/// multiplies, so `PlusTimes` stays bit-identical across dispatch shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn batched_row_kernel_binned_semiring<S: Semiring, B: Backend>(
+    backend: &B,
+    a: &TileMatrix<S::T>,
+    xts: &[TiledVector<S::T>],
+    y: &mut [S::T],
+    sell: Option<&SellSlabs<S::T>>,
+    worklist: &[u32],
+    plan: &BinPlan,
+    contribs: &mut Vec<Vec<(u32, S::T)>>,
+    touched: &AtomicWords,
+    san: Option<&Sanitizer>,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    let nt = a.nt();
+    let b = xts.len();
+    debug_assert!(xts.iter().all(|xt| xt.nt() == nt), "batch tiled with nt");
+    debug_assert_eq!(y.len(), a.m_tiles() * nt * b, "lane-major slab sized");
+    let vb = std::mem::size_of::<S::T>();
+
+    if plan.n_warps() == worklist.len() && plan.n_assignments() == worklist.len() {
+        return backend.launch_over_worklist(
+            "spmspv/row-tile-batched-binned",
+            y,
+            nt * b,
+            worklist,
+            |warp, rt, y_slab| {
+                let rt = rt as usize;
+                let mut dirty = false;
+                for t in a.row_tile_range(rt) {
+                    let view = a.tile(t);
+                    warp.stats.read(4);
+                    warp.stats.read_scattered(4);
+                    dirty |= batched_tile_lanes::<S>(
+                        &view,
+                        sell.and_then(|s| s.slab(t)),
+                        xts,
+                        nt,
+                        b,
+                        warp,
+                        san,
+                        y_slab,
+                    );
+                }
+                warp.stats.write(nt * b * vb);
+                log_tile_write(san, rt * nt * b, nt * b, warp.warp_id);
+                if dirty {
+                    mark(touched, rt);
+                    sanitize::rmw(san, "touched", rt / 64, warp.warp_id, 0);
+                }
+            },
+        );
+    }
+
+    if contribs.len() < plan.n_warps() {
+        contribs.resize_with(plan.n_warps(), Vec::new);
+    }
+    let stats = backend.launch_binned(plan, contribs, |warp, assignments, bucket| {
+        for asg in assignments {
+            let rt = asg.unit as usize;
+            let tiles = a.row_tile_range(rt);
+            let idx = if asg.parts == 1 {
+                0..tiles.len()
+            } else {
+                asg.part_range(tiles.len())
+            };
+            let base = rt * nt;
+            let mut dirty = false;
+            for ti in idx {
+                let t = tiles.start + ti;
+                let view = a.tile(t);
+                warp.stats.read(4);
+                warp.stats.read_scattered(4);
+                let slab = sell.and_then(|s| s.slab(t));
+                let mut body_charged = false;
+                for (q, xt) in xts.iter().enumerate() {
+                    let Some(x_tile) = xt.tile(view.col_tile) else {
+                        continue;
+                    };
+                    warp.stats.read(nt * vb);
+                    sanitize::read(san, "x-tiles", view.col_tile, warp.warp_id, q % WARP_SIZE);
+                    dirty = true;
+                    tile_rows_semiring::<S, _>(
+                        &view,
+                        slab,
+                        x_tile,
+                        nt,
+                        !body_charged,
+                        &mut warp.stats,
+                        |_, lr, sum| bucket.push((((base + lr) * b + q) as u32, sum)),
+                    );
+                    body_charged = true;
+                }
+            }
+            if dirty {
+                warp.stats.write(nt * b * vb);
+            }
+        }
+    });
+    merge_contribs::<S>(&mut contribs[..plan.n_warps()], y, nt * b, touched);
+    stats
+}
+
+/// The hybrid COO pass for one query lane of a batch: accumulates
+/// `extra ⊗ x` into lane `q`'s slots of the lane-major slab (`r * B + q`).
+/// The per-lane push and merge order matches [`coo_kernel_semiring`]
+/// exactly, and lanes touch disjoint slab slots, so the driver launches
+/// one pass per active lane without cross-lane interference. Extra-column
+/// reads are per lane (each lane walks its own frontier) — the COO side
+/// buffer is tiny by construction, so the unamortized traffic is noise.
+#[allow(clippy::too_many_arguments)]
+pub fn batched_coo_kernel_semiring<S: Semiring, B: Backend>(
+    backend: &B,
+    a: &TileMatrix<S::T>,
+    x: &SparseVector<S::T>,
+    lane: usize,
+    b: usize,
+    y: &mut [S::T],
+    contribs: &mut Vec<Vec<(u32, S::T)>>,
+    touched: &AtomicWords,
+    san: Option<&Sanitizer>,
+) -> KernelStats
+where
+    S::T: Default,
+{
+    if a.extra().nnz() == 0 || x.nnz() == 0 {
+        return KernelStats::default();
+    }
+    let nt = a.nt();
+    let vb = std::mem::size_of::<S::T>();
+    let idx = x.indices();
+    let vals = x.values();
+    let n_warps = x.nnz().div_ceil(CHUNK);
+    if contribs.len() < n_warps {
+        contribs.resize_with(n_warps, Vec::new);
+    }
+
+    let stats = backend.launch_over_chunks(
+        "spmspv/coo-batched",
+        &mut contribs[..n_warps],
+        1,
+        |warp, chunk| {
+            let bucket = &mut chunk[0];
+            let start = warp.warp_id * CHUNK;
+            let end = (start + CHUNK).min(x.nnz());
+            for k in start..end {
+                let j = idx[k] as usize;
+                let xj = vals[k];
+                warp.stats.read(4 + vb);
+                warp.stats.read_scattered(8);
+                sanitize::read(san, "x", j, warp.warp_id, k % WARP_SIZE);
+                let (rows, evals) = a.extra_col(j);
+                warp.stats.read(rows.len() * (4 + vb));
+                for (&r, &v) in rows.iter().zip(evals) {
+                    let slot = r as usize * b + lane;
+                    bucket.push((slot as u32, S::mul(v, xj)));
+                    warp.stats.flop(2);
+                    warp.stats.atomic(1);
+                    warp.stats.write_scattered(vb);
+                    sanitize::rmw(san, "y", slot, warp.warp_id, k % WARP_SIZE);
+                }
+                warp.stats.lane_steps += rows.len().div_ceil(WARP_SIZE) as u64 * WARP_SIZE as u64;
+            }
+        },
+    );
+
+    merge_contribs::<S>(&mut contribs[..n_warps], y, nt * b, touched);
     stats
 }
 

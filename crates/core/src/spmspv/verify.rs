@@ -154,6 +154,100 @@ pub(crate) fn coo_launch(x_nnz: usize, x_len: usize) -> LaunchSummary {
     }
 }
 
+/// The batched plan label: balance / format / batch width.
+pub(crate) fn batched_plan_label(b: usize, opts: &SpMSpVOptions) -> String {
+    let balance = match opts.balance {
+        Balance::OneWarpPerRowTile => "direct",
+        Balance::Binned { .. } => "binned",
+    };
+    let format = match opts.format {
+        SpvFormat::TileCsr => "tilecsr",
+        SpvFormat::Sell(_) => "sell",
+    };
+    format!("spmspv/row-tile-batched/{balance}/{format}/b{b}")
+}
+
+/// The batched direct row-tile kernel: one warp per row tile, each
+/// exclusively owning its `nt * B` lane-major slab. Write-disjointness
+/// across query lanes is what this chunked footprint proves — every
+/// lane's slots live inside the owning warp's chunk, so no lane can
+/// scribble on another query's accumulator.
+pub(crate) fn batched_row_direct_launch(
+    m_tiles: usize,
+    nt: usize,
+    b: usize,
+    n_tiles: usize,
+    touched_words: usize,
+) -> Result<LaunchSummary, PlanError> {
+    Ok(LaunchSummary {
+        label: "spmspv/row-tile-batched".to_string(),
+        uses: vec![
+            chunked(
+                "spmspv/row-tile-batched",
+                "y",
+                AccessMode::Write,
+                m_tiles * nt * b,
+                nt * b,
+            )?,
+            shared("x-tiles", AccessMode::Read, n_tiles),
+            shared(
+                "touched",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                touched_words,
+            ),
+        ],
+        merge: None,
+    })
+}
+
+/// The batched binned kernel's fast path: in-place slab writes over the
+/// union work list, chunk width `nt * B`.
+pub(crate) fn batched_row_binned_fast_launch(
+    m_tiles: usize,
+    nt: usize,
+    b: usize,
+    n_tiles: usize,
+    touched_words: usize,
+    worklist: &[u32],
+) -> Result<LaunchSummary, PlanError> {
+    Ok(LaunchSummary {
+        label: "spmspv/row-tile-batched-binned".to_string(),
+        uses: vec![
+            worklisted(
+                "spmspv/row-tile-batched-binned",
+                "y",
+                AccessMode::Write,
+                m_tiles * nt * b,
+                nt * b,
+                worklist,
+            )?,
+            shared("x-tiles", AccessMode::Read, n_tiles),
+            shared(
+                "touched",
+                AccessMode::Atomic(AtomicKind::IdempotentOr),
+                touched_words,
+            ),
+        ],
+        merge: None,
+    })
+}
+
+/// One query lane's COO pass in a batched multiply — the same buffered
+/// shape as [`coo_launch`] under the batched label (lanes land on
+/// disjoint slab slots, so per-lane launches compose race-free).
+pub(crate) fn batched_coo_launch(x_nnz: usize, x_len: usize) -> LaunchSummary {
+    let n_warps = x_nnz.div_ceil(WARP_SIZE);
+    let warps: Vec<u32> = (0..n_warps as u32).collect();
+    LaunchSummary {
+        label: "spmspv/coo-batched".to_string(),
+        uses: vec![
+            slots("contribs", AccessMode::Write, n_warps),
+            shared("x", AccessMode::Read, x_len),
+        ],
+        merge: Some(MergeSpec::one_bucket_per_unit(&warps)),
+    }
+}
+
 /// Discharges the three obligations over the phase's launch sequence,
 /// counting verdicts on the metrics registry.
 pub(crate) fn run(plan: &str, launches: &[LaunchSummary]) -> analyze::PlanReport {
@@ -200,6 +294,27 @@ mod tests {
         let fast = row_binned_fast_launch(8, 16, 8, 1, &worklist).unwrap();
         let r = run("spmspv/row-tile/binned/tilecsr", &[fast]);
         assert!(r.is_proved(), "{r}");
+    }
+
+    #[test]
+    fn batched_shapes_prove_lane_disjointness() {
+        let launches = vec![
+            batched_row_direct_launch(8, 16, 8, 8, 1).unwrap(),
+            batched_coo_launch(100, 500),
+        ];
+        let r = run("spmspv/row-tile-batched/direct/tilecsr/b8", &launches);
+        assert!(r.is_proved(), "{r}");
+
+        let worklist = [0u32, 2, 5];
+        let fast = batched_row_binned_fast_launch(8, 16, 4, 8, 1, &worklist).unwrap();
+        let r = run("spmspv/row-tile-batched/binned/tilecsr/b4", &[fast]);
+        assert!(r.is_proved(), "{r}");
+
+        let opts = SpMSpVOptions::default();
+        assert_eq!(
+            batched_plan_label(32, &opts),
+            "spmspv/row-tile-batched/direct/tilecsr/b32"
+        );
     }
 
     #[test]

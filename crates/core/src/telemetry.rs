@@ -14,6 +14,7 @@
 //! so the summary's totals equal the profiler's `report` figures exactly.
 
 use crate::bfs::BfsResult;
+use crate::exec::BatchExecReport;
 use crate::spmspv::DispatchStats;
 use crate::tile::TileMatrix;
 use std::fmt::Write as _;
@@ -39,8 +40,11 @@ use tsv_simt::trace::Tracer;
 /// overflow accounting from the tracer). Version 6 added `atomics` to the
 /// `sanitizer` object and the optional `static_analysis` object (verdict
 /// counts plus one row per verified plan, each with its per-obligation
-/// verdicts from the plan-time race verifier).
-pub const SCHEMA_VERSION: u32 = 6;
+/// verdicts from the plan-time race verifier). Version 7 added the
+/// optional `batch` object (batch width, batched multiplies recorded, and
+/// one row per query lane with its frontier/output nonzero counts) for
+/// runs through the batched multi-frontier engine.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// One row of the per-kernel table.
 #[derive(Debug, Clone, PartialEq)]
@@ -284,6 +288,29 @@ impl KernelUtilization {
     }
 }
 
+/// One query lane's row in the `batch` object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchQuerySummary {
+    /// Lane index within the batch.
+    pub query: usize,
+    /// Nonzeros of the lane's input frontier.
+    pub x_nnz: u64,
+    /// Nonzeros of the lane's compacted output.
+    pub y_nnz: u64,
+}
+
+/// Account of the most recent batched multiply: the batch width, how many
+/// batched multiplies this summary has seen, and per-query lane rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Query lanes in the most recent batched multiply.
+    pub width: usize,
+    /// Batched multiplies recorded into this summary.
+    pub multiplies: u64,
+    /// Per-lane rows of the most recent batched multiply, lane order.
+    pub queries: Vec<BatchQuerySummary>,
+}
+
 /// Tracer ring accounting: how many events the ring holds and how many
 /// were evicted because it wrapped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,6 +335,7 @@ pub struct RunSummary {
     sanitizer: Option<SanitizerSummary>,
     trace: Option<TraceSummary>,
     static_analysis: Vec<PlanReport>,
+    batch: Option<BatchSummary>,
 }
 
 impl RunSummary {
@@ -326,6 +354,7 @@ impl RunSummary {
             sanitizer: None,
             trace: None,
             static_analysis: Vec::new(),
+            batch: None,
         }
     }
 
@@ -452,6 +481,32 @@ impl RunSummary {
         for (b, &c) in row.work.buckets.iter_mut().zip(&d.work_hist) {
             b.1 += u64::from(c);
         }
+    }
+
+    /// Records one batched multiply. The width and per-query rows snapshot
+    /// the latest report (iterative workloads overwrite them each round);
+    /// the `multiplies` count accumulates across calls.
+    pub fn record_batch(&mut self, report: &BatchExecReport) {
+        let multiplies = self.batch.as_ref().map_or(0, |b| b.multiplies) + 1;
+        self.batch = Some(BatchSummary {
+            width: report.batch,
+            multiplies,
+            queries: report
+                .per_query
+                .iter()
+                .enumerate()
+                .map(|(query, q)| BatchQuerySummary {
+                    query,
+                    x_nnz: q.x_nnz as u64,
+                    y_nnz: q.y_nnz as u64,
+                })
+                .collect(),
+        });
+    }
+
+    /// The recorded batch object, if any batched multiply was recorded.
+    pub fn batch(&self) -> Option<&BatchSummary> {
+        self.batch.as_ref()
     }
 
     /// Records the race sanitizer's aggregate counters. Calling it again
@@ -735,6 +790,24 @@ impl RunSummary {
             }
             out.push_str("]}");
         }
+        if let Some(b) = &self.batch {
+            let _ = write!(
+                out,
+                ",\"batch\":{{\"width\":{},\"multiplies\":{},\"queries\":[",
+                b.width, b.multiplies,
+            );
+            for (i, q) in b.queries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"query\":{},\"x_nnz\":{},\"y_nnz\":{}}}",
+                    q.query, q.x_nnz, q.y_nnz,
+                );
+            }
+            out.push_str("]}");
+        }
         if let Some(t) = &self.trace {
             let _ = write!(
                 out,
@@ -1002,6 +1075,50 @@ mod tests {
             assert_eq!(o.get("verdict").and_then(JsonValue::as_str), Some("proved"));
             assert!(o.get("kind").and_then(JsonValue::as_str).is_some());
             assert!(o.get("detail").and_then(JsonValue::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn batch_object_is_absent_until_recorded_and_roundtrips() {
+        let mut summary = RunSummary::new("unit", RTX_3060);
+        assert!(summary.batch().is_none());
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        assert!(v.get("batch").is_none());
+
+        // A real batched multiply feeds the object.
+        use crate::exec::BatchedSpMSpVEngine;
+        use crate::semiring::PlusTimes;
+        let a = tsv_sparse::gen::uniform_random(150, 150, 1200, 4).to_csr();
+        let mut engine =
+            BatchedSpMSpVEngine::<PlusTimes>::from_csr(&a, TileConfig::default()).unwrap();
+        let xs: Vec<_> = (0..3)
+            .map(|s| tsv_sparse::gen::random_sparse_vector(150, 0.1, s))
+            .collect();
+        let (ys, report) = engine.multiply(&xs).unwrap();
+        summary.record_batch(&report);
+        summary.record_batch(&report);
+
+        let b = summary.batch().expect("recorded");
+        assert_eq!(b.width, 3);
+        assert_eq!(b.multiplies, 2);
+        assert_eq!(b.queries.len(), 3);
+
+        let v = tsv_simt::json::parse(&summary.to_json()).expect("summary must parse");
+        let bj = v.get("batch").unwrap();
+        assert_eq!(bj.get("width").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(bj.get("multiplies").and_then(JsonValue::as_u64), Some(2));
+        let queries = bj.get("queries").unwrap().as_array().unwrap();
+        assert_eq!(queries.len(), 3);
+        for (q, row) in queries.iter().enumerate() {
+            assert_eq!(row.get("query").and_then(JsonValue::as_u64), Some(q as u64));
+            assert_eq!(
+                row.get("x_nnz").and_then(JsonValue::as_u64),
+                Some(xs[q].nnz() as u64)
+            );
+            assert_eq!(
+                row.get("y_nnz").and_then(JsonValue::as_u64),
+                Some(ys[q].nnz() as u64)
+            );
         }
     }
 

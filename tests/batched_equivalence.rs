@@ -1,0 +1,169 @@
+//! Differential suite for the batched multi-frontier engine: over the
+//! conformance corpus, one batched multiply of `B` frontiers must
+//! reproduce `B` sequential row-tile multiplies of the same frontiers —
+//! bitwise for PlusTimes (the batched slab folds each lane in the
+//! sequential kernel's order), semantically for MinPlus and OrAnd —
+//! across backend × format × balance × B ∈ {1, 2, 7, 32}.
+//!
+//! `TSV_NATIVE_THREADS` sizes the native pool (CI certifies 1 and 4).
+
+mod common;
+
+use common::{backends, batch_bits, conformance_zoo, formats, frontier_batch};
+use tilespmspv::core::exec::{BatchedSpMSpVEngine, SpMSpVEngine};
+use tilespmspv::core::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
+use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions};
+use tilespmspv::core::tile::TileConfig;
+use tilespmspv::simt::ExecBackend;
+use tilespmspv::sparse::{CsrMatrix, SparseVector};
+
+const WIDTHS: [usize; 4] = [1, 2, 7, 32];
+
+/// `B` sequential multiplies through the ordinary engine: the reference
+/// the batched pass must reproduce.
+fn sequential<S: Semiring>(
+    a: &CsrMatrix<S::T>,
+    xs: &[SparseVector<S::T>],
+    opts: SpMSpVOptions,
+    backend: &ExecBackend,
+) -> Vec<SparseVector<S::T>>
+where
+    S::T: Default,
+{
+    let mut engine = SpMSpVEngine::<S>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+    engine.set_backend(backend.clone());
+    xs.iter().map(|x| engine.multiply(x).unwrap().0).collect()
+}
+
+/// One batched multiply of the whole frontier batch.
+fn batched<S: Semiring>(
+    a: &CsrMatrix<S::T>,
+    xs: &[SparseVector<S::T>],
+    opts: SpMSpVOptions,
+    backend: &ExecBackend,
+) -> Vec<SparseVector<S::T>>
+where
+    S::T: Default,
+{
+    let mut engine =
+        BatchedSpMSpVEngine::<S>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+    engine.set_backend(backend.clone());
+    engine.multiply(xs).unwrap().0
+}
+
+/// Sweeps backend × format × balance × width for one matrix, handing each
+/// (opts, backend, frontier batch) combination to `check`.
+fn sweep(
+    name: &str,
+    ncols: usize,
+    mut check: impl FnMut(&str, SpMSpVOptions, &ExecBackend, &[SparseVector<f64>]),
+) {
+    for backend in &backends() {
+        for &format in &formats() {
+            for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+                let opts = SpMSpVOptions {
+                    kernel: KernelChoice::RowTile,
+                    balance,
+                    format,
+                    ..Default::default()
+                };
+                for width in WIDTHS {
+                    let xs = frontier_batch(ncols, width, 31 + width as u64);
+                    let ctx = format!(
+                        "{name} {balance:?} {format} backend {} B={width}",
+                        backend.describe()
+                    );
+                    check(&ctx, opts, backend, &xs);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_plus_times_is_bitwise_identical_to_sequential() {
+    for (name, a) in conformance_zoo() {
+        sweep(&name, a.ncols(), |ctx, opts, backend, xs| {
+            let want = sequential::<PlusTimes>(&a, xs, opts, backend);
+            let got = batched::<PlusTimes>(&a, xs, opts, backend);
+            assert_eq!(got.len(), xs.len(), "{ctx}: lane count");
+            assert_eq!(
+                batch_bits(&got),
+                batch_bits(&want),
+                "{ctx}: batched must be bit-identical to sequential"
+            );
+        });
+    }
+}
+
+#[test]
+fn batched_min_plus_is_semantically_equal_to_sequential() {
+    // min is selective and each product a single addition, so fold-order
+    // permutations cannot move a value: the agreement is exact.
+    for (name, a) in conformance_zoo() {
+        sweep(&name, a.ncols(), |ctx, opts, backend, xs| {
+            let want = sequential::<MinPlus>(&a, xs, opts, backend);
+            let got = batched::<MinPlus>(&a, xs, opts, backend);
+            for (q, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.indices(), w.indices(), "{ctx} lane {q}: support");
+                for ((i, gv), (_, wv)) in g.iter().zip(w.iter()) {
+                    assert_eq!(gv, wv, "{ctx} lane {q} row {i}");
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn batched_or_and_is_semantically_equal_to_sequential() {
+    for (name, a) in conformance_zoo() {
+        let b: CsrMatrix<bool> = CsrMatrix::from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            vec![true; a.nnz()],
+        )
+        .unwrap();
+        sweep(&name, a.ncols(), |ctx, opts, backend, xs| {
+            let xbs: Vec<SparseVector<bool>> = xs
+                .iter()
+                .map(|x| {
+                    SparseVector::from_parts(x.len(), x.indices().to_vec(), vec![true; x.nnz()])
+                        .unwrap()
+                })
+                .collect();
+            let want = sequential::<OrAnd>(&b, &xbs, opts, backend);
+            let got = batched::<OrAnd>(&b, &xbs, opts, backend);
+            assert_eq!(got, want, "{ctx}: batched OrAnd diverged");
+        });
+    }
+}
+
+/// Width 1 is the degenerate batch: it must match the sequential engine
+/// exactly AND report a single per-query row — a cheap sanity anchor for
+/// the wider sweeps above.
+#[test]
+fn width_one_batches_degenerate_to_single_multiplies() {
+    let zoo = conformance_zoo();
+    let (_, a) = zoo
+        .iter()
+        .find(|(name, _)| name == "banded")
+        .expect("the zoo names a banded matrix");
+    let xs = vec![tilespmspv::sparse::gen::random_sparse_vector(
+        a.ncols(),
+        0.1,
+        77,
+    )];
+    let opts = SpMSpVOptions {
+        kernel: KernelChoice::RowTile,
+        ..Default::default()
+    };
+    let mut engine =
+        BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+    let (ys, report) = engine.multiply(&xs).unwrap();
+    assert_eq!(report.batch, 1);
+    assert_eq!(report.per_query.len(), 1);
+    let want = sequential::<PlusTimes>(a, &xs, opts, &ExecBackend::model());
+    assert_eq!(batch_bits(&ys), batch_bits(&want));
+}

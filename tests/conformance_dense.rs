@@ -9,47 +9,16 @@
 //! are almost all empty, single-entry matrices, empty matrices, and the
 //! empty input vector.
 
+mod common;
+
+use common::{backends, conformance_zoo, formats, vector_zoo};
 use tilespmspv::core::exec::SpMSpVEngine;
 use tilespmspv::core::semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
 use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
 use tilespmspv::core::tile::{SellConfig, TileConfig, TileMatrix};
 use tilespmspv::simt::ExecBackend;
-use tilespmspv::sparse::gen::{
-    banded, geometric_graph, grid2d, random_sparse_vector, rmat, uniform_random, RmatConfig,
-};
-use tilespmspv::sparse::{CooMatrix, CsrMatrix, SparseVector};
-
-/// The substrates every conformance case runs on: the modeled SIMT grid
-/// and the native rayon backend. `TSV_NATIVE_THREADS` picks the native
-/// pool size (CI runs the suite at 1 and at N), defaulting to 2 so a
-/// plain `cargo test` still exercises real cross-thread merging.
-fn backends() -> Vec<ExecBackend> {
-    let threads = std::env::var("TSV_NATIVE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or(2);
-    vec![ExecBackend::model(), ExecBackend::native(Some(threads))]
-}
-
-/// The tile storage formats every conformance case runs with. `TSV_FORMAT`
-/// pins one (`tilecsr`, `sell`, `sell:C:sigma`, … — CI runs the suite once
-/// per format); unset runs both the tile-CSR baseline and SELL slabs with
-/// a small σ-window so sorting, padding and fallback all engage on the
-/// zoo's tile shapes.
-fn formats() -> Vec<SpvFormat> {
-    match std::env::var("TSV_FORMAT") {
-        Ok(spec) => vec![SpvFormat::parse(&spec).expect("TSV_FORMAT must parse")],
-        Err(_) => vec![
-            SpvFormat::TileCsr,
-            SpvFormat::Sell(SellConfig {
-                c: 8,
-                sigma: 16,
-                ..SellConfig::default()
-            }),
-        ],
-    }
-}
+use tilespmspv::sparse::gen::random_sparse_vector;
+use tilespmspv::sparse::{CsrMatrix, SparseVector};
 
 /// The naive oracle: a dense gather over the stored entries. `None`
 /// marks rows no product ever touched — the support the compacted
@@ -128,91 +97,6 @@ fn check_matrix<S: Semiring>(
             }
         }
     }
-}
-
-/// ~30 matrices: tile-edge straddlers, the structure classes, rectangular
-/// shapes, and the degenerate cases tiled layouts get wrong first.
-fn conformance_zoo() -> Vec<(String, CsrMatrix<f64>)> {
-    let mut zoo: Vec<(String, CsrMatrix<f64>)> = Vec::new();
-
-    // Orders one below, at, and above one, two and four tile widths.
-    for n in [1usize, 2, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129] {
-        let nnz = (n * n / 4).clamp(1, 6 * n);
-        zoo.push((
-            format!("uniform-{n}"),
-            uniform_random(n, n, nnz, n as u64).to_csr(),
-        ));
-    }
-
-    // Structure classes.
-    zoo.push(("banded".into(), banded(300, 9, 0.7, 1).to_csr()));
-    zoo.push(("banded-dense".into(), banded(128, 16, 1.0, 2).to_csr()));
-    zoo.push(("grid".into(), grid2d(18, 17).to_csr()));
-    zoo.push(("grid-square".into(), grid2d(16, 16).to_csr()));
-    zoo.push(("geometric".into(), geometric_graph(350, 5.0, 3).to_csr()));
-    zoo.push(("rmat".into(), rmat(RmatConfig::new(8, 6), 4).to_csr()));
-    zoo.push((
-        "rmat-skewed".into(),
-        rmat(RmatConfig::new(7, 10), 9).to_csr(),
-    ));
-    zoo.push(("dense-64".into(), uniform_random(64, 64, 2048, 10).to_csr()));
-
-    // Rectangular, including tile-edge straddling shapes.
-    zoo.push((
-        "rect-wide".into(),
-        uniform_random(64, 320, 1800, 5).to_csr(),
-    ));
-    zoo.push((
-        "rect-tall".into(),
-        uniform_random(320, 60, 1800, 6).to_csr(),
-    ));
-    zoo.push((
-        "rect-wide-edge".into(),
-        uniform_random(33, 65, 400, 7).to_csr(),
-    ));
-    zoo.push((
-        "rect-tall-edge".into(),
-        uniform_random(65, 33, 400, 8).to_csr(),
-    ));
-
-    // Degenerate shapes.
-    zoo.push(("empty".into(), CsrMatrix::zeros(64, 64)));
-    zoo.push(("empty-offsize".into(), CsrMatrix::zeros(65, 33)));
-    let mut single = CooMatrix::new(1, 1);
-    single.push(0, 0, 2.5);
-    zoo.push(("single".into(), single.to_csr()));
-    let mut corner = CooMatrix::new(97, 97);
-    corner.push(96, 96, -1.5);
-    zoo.push(("lonely-corner".into(), corner.to_csr()));
-    // One entry every 32nd diagonal position: every populated tile holds a
-    // single element, everything else is empty — the all-empty-tile case.
-    let mut sparse_diag = CooMatrix::new(256, 256);
-    for k in (0..256).step_by(32) {
-        sparse_diag.push(k, k, 1.0 + k as f64);
-    }
-    zoo.push(("sparse-diag".into(), sparse_diag.to_csr()));
-    // All entries inside the first tile of a much larger grid: every
-    // other row/column tile is structurally empty.
-    let mut first_tile = CooMatrix::new(160, 160);
-    for r in 0..16 {
-        for c in 0..8 {
-            first_tile.push(r, (c * 3) % 32, (r * 32 + c) as f64 * 0.25 + 1.0);
-        }
-    }
-    zoo.push(("first-tile-only".into(), first_tile.to_csr()));
-
-    zoo
-}
-
-/// Inputs for one matrix: the empty vector, a sparse and a dense random
-/// vector, and a single mid-vector entry.
-fn vector_zoo(ncols: usize) -> Vec<SparseVector<f64>> {
-    vec![
-        random_sparse_vector(ncols, 0.0, 1),
-        random_sparse_vector(ncols, 0.03, 2),
-        random_sparse_vector(ncols, 0.25, 3),
-        SparseVector::from_entries(ncols, vec![(ncols as u32 / 2, 1.5)]).unwrap(),
-    ]
 }
 
 fn bool_mirror(a: &CsrMatrix<f64>) -> CsrMatrix<bool> {

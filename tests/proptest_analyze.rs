@@ -12,9 +12,11 @@
 //! * every report discharges exactly the three obligations, and the
 //!   verdict counters are consistent with the overall verdict.
 
+mod common;
+
 use proptest::prelude::*;
 use std::sync::Arc;
-use tilespmspv::core::exec::{BfsEngine, SpMSpVEngine};
+use tilespmspv::core::exec::{BatchedSpMSpVEngine, BfsEngine, SpMSpVEngine};
 use tilespmspv::core::semiring::PlusTimes;
 use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
 use tilespmspv::core::tile::{SellConfig, TileConfig};
@@ -57,6 +59,21 @@ fn arb_square() -> impl Strategy<Value = tilespmspv::sparse::CsrMatrix<f64>> {
             coo.sum_duplicates();
             coo.to_csr()
         })
+}
+
+/// A random matrix paired with a shrinking batch of frontiers over its
+/// column space (the generator shared with the backend proptests).
+#[allow(clippy::type_complexity)]
+fn arb_batched_case() -> impl Strategy<
+    Value = (
+        tilespmspv::sparse::CsrMatrix<f64>,
+        Vec<tilespmspv::sparse::SparseVector<f64>>,
+    ),
+> {
+    arb_matrix().prop_flat_map(|a| {
+        let n = a.ncols();
+        (Just(a), common::arb_frontier_batch(n))
+    })
 }
 
 proptest! {
@@ -108,6 +125,51 @@ proptest! {
                             "{}: non-proved verdict with no atomic claims to justify it",
                             report.plan);
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proved_batched_plans_show_zero_dynamic_conflicts(case in arb_batched_case()) {
+        // Batched launches get their own access-footprint shapes: the
+        // verifier must prove write-disjointness across the `nt·b`
+        // lane-major slots of every row tile, and a proof must hold up
+        // under the dynamic sanitizer for every query lane at once. An
+        // empty batch launches nothing, so there is no plan to check.
+        let (a, xs) = case;
+        if xs.is_empty() {
+            return;
+        }
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            for format in [SpvFormat::TileCsr, SpvFormat::Sell(SellConfig::default())] {
+                let opts = SpMSpVOptions {
+                    kernel: KernelChoice::RowTile,
+                    balance,
+                    format,
+                    verify: true,
+                    ..Default::default()
+                };
+                let mut engine = BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(
+                    &a,
+                    TileConfig::default(),
+                    opts,
+                )
+                .unwrap();
+                let san = Arc::new(Sanitizer::new());
+                engine.set_sanitizer(Some(Arc::clone(&san)));
+                engine.multiply(&xs).unwrap();
+
+                let report = engine.last_analysis().expect("verify: true must report");
+                prop_assert_eq!(report.obligations.len(), 3,
+                    "{}: three obligations per plan", report.plan);
+                if report.is_proved() {
+                    prop_assert_eq!(san.violation_count(), 0,
+                        "{}: proved but dynamic conflicts across {} lanes",
+                        report.plan, xs.len());
+                } else {
+                    prop_assert!(san.summary().atomics > 0,
+                        "{}: non-proved verdict with no atomic claims", report.plan);
                 }
             }
         }

@@ -8,8 +8,10 @@
 //! any backend. BFS levels are substrate-independent by the same
 //! argument.
 
+mod common;
+
 use proptest::prelude::*;
-use tilespmspv::core::exec::{BfsEngine, SpMSpVEngine};
+use tilespmspv::core::exec::{BatchedSpMSpVEngine, BfsEngine, SpMSpVEngine};
 use tilespmspv::core::semiring::{spmspv_semiring, MinPlus, OrAnd, PlusTimes};
 use tilespmspv::core::spmspv::{Balance, KernelChoice, SpMSpVOptions, SpvFormat};
 use tilespmspv::core::tile::{SellConfig, TileConfig};
@@ -37,6 +39,29 @@ fn arb_weighted() -> impl Strategy<Value = CsrMatrix<f64>> {
 
 fn bits(y: &SparseVector<f64>) -> Vec<u64> {
     y.values().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A random matrix paired with a shrinking batch of frontiers over its
+/// column space (the generator shared with the conformance-side suites).
+fn arb_batched_case() -> impl Strategy<Value = (CsrMatrix<f64>, Vec<SparseVector<f64>>)> {
+    arb_weighted().prop_flat_map(|a| {
+        let n = a.ncols();
+        (Just(a), common::arb_frontier_batch(n))
+    })
+}
+
+/// One batched multiply through a fresh engine on the given backend.
+fn run_batched(
+    a: &CsrMatrix<f64>,
+    xs: &[SparseVector<f64>],
+    opts: SpMSpVOptions,
+    backend: ExecBackend,
+) -> Vec<(Vec<u32>, Vec<u64>)> {
+    let mut engine =
+        BatchedSpMSpVEngine::<PlusTimes>::from_csr_with(a, TileConfig::default(), opts).unwrap();
+    engine.set_backend(backend);
+    let (ys, _) = engine.multiply(xs).unwrap();
+    ys.iter().map(|y| (y.indices().to_vec(), bits(y))).collect()
 }
 
 /// One SpMSpV through a fresh engine on the given backend.
@@ -199,6 +224,51 @@ proptest! {
                 let y = run_on::<OrAnd>(&pattern, &x, opts, ExecBackend::native(Some(2)));
                 prop_assert_eq!(y.indices(), expect.indices(), "{:?} {:?}", kernel, balance);
             }
+        }
+    }
+
+    #[test]
+    fn batched_plus_times_is_thread_count_invariant(case in arb_batched_case()) {
+        // The batched slab inherits the sequential kernel's chunk
+        // decomposition (nt·b slots per row tile), so growing the native
+        // pool must not move a single bit in any query lane.
+        let (a, xs) = case;
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            let opts = SpMSpVOptions {
+                kernel: KernelChoice::RowTile,
+                balance,
+                ..Default::default()
+            };
+            let one = run_batched(&a, &xs, opts, ExecBackend::native(Some(1)));
+            for t in [2usize, 4] {
+                let many = run_batched(&a, &xs, opts, ExecBackend::native(Some(t)));
+                prop_assert_eq!(&many, &one, "{} threads {:?} B={}", t, balance, xs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_model_and_native_agree_and_match_sequential(case in arb_batched_case()) {
+        let (a, xs) = case;
+        for balance in [Balance::OneWarpPerRowTile, Balance::binned()] {
+            let opts = SpMSpVOptions {
+                kernel: KernelChoice::RowTile,
+                balance,
+                ..Default::default()
+            };
+            // The sequential engine's lane-by-lane products are the
+            // reference for both substrates' batched passes.
+            let want: Vec<(Vec<u32>, Vec<u64>)> = xs
+                .iter()
+                .map(|x| {
+                    let y = run_on::<PlusTimes>(&a, x, opts, ExecBackend::model());
+                    (y.indices().to_vec(), bits(&y))
+                })
+                .collect();
+            let model = run_batched(&a, &xs, opts, ExecBackend::model());
+            let native = run_batched(&a, &xs, opts, ExecBackend::native(Some(2)));
+            prop_assert_eq!(&model, &want, "model batched vs sequential {:?}", balance);
+            prop_assert_eq!(&native, &want, "native batched vs sequential {:?}", balance);
         }
     }
 
